@@ -1,0 +1,240 @@
+// Command cescc is the CESC compiler: it reads a .cesc specification,
+// synthesizes the assertion monitor(s), and emits them in the requested
+// format.
+//
+// Usage:
+//
+//	cescc [flags] spec.cesc
+//
+// Flags:
+//
+//	-emit table|dot|go|sv      output format (default table)
+//	-chart NAME                compile only the named chart
+//	-strategy direct|enumerate transition-function construction
+//	-history implication|satisfiable   suffix_of history abstraction
+//	-pkg NAME                  package name for -emit go
+//	-module NAME               module name for -emit sv
+//	-o FILE                    write output to FILE instead of stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/synth"
+)
+
+func main() {
+	emit := flag.String("emit", "table", "output format: table, json, dot, go, sv, psl, cesc (formatter)")
+	chartName := flag.String("chart", "", "compile only the named chart")
+	strategy := flag.String("strategy", "direct", "construction strategy: direct or enumerate")
+	history := flag.String("history", "implication", "history abstraction: implication or satisfiable")
+	pkg := flag.String("pkg", "checker", "package name for -emit go")
+	module := flag.String("module", "", "module name for -emit sv")
+	out := flag.String("o", "", "output file (default stdout)")
+	analyze := flag.Bool("analyze", false, "run the specification-consistency analysis and exit")
+	minimize := flag.Bool("minimize", false, "minimize composed (action-free) monitors before emitting")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cescc [flags] spec.cesc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts, err := parseOptions(*strategy, *history)
+	if err != nil {
+		fatal(err)
+	}
+	if *analyze {
+		runAnalysis(flag.Arg(0), *chartName)
+		return
+	}
+	arts, err := core.CompileFile(flag.Arg(0), opts)
+	if err != nil {
+		fatal(err)
+	}
+	var sb strings.Builder
+	matched := false
+	for _, a := range arts {
+		if *chartName != "" && a.Name != *chartName {
+			continue
+		}
+		matched = true
+		if *minimize && a.Single != nil {
+			min, err := synth.Minimize(a.Single)
+			if err != nil {
+				fatal(err)
+			}
+			a.Single = min
+		}
+		if err := emitArtifact(&sb, a, *emit, *pkg, *module); err != nil {
+			fatal(err)
+		}
+	}
+	if !matched {
+		fatal(fmt.Errorf("cescc: chart %q not found in %s", *chartName, flag.Arg(0)))
+	}
+	if *out == "" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func parseOptions(strategy, history string) (*synth.Options, error) {
+	opts := &synth.Options{NameGuards: true}
+	switch strategy {
+	case "direct":
+		opts.Strategy = synth.StrategyDirect
+	case "enumerate":
+		opts.Strategy = synth.StrategyEnumerate
+	default:
+		return nil, fmt.Errorf("cescc: unknown strategy %q", strategy)
+	}
+	switch history {
+	case "implication":
+		opts.History = synth.HistImplication
+	case "satisfiable":
+		opts.History = synth.HistSatisfiable
+	default:
+		return nil, fmt.Errorf("cescc: unknown history abstraction %q", history)
+	}
+	return opts, nil
+}
+
+func emitArtifact(sb *strings.Builder, a *core.Artifact, emit, pkg, module string) error {
+	if emit == "cesc" {
+		fmt.Fprint(sb, parser.Print(a.Name, a.Chart))
+		return nil
+	}
+	if emit == "psl" {
+		out, err := codegen.PSL(a.Name, a.Chart)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sb, out)
+		return nil
+	}
+	if a.IsMultiClock() {
+		switch emit {
+		case "table":
+			fmt.Fprint(sb, a.Multi.String())
+			return nil
+		case "dot", "go", "sv", "json":
+			for i, lm := range a.Multi.Locals {
+				fmt.Fprintf(sb, "// local monitor for clock domain %s\n", a.Multi.Domains[i])
+				if err := emitSingle(sb, a, lm.Name, emit, pkg, module); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("cescc: unknown format %q", emit)
+		}
+	}
+	return emitSingle(sb, a, a.Name, emit, pkg, module)
+}
+
+func emitSingle(sb *strings.Builder, a *core.Artifact, name, emit, pkg, module string) error {
+	m := a.Single
+	if a.IsMultiClock() {
+		for i, lm := range a.Multi.Locals {
+			if lm.Name == name {
+				m = a.Multi.Locals[i]
+				break
+			}
+		}
+	}
+	if m == nil {
+		return fmt.Errorf("cescc: no monitor named %q", name)
+	}
+	switch emit {
+	case "table":
+		fmt.Fprint(sb, m.String())
+	case "json":
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		sb.Write(data)
+		sb.WriteByte('\n')
+	case "dot":
+		fmt.Fprint(sb, codegen.DOT(m))
+	case "go":
+		fmt.Fprint(sb, codegen.GoSource(m, pkg, exportName(name)))
+	case "sv":
+		mod := module
+		if mod == "" {
+			mod = name + "_monitor"
+		}
+		fmt.Fprint(sb, codegen.SystemVerilog(m, mod))
+	default:
+		return fmt.Errorf("cescc: unknown format %q", emit)
+	}
+	return nil
+}
+
+func exportName(name string) string {
+	if name == "" {
+		return "Monitor"
+	}
+	out := strings.Map(func(r rune) rune {
+		if r == '_' || r == '-' || r == '.' {
+			return -1
+		}
+		return r
+	}, name)
+	if out == "" {
+		return "Monitor"
+	}
+	return strings.ToUpper(out[:1]) + out[1:]
+}
+
+// runAnalysis parses the file and prints consistency findings; exit code
+// 1 when any error-severity finding (or a parse failure) is present.
+func runAnalysis(path, only string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := parser.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	hadError := false
+	for _, n := range f.Charts {
+		if only != "" && n.Name != only {
+			continue
+		}
+		findings, err := synth.Analyze(n.Chart)
+		if err != nil {
+			fatal(err)
+		}
+		if len(findings) == 0 {
+			fmt.Printf("%s: no findings\n", n.Name)
+			continue
+		}
+		for _, fd := range findings {
+			fmt.Printf("%s: %s\n", n.Name, fd)
+			if fd.Severity == synth.Error {
+				hadError = true
+			}
+		}
+	}
+	if hadError {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

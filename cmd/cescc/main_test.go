@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/synth"
+)
+
+func TestParseOptions(t *testing.T) {
+	opts, err := parseOptions("direct", "implication")
+	if err != nil || opts.Strategy != synth.StrategyDirect || opts.History != synth.HistImplication {
+		t.Errorf("defaults wrong: %+v, %v", opts, err)
+	}
+	opts, err = parseOptions("enumerate", "satisfiable")
+	if err != nil || opts.Strategy != synth.StrategyEnumerate || opts.History != synth.HistSatisfiable {
+		t.Errorf("alternates wrong: %+v, %v", opts, err)
+	}
+	if _, err := parseOptions("zap", "implication"); err == nil {
+		t.Error("bad strategy accepted")
+	}
+	if _, err := parseOptions("direct", "zap"); err == nil {
+		t.Error("bad history accepted")
+	}
+}
+
+func TestExportName(t *testing.T) {
+	cases := map[string]string{
+		"ocp_simple_read": "Ocpsimpleread",
+		"":                "Monitor",
+		"___":             "Monitor",
+		"x":               "X",
+	}
+	for in, want := range cases {
+		if got := exportName(in); got != want {
+			t.Errorf("exportName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmitArtifactFormats(t *testing.T) {
+	arts, err := core.CompileSource(`
+cesc T { scesc on clk { tick { a; } tick { b; } } }
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, emit := range []string{"table", "json", "dot", "go", "sv", "psl", "cesc"} {
+		var sb strings.Builder
+		if err := emitArtifact(&sb, arts[0], emit, "pkg", "mod"); err != nil {
+			t.Errorf("emit %s: %v", emit, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("emit %s produced nothing", emit)
+		}
+	}
+	var sb strings.Builder
+	if err := emitArtifact(&sb, arts[0], "nope", "pkg", "mod"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestEmitMultiClockArtifact(t *testing.T) {
+	arts, err := core.CompileSource(`
+cesc M {
+  async {
+    scesc L on c1 { tick { x; } }
+    scesc R on c2 { tick { y; } }
+  }
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, emit := range []string{"table", "dot", "sv", "cesc"} {
+		var sb strings.Builder
+		if err := emitArtifact(&sb, arts[0], emit, "pkg", ""); err != nil {
+			t.Errorf("multi emit %s: %v", emit, err)
+		}
+	}
+	var sb strings.Builder
+	if err := emitArtifact(&sb, arts[0], "psl", "pkg", ""); err == nil {
+		t.Error("PSL for multi-clock chart should fail")
+	}
+}

@@ -1,0 +1,256 @@
+// Command cescsim runs the bundled protocol models under the GALS
+// simulator with synthesized monitors attached — the executable form of
+// the paper's Figure 4 verification flow.
+//
+// Usage:
+//
+//	cescsim -protocol ocp-read|ocp-burst|ocp-write|ocp-handshake|amba|amba-read|gals [flags]
+//
+// Flags:
+//
+//	-cycles N       clock cycles to simulate (default 10000)
+//	-gap N          idle cycles between transactions (default 2)
+//	-wait N         slave wait states for ocp-write/ocp-handshake
+//	-fault-rate F   probability of injecting a fault per transaction
+//	-mode detect|assert
+//	-seed N         workload seed
+//	-vcd FILE       dump the observed trace as VCD
+//	-diag           print violation diagnostics (assert mode)
+//
+// Replay mode checks an externally captured waveform against a spec
+// instead of simulating:
+//
+//	cescsim -spec plan.cesc -replay waves.vcd [-mode assert] [-diag]
+//
+// (exit status 1 when any monitor records a violation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/amba"
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/mclock"
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/readproto"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/verif"
+)
+
+func main() {
+	protocol := flag.String("protocol", "ocp-read",
+		"ocp-read, ocp-burst, ocp-write, ocp-handshake, amba, amba-read, or gals")
+	cycles := flag.Int("cycles", 10000, "cycles to simulate")
+	gap := flag.Int("gap", 2, "idle cycles between transactions")
+	wait := flag.Int("wait", 2, "slave wait states for ocp-write/ocp-handshake")
+	faultRate := flag.Float64("fault-rate", 0, "fault injection probability per transaction")
+	mode := flag.String("mode", "detect", "monitor mode: detect or assert")
+	seed := flag.Int64("seed", 1, "workload seed")
+	vcd := flag.String("vcd", "", "write observed trace as VCD to this file")
+	diag := flag.Bool("diag", false, "print violation diagnostics (assert mode)")
+	spec := flag.String("spec", "", "replay mode: .cesc file whose monitors check -replay")
+	replay := flag.String("replay", "", "replay mode: VCD waveform to check against -spec")
+	flag.Parse()
+
+	if *spec != "" || *replay != "" {
+		if *spec == "" || *replay == "" {
+			fatal(fmt.Errorf("cescsim: replay mode needs both -spec and -replay"))
+		}
+		runReplay(*spec, *replay, *mode, *diag)
+		return
+	}
+
+	var mmode monitor.Mode
+	switch *mode {
+	case "detect":
+		mmode = monitor.ModeDetect
+	case "assert":
+		mmode = monitor.ModeAssert
+	default:
+		fatal(fmt.Errorf("cescsim: unknown mode %q", *mode))
+	}
+
+	switch *protocol {
+	case "ocp-read", "ocp-burst", "ocp-write", "ocp-handshake":
+		cfg := ocp.Config{
+			Gap: *gap, Seed: *seed, FaultRate: *faultRate,
+			Burst: *protocol == "ocp-burst",
+			Write: *protocol == "ocp-write" || *protocol == "ocp-handshake",
+		}
+		if *protocol == "ocp-handshake" {
+			cfg.AcceptDelay = *wait
+		}
+		runOCP(cfg, *cycles, mmode, *vcd, *diag)
+	case "amba", "amba-read":
+		cfg := amba.Config{Gap: *gap, Seed: *seed, FaultRate: *faultRate, Read: *protocol == "amba-read"}
+		runAMBA(cfg, *cycles, mmode, *vcd, *diag)
+	case "gals":
+		runGALS(*cycles, *gap, mmode, *vcd)
+	default:
+		fatal(fmt.Errorf("cescsim: unknown protocol %q", *protocol))
+	}
+}
+
+func runOCP(cfg ocp.Config, cycles int, mode monitor.Mode, vcd string, diag bool) {
+	rep, err := verif.RunOCPCampaign(cfg, cycles, mode)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("protocol=ocp burst=%v write=%v %s\n", cfg.Burst, cfg.Write, rep)
+	printDiagnostics(rep, diag)
+	maybeVCD(vcd, func() trace.Trace {
+		return ocp.NewModel(cfg).GenerateTrace(cycles)
+	})
+}
+
+func runAMBA(cfg amba.Config, cycles int, mode monitor.Mode, vcd string, diag bool) {
+	rep, err := verif.RunAMBACampaign(cfg, cycles, mode)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("protocol=amba read=%v %s\n", cfg.Read, rep)
+	printDiagnostics(rep, diag)
+	maybeVCD(vcd, func() trace.Trace {
+		return amba.NewModel(cfg).GenerateTrace(cycles)
+	})
+}
+
+func printDiagnostics(rep verif.Report, diag bool) {
+	if !diag || len(rep.Diagnostics) == 0 {
+		return
+	}
+	n := len(rep.Diagnostics)
+	if n > 3 {
+		n = 3
+	}
+	fmt.Printf("first %d violation diagnostics:\n", n)
+	for _, d := range rep.Diagnostics[:n] {
+		fmt.Print(d)
+	}
+}
+
+func runGALS(cycles, gap int, mode monitor.Mode, vcd string) {
+	s := sim.New()
+	sys, err := readproto.Build(s, 8, 2, gap)
+	if err != nil {
+		fatal(err)
+	}
+	mm, err := mclock.Synthesize(readproto.MultiClockChart(), nil)
+	if err != nil {
+		fatal(err)
+	}
+	ex := mclock.NewExec(mm, mode)
+	verif.AttachMulti(s, ex)
+	if vcd != "" {
+		s.Record(true)
+	}
+	if err := s.RunUntil(int64(cycles)); err != nil {
+		fatal(err)
+	}
+	if vcd != "" {
+		f, err := os.Create(vcd)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteGlobalVCD(f, s.Captured()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote global VCD to %s\n", vcd)
+	}
+	v := ex.Verdict()
+	fmt.Printf("protocol=gals time=%d requests=%d accepts=%d violations=%d scoreboard=%s\n",
+		s.Now(), sys.Requests, v.Accepts, v.Violations, ex.Scoreboard())
+	for i, d := range mm.Domains {
+		st := v.PerDomain[i]
+		fmt.Printf("  domain %s: steps=%d accepts=%d fallbacks=%d\n", d, st.Steps, st.Accepts, st.Fallbacks)
+	}
+}
+
+func maybeVCD(path string, gen func() trace.Trace) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteVCD(f, "cescsim", gen()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote VCD to %s\n", path)
+}
+
+// runReplay checks an externally captured waveform against every
+// single-clock chart of a .cesc spec: the VCD becomes a trace (signal
+// kinds resolved from the spec's symbols), each synthesized monitor runs
+// over it as a bank, and the per-monitor verdicts print with coverage.
+func runReplay(specPath, vcdPath, mode string, diag bool) {
+	arts, err := core.CompileFile(specPath, nil)
+	if err != nil {
+		fatal(err)
+	}
+	kinds := map[string]event.Kind{}
+	bank := verif.NewBank()
+	mmode := monitor.ModeDetect
+	if mode == "assert" {
+		mmode = monitor.ModeAssert
+	}
+	for _, a := range arts {
+		for _, sym := range chart.Symbols(a.Chart) {
+			kinds[sym.Name] = sym.Kind
+		}
+		if a.IsMultiClock() {
+			fmt.Fprintf(os.Stderr, "cescsim: skipping multi-clock chart %q in replay (single-clock VCD)\n", a.Name)
+			continue
+		}
+		bank.Add(a.Name, a.Single, mmode)
+	}
+	if bank.Len() == 0 {
+		fatal(fmt.Errorf("cescsim: no single-clock charts in %s", specPath))
+	}
+	f, err := os.Open(vcdPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadVCD(f, func(name string) event.Kind { return kinds[name] })
+	if err != nil {
+		fatal(err)
+	}
+	bank.Run(tr)
+	fmt.Printf("replayed %d cycles from %s against %s:\n", len(tr), vcdPath, specPath)
+	fmt.Print(bank.Summary())
+	if diag && bank.Failed() {
+		for _, a := range arts {
+			if a.Single == nil {
+				continue
+			}
+			eng := bank.Engine(a.Name)
+			if eng == nil {
+				continue
+			}
+			for i, d := range eng.Diagnostics() {
+				if i >= 2 {
+					break
+				}
+				fmt.Printf("%s counterexample:\n%s", a.Name, d)
+			}
+		}
+	}
+	if bank.Failed() {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command cescviz renders CESC charts from a .cesc file as ASCII art or
+// SVG — the visual side of the specification language.
+//
+// Usage:
+//
+//	cescviz [-format ascii|svg] [-chart NAME] [-o FILE] spec.cesc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/parser"
+	"repro/internal/render"
+)
+
+func main() {
+	format := flag.String("format", "ascii", "output format: ascii or svg")
+	chartName := flag.String("chart", "", "render only the named chart")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cescviz [flags] spec.cesc")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := parser.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var sb strings.Builder
+	matched := false
+	for _, n := range f.Charts {
+		if *chartName != "" && n.Name != *chartName {
+			continue
+		}
+		matched = true
+		switch *format {
+		case "ascii":
+			sb.WriteString(render.ASCIIChart(n.Chart))
+			sb.WriteByte('\n')
+		case "svg":
+			sc, ok := n.Chart.(*chart.SCESC)
+			if !ok {
+				// Render each SCESC leaf of a structured chart.
+				for _, leafChart := range chart.Leaves(n.Chart) {
+					sb.WriteString(render.SVG(leafChart))
+				}
+				continue
+			}
+			sb.WriteString(render.SVG(sc))
+		default:
+			fatal(fmt.Errorf("cescviz: unknown format %q", *format))
+		}
+	}
+	if !matched {
+		fatal(fmt.Errorf("cescviz: chart %q not found", *chartName))
+	}
+	if *out == "" {
+		fmt.Print(sb.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(sb.String()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command wave2cesc formalizes an ASCII timing diagram as a CESC chart:
+// the informal waveform the protocol documents draw becomes a
+// synthesizable .cesc specification.
+//
+//	wave2cesc [-name N] [-strict] [-props a,b] waveform.txt > spec.cesc
+//
+// The waveform format is rows of `signal : bits` with an optional clk
+// row selecting rising-edge sampling (see internal/wavein). -strict adds
+// absence markers for low signals; -props lists signals to treat as
+// propositions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/parser"
+	"repro/internal/wavein"
+)
+
+func main() {
+	name := flag.String("name", "Waveform", "chart name")
+	strict := flag.Bool("strict", false, "require absence of low signals")
+	props := flag.String("props", "", "comma-separated proposition signals")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wave2cesc [flags] waveform.txt")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	w, err := wavein.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	propSet := map[string]bool{}
+	for _, p := range strings.Split(*props, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			propSet[p] = true
+		}
+	}
+	sc, err := w.ToChart(wavein.ChartOptions{
+		Name:           *name,
+		Props:          propSet,
+		RequireAbsence: *strict,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(parser.Print(*name, sc))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Automated Synthesis of Assertion Monitors
+// using Visual Specifications" (Gadkari & Ramesh, DATE 2005): the CESC
+// visual specification language, the monitor synthesis algorithm Tr with
+// its scoreboard-based causality checks, multi-clock (GALS) monitor
+// composition, and the OCP / AMBA AHB CLI case studies.
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the cescc compiler, the cescsim simulation
+// runner and the cescviz renderer; examples/ holds runnable walkthroughs;
+// bench_test.go in this directory regenerates every figure-level
+// experiment (see EXPERIMENTS.md).
+package repro

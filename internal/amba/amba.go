@@ -1,0 +1,238 @@
+// Package amba models the AMBA AHB Cycle Level Interface (CLI)
+// master/bus transaction of the paper's Figure 8 (AHB CLI spec p. 23): a
+// write transaction whose ten interface events spread over three bus
+// cycles. As with package ocp, the model is cycle-accurate at the
+// observed interface and supports fault injection for the bug-detection
+// experiments.
+package amba
+
+import (
+	"math/rand"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// AHB CLI event names; the paper's figure numbers them 1..10.
+const (
+	EvInitTransaction = "init_transaction" // 1
+	EvMasterComplete  = "master_complete"  // 2 and 7
+	EvGetSlave        = "get_slave"        // 3
+	EvWrite           = "write"            // 4
+	EvControlInfo     = "control_info"     // 5
+	EvMasterSetData   = "master_set_data"  // 6
+	EvBusSetData      = "bus_set_data"     // 8
+	EvBusResponse     = "bus_response"     // 9
+	EvMasterResponse  = "master_response"  // 10
+)
+
+// TransactionChart builds the Fig. 8 SCESC: cycle 0 carries events 1-5
+// (transaction setup: init, complete, slave selection, write command,
+// control info), cycle 1 carries events 6-9 (data phase), cycle 2 carries
+// event 10 (master response). Causality arrows require the initiation
+// (1) and the data-set (6) to be live on the scoreboard when the closing
+// response (10) is consumed, yielding the paper's Add_evt(1), Add_evt(6)
+// and the composite Del_evt(1), Del_evt(6) reversal.
+func TransactionChart() *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: "amba_ahb_cli",
+		Clock:     "ahb_clk",
+		Instances: []string{"Master", "Bus"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvInitTransaction, Label: "e1", From: "Master", To: "Bus"},
+				{Event: EvMasterComplete, Label: "e2", From: "Master", To: "Bus"},
+				{Event: EvGetSlave, Label: "e3", From: "Bus", To: "Master"},
+				{Event: EvWrite, Label: "e4", From: "Master", To: "Bus"},
+				{Event: EvControlInfo, Label: "e5", From: "Master", To: "Bus"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvMasterSetData, Label: "e6", From: "Master", To: "Bus"},
+				{Event: EvMasterComplete, Label: "e7", From: "Master", To: "Bus"},
+				{Event: EvBusSetData, Label: "e8", From: "Bus", To: "Master"},
+				{Event: EvBusResponse, Label: "e9", From: "Bus", To: "Master"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvMasterResponse, Label: "e10", From: "Master", To: "Bus"},
+			}},
+		},
+		Arrows: []chart.Arrow{
+			{From: "e1", To: "e10"},
+			{From: "e6", To: "e10"},
+		},
+	}
+}
+
+// FaultKind enumerates injectable deviations from the AHB CLI sequence.
+type FaultKind int
+
+const (
+	// FaultNone performs the transaction correctly.
+	FaultNone FaultKind = iota
+	// FaultDropMasterResponse omits the closing master_response cycle.
+	FaultDropMasterResponse
+	// FaultDropBusResponse omits bus_response in the data phase.
+	FaultDropBusResponse
+	// FaultLateDataPhase inserts an idle cycle between setup and data.
+	FaultLateDataPhase
+	// FaultMissingControlInfo omits control_info during setup.
+	FaultMissingControlInfo
+)
+
+// String names the fault.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDropMasterResponse:
+		return "drop-master-response"
+	case FaultDropBusResponse:
+		return "drop-bus-response"
+	case FaultLateDataPhase:
+		return "late-data-phase"
+	case FaultMissingControlInfo:
+		return "missing-control-info"
+	default:
+		return "fault?"
+	}
+}
+
+// Config parameterizes the transaction generator.
+type Config struct {
+	// Gap is the number of idle bus cycles between transactions.
+	Gap int
+	// Read selects read transactions (ReadChart) instead of writes.
+	Read bool
+	// FaultRate is the probability of injecting a fault per transaction.
+	FaultRate float64
+	// FaultKinds lists faults to draw from (all kinds when empty).
+	FaultKinds []FaultKind
+	// Seed feeds the model's private PRNG.
+	Seed int64
+}
+
+// Model is an executable AHB CLI master/bus pair.
+type Model struct {
+	cfg     Config
+	rng     *rand.Rand
+	future  []event.State
+	idle    int
+	issued  int
+	faulted int
+}
+
+// NewModel returns a model for cfg.
+func NewModel(cfg Config) *Model {
+	if cfg.Gap < 0 {
+		cfg.Gap = 0
+	}
+	m := &Model{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	m.idle = 1
+	return m
+}
+
+// Issued returns the number of transactions started.
+func (m *Model) Issued() int { return m.issued }
+
+// Faulted returns the number of transactions injected with a fault.
+func (m *Model) Faulted() int { return m.faulted }
+
+func (m *Model) at(i int) event.State {
+	for len(m.future) <= i {
+		m.future = append(m.future, event.NewState())
+	}
+	return m.future[i]
+}
+
+func (m *Model) schedule(offset int, events ...string) {
+	s := m.at(offset)
+	for _, e := range events {
+		s.Events[e] = true
+	}
+}
+
+func (m *Model) pickFault() FaultKind {
+	if m.cfg.FaultRate <= 0 || m.rng.Float64() >= m.cfg.FaultRate {
+		return FaultNone
+	}
+	kinds := m.cfg.FaultKinds
+	if len(kinds) == 0 {
+		kinds = []FaultKind{
+			FaultDropMasterResponse, FaultDropBusResponse,
+			FaultLateDataPhase, FaultMissingControlInfo,
+		}
+	}
+	return kinds[m.rng.Intn(len(kinds))]
+}
+
+// startTransaction schedules one transaction and returns its cycle count.
+func (m *Model) startTransaction() int {
+	m.issued++
+	fault := m.pickFault()
+	if fault != FaultNone {
+		m.faulted++
+	}
+	if m.cfg.Read {
+		return m.startRead(fault)
+	}
+	setup := []string{EvInitTransaction, EvMasterComplete, EvGetSlave, EvWrite, EvControlInfo}
+	if fault == FaultMissingControlInfo {
+		setup = setup[:4]
+	}
+	m.schedule(0, setup...)
+	dataAt := 1
+	if fault == FaultLateDataPhase {
+		dataAt = 2
+	}
+	data := []string{EvMasterSetData, EvMasterComplete, EvBusSetData, EvBusResponse}
+	if fault == FaultDropBusResponse {
+		data = data[:3]
+	}
+	m.schedule(dataAt, data...)
+	if fault != FaultDropMasterResponse {
+		m.schedule(dataAt+1, EvMasterResponse)
+	}
+	return dataAt + 2
+}
+
+// Step produces the event state for the next bus cycle.
+func (m *Model) Step() event.State {
+	if len(m.future) == 0 && m.idle == 0 {
+		busy := m.startTransaction()
+		m.idle = busy + m.cfg.Gap
+	}
+	var out event.State
+	if len(m.future) > 0 {
+		out = m.future[0]
+		m.future = m.future[1:]
+	} else {
+		out = event.NewState()
+	}
+	if m.idle > 0 {
+		m.idle--
+	}
+	return out
+}
+
+// GenerateTrace runs the model for n cycles.
+func (m *Model) GenerateTrace(n int) trace.Trace {
+	out := make(trace.Trace, n)
+	for i := range out {
+		out[i] = m.Step()
+	}
+	return out
+}
+
+// Process adapts the model to a simulator process.
+func (m *Model) Process() sim.Process {
+	return func(ctx *sim.TickCtx) {
+		s := m.Step()
+		for e, v := range s.Events {
+			if v {
+				ctx.Emit(e)
+			}
+		}
+	}
+}

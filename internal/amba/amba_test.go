@@ -1,0 +1,149 @@
+package amba
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/synth"
+)
+
+func TestChartValidates(t *testing.T) {
+	if err := TransactionChart().Validate(); err != nil {
+		t.Fatalf("chart invalid: %v", err)
+	}
+}
+
+// TestFig8MonitorStructure is experiment E8: four states; the setup cycle
+// adds init_transaction (the paper's Add_evt(1)), the data cycle adds
+// master_set_data (Add_evt(6)), abandoning after the data phase reverses
+// init_transaction (Del_evt(1)), and leaving the final state reverses
+// both (the paper's e / (Del_evt(1), Del_evt(6))).
+func TestFig8MonitorStructure(t *testing.T) {
+	m, err := synth.Translate(TransactionChart(), &synth.Options{NameGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States != 4 || m.Final != 3 {
+		t.Fatalf("shape %d states final %d, want 4/3", m.States, m.Final)
+	}
+	adv0 := transTo(t, m, 0, 1)
+	if got := actions(adv0); len(got) != 1 || got[0] != "Add_evt(init_transaction)" {
+		t.Errorf("setup actions = %v, want [Add_evt(init_transaction)]", got)
+	}
+	adv1 := transTo(t, m, 1, 2)
+	if got := actions(adv1); len(got) != 1 || got[0] != "Add_evt(master_set_data)" {
+		t.Errorf("data-phase actions = %v, want [Add_evt(master_set_data)]", got)
+	}
+	// Closing guard checks both live scoreboard entries.
+	adv2 := transTo(t, m, 2, 3)
+	for _, chk := range []string{"Chk_evt(init_transaction)", "Chk_evt(master_set_data)"} {
+		if !strings.Contains(adv2.Guard.String(), chk) {
+			t.Errorf("closing guard %q missing %s", adv2.Guard, chk)
+		}
+	}
+	if !strings.Contains(adv2.Guard.String(), EvMasterResponse) {
+		t.Errorf("closing guard %q missing %s", adv2.Guard, EvMasterResponse)
+	}
+	// c / Del_evt(1): giving up after only the setup cycle matched.
+	back1 := transTo(t, m, 1, 0)
+	if got := actions(back1); len(got) != 1 || got[0] != "Del_evt(init_transaction)" {
+		t.Errorf("state-1 give-up actions = %v, want [Del_evt(init_transaction)]", got)
+	}
+	// Giving up after the data phase reverses both recorded adds (the
+	// paper's figure draws only Del_evt(1) here, which would leak the
+	// master_set_data entry; see EXPERIMENTS.md E8).
+	back2 := transTo(t, m, 2, 0)
+	if got := actions(back2); len(got) != 1 || got[0] != "Del_evt(init_transaction, master_set_data)" {
+		t.Errorf("state-2 give-up actions = %v, want [Del_evt(init_transaction, master_set_data)]", got)
+	}
+	// e / (Del_evt(1), Del_evt(6)): leaving the final state.
+	back3 := transTo(t, m, 3, 0)
+	if got := actions(back3); len(got) != 1 || got[0] != "Del_evt(init_transaction, master_set_data)" {
+		t.Errorf("final give-up actions = %v, want [Del_evt(init_transaction, master_set_data)]", got)
+	}
+}
+
+func transTo(t *testing.T, m *monitor.Monitor, from, to int) monitor.Transition {
+	t.Helper()
+	for _, tr := range m.Trans[from] {
+		if tr.To == to {
+			return tr
+		}
+	}
+	t.Fatalf("no transition %d -> %d in:\n%s", from, to, m)
+	return monitor.Transition{}
+}
+
+func actions(tr monitor.Transition) []string {
+	var out []string
+	for _, a := range tr.Actions {
+		out = append(out, a.String())
+	}
+	return out
+}
+
+func TestModelCleanTransactionsDetected(t *testing.T) {
+	m, err := synth.Translate(TransactionChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(Config{Gap: 2, Seed: 4})
+	tr := model.GenerateTrace(300)
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	stats := eng.Run(tr)
+	if model.Issued() < 10 {
+		t.Fatalf("model issued only %d transactions", model.Issued())
+	}
+	if stats.Accepts < model.Issued()-1 {
+		t.Errorf("accepts = %d for %d issued", stats.Accepts, model.Issued())
+	}
+}
+
+func TestFaultsSuppressWindows(t *testing.T) {
+	m, err := synth.Translate(TransactionChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []FaultKind{FaultDropMasterResponse, FaultDropBusResponse, FaultLateDataPhase, FaultMissingControlInfo} {
+		model := NewModel(Config{Gap: 2, Seed: 5, FaultRate: 1, FaultKinds: []FaultKind{kind}})
+		tr := model.GenerateTrace(300)
+		eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+		stats := eng.Run(tr)
+		if stats.Accepts != 0 {
+			t.Errorf("fault %v: %d windows detected, want 0", kind, stats.Accepts)
+		}
+	}
+}
+
+func TestAssertModeFlagsFaults(t *testing.T) {
+	m, err := synth.Translate(TransactionChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(Config{Gap: 2, Seed: 6, FaultRate: 1, FaultKinds: []FaultKind{FaultDropMasterResponse}})
+	tr := model.GenerateTrace(300)
+	eng := monitor.NewEngine(m, nil, monitor.ModeAssert)
+	stats := eng.Run(tr)
+	if stats.Violations == 0 {
+		t.Error("assert mode reported no violations for always-faulty traffic")
+	}
+}
+
+func TestFaultKindNames(t *testing.T) {
+	for _, k := range []FaultKind{FaultNone, FaultDropMasterResponse, FaultDropBusResponse, FaultLateDataPhase, FaultMissingControlInfo} {
+		if k.String() == "fault?" {
+			t.Errorf("fault kind %d unnamed", int(k))
+		}
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	a := NewModel(Config{Gap: 1, Seed: 9, FaultRate: 0.3}).GenerateTrace(120)
+	b := NewModel(Config{Gap: 1, Seed: 9, FaultRate: 0.3}).GenerateTrace(120)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at tick %d", i)
+		}
+	}
+}

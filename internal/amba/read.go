@@ -1,0 +1,67 @@
+package amba
+
+import (
+	"repro/internal/chart"
+)
+
+// ReadChart builds the AHB CLI read transaction companion to Figure 8's
+// write: the setup cycle selects the slave with a read command, the data
+// phase flows from the bus to the master, and the master closes with its
+// response. Same causality discipline as the write: the initiation and
+// the bus data-set must be live when the closing response is consumed.
+const (
+	EvRead = "read" // read command, the counterpart of EvWrite
+)
+
+// ReadChart returns the read-transaction SCESC.
+func ReadChart() *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: "amba_ahb_cli_read",
+		Clock:     "ahb_clk",
+		Instances: []string{"Master", "Bus"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvInitTransaction, Label: "e1", From: "Master", To: "Bus"},
+				{Event: EvMasterComplete, Label: "e2", From: "Master", To: "Bus"},
+				{Event: EvGetSlave, Label: "e3", From: "Bus", To: "Master"},
+				{Event: EvRead, Label: "e4", From: "Master", To: "Bus"},
+				{Event: EvControlInfo, Label: "e5", From: "Master", To: "Bus"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvBusSetData, Label: "e8", From: "Bus", To: "Master"},
+				{Event: EvMasterComplete, Label: "e7", From: "Master", To: "Bus"},
+				{Event: EvBusResponse, Label: "e9", From: "Bus", To: "Master"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvMasterResponse, Label: "e10", From: "Master", To: "Bus"},
+			}},
+		},
+		Arrows: []chart.Arrow{
+			{From: "e1", To: "e10"},
+			{From: "e8", To: "e10"},
+		},
+	}
+}
+
+// startRead schedules one read transaction (the model counterpart of
+// startTransaction's write).
+func (m *Model) startRead(fault FaultKind) int {
+	setup := []string{EvInitTransaction, EvMasterComplete, EvGetSlave, EvRead, EvControlInfo}
+	if fault == FaultMissingControlInfo {
+		setup = setup[:4]
+	}
+	m.schedule(0, setup...)
+	dataAt := 1
+	if fault == FaultLateDataPhase {
+		dataAt = 2
+	}
+	data := []string{EvBusSetData, EvMasterComplete, EvBusResponse}
+	if fault == FaultDropBusResponse {
+		data = data[:2]
+	}
+	m.schedule(dataAt, data...)
+	if fault != FaultDropMasterResponse {
+		m.schedule(dataAt+1, EvMasterResponse)
+	}
+	return dataAt + 2
+}

@@ -1,0 +1,84 @@
+package amba
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/synth"
+)
+
+func TestReadChartValidatesAndDetects(t *testing.T) {
+	if err := ReadChart().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := synth.Translate(ReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States != 4 {
+		t.Errorf("states = %d, want 4", m.States)
+	}
+	model := NewModel(Config{Gap: 2, Seed: 81, Read: true})
+	tr := model.GenerateTrace(300)
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	stats := eng.Run(tr)
+	if model.Issued() < 10 {
+		t.Fatalf("issued only %d reads", model.Issued())
+	}
+	if stats.Accepts < model.Issued()-1 {
+		t.Errorf("accepts = %d for %d reads", stats.Accepts, model.Issued())
+	}
+}
+
+func TestReadChartCausality(t *testing.T) {
+	m, err := synth.Translate(ReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closing := transTo(t, m, 2, 3)
+	for _, chk := range []string{"Chk_evt(init_transaction)", "Chk_evt(bus_set_data)"} {
+		if !strings.Contains(closing.Guard.String(), chk) {
+			t.Errorf("closing guard %q missing %s", closing.Guard, chk)
+		}
+	}
+}
+
+func TestReadWriteChartsAreDistinct(t *testing.T) {
+	// A write transaction must not satisfy the read chart (the setup
+	// cycle carries `write`, not `read`).
+	m, err := synth.Translate(ReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := NewModel(Config{Gap: 2, Seed: 82}).GenerateTrace(300)
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	if stats := eng.Run(writes); stats.Accepts != 0 {
+		t.Errorf("read monitor accepted %d write transactions", stats.Accepts)
+	}
+	// And vice versa.
+	mw, err := synth.Translate(TransactionChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := NewModel(Config{Gap: 2, Seed: 83, Read: true}).GenerateTrace(300)
+	engW := monitor.NewEngine(mw, nil, monitor.ModeDetect)
+	if stats := engW.Run(reads); stats.Accepts != 0 {
+		t.Errorf("write monitor accepted %d read transactions", stats.Accepts)
+	}
+}
+
+func TestReadFaultsSuppressWindows(t *testing.T) {
+	m, err := synth.Translate(ReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []FaultKind{FaultDropMasterResponse, FaultDropBusResponse, FaultLateDataPhase, FaultMissingControlInfo} {
+		model := NewModel(Config{Gap: 2, Seed: 84, Read: true, FaultRate: 1, FaultKinds: []FaultKind{kind}})
+		tr := model.GenerateTrace(300)
+		eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+		if stats := eng.Run(tr); stats.Accepts != 0 {
+			t.Errorf("fault %v: %d windows detected, want 0", kind, stats.Accepts)
+		}
+	}
+}

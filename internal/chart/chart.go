@@ -1,0 +1,393 @@
+// Package chart defines the abstract syntax of CESC (Clocked Event
+// Sequence Chart), the paper's visual specification language. The basic
+// chart is the SCESC — a single-clocked event sequence chart whose grid
+// lines are clock ticks carrying (possibly guarded, possibly negated)
+// events exchanged between instances, with causality arrows between
+// events. Structural constructs compose charts hierarchically:
+// sequential, synchronous parallel, alternative, loop, implication, and
+// asynchronous parallel (multi-clock) composition.
+package chart
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Chart is a CESC specification node.
+type Chart interface {
+	// Name returns the chart's (possibly empty) name.
+	Name() string
+	// Clocks returns the clock domains the chart involves, in order of
+	// first appearance.
+	Clocks() []string
+	// Validate checks well-formedness of the node and its children.
+	Validate() error
+
+	node()
+}
+
+// Unbounded marks a loop with no upper repetition bound.
+const Unbounded = -1
+
+// EventSpec is one event marker on a grid line: the paper's `e`, guarded
+// `p:e`, or crossed-out (absent) event, drawn between two instances or on
+// the chart frame (environment event).
+type EventSpec struct {
+	// Label names the occurrence for causality arrows. Empty labels
+	// default to the event name.
+	Label string
+	// Event is the event symbol that occurs (or must not, if Negated).
+	Event string
+	// Guard is an optional proposition guard (the p of p:e); nil means
+	// unguarded.
+	Guard expr.Expr
+	// Negated marks the required absence of the event at this tick.
+	Negated bool
+	// From and To are the instances between which the event is exchanged;
+	// either may be empty (e.g. a local event or an environment event).
+	From, To string
+	// Env marks an environment event drawn on the chart frame.
+	Env bool
+}
+
+// EffLabel returns the label, defaulting to the event name.
+func (e EventSpec) EffLabel() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return e.Event
+}
+
+// Expr returns the grid-line contribution of this event marker, per the
+// paper's extract_pattern: `e` -> e, `p:e` -> p & e, negated -> !e
+// (guarded negated -> !(p & e)).
+func (e EventSpec) Expr() expr.Expr {
+	base := expr.Ev(e.Event)
+	if e.Guard != nil {
+		base = expr.And(e.Guard, base)
+	}
+	if e.Negated {
+		return expr.Not(base)
+	}
+	return base
+}
+
+// String renders the marker in the paper's textual notation.
+func (e EventSpec) String() string {
+	s := e.Event
+	if e.Guard != nil {
+		s = e.Guard.String() + ":" + s
+	}
+	if e.Negated {
+		s = "!" + s
+	}
+	if e.Label != "" && e.Label != e.Event {
+		s = e.Label + "=" + s
+	}
+	return s
+}
+
+// GridLine is one clock tick of an SCESC: the set of event markers on the
+// horizontal grid line plus an optional extra condition over system
+// variables.
+type GridLine struct {
+	Events []EventSpec
+	// Cond is an optional extra condition required at this tick (nil
+	// means none).
+	Cond expr.Expr
+}
+
+// Expr returns the conjunction of all markers and the condition; an empty
+// grid line yields true (the paper's b = TRUE).
+func (g GridLine) Expr() expr.Expr {
+	terms := make([]expr.Expr, 0, len(g.Events)+1)
+	for _, e := range g.Events {
+		terms = append(terms, e.Expr())
+	}
+	if g.Cond != nil {
+		terms = append(terms, g.Cond)
+	}
+	return expr.And(terms...)
+}
+
+// Arrow is a causality arrow between two labelled events.
+type Arrow struct {
+	From, To string
+}
+
+// SCESC is a single-clocked event sequence chart: a finite pattern of
+// event occurrences over consecutive ticks of one clock.
+type SCESC struct {
+	ChartName string
+	Clock     string
+	Instances []string
+	Lines     []GridLine
+	Arrows    []Arrow
+}
+
+// Seq is sequential composition: children happen one after another.
+type Seq struct {
+	ChartName string
+	Children  []Chart
+}
+
+// Par is synchronous parallel composition: children overlay on the same
+// clock and window (the overlay's window language is the intersection of
+// the children's window languages). Pattern-shaped children of equal
+// width merge tick-by-tick; general children compose by DFA product.
+type Par struct {
+	ChartName string
+	Children  []Chart
+}
+
+// Alt is alternative composition: exactly one child happens.
+type Alt struct {
+	ChartName string
+	Children  []Chart
+}
+
+// Loop repeats Body between Min and Max times (Max = Unbounded allows any
+// number >= Min).
+type Loop struct {
+	ChartName string
+	Body      Chart
+	Min, Max  int
+}
+
+// Implies states that whenever Trigger's scenario occurs, Consequent must
+// follow within MaxDelay ticks of its completion (immediately when
+// MaxDelay is 0). The deadline form extends the paper's implication
+// construct to the bounded-response assertions common in bus protocols.
+type Implies struct {
+	ChartName           string
+	Trigger, Consequent Chart
+	// MaxDelay is the number of ticks the consequent's start may lag the
+	// trigger's completion (0 = must start on the very next tick).
+	MaxDelay int
+}
+
+// Async is asynchronous parallel composition across clock domains, with
+// optional cross-domain causality arrows between labelled events of
+// different children.
+type Async struct {
+	ChartName   string
+	Children    []Chart
+	CrossArrows []Arrow
+}
+
+func (*SCESC) node()   {}
+func (*Seq) node()     {}
+func (*Par) node()     {}
+func (*Alt) node()     {}
+func (*Loop) node()    {}
+func (*Implies) node() {}
+func (*Async) node()   {}
+
+// Name implements Chart.
+func (c *SCESC) Name() string { return c.ChartName }
+
+// Name implements Chart.
+func (c *Seq) Name() string { return c.ChartName }
+
+// Name implements Chart.
+func (c *Par) Name() string { return c.ChartName }
+
+// Name implements Chart.
+func (c *Alt) Name() string { return c.ChartName }
+
+// Name implements Chart.
+func (c *Loop) Name() string { return c.ChartName }
+
+// Name implements Chart.
+func (c *Implies) Name() string { return c.ChartName }
+
+// Name implements Chart.
+func (c *Async) Name() string { return c.ChartName }
+
+// Clocks implements Chart.
+func (c *SCESC) Clocks() []string { return []string{c.Clock} }
+
+func childClocks(children ...Chart) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, ch := range children {
+		if ch == nil {
+			continue
+		}
+		for _, ck := range ch.Clocks() {
+			if !seen[ck] {
+				seen[ck] = true
+				out = append(out, ck)
+			}
+		}
+	}
+	return out
+}
+
+// Clocks implements Chart.
+func (c *Seq) Clocks() []string { return childClocks(c.Children...) }
+
+// Clocks implements Chart.
+func (c *Par) Clocks() []string { return childClocks(c.Children...) }
+
+// Clocks implements Chart.
+func (c *Alt) Clocks() []string { return childClocks(c.Children...) }
+
+// Clocks implements Chart.
+func (c *Loop) Clocks() []string { return childClocks(c.Body) }
+
+// Clocks implements Chart.
+func (c *Implies) Clocks() []string { return childClocks(c.Trigger, c.Consequent) }
+
+// Clocks implements Chart.
+func (c *Async) Clocks() []string { return childClocks(c.Children...) }
+
+// NumTicks returns the number of grid lines (clock ticks) of the SCESC.
+func (c *SCESC) NumTicks() int { return len(c.Lines) }
+
+// LabelSite locates a labelled event within an SCESC.
+type LabelSite struct {
+	Tick  int
+	Event string
+	Spec  EventSpec
+}
+
+// Labels returns the map from effective label to site for all positive
+// (non-negated) event markers of the SCESC. Ambiguous default labels
+// (the same unlabelled event occurring on several ticks) are omitted —
+// arrows may only reference unambiguous labels (enforced by Validate).
+func (c *SCESC) Labels() map[string]LabelSite {
+	out := make(map[string]LabelSite)
+	dup := make(map[string]bool)
+	for i, line := range c.Lines {
+		for _, e := range line.Events {
+			if e.Negated {
+				continue
+			}
+			l := e.EffLabel()
+			if _, seen := out[l]; seen {
+				dup[l] = true
+				continue
+			}
+			out[l] = LabelSite{Tick: i, Event: e.Event, Spec: e}
+		}
+	}
+	for l := range dup {
+		delete(out, l)
+	}
+	return out
+}
+
+// Symbols collects every event and proposition symbol referenced by the
+// chart, name-sorted.
+func Symbols(c Chart) []event.Symbol {
+	var syms []event.Symbol
+	walk(c, func(sc *SCESC) {
+		for _, line := range sc.Lines {
+			syms = append(syms, expr.SupportSymbols(line.Expr())...)
+		}
+	})
+	sup, err := event.NewSupport(syms)
+	if err != nil {
+		// Symbol kind conflicts are caught by Validate; fall back to the
+		// raw list so callers still see something sensible.
+		return syms
+	}
+	return sup.Symbols()
+}
+
+// walk applies fn to every SCESC leaf of c, left to right.
+func walk(c Chart, fn func(*SCESC)) {
+	switch v := c.(type) {
+	case nil:
+	case *SCESC:
+		fn(v)
+	case *Seq:
+		for _, ch := range v.Children {
+			walk(ch, fn)
+		}
+	case *Par:
+		for _, ch := range v.Children {
+			walk(ch, fn)
+		}
+	case *Alt:
+		for _, ch := range v.Children {
+			walk(ch, fn)
+		}
+	case *Loop:
+		walk(v.Body, fn)
+	case *Implies:
+		walk(v.Trigger, fn)
+		walk(v.Consequent, fn)
+	case *Async:
+		for _, ch := range v.Children {
+			walk(ch, fn)
+		}
+	}
+}
+
+// Leaves returns all SCESC leaves of c in left-to-right order.
+func Leaves(c Chart) []*SCESC {
+	var out []*SCESC
+	walk(c, func(sc *SCESC) { out = append(out, sc) })
+	return out
+}
+
+// FindLabel locates a labelled event anywhere in c, returning the owning
+// SCESC and site.
+func FindLabel(c Chart, label string) (*SCESC, LabelSite, bool) {
+	var owner *SCESC
+	var site LabelSite
+	found := false
+	walk(c, func(sc *SCESC) {
+		if found {
+			return
+		}
+		if s, ok := sc.Labels()[label]; ok {
+			owner, site, found = sc, s, true
+		}
+	})
+	return owner, site, found
+}
+
+// String gives a compact structural description, e.g.
+// "seq(scesc[3]@clk1, alt(scesc[2]@clk1, scesc[1]@clk1))".
+func Describe(c Chart) string {
+	switch v := c.(type) {
+	case nil:
+		return "nil"
+	case *SCESC:
+		return fmt.Sprintf("scesc[%d]@%s", len(v.Lines), v.Clock)
+	case *Seq:
+		return "seq(" + describeList(v.Children) + ")"
+	case *Par:
+		return "par(" + describeList(v.Children) + ")"
+	case *Alt:
+		return "alt(" + describeList(v.Children) + ")"
+	case *Loop:
+		hi := "inf"
+		if v.Max != Unbounded {
+			hi = fmt.Sprint(v.Max)
+		}
+		return fmt.Sprintf("loop[%d..%s](%s)", v.Min, hi, Describe(v.Body))
+	case *Implies:
+		return "implies(" + Describe(v.Trigger) + ", " + Describe(v.Consequent) + ")"
+	case *Async:
+		return "async(" + describeList(v.Children) + ")"
+	default:
+		return fmt.Sprintf("chart(%T)", c)
+	}
+}
+
+func describeList(cs []Chart) string {
+	s := ""
+	for i, c := range cs {
+		if i > 0 {
+			s += ", "
+		}
+		s += Describe(c)
+	}
+	return s
+}

@@ -1,0 +1,354 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+func line(events ...string) GridLine {
+	var g GridLine
+	for _, e := range events {
+		g.Events = append(g.Events, EventSpec{Event: e})
+	}
+	return g
+}
+
+func simple(name, clock string, ticks ...GridLine) *SCESC {
+	return &SCESC{ChartName: name, Clock: clock, Lines: ticks}
+}
+
+func TestEventSpecExprForms(t *testing.T) {
+	cases := []struct {
+		spec EventSpec
+		want string
+	}{
+		{EventSpec{Event: "e"}, "e"},
+		{EventSpec{Event: "e", Guard: expr.Pr("p")}, "p & e"},
+		{EventSpec{Event: "e", Negated: true}, "!e"},
+		{EventSpec{Event: "e", Guard: expr.Pr("p"), Negated: true}, "!(p & e)"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.Expr().String(); got != tc.want {
+			t.Errorf("%+v -> %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestEventSpecStringAndLabel(t *testing.T) {
+	s := EventSpec{Event: "req", Guard: expr.Pr("p"), Label: "e1"}
+	if got := s.String(); got != "e1=p:req" {
+		t.Errorf("string = %q", got)
+	}
+	if s.EffLabel() != "e1" {
+		t.Error("label lost")
+	}
+	plain := EventSpec{Event: "req"}
+	if plain.EffLabel() != "req" || plain.String() != "req" {
+		t.Error("default label wrong")
+	}
+	neg := EventSpec{Event: "req", Negated: true}
+	if neg.String() != "!req" {
+		t.Errorf("negated string = %q", neg.String())
+	}
+}
+
+func TestGridLineExpr(t *testing.T) {
+	g := GridLine{
+		Events: []EventSpec{{Event: "a"}, {Event: "b", Negated: true}},
+		Cond:   expr.Pr("ready"),
+	}
+	if got := g.Expr().String(); got != "a & !b & ready" {
+		t.Errorf("line expr = %q", got)
+	}
+	if got := (GridLine{}).Expr(); !expr.Equal(got, expr.True) {
+		t.Errorf("empty line = %v", got)
+	}
+}
+
+func TestSCESCValidate(t *testing.T) {
+	ok := simple("ok", "clk", line("a"), line("b"))
+	ok.Arrows = []Arrow{{From: "a", To: "b"}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid chart rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		sc   *SCESC
+		want string
+	}{
+		{"no lines", simple("x", "clk"), "grid line"},
+		{"no clock", simple("x", "", line("a")), "clock"},
+		{"empty event", &SCESC{ChartName: "x", Clock: "c", Lines: []GridLine{{Events: []EventSpec{{}}}}}, "empty event"},
+		{"dup instance", &SCESC{ChartName: "x", Clock: "c", Instances: []string{"A", "A"}, Lines: []GridLine{line("a")}}, "duplicate instance"},
+		{"empty instance", &SCESC{ChartName: "x", Clock: "c", Instances: []string{""}, Lines: []GridLine{line("a")}}, "empty instance"},
+		{"unknown instance", &SCESC{ChartName: "x", Clock: "c", Lines: []GridLine{{Events: []EventSpec{{Event: "a", From: "Ghost"}}}}}, "undeclared instance"},
+		{"pos and neg", &SCESC{ChartName: "x", Clock: "c", Lines: []GridLine{{Events: []EventSpec{{Event: "a"}, {Event: "a", Negated: true}}}}}, "required and forbidden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSCESCValidateArrows(t *testing.T) {
+	sc := simple("x", "clk", line("a"), line("b"))
+	sc.Arrows = []Arrow{{From: "zz", To: "b"}}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "unknown label") {
+		t.Errorf("unknown source: %v", err)
+	}
+	sc.Arrows = []Arrow{{From: "a", To: "zz"}}
+	if err := sc.Validate(); err == nil {
+		t.Error("unknown target accepted")
+	}
+	sc.Arrows = []Arrow{{From: "b", To: "a"}}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "forward") {
+		t.Errorf("backward arrow: %v", err)
+	}
+	same := simple("x", "clk", line("a", "b"))
+	same.Arrows = []Arrow{{From: "a", To: "b"}}
+	if err := same.Validate(); err == nil {
+		t.Error("same-tick arrow accepted")
+	}
+}
+
+func TestDuplicateLabelRejected(t *testing.T) {
+	sc := &SCESC{ChartName: "x", Clock: "c", Lines: []GridLine{
+		{Events: []EventSpec{{Event: "a", Label: "l"}}},
+		{Events: []EventSpec{{Event: "b", Label: "l"}}},
+	}}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "label") {
+		t.Errorf("duplicate label: %v", err)
+	}
+}
+
+func TestSymbolKindConflictRejected(t *testing.T) {
+	sc := &SCESC{ChartName: "x", Clock: "c", Lines: []GridLine{
+		{Events: []EventSpec{{Event: "sig"}}},
+		{Cond: expr.Pr("sig")},
+	}}
+	if err := sc.Validate(); err == nil {
+		t.Error("event/prop kind conflict accepted")
+	}
+}
+
+func TestLabelsSkipNegated(t *testing.T) {
+	sc := &SCESC{ChartName: "x", Clock: "c", Lines: []GridLine{
+		{Events: []EventSpec{{Event: "a", Label: "e1"}, {Event: "n", Negated: true}}},
+		{Events: []EventSpec{{Event: "b"}}},
+	}}
+	ls := sc.Labels()
+	if len(ls) != 2 {
+		t.Fatalf("labels = %v", ls)
+	}
+	if ls["e1"].Tick != 0 || ls["e1"].Event != "a" {
+		t.Errorf("e1 site = %+v", ls["e1"])
+	}
+	if _, ok := ls["n"]; ok {
+		t.Error("negated event labelled")
+	}
+}
+
+func compositeChart() Chart {
+	a := simple("a", "clk", line("x"))
+	b := simple("b", "clk", line("y"), line("z"))
+	return &Seq{ChartName: "top", Children: []Chart{
+		a,
+		&Alt{ChartName: "alt", Children: []Chart{b, simple("c", "clk", line("w"))}},
+		&Loop{ChartName: "loop", Body: simple("d", "clk", line("v")), Min: 1, Max: 2},
+	}}
+}
+
+func TestCompositeValidateAndClocks(t *testing.T) {
+	c := compositeChart()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("composite invalid: %v", err)
+	}
+	if cl := c.Clocks(); len(cl) != 1 || cl[0] != "clk" {
+		t.Errorf("clocks = %v", cl)
+	}
+	leaves := Leaves(c)
+	if len(leaves) != 4 {
+		t.Errorf("leaves = %d, want 4", len(leaves))
+	}
+	if got := Describe(c); got != "seq(scesc[1]@clk, alt(scesc[2]@clk, scesc[1]@clk), loop[1..2](scesc[1]@clk))" {
+		t.Errorf("describe = %q", got)
+	}
+}
+
+func TestValidateStructuralErrors(t *testing.T) {
+	if err := (&Seq{ChartName: "s"}).Validate(); err == nil {
+		t.Error("empty seq accepted")
+	}
+	if err := (&Alt{ChartName: "a", Children: []Chart{simple("x", "c", line("e"))}}).Validate(); err == nil {
+		t.Error("single-child alt accepted")
+	}
+	if err := (&Par{ChartName: "p", Children: []Chart{simple("x", "c", line("e")), nil}}).Validate(); err == nil {
+		t.Error("nil child accepted")
+	}
+	mixed := &Seq{ChartName: "m", Children: []Chart{
+		simple("x", "clk1", line("e")),
+		simple("y", "clk2", line("f")),
+	}}
+	if err := mixed.Validate(); err == nil || !strings.Contains(err.Error(), "one clock") {
+		t.Errorf("mixed clocks in seq: %v", err)
+	}
+	if err := (&Loop{ChartName: "l", Body: simple("x", "c", line("e")), Min: -1}).Validate(); err == nil {
+		t.Error("negative min accepted")
+	}
+	if err := (&Loop{ChartName: "l", Body: simple("x", "c", line("e")), Min: 3, Max: 2}).Validate(); err == nil {
+		t.Error("max < min accepted")
+	}
+	if err := (&Loop{ChartName: "l"}).Validate(); err == nil {
+		t.Error("nil loop body accepted")
+	}
+	if err := (&Implies{ChartName: "i", Trigger: simple("x", "c", line("e"))}).Validate(); err == nil {
+		t.Error("nil consequent accepted")
+	}
+}
+
+func TestAsyncValidate(t *testing.T) {
+	l := simple("l", "clk1", line("x"))
+	l.Lines[0].Events[0].Label = "e1"
+	r := simple("r", "clk2", line("y"))
+	r.Lines[0].Events[0].Label = "e2"
+	a := &Async{ChartName: "a", Children: []Chart{l, r},
+		CrossArrows: []Arrow{{From: "e1", To: "e2"}}}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("valid async rejected: %v", err)
+	}
+	// Shared clock.
+	bad := &Async{ChartName: "b", Children: []Chart{
+		simple("l", "clk1", line("x")), simple("r", "clk1", line("y")),
+	}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "share clock") {
+		t.Errorf("shared clock: %v", err)
+	}
+	// Bad cross arrow endpoints.
+	a.CrossArrows = []Arrow{{From: "zz", To: "e2"}}
+	if err := a.Validate(); err == nil {
+		t.Error("unknown cross source accepted")
+	}
+	a.CrossArrows = []Arrow{{From: "e1", To: "zz"}}
+	if err := a.Validate(); err == nil {
+		t.Error("unknown cross target accepted")
+	}
+	// Intra-child cross arrow.
+	l2 := simple("l2", "clk1", line("x"), line("w"))
+	l2.Lines[0].Events[0].Label = "p"
+	l2.Lines[1].Events[0].Label = "q"
+	a2 := &Async{ChartName: "a2", Children: []Chart{l2, r},
+		CrossArrows: []Arrow{{From: "p", To: "q"}}}
+	if err := a2.Validate(); err == nil || !strings.Contains(err.Error(), "within child") {
+		t.Errorf("intra-child cross arrow: %v", err)
+	}
+}
+
+func TestSymbolsCollection(t *testing.T) {
+	sc := &SCESC{ChartName: "x", Clock: "c", Lines: []GridLine{
+		{Events: []EventSpec{{Event: "b"}, {Event: "a", Guard: expr.Pr("p")}}},
+	}}
+	syms := Symbols(sc)
+	if len(syms) != 3 {
+		t.Fatalf("symbols = %v", syms)
+	}
+	if syms[0].Name != "a" || syms[2].Kind != event.KindProp {
+		t.Errorf("symbols = %v", syms)
+	}
+}
+
+func TestFindLabel(t *testing.T) {
+	c := compositeChart()
+	sc, site, ok := FindLabel(c, "y")
+	if !ok || sc.ChartName != "b" || site.Tick != 0 {
+		t.Errorf("FindLabel(y) = %v, %+v, %v", sc, site, ok)
+	}
+	if _, _, ok := FindLabel(c, "nothing"); ok {
+		t.Error("found nonexistent label")
+	}
+}
+
+func TestDescribeVariants(t *testing.T) {
+	if Describe(nil) != "nil" {
+		t.Error("nil describe")
+	}
+	u := &Loop{Body: simple("x", "c", line("e")), Min: 0, Max: Unbounded}
+	if got := Describe(u); got != "loop[0..inf](scesc[1]@c)" {
+		t.Errorf("unbounded describe = %q", got)
+	}
+	imp := &Implies{Trigger: simple("t", "c", line("a")), Consequent: simple("q", "c", line("b"))}
+	if got := Describe(imp); !strings.HasPrefix(got, "implies(") {
+		t.Errorf("implies describe = %q", got)
+	}
+	as := &Async{Children: []Chart{simple("l", "c1", line("a")), simple("r", "c2", line("b"))}}
+	if got := Describe(as); !strings.HasPrefix(got, "async(") {
+		t.Errorf("async describe = %q", got)
+	}
+	pr := &Par{Children: []Chart{simple("l", "c", line("a")), simple("r", "c", line("b"))}}
+	if got := Describe(pr); !strings.HasPrefix(got, "par(") {
+		t.Errorf("par describe = %q", got)
+	}
+}
+
+func TestNumTicksAndNames(t *testing.T) {
+	sc := simple("named", "clk", line("a"), line("b"), line("c"))
+	if sc.NumTicks() != 3 {
+		t.Error("tick count wrong")
+	}
+	charts := []Chart{
+		sc,
+		&Seq{ChartName: "s"}, &Par{ChartName: "p"}, &Alt{ChartName: "a"},
+		&Loop{ChartName: "l"}, &Implies{ChartName: "i"}, &Async{ChartName: "y"},
+	}
+	wantNames := []string{"named", "s", "p", "a", "l", "i", "y"}
+	for i, c := range charts {
+		if c.Name() != wantNames[i] {
+			t.Errorf("name %d = %q, want %q", i, c.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestDefaultLabelAmbiguity(t *testing.T) {
+	// The same unlabelled event on several ticks is fine...
+	sc := simple("rep", "clk", line("beat"), line("beat"), line("beat"))
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("repeated unlabelled event rejected: %v", err)
+	}
+	// ...until an arrow references the ambiguous default label.
+	sc.Arrows = []Arrow{{From: "beat", To: "beat"}}
+	err := sc.Validate()
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous arrow reference: %v", err)
+	}
+	// Explicit labels resolve it.
+	sc.Lines[0].Events[0].Label = "b0"
+	sc.Lines[2].Events[0].Label = "b2"
+	sc.Arrows = []Arrow{{From: "b0", To: "b2"}}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("explicitly labelled arrow rejected: %v", err)
+	}
+	// With explicit labels on ticks 0 and 2, the default label "beat"
+	// now names only the tick-1 occurrence and is exposed again.
+	ls := sc.Labels()
+	if ls["beat"].Tick != 1 {
+		t.Errorf("disambiguated default label wrong: %+v", ls["beat"])
+	}
+	if ls["b0"].Tick != 0 || ls["b2"].Tick != 2 {
+		t.Errorf("explicit labels wrong: %v", ls)
+	}
+	// While all three are unlabelled, the default is ambiguous and
+	// omitted from Labels().
+	amb := simple("amb", "clk", line("beat"), line("beat"))
+	if _, ok := amb.Labels()["beat"]; ok {
+		t.Error("ambiguous default label exposed")
+	}
+}

@@ -1,0 +1,242 @@
+package chart
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Validate implements Chart. An SCESC is well-formed when it has at least
+// one grid line on a named clock, instance references resolve, labels of
+// positive events are unique, no event is both required and forbidden at
+// the same tick, and every causality arrow points strictly forward in
+// time between existing labels.
+func (c *SCESC) Validate() error {
+	if len(c.Lines) == 0 {
+		return fmt.Errorf("chart %q: SCESC must have at least one grid line", c.ChartName)
+	}
+	if c.Clock == "" {
+		return fmt.Errorf("chart %q: SCESC must name its clock", c.ChartName)
+	}
+	inst := make(map[string]bool, len(c.Instances))
+	for _, in := range c.Instances {
+		if in == "" {
+			return fmt.Errorf("chart %q: empty instance name", c.ChartName)
+		}
+		if inst[in] {
+			return fmt.Errorf("chart %q: duplicate instance %q", c.ChartName, in)
+		}
+		inst[in] = true
+	}
+	// Explicit labels must be unique. Default labels (the event name)
+	// may repeat across ticks — an event occurring several times is
+	// normal — but an arrow may only reference an unambiguous label.
+	explicit := make(map[string]int)
+	counts := make(map[string]int)
+	ticks := make(map[string]int)
+	for i, line := range c.Lines {
+		pos := make(map[string]bool)
+		neg := make(map[string]bool)
+		for _, e := range line.Events {
+			if e.Event == "" {
+				return fmt.Errorf("chart %q: tick %d: event marker with empty event name", c.ChartName, i)
+			}
+			for _, end := range []string{e.From, e.To} {
+				if end != "" && !inst[end] && !e.Env {
+					return fmt.Errorf("chart %q: tick %d: event %q references undeclared instance %q",
+						c.ChartName, i, e.Event, end)
+				}
+			}
+			if e.Negated {
+				neg[e.Event] = true
+				continue
+			}
+			pos[e.Event] = true
+			l := e.EffLabel()
+			if e.Label != "" {
+				if prev, ok := explicit[l]; ok {
+					return fmt.Errorf("chart %q: label %q at tick %d already used at tick %d",
+						c.ChartName, l, i, prev)
+				}
+				explicit[l] = i
+			}
+			counts[l]++
+			ticks[l] = i
+		}
+		for ev := range neg {
+			if pos[ev] {
+				return fmt.Errorf("chart %q: tick %d: event %q both required and forbidden",
+					c.ChartName, i, ev)
+			}
+		}
+	}
+	resolve := func(label string) (int, error) {
+		n, ok := counts[label]
+		if !ok {
+			return 0, fmt.Errorf("chart %q: arrow references unknown label %q", c.ChartName, label)
+		}
+		if n > 1 {
+			return 0, fmt.Errorf("chart %q: arrow references ambiguous label %q (%d occurrences; give the occurrence an explicit label)",
+				c.ChartName, label, n)
+		}
+		return ticks[label], nil
+	}
+	for _, a := range c.Arrows {
+		ft, err := resolve(a.From)
+		if err != nil {
+			return err
+		}
+		tt, err := resolve(a.To)
+		if err != nil {
+			return err
+		}
+		if ft >= tt {
+			return fmt.Errorf("chart %q: arrow %s -> %s must point forward in time (tick %d -> %d)",
+				c.ChartName, a.From, a.To, ft, tt)
+		}
+	}
+	if err := c.checkSymbolKinds(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkSymbolKinds rejects a name used both as event and proposition.
+func (c *SCESC) checkSymbolKinds() error {
+	var syms []event.Symbol
+	for _, line := range c.Lines {
+		syms = append(syms, expr.SupportSymbols(line.Expr())...)
+	}
+	if _, err := event.NewSupport(syms); err != nil {
+		return fmt.Errorf("chart %q: %w", c.ChartName, err)
+	}
+	return nil
+}
+
+func validateChildren(name, kind string, children []Chart, min int) error {
+	if len(children) < min {
+		return fmt.Errorf("chart %q: %s needs at least %d children, have %d",
+			name, kind, min, len(children))
+	}
+	for i, ch := range children {
+		if ch == nil {
+			return fmt.Errorf("chart %q: %s child %d is nil", name, kind, i)
+		}
+		if err := ch.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func requireSingleClock(name, kind string, children []Chart) error {
+	clocks := childClocks(children...)
+	if len(clocks) > 1 {
+		return fmt.Errorf("chart %q: %s children must share one clock, found %v",
+			name, kind, clocks)
+	}
+	return nil
+}
+
+// Validate implements Chart.
+func (c *Seq) Validate() error {
+	if err := validateChildren(c.ChartName, "seq", c.Children, 1); err != nil {
+		return err
+	}
+	return requireSingleClock(c.ChartName, "seq", c.Children)
+}
+
+// Validate implements Chart. Synchronous parallel children must share the
+// clock and have equal tick counts so the overlay is defined.
+func (c *Par) Validate() error {
+	if err := validateChildren(c.ChartName, "par", c.Children, 2); err != nil {
+		return err
+	}
+	return requireSingleClock(c.ChartName, "par", c.Children)
+}
+
+// Validate implements Chart.
+func (c *Alt) Validate() error {
+	if err := validateChildren(c.ChartName, "alt", c.Children, 2); err != nil {
+		return err
+	}
+	return requireSingleClock(c.ChartName, "alt", c.Children)
+}
+
+// Validate implements Chart.
+func (c *Loop) Validate() error {
+	if c.Body == nil {
+		return fmt.Errorf("chart %q: loop body is nil", c.ChartName)
+	}
+	if err := c.Body.Validate(); err != nil {
+		return err
+	}
+	if c.Min < 0 {
+		return fmt.Errorf("chart %q: loop min %d must be >= 0", c.ChartName, c.Min)
+	}
+	if c.Max != Unbounded && c.Max < c.Min {
+		return fmt.Errorf("chart %q: loop max %d < min %d", c.ChartName, c.Max, c.Min)
+	}
+	return nil
+}
+
+// Validate implements Chart.
+func (c *Implies) Validate() error {
+	if c.Trigger == nil || c.Consequent == nil {
+		return fmt.Errorf("chart %q: implies needs trigger and consequent", c.ChartName)
+	}
+	if c.MaxDelay < 0 {
+		return fmt.Errorf("chart %q: implies max delay %d must be >= 0", c.ChartName, c.MaxDelay)
+	}
+	if err := c.Trigger.Validate(); err != nil {
+		return err
+	}
+	if err := c.Consequent.Validate(); err != nil {
+		return err
+	}
+	return requireSingleClock(c.ChartName, "implies", []Chart{c.Trigger, c.Consequent})
+}
+
+// Validate implements Chart. Asynchronous children must occupy pairwise
+// disjoint clock domains; cross arrows must connect labels in different
+// children.
+func (c *Async) Validate() error {
+	if err := validateChildren(c.ChartName, "async", c.Children, 2); err != nil {
+		return err
+	}
+	seen := make(map[string]int)
+	for i, ch := range c.Children {
+		for _, ck := range ch.Clocks() {
+			if j, ok := seen[ck]; ok {
+				return fmt.Errorf("chart %q: async children %d and %d share clock %q",
+					c.ChartName, j, i, ck)
+			}
+			seen[ck] = i
+		}
+	}
+	for _, a := range c.CrossArrows {
+		fi := c.childOfLabel(a.From)
+		ti := c.childOfLabel(a.To)
+		if fi < 0 {
+			return fmt.Errorf("chart %q: cross arrow references unknown label %q", c.ChartName, a.From)
+		}
+		if ti < 0 {
+			return fmt.Errorf("chart %q: cross arrow references unknown label %q", c.ChartName, a.To)
+		}
+		if fi == ti {
+			return fmt.Errorf("chart %q: cross arrow %s -> %s stays within child %d; use an SCESC arrow",
+				c.ChartName, a.From, a.To, fi)
+		}
+	}
+	return nil
+}
+
+func (c *Async) childOfLabel(label string) int {
+	for i, ch := range c.Children {
+		if _, _, ok := FindLabel(ch, label); ok {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,104 @@
+// Package codegen emits synthesized monitors in downstream formats: DOT
+// graphs for documentation, standalone Go checker source, and a
+// SystemVerilog checker module in the style of the simulation monitors
+// the paper's flow would plug into an HDL testbench. This closes the
+// "automated synthesis of checkers and monitors" box of Figure 4.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// DOT renders the monitor as a Graphviz digraph. Guard legend names are
+// used when present; accepting states are double circles, the violation
+// state is a red box.
+func DOT(m *monitor.Monitor) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeIdent(m.Name))
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	for s := 0; s < m.States; s++ {
+		attrs := []string{fmt.Sprintf("label=\"%d\"", s)}
+		if m.IsFinal(s) {
+			attrs = append(attrs, "shape=doublecircle")
+		}
+		if s == m.Violation {
+			attrs = append(attrs, "shape=box", "color=red")
+		}
+		if s == m.Initial {
+			attrs = append(attrs, "style=bold")
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", s, strings.Join(attrs, ", "))
+	}
+	for s := 0; s < m.States; s++ {
+		for _, t := range m.Trans[s] {
+			label := guardLabel(m, t.Guard)
+			for _, a := range t.Actions {
+				label += " / " + a.String()
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", s, t.To, label)
+		}
+	}
+	if legend := m.GuardLegend(); len(legend) > 0 {
+		fmt.Fprintf(&b, "  legend [shape=note, label=%q];\n", strings.Join(legend, "\\n"))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func guardLabel(m *monitor.Monitor, g expr.Expr) string {
+	if name, ok := m.GuardNames[g.String()]; ok {
+		return name
+	}
+	return g.String()
+}
+
+func sanitizeIdent(s string) string {
+	if s == "" {
+		return "monitor"
+	}
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r == '_' || ('a' <= r && r <= 'z') || ('A' <= r && r <= 'Z'):
+			b.WriteRune(r)
+		case '0' <= r && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// symbols gathers the monitor's input symbols plus scoreboard events.
+func symbols(m *monitor.Monitor) (inputs []event.Symbol, sbEvents []string) {
+	sup, err := m.Support()
+	if err == nil {
+		inputs = sup.Symbols()
+	}
+	seen := map[string]bool{}
+	for _, ts := range m.Trans {
+		for _, t := range ts {
+			for _, e := range expr.ChkRefs(t.Guard) {
+				seen[e] = true
+			}
+			for _, a := range t.Actions {
+				for _, e := range a.Events {
+					seen[e] = true
+				}
+			}
+		}
+	}
+	for e := range seen {
+		sbEvents = append(sbEvents, e)
+	}
+	sort.Strings(sbEvents)
+	return inputs, sbEvents
+}

@@ -1,0 +1,185 @@
+package codegen
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/synth"
+	"repro/internal/verif"
+)
+
+func impliesChart() *chart.Implies {
+	leaf := func(name, ev string) *chart.SCESC {
+		return &chart.SCESC{ChartName: name, Clock: "clk", Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{{Event: ev}}},
+		}}
+	}
+	return &chart.Implies{ChartName: "imp", Trigger: leaf("t", "req"), Consequent: leaf("c", "ack")}
+}
+
+func fig6Monitor(t *testing.T) *monitor.Monitor {
+	t.Helper()
+	m, err := synth.Translate(ocp.SimpleReadChart(), &synth.Options{NameGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDOTOutput(t *testing.T) {
+	m := fig6Monitor(t)
+	dot := DOT(m)
+	for _, want := range []string{
+		"digraph", "rankdir=LR", "doublecircle", "n0 -> n1", "Add_evt(MCmd_rd)", "legend",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTViolationState(t *testing.T) {
+	m := monitor.New("v", "clk", 3)
+	m.Violation = 2
+	dot := DOT(m)
+	if !strings.Contains(dot, "color=red") {
+		t.Error("violation state not highlighted")
+	}
+}
+
+func TestGoSourceParses(t *testing.T) {
+	m := fig6Monitor(t)
+	src := GoSource(m, "checker", "OCPRead")
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("generated Go does not parse: %v\n%s", err, src)
+	}
+	for _, want := range []string{
+		"package checker", "type OCPRead struct", "func NewOCPRead()",
+		"func (m *OCPRead) Step(in map[string]bool) bool",
+		`m.add("MCmd_rd")`, `m.chk("MCmd_rd")`,
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated Go missing %q", want)
+		}
+	}
+	// Defaults.
+	src2 := GoSource(m, "", "")
+	if !strings.Contains(src2, "package checker") || !strings.Contains(src2, "type Monitor struct") {
+		t.Error("default names not applied")
+	}
+}
+
+// TestGoSourceBehavioralParity compiles and runs the generated checker
+// with `go run` and compares its accept ticks against the engine on the
+// same OCP trace.
+func TestGoSourceBehavioralParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run parity in short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	m := fig6Monitor(t)
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 21, FaultRate: 0.3}).GenerateTrace(120)
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	want := verif.EngineAcceptTicks(eng, tr)
+
+	dir := t.TempDir()
+	src := GoSource(m, "main", "Checker")
+	var mainSrc strings.Builder
+	mainSrc.WriteString(src)
+	mainSrc.WriteString("\nfunc main() {\n\tm := NewChecker()\n\ttrace := []map[string]bool{\n")
+	for _, s := range tr {
+		mainSrc.WriteString("\t\t{")
+		for e, v := range s.Events {
+			if v {
+				fmt.Fprintf(&mainSrc, "%q: true, ", e)
+			}
+		}
+		mainSrc.WriteString("},\n")
+	}
+	mainSrc.WriteString("\t}\n\tfor i, in := range trace {\n\t\tif m.Step(in) {\n\t\t\tprintln(i)\n\t\t}\n\t}\n}\n")
+	path := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(path, []byte(mainSrc.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", path)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GO111MODULE=off")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s", err, out)
+	}
+	var got []int
+	for _, line := range strings.Fields(string(out)) {
+		n := 0
+		for _, c := range line {
+			n = n*10 + int(c-'0')
+		}
+		got = append(got, n)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("generated checker accepts %v, engine %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("generated checker accepts %v, engine %v", got, want)
+		}
+	}
+}
+
+func TestSystemVerilogOutput(t *testing.T) {
+	m := fig6Monitor(t)
+	sv := SystemVerilog(m, "ocp_read_chk")
+	for _, want := range []string{
+		"module ocp_read_chk", "input  logic clk", "input  logic MCmd_rd",
+		"output logic accept", "always_ff @(posedge clk", "sb_MCmd_rd <= sb_MCmd_rd + 1",
+		"sb_MCmd_rd <= sb_MCmd_rd - 1", "(sb_MCmd_rd > 0)", "endmodule",
+	} {
+		if !strings.Contains(sv, want) {
+			t.Errorf("SV missing %q:\n%s", want, sv)
+		}
+	}
+	// Default module name.
+	if !strings.Contains(SystemVerilog(m, ""), "module cesc_monitor") {
+		t.Error("default module name missing")
+	}
+}
+
+func TestSystemVerilogViolation(t *testing.T) {
+	imp, err := synth.Synthesize(impliesChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := SystemVerilog(imp, "imp")
+	if !strings.Contains(sv, "violation <= 1'b1") {
+		t.Error("violation pulse missing")
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"ok_name":  "ok_name",
+		"with-dot": "with_dot",
+		"9lead":    "_lead",
+		"":         "monitor",
+		"a.b.c":    "a_b_c",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func mustProp(name string) expr.Expr { return expr.Pr(name) }

@@ -1,0 +1,171 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/expr"
+)
+
+// PSL renders a chart as a PSL (IEEE 1850 / Accellera Sugar) property —
+// the textual-temporal route the paper contrasts CESC against. Window
+// languages become SEREs (Sequential Extended Regular Expressions):
+//
+//	SCESC             {e0; e1; ...}        one boolean per clock tick
+//	seq               concatenation        {A; B}
+//	alt               SERE alternation     {A | B}
+//	par               length-matched and   {A && B}
+//	loop [m,n]        repetition           {A}[*m:n]  ([*m:$] unbounded)
+//	implies           suffix implication   always {T} |=> {C}
+//
+// Non-implication charts are wrapped as `cover` directives (scenario
+// detection); implications become `assert always` (the checker form).
+//
+// Asynchronous (multi-clock) charts are rejected: PSL properties are
+// clocked by a single clock, which is precisely the gap CESC's
+// asynchronous composition fills (paper, Section 2).
+func PSL(name string, c chart.Chart) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	switch v := c.(type) {
+	case *chart.Async:
+		return "", fmt.Errorf("codegen: chart %q is multi-clock; PSL has no asynchronous composition (use the CESC monitor)", name)
+	case *chart.Implies:
+		trig, err := sere(v.Trigger)
+		if err != nil {
+			return "", err
+		}
+		cons, err := sere(v.Consequent)
+		if err != nil {
+			return "", err
+		}
+		if v.MaxDelay > 0 {
+			cons = fmt.Sprintf("{[*0:%d]; %s}", v.MaxDelay, cons)
+		}
+		return fmt.Sprintf("// generated from CESC chart %q\n%s: assert always %s |=> %s @(posedge %s);\n",
+			name, pslIdent(name), trig, cons, clockName(c)), nil
+	default:
+		s, err := sere(c)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("// generated from CESC chart %q\n%s: cover %s @(posedge %s);\n",
+			name, pslIdent(name), s, clockName(c)), nil
+	}
+}
+
+func clockName(c chart.Chart) string {
+	if cks := c.Clocks(); len(cks) > 0 {
+		return cks[0]
+	}
+	return "clk"
+}
+
+// sere builds the SERE for a window-language chart.
+func sere(c chart.Chart) (string, error) {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		terms := make([]string, len(v.Lines))
+		for i, line := range v.Lines {
+			terms[i] = pslBool(line.Expr())
+		}
+		return "{" + strings.Join(terms, "; ") + "}", nil
+	case *chart.Seq:
+		parts := make([]string, 0, len(v.Children))
+		for _, ch := range v.Children {
+			s, err := sere(ch)
+			if err != nil {
+				return "", err
+			}
+			// Inline plain element lists; keep grouped SEREs braced.
+			if _, plain := ch.(*chart.SCESC); plain {
+				s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+			}
+			parts = append(parts, s)
+		}
+		return "{" + strings.Join(parts, "; ") + "}", nil
+	case *chart.Alt:
+		parts := make([]string, 0, len(v.Children))
+		for _, ch := range v.Children {
+			s, err := sere(ch)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, s)
+		}
+		return "{" + strings.Join(parts, " | ") + "}", nil
+	case *chart.Par:
+		parts := make([]string, 0, len(v.Children))
+		for _, ch := range v.Children {
+			s, err := sere(ch)
+			if err != nil {
+				return "", err
+			}
+			parts = append(parts, s)
+		}
+		return "{" + strings.Join(parts, " && ") + "}", nil
+	case *chart.Loop:
+		body, err := sere(v.Body)
+		if err != nil {
+			return "", err
+		}
+		hi := "$"
+		if v.Max != chart.Unbounded {
+			hi = fmt.Sprint(v.Max)
+		}
+		return fmt.Sprintf("{%s[*%d:%s]}", body, v.Min, hi), nil
+	case *chart.Implies:
+		return "", fmt.Errorf("codegen: implication cannot nest inside a SERE; restructure the chart")
+	case *chart.Async:
+		return "", fmt.Errorf("codegen: asynchronous composition cannot appear inside a SERE")
+	default:
+		return "", fmt.Errorf("codegen: unsupported chart node %T", c)
+	}
+}
+
+// pslBool renders a guard expression in PSL's boolean layer.
+func pslBool(e expr.Expr) string {
+	switch v := e.(type) {
+	case expr.EventRef:
+		return v.Name
+	case expr.PropRef:
+		return v.Name
+	case expr.ChkExpr:
+		// Scoreboard predicates have no PSL counterpart; the causality
+		// they check is implied by the SERE's tick ordering within one
+		// window.
+		return "1'b1"
+	case expr.NotExpr:
+		return "!" + pslParen(v.X)
+	case expr.AndExpr:
+		parts := make([]string, len(v.Xs))
+		for i, x := range v.Xs {
+			parts[i] = pslParen(x)
+		}
+		return strings.Join(parts, " && ")
+	case expr.OrExpr:
+		parts := make([]string, len(v.Xs))
+		for i, x := range v.Xs {
+			parts[i] = pslParen(x)
+		}
+		return strings.Join(parts, " || ")
+	default:
+		if expr.Equal(e, expr.True) {
+			return "1'b1"
+		}
+		return "1'b0"
+	}
+}
+
+func pslParen(e expr.Expr) string {
+	switch e.(type) {
+	case expr.AndExpr, expr.OrExpr:
+		return "(" + pslBool(e) + ")"
+	default:
+		return pslBool(e)
+	}
+}
+
+func pslIdent(s string) string { return sanitizeIdent(strings.ToLower(s)) }

@@ -1,0 +1,129 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/ocp"
+	"repro/internal/readproto"
+)
+
+func TestPSLSimpleRead(t *testing.T) {
+	out, err := PSL("OcpSimpleRead", ocp.SimpleReadChart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"ocpsimpleread: cover {",
+		"MCmd_rd && Addr && SCmd_accept",
+		"SResp && SData",
+		"@(posedge ocp_clk);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PSL missing %q:\n%s", want, out)
+		}
+	}
+	// Window causality is implied by the SERE's tick order: no Chk refs
+	// leak through.
+	if strings.Contains(out, "Chk_evt") {
+		t.Errorf("scoreboard predicate leaked into PSL:\n%s", out)
+	}
+}
+
+func TestPSLStructural(t *testing.T) {
+	mk := func(name string, evs ...string) *chart.SCESC {
+		sc := &chart.SCESC{ChartName: name, Clock: "clk"}
+		for _, e := range evs {
+			sc.Lines = append(sc.Lines, chart.GridLine{Events: []chart.EventSpec{{Event: e}}})
+		}
+		return sc
+	}
+	c := &chart.Seq{ChartName: "c", Children: []chart.Chart{
+		mk("h", "start"),
+		&chart.Alt{Children: []chart.Chart{mk("a", "hit"), mk("b", "miss", "refill")}},
+		&chart.Loop{Body: mk("d", "beat"), Min: 1, Max: 4},
+	}}
+	out, err := PSL("Composite", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"{start;",
+		"{{hit} | {miss; refill}}",
+		"{{beat}[*1:4]}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PSL missing %q:\n%s", want, out)
+		}
+	}
+	// Unbounded loop.
+	u := &chart.Loop{ChartName: "u", Body: mk("d", "beat"), Min: 2, Max: chart.Unbounded}
+	out2, err := PSL("U", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "[*2:$]") {
+		t.Errorf("unbounded repetition missing:\n%s", out2)
+	}
+}
+
+func TestPSLImplication(t *testing.T) {
+	mk := func(name, ev string) *chart.SCESC {
+		return &chart.SCESC{ChartName: name, Clock: "clk", Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{{Event: ev}}},
+		}}
+	}
+	c := &chart.Implies{ChartName: "i", Trigger: mk("t", "req"), Consequent: mk("q", "ack")}
+	out, err := PSL("ReqAck", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "assert always {req} |=> {ack}") {
+		t.Errorf("implication form wrong:\n%s", out)
+	}
+}
+
+func TestPSLParOverlay(t *testing.T) {
+	mk := func(name string, evs ...string) *chart.SCESC {
+		sc := &chart.SCESC{ChartName: name, Clock: "clk"}
+		for _, e := range evs {
+			sc.Lines = append(sc.Lines, chart.GridLine{Events: []chart.EventSpec{{Event: e}}})
+		}
+		return sc
+	}
+	c := &chart.Par{ChartName: "p", Children: []chart.Chart{mk("a", "x", "y"), mk("b", "u", "v")}}
+	out, err := PSL("Overlay", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "{{x; y} && {u; v}}") {
+		t.Errorf("overlay form wrong:\n%s", out)
+	}
+}
+
+func TestPSLRejectsMultiClock(t *testing.T) {
+	_, err := PSL("Gals", readproto.MultiClockChart())
+	if err == nil {
+		t.Fatal("multi-clock chart rendered as PSL")
+	}
+	if !strings.Contains(err.Error(), "multi-clock") {
+		t.Errorf("error %q does not explain the limitation", err)
+	}
+}
+
+func TestPSLNegatedAndGuarded(t *testing.T) {
+	sc := &chart.SCESC{ChartName: "g", Clock: "clk", Lines: []chart.GridLine{
+		{Events: []chart.EventSpec{
+			{Event: "req", Guard: mustProp("en")},
+			{Event: "abort", Negated: true},
+		}},
+	}}
+	out, err := PSL("G", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "en && req") || !strings.Contains(out, "!abort") {
+		t.Errorf("boolean layer wrong:\n%s", out)
+	}
+}

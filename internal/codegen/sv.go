@@ -1,0 +1,134 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// SystemVerilog emits the monitor as a synthesizable-style SV checker
+// module: one input wire per sampled symbol, a state register, counter
+// registers realizing the scoreboard, and `accept`/`violation` pulse
+// outputs. This is the artifact a simulation testbench would bind to the
+// design under test in the paper's Figure 4 flow.
+func SystemVerilog(m *monitor.Monitor, module string) string {
+	if module == "" {
+		module = "cesc_monitor"
+	}
+	inputs, sbEvents := symbols(m)
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Generated from CESC chart %q; do not edit.\n", m.Name)
+	fmt.Fprintf(&b, "module %s (\n", sanitizeIdent(module))
+	b.WriteString("  input  logic clk,\n")
+	b.WriteString("  input  logic rst_n,\n")
+	for _, s := range inputs {
+		fmt.Fprintf(&b, "  input  logic %s,\n", sanitizeIdent(s.Name))
+	}
+	b.WriteString("  output logic accept,\n")
+	b.WriteString("  output logic violation\n")
+	b.WriteString(");\n\n")
+	width := 1
+	for (1 << width) < m.States {
+		width++
+	}
+	fmt.Fprintf(&b, "  logic [%d:0] state;\n", width-1)
+	for _, e := range sbEvents {
+		fmt.Fprintf(&b, "  int sb_%s;\n", sanitizeIdent(e))
+	}
+	b.WriteString("\n  always_ff @(posedge clk or negedge rst_n) begin\n")
+	b.WriteString("    if (!rst_n) begin\n")
+	fmt.Fprintf(&b, "      state <= %d;\n", m.Initial)
+	b.WriteString("      accept <= 1'b0;\n      violation <= 1'b0;\n")
+	for _, e := range sbEvents {
+		fmt.Fprintf(&b, "      sb_%s <= 0;\n", sanitizeIdent(e))
+	}
+	b.WriteString("    end else begin\n")
+	b.WriteString("      accept <= 1'b0;\n      violation <= 1'b0;\n")
+	b.WriteString("      unique case (state)\n")
+	for s := 0; s < m.States; s++ {
+		fmt.Fprintf(&b, "        %d: begin\n", s)
+		first := true
+		for _, t := range m.Trans[s] {
+			kw := "else if"
+			if first {
+				kw = "if"
+				first = false
+			}
+			fmt.Fprintf(&b, "          %s (%s) begin\n", kw, svExpr(t.Guard))
+			for _, a := range t.Actions {
+				for _, e := range a.Events {
+					op := "+"
+					if a.Kind == monitor.ActDel {
+						op = "-"
+					}
+					fmt.Fprintf(&b, "            sb_%s <= sb_%s %s 1;\n",
+						sanitizeIdent(e), sanitizeIdent(e), op)
+				}
+			}
+			target := t.To
+			note := ""
+			if t.To == m.Violation {
+				target = m.Initial
+				note = "            violation <= 1'b1;\n"
+			}
+			if m.IsFinal(t.To) {
+				note += "            accept <= 1'b1;\n"
+			}
+			b.WriteString(note)
+			fmt.Fprintf(&b, "            state <= %d;\n", target)
+			b.WriteString("          end\n")
+		}
+		if first {
+			fmt.Fprintf(&b, "          state <= %d;\n", m.Initial)
+		} else {
+			fmt.Fprintf(&b, "          else state <= %d;\n", m.Initial)
+		}
+		b.WriteString("        end\n")
+	}
+	fmt.Fprintf(&b, "        default: state <= %d;\n", m.Initial)
+	b.WriteString("      endcase\n")
+	b.WriteString("    end\n  end\n\nendmodule\n")
+	return b.String()
+}
+
+// svExpr renders a guard as a SystemVerilog boolean expression.
+func svExpr(e expr.Expr) string {
+	switch v := e.(type) {
+	case expr.EventRef:
+		return sanitizeIdent(v.Name)
+	case expr.PropRef:
+		return sanitizeIdent(v.Name)
+	case expr.ChkExpr:
+		return fmt.Sprintf("(sb_%s > 0)", sanitizeIdent(v.Name))
+	case expr.NotExpr:
+		return "!" + svParen(v.X)
+	case expr.AndExpr:
+		parts := make([]string, len(v.Xs))
+		for i, x := range v.Xs {
+			parts[i] = svParen(x)
+		}
+		return strings.Join(parts, " && ")
+	case expr.OrExpr:
+		parts := make([]string, len(v.Xs))
+		for i, x := range v.Xs {
+			parts[i] = svParen(x)
+		}
+		return strings.Join(parts, " || ")
+	default:
+		if expr.Equal(e, expr.True) {
+			return "1'b1"
+		}
+		return "1'b0"
+	}
+}
+
+func svParen(e expr.Expr) string {
+	switch e.(type) {
+	case expr.AndExpr, expr.OrExpr:
+		return "(" + svExpr(e) + ")"
+	default:
+		return svExpr(e)
+	}
+}

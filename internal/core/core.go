@@ -1,0 +1,189 @@
+// Package core is the top-level API of the CESC monitor-synthesis
+// library: it compiles CESC specifications (from Go chart values or from
+// .cesc source text) into executable assertion monitors, dispatching
+// between single-clock synthesis (package synth) and multi-clock
+// synthesis (package mclock), and exposes uniform runners over traces and
+// simulations.
+//
+// Typical use:
+//
+//	art, err := core.CompileChart(ocp.SimpleReadChart(), nil)
+//	det := art.NewDetector()
+//	for _, s := range tr { det.Step(s) }
+//	fmt.Println(det.Accepts())
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/mclock"
+	"repro/internal/monitor"
+	"repro/internal/parser"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Options re-exports the synthesis options.
+type Options = synth.Options
+
+// Artifact is a compiled CESC specification: exactly one of Single or
+// Multi is set, depending on whether the chart spans one clock domain or
+// several.
+type Artifact struct {
+	// Name is the chart's declared name.
+	Name string
+	// Chart is the validated source chart.
+	Chart chart.Chart
+	// Single is the synthesized monitor for single-clock charts.
+	Single *monitor.Monitor
+	// Multi is the synthesized multi-clock monitor for Async charts.
+	Multi *mclock.MultiMonitor
+}
+
+// IsMultiClock reports whether the artifact spans several clock domains.
+func (a *Artifact) IsMultiClock() bool { return a.Multi != nil }
+
+// CompileChart synthesizes a monitor from a chart value.
+func CompileChart(c chart.Chart, opts *Options) (*Artifact, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	art := &Artifact{Name: c.Name(), Chart: c}
+	if ac, ok := c.(*chart.Async); ok {
+		mm, err := mclock.Synthesize(ac, opts)
+		if err != nil {
+			return nil, err
+		}
+		art.Multi = mm
+		return art, nil
+	}
+	m, err := synth.Synthesize(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	art.Single = m
+	return art, nil
+}
+
+// CompileSource parses .cesc source text and compiles every chart in it.
+func CompileSource(src string, opts *Options) ([]*Artifact, error) {
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	arts := make([]*Artifact, 0, len(f.Charts))
+	for _, n := range f.Charts {
+		a, err := CompileChart(n.Chart, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: chart %q: %w", n.Name, err)
+		}
+		a.Name = n.Name
+		arts = append(arts, a)
+	}
+	return arts, nil
+}
+
+// CompileFile reads and compiles a .cesc file.
+func CompileFile(path string, opts *Options) ([]*Artifact, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return CompileSource(string(src), opts)
+}
+
+// Detector runs a single-clock artifact as a scenario detector over a
+// trace.
+type Detector struct {
+	eng *monitor.Engine
+}
+
+// NewDetector returns a detection-mode runner; it panics on multi-clock
+// artifacts (use NewMultiExec).
+func (a *Artifact) NewDetector() *Detector {
+	if a.Single == nil {
+		panic("core: NewDetector on a multi-clock artifact; use NewMultiExec")
+	}
+	return &Detector{eng: monitor.NewEngine(a.Single, nil, monitor.ModeDetect)}
+}
+
+// NewChecker returns an assertion-mode runner (violations reported when
+// in-progress scenarios are abandoned); it panics on multi-clock
+// artifacts.
+func (a *Artifact) NewChecker() *Detector {
+	if a.Single == nil {
+		panic("core: NewChecker on a multi-clock artifact; use NewMultiExec")
+	}
+	return &Detector{eng: monitor.NewEngine(a.Single, nil, monitor.ModeAssert)}
+}
+
+// NewMultiExec returns the multi-clock execution for an Async artifact.
+func (a *Artifact) NewMultiExec(mode monitor.Mode) *mclock.Exec {
+	if a.Multi == nil {
+		panic("core: NewMultiExec on a single-clock artifact")
+	}
+	return mclock.NewExec(a.Multi, mode)
+}
+
+// NeverChecker treats the chart as a *forbidden* scenario: every
+// detection of its window is a violation. This is the never-assertion
+// form of assertion-based verification (e.g. "a second command is never
+// accepted while a response is pending").
+type NeverChecker struct {
+	eng        *monitor.Engine
+	violations int
+}
+
+// NewNeverChecker returns a forbidden-scenario runner; it panics on
+// multi-clock artifacts.
+func (a *Artifact) NewNeverChecker() *NeverChecker {
+	if a.Single == nil {
+		panic("core: NewNeverChecker on a multi-clock artifact")
+	}
+	return &NeverChecker{eng: monitor.NewEngine(a.Single, nil, monitor.ModeDetect)}
+}
+
+// Step consumes one element and reports whether the forbidden scenario
+// completed at this tick (a violation).
+func (n *NeverChecker) Step(s event.State) bool {
+	if n.eng.Step(s).Outcome == monitor.Accepted {
+		n.violations++
+		return true
+	}
+	return false
+}
+
+// Run consumes a trace and returns the violation count.
+func (n *NeverChecker) Run(tr trace.Trace) int {
+	for _, s := range tr {
+		n.Step(s)
+	}
+	return n.violations
+}
+
+// Violations returns the number of forbidden-scenario occurrences seen.
+func (n *NeverChecker) Violations() int { return n.violations }
+
+// Step consumes one trace element and reports whether the scenario
+// completed at this tick.
+func (d *Detector) Step(s event.State) bool {
+	return d.eng.Step(s).Outcome == monitor.Accepted
+}
+
+// Run consumes a whole trace.
+func (d *Detector) Run(tr trace.Trace) monitor.Stats {
+	return d.eng.Run(tr)
+}
+
+// Accepts returns the number of scenarios detected so far.
+func (d *Detector) Accepts() int { return d.eng.Stats().Accepts }
+
+// Violations returns the number of assert-mode violations so far.
+func (d *Detector) Violations() int { return d.eng.Stats().Violations }
+
+// Engine exposes the underlying engine for advanced use (shared
+// scoreboards, custom clocks).
+func (d *Detector) Engine() *monitor.Engine { return d.eng }

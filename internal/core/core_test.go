@@ -1,0 +1,158 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/readproto"
+)
+
+func TestCompileChartSingleClock(t *testing.T) {
+	art, err := CompileChart(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.IsMultiClock() || art.Single == nil {
+		t.Fatal("single-clock chart compiled wrong")
+	}
+	det := art.NewDetector()
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 31}).GenerateTrace(100)
+	det.Run(tr)
+	if det.Accepts() == 0 {
+		t.Error("no detections on clean traffic")
+	}
+	if det.Violations() != 0 {
+		t.Error("detect mode reported violations")
+	}
+	if det.Engine() == nil {
+		t.Error("engine accessor nil")
+	}
+}
+
+func TestCompileChartMultiClock(t *testing.T) {
+	art, err := CompileChart(readproto.MultiClockChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !art.IsMultiClock() {
+		t.Fatal("multi-clock chart not recognized")
+	}
+	ex := art.NewMultiExec(monitor.ModeDetect)
+	v, err := ex.Run(readproto.GoodGlobalTrace(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepts != 1 {
+		t.Errorf("accepts = %d, want 1", v.Accepts)
+	}
+}
+
+func TestCompileSourceAndFile(t *testing.T) {
+	src := `
+cesc Quick {
+  scesc on clk {
+    tick { req; }
+    tick { ack; }
+  }
+}
+`
+	arts, err := CompileSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 || arts[0].Name != "Quick" || arts[0].Single == nil {
+		t.Fatalf("arts = %+v", arts)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.cesc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	arts2, err := CompileFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts2) != 1 {
+		t.Fatal("file compile failed")
+	}
+	if _, err := CompileFile(filepath.Join(dir, "missing.cesc"), nil); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCompileSourceErrors(t *testing.T) {
+	if _, err := CompileSource("cesc X {", nil); err == nil {
+		t.Error("syntax error accepted")
+	}
+	// Parses but fails synthesis: contradictory grid line.
+	bad := `
+cesc Bad {
+  scesc on clk {
+    tick { x; !x; }
+  }
+}
+`
+	if _, err := CompileSource(bad, nil); err == nil {
+		t.Error("contradictory chart accepted")
+	}
+}
+
+func TestDetectorStepAndChecker(t *testing.T) {
+	art, err := CompileChart(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := art.NewDetector()
+	tr := ocp.NewModel(ocp.Config{Gap: 3, Seed: 32}).GenerateTrace(40)
+	hits := 0
+	for _, s := range tr {
+		if det.Step(s) {
+			hits++
+		}
+	}
+	if hits != det.Accepts() {
+		t.Errorf("step hits %d != accepts %d", hits, det.Accepts())
+	}
+	chk := art.NewChecker()
+	faulty := ocp.NewModel(ocp.Config{Gap: 2, Seed: 33, FaultRate: 1}).GenerateTrace(100)
+	chk.Run(faulty)
+	if chk.Violations() == 0 {
+		t.Error("checker reported no violations on all-faulty traffic")
+	}
+}
+
+func TestFacadePanics(t *testing.T) {
+	single, err := CompileChart(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := CompileChart(readproto.MultiClockChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "NewDetector on multi", func() { multi.NewDetector() })
+	mustPanic(t, "NewChecker on multi", func() { multi.NewChecker() })
+	mustPanic(t, "NewMultiExec on single", func() { single.NewMultiExec(monitor.ModeDetect) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestCompileChartValidatesFirst(t *testing.T) {
+	bad := ocp.SimpleReadChart()
+	bad.Lines = nil
+	if _, err := CompileChart(bad, nil); err == nil || !strings.Contains(err.Error(), "grid line") {
+		t.Errorf("invalid chart error = %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/readproto"
+	"repro/internal/trace"
+)
+
+// forbiddenChart: a response arriving while no command is outstanding is
+// specified as a never-scenario (response directly after response).
+func forbiddenChart() *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: "double_response",
+		Clock:     "clk",
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{{Event: "resp"}}},
+			{Events: []chart.EventSpec{{Event: "resp"}}},
+		},
+	}
+}
+
+func TestNeverCheckerFlagsForbiddenScenario(t *testing.T) {
+	art, err := CompileChart(forbiddenChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := art.NewNeverChecker()
+	// Two back-to-back responses: one forbidden occurrence.
+	tr := trace.NewBuilder().
+		Tick().Events("cmd").
+		Tick().Events("resp").
+		Tick().Events("resp").
+		Tick().
+		Build()
+	if got := nc.Run(tr); got != 1 {
+		t.Errorf("violations = %d, want 1", got)
+	}
+	if nc.Violations() != 1 {
+		t.Error("violation counter wrong")
+	}
+}
+
+func TestNeverCheckerCleanTraffic(t *testing.T) {
+	art, err := CompileChart(forbiddenChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := art.NewNeverChecker()
+	tr := trace.NewBuilder().
+		Tick().Events("cmd").
+		Tick().Events("resp").
+		Tick().Events("cmd").
+		Tick().Events("resp").
+		Build()
+	if got := nc.Run(tr); got != 0 {
+		t.Errorf("violations = %d on clean traffic", got)
+	}
+	// Step-level API: a command after the final response breaks the
+	// forbidden pair.
+	if nc.Step(trace.NewBuilder().Tick().Events("cmd").Build()[0]) {
+		t.Error("command flagged as forbidden")
+	}
+}
+
+func TestNeverCheckerPanicsOnMultiClock(t *testing.T) {
+	art, err := CompileChart(readproto.MultiClockChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewNeverChecker did not panic on multi-clock artifact")
+		}
+	}()
+	art.NewNeverChecker()
+}

@@ -1,0 +1,143 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Support is an ordered set of symbols over which synthesis enumerates
+// valuations. The paper's compute_transition_func ranges over "each
+// valuation e in 2^Sigma"; restricting Sigma to the symbols actually
+// mentioned by a pattern is exact (transitions are insensitive to the
+// rest) and keeps enumeration tractable.
+type Support struct {
+	symbols []Symbol
+	index   map[string]int
+}
+
+// MaxSupportBits bounds the number of distinct symbols a single pattern
+// may mention; 2^MaxSupportBits valuations are enumerated during
+// synthesis.
+const MaxSupportBits = 24
+
+// NewSupport builds a support from symbols, deduplicated and sorted by
+// name for determinism. It errors if more than MaxSupportBits distinct
+// symbols are supplied or if a name appears with two kinds.
+func NewSupport(symbols []Symbol) (*Support, error) {
+	seen := make(map[string]Kind)
+	var uniq []Symbol
+	for _, s := range symbols {
+		if k, ok := seen[s.Name]; ok {
+			if k != s.Kind {
+				return nil, fmt.Errorf("event: symbol %q used as both %s and %s", s.Name, k, s.Kind)
+			}
+			continue
+		}
+		seen[s.Name] = s.Kind
+		uniq = append(uniq, s)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].Name < uniq[j].Name })
+	if len(uniq) > MaxSupportBits {
+		return nil, fmt.Errorf("event: support of %d symbols exceeds limit %d", len(uniq), MaxSupportBits)
+	}
+	idx := make(map[string]int, len(uniq))
+	for i, s := range uniq {
+		idx[s.Name] = i
+	}
+	return &Support{symbols: uniq, index: idx}, nil
+}
+
+// Len returns the number of symbols in the support.
+func (sp *Support) Len() int { return len(sp.symbols) }
+
+// Symbols returns the ordered symbols (caller must not mutate).
+func (sp *Support) Symbols() []Symbol { return sp.symbols }
+
+// Index returns the bit position of name, or -1.
+func (sp *Support) Index(name string) int {
+	if i, ok := sp.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumValuations returns 2^Len, the number of distinct valuations.
+func (sp *Support) NumValuations() uint64 { return uint64(1) << uint(len(sp.symbols)) }
+
+// Valuation is a compact assignment of truth values to a Support's
+// symbols: bit i is the value of symbol i.
+type Valuation uint64
+
+// Bit reports the truth value of symbol index i.
+func (v Valuation) Bit(i int) bool { return v&(1<<uint(i)) != 0 }
+
+// SetBit returns v with symbol index i set to b.
+func (v Valuation) SetBit(i int, b bool) Valuation {
+	if b {
+		return v | (1 << uint(i))
+	}
+	return v &^ (1 << uint(i))
+}
+
+// State expands the valuation into a full State over the support.
+func (sp *Support) State(v Valuation) State {
+	s := NewState()
+	for i, sym := range sp.symbols {
+		if !v.Bit(i) {
+			continue
+		}
+		switch sym.Kind {
+		case KindEvent:
+			s.Events[sym.Name] = true
+		case KindProp:
+			s.Props[sym.Name] = true
+		}
+	}
+	return s
+}
+
+// Valuation projects a State onto the support.
+func (sp *Support) Valuation(s State) Valuation {
+	var v Valuation
+	for i, sym := range sp.symbols {
+		var b bool
+		switch sym.Kind {
+		case KindEvent:
+			b = s.Event(sym.Name)
+		case KindProp:
+			b = s.Prop(sym.Name)
+		}
+		v = v.SetBit(i, b)
+	}
+	return v
+}
+
+// Union merges two supports. It errors on kind conflicts or overflow.
+func (sp *Support) Union(other *Support) (*Support, error) {
+	all := make([]Symbol, 0, len(sp.symbols)+len(other.symbols))
+	all = append(all, sp.symbols...)
+	all = append(all, other.symbols...)
+	return NewSupport(all)
+}
+
+// ValuationContext adapts (Support, Valuation) to a guard-evaluation
+// context with no scoreboard: ChkEvt is false for every event.
+type ValuationContext struct {
+	Sup *Support
+	Val Valuation
+}
+
+// Event reports the valuation of an event symbol; absent symbols are false.
+func (c ValuationContext) Event(name string) bool {
+	i := c.Sup.Index(name)
+	return i >= 0 && c.Val.Bit(i)
+}
+
+// Prop reports the valuation of a proposition symbol.
+func (c ValuationContext) Prop(name string) bool {
+	i := c.Sup.Index(name)
+	return i >= 0 && c.Val.Bit(i)
+}
+
+// ChkEvt always reports false: there is no scoreboard in a pure valuation.
+func (c ValuationContext) ChkEvt(string) bool { return false }

@@ -1,0 +1,108 @@
+package expr
+
+import (
+	"repro/internal/event"
+)
+
+// SupportOf builds the union support of the given expressions (Chk_evt
+// references excluded — they read the scoreboard).
+func SupportOf(es ...Expr) (*event.Support, error) {
+	var syms []event.Symbol
+	for _, e := range es {
+		syms = append(syms, SupportSymbols(e)...)
+	}
+	return event.NewSupport(syms)
+}
+
+// Satisfiable reports whether some valuation of sup makes e true, with
+// Chk_evt treated as false. sup must cover e's support symbols; symbols
+// outside sup are false.
+func Satisfiable(e Expr, sup *event.Support) bool {
+	for v := event.Valuation(0); uint64(v) < sup.NumValuations(); v++ {
+		if e.Eval(event.ValuationContext{Sup: sup, Val: v}) {
+			return true
+		}
+	}
+	return false
+}
+
+// Valid reports whether e holds under every valuation of sup.
+func Valid(e Expr, sup *event.Support) bool {
+	return !Satisfiable(Not(e), sup)
+}
+
+// Implies reports whether a -> b holds under every valuation of sup.
+func Implies(a, b Expr, sup *event.Support) bool {
+	return Valid(Or(Not(a), b), sup)
+}
+
+// Equivalent reports whether a and b agree under every valuation of sup.
+func Equivalent(a, b Expr, sup *event.Support) bool {
+	return Implies(a, b, sup) && Implies(b, a, sup)
+}
+
+// Compatible reports whether a and b can hold simultaneously — the
+// element-by-element "matching" compatibility used when checking whether
+// a pattern prefix can be a suffix of the abstracted trace (section 5 of
+// the paper). Two grid-line expressions are compatible iff their
+// conjunction is satisfiable.
+func Compatible(a, b Expr, sup *event.Support) bool {
+	return Satisfiable(And(a, b), sup)
+}
+
+// Orthogonal reports whether a and b are mutually exclusive (their
+// conjunction is unsatisfiable). Patterns with pairwise-orthogonal
+// elements make the paper's KMP fallback exact; see DESIGN.md §3.1.
+func Orthogonal(a, b Expr, sup *event.Support) bool {
+	return !Compatible(a, b, sup)
+}
+
+// The *Auto variants compute the minimal support themselves — the truth
+// of these queries depends only on the symbols the expressions mention,
+// so enumerating a wider ambient support (e.g. a whole pattern's) is
+// pure waste; for long patterns over many signals it is the difference
+// between 2^|pair| and 2^|pattern| work per check.
+
+// SatAuto reports satisfiability of e over its own support.
+func SatAuto(e Expr) (bool, error) {
+	sup, err := SupportOf(e)
+	if err != nil {
+		return false, err
+	}
+	return Satisfiable(e, sup), nil
+}
+
+// ImpliesAuto reports a -> b over the union of their supports.
+func ImpliesAuto(a, b Expr) (bool, error) {
+	sup, err := SupportOf(a, b)
+	if err != nil {
+		return false, err
+	}
+	return Implies(a, b, sup), nil
+}
+
+// CompatibleAuto reports joint satisfiability over the union support.
+func CompatibleAuto(a, b Expr) (bool, error) {
+	sup, err := SupportOf(a, b)
+	if err != nil {
+		return false, err
+	}
+	return Compatible(a, b, sup), nil
+}
+
+// OrthogonalAuto reports mutual exclusion over the union support.
+func OrthogonalAuto(a, b Expr) (bool, error) {
+	c, err := CompatibleAuto(a, b)
+	return !c, err
+}
+
+// Minterms enumerates the valuations of sup satisfying e (Chk_evt false).
+func Minterms(e Expr, sup *event.Support) []event.Valuation {
+	var out []event.Valuation
+	for v := event.Valuation(0); uint64(v) < sup.NumValuations(); v++ {
+		if e.Eval(event.ValuationContext{Sup: sup, Val: v}) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

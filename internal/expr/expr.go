@@ -1,0 +1,361 @@
+// Package expr implements the logical expressions of the paper's monitor
+// definition: guards formed over EVENTS and PROP with conjunction,
+// disjunction and negation, plus the scoreboard predicate Chk_evt used by
+// causality checks. It also provides satisfiability / implication /
+// equivalence over finite supports and two-level minimization
+// (Quine-McCluskey) used to render per-valuation transition functions
+// back into the compact symbolic labels shown in the paper's figures.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Context supplies truth values during evaluation: the input trace element
+// (events and propositions) and the scoreboard (Chk_evt).
+type Context interface {
+	Event(name string) bool
+	Prop(name string) bool
+	ChkEvt(name string) bool
+}
+
+// Expr is a logical expression over EVENTS and PROP.
+type Expr interface {
+	// Eval evaluates the expression in ctx.
+	Eval(ctx Context) bool
+	// String renders the expression with minimal parentheses.
+	String() string
+	prec() int
+}
+
+// Precedence levels for printing.
+const (
+	precOr = iota
+	precAnd
+	precNot
+	precAtom
+)
+
+type trueExpr struct{}
+type falseExpr struct{}
+
+// EventRef references an event symbol (the paper's bare `e`).
+type EventRef struct{ Name string }
+
+// PropRef references a proposition symbol.
+type PropRef struct{ Name string }
+
+// ChkExpr is the scoreboard predicate Chk_evt(e): true iff event e is
+// currently recorded on the scoreboard. It reads the scoreboard, not the
+// input valuation.
+type ChkExpr struct{ Name string }
+
+// NotExpr is logical negation.
+type NotExpr struct{ X Expr }
+
+// AndExpr is n-ary conjunction (n >= 2 after construction).
+type AndExpr struct{ Xs []Expr }
+
+// OrExpr is n-ary disjunction (n >= 2 after construction).
+type OrExpr struct{ Xs []Expr }
+
+// True and False are the constant expressions.
+var (
+	True  Expr = trueExpr{}
+	False Expr = falseExpr{}
+)
+
+func (trueExpr) Eval(Context) bool     { return true }
+func (falseExpr) Eval(Context) bool    { return false }
+func (e EventRef) Eval(c Context) bool { return c.Event(e.Name) }
+func (e PropRef) Eval(c Context) bool  { return c.Prop(e.Name) }
+func (e ChkExpr) Eval(c Context) bool  { return c.ChkEvt(e.Name) }
+func (e NotExpr) Eval(c Context) bool  { return !e.X.Eval(c) }
+
+func (e AndExpr) Eval(c Context) bool {
+	for _, x := range e.Xs {
+		if !x.Eval(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e OrExpr) Eval(c Context) bool {
+	for _, x := range e.Xs {
+		if x.Eval(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func (trueExpr) prec() int  { return precAtom }
+func (falseExpr) prec() int { return precAtom }
+func (EventRef) prec() int  { return precAtom }
+func (PropRef) prec() int   { return precAtom }
+func (ChkExpr) prec() int   { return precAtom }
+func (NotExpr) prec() int   { return precNot }
+func (AndExpr) prec() int   { return precAnd }
+func (OrExpr) prec() int    { return precOr }
+
+func (trueExpr) String() string   { return "true" }
+func (falseExpr) String() string  { return "false" }
+func (e EventRef) String() string { return e.Name }
+func (e PropRef) String() string  { return e.Name }
+func (e ChkExpr) String() string  { return "Chk_evt(" + e.Name + ")" }
+
+func (e NotExpr) String() string {
+	return "!" + wrap(e.X, precNot)
+}
+
+func (e AndExpr) String() string {
+	parts := make([]string, len(e.Xs))
+	for i, x := range e.Xs {
+		parts[i] = wrap(x, precAnd)
+	}
+	return strings.Join(parts, " & ")
+}
+
+func (e OrExpr) String() string {
+	parts := make([]string, len(e.Xs))
+	for i, x := range e.Xs {
+		parts[i] = wrap(x, precOr)
+	}
+	return strings.Join(parts, " | ")
+}
+
+func wrap(x Expr, outer int) string {
+	if x.prec() < outer {
+		return "(" + x.String() + ")"
+	}
+	return x.String()
+}
+
+// Ev returns an event reference.
+func Ev(name string) Expr { return EventRef{Name: name} }
+
+// Pr returns a proposition reference.
+func Pr(name string) Expr { return PropRef{Name: name} }
+
+// Chk returns the scoreboard predicate Chk_evt(name).
+func Chk(name string) Expr { return ChkExpr{Name: name} }
+
+// Not returns the negation of x with constant folding and double-negation
+// elimination.
+func Not(x Expr) Expr {
+	switch v := x.(type) {
+	case trueExpr:
+		return False
+	case falseExpr:
+		return True
+	case NotExpr:
+		return v.X
+	}
+	return NotExpr{X: x}
+}
+
+// And returns the conjunction of xs, flattening nested conjunctions,
+// folding constants, deduplicating, and detecting complementary literals.
+func And(xs ...Expr) Expr {
+	var flat []Expr
+	for _, x := range xs {
+		switch v := x.(type) {
+		case nil:
+			continue
+		case trueExpr:
+			continue
+		case falseExpr:
+			return False
+		case AndExpr:
+			flat = append(flat, v.Xs...)
+		default:
+			flat = append(flat, x)
+		}
+	}
+	flat = dedupe(flat)
+	if hasComplement(flat) {
+		return False
+	}
+	switch len(flat) {
+	case 0:
+		return True
+	case 1:
+		return flat[0]
+	}
+	return AndExpr{Xs: flat}
+}
+
+// Or returns the disjunction of xs, flattening, folding constants,
+// deduplicating, and detecting complementary literals.
+func Or(xs ...Expr) Expr {
+	var flat []Expr
+	for _, x := range xs {
+		switch v := x.(type) {
+		case nil:
+			continue
+		case falseExpr:
+			continue
+		case trueExpr:
+			return True
+		case OrExpr:
+			flat = append(flat, v.Xs...)
+		default:
+			flat = append(flat, x)
+		}
+	}
+	flat = dedupe(flat)
+	if hasComplement(flat) {
+		return True
+	}
+	switch len(flat) {
+	case 0:
+		return False
+	case 1:
+		return flat[0]
+	}
+	return OrExpr{Xs: flat}
+}
+
+func dedupe(xs []Expr) []Expr {
+	seen := make(map[string]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		k := x.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, x)
+	}
+	return out
+}
+
+func hasComplement(xs []Expr) bool {
+	pos := make(map[string]bool)
+	neg := make(map[string]bool)
+	for _, x := range xs {
+		if n, ok := x.(NotExpr); ok {
+			neg[n.X.String()] = true
+		} else {
+			pos[x.String()] = true
+		}
+	}
+	for k := range neg {
+		if pos[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports structural equality (after the constructors' canonical
+// flattening, but not full semantic equivalence — see Equivalent).
+func Equal(a, b Expr) bool { return a.String() == b.String() }
+
+// Walk calls fn on e and every subexpression, pre-order.
+func Walk(e Expr, fn func(Expr)) {
+	fn(e)
+	switch v := e.(type) {
+	case NotExpr:
+		Walk(v.X, fn)
+	case AndExpr:
+		for _, x := range v.Xs {
+			Walk(x, fn)
+		}
+	case OrExpr:
+		for _, x := range v.Xs {
+			Walk(x, fn)
+		}
+	}
+}
+
+// SupportSymbols returns the input symbols (events and propositions)
+// referenced by e, excluding Chk_evt references (those read the
+// scoreboard, not the input valuation). The result is name-sorted.
+func SupportSymbols(e Expr) []event.Symbol {
+	seen := make(map[string]event.Kind)
+	Walk(e, func(x Expr) {
+		switch v := x.(type) {
+		case EventRef:
+			seen[v.Name] = event.KindEvent
+		case PropRef:
+			seen[v.Name] = event.KindProp
+		}
+	})
+	out := make([]event.Symbol, 0, len(seen))
+	for n, k := range seen {
+		out = append(out, event.Symbol{Name: n, Kind: k})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ChkRefs returns the event names referenced via Chk_evt in e, sorted.
+func ChkRefs(e Expr) []string {
+	seen := make(map[string]bool)
+	Walk(e, func(x Expr) {
+		if v, ok := x.(ChkExpr); ok {
+			seen[v.Name] = true
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// References reports whether e mentions the event name positively in its
+// input part (an EventRef appears outside any negation). This is the
+// paper's "transition depends on the occurrence of event ex" test used by
+// add_causality_check.
+func References(e Expr, name string) bool {
+	return refs(e, name, true)
+}
+
+func refs(e Expr, name string, polarity bool) bool {
+	switch v := e.(type) {
+	case EventRef:
+		return polarity && v.Name == name
+	case NotExpr:
+		return refs(v.X, name, !polarity)
+	case AndExpr:
+		for _, x := range v.Xs {
+			if refs(x, name, polarity) {
+				return true
+			}
+		}
+	case OrExpr:
+		for _, x := range v.Xs {
+			if refs(x, name, polarity) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StateContext adapts an event.State (with no scoreboard) to Context.
+type StateContext struct{ S event.State }
+
+// Event reports the state's event valuation.
+func (c StateContext) Event(name string) bool { return c.S.Event(name) }
+
+// Prop reports the state's proposition valuation.
+func (c StateContext) Prop(name string) bool { return c.S.Prop(name) }
+
+// ChkEvt is false: a bare state has no scoreboard.
+func (c StateContext) ChkEvt(string) bool { return false }
+
+// EvalState evaluates e against a state with an empty scoreboard.
+func EvalState(e Expr, s event.State) bool { return e.Eval(StateContext{S: s}) }
+
+// Fmt is a convenience for building labelled guard tables in diagnostics:
+// "name = expr".
+func Fmt(name string, e Expr) string { return fmt.Sprintf("%s = %s", name, e) }

@@ -1,0 +1,383 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+func TestConstructorsFoldConstants(t *testing.T) {
+	cases := []struct {
+		got  Expr
+		want string
+	}{
+		{And(), "true"},
+		{Or(), "false"},
+		{And(True, Ev("a")), "a"},
+		{And(False, Ev("a")), "false"},
+		{Or(True, Ev("a")), "true"},
+		{Or(False, Ev("a")), "a"},
+		{Not(True), "false"},
+		{Not(Not(Ev("a"))), "a"},
+		{And(Ev("a"), Ev("a")), "a"},
+		{Or(Ev("a"), Ev("a")), "a"},
+		{And(Ev("a"), Not(Ev("a"))), "false"},
+		{Or(Ev("a"), Not(Ev("a"))), "true"},
+		{And(And(Ev("a"), Ev("b")), Ev("c")), "a & b & c"},
+		{Or(Or(Ev("a"), Ev("b")), Ev("c")), "a | b | c"},
+	}
+	for _, tc := range cases {
+		if got := tc.got.String(); got != tc.want {
+			t.Errorf("got %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestStringPrecedence(t *testing.T) {
+	e := Or(And(Ev("a"), Ev("b")), Not(Or(Ev("c"), Pr("p"))))
+	if got := e.String(); got != "a & b | !(c | p)" {
+		t.Errorf("string = %q", got)
+	}
+	if got := And(Or(Ev("a"), Ev("b")), Ev("c")).String(); got != "(a | b) & c" {
+		t.Errorf("string = %q", got)
+	}
+}
+
+type mapCtx struct {
+	ev, pr, chk map[string]bool
+}
+
+func (c mapCtx) Event(n string) bool  { return c.ev[n] }
+func (c mapCtx) Prop(n string) bool   { return c.pr[n] }
+func (c mapCtx) ChkEvt(n string) bool { return c.chk[n] }
+
+func TestEval(t *testing.T) {
+	ctx := mapCtx{
+		ev:  map[string]bool{"e": true},
+		pr:  map[string]bool{"p": true},
+		chk: map[string]bool{"x": true},
+	}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{True, true},
+		{False, false},
+		{Ev("e"), true},
+		{Ev("f"), false},
+		{Pr("p"), true},
+		{Chk("x"), true},
+		{Chk("y"), false},
+		{And(Ev("e"), Pr("p"), Chk("x")), true},
+		{And(Ev("e"), Ev("f")), false},
+		{Or(Ev("f"), Chk("x")), true},
+		{Not(Ev("f")), true},
+	}
+	for _, tc := range cases {
+		if got := tc.e.Eval(ctx); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestEvalState(t *testing.T) {
+	s := event.NewState().WithEvents("e").WithProps("p")
+	if !EvalState(And(Ev("e"), Pr("p")), s) {
+		t.Error("state eval wrong")
+	}
+	if EvalState(Chk("e"), s) {
+		t.Error("Chk must be false without a scoreboard")
+	}
+}
+
+func TestSupportSymbolsExcludesChk(t *testing.T) {
+	e := And(Ev("b"), Pr("a"), Chk("c"), Not(Ev("d")))
+	syms := SupportSymbols(e)
+	if len(syms) != 3 {
+		t.Fatalf("symbols = %v", syms)
+	}
+	if syms[0].Name != "a" || syms[0].Kind != event.KindProp {
+		t.Errorf("first symbol = %v", syms[0])
+	}
+	chks := ChkRefs(e)
+	if len(chks) != 1 || chks[0] != "c" {
+		t.Errorf("chk refs = %v", chks)
+	}
+}
+
+func TestReferencesPolarity(t *testing.T) {
+	if !References(And(Ev("a"), Pr("p")), "a") {
+		t.Error("positive reference missed")
+	}
+	if References(Not(Ev("a")), "a") {
+		t.Error("negated occurrence counted as positive")
+	}
+	if !References(Not(Not(Ev("a"))), "a") {
+		t.Error("double negation lost polarity")
+	}
+	if !References(Or(Ev("b"), Ev("a")), "a") {
+		t.Error("disjunct reference missed")
+	}
+	if References(Ev("b"), "a") {
+		t.Error("wrong symbol matched")
+	}
+}
+
+func sup2(t *testing.T, es ...Expr) *event.Support {
+	t.Helper()
+	s, err := SupportOf(es...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSatisfiableImpliesEquivalent(t *testing.T) {
+	a, b := Ev("a"), Ev("b")
+	sup := sup2(t, a, b)
+	if !Satisfiable(And(a, b), sup) {
+		t.Error("a&b unsat?")
+	}
+	if Satisfiable(And(a, Not(a)), sup) {
+		t.Error("contradiction sat?")
+	}
+	if !Valid(Or(a, Not(a)), sup) {
+		t.Error("tautology invalid?")
+	}
+	if !Implies(And(a, b), a, sup) {
+		t.Error("a&b !=> a")
+	}
+	if Implies(a, And(a, b), sup) {
+		t.Error("a => a&b?")
+	}
+	if !Equivalent(Not(And(a, b)), Or(Not(a), Not(b)), sup) {
+		t.Error("De Morgan failed")
+	}
+	if !Orthogonal(And(a, Not(b)), And(b, Not(a)), sup) {
+		t.Error("orthogonality missed")
+	}
+	if !Compatible(a, b, sup) {
+		t.Error("compatibility missed")
+	}
+}
+
+func TestMinterms(t *testing.T) {
+	a, b := Ev("a"), Ev("b")
+	sup := sup2(t, a, b)
+	ms := Minterms(Or(a, b), sup)
+	if len(ms) != 3 {
+		t.Errorf("minterms of a|b = %v", ms)
+	}
+	if got := len(Minterms(True, sup)); got != 4 {
+		t.Errorf("minterms of true = %d", got)
+	}
+}
+
+func TestFromMintermsSpecialCases(t *testing.T) {
+	sup := sup2(t, Ev("a"), Ev("b"))
+	if got := FromMinterms(sup, nil); !Equal(got, False) {
+		t.Errorf("empty minterms = %v", got)
+	}
+	all := Minterms(True, sup)
+	if got := FromMinterms(sup, all); !Equal(got, True) {
+		t.Errorf("full minterms = %v", got)
+	}
+}
+
+// TestFromMintermsRoundTrip: the minimized expression has exactly the
+// given satisfying valuations (property-based via testing/quick).
+func TestFromMintermsRoundTrip(t *testing.T) {
+	sup := sup2(t, Ev("a"), Ev("b"), Ev("c"), Pr("p"))
+	nv := sup.NumValuations()
+	f := func(mask uint16) bool {
+		var ms []event.Valuation
+		want := make(map[event.Valuation]bool)
+		for v := uint64(0); v < nv; v++ {
+			if mask&(1<<v) != 0 {
+				ms = append(ms, event.Valuation(v))
+				want[event.Valuation(v)] = true
+			}
+		}
+		e := FromMinterms(sup, ms)
+		for v := uint64(0); v < nv; v++ {
+			got := e.Eval(event.ValuationContext{Sup: sup, Val: event.Valuation(v)})
+			if got != want[event.Valuation(v)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFromMintermsMinimizes: a full subcube collapses to a small term.
+func TestFromMintermsMinimizes(t *testing.T) {
+	sup := sup2(t, Ev("a"), Ev("b"), Ev("c"))
+	// All valuations with a=1: should minimize to just "a".
+	var ms []event.Valuation
+	ai := sup.Index("a")
+	for v := uint64(0); v < sup.NumValuations(); v++ {
+		if event.Valuation(v).Bit(ai) {
+			ms = append(ms, event.Valuation(v))
+		}
+	}
+	if got := FromMinterms(sup, ms).String(); got != "a" {
+		t.Errorf("minimized = %q, want a", got)
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	a, b := Ev("a"), Ev("b")
+	// (a & b) | (a & !b) minimizes to a.
+	e := Or(And(a, b), And(a, Not(b)))
+	if got := Minimize(e).String(); got != "a" {
+		t.Errorf("minimize = %q", got)
+	}
+	// Chk-containing expressions are preserved.
+	withChk := And(a, Chk("x"))
+	if got := Minimize(withChk); !Equal(got, withChk) {
+		t.Errorf("chk expression altered: %v", got)
+	}
+	if got := Minimize(True); !Equal(got, True) {
+		t.Errorf("minimize true = %v", got)
+	}
+	if got := Minimize(And(a, Not(a))); !Equal(got, False) {
+		t.Errorf("minimize contradiction = %v", got)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	kind := func(n string) (event.Kind, bool) {
+		switch n {
+		case "p", "q":
+			return event.KindProp, true
+		case "a", "b", "c":
+			return event.KindEvent, true
+		}
+		return 0, false
+	}
+	cases := []struct{ src, want string }{
+		{"a", "a"},
+		{"a & b", "a & b"},
+		{"a && b || c", "a & b | c"},
+		{"!(a | b)", "!(a | b)"},
+		{"a and b or not c", "a & b | !c"},
+		{"true", "true"},
+		{"false & a", "false"},
+		{"Chk_evt(a) & b", "Chk_evt(a) & b"},
+		{"chk(a)", "Chk_evt(a)"},
+		{"event(p)", "p"},
+		{"prop(a)", "a"},
+		{"p & a", "p & a"},
+	}
+	for _, tc := range cases {
+		e, err := Parse(tc.src, kind)
+		if err != nil {
+			t.Errorf("parse %q: %v", tc.src, err)
+			continue
+		}
+		if got := e.String(); got != tc.want {
+			t.Errorf("parse %q = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+	// Kind resolution.
+	e := MustParse("p & a", kind)
+	syms := SupportSymbols(e)
+	if syms[0].Name != "a" || syms[0].Kind != event.KindEvent {
+		t.Errorf("a resolved to %v", syms[0])
+	}
+	if syms[1].Name != "p" || syms[1].Kind != event.KindProp {
+		t.Errorf("p resolved to %v", syms[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "a &", "& a", "(a", "a)", "a b", "a ? b", "chk(", "chk(a", "chk()", "unknown_zz",
+	} {
+		kind := func(n string) (event.Kind, bool) {
+			if n == "a" || n == "b" {
+				return event.KindEvent, true
+			}
+			return 0, false
+		}
+		if _, err := Parse(src, kind); err == nil {
+			t.Errorf("source %q accepted", src)
+		}
+	}
+}
+
+func TestParseDefaultResolver(t *testing.T) {
+	e, err := Parse("x & y", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range SupportSymbols(e) {
+		if s.Kind != event.KindEvent {
+			t.Errorf("default resolver made %v", s)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("((", nil)
+}
+
+// TestParseRoundTrip: printing then reparsing preserves semantics.
+func TestParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	names := []string{"a", "b", "c"}
+	var gen func(depth int) Expr
+	gen = func(depth int) Expr {
+		if depth == 0 || rng.Intn(3) == 0 {
+			return Ev(names[rng.Intn(len(names))])
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return And(gen(depth-1), gen(depth-1))
+		case 1:
+			return Or(gen(depth-1), gen(depth-1))
+		default:
+			return Not(gen(depth - 1))
+		}
+	}
+	for i := 0; i < 100; i++ {
+		e := gen(4)
+		back, err := Parse(e.String(), EventsByDefault)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", e, err)
+		}
+		sup := sup2(t, e)
+		if sup.Len() > 0 && !Equivalent(e, back, sup) {
+			t.Fatalf("round trip changed semantics: %q vs %q", e, back)
+		}
+	}
+}
+
+func TestWalkAndEqualAndFmt(t *testing.T) {
+	e := And(Ev("a"), Not(Or(Pr("p"), Chk("c"))))
+	count := 0
+	Walk(e, func(Expr) { count++ })
+	if count != 6 {
+		t.Errorf("walk visited %d nodes, want 6", count)
+	}
+	if !Equal(e, e) || Equal(e, True) {
+		t.Error("Equal misbehaves")
+	}
+	if got := Fmt("a", Ev("x")); got != "a = x" {
+		t.Errorf("Fmt = %q", got)
+	}
+	if !strings.Contains(Chk("e").String(), "Chk_evt(e)") {
+		t.Error("chk string wrong")
+	}
+}

@@ -1,0 +1,220 @@
+package expr
+
+import (
+	"sort"
+
+	"repro/internal/event"
+)
+
+// implicant is a cube over the support: value gives the fixed bits,
+// mask has a 1 for every don't-care position.
+type implicant struct {
+	value uint64
+	mask  uint64
+}
+
+func (im implicant) covers(m uint64) bool {
+	return (m &^ im.mask) == (im.value &^ im.mask)
+}
+
+// qmMaxBits caps exact Quine-McCluskey minimization; beyond it,
+// FromMinterms falls back to a plain sum-of-minterms form.
+const qmMaxBits = 14
+
+// FromMinterms converts a set of satisfying valuations over sup back into
+// a compact symbolic expression. It is used by the synthesizer to turn
+// the per-valuation transition function of compute_transition_func into
+// the small human-readable guards of the paper's figures.
+//
+// For supports up to qmMaxBits symbols it performs full two-level
+// minimization (Quine-McCluskey prime generation plus a greedy cover);
+// beyond that it emits a sum of minterms directly.
+func FromMinterms(sup *event.Support, ms []event.Valuation) Expr {
+	n := sup.Len()
+	total := sup.NumValuations()
+	if len(ms) == 0 {
+		return False
+	}
+	if uint64(len(ms)) == total {
+		return True
+	}
+	if n > qmMaxBits {
+		return sumOfMinterms(sup, ms)
+	}
+	primes := primeImplicants(ms, n)
+	chosen := greedyCover(primes, ms)
+	terms := make([]Expr, 0, len(chosen))
+	for _, im := range chosen {
+		terms = append(terms, cubeExpr(sup, im))
+	}
+	sort.Slice(terms, func(i, j int) bool { return terms[i].String() < terms[j].String() })
+	return Or(terms...)
+}
+
+func sumOfMinterms(sup *event.Support, ms []event.Valuation) Expr {
+	terms := make([]Expr, 0, len(ms))
+	for _, m := range ms {
+		terms = append(terms, cubeExpr(sup, implicant{value: uint64(m)}))
+	}
+	return Or(terms...)
+}
+
+func cubeExpr(sup *event.Support, im implicant) Expr {
+	lits := make([]Expr, 0, sup.Len())
+	for i, sym := range sup.Symbols() {
+		bit := uint64(1) << uint(i)
+		if im.mask&bit != 0 {
+			continue
+		}
+		var ref Expr
+		if sym.Kind == event.KindEvent {
+			ref = Ev(sym.Name)
+		} else {
+			ref = Pr(sym.Name)
+		}
+		if im.value&bit != 0 {
+			lits = append(lits, ref)
+		} else {
+			lits = append(lits, Not(ref))
+		}
+	}
+	return And(lits...)
+}
+
+// primeImplicants runs the QM combining pass: repeatedly merge cubes
+// differing in exactly one determined bit until no merges remain.
+func primeImplicants(ms []event.Valuation, nbits int) []implicant {
+	cur := make(map[implicant]bool, len(ms))
+	for _, m := range ms {
+		cur[implicant{value: uint64(m)}] = true
+	}
+	var primes []implicant
+	for len(cur) > 0 {
+		next := make(map[implicant]bool)
+		merged := make(map[implicant]bool)
+		keys := make([]implicant, 0, len(cur))
+		for im := range cur {
+			keys = append(keys, im)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].mask != keys[j].mask {
+				return keys[i].mask < keys[j].mask
+			}
+			return keys[i].value < keys[j].value
+		})
+		// Group by mask; only same-mask cubes can merge.
+		byMask := make(map[uint64][]implicant)
+		for _, im := range keys {
+			byMask[im.mask] = append(byMask[im.mask], im)
+		}
+		for _, group := range byMask {
+			for i := 0; i < len(group); i++ {
+				for j := i + 1; j < len(group); j++ {
+					a, b := group[i], group[j]
+					diff := (a.value ^ b.value) &^ a.mask
+					if diff != 0 && diff&(diff-1) == 0 { // exactly one bit
+						nm := implicant{value: a.value &^ diff, mask: a.mask | diff}
+						next[nm] = true
+						merged[a] = true
+						merged[b] = true
+					}
+				}
+			}
+		}
+		for _, im := range keys {
+			if !merged[im] {
+				primes = append(primes, im)
+			}
+		}
+		cur = next
+	}
+	return primes
+}
+
+// greedyCover selects primes covering all minterms: essential primes
+// first, then greedily by coverage count.
+func greedyCover(primes []implicant, ms []event.Valuation) []implicant {
+	uncovered := make(map[uint64]bool, len(ms))
+	for _, m := range ms {
+		uncovered[uint64(m)] = true
+	}
+	coveredBy := make(map[uint64][]int)
+	for pi, p := range primes {
+		for m := range uncovered {
+			if p.covers(m) {
+				coveredBy[m] = append(coveredBy[m], pi)
+			}
+		}
+	}
+	var chosen []implicant
+	take := func(pi int) {
+		chosen = append(chosen, primes[pi])
+		for m := range uncovered {
+			if primes[pi].covers(m) {
+				delete(uncovered, m)
+			}
+		}
+	}
+	// Essential primes.
+	ordered := make([]uint64, 0, len(uncovered))
+	for m := range uncovered {
+		ordered = append(ordered, m)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, m := range ordered {
+		if !uncovered[m] {
+			continue
+		}
+		if len(coveredBy[m]) == 1 {
+			take(coveredBy[m][0])
+		}
+	}
+	// Greedy for the rest.
+	for len(uncovered) > 0 {
+		best, bestCount := -1, 0
+		for pi, p := range primes {
+			count := 0
+			for m := range uncovered {
+				if p.covers(m) {
+					count++
+				}
+			}
+			if count > bestCount || (count == bestCount && count > 0 && best >= 0 && lessImplicant(p, primes[best])) {
+				best, bestCount = pi, count
+			}
+		}
+		if best < 0 {
+			break // unreachable: every minterm is its own implicant
+		}
+		take(best)
+	}
+	return chosen
+}
+
+func lessImplicant(a, b implicant) bool {
+	if a.mask != b.mask {
+		return a.mask > b.mask // prefer larger cubes
+	}
+	return a.value < b.value
+}
+
+// Minimize re-expresses e as a minimized two-level form over its own
+// support. Chk_evt references are preserved by conjoining them back:
+// e is split as input-part relative to sup with Chk treated opaquely only
+// when e contains no Chk references; otherwise e is returned unchanged.
+func Minimize(e Expr) Expr {
+	if len(ChkRefs(e)) > 0 {
+		return e
+	}
+	sup, err := SupportOf(e)
+	if err != nil {
+		return e
+	}
+	if sup.Len() == 0 {
+		if e.Eval(event.ValuationContext{Sup: sup, Val: 0}) {
+			return True
+		}
+		return False
+	}
+	return FromMinterms(sup, Minterms(e, sup))
+}

@@ -1,0 +1,262 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/event"
+)
+
+// KindResolver tells the parser whether an identifier names an event or a
+// proposition. It reports the kind and whether the name is known.
+type KindResolver func(name string) (event.Kind, bool)
+
+// EventsByDefault is a KindResolver treating every identifier as an event.
+func EventsByDefault(string) (event.Kind, bool) { return event.KindEvent, true }
+
+// Parse parses a guard expression. Grammar (precedence low to high):
+//
+//	expr    := or
+//	or      := and  ( ("|" | "||" | "or")  and )*
+//	and     := unary ( ("&" | "&&" | "and") unary )*
+//	unary   := ("!" | "not") unary | primary
+//	primary := "true" | "false" | "(" expr ")"
+//	         | "Chk_evt" "(" ident ")" | "chk" "(" ident ")"
+//	         | "event" "(" ident ")" | "prop" "(" ident ")"
+//	         | ident
+//
+// Bare identifiers are resolved through kindOf; if kindOf is nil,
+// EventsByDefault is used. Unknown identifiers are an error.
+func Parse(src string, kindOf KindResolver) (Expr, error) {
+	if kindOf == nil {
+		kindOf = EventsByDefault
+	}
+	p := &exprParser{src: src, kindOf: kindOf}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != tokEOF {
+		return nil, p.errorf("unexpected %q after expression", p.lit)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and fixtures.
+func MustParse(src string, kindOf KindResolver) Expr {
+	e, err := Parse(src, kindOf)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type exprToken int
+
+const (
+	tokEOF exprToken = iota
+	tokIdent
+	tokAnd
+	tokOr
+	tokNot
+	tokLParen
+	tokRParen
+	tokError
+)
+
+type exprParser struct {
+	src    string
+	pos    int
+	tok    exprToken
+	lit    string
+	kindOf KindResolver
+}
+
+func (p *exprParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("expr: at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *exprParser) next() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		p.tok, p.lit = tokEOF, ""
+		return
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '&':
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '&' {
+			p.pos++
+		}
+		p.tok, p.lit = tokAnd, "&"
+	case c == '|':
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '|' {
+			p.pos++
+		}
+		p.tok, p.lit = tokOr, "|"
+	case c == '!':
+		p.pos++
+		p.tok, p.lit = tokNot, "!"
+	case c == '(':
+		p.pos++
+		p.tok, p.lit = tokLParen, "("
+	case c == ')':
+		p.pos++
+		p.tok, p.lit = tokRParen, ")"
+	case isIdentStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isIdentPart(p.src[p.pos]) {
+			p.pos++
+		}
+		word := p.src[start:p.pos]
+		switch strings.ToLower(word) {
+		case "and":
+			p.tok, p.lit = tokAnd, word
+		case "or":
+			p.tok, p.lit = tokOr, word
+		case "not":
+			p.tok, p.lit = tokNot, word
+		default:
+			p.tok, p.lit = tokIdent, word
+		}
+	default:
+		p.tok, p.lit = tokError, string(c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func (p *exprParser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for p.tok == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	return Or(terms...), nil
+}
+
+func (p *exprParser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{left}
+	for p.tok == tokAnd {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, right)
+	}
+	return And(terms...), nil
+}
+
+func (p *exprParser) parseUnary() (Expr, error) {
+	if p.tok == tokNot {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(x), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (Expr, error) {
+	switch p.tok {
+	case tokLParen:
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != tokRParen {
+			return nil, p.errorf("expected ')', got %q", p.lit)
+		}
+		p.next()
+		return e, nil
+	case tokIdent:
+		word := p.lit
+		switch strings.ToLower(word) {
+		case "true":
+			p.next()
+			return True, nil
+		case "false":
+			p.next()
+			return False, nil
+		case "chk", "chk_evt":
+			p.next()
+			name, err := p.parseCallArg(word)
+			if err != nil {
+				return nil, err
+			}
+			return Chk(name), nil
+		case "event":
+			p.next()
+			name, err := p.parseCallArg(word)
+			if err != nil {
+				return nil, err
+			}
+			return Ev(name), nil
+		case "prop":
+			p.next()
+			name, err := p.parseCallArg(word)
+			if err != nil {
+				return nil, err
+			}
+			return Pr(name), nil
+		}
+		p.next()
+		kind, ok := p.kindOf(word)
+		if !ok {
+			return nil, p.errorf("unknown symbol %q", word)
+		}
+		if kind == event.KindProp {
+			return Pr(word), nil
+		}
+		return Ev(word), nil
+	case tokEOF:
+		return nil, p.errorf("unexpected end of expression")
+	default:
+		return nil, p.errorf("unexpected token %q", p.lit)
+	}
+}
+
+func (p *exprParser) parseCallArg(fn string) (string, error) {
+	if p.tok != tokLParen {
+		return "", p.errorf("expected '(' after %s", fn)
+	}
+	p.next()
+	if p.tok != tokIdent {
+		return "", p.errorf("expected identifier in %s(...)", fn)
+	}
+	name := p.lit
+	p.next()
+	if p.tok != tokRParen {
+		return "", p.errorf("expected ')' closing %s(...)", fn)
+	}
+	p.next()
+	return name, nil
+}

@@ -1,0 +1,323 @@
+// Package ltlmon is the prior-art baseline of experiment E10: monitor
+// construction from temporal-logic properties, in the style the paper
+// cites as related work ([17] Geilen's monitor construction, [18] FoCs).
+// It implements finite-trace LTL with formula progression (rewriting):
+// the monitor state is a formula, each trace element rewrites it, and
+// verdicts fall out when it collapses to true or false.
+//
+// The package exists to reproduce the paper's qualitative claims: that
+// capturing long event sequences in temporal logic is awkward (compare
+// SequenceFormula's output against the chart constructors) and to give
+// the throughput/size baseline for the synthesized automata.
+package ltlmon
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// Formula is a finite-trace LTL formula.
+type Formula interface {
+	String() string
+	ltl()
+}
+
+// Atom embeds a state predicate (over EVENTS and PROP) as a formula.
+type Atom struct{ E expr.Expr }
+
+// TrueF and FalseF are the constant formulas.
+var (
+	TrueF  Formula = Atom{E: expr.True}
+	FalseF Formula = Atom{E: expr.False}
+)
+
+// NotF is logical negation.
+type NotF struct{ X Formula }
+
+// AndF is binary conjunction.
+type AndF struct{ L, R Formula }
+
+// OrF is binary disjunction.
+type OrF struct{ L, R Formula }
+
+// NextF is the next-state operator X.
+type NextF struct{ X Formula }
+
+// UntilF is the until operator (L U R).
+type UntilF struct{ L, R Formula }
+
+// EventuallyF is F x = true U x.
+type EventuallyF struct{ X Formula }
+
+// AlwaysF is G x.
+type AlwaysF struct{ X Formula }
+
+func (Atom) ltl()        {}
+func (NotF) ltl()        {}
+func (AndF) ltl()        {}
+func (OrF) ltl()         {}
+func (NextF) ltl()       {}
+func (UntilF) ltl()      {}
+func (EventuallyF) ltl() {}
+func (AlwaysF) ltl()     {}
+
+func (a Atom) String() string        { return a.E.String() }
+func (f NotF) String() string        { return "!(" + f.X.String() + ")" }
+func (f AndF) String() string        { return "(" + f.L.String() + " && " + f.R.String() + ")" }
+func (f OrF) String() string         { return "(" + f.L.String() + " || " + f.R.String() + ")" }
+func (f NextF) String() string       { return "X(" + f.X.String() + ")" }
+func (f UntilF) String() string      { return "(" + f.L.String() + " U " + f.R.String() + ")" }
+func (f EventuallyF) String() string { return "F(" + f.X.String() + ")" }
+func (f AlwaysF) String() string     { return "G(" + f.X.String() + ")" }
+
+// Constructors with constant folding.
+
+// Not negates f.
+func Not(f Formula) Formula {
+	switch v := f.(type) {
+	case Atom:
+		if expr.Equal(v.E, expr.True) {
+			return FalseF
+		}
+		if expr.Equal(v.E, expr.False) {
+			return TrueF
+		}
+	case NotF:
+		return v.X
+	}
+	return NotF{X: f}
+}
+
+// And conjoins, folding constants and duplicates.
+func And(l, r Formula) Formula {
+	if isFalse(l) || isFalse(r) {
+		return FalseF
+	}
+	if isTrue(l) {
+		return r
+	}
+	if isTrue(r) {
+		return l
+	}
+	if l.String() == r.String() {
+		return l
+	}
+	return AndF{L: l, R: r}
+}
+
+// Or disjoins, folding constants and duplicates.
+func Or(l, r Formula) Formula {
+	if isTrue(l) || isTrue(r) {
+		return TrueF
+	}
+	if isFalse(l) {
+		return r
+	}
+	if isFalse(r) {
+		return l
+	}
+	if l.String() == r.String() {
+		return l
+	}
+	return OrF{L: l, R: r}
+}
+
+// Next wraps f in X.
+func Next(f Formula) Formula {
+	if isFalse(f) {
+		return FalseF
+	}
+	return NextF{X: f}
+}
+
+func isTrue(f Formula) bool {
+	a, ok := f.(Atom)
+	return ok && expr.Equal(a.E, expr.True)
+}
+
+func isFalse(f Formula) bool {
+	a, ok := f.(Atom)
+	return ok && expr.Equal(a.E, expr.False)
+}
+
+// Progress rewrites f by one trace element s: the result holds of the
+// remaining trace iff f held of s followed by that trace.
+func Progress(f Formula, s event.State) Formula {
+	switch v := f.(type) {
+	case Atom:
+		if expr.EvalState(v.E, s) {
+			return TrueF
+		}
+		return FalseF
+	case NotF:
+		return Not(Progress(v.X, s))
+	case AndF:
+		return And(Progress(v.L, s), Progress(v.R, s))
+	case OrF:
+		return Or(Progress(v.L, s), Progress(v.R, s))
+	case NextF:
+		return v.X
+	case UntilF:
+		return Or(Progress(v.R, s), And(Progress(v.L, s), v))
+	case EventuallyF:
+		return Or(Progress(v.X, s), v)
+	case AlwaysF:
+		return And(Progress(v.X, s), v)
+	default:
+		return FalseF
+	}
+}
+
+// SequenceFormula builds the window formula for a pattern: the paper's
+// complaint made concrete — an n-tick scenario becomes n-1 nested X
+// operators: p0 && X(p1 && X(... pn-1)).
+func SequenceFormula(p []expr.Expr) Formula {
+	if len(p) == 0 {
+		return TrueF
+	}
+	f := Formula(Atom{E: p[len(p)-1]})
+	for i := len(p) - 2; i >= 0; i-- {
+		f = And(Atom{E: p[i]}, Next(f))
+	}
+	return f
+}
+
+// Verdict is a three-valued monitoring outcome.
+type Verdict int
+
+const (
+	// Pending: the formula is not yet decided.
+	Pending Verdict = iota
+	// Satisfied: the formula collapsed to true.
+	Satisfied
+	// Violated: the formula collapsed to false.
+	Violated
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Satisfied:
+		return "satisfied"
+	case Violated:
+		return "violated"
+	default:
+		return "pending"
+	}
+}
+
+// Checker progresses a single formula over a trace — the classic
+// rewriting monitor for assertion-style properties (e.g. G(req -> X ack)).
+type Checker struct {
+	cur     Formula
+	verdict Verdict
+	steps   int
+}
+
+// NewChecker starts a checker on f.
+func NewChecker(f Formula) *Checker { return &Checker{cur: f} }
+
+// Step consumes one element; once decided, further steps are no-ops.
+func (c *Checker) Step(s event.State) Verdict {
+	c.steps++
+	if c.verdict != Pending {
+		return c.verdict
+	}
+	c.cur = Progress(c.cur, s)
+	if isTrue(c.cur) {
+		c.verdict = Satisfied
+	} else if isFalse(c.cur) {
+		c.verdict = Violated
+	}
+	return c.verdict
+}
+
+// Current returns the residual formula.
+func (c *Checker) Current() Formula { return c.cur }
+
+// Verdict returns the current verdict.
+func (c *Checker) Verdict() Verdict { return c.verdict }
+
+// Detector detects every occurrence of a window formula by spawning a
+// progression instance at each tick (the FoCs-style checker-per-trigger
+// discipline). It is the temporal-logic counterpart of the paper's
+// scenario detectors, used as the throughput baseline.
+type Detector struct {
+	window  Formula
+	active  []Formula
+	scratch []Formula
+	accepts int
+}
+
+// NewDetector builds a detector for the window formula.
+func NewDetector(window Formula) *Detector { return &Detector{window: window} }
+
+// Step consumes one element and reports whether a window completed here.
+func (d *Detector) Step(s event.State) bool {
+	d.active = append(d.active, d.window)
+	hit := false
+	d.scratch = d.scratch[:0]
+	for _, f := range d.active {
+		g := Progress(f, s)
+		if isTrue(g) {
+			hit = true
+			continue
+		}
+		if isFalse(g) {
+			continue
+		}
+		d.scratch = append(d.scratch, g)
+	}
+	d.active, d.scratch = d.scratch, d.active
+	if hit {
+		d.accepts++
+	}
+	return hit
+}
+
+// Accepts counts completed windows so far.
+func (d *Detector) Accepts() int { return d.accepts }
+
+// ActiveInstances reports the number of live progression instances — the
+// baseline's memory cost the paper's automata avoid.
+func (d *Detector) ActiveInstances() int { return len(d.active) }
+
+// Run consumes a trace and returns the ticks at which windows completed.
+func (d *Detector) Run(tr trace.Trace) []int {
+	var out []int
+	for i, s := range tr {
+		if d.Step(s) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Size measures a formula's syntactic size (operator and atom count),
+// used for the spec-size comparison of experiment E10.
+func Size(f Formula) int {
+	switch v := f.(type) {
+	case Atom:
+		return 1 + strings.Count(v.E.String(), "&") + strings.Count(v.E.String(), "|")
+	case NotF:
+		return 1 + Size(v.X)
+	case AndF:
+		return 1 + Size(v.L) + Size(v.R)
+	case OrF:
+		return 1 + Size(v.L) + Size(v.R)
+	case NextF:
+		return 1 + Size(v.X)
+	case UntilF:
+		return 1 + Size(v.L) + Size(v.R)
+	case EventuallyF:
+		return 1 + Size(v.X)
+	case AlwaysF:
+		return 1 + Size(v.X)
+	default:
+		panic(fmt.Sprintf("ltlmon: unknown formula %T", f))
+	}
+}

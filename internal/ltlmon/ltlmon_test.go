@@ -1,0 +1,206 @@
+package ltlmon
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+func st(events ...string) event.State {
+	return event.NewState().WithEvents(events...)
+}
+
+func TestConstructorsFold(t *testing.T) {
+	a := Formula(Atom{E: expr.Ev("a")})
+	if And(TrueF, a) != a || And(a, TrueF) != a {
+		t.Error("And true identity")
+	}
+	if And(FalseF, a).String() != "false" {
+		t.Error("And false absorb")
+	}
+	if Or(FalseF, a) != a {
+		t.Error("Or false identity")
+	}
+	if Or(TrueF, a).String() != "true" {
+		t.Error("Or true absorb")
+	}
+	if And(a, a) != a || Or(a, a) != a {
+		t.Error("idempotence")
+	}
+	if Not(Not(a)).String() != a.String() {
+		t.Error("double negation")
+	}
+	if Not(TrueF).String() != "false" || Not(FalseF).String() != "true" {
+		t.Error("constant negation")
+	}
+	if Next(FalseF).String() != "false" {
+		t.Error("Next false")
+	}
+}
+
+func TestProgressAtoms(t *testing.T) {
+	a := Atom{E: expr.Ev("a")}
+	if Progress(a, st("a")) != TrueF {
+		t.Error("satisfied atom")
+	}
+	if Progress(a, st("b")) != FalseF {
+		t.Error("unsatisfied atom")
+	}
+	if got := Progress(NextF{X: a}, st()); got.String() != "a" {
+		t.Errorf("X progression = %v", got)
+	}
+}
+
+func TestProgressUntil(t *testing.T) {
+	// a U b: holds of trace a a b.
+	f := UntilF{L: Atom{E: expr.Ev("a")}, R: Atom{E: expr.Ev("b")}}
+	c := NewChecker(f)
+	if v := c.Step(st("a")); v != Pending {
+		t.Fatalf("after a: %v", v)
+	}
+	if v := c.Step(st("a")); v != Pending {
+		t.Fatalf("after aa: %v", v)
+	}
+	if v := c.Step(st("b")); v != Satisfied {
+		t.Fatalf("after aab: %v", v)
+	}
+	// a U b violated by neither-a-nor-b.
+	c2 := NewChecker(f)
+	if v := c2.Step(st("x")); v != Violated {
+		t.Fatalf("violation verdict = %v", v)
+	}
+}
+
+func TestProgressEventuallyAlways(t *testing.T) {
+	fa := EventuallyF{X: Atom{E: expr.Ev("a")}}
+	c := NewChecker(fa)
+	c.Step(st())
+	c.Step(st())
+	if v := c.Step(st("a")); v != Satisfied {
+		t.Errorf("F a verdict = %v", v)
+	}
+	ga := AlwaysF{X: Atom{E: expr.Ev("a")}}
+	c2 := NewChecker(ga)
+	if v := c2.Step(st("a")); v != Pending {
+		t.Errorf("G a after a = %v", v)
+	}
+	if v := c2.Step(st("b")); v != Violated {
+		t.Errorf("G a after b = %v", v)
+	}
+	// Once decided, further steps keep the verdict.
+	if v := c2.Step(st("a")); v != Violated {
+		t.Errorf("verdict changed: %v", v)
+	}
+}
+
+func TestSequenceFormula(t *testing.T) {
+	p := []expr.Expr{expr.Ev("a"), expr.Ev("b"), expr.Ev("c")}
+	f := SequenceFormula(p)
+	want := "(a && X((b && X(c))))"
+	if got := f.String(); got != want {
+		t.Errorf("sequence formula = %q, want %q", got, want)
+	}
+	if SequenceFormula(nil) != TrueF {
+		t.Error("empty sequence formula")
+	}
+	// The nesting the paper complains about: size grows linearly with
+	// pattern length.
+	long := make([]expr.Expr, 10)
+	for i := range long {
+		long[i] = expr.Ev("e")
+	}
+	if Size(SequenceFormula(long)) <= Size(SequenceFormula(long[:5])) {
+		t.Error("formula size does not grow with sequence length")
+	}
+}
+
+func TestDetectorMatchesWindows(t *testing.T) {
+	f := SequenceFormula([]expr.Expr{expr.Ev("a"), expr.Ev("b")})
+	d := NewDetector(f)
+	tx := trace.Trace{st("a"), st("b"), st("a"), st("a"), st("b")}
+	got := d.Run(tx)
+	if !reflect.DeepEqual(got, []int{1, 4}) {
+		t.Errorf("detector hits = %v, want [1 4]", got)
+	}
+	if d.Accepts() != 2 {
+		t.Errorf("accepts = %d", d.Accepts())
+	}
+}
+
+func TestDetectorActiveInstances(t *testing.T) {
+	// A pattern whose prefix keeps matching grows live instances — the
+	// memory cost the synthesized automata avoid.
+	f := SequenceFormula([]expr.Expr{expr.Ev("a"), expr.Ev("a"), expr.Ev("b")})
+	d := NewDetector(f)
+	for i := 0; i < 5; i++ {
+		d.Step(st("a"))
+	}
+	if d.ActiveInstances() < 2 {
+		t.Errorf("active instances = %d, want >= 2", d.ActiveInstances())
+	}
+}
+
+func TestCheckerAssertStyle(t *testing.T) {
+	// G(req -> X ack) on a finite trace.
+	req := Atom{E: expr.Ev("req")}
+	ack := Atom{E: expr.Ev("ack")}
+	g := AlwaysF{X: Or(Not(req), Next(ack))}
+	c := NewChecker(g)
+	c.Step(st("req"))
+	if v := c.Step(st("ack")); v != Pending {
+		t.Errorf("conforming so far = %v", v)
+	}
+	c.Step(st("req"))
+	if v := c.Step(st("nothing")); v != Violated {
+		t.Errorf("missing ack = %v", v)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Pending.String() != "pending" || Satisfied.String() != "satisfied" || Violated.String() != "violated" {
+		t.Error("verdict names wrong")
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	a := Atom{E: expr.Ev("a")}
+	b := Atom{E: expr.Ev("b")}
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{NotF{X: a}, "!(a)"},
+		{AndF{L: a, R: b}, "(a && b)"},
+		{OrF{L: a, R: b}, "(a || b)"},
+		{NextF{X: a}, "X(a)"},
+		{UntilF{L: a, R: b}, "(a U b)"},
+		{EventuallyF{X: a}, "F(a)"},
+		{AlwaysF{X: a}, "G(a)"},
+	}
+	for _, tc := range cases {
+		if got := tc.f.String(); got != tc.want {
+			t.Errorf("string = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestSizeCountsOperators(t *testing.T) {
+	a := Atom{E: expr.Ev("a")}
+	if Size(a) != 1 {
+		t.Errorf("atom size = %d", Size(a))
+	}
+	f := AndF{L: NextF{X: a}, R: UntilF{L: a, R: NotF{X: a}}}
+	if got := Size(f); got != 7 {
+		t.Errorf("size = %d, want 7", got)
+	}
+	if !strings.Contains(EventuallyF{X: a}.String(), "F(") {
+		t.Error("eventual string")
+	}
+	if got := Size(EventuallyF{X: a}) + Size(AlwaysF{X: a}) + Size(OrF{L: a, R: a}); got != 2+2+3 {
+		t.Errorf("combined size = %d", got)
+	}
+}

@@ -1,0 +1,276 @@
+package ltlmon
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Parse parses a finite-trace LTL formula. Grammar (loosest first):
+//
+//	formula := until
+//	until   := or ( "U" or )*            left-associative
+//	or      := and ( ("||" | "or") and )*
+//	and     := unary ( ("&&" | "and") unary )*
+//	unary   := ("!" | "not") unary
+//	         | ("X" | "next") unary
+//	         | ("F" | "eventually") unary
+//	         | ("G" | "always") unary
+//	         | primary
+//	primary := "true" | "false" | ident | "(" formula ")"
+//
+// Identifiers resolve through kindOf exactly as in expr.Parse (nil means
+// every identifier is an event). The temporal operator names are
+// case-sensitive single letters (X, F, G, U) or the spelled keywords.
+func Parse(src string, kindOf expr.KindResolver) (Formula, error) {
+	if kindOf == nil {
+		kindOf = expr.EventsByDefault
+	}
+	p := &ltlParser{src: src, kindOf: kindOf}
+	p.next()
+	f, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok != leof {
+		return nil, p.errorf("unexpected %q after formula", p.lit)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string, kindOf expr.KindResolver) Formula {
+	f, err := Parse(src, kindOf)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type ltlTok int
+
+const (
+	leof ltlTok = iota
+	lident
+	land
+	lor
+	lnot
+	lnext
+	lfinally
+	lglobally
+	luntil
+	llparen
+	lrparen
+	lerror
+)
+
+type ltlParser struct {
+	src    string
+	pos    int
+	tok    ltlTok
+	lit    string
+	kindOf expr.KindResolver
+}
+
+func (p *ltlParser) errorf(format string, args ...any) error {
+	return fmt.Errorf("ltl: at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *ltlParser) next() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos >= len(p.src) {
+		p.tok, p.lit = leof, ""
+		return
+	}
+	c := p.src[p.pos]
+	switch c {
+	case '&':
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '&' {
+			p.pos++
+		}
+		p.tok, p.lit = land, "&&"
+		return
+	case '|':
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '|' {
+			p.pos++
+		}
+		p.tok, p.lit = lor, "||"
+		return
+	case '!':
+		p.pos++
+		p.tok, p.lit = lnot, "!"
+		return
+	case '(':
+		p.pos++
+		p.tok, p.lit = llparen, "("
+		return
+	case ')':
+		p.pos++
+		p.tok, p.lit = lrparen, ")"
+		return
+	}
+	if !isLTLIdentStart(c) {
+		p.tok, p.lit = lerror, string(c)
+		return
+	}
+	start := p.pos
+	for p.pos < len(p.src) && isLTLIdentPart(p.src[p.pos]) {
+		p.pos++
+	}
+	word := p.src[start:p.pos]
+	switch word {
+	case "X", "next":
+		p.tok, p.lit = lnext, word
+	case "F", "eventually":
+		p.tok, p.lit = lfinally, word
+	case "G", "always":
+		p.tok, p.lit = lglobally, word
+	case "U", "until":
+		p.tok, p.lit = luntil, word
+	default:
+		switch strings.ToLower(word) {
+		case "and":
+			p.tok, p.lit = land, word
+		case "or":
+			p.tok, p.lit = lor, word
+		case "not":
+			p.tok, p.lit = lnot, word
+		default:
+			p.tok, p.lit = lident, word
+		}
+	}
+}
+
+func isLTLIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isLTLIdentPart(c byte) bool {
+	return isLTLIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func (p *ltlParser) parseUntil() (Formula, error) {
+	left, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == luntil {
+		p.next()
+		right, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		left = UntilF{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *ltlParser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == lor {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *ltlParser) parseAnd() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok == land {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And(left, right)
+	}
+	return left, nil
+}
+
+func (p *ltlParser) parseUnary() (Formula, error) {
+	switch p.tok {
+	case lnot:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not(x), nil
+	case lnext:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Next(x), nil
+	case lfinally:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return EventuallyF{X: x}, nil
+	case lglobally:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return AlwaysF{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *ltlParser) parsePrimary() (Formula, error) {
+	switch p.tok {
+	case llparen:
+		p.next()
+		f, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok != lrparen {
+			return nil, p.errorf("expected ')', got %q", p.lit)
+		}
+		p.next()
+		return f, nil
+	case lident:
+		word := p.lit
+		p.next()
+		switch word {
+		case "true":
+			return TrueF, nil
+		case "false":
+			return FalseF, nil
+		}
+		kind, ok := p.kindOf(word)
+		if !ok {
+			return nil, p.errorf("unknown symbol %q", word)
+		}
+		if kind == event.KindProp {
+			return Atom{E: expr.Pr(word)}, nil
+		}
+		return Atom{E: expr.Ev(word)}, nil
+	case leof:
+		return nil, p.errorf("unexpected end of formula")
+	default:
+		return nil, p.errorf("unexpected token %q", p.lit)
+	}
+}

@@ -1,0 +1,99 @@
+package ltlmon
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+func TestParseLTLForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a", "a"},
+		{"a && b", "(a && b)"},
+		{"a || b && c", "(a || (b && c))"},
+		{"!a", "!(a)"},
+		{"X a", "X(a)"},
+		{"F (a && b)", "F((a && b))"},
+		{"G (req || !ack)", "G((req || !(ack)))"},
+		{"a U b", "(a U b)"},
+		{"a U b U c", "((a U b) U c)"},
+		{"next a", "X(a)"},
+		{"eventually a", "F(a)"},
+		{"always a", "G(a)"},
+		{"not a", "!(a)"},
+		{"true", "true"},
+		{"false || a", "a"},
+		{"G (req && X ack || !req)", "G(((req && X(ack)) || !(req)))"},
+	}
+	for _, tc := range cases {
+		f, err := Parse(tc.src, nil)
+		if err != nil {
+			t.Errorf("parse %q: %v", tc.src, err)
+			continue
+		}
+		if got := f.String(); got != tc.want {
+			t.Errorf("parse %q = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseLTLKindResolution(t *testing.T) {
+	kindOf := func(n string) (event.Kind, bool) {
+		if n == "busy" {
+			return event.KindProp, true
+		}
+		if n == "req" {
+			return event.KindEvent, true
+		}
+		return 0, false
+	}
+	f := MustParse("G (busy || req)", kindOf)
+	g, ok := f.(AlwaysF)
+	if !ok {
+		t.Fatalf("formula = %T", f)
+	}
+	or := g.X.(OrF)
+	if _, isProp := or.L.(Atom).E.(expr.PropRef); !isProp {
+		t.Error("busy not resolved as prop")
+	}
+	if _, isEv := or.R.(Atom).E.(expr.EventRef); !isEv {
+		t.Error("req not resolved as event")
+	}
+	if _, err := Parse("unknown_zz", kindOf); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestParseLTLErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "a &&", "&& a", "(a", "a)", "a b", "X", "G", "a U", "?", "a # b",
+	} {
+		if _, err := Parse(src, nil); err == nil {
+			t.Errorf("source %q accepted", src)
+		}
+	}
+}
+
+func TestParsedFormulaChecks(t *testing.T) {
+	// The parsed bounded-response assertion behaves like the built one.
+	f := MustParse("G (!req || X ack)", nil)
+	c := NewChecker(f)
+	c.Step(st("req"))
+	if v := c.Step(st("ack")); v != Pending {
+		t.Errorf("verdict = %v", v)
+	}
+	c.Step(st("req"))
+	if v := c.Step(st()); v != Violated {
+		t.Errorf("verdict = %v, want violated", v)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("((", nil)
+}

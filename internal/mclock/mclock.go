@@ -1,0 +1,270 @@
+// Package mclock implements the paper's multi-clock monitor synthesis:
+// for a CESC with asynchronous parallel composition, the synthesized
+// monitor "consists of a number of local monitors one for each clock
+// domain ... the monitors communicate and synchronize with each other
+// exchanging the information about the local states using a
+// scoreboard-like data structure". A MultiMonitor holds one local
+// monitor per clock domain, all sharing one scoreboard; cross-domain
+// causality arrows become Add_evt instrumentation in the source domain
+// and Chk_evt guards in the target domain, evaluated against the global
+// clock (the union of all component clocks' ticks).
+package mclock
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/monitor"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// MultiMonitor is the synthesized monitor for a multi-clock CESC.
+type MultiMonitor struct {
+	Name string
+	// Domains lists the clock-domain names in child order.
+	Domains []string
+	// Locals holds the local monitor for each domain.
+	Locals []*monitor.Monitor
+}
+
+// Synthesize builds the multi-clock monitor for an Async chart. Each
+// child is synthesized into a local monitor on its own clock with the
+// full single-clock algorithm (including in-domain causality); the
+// async-level cross arrows are then instrumented into the affected local
+// monitors, sharing event names on the common scoreboard.
+func Synthesize(a *chart.Async, opts *synth.Options) (*MultiMonitor, error) {
+	if opts == nil {
+		opts = &synth.Options{}
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	mm := &MultiMonitor{Name: a.ChartName}
+	// Per-child instrumentation maps: tick -> events.
+	adds := make([]map[int][]string, len(a.Children))
+	chks := make([]map[int][]string, len(a.Children))
+	for i := range a.Children {
+		adds[i] = make(map[int][]string)
+		chks[i] = make(map[int][]string)
+	}
+	for _, arr := range a.CrossArrows {
+		srcChild, srcTick, srcEvent, err := resolveEndpoint(a, arr.From)
+		if err != nil {
+			return nil, err
+		}
+		dstChild, dstTick, _, err := resolveEndpoint(a, arr.To)
+		if err != nil {
+			return nil, err
+		}
+		adds[srcChild][srcTick] = append(adds[srcChild][srcTick], srcEvent)
+		chks[dstChild][dstTick] = append(chks[dstChild][dstTick], srcEvent)
+	}
+	for i, ch := range a.Children {
+		clocks := ch.Clocks()
+		if len(clocks) != 1 {
+			return nil, fmt.Errorf("mclock: async child %d spans clocks %v; nest Async charts flat", i, clocks)
+		}
+		local, err := synth.Synthesize(ch, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mclock: child %d (%s): %w", i, clocks[0], err)
+		}
+		synth.InstrumentCrossDomain(local, adds[i], chks[i])
+		if err := local.Validate(); err != nil {
+			return nil, fmt.Errorf("mclock: child %d: %w", i, err)
+		}
+		mm.Domains = append(mm.Domains, clocks[0])
+		mm.Locals = append(mm.Locals, local)
+	}
+	return mm, nil
+}
+
+// resolveEndpoint finds the child index, tick offset, and event name of a
+// cross-arrow label.
+func resolveEndpoint(a *chart.Async, label string) (child, tick int, eventName string, err error) {
+	for i, ch := range a.Children {
+		sc, site, ok := chart.FindLabel(ch, label)
+		if !ok {
+			continue
+		}
+		// Tick offsets are exact only for pattern-shaped children; labels
+		// under Alt/Loop have no fixed offset and are rejected.
+		off, ok := labelOffset(ch, sc, site)
+		if !ok {
+			return 0, 0, "", fmt.Errorf("mclock: cross arrow endpoint %q sits under a construct without a fixed tick offset", label)
+		}
+		return i, off, site.Event, nil
+	}
+	return 0, 0, "", fmt.Errorf("mclock: cross arrow endpoint %q not found in any async child", label)
+}
+
+func labelOffset(c chart.Chart, target *chart.SCESC, site chart.LabelSite) (int, bool) {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		if v == target {
+			return site.Tick, true
+		}
+		return 0, false
+	case *chart.Seq:
+		off := 0
+		for _, ch := range v.Children {
+			if t, ok := labelOffset(ch, target, site); ok {
+				return off + t, true
+			}
+			off += chartWidth(ch)
+		}
+		return 0, false
+	case *chart.Par:
+		for _, ch := range v.Children {
+			if t, ok := labelOffset(ch, target, site); ok {
+				return t, true
+			}
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+func chartWidth(c chart.Chart) int {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		return v.NumTicks()
+	case *chart.Seq:
+		w := 0
+		for _, ch := range v.Children {
+			w += chartWidth(ch)
+		}
+		return w
+	case *chart.Par:
+		w := 0
+		for _, ch := range v.Children {
+			if cw := chartWidth(ch); cw > w {
+				w = cw
+			}
+		}
+		return w
+	default:
+		return 0
+	}
+}
+
+// Verdict summarizes a multi-clock run.
+type Verdict struct {
+	// Accepts counts coherent multi-domain acceptances: each domain's
+	// local monitor completed its scenario, and for every completion the
+	// last domain to finish observed all others' completions (the
+	// all-domains-accepted condition evaluated on the global clock).
+	Accepts int
+	// PerDomain holds each local engine's stats.
+	PerDomain []monitor.Stats
+	// Violations aggregates assert-mode violations across domains.
+	Violations int
+}
+
+// Exec executes a MultiMonitor over a global trace. All local engines
+// share one scoreboard; each consumes exactly the ticks of its domain, in
+// global-time order, and Add_evt entries are stamped with the global
+// time. A multi-clock acceptance is counted when every domain has
+// accepted at least once and the current tick completes the last missing
+// domain.
+type Exec struct {
+	mm      *MultiMonitor
+	sb      *monitor.Scoreboard
+	engines []*monitor.Engine
+	byName  map[string]int
+	now     int64
+	// acceptedSince tracks, per domain, acceptances since the last
+	// coherent multi-domain accept.
+	acceptedSince []int
+	verdict       Verdict
+}
+
+// NewExec prepares an execution of mm in the given mode.
+func NewExec(mm *MultiMonitor, mode monitor.Mode) *Exec {
+	ex := &Exec{
+		mm:            mm,
+		sb:            monitor.NewScoreboard(),
+		byName:        make(map[string]int, len(mm.Domains)),
+		acceptedSince: make([]int, len(mm.Domains)),
+	}
+	for i, lm := range mm.Locals {
+		eng := monitor.NewEngine(lm, ex.sb, mode)
+		eng.SetClockFunc(func() int64 { return ex.now })
+		ex.engines = append(ex.engines, eng)
+		ex.byName[mm.Domains[i]] = i
+	}
+	return ex
+}
+
+// Scoreboard returns the shared scoreboard.
+func (ex *Exec) Scoreboard() *monitor.Scoreboard { return ex.sb }
+
+// Engine returns the local engine for a domain (nil if unknown).
+func (ex *Exec) Engine(domain string) *monitor.Engine {
+	if i, ok := ex.byName[domain]; ok {
+		return ex.engines[i]
+	}
+	return nil
+}
+
+// StepTick feeds one global tick to the owning domain's engine.
+func (ex *Exec) StepTick(t trace.GlobalTick) (monitor.StepResult, error) {
+	i, ok := ex.byName[t.Domain]
+	if !ok {
+		return monitor.StepResult{}, fmt.Errorf("mclock: tick for unknown domain %q", t.Domain)
+	}
+	ex.now = t.Time
+	res := ex.engines[i].Step(t.State)
+	if res.Outcome == monitor.Accepted {
+		ex.acceptedSince[i]++
+		if ex.allAccepted() {
+			ex.verdict.Accepts++
+			for j := range ex.acceptedSince {
+				ex.acceptedSince[j] = 0
+			}
+		}
+	}
+	return res, nil
+}
+
+func (ex *Exec) allAccepted() bool {
+	for _, n := range ex.acceptedSince {
+		if n == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Run consumes a whole global trace and returns the verdict.
+func (ex *Exec) Run(g trace.GlobalTrace) (Verdict, error) {
+	for _, t := range g {
+		if _, err := ex.StepTick(t); err != nil {
+			return ex.verdict, err
+		}
+	}
+	return ex.Verdict(), nil
+}
+
+// Verdict snapshots the execution outcome.
+func (ex *Exec) Verdict() Verdict {
+	v := ex.verdict
+	v.PerDomain = nil
+	v.Violations = 0
+	for _, eng := range ex.engines {
+		st := eng.Stats()
+		v.PerDomain = append(v.PerDomain, st)
+		v.Violations += st.Violations
+	}
+	return v
+}
+
+// String describes the multi-monitor structure.
+func (mm *MultiMonitor) String() string {
+	s := fmt.Sprintf("multi-monitor %s: %d clock domains\n", mm.Name, len(mm.Domains))
+	for i, d := range mm.Domains {
+		s += fmt.Sprintf("-- domain %s --\n%s", d, mm.Locals[i])
+	}
+	return s
+}

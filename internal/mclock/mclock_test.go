@@ -1,0 +1,190 @@
+package mclock
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/readproto"
+	"repro/internal/semantics"
+	"repro/internal/trace"
+)
+
+func TestSynthesizeFig2Structure(t *testing.T) {
+	mm, err := Synthesize(readproto.MultiClockChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Domains) != 2 || mm.Domains[0] != "clk1" || mm.Domains[1] != "clk2" {
+		t.Fatalf("domains = %v, want [clk1 clk2]", mm.Domains)
+	}
+	// clk1's local monitor: 4 ticks -> 5 states; clk2: 3 ticks -> 4.
+	if mm.Locals[0].States != 5 || mm.Locals[1].States != 4 {
+		t.Errorf("local state counts = %d, %d; want 5, 4", mm.Locals[0].States, mm.Locals[1].States)
+	}
+	// Cross arrow e2 -> e4: source domain adds req2 when consuming its
+	// tick 1; target domain checks req2 when consuming its tick 0.
+	adv1 := transTo(t, mm.Locals[0], 1, 2)
+	if !hasAction(adv1, "Add_evt(req2)") {
+		t.Errorf("clk1 tick-1 advance lacks Add_evt(req2): %v", adv1.Actions)
+	}
+	adv2 := transTo(t, mm.Locals[1], 0, 1)
+	if !strings.Contains(adv2.Guard.String(), "Chk_evt(req2)") {
+		t.Errorf("clk2 anchor guard %q lacks Chk_evt(req2)", adv2.Guard)
+	}
+	// Cross arrow e6 -> e3: clk2 adds data2; clk1's final consumption
+	// checks it.
+	adv3 := transTo(t, mm.Locals[1], 2, 3)
+	if !hasAction(adv3, "Add_evt(data2)") {
+		t.Errorf("clk2 tick-2 advance lacks Add_evt(data2): %v", adv3.Actions)
+	}
+	fin := transTo(t, mm.Locals[0], 3, 4)
+	if !strings.Contains(fin.Guard.String(), "Chk_evt(data2)") {
+		t.Errorf("clk1 final guard %q lacks Chk_evt(data2)", fin.Guard)
+	}
+	if s := mm.String(); !strings.Contains(s, "2 clock domains") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func transTo(t *testing.T, m *monitor.Monitor, from, to int) monitor.Transition {
+	t.Helper()
+	for _, tr := range m.Trans[from] {
+		if tr.To == to {
+			return tr
+		}
+	}
+	t.Fatalf("no transition %d -> %d in:\n%s", from, to, m)
+	return monitor.Transition{}
+}
+
+func hasAction(tr monitor.Transition, want string) bool {
+	for _, a := range tr.Actions {
+		if a.String() == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFig2GoodTraceAccepted is experiment E2's core: the conforming
+// global trace is accepted coherently, and the semantics oracle agrees.
+func TestFig2GoodTraceAccepted(t *testing.T) {
+	a := readproto.MultiClockChart()
+	mm, err := Synthesize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := readproto.GoodGlobalTrace(0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExec(mm, monitor.ModeDetect)
+	v, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepts != 1 {
+		t.Errorf("multi-clock accepts = %d, want 1\n%s", v.Accepts, mm)
+	}
+	if _, ok := semantics.AsyncSatisfied(a, g); !ok {
+		t.Error("oracle rejects the conforming global trace")
+	}
+}
+
+// TestFig2CrossCausalityViolated: if the clk2 side serves the request
+// *before* the clk1 side forwarded it, the scoreboard check must block
+// acceptance, even though each domain's local pattern matches.
+func TestFig2CrossCausalityViolated(t *testing.T) {
+	a := readproto.MultiClockChart()
+	mm, err := Synthesize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a global trace where clk2's whole window precedes clk1's.
+	mk := func(events ...string) event.State {
+		return event.NewState().WithEvents(events...)
+	}
+	clk2 := trace.Trace{
+		mk(readproto.EvReq3, readproto.EvRd3, readproto.EvAddr3),
+		mk(readproto.EvRdy3, readproto.EvRdy2),
+		mk(readproto.EvData3, readproto.EvData2),
+	}
+	clk1 := trace.Trace{
+		mk(readproto.EvReq1, readproto.EvRd1, readproto.EvAddr1),
+		mk(readproto.EvReq2, readproto.EvRd2, readproto.EvAddr2),
+		mk(readproto.EvRdy1, readproto.EvRdyDone),
+		mk(readproto.EvData1, readproto.EvDataDone),
+	}
+	g, err := trace.Interleave(
+		[]string{"clk2", "clk1"},
+		map[string]int64{"clk1": 2, "clk2": 2},
+		map[string]int64{"clk1": 100, "clk2": 0}, // clk1 strictly later
+		map[string]trace.Trace{"clk1": clk1, "clk2": clk2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExec(mm, monitor.ModeDetect)
+	v, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// clk2's anchor requires Chk_evt(req2), which clk1 only adds later:
+	// the clk2 local monitor must not accept, so no coherent accept.
+	if v.Accepts != 0 {
+		t.Errorf("accepts = %d for causality-violating trace, want 0", v.Accepts)
+	}
+	if _, ok := semantics.AsyncSatisfied(a, g); ok {
+		t.Error("oracle accepted the causality-violating trace")
+	}
+}
+
+func TestExecUnknownDomain(t *testing.T) {
+	mm, err := Synthesize(readproto.MultiClockChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExec(mm, monitor.ModeDetect)
+	_, err = ex.StepTick(trace.GlobalTick{Domain: "clk9", State: event.NewState()})
+	if err == nil {
+		t.Error("tick for unknown domain accepted")
+	}
+	if ex.Engine("clk1") == nil || ex.Engine("clk9") != nil {
+		t.Error("Engine lookup misbehaves")
+	}
+}
+
+func TestSynthesizeRejectsBadEndpoints(t *testing.T) {
+	a := readproto.MultiClockChart()
+	a.CrossArrows = append(a.CrossArrows, chart.Arrow{From: "nope", To: "e4"})
+	if _, err := Synthesize(a, nil); err == nil {
+		t.Error("unknown cross-arrow endpoint accepted")
+	}
+}
+
+func TestScoreboardSharedAcrossDomains(t *testing.T) {
+	mm, err := Synthesize(readproto.MultiClockChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExec(mm, monitor.ModeDetect)
+	g := readproto.GoodGlobalTrace(0)
+	// Step only through clk1's forward (adds req2), then inspect.
+	for _, tk := range g {
+		if _, err := ex.StepTick(tk); err != nil {
+			t.Fatal(err)
+		}
+		if tk.Domain == "clk1" && tk.State.Event(readproto.EvReq2) {
+			break
+		}
+	}
+	if !ex.Scoreboard().Chk(readproto.EvReq2) {
+		t.Error("req2 not visible on the shared scoreboard after clk1 forwarded")
+	}
+	if at, ok := ex.Scoreboard().FirstAddedAt(readproto.EvReq2); !ok || at != 4 {
+		t.Errorf("req2 added at %d,%v; want global time 4", at, ok)
+	}
+}

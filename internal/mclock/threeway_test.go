@@ -1,0 +1,136 @@
+package mclock
+
+import (
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/semantics"
+	"repro/internal/trace"
+)
+
+// threeDomainChart builds a GALS pipeline across three clock domains:
+// a producer (clkA) hands off to a relay (clkB) which hands off to a
+// consumer (clkC), with a causality chain spanning all three.
+func threeDomainChart() *chart.Async {
+	mk := func(name, clk string, specs ...[]chart.EventSpec) *chart.SCESC {
+		sc := &chart.SCESC{ChartName: name, Clock: clk}
+		for _, s := range specs {
+			sc.Lines = append(sc.Lines, chart.GridLine{Events: s})
+		}
+		return sc
+	}
+	producer := mk("producer", "clkA",
+		[]chart.EventSpec{{Event: "produce", Label: "p1"}},
+		[]chart.EventSpec{{Event: "handoff_ab", Label: "p2"}},
+	)
+	relay := mk("relay", "clkB",
+		[]chart.EventSpec{{Event: "relay_in", Label: "r1"}},
+		[]chart.EventSpec{{Event: "handoff_bc", Label: "r2"}},
+	)
+	consumer := mk("consumer", "clkC",
+		[]chart.EventSpec{{Event: "consume", Label: "c1"}},
+	)
+	return &chart.Async{
+		ChartName: "three_way",
+		Children:  []chart.Chart{producer, relay, consumer},
+		CrossArrows: []chart.Arrow{
+			{From: "p2", To: "r1"},
+			{From: "r2", To: "c1"},
+		},
+	}
+}
+
+func mkTick(tm int64, dom string, evs ...string) trace.GlobalTick {
+	return trace.GlobalTick{Time: tm, Domain: dom, State: event.NewState().WithEvents(evs...)}
+}
+
+func TestThreeDomainPipelineAccepted(t *testing.T) {
+	a := threeDomainChart()
+	mm, err := Synthesize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Domains) != 3 {
+		t.Fatalf("domains = %v", mm.Domains)
+	}
+	good := trace.GlobalTrace{
+		mkTick(0, "clkA", "produce"),
+		mkTick(1, "clkB"), // idle relay tick
+		mkTick(2, "clkC"),
+		mkTick(3, "clkA", "handoff_ab"),
+		mkTick(4, "clkB", "relay_in"),
+		mkTick(5, "clkC"),
+		mkTick(6, "clkB", "handoff_bc"),
+		mkTick(7, "clkC", "consume"),
+	}
+	ex := NewExec(mm, monitor.ModeDetect)
+	v, err := ex.Run(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepts != 1 {
+		t.Errorf("accepts = %d, want 1\n%s", v.Accepts, mm)
+	}
+	if _, ok := semantics.AsyncSatisfied(a, good); !ok {
+		t.Error("oracle rejects the conforming pipeline trace")
+	}
+}
+
+func TestThreeDomainBrokenChain(t *testing.T) {
+	a := threeDomainChart()
+	mm, err := Synthesize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consumer acts before the relay's handoff: the second hop of
+	// the causality chain is violated.
+	bad := trace.GlobalTrace{
+		mkTick(0, "clkA", "produce"),
+		mkTick(1, "clkA", "handoff_ab"),
+		mkTick(2, "clkB", "relay_in"),
+		mkTick(3, "clkC", "consume"), // before handoff_bc
+		mkTick(4, "clkB", "handoff_bc"),
+	}
+	ex := NewExec(mm, monitor.ModeDetect)
+	v, err := ex.Run(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepts != 0 {
+		t.Errorf("accepts = %d for broken chain, want 0", v.Accepts)
+	}
+	if _, ok := semantics.AsyncSatisfied(a, bad); ok {
+		t.Error("oracle accepts the broken chain")
+	}
+}
+
+func TestThreeDomainRepeatedTransactions(t *testing.T) {
+	a := threeDomainChart()
+	mm, err := Synthesize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g trace.GlobalTrace
+	tm := int64(0)
+	push := func(dom string, evs ...string) {
+		g = append(g, mkTick(tm, dom, evs...))
+		tm++
+	}
+	for i := 0; i < 5; i++ {
+		push("clkA", "produce")
+		push("clkA", "handoff_ab")
+		push("clkB", "relay_in")
+		push("clkB", "handoff_bc")
+		push("clkC", "consume")
+	}
+	ex := NewExec(mm, monitor.ModeDetect)
+	v, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepts != 5 {
+		t.Errorf("accepts = %d, want 5", v.Accepts)
+	}
+}

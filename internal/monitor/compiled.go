@@ -1,0 +1,191 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Compiled is the table-driven fast path for monitor execution: the
+// transition function is precomputed over every (input valuation,
+// scoreboard-bit vector) pair, so a step is two table lookups and a
+// handful of counter updates instead of guard-tree evaluation. It exists
+// to close the throughput gap between synthesized monitors and
+// hand-written checkers (experiment E10); parity with the interpreted
+// engine is property-tested.
+//
+// The fast path is single-goroutine and owns a private scoreboard (plain
+// counters, no locking), so it does not participate in multi-clock
+// shared-scoreboard execution — use the interpreted Engine there.
+type Compiled struct {
+	m   *Monitor
+	sup *event.Support
+	// chkEvents are the scoreboard events guards test, in index order.
+	chkEvents []string
+	chkIndex  map[string]int
+	width     uint // support bits
+	// next[state*stride + idx] is the target state; trans holds the
+	// fired transition's index within Trans[state] (-1 for none).
+	stride int
+	next   []int32
+	trans  []int32
+	// counts is the private scoreboard.
+	counts map[string]int
+
+	state   int
+	accepts int
+	steps   int
+}
+
+// maxCompileBits caps the table: 2^(support+chk) entries per state.
+const maxCompileBits = 20
+
+// Compile builds the table-driven form of m. It fails when the combined
+// support and scoreboard-bit width would make the table excessive.
+func Compile(m *Monitor) (*Compiled, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sup, err := m.Support()
+	if err != nil {
+		return nil, err
+	}
+	chkSet := map[string]bool{}
+	for _, ts := range m.Trans {
+		for _, t := range ts {
+			for _, e := range expr.ChkRefs(t.Guard) {
+				chkSet[e] = true
+			}
+		}
+	}
+	var chkEvents []string
+	for e := range chkSet {
+		chkEvents = append(chkEvents, e)
+	}
+	// Deterministic order.
+	for i := 0; i < len(chkEvents); i++ {
+		for j := i + 1; j < len(chkEvents); j++ {
+			if chkEvents[j] < chkEvents[i] {
+				chkEvents[i], chkEvents[j] = chkEvents[j], chkEvents[i]
+			}
+		}
+	}
+	totalBits := sup.Len() + len(chkEvents)
+	if totalBits > maxCompileBits {
+		return nil, fmt.Errorf("monitor: %d support + %d scoreboard bits exceed compile limit %d",
+			sup.Len(), len(chkEvents), maxCompileBits)
+	}
+	c := &Compiled{
+		m:         m,
+		sup:       sup,
+		chkEvents: chkEvents,
+		chkIndex:  map[string]int{},
+		width:     uint(sup.Len()),
+		stride:    1 << uint(totalBits),
+		counts:    map[string]int{},
+		state:     m.Initial,
+	}
+	for i, e := range chkEvents {
+		c.chkIndex[e] = i
+	}
+	c.next = make([]int32, m.States*c.stride)
+	c.trans = make([]int32, m.States*c.stride)
+	for s := 0; s < m.States; s++ {
+		for idx := 0; idx < c.stride; idx++ {
+			val := event.Valuation(uint64(idx) & ((1 << c.width) - 1))
+			chkBits := uint64(idx) >> c.width
+			ctx := compiledCtx{sup: sup, val: val, chk: chkBits, chkIndex: c.chkIndex}
+			to, ti := m.Initial, int32(-1)
+			for i, t := range m.Trans[s] {
+				if t.Guard.Eval(ctx) {
+					to, ti = t.To, int32(i)
+					break
+				}
+			}
+			c.next[s*c.stride+idx] = int32(to)
+			c.trans[s*c.stride+idx] = ti
+		}
+	}
+	return c, nil
+}
+
+// compiledCtx evaluates guards during table construction.
+type compiledCtx struct {
+	sup      *event.Support
+	val      event.Valuation
+	chk      uint64
+	chkIndex map[string]int
+}
+
+func (c compiledCtx) Event(name string) bool {
+	i := c.sup.Index(name)
+	return i >= 0 && c.val.Bit(i)
+}
+
+func (c compiledCtx) Prop(name string) bool {
+	i := c.sup.Index(name)
+	return i >= 0 && c.val.Bit(i)
+}
+
+func (c compiledCtx) ChkEvt(name string) bool {
+	i, ok := c.chkIndex[name]
+	return ok && c.chk&(1<<uint(i)) != 0
+}
+
+// Step consumes one input element; it reports whether the monitor
+// accepted at this tick.
+func (c *Compiled) Step(s event.State) bool {
+	idx := uint64(c.sup.Valuation(s))
+	for i, e := range c.chkEvents {
+		if c.counts[e] > 0 {
+			idx |= 1 << (c.width + uint(i))
+		}
+	}
+	base := c.state * c.stride
+	to := int(c.next[base+int(idx)])
+	ti := c.trans[base+int(idx)]
+	if ti >= 0 {
+		for _, a := range c.m.Trans[c.state][ti].Actions {
+			switch a.Kind {
+			case ActAdd:
+				for _, e := range a.Events {
+					c.counts[e]++
+				}
+			case ActDel:
+				for _, e := range a.Events {
+					if c.counts[e] > 0 {
+						c.counts[e]--
+					}
+				}
+			}
+		}
+	}
+	c.state = to
+	c.steps++
+	if c.m.IsFinal(to) {
+		c.accepts++
+		return true
+	}
+	return false
+}
+
+// State returns the current automaton state.
+func (c *Compiled) State() int { return c.state }
+
+// Accepts returns the number of acceptances so far.
+func (c *Compiled) Accepts() int { return c.accepts }
+
+// Steps returns the number of inputs consumed.
+func (c *Compiled) Steps() int { return c.steps }
+
+// Reset returns the monitor to its initial state and clears the private
+// scoreboard; counters are preserved.
+func (c *Compiled) Reset() {
+	c.state = c.m.Initial
+	c.counts = map[string]int{}
+}
+
+// TableBytes reports the transition table footprint, for sizing
+// diagnostics.
+func (c *Compiled) TableBytes() int { return 8 * len(c.next) }

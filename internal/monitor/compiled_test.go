@@ -1,0 +1,105 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+)
+
+func TestCompiledParityTwoStep(t *testing.T) {
+	m := twoStep()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(m, nil, ModeDetect)
+	probe := []struct{ evs []string }{
+		{nil}, {[]string{"a"}}, {[]string{"b"}}, {[]string{"a"}},
+		{[]string{"a", "b"}}, {nil}, {[]string{"b"}}, {[]string{"a"}}, {[]string{"b"}},
+	}
+	for i, p := range probe {
+		s := st(p.evs...)
+		got := c.Step(s)
+		want := e.Step(s).Outcome == Accepted
+		if got != want {
+			t.Fatalf("tick %d: compiled=%v engine=%v", i, got, want)
+		}
+		if c.State() != e.State() {
+			t.Fatalf("tick %d: compiled state %d != engine state %d", i, c.State(), e.State())
+		}
+	}
+	if c.Accepts() != e.Stats().Accepts || c.Steps() != e.Stats().Steps {
+		t.Errorf("counters diverged: %d/%d vs %d/%d",
+			c.Accepts(), c.Steps(), e.Stats().Accepts, e.Stats().Steps)
+	}
+	if c.TableBytes() <= 0 {
+		t.Error("table size not reported")
+	}
+}
+
+func TestCompiledParityRandom(t *testing.T) {
+	m := twoStep()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(m, nil, ModeDetect)
+	// Pseudo-random but deterministic input stream over {a,b}.
+	x := uint32(12345)
+	for i := 0; i < 5000; i++ {
+		x = x*1664525 + 1013904223
+		s := st()
+		if x&1 != 0 {
+			s.Events["a"] = true
+		}
+		if x&2 != 0 {
+			s.Events["b"] = true
+		}
+		if c.Step(s) != (e.Step(s).Outcome == Accepted) {
+			t.Fatalf("diverged at tick %d", i)
+		}
+	}
+}
+
+func TestCompiledReset(t *testing.T) {
+	m := twoStep()
+	c, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(st("a"))
+	if c.State() != 1 {
+		t.Fatalf("state = %d", c.State())
+	}
+	c.Reset()
+	if c.State() != m.Initial {
+		t.Error("reset did not restore initial state")
+	}
+	// Scoreboard cleared: the b-step requires Chk(a).
+	if c.Step(st("b")) {
+		t.Error("accepted without scoreboard entry after reset")
+	}
+}
+
+func TestCompileRejectsWideMonitors(t *testing.T) {
+	m := New("wide", "clk", 2)
+	var terms []expr.Expr
+	for i := 0; i < maxCompileBits+1; i++ {
+		terms = append(terms, expr.Ev(fmt.Sprintf("w%02d", i)))
+	}
+	m.AddTransition(0, Transition{To: 1, Guard: expr.And(terms...)})
+	m.AddTransition(0, Transition{To: 0, Guard: expr.Not(expr.And(terms...))})
+	m.AddTransition(1, Transition{To: 0, Guard: expr.True})
+	if _, err := Compile(m); err == nil {
+		t.Error("oversized table accepted")
+	}
+}
+
+func TestCompileRejectsInvalidMonitor(t *testing.T) {
+	bad := New("bad", "clk", 2)
+	bad.AddTransition(0, Transition{To: 7, Guard: expr.True})
+	if _, err := Compile(bad); err == nil {
+		t.Error("invalid monitor compiled")
+	}
+}

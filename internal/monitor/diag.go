@@ -1,0 +1,111 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Diagnostic captures the context of one assert-mode violation: where
+// the monitor was, what input broke the scenario, and the recent input
+// window leading up to it — the counterexample excerpt a verification
+// engineer needs to debug the failure.
+type Diagnostic struct {
+	// Tick is the engine-local tick at which the violation fired.
+	Tick int
+	// FromState is the automaton state abandoned.
+	FromState int
+	// Input is the offending trace element.
+	Input event.State
+	// Recent holds up to the configured depth of elements before the
+	// offending one, oldest first.
+	Recent []event.State
+	// Scoreboard lists the live scoreboard entries at the violation.
+	Scoreboard []string
+}
+
+// String renders a multi-line report.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "violation at tick %d (abandoned state %d)\n", d.Tick, d.FromState)
+	for i, s := range d.Recent {
+		fmt.Fprintf(&b, "  t-%d: %s\n", len(d.Recent)-i, s)
+	}
+	fmt.Fprintf(&b, "  t-0: %s   <- offending input\n", d.Input)
+	if len(d.Scoreboard) > 0 {
+		fmt.Fprintf(&b, "  scoreboard: %s\n", strings.Join(d.Scoreboard, ", "))
+	}
+	return b.String()
+}
+
+// maxDiagnostics bounds the retained reports; later violations only
+// increment counters.
+const maxDiagnostics = 32
+
+// diagState is the engine's diagnostic machinery.
+type diagState struct {
+	depth   int
+	ring    []event.State
+	next    int
+	filled  bool
+	reports []Diagnostic
+}
+
+// EnableDiagnostics makes the engine retain the last `depth` inputs and
+// record a Diagnostic for each violation (up to an internal cap).
+// Call before stepping; depth <= 0 disables.
+func (e *Engine) EnableDiagnostics(depth int) {
+	if depth <= 0 {
+		e.diag = nil
+		return
+	}
+	e.diag = &diagState{depth: depth, ring: make([]event.State, depth)}
+}
+
+// Diagnostics returns the recorded violation reports (nil when
+// diagnostics are disabled or no violation occurred).
+func (e *Engine) Diagnostics() []Diagnostic {
+	if e.diag == nil {
+		return nil
+	}
+	return e.diag.reports
+}
+
+// observe records an input before it is consumed.
+func (d *diagState) observe(s event.State) {
+	d.ring[d.next] = s.Clone()
+	d.next = (d.next + 1) % d.depth
+	if d.next == 0 {
+		d.filled = true
+	}
+}
+
+// recent returns the inputs before the one just observed, oldest first.
+func (d *diagState) recent() []event.State {
+	var out []event.State
+	n := d.depth
+	if !d.filled {
+		n = d.next
+	}
+	// Exclude the most recent entry (the offending input itself).
+	for i := n - 1; i >= 1; i-- {
+		idx := (d.next - 1 - i + 2*d.depth) % d.depth
+		out = append(out, d.ring[idx])
+	}
+	return out
+}
+
+// recordViolation captures a diagnostic if armed and under the cap.
+func (e *Engine) recordViolation(res StepResult, input event.State) {
+	if e.diag == nil || len(e.diag.reports) >= maxDiagnostics {
+		return
+	}
+	e.diag.reports = append(e.diag.reports, Diagnostic{
+		Tick:       res.Tick,
+		FromState:  res.From,
+		Input:      input.Clone(),
+		Recent:     e.diag.recent(),
+		Scoreboard: e.sb.Live(),
+	})
+}

@@ -1,0 +1,140 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// The JSON form is the interchange format for synthesized monitors:
+// stable, diff-friendly, and loadable by other tools (or later versions
+// of this one) without re-running synthesis. Guards are serialized in
+// the expression language's concrete syntax and re-parsed on load, with
+// symbol kinds carried alongside so event/proposition references survive
+// the round trip.
+
+type jsonMonitor struct {
+	Name      string            `json:"name"`
+	Clock     string            `json:"clock"`
+	States    int               `json:"states"`
+	Initial   int               `json:"initial"`
+	Final     int               `json:"final"`
+	Finals    []int             `json:"finals,omitempty"`
+	Violation int               `json:"violation"`
+	Linear    bool              `json:"linear"`
+	Symbols   map[string]string `json:"symbols"` // name -> "event"|"prop"
+	Trans     [][]jsonTrans     `json:"transitions"`
+	Guards    map[string]string `json:"guard_names,omitempty"`
+}
+
+type jsonTrans struct {
+	To      int          `json:"to"`
+	Guard   string       `json:"guard"`
+	Actions []jsonAction `json:"actions,omitempty"`
+}
+
+type jsonAction struct {
+	Kind   string   `json:"kind"` // "add" | "del"
+	Events []string `json:"events"`
+	Sticky bool     `json:"sticky,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Monitor) MarshalJSON() ([]byte, error) {
+	jm := jsonMonitor{
+		Name:      m.Name,
+		Clock:     m.Clock,
+		States:    m.States,
+		Initial:   m.Initial,
+		Final:     m.Final,
+		Finals:    m.Finals,
+		Violation: m.Violation,
+		Linear:    m.Linear,
+		Symbols:   map[string]string{},
+		Guards:    m.GuardNames,
+	}
+	jm.Trans = make([][]jsonTrans, m.States)
+	for s, ts := range m.Trans {
+		jm.Trans[s] = make([]jsonTrans, 0, len(ts))
+		for _, t := range ts {
+			jt := jsonTrans{To: t.To, Guard: t.Guard.String()}
+			for _, sym := range expr.SupportSymbols(t.Guard) {
+				jm.Symbols[sym.Name] = sym.Kind.String()
+			}
+			for _, a := range t.Actions {
+				kind := "add"
+				if a.Kind == ActDel {
+					kind = "del"
+				}
+				jt.Actions = append(jt.Actions, jsonAction{Kind: kind, Events: a.Events, Sticky: a.Sticky})
+			}
+			jm.Trans[s] = append(jm.Trans[s], jt)
+		}
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Monitor) UnmarshalJSON(data []byte) error {
+	var jm jsonMonitor
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return err
+	}
+	kindOf := func(name string) (event.Kind, bool) {
+		switch jm.Symbols[name] {
+		case "prop":
+			return event.KindProp, true
+		case "event":
+			return event.KindEvent, true
+		default:
+			// Symbols absent from the table (e.g. only referenced via
+			// Chk_evt) default to events.
+			return event.KindEvent, true
+		}
+	}
+	out := Monitor{
+		Name:      jm.Name,
+		Clock:     jm.Clock,
+		States:    jm.States,
+		Initial:   jm.Initial,
+		Final:     jm.Final,
+		Finals:    jm.Finals,
+		Violation: jm.Violation,
+		Linear:    jm.Linear,
+		Trans:     make([][]Transition, jm.States),
+	}
+	if jm.Guards != nil {
+		out.GuardNames = jm.Guards
+	}
+	if len(jm.Trans) != jm.States {
+		return fmt.Errorf("monitor: json has %d transition rows for %d states", len(jm.Trans), jm.States)
+	}
+	for s, ts := range jm.Trans {
+		for _, jt := range ts {
+			g, err := expr.Parse(jt.Guard, kindOf)
+			if err != nil {
+				return fmt.Errorf("monitor: state %d guard %q: %w", s, jt.Guard, err)
+			}
+			tr := Transition{To: jt.To, Guard: g}
+			for _, ja := range jt.Actions {
+				kind := ActAdd
+				switch ja.Kind {
+				case "add":
+				case "del":
+					kind = ActDel
+				default:
+					return fmt.Errorf("monitor: unknown action kind %q", ja.Kind)
+				}
+				tr.Actions = append(tr.Actions, Action{Kind: kind, Events: ja.Events, Sticky: ja.Sticky})
+			}
+			out.Trans[s] = append(out.Trans[s], tr)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return fmt.Errorf("monitor: json decodes to invalid monitor: %w", err)
+	}
+	*m = out
+	return nil
+}

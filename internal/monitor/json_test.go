@@ -1,0 +1,114 @@
+package monitor
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := twoStep()
+	m.NameGuard("a", m.Trans[0][0].Guard)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Monitor
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if back.States != m.States || back.Initial != m.Initial || back.Final != m.Final {
+		t.Fatalf("shape changed: %d/%d/%d", back.States, back.Initial, back.Final)
+	}
+	if !back.Linear {
+		t.Error("linear flag lost")
+	}
+	// Behavioural equality on a probe trace.
+	probe := []event.State{st("a"), st("b"), st(), st("a"), st("b")}
+	e1 := NewEngine(m, nil, ModeDetect)
+	e2 := NewEngine(&back, nil, ModeDetect)
+	for i, s := range probe {
+		r1, r2 := e1.Step(s), e2.Step(s)
+		if r1.Outcome != r2.Outcome || r1.To != r2.To {
+			t.Fatalf("tick %d: original %v->%d, decoded %v->%d", i, r1.Outcome, r1.To, r2.Outcome, r2.To)
+		}
+	}
+	if len(back.GuardLegend()) != 1 {
+		t.Error("guard legend lost")
+	}
+}
+
+func TestJSONPreservesActionsAndSticky(t *testing.T) {
+	m := New("sticky", "clk", 2)
+	a := Add("x")
+	a.Sticky = true
+	m.AddTransition(0, Transition{To: 1, Guard: expr.MustParse("x", nil), Actions: []Action{a, Del("y")}})
+	m.AddTransition(0, Transition{To: 0, Guard: expr.MustParse("!x", nil)})
+	m.AddTransition(1, Transition{To: 0, Guard: expr.True})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sticky":true`) {
+		t.Errorf("sticky flag not serialized: %s", data)
+	}
+	var back Monitor
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	acts := back.Trans[0][0].Actions
+	if len(acts) != 2 || !acts[0].Sticky || acts[0].Kind != ActAdd || acts[1].Kind != ActDel {
+		t.Errorf("actions = %+v", acts)
+	}
+}
+
+func TestJSONRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"states": 2, "transitions": []}`,
+		`{"states": 1, "initial": 0, "final": 0, "violation": -1, "transitions": [[{"to": 5, "guard": "x"}]]}`,
+		`{"states": 1, "initial": 0, "final": 0, "violation": -1, "transitions": [[{"to": 0, "guard": "(("}]]}`,
+		`{"states": 1, "initial": 0, "final": 0, "violation": -1, "transitions": [[{"to": 0, "guard": "x", "actions": [{"kind": "zap", "events": ["e"]}]}]]}`,
+	}
+	for i, src := range cases {
+		var m Monitor
+		if err := json.Unmarshal([]byte(src), &m); err == nil {
+			t.Errorf("case %d: corrupt json accepted", i)
+		}
+	}
+}
+
+func TestJSONKindsPreserved(t *testing.T) {
+	m := New("kinds", "clk", 2)
+	g := expr.And(expr.Pr("p"), expr.Ev("e"))
+	m.AddTransition(0, Transition{To: 1, Guard: g})
+	m.AddTransition(0, Transition{To: 0, Guard: expr.Not(g)})
+	m.AddTransition(1, Transition{To: 0, Guard: expr.True})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Monitor
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	sup, err := back.Support()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range sup.Symbols() {
+		switch sym.Name {
+		case "p":
+			if sym.Kind != event.KindProp {
+				t.Errorf("p decoded as %v", sym.Kind)
+			}
+		case "e":
+			if sym.Kind != event.KindEvent {
+				t.Errorf("e decoded as %v", sym.Kind)
+			}
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+func TestActionString(t *testing.T) {
+	if got := Add("MCmdRd", "Burst4").String(); got != "Add_evt(MCmdRd, Burst4)" {
+		t.Errorf("Add string = %q", got)
+	}
+	if got := Del("e1").String(); got != "Del_evt(e1)" {
+		t.Errorf("Del string = %q", got)
+	}
+}
+
+// twoStep builds the minimal two-tick monitor: 0 -a-> 1 -b-> 2(final),
+// with fallbacks to 0.
+func twoStep() *Monitor {
+	m := New("two", "clk", 3)
+	m.Linear = true
+	a := expr.Ev("a")
+	b := expr.Ev("b")
+	m.AddTransition(0, Transition{To: 1, Guard: a, Actions: []Action{Add("a")}})
+	m.AddTransition(0, Transition{To: 0, Guard: expr.Not(a)})
+	m.AddTransition(1, Transition{To: 2, Guard: expr.And(b, expr.Chk("a"))})
+	m.AddTransition(1, Transition{To: 1, Guard: expr.And(a, expr.Not(b))})
+	m.AddTransition(1, Transition{To: 0, Guard: expr.And(expr.Not(a), expr.Not(b)), Actions: []Action{Del("a")}})
+	m.AddTransition(2, Transition{To: 1, Guard: a, Actions: []Action{Del("a"), Add("a")}})
+	m.AddTransition(2, Transition{To: 0, Guard: expr.Not(a), Actions: []Action{Del("a")}})
+	return m
+}
+
+func st(events ...string) event.State {
+	return event.NewState().WithEvents(events...)
+}
+
+func TestMonitorValidate(t *testing.T) {
+	m := twoStep()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid monitor rejected: %v", err)
+	}
+	bad := New("bad", "clk", 2)
+	bad.AddTransition(0, Transition{To: 5, Guard: expr.True})
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range target not rejected")
+	}
+	bad2 := New("bad2", "clk", 2)
+	bad2.AddTransition(0, Transition{To: 1, Guard: nil})
+	if err := bad2.Validate(); err == nil {
+		t.Error("nil guard not rejected")
+	}
+	bad3 := New("bad3", "clk", 2)
+	bad3.AddTransition(0, Transition{To: 1, Guard: expr.True, Actions: []Action{{Kind: ActAdd}}})
+	if err := bad3.Validate(); err == nil {
+		t.Error("empty action not rejected")
+	}
+}
+
+func TestMonitorValidateRanges(t *testing.T) {
+	m := New("m", "clk", 1)
+	m.Final = 3
+	if err := m.Validate(); err == nil {
+		t.Error("final out of range not rejected")
+	}
+	m2 := New("m", "clk", 1)
+	m2.Initial = -1
+	if err := m2.Validate(); err == nil {
+		t.Error("initial out of range not rejected")
+	}
+	m3 := New("m", "clk", 2)
+	m3.Violation = 9
+	if err := m3.Validate(); err == nil {
+		t.Error("violation out of range not rejected")
+	}
+	var m4 Monitor
+	if err := m4.Validate(); err == nil {
+		t.Error("zero-state monitor not rejected")
+	}
+}
+
+func TestEngineAcceptsScenario(t *testing.T) {
+	m := twoStep()
+	e := NewEngine(m, nil, ModeDetect)
+	res := e.Step(st("a"))
+	if res.Outcome != Advanced || res.To != 1 {
+		t.Fatalf("step 1 = %+v, want advance to 1", res)
+	}
+	if !e.Scoreboard().Chk("a") {
+		t.Fatal("Add_evt(a) not applied")
+	}
+	res = e.Step(st("b"))
+	if res.Outcome != Accepted || res.To != 2 {
+		t.Fatalf("step 2 = %+v, want accept at 2", res)
+	}
+	if got := e.Stats().Accepts; got != 1 {
+		t.Errorf("accepts = %d, want 1", got)
+	}
+}
+
+func TestEngineFallbackReversesScoreboard(t *testing.T) {
+	m := twoStep()
+	e := NewEngine(m, nil, ModeDetect)
+	e.Step(st("a"))
+	if !e.Scoreboard().Chk("a") {
+		t.Fatal("scoreboard missing a after anchor")
+	}
+	res := e.Step(st()) // neither a nor b: fall back to 0 with Del_evt(a)
+	if res.Outcome != Fellback {
+		t.Fatalf("outcome = %v, want fellback", res.Outcome)
+	}
+	if e.Scoreboard().Chk("a") {
+		t.Error("Del_evt(a) not applied on fallback")
+	}
+}
+
+func TestEngineAssertModeViolation(t *testing.T) {
+	m := twoStep()
+	e := NewEngine(m, nil, ModeAssert)
+	e.Step(st("a"))
+	res := e.Step(st())
+	if res.Outcome != Violated {
+		t.Fatalf("assert-mode fallback outcome = %v, want violated", res.Outcome)
+	}
+	if e.Stats().Violations != 1 {
+		t.Errorf("violations = %d, want 1", e.Stats().Violations)
+	}
+}
+
+func TestEngineUncoveredInputHardResets(t *testing.T) {
+	m := New("partial", "clk", 3)
+	m.Linear = true
+	m.AddTransition(0, Transition{To: 1, Guard: expr.Ev("x"), Actions: []Action{Add("x")}})
+	m.AddTransition(1, Transition{To: 2, Guard: expr.Ev("y")})
+	e := NewEngine(m, nil, ModeDetect)
+	e.Step(st("x"))
+	if e.State() != 1 {
+		t.Fatalf("state = %d, want 1", e.State())
+	}
+	res := e.Step(st("z")) // uncovered in state 1
+	if res.To != 0 || e.State() != 0 {
+		t.Fatalf("hard reset expected, got %+v state %d", res, e.State())
+	}
+	if e.Scoreboard().Chk("x") {
+		t.Error("pending Add_evt(x) not reversed on hard reset")
+	}
+}
+
+func TestEngineViolationStateResets(t *testing.T) {
+	m := New("viol", "clk", 3)
+	m.Violation = 2
+	m.Final = 1
+	m.AddTransition(0, Transition{To: 2, Guard: expr.Ev("bad")})
+	m.AddTransition(0, Transition{To: 1, Guard: expr.Not(expr.Ev("bad"))})
+	e := NewEngine(m, nil, ModeDetect)
+	res := e.Step(st("bad"))
+	if res.Outcome != Violated {
+		t.Fatalf("outcome = %v, want violated", res.Outcome)
+	}
+	if e.State() != m.Initial {
+		t.Errorf("engine not reset after violation sink: state %d", e.State())
+	}
+}
+
+func TestEngineRepeatedDetection(t *testing.T) {
+	m := twoStep()
+	e := NewEngine(m, nil, ModeDetect)
+	tr := []event.State{st("a"), st("b"), st("a"), st("b"), st(), st("a"), st("b")}
+	stats := e.Run(tr)
+	if stats.Accepts != 3 {
+		t.Errorf("accepts = %d, want 3 (overlapping re-detection)", stats.Accepts)
+	}
+}
+
+func TestEngineAcceptsResetsBetweenRuns(t *testing.T) {
+	m := twoStep()
+	e := NewEngine(m, nil, ModeDetect)
+	if !e.Accepts([]event.State{st("a"), st("b")}) {
+		t.Error("conforming trace not accepted")
+	}
+	if e.Accepts([]event.State{st("b"), st("a")}) {
+		t.Error("non-conforming trace accepted")
+	}
+}
+
+func TestScoreboardCounts(t *testing.T) {
+	sb := NewScoreboard()
+	sb.Add(10, "e1", "e2")
+	sb.Add(11, "e1")
+	if got := sb.Count("e1"); got != 2 {
+		t.Errorf("count e1 = %d, want 2", got)
+	}
+	if !sb.Chk("e2") {
+		t.Error("Chk(e2) false after add")
+	}
+	sb.Del("e1")
+	if got := sb.Count("e1"); got != 1 {
+		t.Errorf("count e1 after del = %d, want 1", got)
+	}
+	sb.Del("e1")
+	sb.Del("e1") // extra delete is benign
+	if sb.Chk("e1") {
+		t.Error("Chk(e1) true after full delete")
+	}
+	if at, ok := sb.FirstAddedAt("e2"); !ok || at != 10 {
+		t.Errorf("FirstAddedAt(e2) = %d,%v want 10,true", at, ok)
+	}
+	if _, ok := sb.FirstAddedAt("e1"); ok {
+		t.Error("FirstAddedAt(e1) should report absence")
+	}
+}
+
+func TestScoreboardLiveAndString(t *testing.T) {
+	sb := NewScoreboard()
+	sb.Add(0, "b", "a")
+	live := sb.Live()
+	if len(live) != 2 || live[0] != "a" || live[1] != "b" {
+		t.Errorf("live = %v, want [a b]", live)
+	}
+	s := sb.String()
+	if !strings.Contains(s, "a:1") || !strings.Contains(s, "b:1") {
+		t.Errorf("string = %q", s)
+	}
+	sb.Reset()
+	if len(sb.Live()) != 0 {
+		t.Error("reset did not clear scoreboard")
+	}
+}
+
+func TestScoreboardConcurrentSafety(t *testing.T) {
+	sb := NewScoreboard()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			for i := 0; i < 1000; i++ {
+				sb.Add(int64(i), "x")
+				sb.Chk("x")
+				sb.Del("x")
+			}
+			done <- struct{}{}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := sb.Ops(); got != 8000 {
+		t.Errorf("ops = %d, want 8000", got)
+	}
+}
+
+func TestGuardsDisjointDetectsOverlap(t *testing.T) {
+	m := New("overlap", "clk", 2)
+	m.AddTransition(0, Transition{To: 1, Guard: expr.Ev("a")})
+	m.AddTransition(0, Transition{To: 0, Guard: expr.Ev("a")}) // overlaps
+	if ok, _ := m.GuardsDisjoint(); ok {
+		t.Error("overlapping guards not detected")
+	}
+	m2 := twoStep()
+	if ok, err := m2.GuardsDisjoint(); !ok {
+		t.Errorf("disjoint guards flagged: %v", err)
+	}
+}
+
+func TestTotalDetectsGap(t *testing.T) {
+	m := New("gap", "clk", 2)
+	m.AddTransition(0, Transition{To: 1, Guard: expr.Ev("a")})
+	// state 0 lacks a !a transition; state 1 lacks everything.
+	if ok, _ := m.Total(); ok {
+		t.Error("non-total automaton not detected")
+	}
+	m2 := twoStep()
+	if ok, err := m2.Total(); !ok {
+		t.Errorf("total automaton flagged: %v", err)
+	}
+}
+
+func TestGuardLegendAndString(t *testing.T) {
+	m := twoStep()
+	g := expr.Ev("a")
+	m.NameGuard("a", g)
+	legend := m.GuardLegend()
+	if len(legend) != 1 || legend[0] != "a = a" {
+		t.Errorf("legend = %v", legend)
+	}
+	s := m.String()
+	for _, want := range []string{"monitor two", "3 states", "-> 1 on a"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestIsFinalWithFinalsSet(t *testing.T) {
+	m := New("f", "clk", 4)
+	m.Finals = []int{1, 3}
+	if m.IsFinal(0) || m.IsFinal(2) {
+		t.Error("non-final reported final")
+	}
+	if !m.IsFinal(1) || !m.IsFinal(3) {
+		t.Error("final not reported")
+	}
+	m.Finals = nil
+	if !m.IsFinal(m.Final) {
+		t.Error("single final not honored")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	names := map[Outcome]string{
+		Advanced: "advanced", Stayed: "stayed", Accepted: "accepted",
+		Fellback: "fellback", Violated: "violated",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("outcome %d string = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}

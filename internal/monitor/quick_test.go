@@ -1,0 +1,76 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestScoreboardInvariants (property-based): under arbitrary interleaved
+// Add/Del/Reset sequences the count never goes negative, Chk agrees with
+// Count, and FirstAddedAt is present exactly when Count > 0.
+func TestScoreboardInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		sb := NewScoreboard()
+		names := []string{"a", "b", "c"}
+		model := map[string]int{}
+		for i, op := range ops {
+			name := names[int(op>>2)%len(names)]
+			switch op % 4 {
+			case 0, 1: // bias toward adds
+				sb.Add(int64(i), name)
+				model[name]++
+			case 2:
+				sb.Del(name)
+				if model[name] > 0 {
+					model[name]--
+				}
+			case 3:
+				sb.Reset()
+				model = map[string]int{}
+			}
+			for _, n := range names {
+				if sb.Count(n) != model[n] {
+					return false
+				}
+				if sb.Chk(n) != (model[n] > 0) {
+					return false
+				}
+				if _, ok := sb.FirstAddedAt(n); ok != (model[n] > 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineStateInRange (property-based): the engine's state stays
+// inside the automaton for arbitrary input sequences, and accepts never
+// exceed steps.
+func TestEngineStateInRange(t *testing.T) {
+	m := twoStep()
+	f := func(inputs []uint8) bool {
+		e := NewEngine(m, nil, ModeDetect)
+		for _, raw := range inputs {
+			s := st()
+			if raw&1 != 0 {
+				s.Events["a"] = true
+			}
+			if raw&2 != 0 {
+				s.Events["b"] = true
+			}
+			e.Step(s)
+			if e.State() < 0 || e.State() >= m.States {
+				return false
+			}
+		}
+		stats := e.Stats()
+		return stats.Accepts <= stats.Steps && stats.Violations == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

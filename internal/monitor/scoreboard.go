@@ -1,0 +1,130 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Scoreboard is the paper's dynamic scoreboard: it records event
+// occurrences so that causality checks (Chk_evt) can be evaluated within
+// a clock domain and across domains. Local monitors of different clock
+// domains share one scoreboard and synchronize through it, so all
+// operations are safe for concurrent use.
+//
+// Entries are reference-counted: Add_evt increments, Del_evt decrements
+// (never below zero), Chk_evt is true while the count is positive. Each
+// Add records the global time at which it happened, enabling cross-domain
+// ordering diagnostics.
+type Scoreboard struct {
+	mu      sync.Mutex
+	counts  map[string]int
+	addedAt map[string][]int64
+	ops     uint64
+}
+
+// NewScoreboard returns an empty scoreboard.
+func NewScoreboard() *Scoreboard {
+	return &Scoreboard{
+		counts:  make(map[string]int),
+		addedAt: make(map[string][]int64),
+	}
+}
+
+// Add records one occurrence of each named event at global time now.
+func (sb *Scoreboard) Add(now int64, events ...string) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for _, e := range events {
+		sb.counts[e]++
+		sb.addedAt[e] = append(sb.addedAt[e], now)
+		sb.ops++
+	}
+}
+
+// Del erases one recorded occurrence of each named event (no-op when the
+// count is already zero — deleting an absent event is benign, matching
+// the reversal semantics of backward transitions that may race with
+// resets).
+func (sb *Scoreboard) Del(events ...string) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	for _, e := range events {
+		if sb.counts[e] > 0 {
+			sb.counts[e]--
+			if ts := sb.addedAt[e]; len(ts) > 0 {
+				sb.addedAt[e] = ts[:len(ts)-1]
+			}
+		}
+		sb.ops++
+	}
+}
+
+// Chk implements the Chk_evt predicate: event e is currently recorded.
+func (sb *Scoreboard) Chk(e string) bool {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.counts[e] > 0
+}
+
+// Count returns the current occurrence count of e.
+func (sb *Scoreboard) Count(e string) int {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.counts[e]
+}
+
+// FirstAddedAt returns the global time of the oldest live occurrence of
+// e, and whether one exists.
+func (sb *Scoreboard) FirstAddedAt(e string) (int64, bool) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	ts := sb.addedAt[e]
+	if len(ts) == 0 {
+		return 0, false
+	}
+	return ts[0], true
+}
+
+// Reset clears all entries.
+func (sb *Scoreboard) Reset() {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.counts = make(map[string]int)
+	sb.addedAt = make(map[string][]int64)
+}
+
+// Ops returns the total number of Add/Del operations performed, for the
+// scoreboard-overhead benches.
+func (sb *Scoreboard) Ops() uint64 {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return sb.ops
+}
+
+// Live returns the names with positive counts, sorted.
+func (sb *Scoreboard) Live() []string {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	var out []string
+	for e, c := range sb.counts {
+		if c > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders e.g. "scoreboard{MCmdRd:1, Burst4:1}".
+func (sb *Scoreboard) String() string {
+	live := sb.Live()
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	parts := make([]string, 0, len(live))
+	for _, e := range live {
+		parts = append(parts, fmt.Sprintf("%s:%d", e, sb.counts[e]))
+	}
+	return "scoreboard{" + strings.Join(parts, ", ") + "}"
+}

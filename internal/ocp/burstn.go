@@ -1,0 +1,87 @@
+package ocp
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+)
+
+// BurstReadChartN generalizes Figure 7 to bursts of length n (n >= 1):
+// n back-to-back requests annotated BurstN..Burst1, responses pipelined
+// two cycles behind each request, and one causality pair per beat. n = 4
+// reproduces the paper's chart exactly (modulo the fixed Burst4..Burst1
+// names, which BurstEventName generates for any n).
+func BurstReadChartN(n int) (*chart.SCESC, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("ocp: burst length %d must be >= 1", n)
+	}
+	sc := &chart.SCESC{
+		ChartName: fmt.Sprintf("ocp_burst_read_%d", n),
+		Clock:     "ocp_clk",
+		Instances: []string{"Master", "Slave"},
+	}
+	const respLag = 2
+	total := n + respLag
+	lines := make([]chart.GridLine, total)
+	for i := 0; i < n; i++ {
+		evs := []chart.EventSpec{
+			{Event: EvBMCmdRd, Label: fmt.Sprintf("m%d", i+1), From: "Master", To: "Slave"},
+			{Event: BurstEventName(n - i), Label: fmt.Sprintf("b%d", n-i), From: "Master", To: "Slave"},
+			{Event: EvAddr, From: "Master", To: "Slave", Label: fmt.Sprintf("a%d", i+1)},
+		}
+		if i == 0 {
+			evs = append(evs, chart.EventSpec{Event: EvSCmdAccept, From: "Slave", To: "Master"})
+		}
+		lines[i] = chart.GridLine{Events: evs}
+	}
+	for i := 0; i < n; i++ {
+		at := i + respLag
+		lines[at].Events = append(lines[at].Events,
+			chart.EventSpec{Event: EvSResp, Label: fmt.Sprintf("r%d", i+1), From: "Slave", To: "Master"},
+			chart.EventSpec{Event: EvSData, Label: fmt.Sprintf("d%d", i+1), From: "Slave", To: "Master"},
+		)
+	}
+	sc.Lines = lines
+	for i := 0; i < n; i++ {
+		sc.Arrows = append(sc.Arrows,
+			chart.Arrow{From: fmt.Sprintf("m%d", i+1), To: fmt.Sprintf("r%d", i+1)},
+			chart.Arrow{From: fmt.Sprintf("b%d", n-i), To: fmt.Sprintf("r%d", i+1)},
+		)
+	}
+	return sc, nil
+}
+
+// BurstEventName returns the remaining-burst annotation event for k
+// outstanding beats ("Burst4", "Burst1", ...).
+func BurstEventName(k int) string { return fmt.Sprintf("Burst%d", k) }
+
+// burstModelTrace schedules one length-n burst into the model (shared
+// by Model when Config.BurstLen > 4 is wanted in campaigns); kept beside
+// BurstReadChartN so the chart and the traffic stay in lockstep.
+func (m *Model) startBurstN(n int, fault FaultKind) int {
+	nreq := n
+	if fault == FaultShortBurst && n > 1 {
+		nreq = n - 1
+	}
+	for i := 0; i < nreq; i++ {
+		evs := []string{EvBMCmdRd, BurstEventName(n - i), EvAddr}
+		if i == 0 && fault != FaultDropAccept {
+			evs = append(evs, EvSCmdAccept)
+		}
+		m.schedule(i, evs...)
+	}
+	for i := 0; i < nreq; i++ {
+		respAt := i + 2
+		if fault == FaultLateResponse {
+			respAt++
+		}
+		switch {
+		case fault == FaultDropResponse && i == nreq-1:
+		case fault == FaultMissingData && i == nreq-1:
+			m.schedule(respAt, EvSResp)
+		default:
+			m.schedule(respAt, EvSResp, EvSData)
+		}
+	}
+	return nreq + 2 + boolInt(fault == FaultLateResponse)
+}

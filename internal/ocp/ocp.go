@@ -1,0 +1,368 @@
+// Package ocp models the Open Core Protocol interface used by the
+// paper's case studies (Section 6): a master/slave pair exchanging simple
+// read transactions (Fig. 6, OCP spec p. 44) and pipelined burst read
+// transactions (Fig. 7, OCP spec p. 49). The model is transaction-level
+// and cycle-accurate at the observed interface: each tick emits the OCP
+// events a bus monitor would sample, which is exactly what the
+// synthesized monitors consume. Configurable fault injection perturbs
+// the sequences for the bug-detection experiments.
+package ocp
+
+import (
+	"math/rand"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// OCP event names, following the paper's figures.
+const (
+	// Simple read (Fig. 6).
+	EvMCmdRd     = "MCmd_rd"
+	EvAddr       = "Addr"
+	EvSCmdAccept = "SCmd_accept"
+	EvSResp      = "SResp"
+	EvSData      = "SData"
+
+	// Pipelined burst read (Fig. 7).
+	EvBMCmdRd = "MCmdRd"
+	EvBurst4  = "Burst4"
+	EvBurst3  = "Burst3"
+	EvBurst2  = "Burst2"
+	EvBurst1  = "Burst1"
+)
+
+// SimpleReadChart builds the Fig. 6 SCESC: request, address and accept in
+// one cycle, response with data the next, with a causality arrow from the
+// read command to the response.
+func SimpleReadChart() *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: "ocp_simple_read",
+		Clock:     "ocp_clk",
+		Instances: []string{"Master", "Slave"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvMCmdRd, From: "Master", To: "Slave", Label: "cmd"},
+				{Event: EvAddr, From: "Master", To: "Slave"},
+				{Event: EvSCmdAccept, From: "Slave", To: "Master"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvSResp, From: "Slave", To: "Master", Label: "resp"},
+				{Event: EvSData, From: "Slave", To: "Master"},
+			}},
+		},
+		Arrows: []chart.Arrow{{From: "cmd", To: "resp"}},
+	}
+}
+
+// BurstReadChart builds the Fig. 7 SCESC: a pipelined burst read of
+// length 4. Requests with decreasing remaining-burst annotations issue on
+// four consecutive cycles; responses overlap from the third cycle and
+// drain over the last two. Causality arrows pair each request with its
+// response, yielding the paper's scoreboard actions act1..act8.
+func BurstReadChart() *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: "ocp_burst_read",
+		Clock:     "ocp_clk",
+		Instances: []string{"Master", "Slave"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{ // tick 0: first request, accepted
+				{Event: EvBMCmdRd, Label: "m1", From: "Master", To: "Slave"},
+				{Event: EvBurst4, Label: "b4", From: "Master", To: "Slave"},
+				{Event: EvAddr, From: "Master", To: "Slave"},
+				{Event: EvSCmdAccept, From: "Slave", To: "Master"},
+			}},
+			{Events: []chart.EventSpec{ // tick 1: second request
+				{Event: EvBMCmdRd, Label: "m2", From: "Master", To: "Slave"},
+				{Event: EvBurst3, Label: "b3", From: "Master", To: "Slave"},
+				{Event: EvAddr, From: "Master", To: "Slave", Label: "a2"},
+			}},
+			{Events: []chart.EventSpec{ // tick 2: third request + first response
+				{Event: EvBMCmdRd, Label: "m3", From: "Master", To: "Slave"},
+				{Event: EvBurst2, Label: "b2", From: "Master", To: "Slave"},
+				{Event: EvAddr, From: "Master", To: "Slave", Label: "a3"},
+				{Event: EvSResp, Label: "r1", From: "Slave", To: "Master"},
+				{Event: EvSData, From: "Slave", To: "Master", Label: "d1"},
+			}},
+			{Events: []chart.EventSpec{ // tick 3: fourth request + second response
+				{Event: EvBMCmdRd, Label: "m4", From: "Master", To: "Slave"},
+				{Event: EvBurst1, Label: "b1", From: "Master", To: "Slave"},
+				{Event: EvAddr, From: "Master", To: "Slave", Label: "a4"},
+				{Event: EvSResp, Label: "r2", From: "Slave", To: "Master"},
+				{Event: EvSData, From: "Slave", To: "Master", Label: "d2"},
+			}},
+			{Events: []chart.EventSpec{ // tick 4: third response
+				{Event: EvSResp, Label: "r3", From: "Slave", To: "Master"},
+				{Event: EvSData, From: "Slave", To: "Master", Label: "d3"},
+			}},
+			{Events: []chart.EventSpec{ // tick 5: last response
+				{Event: EvSResp, Label: "r4", From: "Slave", To: "Master"},
+				{Event: EvSData, From: "Slave", To: "Master", Label: "d4"},
+			}},
+		},
+		Arrows: []chart.Arrow{
+			{From: "m1", To: "r1"}, {From: "b4", To: "r1"},
+			{From: "m2", To: "r2"}, {From: "b3", To: "r2"},
+			{From: "m3", To: "r3"}, {From: "b2", To: "r3"},
+			{From: "m4", To: "r4"}, {From: "b1", To: "r4"},
+		},
+	}
+}
+
+// FaultKind enumerates injectable protocol deviations.
+type FaultKind int
+
+const (
+	// FaultNone performs the transaction correctly.
+	FaultNone FaultKind = iota
+	// FaultDropResponse omits the SResp/SData cycle entirely.
+	FaultDropResponse
+	// FaultMissingData emits SResp without SData.
+	FaultMissingData
+	// FaultLateResponse delays the response by one extra cycle.
+	FaultLateResponse
+	// FaultDropAccept omits SCmd_accept on the request cycle.
+	FaultDropAccept
+	// FaultShortBurst issues only three of the four burst requests.
+	FaultShortBurst
+)
+
+// String names the fault.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDropResponse:
+		return "drop-response"
+	case FaultMissingData:
+		return "missing-data"
+	case FaultLateResponse:
+		return "late-response"
+	case FaultDropAccept:
+		return "drop-accept"
+	case FaultShortBurst:
+		return "short-burst"
+	default:
+		return "fault?"
+	}
+}
+
+// Config parameterizes the master/slave pair.
+type Config struct {
+	// Gap is the number of idle cycles between transactions.
+	Gap int
+	// Burst selects pipelined burst reads instead of simple reads.
+	Burst bool
+	// BurstLen sets the burst length (default 4, the paper's Figure 7).
+	BurstLen int
+	// Write selects posted writes instead of reads (ignored when Burst
+	// is set).
+	Write bool
+	// AcceptDelay inserts that many wait states before the slave accepts
+	// a write request (the master holds the request; see HandshakeChart).
+	AcceptDelay int
+	// FaultRate is the probability that a transaction is injected with a
+	// fault drawn from FaultKinds.
+	FaultRate float64
+	// FaultKinds lists the faults to draw from (defaults to all
+	// applicable kinds when empty).
+	FaultKinds []FaultKind
+	// Seed feeds the model's private PRNG.
+	Seed int64
+}
+
+// Model is an executable OCP master/slave pair producing the per-cycle
+// event sets observed at the interface.
+type Model struct {
+	cfg Config
+	rng *rand.Rand
+
+	// future[i] holds events scheduled for the i-th upcoming cycle.
+	future []event.State
+	// idle counts remaining gap cycles before the next transaction.
+	idle int
+	// stats
+	issued  int
+	faulted int
+}
+
+// NewModel returns a model for cfg.
+func NewModel(cfg Config) *Model {
+	if cfg.Gap < 0 {
+		cfg.Gap = 0
+	}
+	m := &Model{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	m.idle = 1 // settle one cycle before the first transaction
+	return m
+}
+
+// Issued returns the number of transactions started.
+func (m *Model) Issued() int { return m.issued }
+
+// Faulted returns the number of transactions injected with a fault.
+func (m *Model) Faulted() int { return m.faulted }
+
+// at returns the scheduled state for cycle offset i, extending the queue.
+func (m *Model) at(i int) event.State {
+	for len(m.future) <= i {
+		m.future = append(m.future, event.NewState())
+	}
+	return m.future[i]
+}
+
+func (m *Model) schedule(offset int, events ...string) {
+	s := m.at(offset)
+	for _, e := range events {
+		s.Events[e] = true
+	}
+}
+
+func (m *Model) pickFault() FaultKind {
+	if m.cfg.FaultRate <= 0 || m.rng.Float64() >= m.cfg.FaultRate {
+		return FaultNone
+	}
+	kinds := m.cfg.FaultKinds
+	if len(kinds) == 0 {
+		switch {
+		case m.cfg.Burst:
+			kinds = []FaultKind{FaultDropResponse, FaultMissingData, FaultLateResponse, FaultDropAccept, FaultShortBurst}
+		case m.cfg.Write:
+			// A write response carries no SData, so FaultMissingData
+			// would be a no-op there.
+			kinds = []FaultKind{FaultDropResponse, FaultLateResponse, FaultDropAccept}
+		default:
+			kinds = []FaultKind{FaultDropResponse, FaultMissingData, FaultLateResponse, FaultDropAccept}
+		}
+	}
+	return kinds[m.rng.Intn(len(kinds))]
+}
+
+// startTransaction schedules the cycles of one transaction starting at
+// offset 0 and returns its total length in cycles.
+func (m *Model) startTransaction() int {
+	m.issued++
+	fault := m.pickFault()
+	if fault != FaultNone {
+		m.faulted++
+	}
+	if m.cfg.Burst {
+		return m.startBurst(fault)
+	}
+	if m.cfg.Write {
+		return m.startWrite(fault)
+	}
+	return m.startSimple(fault)
+}
+
+// startWrite schedules a posted write with the configured wait states:
+// AcceptDelay cycles of the held request without accept, the accepted
+// cycle, then the data-less response.
+func (m *Model) startWrite(fault FaultKind) int {
+	wait := m.cfg.AcceptDelay
+	if wait < 0 {
+		wait = 0
+	}
+	for i := 0; i < wait; i++ {
+		m.schedule(i, EvMCmdWr, EvAddr)
+	}
+	req := []string{EvMCmdWr, EvAddr, EvMData, EvSCmdAccept}
+	if fault == FaultDropAccept {
+		req = req[:3]
+	}
+	m.schedule(wait, req...)
+	respAt := wait + 1
+	if fault == FaultLateResponse {
+		respAt++
+	}
+	if fault != FaultDropResponse {
+		m.schedule(respAt, EvSResp)
+	}
+	return respAt + 1
+}
+
+func (m *Model) startSimple(fault FaultKind) int {
+	// Request cycle.
+	req := []string{EvMCmdRd, EvAddr, EvSCmdAccept}
+	if fault == FaultDropAccept {
+		req = []string{EvMCmdRd, EvAddr}
+	}
+	m.schedule(0, req...)
+	// Response cycle.
+	respAt := 1
+	if fault == FaultLateResponse {
+		respAt = 2
+	}
+	switch fault {
+	case FaultDropResponse:
+		// nothing
+	case FaultMissingData:
+		m.schedule(respAt, EvSResp)
+	default:
+		m.schedule(respAt, EvSResp, EvSData)
+	}
+	if respAt >= 2 {
+		return 3
+	}
+	return 2
+}
+
+func (m *Model) startBurst(fault FaultKind) int {
+	n := m.cfg.BurstLen
+	if n < 1 {
+		n = 4 // the paper's Figure 7 burst
+	}
+	return m.startBurstN(n, fault)
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Step produces the event state for the next cycle.
+func (m *Model) Step() event.State {
+	if len(m.future) == 0 && m.idle == 0 {
+		busy := m.startTransaction()
+		m.idle = busy + m.cfg.Gap
+	}
+	var out event.State
+	if len(m.future) > 0 {
+		out = m.future[0]
+		m.future = m.future[1:]
+	} else {
+		out = event.NewState()
+	}
+	if m.idle > 0 {
+		m.idle--
+	}
+	return out
+}
+
+// GenerateTrace runs the model for n cycles.
+func (m *Model) GenerateTrace(n int) trace.Trace {
+	out := make(trace.Trace, n)
+	for i := range out {
+		out[i] = m.Step()
+	}
+	return out
+}
+
+// Process adapts the model to a simulator process: each domain tick emits
+// the model's next cycle onto the tick context.
+func (m *Model) Process() sim.Process {
+	return func(ctx *sim.TickCtx) {
+		s := m.Step()
+		for e, v := range s.Events {
+			if v {
+				ctx.Emit(e)
+			}
+		}
+		for p, v := range s.Props {
+			ctx.SetProp(p, v)
+		}
+	}
+}

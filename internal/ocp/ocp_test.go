@@ -1,0 +1,225 @@
+package ocp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/synth"
+)
+
+func TestChartsValidate(t *testing.T) {
+	if err := SimpleReadChart().Validate(); err != nil {
+		t.Errorf("simple read chart invalid: %v", err)
+	}
+	if err := BurstReadChart().Validate(); err != nil {
+		t.Errorf("burst read chart invalid: %v", err)
+	}
+}
+
+// TestFig6MonitorStructure is experiment E6: the synthesized monitor for
+// the OCP simple read matches the paper's Figure 6 — three states, the
+// request guard with Add_evt(MCmd_rd), the response guard carrying
+// Chk_evt(MCmd_rd), and the give-up edge reversing with Del_evt(MCmd_rd).
+func TestFig6MonitorStructure(t *testing.T) {
+	m, err := synth.Translate(SimpleReadChart(), &synth.Options{NameGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States != 3 || m.Initial != 0 || m.Final != 2 {
+		t.Fatalf("shape %d/%d/%d, want 3 states initial 0 final 2", m.States, m.Initial, m.Final)
+	}
+	adv0 := transTo(t, m, 0, 1)
+	for _, ev := range []string{EvMCmdRd, EvAddr, EvSCmdAccept} {
+		if !strings.Contains(adv0.Guard.String(), ev) {
+			t.Errorf("request guard %q missing %s", adv0.Guard, ev)
+		}
+	}
+	if got := actionStrings(adv0); len(got) != 1 || got[0] != "Add_evt(MCmd_rd)" {
+		t.Errorf("request actions = %v, want [Add_evt(MCmd_rd)]", got)
+	}
+	adv1 := transTo(t, m, 1, 2)
+	g1 := adv1.Guard.String()
+	for _, want := range []string{EvSResp, EvSData, "Chk_evt(MCmd_rd)"} {
+		if !strings.Contains(g1, want) {
+			t.Errorf("response guard %q missing %s", g1, want)
+		}
+	}
+	// Give-up from the final state reverses the scoreboard.
+	back := transTo(t, m, 2, 0)
+	if got := actionStrings(back); len(got) != 1 || got[0] != "Del_evt(MCmd_rd)" {
+		t.Errorf("give-up actions = %v, want [Del_evt(MCmd_rd)]", got)
+	}
+	if ok, err := m.Total(); !ok {
+		t.Errorf("not total: %v", err)
+	}
+}
+
+// TestFig7MonitorStructure is experiment E7: the pipelined burst read
+// monitor has seven states; requests add (MCmdRd, BurstN) pairs, each
+// response checks the command and its burst annotation, and backward
+// edges reverse the accumulated adds with multiplicity (the paper's
+// act5..act8 composite reversals).
+func TestFig7MonitorStructure(t *testing.T) {
+	m, err := synth.Translate(BurstReadChart(), &synth.Options{NameGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States != 7 || m.Final != 6 {
+		t.Fatalf("shape %d states final %d, want 7/6", m.States, m.Final)
+	}
+	// act1..act4: each request tick adds MCmdRd and its burst marker.
+	wantAdds := []struct {
+		from, to int
+		action   string
+	}{
+		{0, 1, "Add_evt(Burst4, MCmdRd)"},
+		{1, 2, "Add_evt(Burst3, MCmdRd)"},
+		{2, 3, "Add_evt(Burst2, MCmdRd)"},
+		{3, 4, "Add_evt(Burst1, MCmdRd)"},
+	}
+	for _, w := range wantAdds {
+		tr := transTo(t, m, w.from, w.to)
+		got := actionStrings(tr)
+		if len(got) == 0 || got[len(got)-1] != w.action {
+			t.Errorf("%d->%d actions = %v, want last %q", w.from, w.to, got, w.action)
+		}
+	}
+	// Response guards carry the paired Chk_evt checks (c..f of the paper).
+	wantChk := []struct {
+		from, to int
+		chks     []string
+	}{
+		{2, 3, []string{"Chk_evt(MCmdRd)", "Chk_evt(Burst4)"}},
+		{3, 4, []string{"Chk_evt(MCmdRd)", "Chk_evt(Burst3)"}},
+		{4, 5, []string{"Chk_evt(MCmdRd)", "Chk_evt(Burst2)"}},
+		{5, 6, []string{"Chk_evt(MCmdRd)", "Chk_evt(Burst1)"}},
+	}
+	for _, w := range wantChk {
+		tr := transTo(t, m, w.from, w.to)
+		for _, chk := range w.chks {
+			if !strings.Contains(tr.Guard.String(), chk) {
+				t.Errorf("%d->%d guard %q missing %s", w.from, w.to, tr.Guard, chk)
+			}
+		}
+	}
+	// act7: giving up from state 3 reverses the first three request adds
+	// with multiplicity (MCmdRd three times).
+	back := transTo(t, m, 3, 0)
+	got := actionStrings(back)
+	want := "Del_evt(Burst2, Burst3, Burst4, MCmdRd, MCmdRd, MCmdRd)"
+	if len(got) != 1 || got[0] != want {
+		t.Errorf("state-3 give-up actions = %v, want [%s]", got, want)
+	}
+	// act8: from state 4 on, all four pairs are reversed.
+	back4 := transTo(t, m, 4, 0)
+	got4 := actionStrings(back4)
+	want4 := "Del_evt(Burst1, Burst2, Burst3, Burst4, MCmdRd, MCmdRd, MCmdRd, MCmdRd)"
+	if len(got4) != 1 || got4[0] != want4 {
+		t.Errorf("state-4 give-up actions = %v, want [%s]", got4, want4)
+	}
+	// Full reversal from the final state deletes all four pairs.
+	fin := transTo(t, m, 6, 0)
+	gotFin := actionStrings(fin)
+	wantFin := "Del_evt(Burst1, Burst2, Burst3, Burst4, MCmdRd, MCmdRd, MCmdRd, MCmdRd)"
+	if len(gotFin) != 1 || gotFin[0] != wantFin {
+		t.Errorf("final give-up actions = %v, want [%s]", gotFin, wantFin)
+	}
+}
+
+func transTo(t *testing.T, m *monitor.Monitor, from, to int) monitor.Transition {
+	t.Helper()
+	for _, tr := range m.Trans[from] {
+		if tr.To == to {
+			return tr
+		}
+	}
+	t.Fatalf("no transition %d -> %d in:\n%s", from, to, m)
+	return monitor.Transition{}
+}
+
+func actionStrings(tr monitor.Transition) []string {
+	var out []string
+	for _, a := range tr.Actions {
+		out = append(out, a.String())
+	}
+	return out
+}
+
+func TestModelCleanSimpleReadsDetected(t *testing.T) {
+	m, err := synth.Translate(SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(Config{Gap: 2, Seed: 1})
+	tr := model.GenerateTrace(200)
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	stats := eng.Run(tr)
+	if model.Issued() == 0 {
+		t.Fatal("model issued no transactions")
+	}
+	// Every completed transaction's window must be detected; the last
+	// transaction may be cut off by the horizon.
+	if stats.Accepts < model.Issued()-1 {
+		t.Errorf("accepts = %d for %d issued transactions", stats.Accepts, model.Issued())
+	}
+	if model.Faulted() != 0 {
+		t.Errorf("faulted = %d with zero fault rate", model.Faulted())
+	}
+}
+
+func TestModelCleanBurstReadsDetected(t *testing.T) {
+	m, err := synth.Translate(BurstReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewModel(Config{Gap: 2, Burst: true, Seed: 2})
+	tr := model.GenerateTrace(400)
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	stats := eng.Run(tr)
+	if model.Issued() < 10 {
+		t.Fatalf("model issued only %d bursts", model.Issued())
+	}
+	if stats.Accepts < model.Issued()-1 {
+		t.Errorf("accepts = %d for %d issued bursts", stats.Accepts, model.Issued())
+	}
+}
+
+func TestFaultInjectionBreaksWindows(t *testing.T) {
+	m, err := synth.Translate(SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All transactions faulted: no window should complete for
+	// response-affecting faults.
+	for _, kind := range []FaultKind{FaultDropResponse, FaultMissingData, FaultLateResponse, FaultDropAccept} {
+		model := NewModel(Config{Gap: 2, Seed: 3, FaultRate: 1, FaultKinds: []FaultKind{kind}})
+		tr := model.GenerateTrace(200)
+		eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+		stats := eng.Run(tr)
+		if stats.Accepts != 0 {
+			t.Errorf("fault %v: %d windows detected, want 0", kind, stats.Accepts)
+		}
+	}
+}
+
+func TestFaultKindsString(t *testing.T) {
+	for _, k := range []FaultKind{FaultNone, FaultDropResponse, FaultMissingData, FaultLateResponse, FaultDropAccept, FaultShortBurst} {
+		if k.String() == "fault?" {
+			t.Errorf("fault kind %d has no name", int(k))
+		}
+	}
+	if FaultKind(99).String() != "fault?" {
+		t.Error("unknown fault kind not flagged")
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	a := NewModel(Config{Gap: 1, Seed: 7, FaultRate: 0.5}).GenerateTrace(100)
+	b := NewModel(Config{Gap: 1, Seed: 7, FaultRate: 0.5}).GenerateTrace(100)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("same seed diverged at tick %d", i)
+		}
+	}
+}

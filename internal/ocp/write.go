@@ -1,0 +1,87 @@
+package ocp
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+)
+
+// Additional OCP scenarios beyond the paper's two figures, built from
+// the same OCP v1.0 handshake rules: a posted write and a request
+// handshake with wait states. The handshake chart exercises the loop
+// construct on a real protocol — the paper's §3 motivates loops with
+// exactly such repetitive event sequences.
+
+// OCP write-path event names.
+const (
+	EvMCmdWr = "MCmd_wr"
+	EvMData  = "MData"
+)
+
+// WriteChart builds a simple posted write: command, address, write data
+// and accept in one cycle, the (data-less) response in the next.
+func WriteChart() *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: "ocp_simple_write",
+		Clock:     "ocp_clk",
+		Instances: []string{"Master", "Slave"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvMCmdWr, Label: "cmd", From: "Master", To: "Slave"},
+				{Event: EvAddr, From: "Master", To: "Slave"},
+				{Event: EvMData, From: "Master", To: "Slave"},
+				{Event: EvSCmdAccept, From: "Slave", To: "Master"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvSResp, Label: "resp", From: "Slave", To: "Master"},
+			}},
+		},
+		Arrows: []chart.Arrow{{From: "cmd", To: "resp"}},
+	}
+}
+
+// HandshakeChart builds the request handshake with up to maxWait wait
+// states: the master holds the write request while the slave withholds
+// SCmd_accept, then the accepted cycle and the response follow. The
+// wait-state prefix is a bounded loop over a one-tick chart, so the
+// synthesized monitor is the subset-construction compilation of
+// seq(loop[0..maxWait](hold), accept, resp).
+func HandshakeChart(maxWait int) chart.Chart {
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	hold := &chart.SCESC{
+		ChartName: "ocp_wait_state",
+		Clock:     "ocp_clk",
+		Instances: []string{"Master", "Slave"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvMCmdWr, From: "Master", To: "Slave"},
+				{Event: EvAddr, From: "Master", To: "Slave"},
+				{Event: EvSCmdAccept, Negated: true},
+			}},
+		},
+	}
+	tail := &chart.SCESC{
+		ChartName: "ocp_accept_resp",
+		Clock:     "ocp_clk",
+		Instances: []string{"Master", "Slave"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvMCmdWr, From: "Master", To: "Slave"},
+				{Event: EvAddr, From: "Master", To: "Slave"},
+				{Event: EvSCmdAccept, From: "Slave", To: "Master"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvSResp, From: "Slave", To: "Master"},
+			}},
+		},
+	}
+	return &chart.Seq{
+		ChartName: fmt.Sprintf("ocp_write_handshake_w%d", maxWait),
+		Children: []chart.Chart{
+			&chart.Loop{ChartName: "wait_states", Body: hold, Min: 0, Max: maxWait},
+			tail,
+		},
+	}
+}

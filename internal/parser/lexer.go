@@ -1,0 +1,263 @@
+// Package parser implements the concrete textual syntax of CESC. The
+// paper gives CESC "a precisely defined abstract textual syntax"; this
+// package realizes it as a small declarative language (.cesc files) so
+// that specifications can be written, versioned and compiled outside the
+// Go API:
+//
+//	cesc ReadProtocol {
+//	  prop p1, p3;
+//	  scesc M1 on clk1 {
+//	    instances Master, S_CNT;
+//	    tick { e1 = p1: req1 @ Master -> S_CNT; rd1; }
+//	    tick { }
+//	    tick { e3 = p3: data1 @ S_CNT -> Master; }
+//	    arrow e1 -> e3;
+//	  }
+//	}
+//
+// Structural constructs nest chart expressions:
+//
+//	cesc Burst {
+//	  seq { scesc A on clk { ... }  loop [1, 4] { scesc B on clk { ... } } }
+//	}
+//
+// and multi-clock charts use async with cross arrows:
+//
+//	cesc Gals {
+//	  async {
+//	    scesc Left on clk1 { ... }
+//	    scesc Right on clk2 { ... }
+//	    cross e2 -> e4;
+//	  }
+//	}
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkLBrace
+	tkRBrace
+	tkLParen
+	tkRParen
+	tkLBracket
+	tkRBracket
+	tkSemi
+	tkComma
+	tkColon
+	tkEquals
+	tkArrow // ->
+	tkAt    // @
+	tkBang  // !
+	tkStar  // *
+	tkAmp   // & or &&
+	tkPipe  // | or ||
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tkEOF:
+		return "end of file"
+	case tkIdent:
+		return "identifier"
+	case tkNumber:
+		return "number"
+	case tkLBrace:
+		return "'{'"
+	case tkRBrace:
+		return "'}'"
+	case tkLParen:
+		return "'('"
+	case tkRParen:
+		return "')'"
+	case tkLBracket:
+		return "'['"
+	case tkRBracket:
+		return "']'"
+	case tkSemi:
+		return "';'"
+	case tkComma:
+		return "','"
+	case tkColon:
+		return "':'"
+	case tkEquals:
+		return "'='"
+	case tkArrow:
+		return "'->'"
+	case tkAt:
+		return "'@'"
+	case tkBang:
+		return "'!'"
+	case tkStar:
+		return "'*'"
+	case tkAmp:
+		return "'&'"
+	case tkPipe:
+		return "'|'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexeme with its source position.
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer scans CESC source into tokens. Comments run from // to end of
+// line; whitespace is insignificant.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("cesc:%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+			continue
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tkEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.advance()
+	mk := func(k tokKind, text string) (token, error) {
+		return token{kind: k, text: text, line: line, col: col}, nil
+	}
+	switch c {
+	case '{':
+		return mk(tkLBrace, "{")
+	case '}':
+		return mk(tkRBrace, "}")
+	case '(':
+		return mk(tkLParen, "(")
+	case ')':
+		return mk(tkRParen, ")")
+	case '[':
+		return mk(tkLBracket, "[")
+	case ']':
+		return mk(tkRBracket, "]")
+	case ';':
+		return mk(tkSemi, ";")
+	case ',':
+		return mk(tkComma, ",")
+	case ':':
+		return mk(tkColon, ":")
+	case '=':
+		return mk(tkEquals, "=")
+	case '@':
+		return mk(tkAt, "@")
+	case '!':
+		return mk(tkBang, "!")
+	case '*':
+		return mk(tkStar, "*")
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+		}
+		return mk(tkAmp, "&")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+		}
+		return mk(tkPipe, "|")
+	case '-':
+		if l.peek() == '>' {
+			l.advance()
+			return mk(tkArrow, "->")
+		}
+		return token{}, l.errorf(line, col, "unexpected '-' (did you mean '->'?)")
+	}
+	if isDigit(c) {
+		start := l.pos - 1
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return mk(tkNumber, l.src[start:l.pos])
+	}
+	if isIdentStart(c) {
+		start := l.pos - 1
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		return mk(tkIdent, l.src[start:l.pos])
+	}
+	if unicode.IsPrint(rune(c)) {
+		return token{}, l.errorf(line, col, "unexpected character %q", string(c))
+	}
+	return token{}, l.errorf(line, col, "unexpected byte 0x%02x", c)
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// keyword reports whether the identifier token is the given keyword
+// (keywords are case-sensitive lowercase).
+func (t token) keyword(kw string) bool {
+	return t.kind == tkIdent && t.text == kw
+}
+
+// describe renders a token for error messages.
+func (t token) describe() string {
+	if t.kind == tkIdent || t.kind == tkNumber {
+		return fmt.Sprintf("%q", t.text)
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(t.kind.String(), "'"), "'")
+}

@@ -1,0 +1,269 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/monitor"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+const fig5Src = `
+// Figure 5 of the paper: guarded events, an empty grid line, and a
+// causality arrow.
+cesc Fig5 {
+  prop p1, p3;
+  scesc on clk {
+    instances A, B;
+    tick { e1 = p1: e1_ev @ A -> B;  e2_ev @ B -> A; }
+    tick { }
+    tick { e3 = p3: e3_ev @ A -> B; }
+    arrow e1 -> e3;
+  }
+}
+`
+
+func TestParseFig5(t *testing.T) {
+	f, err := Parse(fig5Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := f.Find("Fig5")
+	if !ok {
+		t.Fatal("chart Fig5 not found")
+	}
+	sc, ok := c.(*chart.SCESC)
+	if !ok {
+		t.Fatalf("parsed chart is %T, want *chart.SCESC", c)
+	}
+	if sc.Clock != "clk" || len(sc.Lines) != 3 || len(sc.Arrows) != 1 {
+		t.Fatalf("shape clock=%q lines=%d arrows=%d", sc.Clock, len(sc.Lines), len(sc.Arrows))
+	}
+	if got := sc.Lines[0].Expr().String(); got != "p1 & e1_ev & e2_ev" {
+		t.Errorf("line 0 = %q", got)
+	}
+	if got := sc.Lines[1].Expr().String(); got != "true" {
+		t.Errorf("line 1 = %q", got)
+	}
+	if sc.Arrows[0] != (chart.Arrow{From: "e1", To: "e3"}) {
+		t.Errorf("arrow = %+v", sc.Arrows[0])
+	}
+	if len(sc.Instances) != 2 {
+		t.Errorf("instances = %v", sc.Instances)
+	}
+}
+
+func TestParsedChartSynthesizesAndRuns(t *testing.T) {
+	c := MustParseChart(fig5Src)
+	m, err := synth.Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := trace.NewBuilder().
+		Tick().Events("e1_ev", "e2_ev").Props("p1").
+		Tick().
+		Tick().Events("e3_ev").Props("p3").
+		Build()
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	if !eng.Accepts(good) {
+		t.Error("parsed Fig5 monitor rejected the conforming trace")
+	}
+}
+
+func TestParseStructuralConstructs(t *testing.T) {
+	src := `
+cesc Composite {
+  seq {
+    scesc Head on clk { tick { start; } }
+    alt {
+      scesc A on clk { tick { left; } }
+      scesc B on clk { tick { right; } tick { right2; } }
+    }
+    loop [1, 3] {
+      scesc Body on clk { tick { beat; } }
+    }
+  }
+}
+`
+	c, err := ParseChart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := chart.Describe(c)
+	want := "seq(scesc[1]@clk, alt(scesc[1]@clk, scesc[2]@clk), loop[1..3](scesc[1]@clk))"
+	if desc != want {
+		t.Errorf("structure = %s, want %s", desc, want)
+	}
+}
+
+func TestParseUnboundedLoopAndImplies(t *testing.T) {
+	src := `
+cesc P {
+  implies {
+    scesc T on clk { tick { req; } }
+  } {
+    seq {
+      scesc C1 on clk { tick { grant; } }
+      loop [1, *] { scesc C2 on clk { tick { data; } } }
+    }
+  }
+}
+`
+	c, err := ParseChart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, ok := c.(*chart.Implies)
+	if !ok {
+		t.Fatalf("chart is %T, want *chart.Implies", c)
+	}
+	seq := imp.Consequent.(*chart.Seq)
+	loop := seq.Children[1].(*chart.Loop)
+	if loop.Max != chart.Unbounded || loop.Min != 1 {
+		t.Errorf("loop bounds = [%d, %d]", loop.Min, loop.Max)
+	}
+}
+
+func TestParseAsyncWithCrossArrows(t *testing.T) {
+	src := `
+cesc Gals {
+  async {
+    scesc Left on clk1 {
+      tick { e1 = req; }
+      tick { e2 = fwd; }
+    }
+    scesc Right on clk2 {
+      tick { e4 = serve; }
+    }
+    cross e2 -> e4;
+  }
+}
+`
+	c, err := ParseChart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := c.(*chart.Async)
+	if !ok {
+		t.Fatalf("chart is %T, want *chart.Async", c)
+	}
+	if len(a.Children) != 2 || len(a.CrossArrows) != 1 {
+		t.Fatalf("children=%d cross=%d", len(a.Children), len(a.CrossArrows))
+	}
+	if a.CrossArrows[0] != (chart.Arrow{From: "e2", To: "e4"}) {
+		t.Errorf("cross arrow = %+v", a.CrossArrows[0])
+	}
+}
+
+func TestParseMarkerForms(t *testing.T) {
+	src := `
+cesc Markers {
+  prop ready;
+  scesc on clk {
+    instances M, S;
+    tick {
+      plain;
+      guarded = ready: cmd @ M -> S;
+      (ready & !stall): gated;
+      !forbidden;
+      ext @ env;
+      when ready & !stall;
+    }
+  }
+}
+`
+	c, err := ParseChart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := c.(*chart.SCESC)
+	line := sc.Lines[0]
+	if len(line.Events) != 5 {
+		t.Fatalf("markers = %d, want 5", len(line.Events))
+	}
+	byEvent := map[string]chart.EventSpec{}
+	for _, e := range line.Events {
+		byEvent[e.Event] = e
+	}
+	if byEvent["cmd"].Label != "guarded" || byEvent["cmd"].Guard == nil {
+		t.Errorf("cmd marker = %+v", byEvent["cmd"])
+	}
+	if byEvent["gated"].Guard == nil || byEvent["gated"].Guard.String() != "ready & !stall" {
+		t.Errorf("gated guard = %v", byEvent["gated"].Guard)
+	}
+	if !byEvent["forbidden"].Negated {
+		t.Error("negated marker not parsed")
+	}
+	if !byEvent["ext"].Env {
+		t.Error("env marker not parsed")
+	}
+	if line.Cond == nil || line.Cond.String() != "ready & !stall" {
+		t.Errorf("line condition = %v", line.Cond)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty", ``, "no charts"},
+		{"missing brace", `cesc X { scesc on clk { tick { a; } }`, "expected"},
+		{"bad token", `cesc X { scesc on clk { tick { a # b; } } }`, "unexpected character"},
+		{"dangling dash", `cesc X { scesc on clk { tick { a - b; } } }`, "did you mean"},
+		{"no clock", `cesc X { scesc { tick { a; } } }`, `expected "on"`},
+		{"bad arrow", `cesc X { scesc on clk { tick { e1 = a; } arrow e1 -> nowhere; } }`, "unknown label"},
+		{"backward arrow", `cesc X { scesc on clk { tick { e1 = a; e2 = b; } arrow e2 -> e1; } }`, "forward"},
+		{"loop bound", `cesc X { loop [2, 1] { scesc on clk { tick { a; } } } }`, "max"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("source accepted: %s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseMultipleCharts(t *testing.T) {
+	src := `
+cesc One { scesc on clk { tick { a; } } }
+cesc Two { scesc on clk { tick { b; } } }
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Charts) != 2 {
+		t.Fatalf("charts = %d, want 2", len(f.Charts))
+	}
+	if _, ok := f.Find("Two"); !ok {
+		t.Error("chart Two not found")
+	}
+	if _, ok := f.Find("Three"); ok {
+		t.Error("nonexistent chart found")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "cesc C { // header comment\n  scesc on clk { tick { a; } } // trailing\n}\n// tail comment\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("comments broke parsing: %v", err)
+	}
+}
+
+func TestLineNumbersInErrors(t *testing.T) {
+	src := "cesc X {\n  scesc on clk {\n    tick { a # ; }\n  }\n}\n"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "cesc:3:") {
+		t.Errorf("error %q lacks line info for line 3", err)
+	}
+}

@@ -1,0 +1,192 @@
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Print renders a chart back into canonical textual CESC. The output
+// parses back to a structurally equivalent chart (round-trip tested), so
+// it doubles as the formatter behind `cescc -emit cesc`.
+func Print(name string, c chart.Chart) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cesc %s {\n", name)
+	if props := collectProps(c); len(props) > 0 {
+		fmt.Fprintf(&b, "  prop %s;\n", strings.Join(props, ", "))
+	}
+	printChart(&b, c, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// collectProps lists proposition symbols used anywhere in the chart so
+// the printed source can re-declare them (guard identifiers default to
+// propositions when reparsed, but explicitness keeps the file readable).
+func collectProps(c chart.Chart) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, s := range chart.Symbols(c) {
+		if s.Kind == event.KindProp && !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printChart(b *strings.Builder, c chart.Chart, depth int) {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		printSCESC(b, v, depth)
+	case *chart.Seq:
+		printBlock(b, "seq", v.Children, depth)
+	case *chart.Par:
+		printBlock(b, "par", v.Children, depth)
+	case *chart.Alt:
+		printBlock(b, "alt", v.Children, depth)
+	case *chart.Loop:
+		indent(b, depth)
+		hi := "*"
+		if v.Max != chart.Unbounded {
+			hi = fmt.Sprint(v.Max)
+		}
+		fmt.Fprintf(b, "loop [%d, %s] {\n", v.Min, hi)
+		printChart(b, v.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *chart.Implies:
+		indent(b, depth)
+		if v.MaxDelay > 0 {
+			fmt.Fprintf(b, "implies [%d] {\n", v.MaxDelay)
+		} else {
+			b.WriteString("implies {\n")
+		}
+		printChart(b, v.Trigger, depth+1)
+		indent(b, depth)
+		b.WriteString("} {\n")
+		printChart(b, v.Consequent, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *chart.Async:
+		indent(b, depth)
+		b.WriteString("async {\n")
+		for _, ch := range v.Children {
+			printChart(b, ch, depth+1)
+		}
+		for _, a := range v.CrossArrows {
+			indent(b, depth+1)
+			fmt.Fprintf(b, "cross %s -> %s;\n", a.From, a.To)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	}
+}
+
+func printBlock(b *strings.Builder, kw string, children []chart.Chart, depth int) {
+	indent(b, depth)
+	b.WriteString(kw + " {\n")
+	for _, ch := range children {
+		printChart(b, ch, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+func printSCESC(b *strings.Builder, sc *chart.SCESC, depth int) {
+	indent(b, depth)
+	if sc.ChartName != "" {
+		fmt.Fprintf(b, "scesc %s on %s {\n", sc.ChartName, sc.Clock)
+	} else {
+		fmt.Fprintf(b, "scesc on %s {\n", sc.Clock)
+	}
+	if len(sc.Instances) > 0 {
+		indent(b, depth+1)
+		fmt.Fprintf(b, "instances %s;\n", strings.Join(sc.Instances, ", "))
+	}
+	for _, line := range sc.Lines {
+		indent(b, depth+1)
+		b.WriteString("tick {")
+		if len(line.Events) == 0 && line.Cond == nil {
+			b.WriteString(" }\n")
+			continue
+		}
+		b.WriteString("\n")
+		for _, e := range line.Events {
+			indent(b, depth+2)
+			b.WriteString(markerSource(e))
+			b.WriteString("\n")
+		}
+		if line.Cond != nil {
+			indent(b, depth+2)
+			fmt.Fprintf(b, "when %s;\n", guardSource(line.Cond))
+		}
+		indent(b, depth+1)
+		b.WriteString("}\n")
+	}
+	for _, a := range sc.Arrows {
+		indent(b, depth+1)
+		fmt.Fprintf(b, "arrow %s -> %s;\n", a.From, a.To)
+	}
+	indent(b, depth)
+	b.WriteString("}\n")
+}
+
+// markerSource renders one event marker as .cesc text.
+func markerSource(e chart.EventSpec) string {
+	if e.Negated {
+		if e.Guard == nil {
+			return "!" + e.Event + ";"
+		}
+		if isGuardAtom(e.Guard) {
+			return "!" + e.Guard.String() + ": " + e.Event + ";"
+		}
+		return "!(" + guardSource(e.Guard) + "): " + e.Event + ";"
+	}
+	var sb strings.Builder
+	if e.Label != "" && e.Label != e.Event {
+		sb.WriteString(e.Label)
+		sb.WriteString(" = ")
+	}
+	if e.Guard != nil {
+		if isGuardAtom(e.Guard) {
+			sb.WriteString(e.Guard.String())
+		} else {
+			sb.WriteString("(" + guardSource(e.Guard) + ")")
+		}
+		sb.WriteString(": ")
+	}
+	sb.WriteString(e.Event)
+	switch {
+	case e.Env:
+		sb.WriteString(" @ env")
+	case e.From != "" && e.To != "":
+		fmt.Fprintf(&sb, " @ %s -> %s", e.From, e.To)
+	}
+	sb.WriteString(";")
+	return sb.String()
+}
+
+func isGuardAtom(e expr.Expr) bool {
+	switch e.(type) {
+	case expr.PropRef, expr.EventRef:
+		return true
+	default:
+		return false
+	}
+}
+
+// guardSource renders an expression in the concrete guard syntax (the
+// expr package's String already uses & | ! which the parser accepts).
+func guardSource(e expr.Expr) string { return e.String() }

@@ -1,0 +1,260 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/amba"
+	"repro/internal/chart"
+	"repro/internal/expr"
+	"repro/internal/ocp"
+	"repro/internal/readproto"
+)
+
+// reparse prints a chart and parses the output back.
+func reparse(t *testing.T, name string, c chart.Chart) chart.Chart {
+	t.Helper()
+	src := Print(name, c)
+	back, err := ParseChart(src)
+	if err != nil {
+		t.Fatalf("printed source does not reparse: %v\n%s", err, src)
+	}
+	return back
+}
+
+// chartsEquivalent compares structure, clocks, and per-leaf pattern
+// expressions plus arrows.
+func chartsEquivalent(t *testing.T, a, b chart.Chart) {
+	t.Helper()
+	if chart.Describe(a) != chart.Describe(b) {
+		t.Fatalf("structure changed: %s vs %s", chart.Describe(a), chart.Describe(b))
+	}
+	la, lb := chart.Leaves(a), chart.Leaves(b)
+	for i := range la {
+		for j := range la[i].Lines {
+			ea, eb := la[i].Lines[j].Expr().String(), lb[i].Lines[j].Expr().String()
+			if ea != eb {
+				t.Errorf("leaf %d line %d: %q vs %q", i, j, ea, eb)
+			}
+		}
+		if len(la[i].Arrows) != len(lb[i].Arrows) {
+			t.Errorf("leaf %d arrows: %v vs %v", i, la[i].Arrows, lb[i].Arrows)
+			continue
+		}
+		for j := range la[i].Arrows {
+			if la[i].Arrows[j] != lb[i].Arrows[j] {
+				t.Errorf("leaf %d arrow %d: %v vs %v", i, j, la[i].Arrows[j], lb[i].Arrows[j])
+			}
+		}
+	}
+}
+
+func TestPrintRoundTripCaseStudies(t *testing.T) {
+	cases := []struct {
+		name string
+		c    chart.Chart
+	}{
+		{"OcpSimpleRead", ocp.SimpleReadChart()},
+		{"OcpBurstRead", ocp.BurstReadChart()},
+		{"AmbaAhbCli", amba.TransactionChart()},
+		{"ReadSingle", readproto.SingleClockChart()},
+		{"ReadMulti", readproto.MultiClockChart()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			back := reparse(t, tc.name, tc.c)
+			chartsEquivalent(t, tc.c, back)
+		})
+	}
+}
+
+func TestPrintRoundTripStructural(t *testing.T) {
+	mk := func(name string, evs ...string) *chart.SCESC {
+		sc := &chart.SCESC{ChartName: name, Clock: "clk"}
+		for _, e := range evs {
+			sc.Lines = append(sc.Lines, chart.GridLine{Events: []chart.EventSpec{{Event: e}}})
+		}
+		return sc
+	}
+	c := &chart.Seq{ChartName: "top", Children: []chart.Chart{
+		mk("head", "start"),
+		&chart.Alt{Children: []chart.Chart{mk("l", "left"), mk("r", "right", "right2")}},
+		&chart.Loop{Body: mk("b", "beat"), Min: 1, Max: chart.Unbounded},
+		&chart.Par{Children: []chart.Chart{mk("p1", "x"), mk("p2", "y")}},
+	}}
+	back := reparse(t, "Top", c)
+	chartsEquivalent(t, c, back)
+
+	imp := &chart.Implies{
+		Trigger:    mk("t", "req"),
+		Consequent: mk("q", "gnt"),
+	}
+	back2 := reparse(t, "Imp", imp)
+	chartsEquivalent(t, imp, back2)
+}
+
+func TestPrintRoundTripMarkers(t *testing.T) {
+	sc := &chart.SCESC{
+		ChartName: "markers", Clock: "clk", Instances: []string{"M", "S"},
+		Lines: []chart.GridLine{
+			{
+				Events: []chart.EventSpec{
+					{Event: "plain"},
+					{Event: "cmd", Label: "c1", Guard: expr.Pr("ready"), From: "M", To: "S"},
+					{Event: "gated", Guard: expr.And(expr.Pr("ready"), expr.Not(expr.Pr("stall")))},
+					{Event: "forbidden", Negated: true},
+					{Event: "ext", Env: true},
+				},
+				Cond: expr.Or(expr.Pr("a"), expr.Pr("b")),
+			},
+			{},
+			{Events: []chart.EventSpec{{Event: "done", Label: "d1"}}},
+		},
+		Arrows: []chart.Arrow{{From: "c1", To: "d1"}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := reparse(t, "Markers", sc)
+	chartsEquivalent(t, sc, back)
+	bsc := back.(*chart.SCESC)
+	var env, neg bool
+	for _, e := range bsc.Lines[0].Events {
+		if e.Env {
+			env = true
+		}
+		if e.Negated {
+			neg = true
+		}
+	}
+	if !env || !neg {
+		t.Error("env/negated markers lost in round trip")
+	}
+	if bsc.Lines[0].Cond == nil {
+		t.Error("line condition lost")
+	}
+}
+
+// TestPrintRoundTripRandom: random charts survive print-parse-print with
+// a fixed point on the second print.
+func TestPrintRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	events := []string{"e1", "e2", "e3", "e4"}
+	props := []string{"p1", "p2"}
+	randLeaf := func(name string) *chart.SCESC {
+		sc := &chart.SCESC{ChartName: name, Clock: "clk"}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			var line chart.GridLine
+			for _, e := range events[:1+rng.Intn(3)] {
+				spec := chart.EventSpec{Event: e}
+				if rng.Intn(3) == 0 {
+					spec.Guard = expr.Pr(props[rng.Intn(len(props))])
+				}
+				if rng.Intn(5) == 0 {
+					spec.Negated = true
+				}
+				line.Events = append(line.Events, spec)
+			}
+			sc.Lines = append(sc.Lines, line)
+		}
+		return sc
+	}
+	for round := 0; round < 30; round++ {
+		var c chart.Chart
+		switch rng.Intn(3) {
+		case 0:
+			c = randLeaf("leaf")
+		case 1:
+			c = &chart.Seq{Children: []chart.Chart{randLeaf("a"), randLeaf("b")}}
+		default:
+			c = &chart.Alt{Children: []chart.Chart{randLeaf("a"), randLeaf("b")}}
+		}
+		if c.Validate() != nil {
+			continue
+		}
+		src1 := Print("R", c)
+		back, err := ParseChart(src1)
+		if err != nil {
+			t.Fatalf("round %d: %v\n%s", round, err, src1)
+		}
+		src2 := Print("R", back)
+		if src1 != src2 {
+			t.Fatalf("round %d: printing is not a fixed point:\n--- first\n%s\n--- second\n%s",
+				round, src1, src2)
+		}
+	}
+}
+
+func TestPrintDeclaresProps(t *testing.T) {
+	src := Print("P", &chart.SCESC{
+		ChartName: "x", Clock: "clk",
+		Lines: []chart.GridLine{{Events: []chart.EventSpec{{Event: "e", Guard: expr.Pr("zz")}}}},
+	})
+	if !strings.Contains(src, "prop zz;") {
+		t.Errorf("props not declared:\n%s", src)
+	}
+}
+
+func TestPrintRoundTripDeadlineImplies(t *testing.T) {
+	src := `
+cesc D {
+  implies [4] {
+    scesc T on clk { tick { req; } }
+  } {
+    scesc C on clk { tick { ack; } }
+  }
+}
+`
+	c, err := ParseChart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := c.(*chart.Implies)
+	if imp.MaxDelay != 4 {
+		t.Fatalf("max delay = %d, want 4", imp.MaxDelay)
+	}
+	printed := Print("D", c)
+	if !strings.Contains(printed, "implies [4] {") {
+		t.Errorf("deadline lost in print:\n%s", printed)
+	}
+	back, err := ParseChart(printed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.(*chart.Implies).MaxDelay != 4 {
+		t.Error("deadline lost in round trip")
+	}
+}
+
+func TestPrintRoundTripGuardedNegation(t *testing.T) {
+	src := `
+cesc G {
+  prop en;
+  scesc on clk {
+    tick { !en: stall; go; }
+  }
+}
+`
+	c, err := ParseChart(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := c.(*chart.SCESC)
+	var found bool
+	for _, e := range sc.Lines[0].Events {
+		if e.Negated && e.Guard != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("guarded negation not parsed")
+	}
+	printed := Print("G", c)
+	back, err := ParseChart(printed)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, printed)
+	}
+	chartsEquivalent(t, c, back)
+}

@@ -1,0 +1,94 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics mutates valid sources at random and requires the
+// parser to fail cleanly (an error, never a panic), exercising the error
+// paths a fuzzer would.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		fig5Src,
+		`cesc A { scesc on clk { tick { a; b; } tick { } arrow x -> y; } }`,
+		`cesc B { seq { scesc on c { tick { a; } } loop [0, *] { scesc on c { tick { b; } } } } }`,
+		`cesc C { async { scesc L on c1 { tick { l = a; } } scesc R on c2 { tick { r = b; } } cross l -> r; } }`,
+		`cesc D { implies { scesc on c { tick { q; } } } { scesc on c { tick { s; } } } }`,
+	}
+	rng := rand.New(rand.NewSource(97))
+	junk := []byte("{}();,:=!&|*->@#\"\\\n\t abc123")
+	for round := 0; round < 3000; round++ {
+		src := []byte(seeds[rng.Intn(len(seeds))])
+		nmut := 1 + rng.Intn(4)
+		for i := 0; i < nmut; i++ {
+			switch rng.Intn(3) {
+			case 0: // substitute
+				if len(src) > 0 {
+					src[rng.Intn(len(src))] = junk[rng.Intn(len(junk))]
+				}
+			case 1: // delete a span
+				if len(src) > 2 {
+					at := rng.Intn(len(src) - 1)
+					end := at + 1 + rng.Intn(minInt(8, len(src)-at-1))
+					src = append(src[:at], src[end:]...)
+				}
+			case 2: // insert
+				at := rng.Intn(len(src) + 1)
+				ins := junk[rng.Intn(len(junk))]
+				src = append(src[:at], append([]byte{ins}, src[at:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on mutated input: %v\n%s", r, src)
+				}
+			}()
+			_, _ = Parse(string(src))
+		}()
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestParserTruncations: every prefix of a valid source either parses or
+// errors cleanly.
+func TestParserTruncations(t *testing.T) {
+	src := fig5Src
+	for i := 0; i <= len(src); i++ {
+		func(n int) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", n, r)
+				}
+			}()
+			_, _ = Parse(src[:n])
+		}(i)
+	}
+}
+
+// TestParserDeepNesting guards the recursive descent against stack abuse
+// at plausible depths.
+func TestParserDeepNesting(t *testing.T) {
+	var b strings.Builder
+	const depth = 200
+	b.WriteString("cesc Deep { ")
+	for i := 0; i < depth; i++ {
+		b.WriteString("seq { ")
+	}
+	b.WriteString("scesc on clk { tick { a; } }")
+	for i := 0; i < depth; i++ {
+		b.WriteString(" }")
+	}
+	b.WriteString(" }")
+	if _, err := Parse(b.String()); err != nil {
+		t.Fatalf("deep nesting rejected: %v", err)
+	}
+}

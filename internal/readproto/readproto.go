@@ -1,0 +1,277 @@
+// Package readproto builds the paper's introductory example: the typical
+// read protocol of Figure 1 (single clock domain) and Figure 2 (the same
+// transaction split across two clock domains with cross-domain causality
+// arrows). The figures show a master reading through a slave-side
+// controller: the request is issued and forwarded, a ready indication
+// returns, then data is delivered. The exact tick placement is
+// reconstructed from the figures' event order (e1 ... e6); see
+// EXPERIMENTS.md E1/E2 for the mapping.
+package readproto
+
+import (
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Event names used by the read protocol figures.
+const (
+	EvReq1, EvRd1, EvAddr1 = "req1", "rd1", "addr1"
+	EvReq2, EvRd2, EvAddr2 = "req2", "rd2", "addr2"
+	EvReq3, EvRd3, EvAddr3 = "req3", "rd3", "addr3"
+	EvRdy1, EvRdy2, EvRdy3 = "rdy1", "rdy2", "rdy3"
+	EvData1, EvData2       = "data1", "data2"
+	EvData3                = "data3"
+	EvRdyDone, EvDataDone  = "rdy_done", "data_done"
+)
+
+// SingleClockChart builds the Fig. 1 SCESC on clock clk1: the master
+// issues the read (e1), the slave controller forwards it (e2), readiness
+// returns with the environment's rdy_done, and data is delivered with
+// data_done (e3). Causality arrows tie the issue to the forward and the
+// forward to the data delivery.
+func SingleClockChart() *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: "read_single_clock",
+		Clock:     "clk1",
+		Instances: []string{"Master", "S_CNT"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvReq1, Label: "e1", From: "Master", To: "S_CNT"},
+				{Event: EvRd1, From: "Master", To: "S_CNT"},
+				{Event: EvAddr1, From: "Master", To: "S_CNT"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvReq2, Label: "e2", From: "S_CNT", To: ""},
+				{Event: EvRd2, From: "S_CNT", To: ""},
+				{Event: EvAddr2, From: "S_CNT", To: ""},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvRdy1, From: "S_CNT", To: "Master"},
+				{Event: EvRdyDone, Env: true},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvData1, Label: "e3", From: "S_CNT", To: "Master"},
+				{Event: EvDataDone, Env: true},
+			}},
+		},
+		Arrows: []chart.Arrow{
+			{From: "e1", To: "e2"},
+			{From: "e2", To: "e3"},
+		},
+	}
+}
+
+// MultiClockChart builds the Fig. 2 CESC: the clk1 half of the
+// transaction (master and slave-side controller) composed asynchronously
+// with the clk2 half (master-side controller and slave), with
+// cross-domain causality arrows: the forwarded request e2 must precede
+// the slave-side request e4, and the slave's data delivery e6 must
+// precede the master-side data e3.
+func MultiClockChart() *chart.Async {
+	clk1 := &chart.SCESC{
+		ChartName: "read_clk1",
+		Clock:     "clk1",
+		Instances: []string{"Master", "S_CNT"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvReq1, Label: "e1", From: "Master", To: "S_CNT"},
+				{Event: EvRd1, From: "Master", To: "S_CNT"},
+				{Event: EvAddr1, From: "Master", To: "S_CNT"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvReq2, Label: "e2", From: "S_CNT", To: ""},
+				{Event: EvRd2, From: "S_CNT", To: ""},
+				{Event: EvAddr2, From: "S_CNT", To: ""},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvRdy1, From: "S_CNT", To: "Master"},
+				{Event: EvRdyDone, Env: true},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvData1, Label: "e3", From: "S_CNT", To: "Master"},
+				{Event: EvDataDone, Env: true},
+			}},
+		},
+		Arrows: []chart.Arrow{{From: "e1", To: "e2"}},
+	}
+	clk2 := &chart.SCESC{
+		ChartName: "read_clk2",
+		Clock:     "clk2",
+		Instances: []string{"M_CNT", "Slave"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: EvReq3, Label: "e4", From: "M_CNT", To: "Slave"},
+				{Event: EvRd3, From: "M_CNT", To: "Slave"},
+				{Event: EvAddr3, From: "M_CNT", To: "Slave"},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvRdy3, Label: "e5", From: "Slave", To: "M_CNT"},
+				{Event: EvRdy2, From: "M_CNT", To: ""},
+			}},
+			{Events: []chart.EventSpec{
+				{Event: EvData3, From: "Slave", To: "M_CNT"},
+				{Event: EvData2, Label: "e6", From: "M_CNT", To: ""},
+			}},
+		},
+		Arrows: []chart.Arrow{{From: "e4", To: "e5"}},
+	}
+	return &chart.Async{
+		ChartName: "read_multi_clock",
+		Children:  []chart.Chart{clk1, clk2},
+		CrossArrows: []chart.Arrow{
+			{From: "e2", To: "e4"},
+			{From: "e6", To: "e3"},
+		},
+	}
+}
+
+// GoodSingleClockTrace produces one conforming Fig. 1 transaction with
+// the given leading idle cycles.
+func GoodSingleClockTrace(lead int) trace.Trace {
+	b := trace.NewBuilder().Idle(lead)
+	b.Tick().Events(EvReq1, EvRd1, EvAddr1)
+	b.Tick().Events(EvReq2, EvRd2, EvAddr2)
+	b.Tick().Events(EvRdy1, EvRdyDone)
+	b.Tick().Events(EvData1, EvDataDone)
+	return b.Build()
+}
+
+// System models the Fig. 2 GALS read system on a simulator: the clk1
+// domain issues and forwards requests and receives data; the clk2 domain
+// serves them. The domains handshake through sequence-number registers
+// read with TickCtx.Peek (modelled synchronizers), so every transaction
+// is served exactly once and stale responses cannot be consumed.
+//
+// For the chart's grid lines to land on consecutive clk1 ticks, clk1's
+// period must cover the clk2 side's service time: with clk2 ticking at
+// period p2 (phase p2/2-ish), serving takes three clk2 ticks after the
+// forwarded request commits, so periodClk1 >= 3*periodClk2 + 2 keeps the
+// response ready by clk1's next tick.
+type System struct {
+	// Requests counts transactions initiated.
+	Requests int
+	// gap controls idle clk1 ticks between transactions.
+	gap int
+}
+
+// Build wires the system into a simulator with the given clock periods.
+func Build(s *sim.Simulator, periodClk1, periodClk2 int64, gap int) (*System, error) {
+	sys := &System{gap: gap}
+	d1, err := s.AddDomain("clk1", periodClk1, 0)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := s.AddDomain("clk2", periodClk2, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// clk1 domain: master + slave-side controller.
+	d1.AddProcess(func(ctx *sim.TickCtx) {
+		switch ctx.Get("phase") {
+		case 0:
+			if ctx.Get("wait") > 0 {
+				ctx.Set("wait", ctx.Get("wait")-1)
+				return
+			}
+			ctx.Emit(EvReq1, EvRd1, EvAddr1)
+			sys.Requests++
+			ctx.Set("phase", 1)
+		case 1:
+			ctx.Emit(EvReq2, EvRd2, EvAddr2)
+			ctx.Set("req_seq", ctx.Get("req_seq")+1) // crosses to clk2
+			ctx.Set("phase", 2)
+		case 2:
+			// The clk2 side must have completed this transaction by now
+			// (period contract above); consume its response.
+			if ctx.Peek("clk2", "done_seq") == ctx.Get("req_seq") {
+				ctx.Emit(EvRdy1, EvRdyDone)
+				ctx.Set("phase", 3)
+			}
+		case 3:
+			ctx.Emit(EvData1, EvDataDone)
+			ctx.Set("phase", 0)
+			ctx.Set("wait", sys.gap)
+		}
+	})
+
+	// clk2 domain: master-side controller + slave.
+	d2.AddProcess(func(ctx *sim.TickCtx) {
+		switch ctx.Get("phase") {
+		case 0:
+			if ctx.Peek("clk1", "req_seq") > ctx.Get("done_seq") {
+				// A new request crossed over; serve it.
+				ctx.Emit(EvReq3, EvRd3, EvAddr3)
+				ctx.Set("phase", 1)
+			}
+		case 1:
+			ctx.Emit(EvRdy3, EvRdy2)
+			ctx.Set("phase", 2)
+		case 2:
+			ctx.Emit(EvData3, EvData2)
+			ctx.Set("done_seq", ctx.Get("done_seq")+1) // crosses to clk1
+			ctx.Set("phase", 0)
+		}
+	})
+	return sys, nil
+}
+
+// GoodGlobalTrace produces a conforming Fig. 2 global trace directly
+// (without the simulator). clk1 ticks with period 4, clk2 with period 2
+// (phase 1), and the transaction events are placed so that each domain's
+// window lands on consecutive local ticks while both cross-domain arrows
+// hold on the global clock:
+//
+//	clk1 @0  e1 (req1,rd1,addr1)
+//	clk1 @4  e2 (req2,rd2,addr2)
+//	clk2 @5  e4 (req3,rd3,addr3)   — after e2
+//	clk2 @7  e5 (rdy3,rdy2)
+//	clk1 @8  rdy1,rdy_done
+//	clk2 @9  e6 (data3,data2)
+//	clk1 @12 e3 (data1,data_done)  — after e6
+//
+// lead prepends that many full idle periods of both clocks.
+func GoodGlobalTrace(lead int) trace.GlobalTrace {
+	mk := func(events ...string) event.State {
+		return event.NewState().WithEvents(events...)
+	}
+	clk1 := trace.Trace{
+		mk(EvReq1, EvRd1, EvAddr1),
+		mk(EvReq2, EvRd2, EvAddr2),
+		mk(EvRdy1, EvRdyDone),
+		mk(EvData1, EvDataDone),
+	}
+	clk2 := trace.Trace{
+		event.NewState(),           // @1
+		event.NewState(),           // @3
+		mk(EvReq3, EvRd3, EvAddr3), // @5
+		mk(EvRdy3, EvRdy2),         // @7
+		mk(EvData3, EvData2),       // @9
+		event.NewState(),           // @11
+		event.NewState(),           // @13
+	}
+	if lead > 0 {
+		pad1 := make(trace.Trace, lead)
+		pad2 := make(trace.Trace, 2*lead)
+		for i := range pad1 {
+			pad1[i] = event.NewState()
+		}
+		for i := range pad2 {
+			pad2[i] = event.NewState()
+		}
+		clk1 = append(pad1, clk1...)
+		clk2 = append(pad2, clk2...)
+	}
+	g, err := trace.Interleave(
+		[]string{"clk1", "clk2"},
+		map[string]int64{"clk1": 4, "clk2": 2},
+		map[string]int64{"clk1": 0, "clk2": 1},
+		map[string]trace.Trace{"clk1": clk1, "clk2": clk2},
+	)
+	if err != nil {
+		panic(err) // static inputs; cannot fail
+	}
+	return g
+}

@@ -1,0 +1,100 @@
+package readproto
+
+import (
+	"testing"
+
+	"repro/internal/mclock"
+	"repro/internal/monitor"
+	"repro/internal/semantics"
+	"repro/internal/sim"
+	"repro/internal/synth"
+	"repro/internal/verif"
+)
+
+func TestChartsValidate(t *testing.T) {
+	if err := SingleClockChart().Validate(); err != nil {
+		t.Errorf("single-clock chart: %v", err)
+	}
+	if err := MultiClockChart().Validate(); err != nil {
+		t.Errorf("multi-clock chart: %v", err)
+	}
+}
+
+// TestFig1MonitorDetectsScenario is experiment E1.
+func TestFig1MonitorDetectsScenario(t *testing.T) {
+	m, err := synth.Translate(SingleClockChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States != 5 {
+		t.Errorf("states = %d, want 5", m.States)
+	}
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	if !eng.Accepts(GoodSingleClockTrace(0)) {
+		t.Error("conforming transaction not detected")
+	}
+	if !eng.Accepts(GoodSingleClockTrace(7)) {
+		t.Error("embedded transaction not detected")
+	}
+	// Reordered: data before ready.
+	bad := GoodSingleClockTrace(0)
+	bad[2], bad[3] = bad[3], bad[2]
+	if eng.Accepts(bad) {
+		t.Error("reordered transaction detected as conforming")
+	}
+}
+
+func TestGoodSingleClockTraceMatchesOracle(t *testing.T) {
+	sc := SingleClockChart()
+	tr := GoodSingleClockTrace(3)
+	if !semantics.ContainsScenario(sc, tr) {
+		t.Error("oracle rejects the conforming trace")
+	}
+	ends := semantics.MatchEndTicks(sc, tr)
+	if len(ends) != 1 || ends[0] != 6 {
+		t.Errorf("oracle end ticks = %v, want [6]", ends)
+	}
+}
+
+func TestGoodGlobalTraceCoherent(t *testing.T) {
+	g := GoodGlobalTrace(2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := semantics.AsyncSatisfied(MultiClockChart(), g); !ok {
+		t.Error("oracle rejects GoodGlobalTrace")
+	}
+}
+
+// TestFig2SimulatedSystemSatisfiesChart is experiment E2's end-to-end
+// leg: the GALS system model runs on the simulator, and the multi-clock
+// monitor attached to it detects the transaction.
+func TestFig2SimulatedSystemSatisfiesChart(t *testing.T) {
+	s := sim.New()
+	sys, err := Build(s, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := mclock.Synthesize(MultiClockChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := mclock.NewExec(mm, monitor.ModeDetect)
+	verif.AttachMulti(s, ex)
+	s.Record(true)
+	if err := s.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Requests < 2 {
+		t.Fatalf("system issued only %d requests", sys.Requests)
+	}
+	v := ex.Verdict()
+	if v.Accepts < sys.Requests-1 {
+		t.Errorf("multi-clock accepts = %d for %d requests\ncaptured:\n%v",
+			v.Accepts, sys.Requests, s.Captured())
+	}
+	// The simulated run must also satisfy the reference semantics.
+	if _, ok := semantics.AsyncSatisfied(MultiClockChart(), s.Captured()); !ok {
+		t.Error("oracle rejects the simulated global trace")
+	}
+}

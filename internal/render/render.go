@@ -1,0 +1,243 @@
+// Package render draws CESC charts — the visual syntax of the paper's
+// figures — as ASCII art for terminals and as SVG for documentation.
+// Instances are vertical lifelines, grid lines are horizontal clock
+// ticks, events are labelled markers between lifelines (or on the frame
+// for environment events), and causality arrows are listed with their
+// tick spans.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/chart"
+)
+
+// ASCII renders an SCESC as fixed-width text.
+func ASCII(sc *chart.SCESC) string {
+	cols := columnLayout(sc)
+	var b strings.Builder
+	fmt.Fprintf(&b, "SCESC %s (clock %s)\n", sc.ChartName, sc.Clock)
+	// Header: instance names.
+	header := make([]byte, cols.width)
+	for i := range header {
+		header[i] = ' '
+	}
+	for _, inst := range sc.Instances {
+		x := cols.x[inst]
+		copy(header[x-len(inst)/2:], inst)
+	}
+	b.Write(header)
+	b.WriteByte('\n')
+	// Grid lines.
+	for i, line := range sc.Lines {
+		row := make([]byte, cols.width)
+		for j := range row {
+			row[j] = '-'
+		}
+		for _, inst := range sc.Instances {
+			row[cols.x[inst]] = '+'
+		}
+		fmt.Fprintf(&b, "%s  t%d\n", row, i)
+		// Event markers between grid lines.
+		var parts []string
+		for _, e := range line.Events {
+			parts = append(parts, markerText(e))
+		}
+		if line.Cond != nil {
+			parts = append(parts, "when "+line.Cond.String())
+		}
+		if len(parts) > 0 {
+			lifelines := make([]byte, cols.width)
+			for j := range lifelines {
+				lifelines[j] = ' '
+			}
+			for _, inst := range sc.Instances {
+				lifelines[cols.x[inst]] = '|'
+			}
+			fmt.Fprintf(&b, "%s      %s\n", lifelines, strings.Join(parts, "; "))
+		}
+	}
+	if len(sc.Arrows) > 0 {
+		b.WriteString("causality:\n")
+		labels := sc.Labels()
+		for _, a := range sc.Arrows {
+			from, to := labels[a.From], labels[a.To]
+			fmt.Fprintf(&b, "  %s (t%d) --> %s (t%d)\n", a.From, from.Tick, a.To, to.Tick)
+		}
+	}
+	return b.String()
+}
+
+func markerText(e chart.EventSpec) string {
+	s := e.String()
+	switch {
+	case e.Env:
+		s += " (env)"
+	case e.From != "" && e.To != "":
+		s += fmt.Sprintf(" [%s -> %s]", e.From, e.To)
+	case e.From != "":
+		s += fmt.Sprintf(" [%s]", e.From)
+	}
+	return s
+}
+
+type layout struct {
+	x     map[string]int
+	width int
+}
+
+func columnLayout(sc *chart.SCESC) layout {
+	l := layout{x: make(map[string]int)}
+	x := 8
+	for _, inst := range sc.Instances {
+		l.x[inst] = x
+		x += maxInt(len(inst)+8, 16)
+	}
+	if len(sc.Instances) == 0 {
+		x = 24
+	}
+	l.width = x
+	return l
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ASCIIChart renders any chart: SCESC leaves are drawn fully, structure
+// nodes are rendered as an indented tree.
+func ASCIIChart(c chart.Chart) string {
+	var b strings.Builder
+	renderTree(&b, c, 0)
+	return b.String()
+}
+
+func renderTree(b *strings.Builder, c chart.Chart, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch v := c.(type) {
+	case *chart.SCESC:
+		for _, line := range strings.Split(strings.TrimRight(ASCII(v), "\n"), "\n") {
+			b.WriteString(indent + line + "\n")
+		}
+	case *chart.Seq:
+		b.WriteString(indent + "seq {\n")
+		for _, ch := range v.Children {
+			renderTree(b, ch, depth+1)
+		}
+		b.WriteString(indent + "}\n")
+	case *chart.Par:
+		b.WriteString(indent + "par {\n")
+		for _, ch := range v.Children {
+			renderTree(b, ch, depth+1)
+		}
+		b.WriteString(indent + "}\n")
+	case *chart.Alt:
+		b.WriteString(indent + "alt {\n")
+		for _, ch := range v.Children {
+			renderTree(b, ch, depth+1)
+		}
+		b.WriteString(indent + "}\n")
+	case *chart.Loop:
+		hi := "*"
+		if v.Max != chart.Unbounded {
+			hi = fmt.Sprint(v.Max)
+		}
+		fmt.Fprintf(b, "%sloop [%d, %s] {\n", indent, v.Min, hi)
+		renderTree(b, v.Body, depth+1)
+		b.WriteString(indent + "}\n")
+	case *chart.Implies:
+		b.WriteString(indent + "implies {\n")
+		renderTree(b, v.Trigger, depth+1)
+		b.WriteString(indent + "} {\n")
+		renderTree(b, v.Consequent, depth+1)
+		b.WriteString(indent + "}\n")
+	case *chart.Async:
+		b.WriteString(indent + "async {\n")
+		for _, ch := range v.Children {
+			renderTree(b, ch, depth+1)
+		}
+		for _, a := range v.CrossArrows {
+			fmt.Fprintf(b, "%s  cross %s -> %s\n", indent, a.From, a.To)
+		}
+		b.WriteString(indent + "}\n")
+	}
+}
+
+// SVG renders an SCESC as a standalone SVG document.
+func SVG(sc *chart.SCESC) string {
+	const (
+		colGap   = 160
+		rowGap   = 56
+		marginX  = 60
+		marginY  = 50
+		tickPadY = 26
+	)
+	instX := make(map[string]int)
+	for i, inst := range sc.Instances {
+		instX[inst] = marginX + i*colGap
+	}
+	width := marginX*2 + maxInt(len(sc.Instances)-1, 1)*colGap
+	height := marginY*2 + len(sc.Lines)*rowGap + tickPadY
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-weight="bold">SCESC %s (clock %s)</text>`+"\n",
+		marginX, esc(sc.ChartName), esc(sc.Clock))
+	// Lifelines.
+	bottom := marginY + len(sc.Lines)*rowGap
+	for _, inst := range sc.Instances {
+		x := instX[inst]
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", x, marginY, x, bottom)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n", x, marginY-10, esc(inst))
+	}
+	// Grid lines and markers.
+	for i, line := range sc.Lines {
+		y := marginY + (i+1)*rowGap - rowGap/2
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#999" stroke-dasharray="4 3"/>`+"\n",
+			marginX-30, y, width-marginX+30, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#555">t%d</text>`+"\n", 8, y+4, i)
+		texts := make([]string, 0, len(line.Events)+1)
+		for _, e := range line.Events {
+			texts = append(texts, e.String())
+			if e.From != "" && e.To != "" {
+				x1, x2 := instX[e.From], instX[e.To]
+				fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="blue" marker-end="url(#arr)"/>`+"\n",
+					x1, y, x2, y)
+			}
+		}
+		if line.Cond != nil {
+			texts = append(texts, "when "+line.Cond.String())
+		}
+		if len(texts) > 0 {
+			midX := width / 2
+			fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" fill="#003">%s</text>`+"\n",
+				midX, y-6, esc(strings.Join(texts, "; ")))
+		}
+	}
+	// Arrow marker definition and causality list.
+	b.WriteString(`<defs><marker id="arr" markerWidth="8" markerHeight="8" refX="6" refY="3" orient="auto"><path d="M0,0 L6,3 L0,6 z" fill="blue"/></marker></defs>` + "\n")
+	if len(sc.Arrows) > 0 {
+		labels := sc.Labels()
+		var items []string
+		for _, a := range sc.Arrows {
+			items = append(items, fmt.Sprintf("%s(t%d) -> %s(t%d)",
+				a.From, labels[a.From].Tick, a.To, labels[a.To].Tick))
+		}
+		sort.Strings(items)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="#900">causality: %s</text>`+"\n",
+			marginX, bottom+tickPadY, esc(strings.Join(items, ", ")))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

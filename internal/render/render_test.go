@@ -1,0 +1,120 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/amba"
+	"repro/internal/chart"
+	"repro/internal/ocp"
+	"repro/internal/readproto"
+)
+
+func TestASCIIFig6(t *testing.T) {
+	out := ASCII(ocp.SimpleReadChart())
+	for _, want := range []string{
+		"SCESC ocp_simple_read (clock ocp_clk)",
+		"Master", "Slave",
+		"t0", "t1",
+		"MCmd_rd", "SResp",
+		"causality:",
+		"cmd (t0) --> resp (t1)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestASCIIMarkerForms(t *testing.T) {
+	sc := &chart.SCESC{
+		ChartName: "m", Clock: "clk", Instances: []string{"A"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: "env_ev", Env: true},
+				{Event: "local", From: "A"},
+			}},
+		},
+	}
+	out := ASCII(sc)
+	if !strings.Contains(out, "env_ev (env)") {
+		t.Errorf("env marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "local [A]") {
+		t.Errorf("single-end marker missing:\n%s", out)
+	}
+}
+
+func TestASCIIChartTree(t *testing.T) {
+	c := &chart.Seq{ChartName: "top", Children: []chart.Chart{
+		ocp.SimpleReadChart(),
+		&chart.Loop{Body: amba.TransactionChart(), Min: 1, Max: chart.Unbounded},
+	}}
+	// Both children share no clock, so skip validation — rendering is
+	// structure-only.
+	out := ASCIIChart(c)
+	for _, want := range []string{"seq {", "loop [1, *] {", "SCESC ocp_simple_read", "SCESC amba_ahb_cli"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestASCIIChartAllNodes(t *testing.T) {
+	mk := func(n string) *chart.SCESC {
+		return &chart.SCESC{ChartName: n, Clock: "c", Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{{Event: n + "_e", Label: n + "_l"}}},
+		}}
+	}
+	c := &chart.Alt{Children: []chart.Chart{
+		&chart.Par{Children: []chart.Chart{mk("p1"), mk("p2")}},
+		&chart.Implies{Trigger: mk("t"), Consequent: mk("q")},
+	}}
+	out := ASCIIChart(c)
+	for _, want := range []string{"alt {", "par {", "implies {"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	a := &chart.Async{
+		Children:    []chart.Chart{mk("l"), mk("r")},
+		CrossArrows: []chart.Arrow{{From: "l_l", To: "r_l"}},
+	}
+	out2 := ASCIIChart(a)
+	if !strings.Contains(out2, "async {") || !strings.Contains(out2, "cross l_l -> r_l") {
+		t.Errorf("async render:\n%s", out2)
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg := SVG(readproto.SingleClockChart())
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`,
+		"</svg>",
+		"Master", "S_CNT",
+		"req1", "data1",
+		"causality:",
+		"marker id=\"arr\"",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 || strings.Count(svg, "</svg>") != 1 {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestSVGEscapes(t *testing.T) {
+	sc := &chart.SCESC{
+		ChartName: "a<b&c", Clock: "clk", Instances: []string{"X"},
+		Lines: []chart.GridLine{{Events: []chart.EventSpec{{Event: "e", From: "X"}}}},
+	}
+	svg := SVG(sc)
+	if strings.Contains(svg, "a<b&c") {
+		t.Error("unescaped special characters in SVG")
+	}
+	if !strings.Contains(svg, "a&lt;b&amp;c") {
+		t.Error("escaped name missing")
+	}
+}

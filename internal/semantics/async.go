@@ -1,0 +1,147 @@
+package semantics
+
+import (
+	"repro/internal/chart"
+	"repro/internal/trace"
+)
+
+// AsyncWitness records where a multi-clock chart matched: per child, the
+// start index of its window within its clock domain's projection.
+type AsyncWitness struct {
+	// Starts maps the child index to the start position of its window in
+	// the domain projection.
+	Starts []int
+}
+
+// domainInfo is one child's projected trace with per-element global times.
+type domainInfo struct {
+	proj  trace.Trace
+	times []int64
+}
+
+// AsyncSatisfied reports whether the global trace contains a coherent
+// multi-clock match of a: each asynchronous child matches a window of its
+// own domain's projection, and every cross-domain causality arrow's
+// source event occurs at a strictly earlier global time than its target
+// event. This is the reference semantics for the paper's multi-clock
+// monitors (local monitors synchronizing through the scoreboard on the
+// global clock).
+func AsyncSatisfied(a *chart.Async, g trace.GlobalTrace) (AsyncWitness, bool) {
+	infos := make([]domainInfo, len(a.Children))
+	for i, ch := range a.Children {
+		clocks := ch.Clocks()
+		if len(clocks) != 1 {
+			return AsyncWitness{}, false
+		}
+		var di domainInfo
+		for _, t := range g {
+			if t.Domain == clocks[0] {
+				di.proj = append(di.proj, t.State)
+				di.times = append(di.times, t.Time)
+			}
+		}
+		infos[i] = di
+	}
+
+	// Candidate window starts per child.
+	cands := make([][]int, len(a.Children))
+	for i, ch := range a.Children {
+		for from := 0; from <= len(infos[i].proj); from++ {
+			ls := MatchLengths(ch, infos[i].proj, from)
+			if len(ls) > 0 && ls[len(ls)-1] > 0 {
+				cands[i] = append(cands[i], from)
+			}
+		}
+		if len(cands[i]) == 0 {
+			return AsyncWitness{}, false
+		}
+	}
+
+	// Search combinations for one satisfying all cross arrows.
+	starts := make([]int, len(a.Children))
+	var search func(i int) bool
+	search = func(i int) bool {
+		if i == len(a.Children) {
+			return crossArrowsHold(a, infos, starts)
+		}
+		for _, s := range cands[i] {
+			starts[i] = s
+			if search(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	if !search(0) {
+		return AsyncWitness{}, false
+	}
+	w := AsyncWitness{Starts: make([]int, len(starts))}
+	copy(w.Starts, starts)
+	return w, true
+}
+
+// crossArrowsHold checks global-time ordering of each cross-domain arrow
+// given the chosen window starts.
+func crossArrowsHold(a *chart.Async, infos []domainInfo, starts []int) bool {
+	for _, arr := range a.CrossArrows {
+		srcT, ok := labelGlobalTime(a, infos, starts, arr.From)
+		if !ok {
+			return false
+		}
+		dstT, ok := labelGlobalTime(a, infos, starts, arr.To)
+		if !ok {
+			return false
+		}
+		if srcT >= dstT {
+			return false
+		}
+	}
+	return true
+}
+
+func labelGlobalTime(a *chart.Async, infos []domainInfo, starts []int, label string) (int64, bool) {
+	for i, ch := range a.Children {
+		sc, site, ok := findLabelWithOffset(ch, label)
+		if !ok {
+			continue
+		}
+		_ = sc
+		pos := starts[i] + site
+		if pos < 0 || pos >= len(infos[i].times) {
+			return 0, false
+		}
+		return infos[i].times[pos], true
+	}
+	return 0, false
+}
+
+// findLabelWithOffset resolves a label to its absolute tick offset within
+// the child's window, accounting for sequential composition of leaves.
+func findLabelWithOffset(c chart.Chart, label string) (*chart.SCESC, int, bool) {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		if s, ok := v.Labels()[label]; ok {
+			return v, s.Tick, true
+		}
+		return nil, 0, false
+	case *chart.Seq:
+		off := 0
+		for _, ch := range v.Children {
+			if sc, t, ok := findLabelWithOffset(ch, label); ok {
+				return sc, off + t, true
+			}
+			off += minWidth(ch)
+		}
+		return nil, 0, false
+	case *chart.Par:
+		for _, ch := range v.Children {
+			if sc, t, ok := findLabelWithOffset(ch, label); ok {
+				return sc, t, true
+			}
+		}
+		return nil, 0, false
+	default:
+		// Labels inside alternatives/loops have no fixed offset.
+		return nil, 0, false
+	}
+}

@@ -1,0 +1,251 @@
+// Package semantics implements the denotational reference semantics of
+// CESC as a direct (non-automaton) matcher over runs. It is the oracle
+// against which the synthesized monitors are validated: the paper's
+// correctness result states [[C]] = Sigma* . L(M) . Sigma^omega, i.e. a
+// run satisfies chart C iff some finite window of it is a word of the
+// monitor's language. This package decides the left-hand side by direct
+// interval matching, with none of the automaton machinery, so agreement
+// with the monitors is meaningful evidence of correctness.
+package semantics
+
+import (
+	"sort"
+
+	"repro/internal/chart"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// WindowMatchesSCESC reports whether the window of tr starting at `from`
+// satisfies every grid line of sc (and hence, by tick ordering, all of
+// its causality arrows).
+func WindowMatchesSCESC(sc *chart.SCESC, tr trace.Trace, from int) bool {
+	n := sc.NumTicks()
+	if from < 0 || from+n > len(tr) {
+		return false
+	}
+	for i, line := range sc.Lines {
+		if !expr.EvalState(line.Expr(), tr[from+i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchLengths returns the sorted set of window lengths L such that the
+// window tr[from : from+L] satisfies chart c. This is the compositional
+// core: sequential composition folds the sets, alternatives union them,
+// overlays intersect them, loops iterate them.
+func MatchLengths(c chart.Chart, tr trace.Trace, from int) []int {
+	set := matchSet(c, tr, from)
+	out := make([]int, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func matchSet(c chart.Chart, tr trace.Trace, from int) map[int]bool {
+	out := make(map[int]bool)
+	switch v := c.(type) {
+	case *chart.SCESC:
+		if WindowMatchesSCESC(v, tr, from) {
+			out[v.NumTicks()] = true
+		}
+	case *chart.Seq:
+		cur := map[int]bool{0: true}
+		for _, ch := range v.Children {
+			next := make(map[int]bool)
+			for off := range cur {
+				for l := range matchSet(ch, tr, from+off) {
+					next[off+l] = true
+				}
+			}
+			cur = next
+			if len(cur) == 0 {
+				break
+			}
+		}
+		for l := range cur {
+			out[l] = true
+		}
+	case *chart.Alt:
+		for _, ch := range v.Children {
+			for l := range matchSet(ch, tr, from) {
+				out[l] = true
+			}
+		}
+	case *chart.Par:
+		var acc map[int]bool
+		for _, ch := range v.Children {
+			ls := matchSet(ch, tr, from)
+			if acc == nil {
+				acc = ls
+				continue
+			}
+			for l := range acc {
+				if !ls[l] {
+					delete(acc, l)
+				}
+			}
+		}
+		for l := range acc {
+			out[l] = true
+		}
+	case *chart.Loop:
+		// reach[i] = set of offsets reachable with exactly i repetitions.
+		cur := map[int]bool{0: true}
+		if v.Min == 0 {
+			out[0] = true
+		}
+		reps := 0
+		for {
+			reps++
+			if v.Max != chart.Unbounded && reps > v.Max {
+				break
+			}
+			next := make(map[int]bool)
+			for off := range cur {
+				for l := range matchSet(v.Body, tr, from+off) {
+					next[off+l] = true
+				}
+			}
+			if len(next) == 0 {
+				break
+			}
+			if reps >= v.Min {
+				for l := range next {
+					out[l] = true
+				}
+			}
+			cur = next
+			// Every chart body consumes at least one tick, so offsets grow
+			// strictly and the loop terminates within len(tr) iterations.
+			if reps > len(tr)+1 {
+				break
+			}
+		}
+	case *chart.Implies:
+		// As a window language, an implication instance is the trigger
+		// window followed (within the deadline) by the consequent window.
+		for tl := range matchSet(v.Trigger, tr, from) {
+			for d := 0; d <= v.MaxDelay; d++ {
+				for cl := range matchSet(v.Consequent, tr, from+tl+d) {
+					out[tl+d+cl] = true
+				}
+			}
+		}
+	case *chart.Async:
+		// Multi-clock charts have no single-trace window semantics; see
+		// AsyncSatisfied.
+	}
+	return out
+}
+
+// MatchEndTicks returns every tick t such that some window of tr ending
+// at t (inclusive) satisfies c. These are exactly the ticks at which a
+// correct detector must accept.
+func MatchEndTicks(c chart.Chart, tr trace.Trace) []int {
+	ends := make(map[int]bool)
+	for from := 0; from <= len(tr); from++ {
+		for _, l := range MatchLengths(c, tr, from) {
+			if l > 0 {
+				ends[from+l-1] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(ends))
+	for t := range ends {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ContainsScenario reports whether any window of tr satisfies c — the
+// finite-prefix reading of "the run is in [[C]]" (= Sigma* . L . Sigma^omega).
+func ContainsScenario(c chart.Chart, tr trace.Trace) bool {
+	for from := 0; from <= len(tr); from++ {
+		if ls := MatchLengths(c, tr, from); len(ls) > 0 && ls[len(ls)-1] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ImpliesViolations returns the ticks at which a trigger window of the
+// implication completed but no consequent window followed within the
+// deadline — the assertion-mode reading of an Implies chart.
+func ImpliesViolations(v *chart.Implies, tr trace.Trace) []int {
+	var out []int
+	for from := 0; from <= len(tr); from++ {
+		for _, tl := range MatchLengths(v.Trigger, tr, from) {
+			if tl == 0 {
+				continue
+			}
+			start := from + tl
+			ok := false
+			for d := 0; d <= v.MaxDelay && !ok; d++ {
+				for _, cl := range MatchLengths(v.Consequent, tr, start+d) {
+					if cl > 0 {
+						ok = true
+						break
+					}
+				}
+			}
+			// Only count as a violation when the latest permitted
+			// consequent window would fit in the observed prefix; an
+			// undecided tail is pending, not failed.
+			if !ok && consequentCouldFit(v.Consequent, tr, start+v.MaxDelay) {
+				out = append(out, from+tl-1)
+			}
+		}
+	}
+	return out
+}
+
+func consequentCouldFit(c chart.Chart, tr trace.Trace, start int) bool {
+	return start+minWidth(c) <= len(tr)
+}
+
+// minWidth returns the minimum number of ticks any window of c spans.
+func minWidth(c chart.Chart) int {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		return v.NumTicks()
+	case *chart.Seq:
+		total := 0
+		for _, ch := range v.Children {
+			total += minWidth(ch)
+		}
+		return total
+	case *chart.Alt:
+		best := -1
+		for _, ch := range v.Children {
+			w := minWidth(ch)
+			if best == -1 || w < best {
+				best = w
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best
+	case *chart.Par:
+		best := 0
+		for _, ch := range v.Children {
+			if w := minWidth(ch); w > best {
+				best = w
+			}
+		}
+		return best
+	case *chart.Loop:
+		return v.Min * minWidth(v.Body)
+	case *chart.Implies:
+		return minWidth(v.Trigger) + minWidth(v.Consequent)
+		// (the deadline adds optional, not mandatory, width)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,190 @@
+package semantics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+func leaf(name string, events ...string) *chart.SCESC {
+	sc := &chart.SCESC{ChartName: name, Clock: "clk"}
+	for _, e := range events {
+		sc.Lines = append(sc.Lines, chart.GridLine{Events: []chart.EventSpec{{Event: e}}})
+	}
+	return sc
+}
+
+func tr(ticks ...[]string) trace.Trace {
+	b := trace.NewBuilder()
+	for _, evs := range ticks {
+		b.Tick().Events(evs...)
+	}
+	return b.Build()
+}
+
+func TestWindowMatchesSCESC(t *testing.T) {
+	sc := leaf("ab", "a", "b")
+	tx := tr([]string{"a"}, []string{"b"}, []string{"a"}, []string{"c"})
+	if !WindowMatchesSCESC(sc, tx, 0) {
+		t.Error("window 0 should match")
+	}
+	if WindowMatchesSCESC(sc, tx, 1) || WindowMatchesSCESC(sc, tx, 2) {
+		t.Error("false window match")
+	}
+	if WindowMatchesSCESC(sc, tx, -1) || WindowMatchesSCESC(sc, tx, 3) {
+		t.Error("out of range accepted")
+	}
+}
+
+func TestMatchLengthsSeqAltParLoop(t *testing.T) {
+	a := leaf("a", "a")
+	b := leaf("b", "b")
+	tx := tr([]string{"a"}, []string{"b"}, []string{"a", "b"})
+
+	seq := &chart.Seq{Children: []chart.Chart{a, b}}
+	if got := MatchLengths(seq, tx, 0); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("seq lengths = %v", got)
+	}
+	alt := &chart.Alt{Children: []chart.Chart{a, leaf("ab", "a", "b")}}
+	if got := MatchLengths(alt, tx, 0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("alt lengths = %v", got)
+	}
+	par := &chart.Par{Children: []chart.Chart{a, b}}
+	if got := MatchLengths(par, tx, 0); len(got) != 0 {
+		t.Errorf("par over disjoint events matched: %v", got)
+	}
+	if got := MatchLengths(par, tx, 2); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("par at overlap tick = %v", got)
+	}
+	loop := &chart.Loop{Body: a, Min: 1, Max: 2}
+	tx2 := tr([]string{"a"}, []string{"a"}, []string{"a"})
+	if got := MatchLengths(loop, tx2, 0); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("loop lengths = %v", got)
+	}
+	star := &chart.Loop{Body: a, Min: 0, Max: chart.Unbounded}
+	if got := MatchLengths(star, tx2, 0); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("star lengths = %v", got)
+	}
+}
+
+func TestMatchEndTicksAndContains(t *testing.T) {
+	sc := leaf("ab", "a", "b")
+	tx := tr([]string{"a"}, []string{"b"}, []string{"x"}, []string{"a"}, []string{"b"})
+	ends := MatchEndTicks(sc, tx)
+	if !reflect.DeepEqual(ends, []int{1, 4}) {
+		t.Errorf("end ticks = %v", ends)
+	}
+	if !ContainsScenario(sc, tx) {
+		t.Error("contains false")
+	}
+	if ContainsScenario(sc, tr([]string{"a"}, []string{"a"})) {
+		t.Error("contains true on non-matching trace")
+	}
+}
+
+func TestImpliesWindowSemantics(t *testing.T) {
+	imp := &chart.Implies{Trigger: leaf("t", "req"), Consequent: leaf("c", "ack")}
+	tx := tr([]string{"req"}, []string{"ack"})
+	if got := MatchLengths(imp, tx, 0); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("implies window lengths = %v", got)
+	}
+}
+
+func TestImpliesViolations(t *testing.T) {
+	imp := &chart.Implies{Trigger: leaf("t", "req"), Consequent: leaf("c", "ack")}
+	// req at 0 with ack at 1 (ok), req at 2 without ack at 3 (violation),
+	// req at 4 with nothing after (pending, not violated).
+	tx := tr([]string{"req"}, []string{"ack"}, []string{"req"}, []string{"x"}, []string{"req"})
+	got := ImpliesViolations(imp, tx)
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("violations = %v, want [2]", got)
+	}
+}
+
+func TestGuardedLineSemantics(t *testing.T) {
+	sc := &chart.SCESC{ChartName: "g", Clock: "clk", Lines: []chart.GridLine{
+		{Events: []chart.EventSpec{{Event: "e", Guard: expr.Pr("p")}}},
+	}}
+	with := trace.NewBuilder().Tick().Events("e").Props("p").Build()
+	without := trace.NewBuilder().Tick().Events("e").Build()
+	if !WindowMatchesSCESC(sc, with, 0) {
+		t.Error("guarded event with guard true rejected")
+	}
+	if WindowMatchesSCESC(sc, without, 0) {
+		t.Error("guarded event without guard accepted")
+	}
+}
+
+func TestMinWidth(t *testing.T) {
+	a, b := leaf("a", "a"), leaf("b", "b", "b2")
+	cases := []struct {
+		c    chart.Chart
+		want int
+	}{
+		{a, 1},
+		{b, 2},
+		{&chart.Seq{Children: []chart.Chart{a, b}}, 3},
+		{&chart.Alt{Children: []chart.Chart{a, b}}, 1},
+		{&chart.Par{Children: []chart.Chart{a, b}}, 2},
+		{&chart.Loop{Body: b, Min: 2, Max: 4}, 4},
+		{&chart.Implies{Trigger: a, Consequent: b}, 3},
+	}
+	for _, tc := range cases {
+		if got := minWidth(tc.c); got != tc.want {
+			t.Errorf("minWidth(%s) = %d, want %d", chart.Describe(tc.c), got, tc.want)
+		}
+	}
+}
+
+func TestAsyncSatisfied(t *testing.T) {
+	l := leaf("l", "x")
+	l.Clock = "c1"
+	l.Lines[0].Events[0].Label = "e1"
+	r := leaf("r", "y")
+	r.Clock = "c2"
+	r.Lines[0].Events[0].Label = "e2"
+	a := &chart.Async{Children: []chart.Chart{l, r},
+		CrossArrows: []chart.Arrow{{From: "e1", To: "e2"}}}
+
+	mkTick := func(tm int64, dom, ev string) trace.GlobalTick {
+		s := trace.NewBuilder().Tick().Events(ev).Build()[0]
+		return trace.GlobalTick{Time: tm, Domain: dom, State: s}
+	}
+	good := trace.GlobalTrace{mkTick(0, "c1", "x"), mkTick(1, "c2", "y")}
+	if w, ok := AsyncSatisfied(a, good); !ok || len(w.Starts) != 2 {
+		t.Errorf("good trace rejected: %v %v", w, ok)
+	}
+	// Cross order violated: y before x.
+	bad := trace.GlobalTrace{mkTick(0, "c2", "y"), mkTick(1, "c1", "x")}
+	if _, ok := AsyncSatisfied(a, bad); ok {
+		t.Error("causality-violating trace accepted")
+	}
+	// Missing domain activity.
+	missing := trace.GlobalTrace{mkTick(0, "c1", "x")}
+	if _, ok := AsyncSatisfied(a, missing); ok {
+		t.Error("trace missing a domain accepted")
+	}
+}
+
+func TestAsyncSatisfiedSimultaneousRejected(t *testing.T) {
+	l := leaf("l", "x")
+	l.Clock = "c1"
+	l.Lines[0].Events[0].Label = "e1"
+	r := leaf("r", "y")
+	r.Clock = "c2"
+	r.Lines[0].Events[0].Label = "e2"
+	a := &chart.Async{Children: []chart.Chart{l, r},
+		CrossArrows: []chart.Arrow{{From: "e1", To: "e2"}}}
+	mkTick := func(tm int64, dom, ev string) trace.GlobalTick {
+		s := trace.NewBuilder().Tick().Events(ev).Build()[0]
+		return trace.GlobalTick{Time: tm, Domain: dom, State: s}
+	}
+	// Equal global times: strict precedence fails.
+	sim := trace.GlobalTrace{mkTick(5, "c1", "x"), mkTick(5, "c2", "y")}
+	if _, ok := AsyncSatisfied(a, sim); ok {
+		t.Error("simultaneous cross-arrow endpoints accepted")
+	}
+}

@@ -1,0 +1,258 @@
+// Package sim is the simulation substrate of the verification flow
+// (Figure 4 of the paper): a cycle-based simulator for Globally
+// Asynchronous Locally Synchronous (GALS) systems. Each clock domain
+// ticks with its own period and phase; processes inside a domain execute
+// synchronously in two phases (compute, then commit), communicating
+// through registers; events and propositions emitted during a tick form
+// the clocked trace element observed by monitors. The global clock is
+// the union of all domains' ticks, matching the paper's multi-clock
+// semantics.
+//
+// This package substitutes for the commercial HDL simulation environment
+// used by the authors: monitors consume clocked valuation traces, and any
+// cycle-accurate producer of such traces exercises the same code paths
+// (see DESIGN.md §4).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// Process is one synchronous process of a clock domain, run once per
+// domain tick.
+type Process func(ctx *TickCtx)
+
+// Observer receives each global tick as it is produced (in global-time
+// order). Monitor attachments are built on this.
+type Observer interface {
+	OnTick(t trace.GlobalTick)
+}
+
+// ObserverFunc adapts a function to Observer.
+type ObserverFunc func(t trace.GlobalTick)
+
+// OnTick implements Observer.
+func (f ObserverFunc) OnTick(t trace.GlobalTick) { f(t) }
+
+// Domain is one synchronous clock domain.
+type Domain struct {
+	name   string
+	period int64
+	phase  int64
+
+	procs []Process
+	// regs holds committed register values; next holds values written
+	// this tick, committed after all processes ran.
+	regs map[string]int
+	next map[string]int
+
+	tick int
+
+	sim *Simulator
+}
+
+// Name returns the domain name (its clock).
+func (d *Domain) Name() string { return d.name }
+
+// Tick returns the number of completed ticks.
+func (d *Domain) Tick() int { return d.tick }
+
+// AddProcess registers a synchronous process; processes run in
+// registration order each tick.
+func (d *Domain) AddProcess(p Process) { d.procs = append(d.procs, p) }
+
+// Reg reads a committed register value (0 if never written).
+func (d *Domain) Reg(name string) int { return d.regs[name] }
+
+// SetReg initializes a register before simulation starts.
+func (d *Domain) SetReg(name string, v int) { d.regs[name] = v }
+
+// TickCtx is the per-tick execution context handed to processes.
+type TickCtx struct {
+	// TickIndex is the domain-local tick number (0-based).
+	TickIndex int
+	// Now is the global time of this tick.
+	Now int64
+
+	d     *Domain
+	state event.State
+}
+
+// Emit marks events as occurring at this tick.
+func (c *TickCtx) Emit(events ...string) {
+	for _, e := range events {
+		c.state.Events[e] = true
+	}
+}
+
+// SetProp sets a proposition's value at this tick.
+func (c *TickCtx) SetProp(name string, v bool) { c.state.Props[name] = v }
+
+// Get reads a register's committed value (what it held after the previous
+// tick).
+func (c *TickCtx) Get(name string) int { return c.d.regs[name] }
+
+// Set writes a register; the value becomes visible at the next tick.
+func (c *TickCtx) Set(name string, v int) { c.d.next[name] = v }
+
+// Peek reads a committed register of another clock domain — a modelled
+// synchronizer crossing. It returns 0 for unknown domains or registers.
+func (c *TickCtx) Peek(domain, name string) int {
+	if od, ok := c.d.sim.byName[domain]; ok {
+		return od.regs[name]
+	}
+	return 0
+}
+
+// Simulator coordinates clock domains on the global clock.
+type Simulator struct {
+	domains   []*Domain
+	byName    map[string]*Domain
+	observers []Observer
+	record    bool
+	captured  trace.GlobalTrace
+	now       int64
+}
+
+// New returns an empty simulator.
+func New() *Simulator {
+	return &Simulator{byName: make(map[string]*Domain)}
+}
+
+// AddDomain creates a clock domain ticking at times phase + k*period.
+// Period must be positive; phase non-negative.
+func (s *Simulator) AddDomain(name string, period, phase int64) (*Domain, error) {
+	if name == "" {
+		return nil, fmt.Errorf("sim: empty domain name")
+	}
+	if _, dup := s.byName[name]; dup {
+		return nil, fmt.Errorf("sim: duplicate domain %q", name)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: domain %q: period must be positive, got %d", name, period)
+	}
+	if phase < 0 {
+		return nil, fmt.Errorf("sim: domain %q: phase must be non-negative, got %d", name, phase)
+	}
+	d := &Domain{
+		name:   name,
+		period: period,
+		phase:  phase,
+		regs:   make(map[string]int),
+		next:   make(map[string]int),
+		sim:    s,
+	}
+	s.domains = append(s.domains, d)
+	s.byName[name] = d
+	return d, nil
+}
+
+// MustAddDomain is AddDomain that panics on error.
+func (s *Simulator) MustAddDomain(name string, period, phase int64) *Domain {
+	d, err := s.AddDomain(name, period, phase)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Domain returns a domain by name (nil if unknown).
+func (s *Simulator) Domain(name string) *Domain { return s.byName[name] }
+
+// Observe attaches an observer receiving every global tick.
+func (s *Simulator) Observe(o Observer) { s.observers = append(s.observers, o) }
+
+// Record enables capturing the produced global trace (off by default to
+// keep long soak runs allocation-free).
+func (s *Simulator) Record(on bool) { s.record = on }
+
+// Captured returns the recorded global trace.
+func (s *Simulator) Captured() trace.GlobalTrace { return s.captured }
+
+// Now returns the current global time.
+func (s *Simulator) Now() int64 { return s.now }
+
+// RunUntil advances the global clock until (and including) global time
+// `until`, executing every domain tick in global-time order. Simultaneous
+// ticks execute in domain-registration order, each producing its own
+// global tick entry (the paper's global clock is the union of component
+// ticks).
+func (s *Simulator) RunUntil(until int64) error {
+	if len(s.domains) == 0 {
+		return fmt.Errorf("sim: no clock domains")
+	}
+	for {
+		d, at := s.nextTick()
+		if at > until {
+			s.now = until
+			return nil
+		}
+		s.now = at
+		s.execTick(d, at)
+	}
+}
+
+// RunTicks advances until the named domain has completed n more ticks.
+func (s *Simulator) RunTicks(domain string, n int) error {
+	d, ok := s.byName[domain]
+	if !ok {
+		return fmt.Errorf("sim: unknown domain %q", domain)
+	}
+	target := d.tick + n
+	for d.tick < target {
+		nd, at := s.nextTick()
+		s.now = at
+		s.execTick(nd, at)
+	}
+	return nil
+}
+
+// nextTick picks the earliest pending domain tick; ties break by
+// registration order.
+func (s *Simulator) nextTick() (*Domain, int64) {
+	var best *Domain
+	var bestAt int64
+	for _, d := range s.domains {
+		at := d.phase + int64(d.tick)*d.period
+		if best == nil || at < bestAt {
+			best, bestAt = d, at
+		}
+	}
+	return best, bestAt
+}
+
+func (s *Simulator) execTick(d *Domain, at int64) {
+	ctx := &TickCtx{TickIndex: d.tick, Now: at, d: d, state: event.NewState()}
+	for _, p := range d.procs {
+		p(ctx)
+	}
+	// Commit registers.
+	for k, v := range d.next {
+		d.regs[k] = v
+	}
+	for k := range d.next {
+		delete(d.next, k)
+	}
+	d.tick++
+	gt := trace.GlobalTick{Time: at, Domain: d.name, State: ctx.state}
+	if s.record {
+		s.captured = append(s.captured, gt)
+	}
+	for _, o := range s.observers {
+		o.OnTick(gt)
+	}
+}
+
+// Domains lists domain names sorted for deterministic reporting.
+func (s *Simulator) Domains() []string {
+	out := make([]string, 0, len(s.domains))
+	for _, d := range s.domains {
+		out = append(out, d.name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAddDomainValidation(t *testing.T) {
+	s := New()
+	if _, err := s.AddDomain("", 1, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.AddDomain("a", 0, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := s.AddDomain("a", 1, -1); err == nil {
+		t.Error("negative phase accepted")
+	}
+	if _, err := s.AddDomain("a", 2, 0); err != nil {
+		t.Fatalf("valid domain rejected: %v", err)
+	}
+	if _, err := s.AddDomain("a", 2, 0); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+	if s.Domain("a") == nil || s.Domain("zz") != nil {
+		t.Error("Domain lookup misbehaves")
+	}
+}
+
+func TestRunUntilOrdersGlobalClock(t *testing.T) {
+	s := New()
+	s.MustAddDomain("fast", 2, 0)
+	s.MustAddDomain("slow", 5, 1)
+	s.Record(true)
+	var order []string
+	s.Observe(ObserverFunc(func(tk trace.GlobalTick) {
+		order = append(order, tk.Domain)
+	}))
+	if err := s.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Captured()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("captured trace not time-ordered: %v", err)
+	}
+	// fast ticks at 0,2,4,6,8,10; slow at 1,6(ties to fast? 1,6),...
+	// slow at 1, 6, 11(beyond): expect fast x6, slow x2.
+	fast := g.Project("fast")
+	slow := g.Project("slow")
+	if len(fast) != 6 || len(slow) != 2 {
+		t.Errorf("fast=%d slow=%d ticks, want 6 and 2", len(fast), len(slow))
+	}
+	if len(order) != 8 {
+		t.Errorf("observer saw %d ticks, want 8", len(order))
+	}
+}
+
+func TestSimultaneousTicksBreakTiesByRegistration(t *testing.T) {
+	s := New()
+	s.MustAddDomain("first", 4, 0)
+	s.MustAddDomain("second", 4, 0)
+	s.Record(true)
+	if err := s.RunUntil(4); err != nil {
+		t.Fatal(err)
+	}
+	g := s.Captured()
+	if len(g) != 4 {
+		t.Fatalf("ticks = %d, want 4", len(g))
+	}
+	if g[0].Domain != "first" || g[1].Domain != "second" {
+		t.Errorf("tie order = %s, %s", g[0].Domain, g[1].Domain)
+	}
+	if g[0].Time != g[1].Time {
+		t.Error("simultaneous ticks have different times")
+	}
+}
+
+func TestRegistersTwoPhaseCommit(t *testing.T) {
+	s := New()
+	d := s.MustAddDomain("clk", 1, 0)
+	var sawBefore []int
+	d.AddProcess(func(ctx *TickCtx) {
+		sawBefore = append(sawBefore, ctx.Get("x"))
+		ctx.Set("x", ctx.Get("x")+1)
+	})
+	// Second process in the same tick must still see the old value.
+	var sawSecond []int
+	d.AddProcess(func(ctx *TickCtx) {
+		sawSecond = append(sawSecond, ctx.Get("x"))
+	})
+	if err := s.RunTicks("clk", 3); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range sawBefore {
+		if v != i {
+			t.Errorf("tick %d saw %d, want %d (two-phase commit)", i, v, i)
+		}
+		if sawSecond[i] != v {
+			t.Errorf("second process saw %d at tick %d, want %d", sawSecond[i], i, v)
+		}
+	}
+	if d.Reg("x") != 3 {
+		t.Errorf("final register = %d, want 3", d.Reg("x"))
+	}
+}
+
+func TestEmitAndPropsVisibleToObservers(t *testing.T) {
+	s := New()
+	d := s.MustAddDomain("clk", 1, 0)
+	d.AddProcess(func(ctx *TickCtx) {
+		if ctx.TickIndex == 1 {
+			ctx.Emit("fire")
+			ctx.SetProp("armed", true)
+		}
+	})
+	s.Record(true)
+	if err := s.RunTicks("clk", 3); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Captured().Project("clk")
+	if tr[0].Event("fire") || !tr[1].Event("fire") || tr[2].Event("fire") {
+		t.Error("event emission at wrong ticks")
+	}
+	if !tr[1].Prop("armed") {
+		t.Error("prop not observed")
+	}
+}
+
+func TestPeekCrossDomain(t *testing.T) {
+	s := New()
+	a := s.MustAddDomain("a", 2, 0)
+	b := s.MustAddDomain("b", 2, 1)
+	a.AddProcess(func(ctx *TickCtx) {
+		ctx.Set("ping", ctx.TickIndex+1)
+	})
+	var peeked []int
+	b.AddProcess(func(ctx *TickCtx) {
+		peeked = append(peeked, ctx.Peek("a", "ping"))
+		if ctx.Peek("nosuch", "ping") != 0 {
+			t.Error("peek of unknown domain nonzero")
+		}
+	})
+	if err := s.RunUntil(7); err != nil {
+		t.Fatal(err)
+	}
+	// b ticks at 1,3,5,7; a committed ping=k after its tick at 2(k-1).
+	want := []int{1, 2, 3, 4}
+	for i, v := range peeked {
+		if v != want[i] {
+			t.Errorf("peek %d = %d, want %d", i, v, want[i])
+		}
+	}
+}
+
+func TestRunUntilRequiresDomains(t *testing.T) {
+	if err := New().RunUntil(5); err == nil {
+		t.Error("empty simulator ran")
+	}
+	if err := New().RunTicks("x", 1); err == nil {
+		t.Error("unknown domain ran")
+	}
+}
+
+func TestSetRegInitialValue(t *testing.T) {
+	s := New()
+	d := s.MustAddDomain("clk", 1, 0)
+	d.SetReg("seed", 42)
+	var got int
+	d.AddProcess(func(ctx *TickCtx) { got = ctx.Get("seed") })
+	if err := s.RunTicks("clk", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("initial register = %d, want 42", got)
+	}
+	if len(s.Domains()) != 1 || s.Domains()[0] != "clk" {
+		t.Errorf("Domains() = %v", s.Domains())
+	}
+}

@@ -1,0 +1,317 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// The paper's Figure 4 flow reviews CESC verification plans before
+// monitors are synthesized: the specifications "can be formally analyzed
+// for specification inconsistencies". Analyze implements that review as
+// a static pass over a chart, reporting contradictions, vacuities and
+// redundancies that would silently weaken the verification plan.
+
+// Severity grades a finding.
+type Severity int
+
+const (
+	// Warning marks a suspicious but synthesizable specification.
+	Warning Severity = iota
+	// Error marks a specification whose monitor would be degenerate.
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one analysis result.
+type Finding struct {
+	Severity Severity
+	// Code is a stable identifier, e.g. "unsat-line", "dead-alt".
+	Code string
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+// String renders "error[unsat-line]: ...".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s[%s]: %s", f.Severity, f.Code, f.Msg)
+}
+
+// Analyze statically checks a chart for specification inconsistencies.
+// It assumes the chart already passes Validate (structural
+// well-formedness); Analyze looks for semantic defects:
+//
+//   - unsat-line: a grid line's expression is unsatisfiable (the window
+//     can never occur);
+//   - unsat-overlay: a par overlay makes some tick unsatisfiable even
+//     though each child alone is satisfiable;
+//   - negated-only: an event is only ever required absent — usually a
+//     typo for a positive occurrence elsewhere;
+//   - empty-window: the chart admits the empty window (detector would
+//     accept vacuously);
+//   - dead-alt: an alternative branch whose window language is contained
+//     in a sibling's — the branch can never be the reason a scenario is
+//     reported;
+//   - vacuous-implication: the implication's trigger is unsatisfiable
+//     (the assertion can never fire).
+func Analyze(c chart.Chart) ([]Finding, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	if err := analyzeNode(c, &out); err != nil {
+		return nil, err
+	}
+	out = append(out, analyzeNegatedOnly(c)...)
+	// The empty-window defect is a property of the whole chart's window
+	// language — a min-0 loop nested inside a sequence is harmless.
+	switch c.(type) {
+	case *chart.Implies, *chart.Async:
+		// Not window languages at the top level.
+	default:
+		if a, frag, err := chartNFA(c); err == nil {
+			a.start, a.accept = frag.start, frag.accept
+			if a.acceptsEmpty() {
+				out = append(out, Finding{
+					Severity: Error, Code: "empty-window",
+					Msg: fmt.Sprintf("chart %q admits the empty window; its detector would accept at every tick", chartName(c, "chart")),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func analyzeNode(c chart.Chart, out *[]Finding) error {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		p := ExtractPattern(v)
+		if _, err := p.Support(); err != nil {
+			return err
+		}
+		for i, e := range p {
+			sat, err := expr.SatAuto(e)
+			if err != nil {
+				return err
+			}
+			if !sat {
+				*out = append(*out, Finding{
+					Severity: Error, Code: "unsat-line",
+					Msg: fmt.Sprintf("chart %q: grid line %d is unsatisfiable: %s", v.ChartName, i, e),
+				})
+			}
+		}
+	case *chart.Seq:
+		for _, ch := range v.Children {
+			if err := analyzeNode(ch, out); err != nil {
+				return err
+			}
+		}
+	case *chart.Par:
+		for _, ch := range v.Children {
+			if err := analyzeNode(ch, out); err != nil {
+				return err
+			}
+		}
+		if mp, err := mergePattern(v); err == nil && mp != nil {
+			if _, err := mp.p.Support(); err != nil {
+				return err
+			}
+			for i, e := range mp.p {
+				sat, err := expr.SatAuto(e)
+				if err != nil {
+					return err
+				}
+				if !sat {
+					*out = append(*out, Finding{
+						Severity: Error, Code: "unsat-overlay",
+						Msg: fmt.Sprintf("chart %q: overlay makes tick %d unsatisfiable: %s", v.ChartName, i, e),
+					})
+				}
+			}
+		}
+	case *chart.Alt:
+		for _, ch := range v.Children {
+			if err := analyzeNode(ch, out); err != nil {
+				return err
+			}
+		}
+		findDeadAlternatives(v, out)
+	case *chart.Loop:
+		if err := analyzeNode(v.Body, out); err != nil {
+			return err
+		}
+	case *chart.Implies:
+		if err := analyzeNode(v.Trigger, out); err != nil {
+			return err
+		}
+		if err := analyzeNode(v.Consequent, out); err != nil {
+			return err
+		}
+		if empty, err := languageEmpty(v.Trigger); err == nil && empty {
+			*out = append(*out, Finding{
+				Severity: Warning, Code: "vacuous-implication",
+				Msg: fmt.Sprintf("chart %q: implication trigger has an empty language; the assertion can never fire", v.ChartName),
+			})
+		}
+	case *chart.Async:
+		for _, ch := range v.Children {
+			if err := analyzeNode(ch, out); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// analyzeNegatedOnly flags events that appear only under negation.
+func analyzeNegatedOnly(c chart.Chart) []Finding {
+	pos := map[string]bool{}
+	neg := map[string]bool{}
+	for _, sc := range chart.Leaves(c) {
+		for _, line := range sc.Lines {
+			for _, e := range line.Events {
+				if e.Negated {
+					neg[e.Event] = true
+				} else {
+					pos[e.Event] = true
+				}
+			}
+		}
+	}
+	var out []Finding
+	for e := range neg {
+		if !pos[e] {
+			out = append(out, Finding{
+				Severity: Warning, Code: "negated-only",
+				Msg: fmt.Sprintf("event %q is only ever required absent; is a positive occurrence missing?", e),
+			})
+		}
+	}
+	return out
+}
+
+// chartNFA builds the window NFA of a chart.
+func chartNFA(c chart.Chart) (*nfa, fragment, error) {
+	a := newNFA()
+	frag, err := buildFragment(a, c)
+	return a, frag, err
+}
+
+// languageEmpty reports whether no window at all satisfies the chart.
+func languageEmpty(c chart.Chart) (bool, error) {
+	a, frag, err := chartNFA(c)
+	if err != nil {
+		return false, err
+	}
+	a.start, a.accept = frag.start, frag.accept
+	sup, err := a.support()
+	if err != nil {
+		return false, err
+	}
+	if sup.Len() > maxEnumerateBits {
+		return false, fmt.Errorf("synth: support too large for emptiness analysis")
+	}
+	m, err := a.determinize(determinizeOpts{name: "empt", clock: clockOf(c), prefixLoop: false})
+	if err != nil {
+		// determinize reports "empty language" as an error.
+		return true, nil
+	}
+	return len(m.Finals) == 0, nil
+}
+
+// findDeadAlternatives flags Alt branches whose language is included in a
+// sibling's (checked over the shared support via DFA inclusion).
+func findDeadAlternatives(v *chart.Alt, out *[]Finding) {
+	dfas := make([]*monitor.Monitor, len(v.Children))
+	var syms []event.Symbol
+	for i, ch := range v.Children {
+		a, frag, err := chartNFA(ch)
+		if err != nil {
+			return
+		}
+		a.start, a.accept = frag.start, frag.accept
+		m, err := a.determinize(determinizeOpts{name: fmt.Sprintf("alt%d", i), clock: clockOf(ch), prefixLoop: false})
+		if err != nil {
+			return
+		}
+		dfas[i] = m
+		s, err := m.Support()
+		if err != nil {
+			return
+		}
+		syms = append(syms, s.Symbols()...)
+	}
+	sup, err := event.NewSupport(syms)
+	if err != nil || sup.Len() > maxEnumerateBits {
+		return
+	}
+	for i := range dfas {
+		for j := range dfas {
+			if i == j {
+				continue
+			}
+			if included, ok := dfaIncluded(dfas[i], dfas[j], sup); ok && included {
+				*out = append(*out, Finding{
+					Severity: Warning, Code: "dead-alt",
+					Msg: fmt.Sprintf("chart %q: alternative branch %d (%s) is subsumed by branch %d (%s)",
+						v.ChartName, i, chart.Describe(v.Children[i]), j, chart.Describe(v.Children[j])),
+				})
+				break
+			}
+		}
+	}
+}
+
+// dfaIncluded reports L(a) ⊆ L(b) by a product walk over valuations of
+// sup. Both DFAs must be deterministic on first-match; missing moves go
+// to an implicit dead state.
+func dfaIncluded(a, b *monitor.Monitor, sup *event.Support) (included, ok bool) {
+	type pair struct{ sa, sb int }
+	const dead = -1
+	step := func(m *monitor.Monitor, s int, ctx event.ValuationContext) int {
+		if s == dead {
+			return dead
+		}
+		for _, t := range m.Trans[s] {
+			if t.Guard.Eval(ctx) {
+				return t.To
+			}
+		}
+		return dead
+	}
+	seen := map[pair]bool{}
+	stack := []pair{{a.Initial, b.Initial}}
+	seen[stack[0]] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.sa != dead && a.IsFinal(cur.sa) {
+			if cur.sb == dead || !b.IsFinal(cur.sb) {
+				return false, true // word accepted by a, not by b
+			}
+		}
+		for v := uint64(0); v < sup.NumValuations(); v++ {
+			ctx := event.ValuationContext{Sup: sup, Val: event.Valuation(v)}
+			next := pair{step(a, cur.sa, ctx), step(b, cur.sb, ctx)}
+			if next.sa == dead {
+				continue // a rejects; inclusion unaffected
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return true, true
+}

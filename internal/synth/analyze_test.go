@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/expr"
+	"repro/internal/ocp"
+	"repro/internal/readproto"
+)
+
+func findingCodes(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Code)
+	}
+	return out
+}
+
+func hasCode(fs []Finding, code string) bool {
+	for _, f := range fs {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAnalyzeCleanCharts(t *testing.T) {
+	for _, c := range []chart.Chart{
+		ocp.SimpleReadChart(),
+		ocp.BurstReadChart(),
+		readproto.SingleClockChart(),
+		readproto.MultiClockChart(),
+		ocp.HandshakeChart(3),
+	} {
+		fs, err := Analyze(c)
+		if err != nil {
+			t.Fatalf("%s: %v", chart.Describe(c), err)
+		}
+		for _, f := range fs {
+			// The handshake chart legitimately requires SCmd_accept both
+			// positively and negatively; nothing else should fire.
+			t.Errorf("%s: unexpected finding %s", chart.Describe(c), f)
+		}
+	}
+}
+
+func TestAnalyzeUnsatOverlay(t *testing.T) {
+	// Each child is satisfiable; the overlay requires x and !x together.
+	a := &chart.SCESC{ChartName: "a", Clock: "clk", Lines: []chart.GridLine{
+		{Events: []chart.EventSpec{{Event: "x"}}},
+	}}
+	b := &chart.SCESC{ChartName: "b", Clock: "clk", Lines: []chart.GridLine{
+		{Events: []chart.EventSpec{{Event: "x", Negated: true}, {Event: "y"}}},
+	}}
+	c := &chart.Par{ChartName: "conflict", Children: []chart.Chart{a, b}}
+	fs, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(fs, "unsat-overlay") {
+		t.Errorf("findings = %v, want unsat-overlay", findingCodes(fs))
+	}
+}
+
+func TestAnalyzeNegatedOnly(t *testing.T) {
+	c := &chart.SCESC{ChartName: "n", Clock: "clk", Lines: []chart.GridLine{
+		{Events: []chart.EventSpec{{Event: "req"}, {Event: "abrot", Negated: true}}},
+	}}
+	fs, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(fs, "negated-only") {
+		t.Errorf("findings = %v, want negated-only (typo detection)", findingCodes(fs))
+	}
+	for _, f := range fs {
+		if f.Code == "negated-only" && !strings.Contains(f.Msg, "abrot") {
+			t.Errorf("finding does not name the event: %s", f)
+		}
+	}
+}
+
+func TestAnalyzeEmptyWindowLoop(t *testing.T) {
+	c := &chart.Loop{
+		ChartName: "opt",
+		Body:      leaf("b", "x"),
+		Min:       0,
+		Max:       2,
+	}
+	fs, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(fs, "empty-window") {
+		t.Errorf("findings = %v, want empty-window", findingCodes(fs))
+	}
+}
+
+func TestAnalyzeDeadAlternative(t *testing.T) {
+	// Branch 1 ("x then y") is subsumed by branch 0 (alt of itself and
+	// more): construct a case where one branch's language contains the
+	// other's: branch A = {x;y}, branch B = alt({x;y},{x;z}) — then A ⊆ B.
+	a := leaf("a", "x", "y")
+	b := &chart.Alt{ChartName: "inner", Children: []chart.Chart{
+		leaf("b1", "x", "y"),
+		leaf("b2", "x", "z"),
+	}}
+	c := &chart.Alt{ChartName: "outer", Children: []chart.Chart{a, b}}
+	fs, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(fs, "dead-alt") {
+		t.Errorf("findings = %v, want dead-alt", findingCodes(fs))
+	}
+}
+
+func TestAnalyzeDistinctAlternativesClean(t *testing.T) {
+	c := &chart.Alt{ChartName: "ok", Children: []chart.Chart{
+		leaf("a", "x", "y"),
+		leaf("b", "x", "z"),
+	}}
+	fs, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasCode(fs, "dead-alt") {
+		t.Errorf("distinct branches flagged dead: %v", findingCodes(fs))
+	}
+}
+
+func TestAnalyzeVacuousImplication(t *testing.T) {
+	// Trigger with an unsatisfiable line: x & !x.
+	trigger := &chart.SCESC{ChartName: "t", Clock: "clk", Lines: []chart.GridLine{
+		{Cond: expr.And(expr.Ev("x"), expr.Not(expr.Ev("x")))},
+	}}
+	c := &chart.Implies{ChartName: "vac", Trigger: trigger, Consequent: leaf("c", "y")}
+	fs, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCode(fs, "vacuous-implication") {
+		t.Errorf("findings = %v, want vacuous-implication", findingCodes(fs))
+	}
+	if !hasCode(fs, "unsat-line") {
+		t.Errorf("findings = %v, want unsat-line for the trigger", findingCodes(fs))
+	}
+}
+
+func TestAnalyzeRejectsInvalidChart(t *testing.T) {
+	if _, err := Analyze(&chart.SCESC{ChartName: "x", Clock: "clk"}); err == nil {
+		t.Error("invalid chart analyzed")
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Severity: Error, Code: "unsat-line", Msg: "boom"}
+	if got := f.String(); got != "error[unsat-line]: boom" {
+		t.Errorf("string = %q", got)
+	}
+	w := Finding{Severity: Warning, Code: "dead-alt", Msg: "m"}
+	if !strings.HasPrefix(w.String(), "warning[") {
+		t.Errorf("string = %q", w)
+	}
+}

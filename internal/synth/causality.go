@@ -1,0 +1,188 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chart"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// causalitySite describes one causality arrow resolved to pattern ticks.
+type causalitySite struct {
+	srcEvent string // ex
+	srcTick  int    // tick at which ex occurs
+	dstEvent string // ey
+	dstTick  int    // tick at which ey occurs (NoTick for cross-domain)
+}
+
+// NoTick marks a causality endpoint living in another clock domain.
+const NoTick = -1
+
+// AddCausalityCheck implements the paper's add_causality_check on a
+// monitor built by ComputeTransitionFunc for pattern p:
+//
+//   - every transition that consumes the source occurrence's grid line
+//     gets the action Add_evt(ex);
+//   - every transition that consumes the target occurrence's grid line
+//     gets the additional guard Chk_evt(ex);
+//   - every backward transition reverses, via Del_evt, the Add_evt
+//     actions of the forward path it abandons.
+//
+// A transition to state k >= 1 consumes pattern element k-1 (it fires
+// exactly when the input matches P[k-1] as the newest element of a
+// k-length prefix match); a transition to 0 consumes nothing.
+func AddCausalityCheck(m *monitor.Monitor, p Pattern, sc *chart.SCESC) error {
+	sites, err := resolveArrows(sc)
+	if err != nil {
+		return err
+	}
+	addsAt := make(map[int][]string) // tick -> events to Add_evt
+	chkAt := make(map[int][]string)  // tick -> events to Chk_evt
+	for _, s := range sites {
+		addsAt[s.srcTick] = append(addsAt[s.srcTick], s.srcEvent)
+		if s.dstTick != NoTick {
+			chkAt[s.dstTick] = append(chkAt[s.dstTick], s.srcEvent)
+		}
+	}
+	instrument(m, addsAt, chkAt)
+	return nil
+}
+
+// InstrumentCrossDomain adds the local half of cross-domain causality
+// arrows to a monitor: Add_evt at source sites owned by this chart and
+// Chk_evt guards at target sites owned by this chart (package mclock
+// resolves arrow endpoints across the async children).
+//
+// Unlike in-domain arrows, cross-domain Add_evt entries are never
+// reversed by backward transitions: the producing monitor recorded a
+// genuine event occurrence (its input element concretely matched), and
+// the consuming domain's causality check only requires that the source
+// event occurred at an earlier global time — abandoning the producer's
+// *window* does not un-happen the event. Reversing them would race the
+// consumer: the producer's give-up edge could erase an entry between the
+// occurrence and the consumer's Chk_evt (see DESIGN.md §3.2).
+func InstrumentCrossDomain(m *monitor.Monitor, addsAt, chkAt map[int][]string) {
+	for tick, evs := range addsAt {
+		addsAt[tick] = dedupeSorted(evs)
+	}
+	for tick, evs := range chkAt {
+		chkAt[tick] = dedupeSorted(evs)
+	}
+	for s := 0; s < m.States; s++ {
+		for i := range m.Trans[s] {
+			t := &m.Trans[s][i]
+			consumed := t.To - 1
+			if consumed < 0 {
+				continue
+			}
+			if chks := chkAt[consumed]; len(chks) > 0 {
+				terms := []expr.Expr{t.Guard}
+				for _, ev := range chks {
+					terms = append(terms, expr.Chk(ev))
+				}
+				t.Guard = expr.And(terms...)
+			}
+			if t.To == s+1 {
+				if adds := addsAt[consumed]; len(adds) > 0 {
+					a := monitor.Add(adds...)
+					a.Sticky = true
+					t.Actions = append(t.Actions, a)
+				}
+			}
+		}
+	}
+}
+
+func instrument(m *monitor.Monitor, addsAt, chkAt map[int][]string) {
+	if len(addsAt) == 0 && len(chkAt) == 0 {
+		return
+	}
+	// A source site's event is recorded once per occurrence regardless of
+	// how many arrows leave it: dedupe within each tick. Across ticks,
+	// multiplicity is preserved so that reversals delete one entry per
+	// recorded occurrence (the paper's act7 = NOT(act1 AND act2 AND act3)
+	// deletes MCmdRd three times).
+	for tick, evs := range addsAt {
+		addsAt[tick] = dedupeSorted(evs)
+	}
+	for tick, evs := range chkAt {
+		chkAt[tick] = dedupeSorted(evs)
+	}
+	for s := 0; s < m.States; s++ {
+		for i := range m.Trans[s] {
+			t := &m.Trans[s][i]
+			consumed := t.To - 1 // pattern element index, -1 when t.To == 0
+			// Guard: consuming the destination tick requires the source
+			// event to be on the scoreboard.
+			if consumed >= 0 {
+				if chks := chkAt[consumed]; len(chks) > 0 {
+					terms := []expr.Expr{t.Guard}
+					for _, ev := range chks {
+						terms = append(terms, expr.Chk(ev))
+					}
+					t.Guard = expr.And(terms...)
+				}
+			}
+			var actions []monitor.Action
+			// Backward transition: reverse the Add_evt actions of the
+			// abandoned forward path (ticks t.To .. s-1), multiplicity
+			// preserved.
+			if t.To <= s && s > 0 {
+				var dels []string
+				for tick := t.To; tick < s; tick++ {
+					dels = append(dels, addsAt[tick]...)
+				}
+				if len(dels) > 0 {
+					sort.Strings(dels)
+					actions = append(actions, monitor.Del(dels...))
+				}
+			}
+			// Forward consumption: record the source events of this tick.
+			// On advance (t.To == s+1) the tick is newly consumed; on a
+			// fallback the prefix's adds are carried over from the
+			// abandoned attempt (see DESIGN.md §3.2), so no re-add.
+			if t.To == s+1 && consumed >= 0 {
+				if adds := addsAt[consumed]; len(adds) > 0 {
+					actions = append(actions, monitor.Add(adds...))
+				}
+			}
+			t.Actions = append(t.Actions, actions...)
+		}
+	}
+}
+
+func dedupeSorted(xs []string) []string {
+	seen := make(map[string]bool, len(xs))
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolveArrows maps the SCESC's causality arrows to tick-indexed sites.
+func resolveArrows(sc *chart.SCESC) ([]causalitySite, error) {
+	labels := sc.Labels()
+	sites := make([]causalitySite, 0, len(sc.Arrows))
+	for _, a := range sc.Arrows {
+		src, ok := labels[a.From]
+		if !ok {
+			return nil, fmt.Errorf("synth: chart %q: arrow source label %q not found", sc.ChartName, a.From)
+		}
+		dst, ok := labels[a.To]
+		if !ok {
+			return nil, fmt.Errorf("synth: chart %q: arrow target label %q not found", sc.ChartName, a.To)
+		}
+		sites = append(sites, causalitySite{
+			srcEvent: src.Event, srcTick: src.Tick,
+			dstEvent: dst.Event, dstTick: dst.Tick,
+		})
+	}
+	return sites, nil
+}

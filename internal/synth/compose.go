@@ -1,0 +1,360 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// Synthesize compiles any single-clock chart into a monitor:
+//
+//   - SCESC: the paper's algorithm Tr (Translate);
+//   - sequential / synchronous-parallel compositions of SCESCs: merged
+//     into one pattern (concatenation / per-tick conjunction) so the full
+//     algorithm, including scoreboard causality instrumentation, applies;
+//   - alternative, loop and other nestings: compiled via a symbolic NFA
+//     and subset construction into a deterministic detector (causality
+//     arrows inside the leaves are enforced by the window semantics —
+//     a fully matched window fixes the tick order of its events);
+//   - implication: trigger detector chained to an exact-start consequent
+//     obligation with an explicit violation state (assertion mode).
+//
+// Asynchronous (multi-clock) charts are handled by package mclock, which
+// builds one local monitor per clock domain on top of this function.
+func Synthesize(c chart.Chart, opts *Options) (*monitor.Monitor, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	switch v := c.(type) {
+	case *chart.SCESC:
+		return Translate(v, opts)
+	case *chart.Seq, *chart.Par:
+		if mp, err := mergePattern(c); err != nil {
+			return nil, err
+		} else if mp != nil {
+			return synthesizeMerged(chartName(c, "composite"), clockOf(c), mp, opts)
+		}
+		return synthesizeNFA(c, opts)
+	case *chart.Alt, *chart.Loop:
+		return synthesizeNFA(c, opts)
+	case *chart.Implies:
+		return synthesizeImplies(v, opts)
+	case *chart.Async:
+		return nil, fmt.Errorf("synth: chart %q is multi-clock; synthesize it with package mclock", v.ChartName)
+	default:
+		return nil, fmt.Errorf("synth: unsupported chart node %T", c)
+	}
+}
+
+func chartName(c chart.Chart, fallback string) string {
+	if n := c.Name(); n != "" {
+		return n
+	}
+	return fallback
+}
+
+func clockOf(c chart.Chart) string {
+	cks := c.Clocks()
+	if len(cks) > 0 {
+		return cks[0]
+	}
+	return ""
+}
+
+// mergedPattern is a pattern plus the causality instrumentation sites
+// gathered (with tick offsets) from the merged SCESC leaves.
+type mergedPattern struct {
+	p      Pattern
+	addsAt map[int][]string
+	chkAt  map[int][]string
+}
+
+// mergePattern flattens Seq (concatenation) and Par (per-tick overlay) of
+// SCESC leaves into a single pattern with offset-adjusted causality
+// sites. It returns (nil, nil) when the chart shape is not mergeable
+// (e.g. contains Alt or Loop), and an error for malformed overlays.
+func mergePattern(c chart.Chart) (*mergedPattern, error) {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		mp := &mergedPattern{
+			p:      ExtractPattern(v),
+			addsAt: make(map[int][]string),
+			chkAt:  make(map[int][]string),
+		}
+		sites, err := resolveArrows(v)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range sites {
+			mp.addsAt[s.srcTick] = append(mp.addsAt[s.srcTick], s.srcEvent)
+			if s.dstTick != NoTick {
+				mp.chkAt[s.dstTick] = append(mp.chkAt[s.dstTick], s.srcEvent)
+			}
+		}
+		return mp, nil
+	case *chart.Seq:
+		out := &mergedPattern{addsAt: make(map[int][]string), chkAt: make(map[int][]string)}
+		for _, ch := range v.Children {
+			mp, err := mergePattern(ch)
+			if err != nil || mp == nil {
+				return nil, err
+			}
+			off := len(out.p)
+			out.p = append(out.p, mp.p...)
+			for t, evs := range mp.addsAt {
+				out.addsAt[off+t] = append(out.addsAt[off+t], evs...)
+			}
+			for t, evs := range mp.chkAt {
+				out.chkAt[off+t] = append(out.chkAt[off+t], evs...)
+			}
+		}
+		return out, nil
+	case *chart.Par:
+		var parts []*mergedPattern
+		width := -1
+		for _, ch := range v.Children {
+			mp, err := mergePattern(ch)
+			if err != nil || mp == nil {
+				return nil, err
+			}
+			if width == -1 {
+				width = len(mp.p)
+			} else if len(mp.p) != width {
+				return nil, fmt.Errorf("synth: chart %q: par overlay children differ in tick count (%d vs %d)",
+					v.ChartName, width, len(mp.p))
+			}
+			parts = append(parts, mp)
+		}
+		out := &mergedPattern{
+			p:      make(Pattern, width),
+			addsAt: make(map[int][]string),
+			chkAt:  make(map[int][]string),
+		}
+		for i := 0; i < width; i++ {
+			terms := make([]expr.Expr, len(parts))
+			for j, mp := range parts {
+				terms[j] = mp.p[i]
+			}
+			out.p[i] = expr.And(terms...)
+		}
+		for _, mp := range parts {
+			for t, evs := range mp.addsAt {
+				out.addsAt[t] = append(out.addsAt[t], evs...)
+			}
+			for t, evs := range mp.chkAt {
+				out.chkAt[t] = append(out.chkAt[t], evs...)
+			}
+		}
+		return out, nil
+	default:
+		return nil, nil
+	}
+}
+
+func synthesizeMerged(name, clock string, mp *mergedPattern, opts *Options) (*monitor.Monitor, error) {
+	m, err := ComputeTransitionFunc(name, clock, mp.p, opts)
+	if err != nil {
+		return nil, err
+	}
+	instrument(m, mp.addsAt, mp.chkAt)
+	if opts.NameGuards {
+		nameGuards(m)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: produced invalid monitor: %w", err)
+	}
+	return m, nil
+}
+
+// synthesizeNFA compiles the chart through the symbolic NFA and subset
+// construction, producing a prefix detector (Sigma* . L).
+func synthesizeNFA(c chart.Chart, opts *Options) (*monitor.Monitor, error) {
+	a := newNFA()
+	frag, err := buildFragment(a, c)
+	if err != nil {
+		return nil, err
+	}
+	a.start = frag.start
+	a.accept = frag.accept
+	if a.acceptsEmpty() {
+		return nil, fmt.Errorf("synth: chart %q admits the empty window; its detector would accept vacuously at every tick",
+			chartName(c, "composite"))
+	}
+	m, err := a.determinize(determinizeOpts{
+		name:       chartName(c, "composite"),
+		clock:      clockOf(c),
+		prefixLoop: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.NameGuards {
+		nameGuards(m)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: produced invalid monitor: %w", err)
+	}
+	return m, nil
+}
+
+func buildFragment(a *nfa, c chart.Chart) (fragment, error) {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		return a.patternFragment(ExtractPattern(v)), nil
+	case *chart.Seq:
+		fs := make([]fragment, 0, len(v.Children))
+		for _, ch := range v.Children {
+			f, err := buildFragment(a, ch)
+			if err != nil {
+				return fragment{}, err
+			}
+			fs = append(fs, f)
+		}
+		return a.seqFragment(fs...), nil
+	case *chart.Alt:
+		fs := make([]fragment, 0, len(v.Children))
+		for _, ch := range v.Children {
+			f, err := buildFragment(a, ch)
+			if err != nil {
+				return fragment{}, err
+			}
+			fs = append(fs, f)
+		}
+		return a.altFragment(fs...), nil
+	case *chart.Par:
+		mp, err := mergePattern(v)
+		if err != nil {
+			return fragment{}, err
+		}
+		if mp != nil {
+			return a.patternFragment(mp.p), nil
+		}
+		// General overlay: intersect the children's window languages via
+		// DFA product and embed the result.
+		d, err := parWindowDFA(v)
+		if err != nil {
+			return fragment{}, err
+		}
+		return dfaFragment(a, d), nil
+	case *chart.Loop:
+		var loopErr error
+		max := v.Max
+		if max == chart.Unbounded {
+			max = unboundedMax
+		}
+		f := a.loopFragment(v.Min, max, func() fragment {
+			bf, err := buildFragment(a, v.Body)
+			if err != nil && loopErr == nil {
+				loopErr = err
+			}
+			return bf
+		})
+		if loopErr != nil {
+			return fragment{}, loopErr
+		}
+		return f, nil
+	default:
+		return fragment{}, fmt.Errorf("synth: chart node %T cannot appear inside a composed window language", c)
+	}
+}
+
+// synthesizeImplies builds the assertion monitor for Trigger => Consequent:
+// a detector for the trigger whose acceptances divert into an obligation
+// for the consequent. With MaxDelay = k the consequent's first element
+// may arrive up to k ticks late (wait states); failing the obligation —
+// stalling past the deadline or breaking the consequent once started —
+// enters an explicit violation state, completing it is the acceptance.
+//
+// The obligation commits to the first input matching the consequent's
+// opening element; a trace where a later start would also have satisfied
+// the deadline counts against the committed attempt (first-match
+// semantics, the usual checker discipline).
+func synthesizeImplies(v *chart.Implies, opts *Options) (*monitor.Monitor, error) {
+	trig, err := Synthesize(v.Trigger, &Options{Strategy: opts.Strategy, History: opts.History})
+	if err != nil {
+		return nil, fmt.Errorf("synth: implies trigger: %w", err)
+	}
+	mp, err := mergePattern(v.Consequent)
+	if err != nil {
+		return nil, fmt.Errorf("synth: implies consequent: %w", err)
+	}
+	if mp == nil {
+		return nil, fmt.Errorf("synth: chart %q: implies consequent must be pattern-shaped (SCESC/seq/par)",
+			v.ChartName)
+	}
+	pc := mp.p
+	if err := pc.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: implies consequent: %w", err)
+	}
+
+	nT := trig.States
+	mLen := len(pc)
+	delay := v.MaxDelay
+	// Layout: [0, nT) trigger states; nT+i (i=0..delay) wait states
+	// expecting the consequent's opening element; then chain states for
+	// consequent positions 1..mLen-1; then satisfied; then violation.
+	waitBase := nT
+	chainBase := waitBase + delay + 1 // chainBase + (j-1) awaits PC[j]
+	satisfied := chainBase + (mLen - 1)
+	violation := satisfied + 1
+	name := chartName(v, "implies")
+	m := monitor.New(name, clockOf(v), violation+1)
+	m.Initial = trig.Initial
+	m.Final = satisfied
+	m.Finals = []int{satisfied}
+	m.Violation = violation
+	m.Linear = false
+
+	// afterOpen is where consuming PC[0] leads.
+	afterOpen := chainBase
+	if mLen == 1 {
+		afterOpen = satisfied
+	}
+	redirect := func(to int) int {
+		if trig.IsFinal(to) {
+			return waitBase // trigger completed: obligation starts next tick
+		}
+		return to
+	}
+	for s := 0; s < nT; s++ {
+		for _, t := range trig.Trans[s] {
+			m.AddTransition(s, monitor.Transition{To: redirect(t.To), Guard: t.Guard, Actions: t.Actions})
+		}
+	}
+	// Wait states: the opening element, a stall (within the deadline), or
+	// a violation (past it).
+	for i := 0; i <= delay; i++ {
+		m.AddTransition(waitBase+i, monitor.Transition{To: afterOpen, Guard: pc[0]})
+		stallTo := violation
+		if i < delay {
+			stallTo = waitBase + i + 1
+		}
+		m.AddTransition(waitBase+i, monitor.Transition{To: stallTo, Guard: expr.Not(pc[0])})
+	}
+	// Chain states: exact matching of the remaining consequent elements.
+	for j := 1; j < mLen; j++ {
+		to := chainBase + j
+		if j == mLen-1 {
+			to = satisfied
+		}
+		m.AddTransition(chainBase+j-1, monitor.Transition{To: to, Guard: pc[j]})
+		m.AddTransition(chainBase+j-1, monitor.Transition{To: violation, Guard: expr.Not(pc[j])})
+	}
+	// The satisfied state resumes trigger detection with the initial
+	// state's behaviour.
+	for _, t := range trig.Trans[trig.Initial] {
+		m.AddTransition(satisfied, monitor.Transition{To: redirect(t.To), Guard: t.Guard, Actions: t.Actions})
+	}
+	if opts.NameGuards {
+		nameGuards(m)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: produced invalid implies monitor: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,364 @@
+package synth
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/semantics"
+	"repro/internal/trace"
+)
+
+// leaf builds a one-or-more-tick SCESC whose lines require exactly the
+// named events (one event per line).
+func leaf(name string, events ...string) *chart.SCESC {
+	sc := &chart.SCESC{ChartName: name, Clock: "clk"}
+	for _, e := range events {
+		sc.Lines = append(sc.Lines, chart.GridLine{
+			Events: []chart.EventSpec{{Event: e}},
+		})
+	}
+	return sc
+}
+
+// oracleEnds is the reference answer for detection ticks.
+func oracleEnds(c chart.Chart, tr trace.Trace) []int {
+	return semantics.MatchEndTicks(c, tr)
+}
+
+// exactLeaf builds an SCESC whose lines are one-hot over the pool (so
+// monitors are exact and oracle comparison is an equality).
+func exactLeaf(rng *rand.Rand, name string, length int) *chart.SCESC {
+	sc := &chart.SCESC{ChartName: name, Clock: "clk"}
+	p := oneHotPattern(rng, length, false)
+	for _, e := range p {
+		sc.Lines = append(sc.Lines, chart.GridLine{Cond: e})
+	}
+	return sc
+}
+
+func randomTraceFor(t *testing.T, c chart.Chart, seed int64, n int) trace.Trace {
+	t.Helper()
+	sup, err := event.NewSupport(chart.Symbols(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.NewGenerator(sup, seed, 0.35).Trace(n)
+}
+
+func TestSeqCompositionMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 25; round++ {
+		c := &chart.Seq{
+			ChartName: "seq",
+			Children: []chart.Chart{
+				exactLeaf(rng, "s1", 1+rng.Intn(2)),
+				exactLeaf(rng, "s2", 1+rng.Intn(2)),
+			},
+		}
+		m, err := Synthesize(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTraceFor(t, c, int64(round), 40)
+		got := acceptTicks(m, tr)
+		want := oracleEnds(c, tr)
+		if !eqTicks(got, want) {
+			t.Fatalf("round %d: seq monitor %v != oracle %v", round, got, want)
+		}
+	}
+}
+
+func TestAltCompositionMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for round := 0; round < 25; round++ {
+		c := &chart.Alt{
+			ChartName: "alt",
+			Children: []chart.Chart{
+				exactLeaf(rng, "a1", 1+rng.Intn(2)),
+				exactLeaf(rng, "a2", 2+rng.Intn(2)),
+			},
+		}
+		m, err := Synthesize(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTraceFor(t, c, int64(round+100), 40)
+		got := acceptTicks(m, tr)
+		want := oracleEnds(c, tr)
+		if !eqTicks(got, want) {
+			t.Fatalf("round %d: alt monitor %v != oracle %v\nchart %s", round, got, want, chart.Describe(c))
+		}
+	}
+}
+
+func TestLoopBoundedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 20; round++ {
+		c := &chart.Loop{
+			ChartName: "loop",
+			Body:      exactLeaf(rng, "body", 1+rng.Intn(2)),
+			Min:       1,
+			Max:       2 + rng.Intn(2),
+		}
+		m, err := Synthesize(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTraceFor(t, c, int64(round+200), 40)
+		got := acceptTicks(m, tr)
+		want := oracleEnds(c, tr)
+		if !eqTicks(got, want) {
+			t.Fatalf("round %d: loop monitor %v != oracle %v\nchart %s", round, got, want, chart.Describe(c))
+		}
+	}
+}
+
+func TestLoopUnboundedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for round := 0; round < 15; round++ {
+		c := &chart.Loop{
+			ChartName: "star",
+			Body:      exactLeaf(rng, "body", 1+rng.Intn(2)),
+			Min:       1,
+			Max:       chart.Unbounded,
+		}
+		m, err := Synthesize(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTraceFor(t, c, int64(round+300), 35)
+		got := acceptTicks(m, tr)
+		want := oracleEnds(c, tr)
+		if !eqTicks(got, want) {
+			t.Fatalf("round %d: unbounded loop monitor %v != oracle %v", round, got, want)
+		}
+	}
+}
+
+func TestParOverlayMatchesOracle(t *testing.T) {
+	// Overlay: one child requires the request events, the other requires
+	// the grant events, on the same two ticks.
+	c := &chart.Par{
+		ChartName: "par",
+		Children: []chart.Chart{
+			leaf("reqs", "req", "gnt"),
+			leaf("oks", "ok_a", "ok_b"),
+		},
+	}
+	m, err := Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Linear {
+		t.Error("pattern-merged par should be a linear monitor")
+	}
+	good := trace.NewBuilder().
+		Tick().Events("req", "ok_a").
+		Tick().Events("gnt", "ok_b").
+		Build()
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	if !eng.Accepts(good) {
+		t.Error("overlay-conforming trace rejected")
+	}
+	half := trace.NewBuilder().
+		Tick().Events("req").
+		Tick().Events("gnt", "ok_b").
+		Build()
+	if eng.Accepts(half) {
+		t.Error("trace satisfying only one overlay child accepted")
+	}
+}
+
+func TestParUnequalWidthRejected(t *testing.T) {
+	c := &chart.Par{
+		ChartName: "bad",
+		Children: []chart.Chart{
+			leaf("one", "x"),
+			leaf("two", "y", "z"),
+		},
+	}
+	if _, err := Synthesize(c, nil); err == nil {
+		t.Error("unequal overlay widths accepted")
+	}
+}
+
+func TestSeqPreservesCausality(t *testing.T) {
+	// A two-leaf sequence where the first leaf carries an arrow: the
+	// merged monitor must still carry Add/Chk/Del instrumentation with
+	// offset ticks.
+	first := &chart.SCESC{
+		ChartName: "first", Clock: "clk",
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{{Event: "start", Label: "s"}}},
+			{Events: []chart.EventSpec{{Event: "ack", Label: "k"}}},
+		},
+		Arrows: []chart.Arrow{{From: "s", To: "k"}},
+	}
+	second := &chart.SCESC{
+		ChartName: "second", Clock: "clk",
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{{Event: "done"}}},
+		},
+	}
+	c := &chart.Seq{ChartName: "seq", Children: []chart.Chart{first, second}}
+	m, err := Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.States != 4 {
+		t.Fatalf("merged seq has %d states, want 4", m.States)
+	}
+	adv0 := findTransition(t, m, 0, 1)
+	wantActions(t, adv0, "Add_evt(start)")
+	adv1 := findTransition(t, m, 1, 2)
+	if !strings.Contains(adv1.Guard.String(), "Chk_evt(start)") {
+		t.Errorf("ack guard %q missing Chk_evt(start)", adv1.Guard)
+	}
+}
+
+func TestImpliesMonitorAssertSemantics(t *testing.T) {
+	c := &chart.Implies{
+		ChartName:  "req_then_resp",
+		Trigger:    leaf("trigger", "req"),
+		Consequent: leaf("consequent", "resp"),
+	}
+	m, err := Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Violation == monitor.NoState {
+		t.Fatal("implies monitor lacks a violation state")
+	}
+	eng := monitor.NewEngine(m, nil, monitor.ModeAssert)
+	// req followed by resp: satisfied instance, no violation.
+	ok := trace.NewBuilder().
+		Tick().Events("req").
+		Tick().Events("resp").
+		Tick().
+		Build()
+	st := eng.Run(ok)
+	if st.Violations != 0 {
+		t.Errorf("conforming trace produced %d violations", st.Violations)
+	}
+	if st.Accepts != 1 {
+		t.Errorf("conforming trace produced %d accepts, want 1", st.Accepts)
+	}
+	// req not followed by resp: violation.
+	eng2 := monitor.NewEngine(m, nil, monitor.ModeAssert)
+	bad := trace.NewBuilder().
+		Tick().Events("req").
+		Tick().
+		Tick().
+		Build()
+	st2 := eng2.Run(bad)
+	if st2.Violations != 1 {
+		t.Errorf("violating trace produced %d violations, want 1", st2.Violations)
+	}
+}
+
+func TestImpliesViolationsMatchOracle(t *testing.T) {
+	c := &chart.Implies{
+		ChartName:  "impl",
+		Trigger:    leaf("t", "a"),
+		Consequent: leaf("c", "b", "c"),
+	}
+	m, err := Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(47))
+	for round := 0; round < 20; round++ {
+		tr := randomTraceFor(t, c, int64(round+rng.Intn(1000)), 30)
+		eng := monitor.NewEngine(m, nil, monitor.ModeAssert)
+		st := eng.Run(tr)
+		oracleViol := semantics.ImpliesViolations(c, tr)
+		// The monitor processes triggers one at a time (no overlap
+		// tracking), so exact counts can differ when triggers overlap;
+		// require agreement on the zero/nonzero verdict for traces
+		// without overlapping triggers.
+		if !hasAdjacent(tr, "a") {
+			gotViol := st.Violations > 0
+			wantViol := len(oracleViol) > 0
+			if gotViol != wantViol {
+				t.Fatalf("round %d: violation presence %v != oracle %v\ntrace:\n%s",
+					round, gotViol, wantViol, tr)
+			}
+		}
+	}
+}
+
+// hasAdjacent reports whether the event occurs at two ticks within the
+// consequent width of each other (overlapping trigger instances).
+func hasAdjacent(tr trace.Trace, ev string) bool {
+	last := -10
+	for i, s := range tr {
+		if s.Event(ev) {
+			if i-last <= 2 {
+				return true
+			}
+			last = i
+		}
+	}
+	return false
+}
+
+func TestEmptyWindowLoopRejected(t *testing.T) {
+	c := &chart.Loop{
+		ChartName: "empty",
+		Body:      leaf("b", "x"),
+		Min:       0,
+		Max:       3,
+	}
+	if _, err := Synthesize(c, nil); err == nil {
+		t.Error("loop admitting the empty window accepted")
+	}
+}
+
+func TestAsyncRejectedBySynthesize(t *testing.T) {
+	a := &chart.Async{
+		ChartName: "multi",
+		Children: []chart.Chart{
+			leaf("l", "x"),
+			&chart.SCESC{ChartName: "r", Clock: "clk2", Lines: []chart.GridLine{{Events: []chart.EventSpec{{Event: "y"}}}}},
+		},
+	}
+	if _, err := Synthesize(a, nil); err == nil {
+		t.Error("async chart accepted by single-clock synthesis")
+	} else if !strings.Contains(err.Error(), "mclock") {
+		t.Errorf("error %q does not direct to mclock", err)
+	}
+}
+
+func TestNestedCompositionMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for round := 0; round < 15; round++ {
+		c := &chart.Seq{
+			ChartName: "nested",
+			Children: []chart.Chart{
+				exactLeaf(rng, "head", 1),
+				&chart.Alt{
+					ChartName: "mid",
+					Children: []chart.Chart{
+						exactLeaf(rng, "m1", 1+rng.Intn(2)),
+						exactLeaf(rng, "m2", 1+rng.Intn(2)),
+					},
+				},
+				exactLeaf(rng, "tail", 1),
+			},
+		}
+		m, err := Synthesize(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := randomTraceFor(t, c, int64(round+400), 35)
+		got := acceptTicks(m, tr)
+		want := oracleEnds(c, tr)
+		if !eqTicks(got, want) {
+			t.Fatalf("round %d: nested monitor %v != oracle %v\nchart %s", round, got, want, chart.Describe(c))
+		}
+	}
+}

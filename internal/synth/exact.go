@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// ExactMatcher is the ground-truth sliding-window matcher used to
+// validate the synthesized automata: it tracks the exact set of active
+// match lengths rather than the single longest abstracted one. It
+// corresponds to running the nondeterministic matcher for the pattern
+// with full history, so it accepts at tick t iff the window ending at t
+// satisfies every pattern element concretely.
+//
+// DESIGN.md §3.1: for patterns with pairwise-orthogonal elements the
+// paper's KMP-style automaton agrees with this matcher exactly; in
+// general the automaton may over-approximate (it never misses a window).
+type ExactMatcher struct {
+	p       Pattern
+	active  []bool // active[k]: some window ending here matched P[0..k-1]
+	scratch []bool
+	accepts int
+}
+
+// NewExactMatcher returns a matcher for p.
+func NewExactMatcher(p Pattern) *ExactMatcher {
+	n := len(p)
+	return &ExactMatcher{
+		p:       p,
+		active:  make([]bool, n+1),
+		scratch: make([]bool, n+1),
+	}
+}
+
+// Step consumes one trace element and reports whether a full window match
+// ends at this tick.
+func (x *ExactMatcher) Step(s event.State) bool {
+	n := len(x.p)
+	for k := range x.scratch {
+		x.scratch[k] = false
+	}
+	// A fresh match can always start here (length-0 prefix), so extend
+	// from every active length plus 0.
+	x.active[0] = true
+	for k := 0; k < n; k++ {
+		if !x.active[k] {
+			continue
+		}
+		if x.p[k].Eval(stateCtx{s}) {
+			x.scratch[k+1] = true
+		}
+	}
+	x.active, x.scratch = x.scratch, x.active
+	if x.active[n] {
+		x.accepts++
+		return true
+	}
+	return false
+}
+
+// Accepts counts full matches seen so far.
+func (x *ExactMatcher) Accepts() int { return x.accepts }
+
+// Reset clears all active partial matches.
+func (x *ExactMatcher) Reset() {
+	for k := range x.active {
+		x.active[k] = false
+	}
+}
+
+// MatchesIn returns the ticks (end positions) of all window matches of p
+// in t.
+func (x *ExactMatcher) MatchesIn(t trace.Trace) []int {
+	x.Reset()
+	var out []int
+	for i, s := range t {
+		if x.Step(s) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WindowMatches reports directly whether the window of t starting at
+// `from` satisfies the pattern element-by-element.
+func WindowMatches(p Pattern, t trace.Trace, from int) bool {
+	if from < 0 || from+len(p) > len(t) {
+		return false
+	}
+	for i, e := range p {
+		if !e.Eval(stateCtx{t[from+i]}) {
+			return false
+		}
+	}
+	return true
+}
+
+type stateCtx struct{ s event.State }
+
+func (c stateCtx) Event(name string) bool { return c.s.Event(name) }
+func (c stateCtx) Prop(name string) bool  { return c.s.Prop(name) }
+func (c stateCtx) ChkEvt(string) bool     { return false }

@@ -1,0 +1,125 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/monitor"
+	"repro/internal/semantics"
+	"repro/internal/trace"
+)
+
+// TestImpliesDeadlineSatisfiedWithinWindow: with MaxDelay = 2 the
+// consequent may start up to two ticks late.
+func TestImpliesDeadlineSatisfiedWithinWindow(t *testing.T) {
+	c := &chart.Implies{
+		ChartName:  "deadline",
+		Trigger:    leaf("t", "req"),
+		Consequent: leaf("c", "resp"),
+		MaxDelay:   2,
+	}
+	m, err := Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lag := 0; lag <= 2; lag++ {
+		b := trace.NewBuilder().Tick().Events("req").Idle(lag).Tick().Events("resp").Idle(2)
+		tr := b.Build()
+		eng := monitor.NewEngine(m, nil, monitor.ModeAssert)
+		st := eng.Run(tr)
+		if st.Violations != 0 {
+			t.Errorf("lag %d: %d violations on in-deadline response", lag, st.Violations)
+		}
+		if st.Accepts != 1 {
+			t.Errorf("lag %d: accepts = %d, want 1", lag, st.Accepts)
+		}
+	}
+}
+
+func TestImpliesDeadlineMissed(t *testing.T) {
+	c := &chart.Implies{
+		ChartName:  "deadline",
+		Trigger:    leaf("t", "req"),
+		Consequent: leaf("c", "resp"),
+		MaxDelay:   2,
+	}
+	m, err := Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Response three ticks late: one tick past the deadline.
+	tr := trace.NewBuilder().Tick().Events("req").Idle(3).Tick().Events("resp").Build()
+	eng := monitor.NewEngine(m, nil, monitor.ModeAssert)
+	st := eng.Run(tr)
+	if st.Violations != 1 {
+		t.Errorf("violations = %d, want 1 (deadline missed)", st.Violations)
+	}
+	if st.Accepts != 0 {
+		t.Errorf("accepts = %d, want 0", st.Accepts)
+	}
+	// Oracle agrees there is a violation.
+	if v := semantics.ImpliesViolations(c, tr); len(v) != 1 {
+		t.Errorf("oracle violations = %v, want one", v)
+	}
+}
+
+func TestImpliesDeadlineOracleAgreement(t *testing.T) {
+	c := &chart.Implies{
+		ChartName:  "deadline",
+		Trigger:    leaf("t", "a"),
+		Consequent: leaf("c", "b", "c"),
+		MaxDelay:   1,
+	}
+	m, err := Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic probes around the deadline boundary.
+	cases := []struct {
+		tr       trace.Trace
+		violated bool
+	}{
+		{trace.NewBuilder().Tick().Events("a").Tick().Events("b").Tick().Events("c").Idle(1).Build(), false},
+		{trace.NewBuilder().Tick().Events("a").Idle(1).Tick().Events("b").Tick().Events("c").Idle(1).Build(), false},
+		{trace.NewBuilder().Tick().Events("a").Idle(2).Tick().Events("b").Tick().Events("c").Idle(1).Build(), true},
+		{trace.NewBuilder().Tick().Events("a").Tick().Events("b").Tick().Events("x").Idle(1).Build(), true},
+	}
+	for i, tc := range cases {
+		eng := monitor.NewEngine(m, nil, monitor.ModeAssert)
+		st := eng.Run(tc.tr)
+		if got := st.Violations > 0; got != tc.violated {
+			t.Errorf("case %d: monitor violated=%v, want %v", i, got, tc.violated)
+		}
+		oracle := len(semantics.ImpliesViolations(c, tc.tr)) > 0
+		if oracle != tc.violated {
+			t.Errorf("case %d: oracle violated=%v, want %v", i, oracle, tc.violated)
+		}
+	}
+}
+
+func TestImpliesNegativeDelayRejected(t *testing.T) {
+	c := &chart.Implies{
+		ChartName:  "bad",
+		Trigger:    leaf("t", "a"),
+		Consequent: leaf("c", "b"),
+		MaxDelay:   -1,
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+// TestImpliesWindowSemanticsWithDelay: the window-language reading also
+// admits delayed instances.
+func TestImpliesWindowSemanticsWithDelay(t *testing.T) {
+	c := &chart.Implies{
+		Trigger:    leaf("t", "a"),
+		Consequent: leaf("c", "b"),
+		MaxDelay:   1,
+	}
+	tr := trace.NewBuilder().Tick().Events("a").Idle(1).Tick().Events("b").Build()
+	ls := semantics.MatchLengths(c, tr, 0)
+	if len(ls) != 1 || ls[0] != 3 {
+		t.Errorf("lengths = %v, want [3]", ls)
+	}
+}

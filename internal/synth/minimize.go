@@ -1,0 +1,169 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// Minimize reduces a monitor to its minimal deterministic form by Moore
+// partition refinement over the valuation classes of its input support.
+// It applies to action-free monitors without scoreboard guards — exactly
+// the automata produced by structural composition (subset construction
+// routinely leaves redundant states there). Monitors carrying scoreboard
+// actions or Chk_evt guards are returned unchanged: their states encode
+// scoreboard bookkeeping that state merging would corrupt.
+//
+// The result accepts exactly the same inputs at exactly the same ticks
+// (property-tested), with Finals, Initial and Violation remapped.
+func Minimize(m *monitor.Monitor) (*monitor.Monitor, error) {
+	if hasActionsOrChk(m) {
+		return m, nil
+	}
+	sup, err := m.Support()
+	if err != nil {
+		return nil, err
+	}
+	if sup.Len() > maxEnumerateBits {
+		return m, nil
+	}
+	nv := sup.NumValuations()
+
+	// Concrete transition table. An uncovered input maps to the initial
+	// state, mirroring the engine's hard-reset convention.
+	delta := make([][]int, m.States)
+	for s := 0; s < m.States; s++ {
+		delta[s] = make([]int, nv)
+		for v := uint64(0); v < nv; v++ {
+			ctx := event.ValuationContext{Sup: sup, Val: event.Valuation(v)}
+			to := m.Initial
+			for _, t := range m.Trans[s] {
+				if t.Guard.Eval(ctx) {
+					to = t.To
+					break
+				}
+			}
+			delta[s][v] = to
+		}
+	}
+
+	// Initial partition: final / violation / ordinary.
+	class := make([]int, m.States)
+	for s := 0; s < m.States; s++ {
+		switch {
+		case s == m.Violation:
+			class[s] = 2
+		case m.IsFinal(s):
+			class[s] = 1
+		default:
+			class[s] = 0
+		}
+	}
+
+	// Refine until stable.
+	for {
+		sig := make(map[string]int)
+		next := make([]int, m.States)
+		for s := 0; s < m.States; s++ {
+			key := fmt.Sprint(class[s], ":")
+			for v := uint64(0); v < nv; v++ {
+				key += fmt.Sprint(class[delta[s][v]], ",")
+			}
+			id, ok := sig[key]
+			if !ok {
+				id = len(sig)
+				sig[key] = id
+			}
+			next[s] = id
+		}
+		if equalInts(next, class) {
+			break
+		}
+		class = next
+	}
+
+	nClasses := 0
+	for _, c := range class {
+		if c+1 > nClasses {
+			nClasses = c + 1
+		}
+	}
+	if nClasses == m.States {
+		return m, nil // already minimal
+	}
+
+	// Rebuild: one representative state per class.
+	rep := make([]int, nClasses)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for s := 0; s < m.States; s++ {
+		if rep[class[s]] == -1 {
+			rep[class[s]] = s
+		}
+	}
+	out := monitor.New(m.Name+"_min", m.Clock, nClasses)
+	out.Initial = class[m.Initial]
+	out.Linear = false
+	if m.Violation != monitor.NoState {
+		out.Violation = class[m.Violation]
+	}
+	var finals []int
+	seenFinal := make(map[int]bool)
+	for s := 0; s < m.States; s++ {
+		if m.IsFinal(s) && !seenFinal[class[s]] {
+			seenFinal[class[s]] = true
+			finals = append(finals, class[s])
+		}
+	}
+	sort.Ints(finals)
+	out.Finals = finals
+	if len(finals) > 0 {
+		out.Final = finals[0]
+	}
+	for c := 0; c < nClasses; c++ {
+		s := rep[c]
+		byTarget := make(map[int][]event.Valuation)
+		var order []int
+		for v := uint64(0); v < nv; v++ {
+			to := class[delta[s][v]]
+			if _, ok := byTarget[to]; !ok {
+				order = append(order, to)
+			}
+			byTarget[to] = append(byTarget[to], event.Valuation(v))
+		}
+		for _, to := range order {
+			out.AddTransition(c, monitor.Transition{
+				To:    to,
+				Guard: expr.FromMinterms(sup, byTarget[to]),
+			})
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: minimization produced invalid monitor: %w", err)
+	}
+	return out, nil
+}
+
+func hasActionsOrChk(m *monitor.Monitor) bool {
+	for _, ts := range m.Trans {
+		for _, t := range ts {
+			if len(t.Actions) > 0 || len(expr.ChkRefs(t.Guard)) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

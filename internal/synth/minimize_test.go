@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+	"repro/internal/trace"
+)
+
+func TestMinimizePreservesBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for round := 0; round < 20; round++ {
+		c := &chart.Alt{
+			ChartName: "alt",
+			Children: []chart.Chart{
+				exactLeaf(rng, "a1", 1+rng.Intn(3)),
+				exactLeaf(rng, "a2", 1+rng.Intn(3)),
+			},
+		}
+		m, err := Synthesize(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, err := Minimize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min.States > m.States {
+			t.Fatalf("round %d: minimization grew the monitor: %d -> %d", round, m.States, min.States)
+		}
+		tr := randomTraceFor(t, c, int64(round+500), 50)
+		if got, want := acceptTicks(min, tr), acceptTicks(m, tr); !eqTicks(got, want) {
+			t.Fatalf("round %d: minimized accepts %v != original %v", round, got, want)
+		}
+	}
+}
+
+func TestMinimizeShrinksRedundantStates(t *testing.T) {
+	// Hand-built monitor with two behaviourally identical intermediate
+	// states: 0 -a-> 1, 0 -b-> 2, and both 1 and 2 advance to the final
+	// state on c. The minimizer must merge 1 and 2.
+	m := monitor.New("redundant", "clk", 4)
+	a, b, c := expr.Ev("a"), expr.Ev("b"), expr.Ev("c")
+	m.AddTransition(0, monitor.Transition{To: 1, Guard: expr.And(a, expr.Not(b))})
+	m.AddTransition(0, monitor.Transition{To: 2, Guard: expr.And(b, expr.Not(a))})
+	m.AddTransition(0, monitor.Transition{To: 0, Guard: expr.Or(expr.And(a, b), expr.And(expr.Not(a), expr.Not(b)))})
+	for _, s := range []int{1, 2} {
+		m.AddTransition(s, monitor.Transition{To: 3, Guard: c})
+		m.AddTransition(s, monitor.Transition{To: 0, Guard: expr.Not(c)})
+	}
+	m.AddTransition(3, monitor.Transition{To: 0, Guard: expr.True})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.States != 3 {
+		t.Fatalf("minimized states = %d, want 3 (1 and 2 equivalent)\n%s", min.States, min)
+	}
+	// Behaviour preserved.
+	sup, err := m.Support()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.NewGenerator(sup, 4, 0.4)
+	for i := 0; i < 10; i++ {
+		tr := gen.Trace(40)
+		if got, want := acceptTicks(min, tr), acceptTicks(m, tr); !eqTicks(got, want) {
+			t.Fatalf("minimized diverged: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	c := &chart.Alt{ChartName: "alt", Children: []chart.Chart{
+		leaf("a", "p", "q"),
+		leaf("b", "r"),
+	}}
+	m, err := Synthesize(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min1, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min2, err := Minimize(min1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min2.States != min1.States {
+		t.Errorf("second minimization changed state count: %d -> %d", min1.States, min2.States)
+	}
+}
+
+func TestMinimizeLeavesScoreboardMonitorsAlone(t *testing.T) {
+	m := MustTranslate(fig5(), nil) // carries Add/Del/Chk instrumentation
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != m {
+		t.Error("monitor with scoreboard actions was rewritten")
+	}
+}
+
+func TestMinimizeActionFreeLinear(t *testing.T) {
+	// An arrow-free SCESC monitor is action-free; minimization must
+	// preserve detection exactly even if it restructures states.
+	sc := leaf("plain", "a", "b", "a")
+	m := MustTranslate(sc, nil)
+	min, err := Minimize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := event.NewSupport(chart.Symbols(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := trace.NewGenerator(sup, 9, 0.5)
+	for i := 0; i < 10; i++ {
+		tr := gen.Trace(40)
+		if got, want := acceptTicks(min, tr), acceptTicks(m, tr); !eqTicks(got, want) {
+			t.Fatalf("minimized linear monitor diverged: %v vs %v", got, want)
+		}
+	}
+	if _, err := monitor.NewEngine(min, nil, monitor.ModeDetect), error(nil); err != nil {
+		t.Fatal(err)
+	}
+}

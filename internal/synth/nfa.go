@@ -1,0 +1,311 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// nfa is a symbolic nondeterministic finite automaton over guard
+// expressions, used to compile the structural constructs (alternative,
+// loop, nested sequence) whose window languages are not single patterns.
+// Construction is Thompson-style with a single start and accept state.
+type nfa struct {
+	states int
+	edges  [][]nfaEdge
+	eps    [][]int
+	start  int
+	accept int
+}
+
+type nfaEdge struct {
+	to    int
+	guard expr.Expr
+}
+
+func newNFA() *nfa { return &nfa{} }
+
+func (a *nfa) addState() int {
+	a.states++
+	a.edges = append(a.edges, nil)
+	a.eps = append(a.eps, nil)
+	return a.states - 1
+}
+
+func (a *nfa) addEdge(from, to int, g expr.Expr) {
+	a.edges[from] = append(a.edges[from], nfaEdge{to: to, guard: g})
+}
+
+func (a *nfa) addEps(from, to int) {
+	a.eps[from] = append(a.eps[from], to)
+}
+
+// fragment is an NFA piece with dangling start/accept, composed
+// Thompson-style inside one arena automaton.
+type fragment struct {
+	start, accept int
+}
+
+// patternFragment lays out a linear chain for a pattern.
+func (a *nfa) patternFragment(p Pattern) fragment {
+	start := a.addState()
+	cur := start
+	for _, e := range p {
+		next := a.addState()
+		a.addEdge(cur, next, e)
+		cur = next
+	}
+	return fragment{start: start, accept: cur}
+}
+
+// seqFragment chains fragments with epsilon moves.
+func (a *nfa) seqFragment(fs ...fragment) fragment {
+	if len(fs) == 0 {
+		s := a.addState()
+		return fragment{start: s, accept: s}
+	}
+	for i := 0; i+1 < len(fs); i++ {
+		a.addEps(fs[i].accept, fs[i+1].start)
+	}
+	return fragment{start: fs[0].start, accept: fs[len(fs)-1].accept}
+}
+
+// altFragment branches between fragments.
+func (a *nfa) altFragment(fs ...fragment) fragment {
+	start := a.addState()
+	accept := a.addState()
+	for _, f := range fs {
+		a.addEps(start, f.start)
+		a.addEps(f.accept, accept)
+	}
+	return fragment{start: start, accept: accept}
+}
+
+// loopFragment repeats body between min and max times (max = Unbounded
+// for a Kleene-style tail). copies is the fragment factory, called once
+// per unrolled instance, because fragments cannot be shared.
+func (a *nfa) loopFragment(min, max int, copies func() fragment) fragment {
+	start := a.addState()
+	accept := a.addState()
+	cur := start
+	// Mandatory copies.
+	for i := 0; i < min; i++ {
+		f := copies()
+		a.addEps(cur, f.start)
+		cur = f.accept
+	}
+	if max == unboundedMax {
+		// Kleene tail: loop one more copy any number of times.
+		f := copies()
+		a.addEps(cur, accept)
+		a.addEps(cur, f.start)
+		a.addEps(f.accept, cur)
+	} else {
+		// Optional copies up to max.
+		for i := min; i < max; i++ {
+			a.addEps(cur, accept)
+			f := copies()
+			a.addEps(cur, f.start)
+			cur = f.accept
+		}
+		a.addEps(cur, accept)
+	}
+	return fragment{start: start, accept: accept}
+}
+
+const unboundedMax = -1
+
+// closure computes the epsilon closure of a state set (bitmask over
+// states, capped by maxNFAStates).
+func (a *nfa) closure(set []bool) {
+	var stack []int
+	for s, in := range set {
+		if in {
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.eps[s] {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+// acceptsEmpty reports whether the accept state is epsilon-reachable from
+// start — i.e. the window language contains the empty window, which would
+// make a detector accept vacuously at every tick.
+func (a *nfa) acceptsEmpty() bool {
+	set := make([]bool, a.states)
+	set[a.start] = true
+	a.closure(set)
+	return set[a.accept]
+}
+
+// support returns the union input support of all edge guards.
+func (a *nfa) support() (*event.Support, error) {
+	var syms []event.Symbol
+	for _, es := range a.edges {
+		for _, e := range es {
+			syms = append(syms, expr.SupportSymbols(e.guard)...)
+		}
+	}
+	return event.NewSupport(syms)
+}
+
+// determinizeOpts configures determinize.
+type determinizeOpts struct {
+	name  string
+	clock string
+	// prefixLoop adds a true self-loop on the NFA start before subset
+	// construction, turning the window matcher into the paper's
+	// Sigma*-prefixed detector.
+	prefixLoop bool
+}
+
+// determinize runs subset construction over the valuation classes of the
+// NFA's support, merging same-target classes back into symbolic guards.
+// The result is a total deterministic monitor whose Finals are every
+// subset containing the NFA accept state.
+func (a *nfa) determinize(opts determinizeOpts) (*monitor.Monitor, error) {
+	sup, err := a.support()
+	if err != nil {
+		return nil, err
+	}
+	if sup.Len() > maxEnumerateBits {
+		return nil, fmt.Errorf("synth: composed chart support of %d symbols exceeds determinization limit %d",
+			sup.Len(), maxEnumerateBits)
+	}
+	nv := sup.NumValuations()
+
+	// Precompute guard satisfaction per edge per valuation.
+	type edgeRef struct{ from, idx int }
+	var refs []edgeRef
+	for s, es := range a.edges {
+		for i := range es {
+			refs = append(refs, edgeRef{from: s, idx: i})
+		}
+	}
+	sat := make([][]bool, len(refs))
+	for ri, r := range refs {
+		g := a.edges[r.from][r.idx].guard
+		sat[ri] = make([]bool, nv)
+		for v := uint64(0); v < nv; v++ {
+			sat[ri][v] = g.Eval(event.ValuationContext{Sup: sup, Val: event.Valuation(v)})
+		}
+	}
+	edgeIndex := make(map[[2]int]int, len(refs))
+	for ri, r := range refs {
+		edgeIndex[[2]int{r.from, r.idx}] = ri
+	}
+
+	keyOf := func(set []bool) string {
+		b := make([]byte, (len(set)+7)/8)
+		for i, in := range set {
+			if in {
+				b[i/8] |= 1 << uint(i%8)
+			}
+		}
+		return string(b)
+	}
+
+	start := make([]bool, a.states)
+	start[a.start] = true
+	a.closure(start)
+	if opts.prefixLoop {
+		// The Sigma* prefix: start states stay live forever; model by
+		// re-adding the start closure to every subset below.
+	}
+
+	type dstate struct {
+		set []bool
+		id  int
+	}
+	var dstates []dstate
+	index := map[string]int{}
+	addDState := func(set []bool) int {
+		k := keyOf(set)
+		if id, ok := index[k]; ok {
+			return id
+		}
+		id := len(dstates)
+		cp := make([]bool, len(set))
+		copy(cp, set)
+		dstates = append(dstates, dstate{set: cp, id: id})
+		index[k] = id
+		return id
+	}
+	startID := addDState(start)
+
+	type trans struct {
+		to int
+		ms []event.Valuation
+	}
+	var allTrans [][]trans
+
+	for cur := 0; cur < len(dstates); cur++ {
+		set := dstates[cur].set
+		byTarget := map[string]*trans{}
+		var order []string
+		for v := uint64(0); v < nv; v++ {
+			next := make([]bool, a.states)
+			for s, in := range set {
+				if !in {
+					continue
+				}
+				for i := range a.edges[s] {
+					ri := edgeIndex[[2]int{s, i}]
+					if sat[ri][v] {
+						next[a.edges[s][i].to] = true
+					}
+				}
+			}
+			if opts.prefixLoop {
+				next[a.start] = true
+			}
+			a.closure(next)
+			k := keyOf(next)
+			t, ok := byTarget[k]
+			if !ok {
+				id := addDState(next)
+				t = &trans{to: id}
+				byTarget[k] = t
+				order = append(order, k)
+			}
+			t.ms = append(t.ms, event.Valuation(v))
+		}
+		row := make([]trans, 0, len(order))
+		for _, k := range order {
+			row = append(row, *byTarget[k])
+		}
+		allTrans = append(allTrans, row)
+	}
+
+	m := monitor.New(opts.name, opts.clock, len(dstates))
+	m.Initial = startID
+	var finals []int
+	for _, d := range dstates {
+		if d.set[a.accept] {
+			finals = append(finals, d.id)
+		}
+	}
+	sort.Ints(finals)
+	if len(finals) == 0 {
+		return nil, fmt.Errorf("synth: composed chart %q has an empty language", opts.name)
+	}
+	m.Final = finals[0]
+	m.Finals = finals
+	for s, row := range allTrans {
+		for _, t := range row {
+			m.AddTransition(s, monitor.Transition{To: t.to, Guard: expr.FromMinterms(sup, t.ms)})
+		}
+	}
+	return m, nil
+}

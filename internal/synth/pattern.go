@@ -1,0 +1,177 @@
+// Package synth implements the paper's translation algorithm Tr: it
+// synthesizes assertion monitors from CESC specifications. For an SCESC
+// it extracts the event pattern (extract_pattern), computes the
+// generalized string-matching transition function
+// (compute_transition_func), and instruments causality arrows with
+// scoreboard actions (add_causality_check). Structural constructs are
+// compiled compositionally on monitors. Asynchronous (multi-clock)
+// composition is handled by package mclock on top of this package.
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Pattern is the paper's P: one logical expression per grid line, where
+// the expression of line i must be satisfied by the i-th element of a
+// matching trace window.
+type Pattern []expr.Expr
+
+// ExtractPattern implements the paper's extract_pattern subroutine:
+// event `e` contributes e; guarded `p:e` contributes p & e; multiple
+// events on a line are conjoined; an empty grid line contributes true.
+func ExtractPattern(c *chart.SCESC) Pattern {
+	p := make(Pattern, len(c.Lines))
+	for i, line := range c.Lines {
+		p[i] = line.Expr()
+	}
+	return p
+}
+
+// Support returns the union input support of all pattern elements.
+func (p Pattern) Support() (*event.Support, error) {
+	return expr.SupportOf([]expr.Expr(p)...)
+}
+
+// Validate rejects patterns with unsatisfiable elements: a contradictory
+// grid line makes the chart's language empty and is always a
+// specification error. Each element is checked over its own support —
+// satisfiability only depends on the symbols it mentions.
+func (p Pattern) Validate() error {
+	if _, err := p.Support(); err != nil {
+		return fmt.Errorf("synth: %w", err)
+	}
+	for i, e := range p {
+		sat, err := expr.SatAuto(e)
+		if err != nil {
+			return fmt.Errorf("synth: grid line %d: %w", i, err)
+		}
+		if !sat {
+			return fmt.Errorf("synth: grid line %d is unsatisfiable: %s", i, e)
+		}
+	}
+	return nil
+}
+
+// Orthogonal reports whether all pattern elements are pairwise mutually
+// exclusive. For orthogonal patterns the synthesized automaton is an
+// exact window matcher (see DESIGN.md §3.1).
+func (p Pattern) Orthogonal() (bool, error) {
+	for i := 0; i < len(p); i++ {
+		for j := i + 1; j < len(p); j++ {
+			compat, err := expr.CompatibleAuto(p[i], p[j])
+			if err != nil {
+				return false, err
+			}
+			if compat {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// History selects how the suffix_of check abstracts already-matched trace
+// elements. The monitor's state remembers only that element j of the
+// current window satisfied P[j]; whether that element can stand in for
+// prefix element P[i] after a shift admits two readings, and the paper's
+// prose ("there exists an element-by-element matching") and its drawn
+// monitors (Fig. 5's give-up edge d = !a & !c) correspond to different
+// ones. Both are provided; see DESIGN.md §3.1 and experiment E9.
+type History int
+
+const (
+	// HistImplication keeps a fallback candidate only when the old
+	// element guarantees the new one (P[j] => P[i]). The automaton is
+	// sound — it never reports a window that did not occur — and matches
+	// the paper's drawn monitors. This is the default.
+	HistImplication History = iota
+	// HistSatisfiable keeps a candidate when the two elements can hold
+	// together (P[i] & P[j] satisfiable). The automaton is complete — it
+	// never misses a window — but may over-report on non-orthogonal
+	// patterns.
+	HistSatisfiable
+)
+
+// String names the abstraction.
+func (h History) String() string {
+	if h == HistSatisfiable {
+		return "satisfiable"
+	}
+	return "implication"
+}
+
+// compatMatrix precomputes the history-abstraction relation:
+// compat[i][j] reports whether a trace element known to have satisfied
+// P[j] may be counted as satisfying P[i] after a shift. Each pair is
+// decided over its own union support (the ambient alphabet is
+// irrelevant to the answer and exponentially more expensive).
+func (p Pattern) compatMatrix(sup *event.Support, h History) [][]bool {
+	_ = sup // the pairwise checks build their own minimal supports
+	n := len(p)
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v bool
+			var err error
+			switch h {
+			case HistSatisfiable:
+				v, err = expr.CompatibleAuto(p[i], p[j])
+			default:
+				v, err = expr.ImpliesAuto(p[j], p[i])
+			}
+			if err != nil {
+				// Kind conflicts were already rejected by Support();
+				// treat a residual failure conservatively.
+				v = h == HistSatisfiable
+			}
+			m[i][j] = v
+		}
+	}
+	return m
+}
+
+// histCompat reports whether pattern prefix P[0..k-1] can align with the
+// abstracted history when the monitor is in state s — i.e. the first k-1
+// prefix elements are compatible with the trace positions they would
+// cover (the k-th element is checked against the concrete input
+// separately). Positions are those of the paper's T_s·e suffix check.
+func histCompat(compat [][]bool, s, k int) bool {
+	// Pattern element i (0-based, i < k-1) aligns with trace position
+	// s+1-k+i, which matched pattern element s+1-k+i during the current
+	// attempt (positions are < s so they are abstracted by the pattern).
+	for i := 0; i < k-1; i++ {
+		pos := s + 1 - k + i
+		if !compat[i][pos] {
+			return false
+		}
+	}
+	return true
+}
+
+// candidates returns, for state s, the descending list of match lengths
+// k in [1, min(n, s+1)] whose history alignment is feasible. The paper's
+// inner while-loop scans exactly this list; the transition target for an
+// input e is the first candidate k whose P[k-1] is satisfied by e
+// (else 0).
+func (p Pattern) candidates(compat [][]bool, s int) []int {
+	n := len(p)
+	top := s + 1
+	if top > n {
+		top = n
+	}
+	var out []int
+	for k := top; k >= 1; k-- {
+		if histCompat(compat, s, k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// General synchronous-parallel composition: when par children are not
+// pattern-shaped (e.g. an alternative overlaid on a sequence), the
+// overlay's window language is the intersection of the children's window
+// languages on equal-length windows. It is computed as a product of the
+// children's window DFAs, folded pairwise, then re-embedded as an NFA
+// fragment so the usual prefix-loop determinization applies.
+
+// windowDFA compiles a chart's window language into a deterministic
+// monitor (no Sigma* prefix loop; Finals mark accepting subsets).
+func windowDFA(c chart.Chart) (*monitor.Monitor, error) {
+	a, frag, err := chartNFA(c)
+	if err != nil {
+		return nil, err
+	}
+	a.start, a.accept = frag.start, frag.accept
+	return a.determinize(determinizeOpts{
+		name:  chartName(c, "window"),
+		clock: clockOf(c),
+	})
+}
+
+// productWindowDFA intersects two window DFAs over their union support.
+// States are reachable pairs; an input moves both components (a missing
+// move kills the pair); accepting pairs are those where both components
+// accept.
+func productWindowDFA(a, b *monitor.Monitor) (*monitor.Monitor, error) {
+	supA, err := a.Support()
+	if err != nil {
+		return nil, err
+	}
+	supB, err := b.Support()
+	if err != nil {
+		return nil, err
+	}
+	sup, err := supA.Union(supB)
+	if err != nil {
+		return nil, err
+	}
+	if sup.Len() > maxEnumerateBits {
+		return nil, fmt.Errorf("synth: par product support of %d symbols exceeds limit %d",
+			sup.Len(), maxEnumerateBits)
+	}
+	nv := sup.NumValuations()
+
+	step := func(m *monitor.Monitor, s int, ctx event.ValuationContext) int {
+		for _, t := range m.Trans[s] {
+			if t.Guard.Eval(ctx) {
+				return t.To
+			}
+		}
+		return -1
+	}
+
+	type pair struct{ sa, sb int }
+	index := map[pair]int{}
+	var order []pair
+	intern := func(p pair) int {
+		if id, ok := index[p]; ok {
+			return id
+		}
+		id := len(order)
+		index[p] = id
+		order = append(order, p)
+		return id
+	}
+	start := intern(pair{a.Initial, b.Initial})
+
+	type edge struct {
+		to int
+		ms []event.Valuation
+	}
+	var rows [][]edge
+	for cur := 0; cur < len(order); cur++ {
+		p := order[cur]
+		byTarget := map[pair]*edge{}
+		var tOrder []pair
+		for v := uint64(0); v < nv; v++ {
+			ctx := event.ValuationContext{Sup: sup, Val: event.Valuation(v)}
+			na := step(a, p.sa, ctx)
+			nb := step(b, p.sb, ctx)
+			if na < 0 || nb < 0 {
+				continue // pair dies: word leaves one language
+			}
+			np := pair{na, nb}
+			e, ok := byTarget[np]
+			if !ok {
+				e = &edge{to: intern(np)}
+				byTarget[np] = e
+				tOrder = append(tOrder, np)
+			}
+			e.ms = append(e.ms, event.Valuation(v))
+		}
+		row := make([]edge, 0, len(tOrder))
+		for _, np := range tOrder {
+			row = append(row, *byTarget[np])
+		}
+		rows = append(rows, row)
+	}
+
+	out := monitor.New("par_product", a.Clock, len(order))
+	out.Initial = start
+	var finals []int
+	for id, p := range order {
+		if a.IsFinal(p.sa) && b.IsFinal(p.sb) {
+			finals = append(finals, id)
+		}
+	}
+	if len(finals) == 0 {
+		return nil, fmt.Errorf("synth: par overlay has an empty language (children never agree on a window)")
+	}
+	out.Finals = finals
+	out.Final = finals[0]
+	for s, row := range rows {
+		for _, e := range row {
+			out.AddTransition(s, monitor.Transition{To: e.to, Guard: expr.FromMinterms(sup, e.ms)})
+		}
+	}
+	return out, nil
+}
+
+// parWindowDFA folds the product over all children of a Par.
+func parWindowDFA(v *chart.Par) (*monitor.Monitor, error) {
+	var acc *monitor.Monitor
+	for _, ch := range v.Children {
+		d, err := windowDFA(ch)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = d
+			continue
+		}
+		acc, err = productWindowDFA(acc, d)
+		if err != nil {
+			return nil, fmt.Errorf("synth: chart %q: %w", v.ChartName, err)
+		}
+	}
+	return acc, nil
+}
+
+// dfaFragment embeds a window DFA into an NFA arena as a fragment:
+// states map one-to-one, guards carry over, and every accepting state
+// gains an epsilon edge to a fresh accept node.
+func dfaFragment(a *nfa, m *monitor.Monitor) fragment {
+	base := make([]int, m.States)
+	for s := 0; s < m.States; s++ {
+		base[s] = a.addState()
+	}
+	accept := a.addState()
+	for s := 0; s < m.States; s++ {
+		for _, t := range m.Trans[s] {
+			a.addEdge(base[s], base[t.To], t.Guard)
+		}
+		if m.IsFinal(s) {
+			a.addEps(base[s], accept)
+		}
+	}
+	return fragment{start: base[m.Initial], accept: accept}
+}

@@ -1,0 +1,528 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+	"repro/internal/semantics"
+	"repro/internal/trace"
+)
+
+// fig5 builds the paper's Figure 5 SCESC: tick 0 carries p1:e1 and e2,
+// tick 1 is empty, tick 2 carries p3:e3, with a causality arrow e1 -> e3.
+func fig5() *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: "fig5",
+		Clock:     "clk",
+		Instances: []string{"A", "B"},
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{
+				{Event: "e1", Guard: expr.Pr("p1"), From: "A", To: "B"},
+				{Event: "e2", From: "B", To: "A"},
+			}},
+			{},
+			{Events: []chart.EventSpec{
+				{Event: "e3", Guard: expr.Pr("p3"), From: "A", To: "B"},
+			}},
+		},
+		Arrows: []chart.Arrow{{From: "e1", To: "e3"}},
+	}
+}
+
+func TestExtractPattern(t *testing.T) {
+	p := ExtractPattern(fig5())
+	if len(p) != 3 {
+		t.Fatalf("pattern length = %d, want 3", len(p))
+	}
+	if got := p[0].String(); got != "p1 & e1 & e2" {
+		t.Errorf("P[0] = %q", got)
+	}
+	if got := p[1].String(); got != "true" {
+		t.Errorf("P[1] = %q (empty grid line must be TRUE)", got)
+	}
+	if got := p[2].String(); got != "p3 & e3" {
+		t.Errorf("P[2] = %q", got)
+	}
+}
+
+func TestExtractPatternNegatedAndCond(t *testing.T) {
+	sc := &chart.SCESC{
+		ChartName: "neg", Clock: "clk",
+		Lines: []chart.GridLine{
+			{
+				Events: []chart.EventSpec{
+					{Event: "req"},
+					{Event: "abort", Negated: true},
+				},
+				Cond: expr.Pr("ready"),
+			},
+		},
+	}
+	p := ExtractPattern(sc)
+	if got := p[0].String(); got != "req & !abort & ready" {
+		t.Errorf("pattern = %q", got)
+	}
+}
+
+func TestPatternValidateRejectsUnsat(t *testing.T) {
+	p := Pattern{expr.And(expr.Ev("x"), expr.Not(expr.Ev("x")))}
+	if err := p.Validate(); err == nil {
+		t.Error("contradictory grid line not rejected")
+	}
+}
+
+func TestPatternOrthogonal(t *testing.T) {
+	orth := Pattern{
+		expr.And(expr.Ev("a"), expr.Not(expr.Ev("b"))),
+		expr.And(expr.Ev("b"), expr.Not(expr.Ev("a"))),
+	}
+	if ok, err := orth.Orthogonal(); err != nil || !ok {
+		t.Errorf("orthogonal pattern reported %v, %v", ok, err)
+	}
+	nonOrth := Pattern{expr.Ev("a"), expr.Ev("b")}
+	if ok, _ := nonOrth.Orthogonal(); ok {
+		t.Error("non-orthogonal pattern reported orthogonal")
+	}
+}
+
+// TestFig5MonitorStructure checks the synthesized monitor against the
+// paper's drawn automaton: 4 states, anchor guard a with Add_evt(e1),
+// TRUE middle step, final guard conjoined with Chk_evt(e1), give-up edge
+// carrying Del_evt(e1) (experiment E5).
+func TestFig5MonitorStructure(t *testing.T) {
+	m := MustTranslate(fig5(), &Options{NameGuards: true})
+	if m.States != 4 || m.Initial != 0 || m.Final != 3 {
+		t.Fatalf("shape = %d states initial %d final %d, want 4/0/3", m.States, m.Initial, m.Final)
+	}
+	// State 0: a / Add_evt(e1) -> 1, else stay.
+	adv0 := findTransition(t, m, 0, 1)
+	if got := adv0.Guard.String(); got != "p1 & e1 & e2" {
+		t.Errorf("anchor guard = %q", got)
+	}
+	wantActions(t, adv0, "Add_evt(e1)")
+	// State 1: TRUE -> 2 (b = TRUE).
+	adv1 := findTransition(t, m, 1, 2)
+	if got := adv1.Guard.String(); got != "true" {
+		t.Errorf("middle guard = %q, want true", got)
+	}
+	if len(m.Trans[1]) != 1 {
+		t.Errorf("state 1 has %d transitions, want only the TRUE advance", len(m.Trans[1]))
+	}
+	// State 2: c = p3 & e3 & Chk_evt(e1) -> 3.
+	adv2 := findTransition(t, m, 2, 3)
+	if got := adv2.Guard.String(); got != "p3 & e3 & Chk_evt(e1)" {
+		t.Errorf("final guard = %q", got)
+	}
+	// State 2 re-anchor to 1 on a fresh anchor (paper's second `a` edge).
+	re2 := findTransition(t, m, 2, 1)
+	if !strings.Contains(re2.Guard.String(), "p1 & e1 & e2") {
+		t.Errorf("re-anchor guard = %q", re2.Guard)
+	}
+	// State 2 give-up edge to 0 carries Del_evt(e1) (paper's d edge).
+	giveup := findTransition(t, m, 2, 0)
+	wantActions(t, giveup, "Del_evt(e1)")
+	// From the final state, abandoning carries Del_evt(e1) too.
+	fin := findTransition(t, m, 3, 0)
+	wantActions(t, fin, "Del_evt(e1)")
+	if ok, err := m.GuardsDisjoint(); !ok {
+		t.Errorf("synthesized guards overlap: %v", err)
+	}
+	if ok, err := m.Total(); !ok {
+		t.Errorf("synthesized automaton not total: %v", err)
+	}
+}
+
+func findTransition(t *testing.T, m *monitor.Monitor, from, to int) monitor.Transition {
+	t.Helper()
+	for _, tr := range m.Trans[from] {
+		if tr.To == to {
+			return tr
+		}
+	}
+	t.Fatalf("no transition %d -> %d in:\n%s", from, to, m)
+	return monitor.Transition{}
+}
+
+func wantActions(t *testing.T, tr monitor.Transition, want ...string) {
+	t.Helper()
+	var got []string
+	for _, a := range tr.Actions {
+		got = append(got, a.String())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("actions = %v, want %v", got, want)
+	}
+}
+
+// TestFig5MonitorRuns drives the Fig. 5 monitor over conforming and
+// perturbed traces.
+func TestFig5MonitorRuns(t *testing.T) {
+	m := MustTranslate(fig5(), nil)
+	good := trace.NewBuilder().
+		Tick().Events("e1", "e2").Props("p1").
+		Tick().
+		Tick().Events("e3").Props("p3").
+		Build()
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	if !eng.Accepts(good) {
+		t.Fatal("conforming trace not accepted")
+	}
+	// Missing guard p3 at the last tick.
+	bad := trace.NewBuilder().
+		Tick().Events("e1", "e2").Props("p1").
+		Tick().
+		Tick().Events("e3").
+		Build()
+	if eng.Accepts(bad) {
+		t.Error("trace missing p3 accepted")
+	}
+	// Scenario embedded after noise.
+	noisy := trace.Concat(trace.NewBuilder().Idle(5).Build(), good, trace.NewBuilder().Idle(2).Build())
+	if !eng.Accepts(noisy) {
+		t.Error("embedded scenario not detected")
+	}
+}
+
+func TestTranslateRejectsInvalidChart(t *testing.T) {
+	bad := &chart.SCESC{ChartName: "empty", Clock: "clk"}
+	if _, err := Translate(bad, nil); err == nil {
+		t.Error("chart with no grid lines accepted")
+	}
+}
+
+func TestTranslateRejectsUnsatisfiableLine(t *testing.T) {
+	sc := &chart.SCESC{
+		ChartName: "unsat", Clock: "clk",
+		Lines: []chart.GridLine{
+			{Events: []chart.EventSpec{{Event: "x"}, {Event: "x", Negated: true}}},
+		},
+	}
+	if err := sc.Validate(); err == nil {
+		t.Fatal("chart validation should reject contradictory line")
+	}
+}
+
+func TestGuardNaming(t *testing.T) {
+	m := MustTranslate(fig5(), &Options{NameGuards: true})
+	legend := m.GuardLegend()
+	if len(legend) == 0 {
+		t.Fatal("no guard legend produced")
+	}
+	if !strings.HasPrefix(legend[0], "a = ") {
+		t.Errorf("legend[0] = %q, want to start with 'a = '", legend[0])
+	}
+}
+
+// --- randomized cross-validation ---------------------------------------
+
+var poolSyms = []string{"a", "b", "c", "d"}
+
+// randPattern draws a random satisfiable pattern of the given length over
+// a small event pool, with elements that are conjunctions of 1-2 literals.
+func randPattern(rng *rand.Rand, length int) Pattern {
+	p := make(Pattern, length)
+	for i := range p {
+		for {
+			nlits := 1 + rng.Intn(2)
+			var terms []expr.Expr
+			for j := 0; j < nlits; j++ {
+				lit := expr.Ev(poolSyms[rng.Intn(len(poolSyms))])
+				if rng.Intn(3) == 0 {
+					lit = expr.Not(lit)
+				}
+				terms = append(terms, lit)
+			}
+			e := expr.And(terms...)
+			if !expr.Equal(e, expr.False) {
+				p[i] = e
+				break
+			}
+		}
+	}
+	return p
+}
+
+// oneHotPattern draws a pattern whose elements each assert exactly one
+// pool symbol and the absence of all others. When distinct is true the
+// hot symbols are pairwise different (so the pattern is orthogonal and
+// its length is capped by the pool size); otherwise repeats are allowed.
+func oneHotPattern(rng *rand.Rand, length int, distinct bool) Pattern {
+	if distinct && length > len(poolSyms) {
+		length = len(poolSyms)
+	}
+	perm := rng.Perm(len(poolSyms))
+	p := make(Pattern, length)
+	for i := range p {
+		var hot int
+		if distinct {
+			hot = perm[i]
+		} else {
+			hot = rng.Intn(len(poolSyms))
+		}
+		var terms []expr.Expr
+		for j, s := range poolSyms {
+			if j == hot {
+				terms = append(terms, expr.Ev(s))
+			} else {
+				terms = append(terms, expr.Not(expr.Ev(s)))
+			}
+		}
+		p[i] = expr.And(terms...)
+	}
+	return p
+}
+
+// eqTicks compares tick slices treating nil and empty as equal.
+func eqTicks(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func patternSupport(t *testing.T, p Pattern) *event.Support {
+	t.Helper()
+	sup, err := p.Support()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sup
+}
+
+// acceptTicks runs the monitor over the trace and returns the ticks at
+// which it accepted.
+func acceptTicks(m *monitor.Monitor, tr trace.Trace) []int {
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	var out []int
+	for i, s := range tr {
+		if eng.Step(s).Outcome == monitor.Accepted {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func buildPatternMonitor(t *testing.T, p Pattern, opts *Options) *monitor.Monitor {
+	t.Helper()
+	m, err := ComputeTransitionFunc("rand", "clk", p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDirectVsEnumerateEquivalence cross-checks the symbolic construction
+// against the paper's literal per-valuation pseudocode: same accept ticks
+// on random traces, for both history abstractions (experiment E9).
+func TestDirectVsEnumerateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 40; round++ {
+		p := randPattern(rng, 2+rng.Intn(4))
+		if p.Validate() != nil {
+			continue
+		}
+		for _, h := range []History{HistImplication, HistSatisfiable} {
+			md := buildPatternMonitor(t, p, &Options{Strategy: StrategyDirect, History: h})
+			me := buildPatternMonitor(t, p, &Options{Strategy: StrategyEnumerate, History: h})
+			sup := patternSupport(t, p)
+			gen := trace.NewGenerator(sup, int64(round*100+int(h)), 0.4)
+			for reps := 0; reps < 5; reps++ {
+				tr := gen.Trace(30)
+				got := acceptTicks(md, tr)
+				want := acceptTicks(me, tr)
+				if !eqTicks(got, want) {
+					t.Fatalf("round %d hist %v: direct %v != enumerate %v\npattern: %v\ntrace:\n%s",
+						round, h, got, want, p, tr)
+				}
+			}
+		}
+	}
+}
+
+// TestSoundnessImplication: with the implication abstraction the monitor
+// never accepts at a tick where no window actually ends (it may miss
+// overlapping matches on non-orthogonal patterns).
+func TestSoundnessImplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 60; round++ {
+		p := randPattern(rng, 2+rng.Intn(4))
+		if p.Validate() != nil {
+			continue
+		}
+		m := buildPatternMonitor(t, p, &Options{History: HistImplication})
+		sup := patternSupport(t, p)
+		gen := trace.NewGenerator(sup, int64(round), 0.5)
+		tr := gen.Trace(40)
+		exact := NewExactMatcher(p).MatchesIn(tr)
+		exactSet := make(map[int]bool)
+		for _, e := range exact {
+			exactSet[e] = true
+		}
+		for _, a := range acceptTicks(m, tr) {
+			if !exactSet[a] {
+				t.Fatalf("round %d: monitor accepted at %d but no window ends there\npattern %v\ntrace:\n%s",
+					round, a, p, tr)
+			}
+		}
+	}
+}
+
+// TestCompletenessSatisfiable: with the satisfiability abstraction the
+// monitor never misses a window (it may over-accept on non-orthogonal
+// patterns).
+func TestCompletenessSatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for round := 0; round < 60; round++ {
+		p := randPattern(rng, 2+rng.Intn(4))
+		if p.Validate() != nil {
+			continue
+		}
+		m := buildPatternMonitor(t, p, &Options{History: HistSatisfiable})
+		sup := patternSupport(t, p)
+		gen := trace.NewGenerator(sup, int64(round), 0.5)
+		tr := gen.Trace(40)
+		acc := make(map[int]bool)
+		for _, a := range acceptTicks(m, tr) {
+			acc[a] = true
+		}
+		for _, e := range NewExactMatcher(p).MatchesIn(tr) {
+			if !acc[e] {
+				t.Fatalf("round %d: window ends at %d but monitor missed it\npattern %v\ntrace:\n%s",
+					round, e, p, tr)
+			}
+		}
+	}
+}
+
+// TestOrthogonalPatternsExact: on orthogonal patterns both abstractions
+// agree exactly with the ground-truth matcher.
+func TestOrthogonalPatternsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 40; round++ {
+		p := oneHotPattern(rng, 2+rng.Intn(3), true)
+		if ok, err := p.Orthogonal(); err != nil || !ok {
+			t.Fatalf("one-hot pattern not orthogonal: %v", err)
+		}
+		sup := patternSupport(t, p)
+		gen := trace.NewGenerator(sup, int64(round), 0.3)
+		tr := gen.Trace(40)
+		want := NewExactMatcher(p).MatchesIn(tr)
+		for _, h := range []History{HistImplication, HistSatisfiable} {
+			m := buildPatternMonitor(t, p, &Options{History: h})
+			got := acceptTicks(m, tr)
+			if !eqTicks(got, want) {
+				t.Fatalf("round %d hist %v: accepts %v != exact %v\npattern %v", round, h, got, want, p)
+			}
+		}
+	}
+}
+
+// TestTheoremSemanticCorrespondence is experiment E3: the paper's result
+// [[C]] = Sigma* . L(M) . Sigma^omega, checked on random SCESCs against
+// the denotational oracle — the monitor accepts at exactly the ticks
+// where a satisfying window ends.
+func TestTheoremSemanticCorrespondence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 40; round++ {
+		p := oneHotPattern(rng, 1+rng.Intn(5), false)
+		sc := &chart.SCESC{ChartName: "rand", Clock: "clk", Lines: make([]chart.GridLine, len(p))}
+		for i, e := range p {
+			sc.Lines[i] = chart.GridLine{Cond: e}
+		}
+		m, err := Translate(sc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sup := patternSupport(t, p)
+		gen := trace.NewGenerator(sup, int64(1000+round), 0.3)
+		tr := gen.Trace(50)
+		got := acceptTicks(m, tr)
+		want := semantics.MatchEndTicks(sc, tr)
+		if !eqTicks(got, want) {
+			t.Fatalf("round %d: monitor %v != oracle %v\nchart pattern %v", round, got, want, p)
+		}
+	}
+}
+
+// TestSynthesizedAlwaysTotalAndDisjoint: structural invariants of the
+// construction, randomized.
+func TestSynthesizedAlwaysTotalAndDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for round := 0; round < 30; round++ {
+		p := randPattern(rng, 1+rng.Intn(5))
+		if p.Validate() != nil {
+			continue
+		}
+		for _, h := range []History{HistImplication, HistSatisfiable} {
+			m := buildPatternMonitor(t, p, &Options{History: h})
+			if ok, err := m.Total(); !ok {
+				t.Fatalf("round %d: not total: %v\n%s", round, err, m)
+			}
+			if ok, err := m.GuardsDisjoint(); !ok {
+				t.Fatalf("round %d: guards overlap: %v\n%s", round, err, m)
+			}
+		}
+	}
+}
+
+func TestExactMatcherWindowMatches(t *testing.T) {
+	p := Pattern{expr.Ev("x"), expr.Ev("y")}
+	tr := trace.NewBuilder().
+		Tick().Events("x").
+		Tick().Events("y").
+		Tick().Events("x").
+		Tick().Events("x").
+		Tick().Events("y").
+		Build()
+	x := NewExactMatcher(p)
+	got := x.MatchesIn(tr)
+	want := []int{1, 4}
+	if !eqTicks(got, want) {
+		t.Errorf("matches = %v, want %v", got, want)
+	}
+	if x.Accepts() != 2 {
+		t.Errorf("accepts = %d, want 2", x.Accepts())
+	}
+	if !WindowMatches(p, tr, 0) || WindowMatches(p, tr, 1) || !WindowMatches(p, tr, 3) {
+		t.Error("WindowMatches misjudged windows")
+	}
+	if WindowMatches(p, tr, -1) || WindowMatches(p, tr, 4) {
+		t.Error("WindowMatches out-of-range not rejected")
+	}
+}
+
+func TestStrategyAndHistoryStrings(t *testing.T) {
+	if StrategyDirect.String() != "direct" || StrategyEnumerate.String() != "enumerate" {
+		t.Error("strategy names wrong")
+	}
+	if HistImplication.String() != "implication" || HistSatisfiable.String() != "satisfiable" {
+		t.Error("history names wrong")
+	}
+}
+
+func TestEnumerateSupportCap(t *testing.T) {
+	p := make(Pattern, 1)
+	var terms []expr.Expr
+	for i := 0; i < maxEnumerateBits+1; i++ {
+		terms = append(terms, expr.Ev(fmt.Sprintf("s%02d", i)))
+	}
+	p[0] = expr.And(terms...)
+	if _, err := ComputeTransitionFunc("big", "clk", p, &Options{Strategy: StrategyEnumerate}); err == nil {
+		t.Error("oversized support accepted by enumerate strategy")
+	}
+	if _, err := ComputeTransitionFunc("big", "clk", p, &Options{Strategy: StrategyDirect}); err != nil {
+		t.Errorf("direct strategy should handle wide supports: %v", err)
+	}
+}

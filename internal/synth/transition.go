@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/monitor"
+)
+
+// Strategy selects how compute_transition_func is realized.
+type Strategy int
+
+const (
+	// StrategyDirect builds guards symbolically from the candidate list
+	// of each state: the transition to candidate k is guarded by P[k-1]
+	// conjoined with the negations of all higher candidates' elements
+	// (dropped when provably orthogonal). It is semantically equivalent
+	// to StrategyEnumerate and much cheaper; it also reproduces the
+	// compact labels of the paper's figures. This is the default.
+	StrategyDirect Strategy = iota
+	// StrategyEnumerate is the paper's pseudocode verbatim: iterate every
+	// valuation e of 2^Sigma (restricted to the pattern's support), run
+	// the while-loop to find the fallback target, then re-compress the
+	// per-valuation map into symbolic guards via two-level minimization.
+	StrategyEnumerate
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == StrategyEnumerate {
+		return "enumerate"
+	}
+	return "direct"
+}
+
+// maxEnumerateBits caps StrategyEnumerate's valuation sweep.
+const maxEnumerateBits = 20
+
+// ComputeTransitionFunc implements the paper's compute_transition_func:
+// it fills in the transition function of the n+1-state monitor for
+// pattern p. The returned monitor has states 0..n, initial 0, final n,
+// and total, pairwise-disjoint guards; scoreboard actions are added later
+// by AddCausalityCheck.
+func ComputeTransitionFunc(name, clock string, p Pattern, opts *Options) (*monitor.Monitor, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sup, err := p.Support()
+	if err != nil {
+		return nil, err
+	}
+	n := len(p)
+	m := monitor.New(name, clock, n+1)
+	m.Linear = true
+	compat := p.compatMatrix(sup, opts.History)
+	switch opts.Strategy {
+	case StrategyDirect:
+		buildDirect(m, p, sup, compat)
+	case StrategyEnumerate:
+		if sup.Len() > maxEnumerateBits {
+			return nil, fmt.Errorf("synth: support of %d symbols too large for enumerate strategy (max %d); use StrategyDirect",
+				sup.Len(), maxEnumerateBits)
+		}
+		buildEnumerate(m, p, sup, compat)
+	default:
+		return nil, fmt.Errorf("synth: unknown strategy %d", int(opts.Strategy))
+	}
+	return m, nil
+}
+
+// buildDirect emits, per state s, one transition per feasible candidate k
+// (guard: P[k-1] minus all higher candidates) plus the give-up edge to 0.
+func buildDirect(m *monitor.Monitor, p Pattern, sup *event.Support, compat [][]bool) {
+	n := len(p)
+	for s := 0; s <= n; s++ {
+		cands := p.candidates(compat, s)
+		var higher []expr.Expr
+		for _, k := range cands {
+			terms := []expr.Expr{p[k-1]}
+			for _, h := range higher {
+				// Skip the negation when orthogonality already excludes
+				// the higher candidate; keeps guards as small as the
+				// paper's hand-drawn labels.
+				if orth, err := expr.OrthogonalAuto(p[k-1], h); err == nil && orth {
+					continue
+				}
+				terms = append(terms, expr.Not(h))
+			}
+			guard := expr.And(terms...)
+			// A candidate fully shadowed by higher ones (e.g. anything
+			// below a TRUE grid line) contributes no edge.
+			if !expr.Equal(guard, expr.False) {
+				m.AddTransition(s, monitor.Transition{To: k, Guard: guard})
+			}
+			higher = append(higher, p[k-1])
+		}
+		// Give-up edge: none of the candidates' elements matched.
+		neg := make([]expr.Expr, len(cands))
+		for i, k := range cands {
+			neg[i] = expr.Not(p[k-1])
+		}
+		if giveup := expr.And(neg...); !expr.Equal(giveup, expr.False) {
+			m.AddTransition(s, monitor.Transition{To: 0, Guard: giveup})
+		}
+	}
+}
+
+// buildEnumerate is the paper's per-valuation loop. For each state and
+// each valuation of the support it runs the while-loop over prefix
+// lengths, then groups valuations by target and minimizes each group back
+// into a symbolic guard.
+func buildEnumerate(m *monitor.Monitor, p Pattern, sup *event.Support, compat [][]bool) {
+	n := len(p)
+	nv := sup.NumValuations()
+	// Precompute which valuations satisfy each pattern element.
+	sat := make([][]bool, n)
+	for i, e := range p {
+		sat[i] = make([]bool, nv)
+		for v := uint64(0); v < nv; v++ {
+			sat[i][v] = e.Eval(event.ValuationContext{Sup: sup, Val: event.Valuation(v)})
+		}
+	}
+	for s := 0; s <= n; s++ {
+		targets := make(map[int][]event.Valuation)
+		for v := uint64(0); v < nv; v++ {
+			k := s + 1
+			if k > n {
+				k = n
+			}
+			// while not (P_k suffix_of T_s·e) do k = k-1
+			for k > 0 {
+				if histCompat(compat, s, k) && sat[k-1][v] {
+					break
+				}
+				k--
+			}
+			targets[k] = append(targets[k], event.Valuation(v))
+		}
+		for k := n; k >= 0; k-- {
+			ms, ok := targets[k]
+			if !ok {
+				continue
+			}
+			guard := expr.FromMinterms(sup, ms)
+			m.AddTransition(s, monitor.Transition{To: k, Guard: guard})
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/monitor"
+)
+
+// Options configures the translation.
+type Options struct {
+	// Strategy selects the transition-function construction; the zero
+	// value is StrategyDirect.
+	Strategy Strategy
+	// History selects the suffix_of history abstraction; the zero value
+	// is HistImplication (matches the paper's drawn monitors).
+	History History
+	// NameGuards attaches a, b, c... legend names to the distinct guards
+	// in paper-figure style.
+	NameGuards bool
+}
+
+// Translate implements the paper's main routine of algorithm Tr for a
+// single SCESC: n+1 states for n grid lines, the input alphabet is the
+// pattern's support, initial state 0 and final state n, the transition
+// function from compute_transition_func, and causality instrumentation
+// for every arrow.
+func Translate(sc *chart.SCESC, opts *Options) (*monitor.Monitor, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	p := ExtractPattern(sc)
+	name := sc.ChartName
+	if name == "" {
+		name = "scesc"
+	}
+	m, err := ComputeTransitionFunc(name, sc.Clock, p, opts)
+	if err != nil {
+		return nil, fmt.Errorf("synth: chart %q: %w", sc.ChartName, err)
+	}
+	if err := AddCausalityCheck(m, p, sc); err != nil {
+		return nil, err
+	}
+	if opts.NameGuards {
+		nameGuards(m)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: produced invalid monitor: %w", err)
+	}
+	return m, nil
+}
+
+// MustTranslate is Translate that panics on error; for tests and fixtures.
+func MustTranslate(sc *chart.SCESC, opts *Options) *monitor.Monitor {
+	m, err := Translate(sc, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// nameGuards assigns single-letter names a, b, c... to distinct guard
+// expressions in first-use order, mirroring the paper's figure legends.
+func nameGuards(m *monitor.Monitor) {
+	next := 0
+	seen := make(map[string]bool)
+	for s := 0; s < m.States; s++ {
+		for _, t := range m.Trans[s] {
+			key := t.Guard.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			m.NameGuard(guardName(next), t.Guard)
+			next++
+		}
+	}
+}
+
+func guardName(i int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	if i < len(letters) {
+		return string(letters[i])
+	}
+	return fmt.Sprintf("g%d", i)
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"math/rand"
+
+	"repro/internal/event"
+)
+
+// Generator produces pseudo-random traces over a fixed support, for
+// property-based tests and workload benches. All randomness is derived
+// from the caller-supplied seed, so generation is reproducible.
+type Generator struct {
+	sup     *event.Support
+	rng     *rand.Rand
+	density float64
+}
+
+// NewGenerator returns a generator over sup with the given seed. density
+// is the probability that any given symbol is true at a tick; it is
+// clamped to [0, 1].
+func NewGenerator(sup *event.Support, seed int64, density float64) *Generator {
+	if density < 0 {
+		density = 0
+	}
+	if density > 1 {
+		density = 1
+	}
+	return &Generator{sup: sup, rng: rand.New(rand.NewSource(seed)), density: density}
+}
+
+// State draws one random state.
+func (g *Generator) State() event.State {
+	var v event.Valuation
+	for i := 0; i < g.sup.Len(); i++ {
+		v = v.SetBit(i, g.rng.Float64() < g.density)
+	}
+	return g.sup.State(v)
+}
+
+// Trace draws a random trace of n ticks.
+func (g *Generator) Trace(n int) Trace {
+	out := make(Trace, n)
+	for i := range out {
+		out[i] = g.State()
+	}
+	return out
+}
+
+// Valuation draws one random valuation over the support.
+func (g *Generator) Valuation() event.Valuation {
+	var v event.Valuation
+	for i := 0; i < g.sup.Len(); i++ {
+		v = v.SetBit(i, g.rng.Float64() < g.density)
+	}
+	return v
+}
+
+// Intn exposes the underlying source for callers needing correlated
+// random choices (e.g. picking an embedding offset).
+func (g *Generator) Intn(n int) int { return g.rng.Intn(n) }
+
+// Embed overwrites t[at:at+len(window)] with a copy of window, returning
+// t for chaining. It panics if the window does not fit.
+func Embed(t Trace, at int, window Trace) Trace {
+	for i, s := range window {
+		t[at+i] = s.Clone()
+	}
+	return t
+}

@@ -1,0 +1,223 @@
+// Package trace implements clocked traces — finite prefixes of the
+// paper's runs r : N -> STATES — together with builders, random
+// generators for property-based testing, and VCD export. Single-clock
+// traces are plain state sequences; multi-clock (GALS) executions are
+// GlobalTraces whose entries are tagged with a clock-domain name and a
+// global timestamp, the paper's "global clock obtained as a union of
+// clock ticks contributed by all the component clocks".
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// Trace is a finite prefix of a run: the state at each successive tick of
+// a single clock.
+type Trace []event.State
+
+// Clone deep-copies the trace.
+func (t Trace) Clone() Trace {
+	out := make(Trace, len(t))
+	for i, s := range t {
+		out[i] = s.Clone()
+	}
+	return out
+}
+
+// Window returns the subtrace [from, from+n). It panics if out of range.
+func (t Trace) Window(from, n int) Trace { return t[from : from+n] }
+
+// Concat returns the concatenation of traces.
+func Concat(ts ...Trace) Trace {
+	var out Trace
+	for _, t := range ts {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// String renders one state per line, numbered by tick.
+func (t Trace) String() string {
+	var b strings.Builder
+	for i, s := range t {
+		fmt.Fprintf(&b, "%4d: %s\n", i, s)
+	}
+	return b.String()
+}
+
+// Builder assembles traces tick by tick.
+type Builder struct {
+	trace Trace
+	cur   *event.State
+}
+
+// NewBuilder returns an empty trace builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Tick starts a new clock tick with an empty state. Returns the builder
+// for chaining.
+func (b *Builder) Tick() *Builder {
+	b.flush()
+	s := event.NewState()
+	b.cur = &s
+	return b
+}
+
+func (b *Builder) flush() {
+	if b.cur != nil {
+		b.trace = append(b.trace, *b.cur)
+		b.cur = nil
+	}
+}
+
+// Events marks the named events as occurring at the current tick.
+func (b *Builder) Events(names ...string) *Builder {
+	b.ensure()
+	for _, n := range names {
+		b.cur.Events[n] = true
+	}
+	return b
+}
+
+// Props marks the named propositions as holding at the current tick.
+func (b *Builder) Props(names ...string) *Builder {
+	b.ensure()
+	for _, n := range names {
+		b.cur.Props[n] = true
+	}
+	return b
+}
+
+// Prop sets the proposition name to val at the current tick.
+func (b *Builder) Prop(name string, val bool) *Builder {
+	b.ensure()
+	b.cur.Props[name] = val
+	return b
+}
+
+func (b *Builder) ensure() {
+	if b.cur == nil {
+		b.Tick()
+	}
+}
+
+// Idle appends n empty ticks.
+func (b *Builder) Idle(n int) *Builder {
+	b.flush()
+	for i := 0; i < n; i++ {
+		b.trace = append(b.trace, event.NewState())
+	}
+	return b
+}
+
+// Append copies the states of t as further ticks.
+func (b *Builder) Append(t Trace) *Builder {
+	b.flush()
+	b.trace = append(b.trace, t.Clone()...)
+	return b
+}
+
+// Len reports the number of completed ticks (including the one being
+// built, if any).
+func (b *Builder) Len() int {
+	n := len(b.trace)
+	if b.cur != nil {
+		n++
+	}
+	return n
+}
+
+// Build finalizes and returns the trace. The builder may be reused; it
+// restarts empty.
+func (b *Builder) Build() Trace {
+	b.flush()
+	t := b.trace
+	b.trace = nil
+	return t
+}
+
+// GlobalTick is one tick of the global clock: domain Domain ticked at
+// global time Time observing State. Two domains ticking simultaneously
+// yield two entries with equal Time (ordering between them is the
+// scheduler's choice and is preserved).
+type GlobalTick struct {
+	Time   int64
+	Domain string
+	State  event.State
+}
+
+// GlobalTrace is a finite prefix of a multi-clock global run, ordered by
+// non-decreasing Time.
+type GlobalTrace []GlobalTick
+
+// Project extracts the single-clock trace observed by one domain.
+func (g GlobalTrace) Project(domain string) Trace {
+	var out Trace
+	for _, t := range g {
+		if t.Domain == domain {
+			out = append(out, t.State)
+		}
+	}
+	return out
+}
+
+// Domains returns the distinct domain names in order of first appearance.
+func (g GlobalTrace) Domains() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range g {
+		if !seen[t.Domain] {
+			seen[t.Domain] = true
+			out = append(out, t.Domain)
+		}
+	}
+	return out
+}
+
+// Validate checks monotone timestamps.
+func (g GlobalTrace) Validate() error {
+	for i := 1; i < len(g); i++ {
+		if g[i].Time < g[i-1].Time {
+			return fmt.Errorf("trace: global tick %d time %d precedes tick %d time %d",
+				i, g[i].Time, i-1, g[i-1].Time)
+		}
+	}
+	return nil
+}
+
+// Interleave merges per-domain traces into a global trace using fixed
+// clock periods and phases: domain d ticks at times phase[d] + k*period[d].
+// Ties are broken by the order of the domains slice.
+func Interleave(domains []string, periods, phases map[string]int64, traces map[string]Trace) (GlobalTrace, error) {
+	idx := make(map[string]int, len(domains))
+	var out GlobalTrace
+	for {
+		best := ""
+		var bestTime int64
+		for _, d := range domains {
+			t, ok := traces[d]
+			if !ok {
+				return nil, fmt.Errorf("trace: no trace for domain %q", d)
+			}
+			p := periods[d]
+			if p <= 0 {
+				return nil, fmt.Errorf("trace: domain %q has non-positive period %d", d, p)
+			}
+			if idx[d] >= len(t) {
+				continue
+			}
+			at := phases[d] + int64(idx[d])*p
+			if best == "" || at < bestTime {
+				best, bestTime = d, at
+			}
+		}
+		if best == "" {
+			return out, nil
+		}
+		out = append(out, GlobalTick{Time: bestTime, Domain: best, State: traces[best][idx[best]]})
+		idx[best]++
+	}
+}

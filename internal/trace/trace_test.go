@@ -1,0 +1,255 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	tr := NewBuilder().
+		Tick().Events("a", "b").Props("p").
+		Tick().
+		Tick().Prop("q", true).Events("c").
+		Build()
+	if len(tr) != 3 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	if !tr[0].Event("a") || !tr[0].Prop("p") {
+		t.Error("tick 0 wrong")
+	}
+	if !tr[1].IsEmpty() {
+		t.Error("tick 1 not empty")
+	}
+	if !tr[2].Prop("q") || !tr[2].Event("c") {
+		t.Error("tick 2 wrong")
+	}
+}
+
+func TestBuilderImplicitTickAndIdle(t *testing.T) {
+	b := NewBuilder()
+	b.Events("x") // implicit Tick
+	tr := b.Idle(2).Build()
+	if len(tr) != 3 {
+		t.Fatalf("len = %d", len(tr))
+	}
+	if !tr[0].Event("x") || !tr[1].IsEmpty() || !tr[2].IsEmpty() {
+		t.Error("implicit tick or idle wrong")
+	}
+	// Builder restarts after Build.
+	tr2 := b.Tick().Events("y").Build()
+	if len(tr2) != 1 || !tr2[0].Event("y") {
+		t.Error("builder reuse broken")
+	}
+}
+
+func TestBuilderAppendAndLen(t *testing.T) {
+	base := NewBuilder().Tick().Events("a").Build()
+	b := NewBuilder().Tick().Events("z")
+	if b.Len() != 1 {
+		t.Errorf("len = %d", b.Len())
+	}
+	tr := b.Append(base).Build()
+	if len(tr) != 2 || !tr[1].Event("a") {
+		t.Error("append wrong")
+	}
+	// Appended states are deep copies.
+	tr[1].Events["a"] = false
+	if !base[0].Event("a") {
+		t.Error("append aliased source")
+	}
+}
+
+func TestCloneConcatWindow(t *testing.T) {
+	a := NewBuilder().Tick().Events("x").Build()
+	b := NewBuilder().Tick().Events("y").Tick().Events("z").Build()
+	all := Concat(a, b)
+	if len(all) != 3 || !all[2].Event("z") {
+		t.Error("concat wrong")
+	}
+	c := all.Clone()
+	c[0].Events["x"] = false
+	if !all[0].Event("x") {
+		t.Error("clone aliases")
+	}
+	w := all.Window(1, 2)
+	if len(w) != 2 || !w[0].Event("y") {
+		t.Error("window wrong")
+	}
+	if s := all.String(); !strings.Contains(s, "0:") || !strings.Contains(s, "{x}") {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func newTestSupport(t *testing.T) *event.Support {
+	t.Helper()
+	sup, err := event.NewSupport([]event.Symbol{
+		{Name: "a", Kind: event.KindEvent},
+		{Name: "b", Kind: event.KindEvent},
+		{Name: "p", Kind: event.KindProp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sup
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	sup := newTestSupport(t)
+	a := NewGenerator(sup, 99, 0.5).Trace(50)
+	b := NewGenerator(sup, 99, 0.5).Trace(50)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+	c := NewGenerator(sup, 100, 0.5).Trace(50)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratorDensityClamps(t *testing.T) {
+	sup := newTestSupport(t)
+	zero := NewGenerator(sup, 1, -0.5).Trace(20)
+	for _, s := range zero {
+		if !s.IsEmpty() {
+			t.Fatal("density 0 produced events")
+		}
+	}
+	one := NewGenerator(sup, 1, 2.0).Trace(20)
+	for _, s := range one {
+		if !s.Event("a") || !s.Event("b") || !s.Prop("p") {
+			t.Fatal("density 1 missed symbols")
+		}
+	}
+}
+
+func TestEmbed(t *testing.T) {
+	sup := newTestSupport(t)
+	g := NewGenerator(sup, 5, 0.3)
+	tr := g.Trace(10)
+	window := NewBuilder().Tick().Events("a").Tick().Events("b").Build()
+	Embed(tr, 4, window)
+	if !tr[4].Event("a") || !tr[5].Event("b") {
+		t.Error("embed failed")
+	}
+	if g.Intn(10) < 0 {
+		t.Error("Intn broken")
+	}
+	if g.Valuation() > event.Valuation(sup.NumValuations()-1) {
+		t.Error("valuation out of range")
+	}
+	if g.State().Events == nil {
+		t.Error("state has nil map")
+	}
+}
+
+func TestGlobalTraceProjectDomainsValidate(t *testing.T) {
+	mk := func(ev string) event.State { return event.NewState().WithEvents(ev) }
+	g := GlobalTrace{
+		{Time: 0, Domain: "a", State: mk("x")},
+		{Time: 1, Domain: "b", State: mk("y")},
+		{Time: 2, Domain: "a", State: mk("z")},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pa := g.Project("a")
+	if len(pa) != 2 || !pa[1].Event("z") {
+		t.Error("projection wrong")
+	}
+	doms := g.Domains()
+	if len(doms) != 2 || doms[0] != "a" || doms[1] != "b" {
+		t.Errorf("domains = %v", doms)
+	}
+	bad := GlobalTrace{{Time: 5, Domain: "a"}, {Time: 2, Domain: "a"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unordered trace accepted")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	mk := func(ev string) event.State { return event.NewState().WithEvents(ev) }
+	g, err := Interleave(
+		[]string{"fast", "slow"},
+		map[string]int64{"fast": 2, "slow": 5},
+		map[string]int64{"fast": 0, "slow": 1},
+		map[string]Trace{
+			"fast": {mk("f0"), mk("f1"), mk("f2")},
+			"slow": {mk("s0"), mk("s1")},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fast at 0,2,4; slow at 1,6.
+	wantTimes := []int64{0, 1, 2, 4, 6}
+	wantDoms := []string{"fast", "slow", "fast", "fast", "slow"}
+	if len(g) != len(wantTimes) {
+		t.Fatalf("len = %d, want %d", len(g), len(wantTimes))
+	}
+	for i := range g {
+		if g[i].Time != wantTimes[i] || g[i].Domain != wantDoms[i] {
+			t.Errorf("tick %d = %s@%d, want %s@%d", i, g[i].Domain, g[i].Time, wantDoms[i], wantTimes[i])
+		}
+	}
+}
+
+func TestInterleaveErrors(t *testing.T) {
+	if _, err := Interleave([]string{"x"}, map[string]int64{"x": 1}, nil, map[string]Trace{}); err == nil {
+		t.Error("missing trace accepted")
+	}
+	if _, err := Interleave([]string{"x"}, map[string]int64{"x": 0}, nil,
+		map[string]Trace{"x": {event.NewState()}}); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	tr := NewBuilder().
+		Tick().Events("req").Props("busy").
+		Tick().Events("ack").
+		Tick().
+		Build()
+	var sb strings.Builder
+	if err := WriteVCD(&sb, "dut", tr); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$timescale", "$scope module dut", "$var wire 1", "req", "ack", "busy",
+		"$dumpvars", "#0", "#1", "#2", "#3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Empty module name defaults.
+	var sb2 strings.Builder
+	if err := WriteVCD(&sb2, "", tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb2.String(), "module trace") {
+		t.Error("default module name missing")
+	}
+}
+
+func TestVCDCodes(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		c := vcdCode(i)
+		if c == "" || seen[c] {
+			t.Fatalf("code %d = %q duplicate/empty", i, c)
+		}
+		seen[c] = true
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteVCD dumps a single-clock trace as a Value Change Dump file so that
+// captured protocol runs can be inspected in standard waveform viewers.
+// Every symbol appearing anywhere in the trace becomes a 1-bit wire;
+// events pulse high for the tick at which they occur. Timescale is one
+// tick per time unit.
+func WriteVCD(w io.Writer, module string, t Trace) error {
+	names := collectNames(t)
+	if module == "" {
+		module = "trace"
+	}
+	codes := make(map[string]string, len(names))
+	for i, n := range names {
+		codes[n] = vcdCode(i)
+	}
+	if _, err := fmt.Fprintf(w, "$timescale 1ns $end\n$scope module %s $end\n", module); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", codes[n], n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+	prev := make(map[string]bool, len(names))
+	for _, n := range names {
+		prev[n] = false
+	}
+	// Initial dump.
+	if _, err := fmt.Fprint(w, "#0\n$dumpvars\n"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "0%s\n", codes[n]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$end\n"); err != nil {
+		return err
+	}
+	for tick, s := range t {
+		wrote := false
+		for _, n := range names {
+			cur := s.Event(n) || s.Prop(n)
+			if cur != prev[n] {
+				if !wrote {
+					if _, err := fmt.Fprintf(w, "#%d\n", tick); err != nil {
+						return err
+					}
+					wrote = true
+				}
+				bit := "0"
+				if cur {
+					bit = "1"
+				}
+				if _, err := fmt.Fprintf(w, "%s%s\n", bit, codes[n]); err != nil {
+					return err
+				}
+				prev[n] = cur
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "#%d\n", len(t))
+	return err
+}
+
+func collectNames(t Trace) []string {
+	seen := make(map[string]bool)
+	for _, s := range t {
+		for n := range s.Events {
+			seen[n] = true
+		}
+		for n := range s.Props {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// vcdCode maps an index to a short printable identifier code.
+func vcdCode(i int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~"
+	var out []byte
+	for {
+		out = append(out, alphabet[i%len(alphabet)])
+		i /= len(alphabet)
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(out)
+}

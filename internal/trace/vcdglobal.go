@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteGlobalVCD dumps a multi-clock global trace as a VCD file for
+// waveform inspection of GALS runs: each clock domain becomes a scope
+// containing its signals plus a `tick` pulse marking the domain's clock
+// edges; timestamps are the global times.
+func WriteGlobalVCD(w io.Writer, g GlobalTrace) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	domains := g.Domains()
+	// Collect per-domain signal names.
+	names := map[string][]string{}
+	for _, d := range domains {
+		seen := map[string]bool{}
+		for _, t := range g {
+			if t.Domain != d {
+				continue
+			}
+			for n := range t.State.Events {
+				seen[n] = true
+			}
+			for n := range t.State.Props {
+				seen[n] = true
+			}
+		}
+		var list []string
+		for n := range seen {
+			list = append(list, n)
+		}
+		sort.Strings(list)
+		names[d] = list
+	}
+	// Assign codes: domain tick pulses first, then signals.
+	codes := map[string]string{} // "domain/name" -> code
+	next := 0
+	alloc := func(key string) string {
+		c := vcdCode(next)
+		next++
+		codes[key] = c
+		return c
+	}
+	if _, err := fmt.Fprint(w, "$timescale 1ns $end\n"); err != nil {
+		return err
+	}
+	for _, d := range domains {
+		if _, err := fmt.Fprintf(w, "$scope module %s $end\n", d); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "$var wire 1 %s tick $end\n", alloc(d+"/tick")); err != nil {
+			return err
+		}
+		for _, n := range names[d] {
+			if _, err := fmt.Fprintf(w, "$var wire 1 %s %s $end\n", alloc(d+"/"+n), n); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprint(w, "$upscope $end\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$enddefinitions $end\n#0\n$dumpvars\n"); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(codes))
+	for k := range codes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	cur := map[string]bool{}
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "0%s\n", codes[k]); err != nil {
+			return err
+		}
+		cur[k] = false
+	}
+	if _, err := fmt.Fprint(w, "$end\n"); err != nil {
+		return err
+	}
+	emit := func(at int64, key string, v bool) error {
+		if cur[key] == v {
+			return nil
+		}
+		cur[key] = v
+		bit := "0"
+		if v {
+			bit = "1"
+		}
+		_, err := fmt.Fprintf(w, "%s%s\n", bit, codes[key])
+		return err
+	}
+	var lastTime int64 = -1
+	for _, t := range g {
+		if t.Time != lastTime {
+			// Close the previous instant: drop tick pulses and signals
+			// of domains not ticking now happens implicitly at the next
+			// write; emit the time header.
+			if _, err := fmt.Fprintf(w, "#%d\n", t.Time); err != nil {
+				return err
+			}
+			// Lower every pulse from earlier instants.
+			for _, k := range keys {
+				if cur[k] {
+					if err := emit(t.Time, k, false); err != nil {
+						return err
+					}
+				}
+			}
+			lastTime = t.Time
+		}
+		if err := emit(t.Time, t.Domain+"/tick", true); err != nil {
+			return err
+		}
+		for _, n := range names[t.Domain] {
+			v := t.State.Event(n) || t.State.Prop(n)
+			if v {
+				if err := emit(t.Time, t.Domain+"/"+n, true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(g) > 0 {
+		_, err := fmt.Fprintf(w, "#%d\n", g[len(g)-1].Time+1)
+		return err
+	}
+	return nil
+}

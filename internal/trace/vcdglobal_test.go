@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestWriteGlobalVCD(t *testing.T) {
+	mk := func(tm int64, dom string, evs ...string) GlobalTick {
+		return GlobalTick{Time: tm, Domain: dom, State: event.NewState().WithEvents(evs...)}
+	}
+	g := GlobalTrace{
+		mk(0, "clk1", "req"),
+		mk(1, "clk2"),
+		mk(4, "clk1", "data"),
+		mk(5, "clk2", "serve"),
+	}
+	var sb strings.Builder
+	if err := WriteGlobalVCD(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"$scope module clk1", "$scope module clk2",
+		"tick $end", "req $end", "data $end", "serve $end",
+		"#0", "#1", "#4", "#5", "#6",
+		"$dumpvars",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("global VCD missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteGlobalVCDRejectsUnordered(t *testing.T) {
+	g := GlobalTrace{
+		{Time: 5, Domain: "a", State: event.NewState()},
+		{Time: 1, Domain: "a", State: event.NewState()},
+	}
+	var sb strings.Builder
+	if err := WriteGlobalVCD(&sb, g); err == nil {
+		t.Error("unordered global trace accepted")
+	}
+}
+
+func TestWriteGlobalVCDEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteGlobalVCD(&sb, nil); err != nil {
+		t.Fatalf("empty trace errored: %v", err)
+	}
+	if !strings.Contains(sb.String(), "$enddefinitions") {
+		t.Error("header missing for empty trace")
+	}
+}
+
+func TestWriteGlobalVCDPulsesDrop(t *testing.T) {
+	mk := func(tm int64, dom string, evs ...string) GlobalTick {
+		return GlobalTick{Time: tm, Domain: dom, State: event.NewState().WithEvents(evs...)}
+	}
+	g := GlobalTrace{
+		mk(0, "clk1", "req"),
+		mk(2, "clk1"),
+	}
+	var sb strings.Builder
+	if err := WriteGlobalVCD(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The req pulse raised at #0 must be lowered at #2.
+	idx0 := strings.Index(out, "#0")
+	idx2 := strings.Index(out, "#2")
+	if idx0 < 0 || idx2 < 0 || idx2 < idx0 {
+		t.Fatalf("time markers wrong:\n%s", out)
+	}
+	after2 := out[idx2:]
+	if !strings.Contains(after2, "0") {
+		t.Errorf("no falling edges after #2:\n%s", out)
+	}
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/event"
+)
+
+// ReadVCD parses a Value Change Dump of 1-bit wires back into a trace:
+// one trace element per time unit from 0 to the final timestamp
+// (exclusive), each signal holding its value until changed. It inverts
+// WriteVCD (round-trip tested) and accepts the common single-scope VCD
+// subset produced by simulators for pure-binary dumps.
+//
+// kindOf assigns each signal name a kind; when nil every signal is read
+// as an event.
+func ReadVCD(r io.Reader, kindOf func(name string) event.Kind) (Trace, error) {
+	if kindOf == nil {
+		kindOf = func(string) event.Kind { return event.KindEvent }
+	}
+	sc := bufio.NewScanner(r)
+	codes := make(map[string]string) // code -> name
+	cur := make(map[string]bool)     // name -> current value
+	var (
+		out     Trace
+		now     int64 = -1
+		sawDefs bool
+	)
+	flushTo := func(t int64) {
+		// Materialize states for ticks now..t-1 with the current values.
+		for ; now >= 0 && now < t; now++ {
+			s := event.NewState()
+			for name, v := range cur {
+				if !v {
+					continue
+				}
+				if kindOf(name) == event.KindProp {
+					s.Props[name] = true
+				} else {
+					s.Events[name] = true
+				}
+			}
+			out = append(out, s)
+		}
+		now = t
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "$var"):
+			// $var wire 1 CODE NAME $end
+			fields := strings.Fields(line)
+			if len(fields) < 6 {
+				return nil, fmt.Errorf("trace: malformed $var line %q", line)
+			}
+			if fields[2] != "1" {
+				return nil, fmt.Errorf("trace: only 1-bit wires supported, got width %q for %q", fields[2], fields[4])
+			}
+			codes[fields[3]] = fields[4]
+			cur[fields[4]] = false
+		case strings.HasPrefix(line, "$enddefinitions"):
+			sawDefs = true
+		case strings.HasPrefix(line, "$"):
+			// $timescale/$scope/$upscope/$dumpvars/$end — no content we
+			// need beyond what's handled above.
+		case line[0] == '#':
+			t, err := strconv.ParseInt(line[1:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad timestamp %q", line)
+			}
+			if t < now {
+				return nil, fmt.Errorf("trace: timestamp %d goes backwards (now %d)", t, now)
+			}
+			if now == -1 {
+				now = t
+			} else {
+				flushTo(t)
+			}
+		case line[0] == '0' || line[0] == '1':
+			if !sawDefs {
+				return nil, fmt.Errorf("trace: value change before $enddefinitions")
+			}
+			code := line[1:]
+			name, ok := codes[code]
+			if !ok {
+				return nil, fmt.Errorf("trace: value change for unknown code %q", code)
+			}
+			cur[name] = line[0] == '1'
+		default:
+			return nil, fmt.Errorf("trace: unsupported VCD line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

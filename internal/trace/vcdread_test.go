@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestVCDRoundTrip(t *testing.T) {
+	orig := NewBuilder().
+		Tick().Events("req", "rd").
+		Tick().Events("ack").
+		Tick().
+		Tick().Events("req").
+		Tick().
+		Build()
+	var sb strings.Builder
+	if err := WriteVCD(&sb, "dut", orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVCD(strings.NewReader(sb.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip length %d, want %d\n%s", len(back), len(orig), sb.String())
+	}
+	for i := range orig {
+		if !orig[i].Equal(back[i]) {
+			t.Errorf("tick %d: %v != %v", i, orig[i], back[i])
+		}
+	}
+}
+
+func TestVCDRoundTripWithProps(t *testing.T) {
+	orig := NewBuilder().
+		Tick().Events("e").Props("busy").
+		Tick().Props("busy").
+		Tick().
+		Build()
+	var sb strings.Builder
+	if err := WriteVCD(&sb, "dut", orig); err != nil {
+		t.Fatal(err)
+	}
+	kindOf := func(name string) event.Kind {
+		if name == "busy" {
+			return event.KindProp
+		}
+		return event.KindEvent
+	}
+	back, err := ReadVCD(strings.NewReader(sb.String()), kindOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if !orig[i].Equal(back[i]) {
+			t.Errorf("tick %d: %v != %v", i, orig[i], back[i])
+		}
+	}
+}
+
+func TestVCDRoundTripRandom(t *testing.T) {
+	sup := newTestSupport(t)
+	for seed := int64(0); seed < 10; seed++ {
+		orig := NewGenerator(sup, seed, 0.4).Trace(30)
+		var sb strings.Builder
+		if err := WriteVCD(&sb, "r", orig); err != nil {
+			t.Fatal(err)
+		}
+		kindOf := func(name string) event.Kind {
+			if name == "p" {
+				return event.KindProp
+			}
+			return event.KindEvent
+		}
+		back, err := ReadVCD(strings.NewReader(sb.String()), kindOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(orig) {
+			t.Fatalf("seed %d: length %d != %d", seed, len(back), len(orig))
+		}
+		for i := range orig {
+			if !orig[i].Equal(back[i]) {
+				t.Fatalf("seed %d tick %d: %v != %v", seed, i, orig[i], back[i])
+			}
+		}
+	}
+}
+
+func TestReadVCDErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"wide var", "$var wire 8 ! bus $end\n$enddefinitions $end\n#0\n"},
+		{"malformed var", "$var wire $end\n"},
+		{"bad timestamp", "$enddefinitions $end\n#zz\n"},
+		{"backwards time", "$var wire 1 ! a $end\n$enddefinitions $end\n#5\n#2\n"},
+		{"unknown code", "$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1Z\n"},
+		{"change before defs", "1!\n"},
+		{"garbage", "$var wire 1 ! a $end\n$enddefinitions $end\nxyz\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadVCD(strings.NewReader(tc.src), nil); err == nil {
+				t.Errorf("accepted: %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestReadVCDEmpty(t *testing.T) {
+	tr, err := ReadVCD(strings.NewReader("$enddefinitions $end\n"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 0 {
+		t.Errorf("empty VCD produced %d ticks", len(tr))
+	}
+}

@@ -1,0 +1,103 @@
+package verif
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Bank runs a whole verification plan — many monitors, possibly in
+// different modes — over one input stream, with per-monitor coverage.
+// This is the executable form of the paper's "verification plan
+// consisting of different scenarios specified as CESCs".
+type Bank struct {
+	names   []string
+	engines []*CoveredEngine
+}
+
+// NewBank returns an empty bank.
+func NewBank() *Bank { return &Bank{} }
+
+// Add registers a monitor under a display name and returns its engine
+// for detailed inspection. Diagnostics are armed for assert mode.
+func (b *Bank) Add(name string, m *monitor.Monitor, mode monitor.Mode) *CoveredEngine {
+	eng := NewCoveredEngine(m, nil, mode)
+	if mode == monitor.ModeAssert {
+		eng.EnableDiagnostics(8)
+	}
+	b.names = append(b.names, name)
+	b.engines = append(b.engines, eng)
+	return eng
+}
+
+// Len reports the number of registered monitors.
+func (b *Bank) Len() int { return len(b.engines) }
+
+// Step feeds one trace element to every monitor.
+func (b *Bank) Step(s event.State) {
+	for _, eng := range b.engines {
+		eng.Step(s)
+	}
+}
+
+// Run feeds a whole trace to every monitor.
+func (b *Bank) Run(tr trace.Trace) {
+	for _, s := range tr {
+		b.Step(s)
+	}
+}
+
+// Engine returns the engine registered under name (nil if unknown).
+func (b *Bank) Engine(name string) *CoveredEngine {
+	for i, n := range b.names {
+		if n == name {
+			return b.engines[i]
+		}
+	}
+	return nil
+}
+
+// Failed reports whether any monitor recorded a violation.
+func (b *Bank) Failed() bool {
+	for _, eng := range b.engines {
+		if eng.Stats().Violations > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders one line per monitor: accepts, violations, coverage.
+func (b *Bank) Summary() string {
+	var sb strings.Builder
+	width := 0
+	for _, n := range b.names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for i, n := range b.names {
+		st := b.engines[i].Stats()
+		verdict := "PASS"
+		if st.Violations > 0 {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%-*s accepts=%-6d violations=%-5d statecov=%.2f transcov=%.2f %s\n",
+			width, n, st.Accepts, st.Violations,
+			b.engines[i].Cov.StateCoverage(), b.engines[i].Cov.TransitionCoverage(), verdict)
+	}
+	return sb.String()
+}
+
+// AttachBank wires the bank to a simulator clock domain.
+func AttachBank(s *sim.Simulator, domain string, b *Bank) {
+	s.Observe(sim.ObserverFunc(func(t trace.GlobalTick) {
+		if t.Domain == domain {
+			b.Step(t.State)
+		}
+	}))
+}

@@ -1,0 +1,91 @@
+package verif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func TestBankRunsPlan(t *testing.T) {
+	read, err := synth.Translate(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, err := synth.Translate(ocp.WriteChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBank()
+	b.Add("simple_read", read, monitor.ModeDetect)
+	b.Add("simple_write", write, monitor.ModeDetect)
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	// Read-only traffic: the read monitor detects, the write monitor
+	// stays silent.
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 91}).GenerateTrace(500)
+	b.Run(tr)
+	if b.Engine("simple_read").Stats().Accepts == 0 {
+		t.Error("read monitor detected nothing")
+	}
+	if got := b.Engine("simple_write").Stats().Accepts; got != 0 {
+		t.Errorf("write monitor detected %d on read traffic", got)
+	}
+	if b.Engine("nosuch") != nil {
+		t.Error("unknown engine lookup returned non-nil")
+	}
+	sum := b.Summary()
+	for _, want := range []string{"simple_read", "simple_write", "PASS"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	if b.Failed() {
+		t.Error("detect-mode bank reported failure")
+	}
+}
+
+func TestBankFlagsFailures(t *testing.T) {
+	read, err := synth.Translate(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBank()
+	eng := b.Add("read_assert", read, monitor.ModeAssert)
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 92, FaultRate: 1,
+		FaultKinds: []ocp.FaultKind{ocp.FaultDropResponse}}).GenerateTrace(300)
+	b.Run(tr)
+	if !b.Failed() {
+		t.Fatal("bank did not flag violations")
+	}
+	if len(eng.Diagnostics()) == 0 {
+		t.Error("assert-mode bank entry has no diagnostics")
+	}
+	if !strings.Contains(b.Summary(), "FAIL") {
+		t.Errorf("summary lacks FAIL:\n%s", b.Summary())
+	}
+}
+
+func TestAttachBankToSimulator(t *testing.T) {
+	read, err := synth.Translate(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBank()
+	b.Add("read", read, monitor.ModeDetect)
+	s := sim.New()
+	d := s.MustAddDomain("ocp_clk", 1, 0)
+	model := ocp.NewModel(ocp.Config{Gap: 2, Seed: 93})
+	d.AddProcess(model.Process())
+	AttachBank(s, "ocp_clk", b)
+	if err := s.RunUntil(400); err != nil {
+		t.Fatal(err)
+	}
+	if b.Engine("read").Stats().Accepts < model.Issued()-1 {
+		t.Errorf("bank accepts = %d for %d issued", b.Engine("read").Stats().Accepts, model.Issued())
+	}
+}

@@ -1,0 +1,193 @@
+package verif
+
+import (
+	"fmt"
+
+	"repro/internal/amba"
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// Report summarizes a fault-injection campaign (experiments E6-E8, E12):
+// a protocol model generates a long run with a configurable fraction of
+// faulty transactions, and the synthesized monitor's detections are
+// compared against the injected ground truth.
+type Report struct {
+	// Cycles is the simulated cycle count.
+	Cycles int
+	// Transactions and Faulted come from the model's ground truth.
+	Transactions, Faulted int
+	// Accepts is the number of scenario windows the monitor detected.
+	Accepts int
+	// Violations is the assert-mode violation count.
+	Violations int
+	// ScoreboardOps counts Add/Del operations performed.
+	ScoreboardOps uint64
+	// StateCoverage and TransitionCoverage are the monitor's structural
+	// coverage over the campaign.
+	StateCoverage, TransitionCoverage float64
+	// Diagnostics holds violation reports (assert mode, capped).
+	Diagnostics []monitor.Diagnostic
+}
+
+// Clean returns the number of fault-free transactions.
+func (r Report) Clean() int { return r.Transactions - r.Faulted }
+
+// DetectionRate is the fraction of clean transactions detected (a
+// correct detector scores 1.0: every clean transaction's window is
+// found, and no faulty transaction produces one).
+func (r Report) DetectionRate() float64 {
+	if r.Clean() == 0 {
+		return 0
+	}
+	return float64(r.Accepts) / float64(r.Clean())
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("cycles=%d transactions=%d faulted=%d accepts=%d violations=%d detection=%.3f sbops=%d statecov=%.2f transcov=%.2f",
+		r.Cycles, r.Transactions, r.Faulted, r.Accepts, r.Violations, r.DetectionRate(),
+		r.ScoreboardOps, r.StateCoverage, r.TransitionCoverage)
+}
+
+// groundTruth is the model-side interface campaigns need.
+type groundTruth interface {
+	Step() event.State
+	Issued() int
+	Faulted() int
+}
+
+// runCampaign drives any model against a synthesized monitor with
+// coverage collection and (in assert mode) violation diagnostics.
+func runCampaign(mon *monitor.Monitor, model groundTruth, cycles int, mode monitor.Mode) Report {
+	eng := NewCoveredEngine(mon, nil, mode)
+	if mode == monitor.ModeAssert {
+		eng.EnableDiagnostics(8)
+	}
+	for i := 0; i < cycles; i++ {
+		eng.Step(model.Step())
+	}
+	st := eng.Stats()
+	return Report{
+		Cycles:             cycles,
+		Transactions:       model.Issued(),
+		Faulted:            model.Faulted(),
+		Accepts:            st.Accepts,
+		Violations:         st.Violations,
+		ScoreboardOps:      eng.Scoreboard().Ops(),
+		StateCoverage:      eng.Cov.StateCoverage(),
+		TransitionCoverage: eng.Cov.TransitionCoverage(),
+		Diagnostics:        eng.Diagnostics(),
+	}
+}
+
+// RunOCPCampaign synthesizes the monitor for the OCP chart matching the
+// configuration (simple read, posted write, or pipelined burst read),
+// generates cycles of traffic from the model, and reports detections
+// against ground truth.
+func RunOCPCampaign(cfg ocp.Config, cycles int, mode monitor.Mode) (Report, error) {
+	var ch chart.Chart = ocp.SimpleReadChart()
+	switch {
+	case cfg.Burst:
+		ch = ocp.BurstReadChart()
+	case cfg.Write && cfg.AcceptDelay > 0:
+		ch = ocp.HandshakeChart(cfg.AcceptDelay)
+	case cfg.Write:
+		ch = ocp.WriteChart()
+	}
+	mon, err := synth.Synthesize(ch, nil)
+	if err != nil {
+		return Report{}, err
+	}
+	return runCampaign(mon, ocp.NewModel(cfg), cycles, mode), nil
+}
+
+// RunAMBACampaign is RunOCPCampaign for the AHB CLI transaction charts
+// (write by default, read when cfg.Read is set).
+func RunAMBACampaign(cfg amba.Config, cycles int, mode monitor.Mode) (Report, error) {
+	ch := amba.TransactionChart()
+	if cfg.Read {
+		ch = amba.ReadChart()
+	}
+	mon, err := synth.Translate(ch, nil)
+	if err != nil {
+		return Report{}, err
+	}
+	return runCampaign(mon, amba.NewModel(cfg), cycles, mode), nil
+}
+
+// ParityResult compares a synthesized monitor against a manual baseline
+// on the same trace (experiment E10).
+type ParityResult struct {
+	SynthAccepts  []int
+	ManualAccepts []int
+}
+
+// Agree reports whether both detectors accepted at identical ticks.
+func (p ParityResult) Agree() bool {
+	if len(p.SynthAccepts) != len(p.ManualAccepts) {
+		return false
+	}
+	for i := range p.SynthAccepts {
+		if p.SynthAccepts[i] != p.ManualAccepts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OCPSimpleReadParity runs the synthesized Fig. 6 monitor and the manual
+// checker over the same trace.
+func OCPSimpleReadParity(tr trace.Trace) (ParityResult, error) {
+	mon, err := synth.Translate(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		return ParityResult{}, err
+	}
+	eng := monitor.NewEngine(mon, nil, monitor.ModeDetect)
+	manual := &ManualOCPSimpleRead{}
+	res := ParityResult{
+		SynthAccepts: EngineAcceptTicks(eng, tr),
+		ManualAccepts: AcceptTicks(tr, func(i int) bool {
+			return manual.Step(tr[i])
+		}),
+	}
+	return res, nil
+}
+
+// OCPBurstReadParity is the Fig. 7 counterpart.
+func OCPBurstReadParity(tr trace.Trace) (ParityResult, error) {
+	mon, err := synth.Translate(ocp.BurstReadChart(), nil)
+	if err != nil {
+		return ParityResult{}, err
+	}
+	eng := monitor.NewEngine(mon, nil, monitor.ModeDetect)
+	manual := &ManualOCPBurstRead{}
+	res := ParityResult{
+		SynthAccepts: EngineAcceptTicks(eng, tr),
+		ManualAccepts: AcceptTicks(tr, func(i int) bool {
+			return manual.Step(tr[i])
+		}),
+	}
+	return res, nil
+}
+
+// AHBTransactionParity is the Fig. 8 counterpart.
+func AHBTransactionParity(tr trace.Trace) (ParityResult, error) {
+	mon, err := synth.Translate(amba.TransactionChart(), nil)
+	if err != nil {
+		return ParityResult{}, err
+	}
+	eng := monitor.NewEngine(mon, nil, monitor.ModeDetect)
+	manual := &ManualAHBTransaction{}
+	res := ParityResult{
+		SynthAccepts: EngineAcceptTicks(eng, tr),
+		ManualAccepts: AcceptTicks(tr, func(i int) bool {
+			return manual.Step(tr[i])
+		}),
+	}
+	return res, nil
+}

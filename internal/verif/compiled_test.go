@@ -1,0 +1,63 @@
+package verif
+
+import (
+	"testing"
+
+	"repro/internal/amba"
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/synth"
+)
+
+// TestCompiledParityCaseStudies: the table-driven fast path and the
+// interpreted engine accept at identical ticks on every case-study
+// monitor over mixed clean/faulty traffic.
+func TestCompiledParityCaseStudies(t *testing.T) {
+	cases := []struct {
+		name  string
+		chart chart.Chart
+		trace func() []event.State
+	}{
+		{"ocp-simple", ocp.SimpleReadChart(), func() []event.State {
+			return ocp.NewModel(ocp.Config{Gap: 1, Seed: 101, FaultRate: 0.3}).GenerateTrace(3000)
+		}},
+		{"ocp-burst", ocp.BurstReadChart(), func() []event.State {
+			return ocp.NewModel(ocp.Config{Gap: 1, Seed: 102, FaultRate: 0.3, Burst: true}).GenerateTrace(3000)
+		}},
+		{"ocp-write", ocp.WriteChart(), func() []event.State {
+			return ocp.NewModel(ocp.Config{Gap: 1, Seed: 103, FaultRate: 0.3, Write: true}).GenerateTrace(3000)
+		}},
+		{"ahb-write", amba.TransactionChart(), func() []event.State {
+			return amba.NewModel(amba.Config{Gap: 1, Seed: 104, FaultRate: 0.3}).GenerateTrace(3000)
+		}},
+		{"ahb-read", amba.ReadChart(), func() []event.State {
+			return amba.NewModel(amba.Config{Gap: 1, Seed: 105, FaultRate: 0.3, Read: true}).GenerateTrace(3000)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := synth.Synthesize(tc.chart, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := monitor.Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+			tr := tc.trace()
+			for i, s := range tr {
+				got := compiled.Step(s)
+				want := eng.Step(s).Outcome == monitor.Accepted
+				if got != want {
+					t.Fatalf("tick %d: compiled=%v engine=%v", i, got, want)
+				}
+			}
+			if compiled.Accepts() == 0 {
+				t.Error("no acceptances exercised")
+			}
+		})
+	}
+}

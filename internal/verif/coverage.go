@@ -1,0 +1,138 @@
+package verif
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/event"
+	"repro/internal/monitor"
+)
+
+// Coverage accumulates structural coverage of a monitor during
+// simulation: which states were visited and which transitions fired.
+// Monitor coverage is the standard closure metric of assertion-based
+// verification — an uncovered transition means the stimuli never
+// exercised that leg of the specified scenario.
+type Coverage struct {
+	m         *monitor.Monitor
+	stateHits []uint64
+	transHits [][]uint64
+	uncovered uint64 // hard resets (inputs no transition covered)
+}
+
+// NewCoverage returns a collector for m.
+func NewCoverage(m *monitor.Monitor) *Coverage {
+	c := &Coverage{
+		m:         m,
+		stateHits: make([]uint64, m.States),
+		transHits: make([][]uint64, m.States),
+	}
+	for s := range c.transHits {
+		c.transHits[s] = make([]uint64, len(m.Trans[s]))
+	}
+	// The initial state is occupied before any step.
+	c.stateHits[m.Initial]++
+	return c
+}
+
+// Record accumulates one step result.
+func (c *Coverage) Record(res monitor.StepResult) {
+	c.stateHits[res.To]++
+	if res.TransIndex >= 0 {
+		c.transHits[res.From][res.TransIndex]++
+	} else {
+		c.uncovered++
+	}
+}
+
+// CoveredEngine wraps an engine so every step feeds the collector.
+type CoveredEngine struct {
+	*monitor.Engine
+	Cov *Coverage
+}
+
+// NewCoveredEngine builds an engine plus collector for m.
+func NewCoveredEngine(m *monitor.Monitor, sb *monitor.Scoreboard, mode monitor.Mode) *CoveredEngine {
+	return &CoveredEngine{
+		Engine: monitor.NewEngine(m, sb, mode),
+		Cov:    NewCoverage(m),
+	}
+}
+
+// Step consumes one element, recording coverage.
+func (e *CoveredEngine) Step(s event.State) monitor.StepResult {
+	res := e.Engine.Step(s)
+	e.Cov.Record(res)
+	return res
+}
+
+// Run consumes a trace, recording coverage.
+func (e *CoveredEngine) Run(states []event.State) monitor.Stats {
+	for _, s := range states {
+		e.Step(s)
+	}
+	return e.Engine.Stats()
+}
+
+// StateCoverage returns the fraction of states visited at least once.
+func (c *Coverage) StateCoverage() float64 {
+	hit := 0
+	for _, n := range c.stateHits {
+		if n > 0 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(c.stateHits))
+}
+
+// TransitionCoverage returns the fraction of transitions fired at least
+// once (1.0 for a monitor with no transitions).
+func (c *Coverage) TransitionCoverage() float64 {
+	total, hit := 0, 0
+	for s := range c.transHits {
+		for _, n := range c.transHits[s] {
+			total++
+			if n > 0 {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}
+
+// UncoveredTransitions lists "state N on GUARD" for every transition that
+// never fired, in state order.
+func (c *Coverage) UncoveredTransitions() []string {
+	var out []string
+	for s := range c.transHits {
+		for i, n := range c.transHits[s] {
+			if n == 0 {
+				out = append(out, fmt.Sprintf("state %d on %s", s, c.m.Trans[s][i].Guard))
+			}
+		}
+	}
+	return out
+}
+
+// HardResets counts inputs no transition covered.
+func (c *Coverage) HardResets() uint64 { return c.uncovered }
+
+// Report renders a human-readable coverage summary.
+func (c *Coverage) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "coverage of monitor %s: states %.1f%%, transitions %.1f%%\n",
+		c.m.Name, 100*c.StateCoverage(), 100*c.TransitionCoverage())
+	if un := c.UncoveredTransitions(); len(un) > 0 {
+		b.WriteString("uncovered transitions:\n")
+		for _, u := range un {
+			fmt.Fprintf(&b, "  %s\n", u)
+		}
+	}
+	if c.uncovered > 0 {
+		fmt.Fprintf(&b, "hard resets (inputs outside every guard): %d\n", c.uncovered)
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package verif
+
+import (
+	"repro/internal/amba"
+	"repro/internal/event"
+	"repro/internal/ocp"
+)
+
+// The manual monitors below are the baseline the paper argues against:
+// checkers hand-written in a native language for each scenario. They are
+// written the way a verification engineer would write them — explicit
+// state variables and if-ladders — and are compared against the
+// synthesized monitors for accept-tick parity (experiment E10) and
+// throughput (BenchmarkBaseline*).
+
+// ManualOCPSimpleRead detects the Fig. 6 scenario: request+address+accept
+// on one cycle, response+data on the next.
+type ManualOCPSimpleRead struct {
+	pending bool
+	accepts int
+}
+
+// Step consumes one cycle, reporting whether the scenario completed here.
+func (m *ManualOCPSimpleRead) Step(s event.State) bool {
+	hit := false
+	if m.pending && s.Event(ocp.EvSResp) && s.Event(ocp.EvSData) {
+		m.accepts++
+		hit = true
+	}
+	m.pending = s.Event(ocp.EvMCmdRd) && s.Event(ocp.EvAddr) && s.Event(ocp.EvSCmdAccept)
+	return hit
+}
+
+// Accepts counts detected scenarios.
+func (m *ManualOCPSimpleRead) Accepts() int { return m.accepts }
+
+// ManualOCPBurstRead detects the Fig. 7 pipelined burst read of length 4.
+type ManualOCPBurstRead struct {
+	// stage is the number of consecutive matching cycles seen (0..6).
+	stage   int
+	accepts int
+}
+
+// Step consumes one cycle.
+func (m *ManualOCPBurstRead) Step(s event.State) bool {
+	resp := s.Event(ocp.EvSResp) && s.Event(ocp.EvSData)
+	req := func(burst string) bool {
+		return s.Event(ocp.EvBMCmdRd) && s.Event(burst) && s.Event(ocp.EvAddr)
+	}
+	anchor := req(ocp.EvBurst4) && s.Event(ocp.EvSCmdAccept)
+	var ok bool
+	switch m.stage {
+	case 0:
+		ok = anchor
+	case 1:
+		ok = req(ocp.EvBurst3)
+	case 2:
+		ok = req(ocp.EvBurst2) && resp
+	case 3:
+		ok = req(ocp.EvBurst1) && resp
+	case 4, 5:
+		ok = resp
+	}
+	if ok {
+		m.stage++
+		if m.stage == 6 {
+			m.accepts++
+			m.stage = 0
+			return true
+		}
+		return false
+	}
+	// Mismatch: maybe this cycle anchors a new attempt.
+	if anchor {
+		m.stage = 1
+	} else {
+		m.stage = 0
+	}
+	return false
+}
+
+// Accepts counts detected scenarios.
+func (m *ManualOCPBurstRead) Accepts() int { return m.accepts }
+
+// ManualAHBTransaction detects the Fig. 8 AHB CLI write transaction.
+type ManualAHBTransaction struct {
+	stage   int
+	accepts int
+}
+
+// Step consumes one bus cycle.
+func (m *ManualAHBTransaction) Step(s event.State) bool {
+	setup := s.Event(amba.EvInitTransaction) && s.Event(amba.EvMasterComplete) &&
+		s.Event(amba.EvGetSlave) && s.Event(amba.EvWrite) && s.Event(amba.EvControlInfo)
+	data := s.Event(amba.EvMasterSetData) && s.Event(amba.EvMasterComplete) &&
+		s.Event(amba.EvBusSetData) && s.Event(amba.EvBusResponse)
+	resp := s.Event(amba.EvMasterResponse)
+	var ok bool
+	switch m.stage {
+	case 0:
+		ok = setup
+	case 1:
+		ok = data
+	case 2:
+		ok = resp
+	}
+	if ok {
+		m.stage++
+		if m.stage == 3 {
+			m.accepts++
+			m.stage = 0
+			return true
+		}
+		return false
+	}
+	if setup {
+		m.stage = 1
+	} else {
+		m.stage = 0
+	}
+	return false
+}
+
+// Accepts counts detected transactions.
+func (m *ManualAHBTransaction) Accepts() int { return m.accepts }

@@ -1,0 +1,74 @@
+package verif
+
+import (
+	"testing"
+
+	"repro/internal/amba"
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+)
+
+// TestSoakMixedFaultCampaigns is experiment E12: long randomized runs
+// with per-kind fault injection across every scenario; the invariants
+// are exact detection accounting (accepts track clean transactions,
+// in-window faults produce violations, no false accepts).
+func TestSoakMixedFaultCampaigns(t *testing.T) {
+	cycles := 20000
+	if testing.Short() {
+		cycles = 3000
+	}
+	type cfg struct {
+		name string
+		run  func(seed int64) (Report, error)
+	}
+	cases := []cfg{
+		{"ocp-read", func(seed int64) (Report, error) {
+			return RunOCPCampaign(ocp.Config{Gap: 1, Seed: seed, FaultRate: 0.25}, cycles, monitor.ModeAssert)
+		}},
+		{"ocp-burst", func(seed int64) (Report, error) {
+			return RunOCPCampaign(ocp.Config{Gap: 1, Seed: seed, FaultRate: 0.25, Burst: true}, cycles, monitor.ModeAssert)
+		}},
+		{"ocp-write", func(seed int64) (Report, error) {
+			return RunOCPCampaign(ocp.Config{Gap: 1, Seed: seed, FaultRate: 0.25, Write: true}, cycles, monitor.ModeAssert)
+		}},
+		{"ahb-write", func(seed int64) (Report, error) {
+			return RunAMBACampaign(amba.Config{Gap: 1, Seed: seed, FaultRate: 0.25}, cycles, monitor.ModeAssert)
+		}},
+		{"ahb-read", func(seed int64) (Report, error) {
+			return RunAMBACampaign(amba.Config{Gap: 1, Seed: seed, FaultRate: 0.25, Read: true}, cycles, monitor.ModeAssert)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				rep, err := tc.run(seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Transactions < 100 {
+					t.Fatalf("seed %d: only %d transactions", seed, rep.Transactions)
+				}
+				if rep.Faulted == 0 {
+					t.Fatalf("seed %d: no faults injected", seed)
+				}
+				// No false accepts: every detection corresponds to a
+				// clean transaction (modulo the horizon-cut final one).
+				if rep.Accepts > rep.Clean() {
+					t.Errorf("seed %d: accepts %d > clean %d", seed, rep.Accepts, rep.Clean())
+				}
+				// No missed clean windows.
+				if rep.Accepts < rep.Clean()-1 {
+					t.Errorf("seed %d: accepts %d < clean-1 %d", seed, rep.Accepts, rep.Clean()-1)
+				}
+				// Faults that start a window must be flagged.
+				if rep.Violations == 0 {
+					t.Errorf("seed %d: no violations despite %d faulted transactions", seed, rep.Faulted)
+				}
+				// Assert-mode campaigns carry diagnostics.
+				if len(rep.Diagnostics) == 0 {
+					t.Errorf("seed %d: no diagnostics recorded", seed)
+				}
+			}
+		})
+	}
+}

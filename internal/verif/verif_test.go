@@ -1,0 +1,204 @@
+package verif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/amba"
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// TestBaselineParitySimpleRead is experiment E10: the synthesized Fig. 6
+// monitor and the hand-written checker accept at identical ticks, on
+// clean and on fault-injected traffic.
+func TestBaselineParitySimpleRead(t *testing.T) {
+	for _, cfg := range []ocp.Config{
+		{Gap: 2, Seed: 1},
+		{Gap: 0, Seed: 2},
+		{Gap: 1, Seed: 3, FaultRate: 0.4},
+	} {
+		tr := ocp.NewModel(cfg).GenerateTrace(500)
+		res, err := OCPSimpleReadParity(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agree() {
+			t.Errorf("cfg %+v: synth %v != manual %v", cfg, res.SynthAccepts, res.ManualAccepts)
+		}
+	}
+}
+
+func TestBaselineParityBurstRead(t *testing.T) {
+	for _, cfg := range []ocp.Config{
+		{Gap: 2, Seed: 4, Burst: true},
+		{Gap: 0, Seed: 5, Burst: true},
+		{Gap: 1, Seed: 6, Burst: true, FaultRate: 0.4},
+	} {
+		tr := ocp.NewModel(cfg).GenerateTrace(800)
+		res, err := OCPBurstReadParity(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agree() {
+			t.Errorf("cfg %+v: synth %v != manual %v", cfg, res.SynthAccepts, res.ManualAccepts)
+		}
+	}
+}
+
+func TestBaselineParityAHB(t *testing.T) {
+	for _, cfg := range []amba.Config{
+		{Gap: 2, Seed: 7},
+		{Gap: 0, Seed: 8},
+		{Gap: 1, Seed: 9, FaultRate: 0.4},
+	} {
+		tr := amba.NewModel(cfg).GenerateTrace(600)
+		res, err := AHBTransactionParity(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Agree() {
+			t.Errorf("cfg %+v: synth %v != manual %v", cfg, res.SynthAccepts, res.ManualAccepts)
+		}
+	}
+}
+
+// TestCampaignCleanTrafficFullDetection: with no faults, every completed
+// transaction is detected (detection rate ~1 modulo the horizon cutoff).
+func TestCampaignCleanTrafficFullDetection(t *testing.T) {
+	rep, err := RunOCPCampaign(ocp.Config{Gap: 2, Seed: 10}, 1000, monitor.ModeDetect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faulted != 0 {
+		t.Errorf("faulted = %d", rep.Faulted)
+	}
+	if rep.Accepts < rep.Transactions-1 {
+		t.Errorf("accepts %d < transactions-1 %d", rep.Accepts, rep.Transactions-1)
+	}
+	if rep.DetectionRate() < 0.99 {
+		t.Errorf("detection rate = %.3f", rep.DetectionRate())
+	}
+	if !strings.Contains(rep.String(), "detection=") {
+		t.Errorf("report string = %q", rep)
+	}
+}
+
+// TestCampaignFaultsReduceDetections: faulty transactions never produce
+// scenario windows, so accepts track the clean count.
+func TestCampaignFaultsReduceDetections(t *testing.T) {
+	rep, err := RunOCPCampaign(ocp.Config{Gap: 2, Seed: 11, FaultRate: 0.5}, 2000, monitor.ModeDetect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faulted == 0 {
+		t.Fatal("no faults injected at rate 0.5")
+	}
+	if rep.Accepts > rep.Clean() {
+		t.Errorf("accepts %d exceed clean transactions %d", rep.Accepts, rep.Clean())
+	}
+	if rep.Accepts < rep.Clean()-1 {
+		t.Errorf("accepts %d below clean-1 %d: clean windows missed", rep.Accepts, rep.Clean()-1)
+	}
+}
+
+// TestCampaignAssertModeFlagsFaults is experiment E12's kernel: in
+// assert mode the faulty transactions surface as violations.
+func TestCampaignAssertModeFlagsFaults(t *testing.T) {
+	rep, err := RunAMBACampaign(amba.Config{Gap: 2, Seed: 12, FaultRate: 1}, 1500, monitor.ModeAssert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 {
+		t.Error("assert mode reported no violations for all-faulty traffic")
+	}
+	if rep.Accepts != 0 {
+		t.Errorf("accepts = %d for all-faulty traffic", rep.Accepts)
+	}
+}
+
+func TestCampaignBurst(t *testing.T) {
+	rep, err := RunOCPCampaign(ocp.Config{Gap: 3, Seed: 13, Burst: true}, 2000, monitor.ModeDetect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Transactions < 50 {
+		t.Errorf("only %d bursts in 2000 cycles", rep.Transactions)
+	}
+	if rep.DetectionRate() < 0.99 {
+		t.Errorf("burst detection rate = %.3f", rep.DetectionRate())
+	}
+	if rep.ScoreboardOps == 0 {
+		t.Error("burst campaign performed no scoreboard operations")
+	}
+}
+
+// TestAttachRoutesOnlyOwnDomain: a monitor attached to one domain never
+// sees another domain's ticks.
+func TestAttachRoutesOnlyOwnDomain(t *testing.T) {
+	s := sim.New()
+	d1 := s.MustAddDomain("ocp_clk", 1, 0)
+	s.MustAddDomain("other", 1, 0)
+	model := ocp.NewModel(ocp.Config{Gap: 2, Seed: 14})
+	d1.AddProcess(model.Process())
+
+	mon, err := synth.Translate(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := monitor.NewEngine(mon, nil, monitor.ModeDetect)
+	Attach(s, "ocp_clk", eng)
+	if err := s.RunUntil(300); err != nil {
+		t.Fatal(err)
+	}
+	// 301 ticks of ocp_clk only; the `other` domain contributed nothing.
+	if got := eng.Stats().Steps; got != 301 {
+		t.Errorf("engine stepped %d times, want 301", got)
+	}
+	if eng.Stats().Accepts < model.Issued()-1 {
+		t.Errorf("accepts = %d for %d issued", eng.Stats().Accepts, model.Issued())
+	}
+}
+
+// TestFlowEndToEnd is experiment E4: the full Figure 4 flow — textual
+// CESC in, synthesized monitor attached to a running simulation, verdict
+// out — exercised through the readproto system (multi-clock) in
+// mclock_test and here through the single-clock OCP path.
+func TestFlowEndToEnd(t *testing.T) {
+	s := sim.New()
+	d := s.MustAddDomain("ocp_clk", 1, 0)
+	model := ocp.NewModel(ocp.Config{Gap: 1, Seed: 15})
+	d.AddProcess(model.Process())
+	mon, err := synth.Translate(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := monitor.NewEngine(mon, nil, monitor.ModeDetect)
+	Attach(s, "ocp_clk", eng)
+	if err := s.RunUntil(500); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().Accepts == 0 {
+		t.Fatal("flow produced no detections")
+	}
+}
+
+func TestEngineAcceptTicksHelper(t *testing.T) {
+	mon, err := synth.Translate(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ocp.NewModel(ocp.Config{Gap: 3, Seed: 16}).GenerateTrace(60)
+	eng := monitor.NewEngine(mon, nil, monitor.ModeDetect)
+	ticks := EngineAcceptTicks(eng, tr)
+	if len(ticks) == 0 {
+		t.Fatal("no accept ticks")
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Error("accept ticks not increasing")
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package wavein imports ASCII timing diagrams — the notation the paper
+// discusses as the industry's informal lingua franca (Section 2, [6,15])
+// — as traces and as CESC charts. A waveform is a table of binary
+// signals:
+//
+//	clk     : 0101010101
+//	MCmd_rd : 0110000000
+//	Addr    : 0110000000
+//	SResp   : 0000110000
+//
+// Columns are samples. When a `clk` row is present, one trace tick is
+// taken per rising edge (a 0->1 column pair) with the other signals
+// sampled at the edge column; without a clock row every column is a
+// tick. Signals named in the prop set become propositions; the rest are
+// events.
+//
+// ToChart turns a waveform directly into an SCESC: each tick's high
+// events become the grid line's markers, so a drawn scenario becomes a
+// synthesizable specification — the "formalize the timing diagram"
+// workflow CESC subsumes.
+package wavein
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// Waveform is a parsed timing diagram.
+type Waveform struct {
+	// Order lists signal names in declaration order (clock excluded).
+	Order []string
+	// Samples maps signal name to its per-column bits.
+	Samples map[string][]bool
+	// Width is the number of columns.
+	Width int
+	// ClockName is the detected clock row ("" when absent).
+	ClockName string
+	clock     []bool
+}
+
+// ClockNames are row names recognized as the sampling clock.
+var ClockNames = map[string]bool{"clk": true, "clock": true, "CLK": true}
+
+// Parse reads the table. Rows are `name : bits` with '.', '_' and '0'
+// all meaning low and '1' meaning high ('.' and '_' make hand-drawn
+// waveforms readable). Blank lines and // comments are skipped.
+func Parse(src string) (*Waveform, error) {
+	w := &Waveform{Samples: map[string][]bool{}, Width: -1}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		name, bitsrc, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("wavein: line %d: expected `name : bits`, got %q", ln+1, line)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("wavein: line %d: empty signal name", ln+1)
+		}
+		bitsrc = strings.Map(func(r rune) rune {
+			if r == ' ' || r == '\t' {
+				return -1
+			}
+			return r
+		}, bitsrc)
+		bits := make([]bool, 0, len(bitsrc))
+		for _, c := range bitsrc {
+			switch c {
+			case '1':
+				bits = append(bits, true)
+			case '0', '.', '_':
+				bits = append(bits, false)
+			default:
+				return nil, fmt.Errorf("wavein: line %d: bad waveform character %q", ln+1, string(c))
+			}
+		}
+		if w.Width == -1 {
+			w.Width = len(bits)
+		} else if len(bits) != w.Width {
+			return nil, fmt.Errorf("wavein: line %d: signal %q has %d columns, want %d",
+				ln+1, name, len(bits), w.Width)
+		}
+		if ClockNames[name] {
+			if w.ClockName != "" {
+				return nil, fmt.Errorf("wavein: line %d: second clock row %q", ln+1, name)
+			}
+			w.ClockName = name
+			w.clock = bits
+			continue
+		}
+		if _, dup := w.Samples[name]; dup {
+			return nil, fmt.Errorf("wavein: line %d: duplicate signal %q", ln+1, name)
+		}
+		w.Order = append(w.Order, name)
+		w.Samples[name] = bits
+	}
+	if w.Width <= 0 {
+		return nil, fmt.Errorf("wavein: no waveform rows")
+	}
+	if len(w.Order) == 0 {
+		return nil, fmt.Errorf("wavein: no data signals (only a clock row)")
+	}
+	return w, nil
+}
+
+// tickColumns returns the column index sampled for each trace tick.
+func (w *Waveform) tickColumns() []int {
+	if w.ClockName == "" {
+		cols := make([]int, w.Width)
+		for i := range cols {
+			cols[i] = i
+		}
+		return cols
+	}
+	var cols []int
+	for i := 1; i < w.Width; i++ {
+		if w.clock[i] && !w.clock[i-1] {
+			cols = append(cols, i)
+		}
+	}
+	return cols
+}
+
+// Ticks reports the number of trace ticks the waveform yields.
+func (w *Waveform) Ticks() int { return len(w.tickColumns()) }
+
+// ToTrace samples the waveform into a trace. Names in props become
+// propositions; everything else is an event.
+func (w *Waveform) ToTrace(props map[string]bool) trace.Trace {
+	cols := w.tickColumns()
+	out := make(trace.Trace, len(cols))
+	for t, col := range cols {
+		s := event.NewState()
+		for _, name := range w.Order {
+			if !w.Samples[name][col] {
+				continue
+			}
+			if props[name] {
+				s.Props[name] = true
+			} else {
+				s.Events[name] = true
+			}
+		}
+		out[t] = s
+	}
+	return out
+}
+
+// ChartOptions configures ToChart.
+type ChartOptions struct {
+	// Name and Clock label the produced SCESC (Clock defaults to the
+	// waveform's clock row name or "clk").
+	Name, Clock string
+	// Props lists signal names to treat as grid-line conditions
+	// (propositions) rather than events.
+	Props map[string]bool
+	// RequireAbsence adds a negated marker for every low event signal,
+	// making the chart demand exactly the drawn activity; the default
+	// leaves low signals unconstrained.
+	RequireAbsence bool
+}
+
+// ToChart formalizes the waveform as an SCESC: one grid line per tick,
+// with markers for the signals high at that tick.
+func (w *Waveform) ToChart(opts ChartOptions) (*chart.SCESC, error) {
+	clock := opts.Clock
+	if clock == "" {
+		clock = w.ClockName
+	}
+	if clock == "" {
+		clock = "clk"
+	}
+	name := opts.Name
+	if name == "" {
+		name = "waveform"
+	}
+	sc := &chart.SCESC{ChartName: name, Clock: clock}
+	cols := w.tickColumns()
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("wavein: waveform has no clock edges to sample")
+	}
+	for _, col := range cols {
+		var line chart.GridLine
+		for _, sig := range w.Order {
+			high := w.Samples[sig][col]
+			if opts.Props[sig] {
+				lit := expr.Expr(expr.Pr(sig))
+				switch {
+				case high:
+					line.Cond = expr.And(line.Cond, lit)
+				case opts.RequireAbsence:
+					line.Cond = expr.And(line.Cond, expr.Not(lit))
+				}
+				continue
+			}
+			if high {
+				line.Events = append(line.Events, chart.EventSpec{Event: sig})
+			} else if opts.RequireAbsence {
+				line.Events = append(line.Events, chart.EventSpec{Event: sig, Negated: true})
+			}
+		}
+		sc.Lines = append(sc.Lines, line)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}

@@ -1,0 +1,169 @@
+package wavein
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/synth"
+)
+
+const ocpWave = `
+// OCP simple read, hand-drawn: request+accept in cycle 1, response in 2.
+clk         : 010101010101
+MCmd_rd     : 001100000011
+Addr        : 001100000011
+SCmd_accept : 001100000011
+SResp       : 000011000000
+SData       : 000011000000
+`
+
+func TestParseWaveform(t *testing.T) {
+	w, err := Parse(ocpWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ClockName != "clk" || w.Width != 12 {
+		t.Fatalf("clock %q width %d", w.ClockName, w.Width)
+	}
+	if len(w.Order) != 5 {
+		t.Fatalf("signals = %v", w.Order)
+	}
+	// Rising edges at columns 1,3,5,7,9,11 -> 6 ticks.
+	if w.Ticks() != 6 {
+		t.Errorf("ticks = %d, want 6", w.Ticks())
+	}
+}
+
+func TestWaveformToTraceMatchesMonitor(t *testing.T) {
+	w, err := Parse(ocpWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.ToTrace(nil)
+	m, err := synth.Translate(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	stats := eng.Run(tr)
+	// The waveform draws one complete transaction (the second request
+	// has no response inside the window).
+	if stats.Accepts != 1 {
+		t.Errorf("accepts = %d, want 1\ntrace:\n%v", stats.Accepts, tr)
+	}
+}
+
+func TestWaveformToChartRoundTrips(t *testing.T) {
+	w, err := Parse(ocpWave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := w.ToChart(ChartOptions{Name: "drawn_read"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Clock != "clk" || len(sc.Lines) != 6 {
+		t.Fatalf("chart shape: clock %q lines %d", sc.Clock, len(sc.Lines))
+	}
+	// The formalized chart's monitor detects the waveform's own trace.
+	m, err := synth.Translate(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	if !eng.Accepts(w.ToTrace(nil)) {
+		t.Error("chart built from the waveform rejects the waveform")
+	}
+}
+
+func TestWaveformNoClockRow(t *testing.T) {
+	w, err := Parse(`
+a : 101
+b : 011
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ClockName != "" || w.Ticks() != 3 {
+		t.Fatalf("clockless waveform: %q %d", w.ClockName, w.Ticks())
+	}
+	tr := w.ToTrace(nil)
+	if !tr[0].Event("a") || tr[0].Event("b") || !tr[2].Event("b") {
+		t.Errorf("trace wrong: %v", tr)
+	}
+}
+
+func TestWaveformPropsAndAbsence(t *testing.T) {
+	w, err := Parse(`
+busy : 10
+go   : 01
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.ToTrace(map[string]bool{"busy": true})
+	if !tr[0].Prop("busy") || tr[0].Event("busy") {
+		t.Error("prop classification wrong")
+	}
+	sc, err := w.ToChart(ChartOptions{
+		Props:          map[string]bool{"busy": true},
+		RequireAbsence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tick 0: busy & !go; tick 1: !busy & go.
+	if got := sc.Lines[0].Expr().String(); got != "!go & busy" {
+		t.Errorf("line 0 = %q", got)
+	}
+	if got := sc.Lines[1].Expr().String(); got != "go & !busy" {
+		t.Errorf("line 1 = %q", got)
+	}
+}
+
+func TestWaveformDotsAndUnderscores(t *testing.T) {
+	w, err := Parse("sig : .._11_..\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.ToTrace(nil)
+	if tr[2].Event("sig") || !tr[3].Event("sig") || !tr[4].Event("sig") || tr[5].Event("sig") {
+		t.Errorf("dot/underscore lows wrong: %v", tr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no colon", "abc\n", "name : bits"},
+		{"empty name", " : 101\n", "empty signal"},
+		{"bad char", "a : 10x\n", "bad waveform"},
+		{"ragged", "a : 101\nb : 10\n", "columns"},
+		{"two clocks", "clk : 01\nclock : 01\na : 11\n", "second clock"},
+		{"dup", "a : 01\na : 10\n", "duplicate"},
+		{"empty", "\n// nothing\n", "no waveform rows"},
+		{"clock only", "clk : 0101\n", "no data signals"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestToChartNoEdges(t *testing.T) {
+	w, err := Parse("clk : 000\nsig : 111\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ToChart(ChartOptions{}); err == nil {
+		t.Error("edge-less waveform produced a chart")
+	}
+}
