@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-json clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verification: build + vet + tests under the race detector.
+check:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable micro-benchmark summary (name, ns/op, allocs/op).
+bench-json:
+	$(GO) run ./cmd/cescbench -json BENCH_local.json
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_local.json

@@ -6,11 +6,15 @@
 // this command gives the one-shot narrative table.
 //
 //	go run ./cmd/cescbench
+//	go run ./cmd/cescbench -json BENCH_seed.json   # machine-readable micro-benchmarks
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"repro/internal/amba"
@@ -25,6 +29,15 @@ import (
 )
 
 func main() {
+	jsonPath := flag.String("json", "", "run the micro-benchmarks and write a machine-readable summary (name, ns/op, allocs/op) to this path instead of the narrative tables")
+	flag.Parse()
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
 	fmt.Println("# CESC monitor synthesis — reproduction summary")
 	fmt.Println()
 	structural()
@@ -32,6 +45,84 @@ func main() {
 	parity()
 	multiclock()
 	ablation()
+}
+
+// benchResult is one row of the -json summary; the fields mirror what
+// `go test -bench` prints so the perf trajectory is machine-readable
+// across PRs.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// writeBenchJSON runs the hot-path micro-benchmarks via testing.Benchmark
+// and writes a BENCH_*.json-style summary.
+func writeBenchJSON(path string) error {
+	traffic := ocp.NewModel(ocp.Config{Gap: 2, Seed: 1}).GenerateTrace(4096)
+	m, err := synth.Synthesize(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		return err
+	}
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"SynthesizeFig6OCPSimpleRead", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := synth.Synthesize(ocp.SimpleReadChart(), nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"EngineStepFig6OCPTraffic", func(b *testing.B) {
+			eng := monitor.NewEngine(m, nil, monitor.ModeDetect)
+			for i := 0; i < b.N; i++ {
+				eng.Step(traffic[i%len(traffic)])
+			}
+		}},
+		{"CompiledStepFig6OCPTraffic", func(b *testing.B) {
+			c, err := monitor.Compile(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				c.Step(traffic[i%len(traffic)])
+			}
+		}},
+		{"ScoreboardAddChkDel", func(b *testing.B) {
+			sb := monitor.NewScoreboard()
+			for i := 0; i < b.N; i++ {
+				sb.Add(int64(i), "e")
+				sb.Chk("e")
+				sb.Del("e")
+			}
+		}},
+	}
+	out := struct {
+		Schema  string        `json:"schema"`
+		Results []benchResult `json:"results"`
+	}{Schema: "cescbench/v1"}
+	for _, bm := range benches {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			bm.fn(b)
+		})
+		out.Results = append(out.Results, benchResult{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func structural() {

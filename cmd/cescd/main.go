@@ -1,0 +1,134 @@
+// Command cescd is the monitor-as-a-service daemon: it loads .cesc
+// specifications, synthesizes their assertion monitors, and serves an
+// HTTP API for streaming valuation ticks against them — the paper's
+// Fig. 4 verification flow turned into a long-running service for live
+// trace streams.
+//
+// Usage:
+//
+//	cescd [flags]
+//
+// Flags:
+//
+//	-addr :8080          listen address
+//	-specs PATH[,PATH]   .cesc files or directories to load at startup
+//	-shards N            worker goroutines (sessions pinned by ID hash)
+//	-queue N             per-shard queue depth in batches (full => 429)
+//	-idle-ttl DUR        evict sessions idle longer than this (0 = never)
+//	-max-batch N         max ticks accepted per request
+//	-tick-delay DUR      artificial per-tick delay (load testing only)
+//
+// Endpoints: GET /healthz, GET /metrics, GET|POST /specs,
+// POST|GET /sessions, GET|DELETE /sessions/{id},
+// POST /sessions/{id}/ticks (NDJSON; ?wait=1),
+// POST /sessions/{id}/vcd (?props=a,b), GET /sessions/{id}/verdicts.
+// See the README "Running cescd" section for the tick format and curl
+// examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	specs := flag.String("specs", "specs", "comma-separated .cesc files or directories to load")
+	shards := flag.Int("shards", 4, "worker goroutines")
+	queue := flag.Int("queue", 64, "per-shard queue depth (batches)")
+	idleTTL := flag.Duration("idle-ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
+	maxBatch := flag.Int("max-batch", 65536, "max ticks per ingest request")
+	tickDelay := flag.Duration("tick-delay", 0, "artificial per-tick delay (load testing only)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Shards:        *shards,
+		QueueDepth:    *queue,
+		MaxBatchTicks: *maxBatch,
+		IdleTTL:       *idleTTL,
+		TickDelay:     *tickDelay,
+	})
+	loaded, err := loadSpecs(srv, *specs)
+	if err != nil {
+		log.Fatalf("cescd: %v", err)
+	}
+	for _, n := range loaded {
+		log.Printf("cescd: loaded spec %s", n)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("cescd: shutting down, draining in-flight ticks")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("cescd: http shutdown: %v", err)
+		}
+		srv.Close()
+	}()
+	log.Printf("cescd: listening on %s (%d shards, queue %d, %d specs)",
+		*addr, *shards, *queue, len(loaded))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("cescd: %v", err)
+	}
+	<-done
+	log.Printf("cescd: drained, bye")
+}
+
+// loadSpecs loads every .cesc file named by the comma-separated list of
+// files and directories. Multi-clock charts load but cannot back
+// sessions; files that fail to compile abort startup.
+func loadSpecs(srv *server.Server, list string) ([]string, error) {
+	var all []string
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		var files []string
+		if info.IsDir() {
+			files, err = filepath.Glob(filepath.Join(p, "*.cesc"))
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			files = []string{p}
+		}
+		for _, f := range files {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			names, err := srv.LoadSpecSource(string(src))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", f, err)
+			}
+			all = append(all, names...)
+		}
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("no specs loaded from %q", list)
+	}
+	return all, nil
+}

@@ -1,0 +1,136 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// TestScoreboardRaceStress hammers one shared Scoreboard from many
+// goroutines, the way local monitors of different clock domains share it
+// in multi-clock execution: each domain goroutine performs its own
+// Add_evt/Del_evt cycles and Chk_evt probes, both on domain-private
+// events and on one cross-domain event that every goroutine reads while
+// one writer mutates it. Run under -race this locks in the mutex
+// contract the shared-scoreboard design relies on; the final-count
+// assertions catch lost updates even without the race detector.
+func TestScoreboardRaceStress(t *testing.T) {
+	const (
+		domains = 8
+		iters   = 2000
+		shared  = "xdomain"
+	)
+	sb := NewScoreboard()
+	var wg sync.WaitGroup
+	for d := 0; d < domains; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			ev := fmt.Sprintf("dom%d_evt", d)
+			for i := 0; i < iters; i++ {
+				sb.Add(int64(i), ev)
+				if !sb.Chk(ev) {
+					t.Errorf("domain %d: own event not live after Add", d)
+					return
+				}
+				// Cross-domain probes while other domains mutate.
+				sb.Chk(shared)
+				sb.Count(shared)
+				if i%64 == 0 {
+					sb.FirstAddedAt(ev)
+					sb.Live()
+				}
+				sb.Del(ev)
+			}
+		}(d)
+	}
+	// One writer cycles the shared event so the readers above race with
+	// genuine mutations; balanced adds/dels leave it empty at the end.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			sb.Add(int64(i), shared)
+			sb.Del(shared)
+		}
+	}()
+	wg.Wait()
+
+	for d := 0; d < domains; d++ {
+		ev := fmt.Sprintf("dom%d_evt", d)
+		if c := sb.Count(ev); c != 0 {
+			t.Errorf("event %s: final count %d, want 0 (lost update)", ev, c)
+		}
+	}
+	if c := sb.Count(shared); c != 0 {
+		t.Errorf("shared event: final count %d, want 0", c)
+	}
+	// Every Add and Del is one op: domains do 2 per iteration each, the
+	// shared writer does 2 per iteration.
+	wantOps := uint64((domains + 1) * iters * 2)
+	if got := sb.Ops(); got != wantOps {
+		t.Errorf("ops = %d, want %d (lost scoreboard operations)", got, wantOps)
+	}
+}
+
+// TestScoreboardConcurrentEngines runs several monitor engines that
+// share one scoreboard — the multi-clock deployment shape — each
+// stepping its own req/resp stream in its own goroutine. Every
+// transition performs Add_evt/Del_evt on both a domain-private event and
+// one cross-domain event, and the resp guard evaluates Chk_evt, so the
+// engines genuinely contend on the shared scoreboard. Engine state is
+// per-engine; -race failures here mean the scoreboard contract broke.
+func TestScoreboardConcurrentEngines(t *testing.T) {
+	const (
+		engines = 6
+		rounds  = 500
+		xpend   = "xpend"
+	)
+	sb := NewScoreboard()
+	var wg sync.WaitGroup
+	accepts := make([]int, engines)
+	for e := 0; e < engines; e++ {
+		req := fmt.Sprintf("req%d", e)
+		resp := fmt.Sprintf("resp%d", e)
+		pend := fmt.Sprintf("pend%d", e)
+		m := New(fmt.Sprintf("eng%d", e), "clk", 3)
+		m.Linear = true
+		m.AddTransition(0, Transition{To: 1, Guard: expr.Ev(req), Actions: []Action{Add(pend, xpend)}})
+		m.AddTransition(0, Transition{To: 0, Guard: expr.Not(expr.Ev(req))})
+		m.AddTransition(1, Transition{To: 2, Guard: expr.And(expr.Ev(resp), expr.Chk(pend)), Actions: []Action{Del(pend, xpend)}})
+		m.AddTransition(1, Transition{To: 1, Guard: expr.Not(expr.Ev(resp))})
+		m.AddTransition(2, Transition{To: 1, Guard: expr.Ev(req), Actions: []Action{Add(pend, xpend)}})
+		m.AddTransition(2, Transition{To: 0, Guard: expr.Not(expr.Ev(req))})
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		eng := NewEngine(m, sb, ModeDetect)
+		reqState := event.NewState().WithEvents(req)
+		respState := event.NewState().WithEvents(resp)
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				eng.Step(reqState)
+				eng.Step(respState)
+			}
+			accepts[e] = eng.Stats().Accepts
+		}(e)
+	}
+	wg.Wait()
+
+	for e, a := range accepts {
+		if a != rounds {
+			t.Errorf("engine %d: accepts = %d, want %d", e, a, rounds)
+		}
+	}
+	if live := sb.Live(); len(live) != 0 {
+		t.Errorf("scoreboard not balanced after concurrent engines: %v", live)
+	}
+	if c := sb.Count(xpend); c != 0 {
+		t.Errorf("cross-domain event count = %d, want 0", c)
+	}
+}

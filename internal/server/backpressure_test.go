@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/parser"
+	"repro/internal/synth"
+	"repro/internal/verif"
+)
+
+// postTicks posts one async batch and returns the HTTP status.
+func postTicks(t *testing.T, base, id string, body []byte) (int, http.Header) {
+	t.Helper()
+	resp, err := http.Post(fmt.Sprintf("%s/sessions/%s/ticks", base, id),
+		"application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, resp.Header
+}
+
+// TestBackpressure429 saturates a one-shard, depth-one queue and checks
+// that (a) the overflowing batch is rejected with 429 + Retry-After and
+// (b) every accepted batch is processed completely and in order — no
+// drops, no reordering.
+func TestBackpressure429(t *testing.T) {
+	s := New(Config{Shards: 1, QueueDepth: 1, TickDelay: 10 * time.Millisecond})
+	src := ocpSimpleReadSource(t)
+	if _, err := s.LoadSpecSource(src); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	sess := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	model := ocp.NewModel(ocp.Config{Gap: 2, Seed: 3})
+	full := model.GenerateTrace(60)
+	seg1, seg2 := full[:30], full[30:]
+
+	// Batch 1 occupies the worker (30 ticks x 10ms).
+	if code, _ := postTicks(t, ts.URL, sess.ID, ndjson(t, seg1)); code != http.StatusAccepted {
+		t.Fatalf("batch 1 status %d", code)
+	}
+	// Wait until the worker has dequeued batch 1 (first tick processed),
+	// so batch 2 deterministically lands in the empty queue slot.
+	waitFor(t, time.Second, func() bool { return s.Metrics().TicksTotal >= 1 })
+
+	if code, _ := postTicks(t, ts.URL, sess.ID, ndjson(t, seg2)); code != http.StatusAccepted {
+		t.Fatalf("batch 2 status %d", code)
+	}
+	// Queue now full: the next batch must bounce with 429 + Retry-After.
+	code, hdr := postTicks(t, ts.URL, sess.ID, ndjson(t, full))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("batch 3 status %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After header")
+	}
+	if s.Metrics().RejectedTotal == 0 {
+		t.Errorf("rejected_total not incremented")
+	}
+
+	// Drain and verify: exactly the accepted ticks, in order.
+	waitFor(t, 5*time.Second, func() bool {
+		return verdictFor(t, ts.URL, sess.ID, "OcpSimpleRead").Steps == len(full)
+	})
+	got := verdictFor(t, ts.URL, sess.ID, "OcpSimpleRead")
+	if got.Steps != len(full) {
+		t.Fatalf("steps = %d, want %d (accepted ticks must not be dropped)", got.Steps, len(full))
+	}
+	m, err := synth.Synthesize(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := verif.EngineAcceptTicks(monitor.NewEngine(m, nil, monitor.ModeDetect), full)
+	if len(got.AcceptTicks) != len(want) {
+		t.Fatalf("accepts = %v, want %v", got.AcceptTicks, want)
+	}
+	for i := range want {
+		if got.AcceptTicks[i] != want[i] {
+			t.Fatalf("accept tick %d = %d, want %d (accepted batches reordered?)",
+				i, got.AcceptTicks[i], want[i])
+		}
+	}
+}
+
+// TestGracefulDrain checks Close processes every accepted batch before
+// returning, and that ingest after drain starts is refused with 503.
+func TestGracefulDrain(t *testing.T) {
+	s := New(Config{Shards: 1, QueueDepth: 8, TickDelay: 5 * time.Millisecond})
+	if _, err := s.LoadSpecSource(ocpSimpleReadSource(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sess := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 4}).GenerateTrace(30)
+	for at := 0; at < len(tr); at += 10 {
+		if code, _ := postTicks(t, ts.URL, sess.ID, ndjson(t, tr[at:at+10])); code != http.StatusAccepted {
+			t.Fatalf("batch at %d: status %d", at, code)
+		}
+	}
+	s.Close() // must block until all 30 ticks are processed
+
+	got := verdictFor(t, ts.URL, sess.ID, "OcpSimpleRead")
+	if got.Steps != len(tr) {
+		t.Fatalf("after drain steps = %d, want %d", got.Steps, len(tr))
+	}
+	// New ingest is refused while drained.
+	code, _ := postTicks(t, ts.URL, sess.ID, ndjson(t, tr[:1]))
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain ingest status %d, want 503", code)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func ocpSimpleReadSource(t *testing.T) string {
+	t.Helper()
+	return parser.Print("OcpSimpleRead", ocp.SimpleReadChart())
+}

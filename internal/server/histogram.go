@@ -1,0 +1,71 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBounds are the fixed bucket upper bounds of the tick-latency
+// histogram, a 1-2-5 series from 1µs to 10s. Latencies above the last
+// bound land in an overflow bucket.
+var histBounds = []time.Duration{
+	1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+}
+
+// histogram is a lock-free fixed-bucket latency histogram. Observations
+// and quantile reads may race benignly: quantiles are computed from a
+// per-bucket atomic snapshot, which is exact enough for monitoring.
+type histogram struct {
+	counts []atomic.Uint64 // len(histBounds)+1, last is overflow
+	total  atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(histBounds)+1)}
+}
+
+// observe records one latency sample.
+func (h *histogram) observe(d time.Duration) {
+	i := 0
+	for ; i < len(histBounds); i++ {
+		if d <= histBounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+}
+
+// count returns the number of samples recorded.
+func (h *histogram) count() uint64 { return h.total.Load() }
+
+// quantile returns the upper bound of the bucket containing the p-th
+// quantile (0 < p <= 1), or 0 when empty. The overflow bucket reports
+// the largest bound.
+func (h *histogram) quantile(p float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i >= len(histBounds) {
+				return histBounds[len(histBounds)-1]
+			}
+			return histBounds[i]
+		}
+	}
+	return histBounds[len(histBounds)-1]
+}

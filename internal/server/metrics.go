@@ -1,0 +1,102 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates daemon-wide counters. Shard workers are the only
+// writers of the throughput counters (one writer per shard, atomics for
+// cross-shard aggregation); HTTP handlers write the request counters.
+type metrics struct {
+	start time.Time
+
+	ticksTotal      atomic.Uint64 // valuation ticks processed
+	batchesTotal    atomic.Uint64 // tick batches processed
+	rejectedTotal   atomic.Uint64 // 429 responses (shard queue full)
+	acceptsTotal    atomic.Uint64 // monitor acceptances across sessions
+	violationsTotal atomic.Uint64 // monitor violations across sessions
+	sessionsCreated atomic.Uint64
+	sessionsEvicted atomic.Uint64 // idle evictions (not explicit deletes)
+
+	latency *histogram // enqueue-to-processed latency per tick
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), latency: newHistogram()}
+}
+
+// ShardSnapshot reports one shard's queue state.
+type ShardSnapshot struct {
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	Ticks      uint64 `json:"ticks"`
+	Sessions   int    `json:"sessions"`
+}
+
+// MetricsSnapshot is the JSON body of GET /metrics.
+type MetricsSnapshot struct {
+	UptimeSec       float64         `json:"uptime_sec"`
+	TicksTotal      uint64          `json:"ticks_total"`
+	TicksPerSec     float64         `json:"ticks_per_sec"`
+	BatchesTotal    uint64          `json:"batches_total"`
+	RejectedTotal   uint64          `json:"rejected_total"`
+	AcceptsTotal    uint64          `json:"accepts_total"`
+	ViolationsTotal uint64          `json:"violations_total"`
+	SessionsActive  int             `json:"sessions_active"`
+	SessionsCreated uint64          `json:"sessions_created"`
+	SessionsEvicted uint64          `json:"sessions_evicted"`
+	SpecsLoaded     int             `json:"specs_loaded"`
+	Shards          []ShardSnapshot `json:"shards"`
+	TickLatencyP50  int64           `json:"tick_latency_p50_ns"`
+	TickLatencyP99  int64           `json:"tick_latency_p99_ns"`
+	TickLatencyN    uint64          `json:"tick_latency_samples"`
+}
+
+// snapshot assembles the exported view; the server fills in the parts it
+// owns (shards, sessions, specs).
+func (m *metrics) snapshot() MetricsSnapshot {
+	uptime := time.Since(m.start).Seconds()
+	ticks := m.ticksTotal.Load()
+	rate := 0.0
+	if uptime > 0 {
+		rate = float64(ticks) / uptime
+	}
+	return MetricsSnapshot{
+		UptimeSec:       uptime,
+		TicksTotal:      ticks,
+		TicksPerSec:     rate,
+		BatchesTotal:    m.batchesTotal.Load(),
+		RejectedTotal:   m.rejectedTotal.Load(),
+		AcceptsTotal:    m.acceptsTotal.Load(),
+		ViolationsTotal: m.violationsTotal.Load(),
+		SessionsCreated: m.sessionsCreated.Load(),
+		SessionsEvicted: m.sessionsEvicted.Load(),
+		TickLatencyP50:  int64(m.latency.quantile(0.50)),
+		TickLatencyP99:  int64(m.latency.quantile(0.99)),
+		TickLatencyN:    m.latency.count(),
+	}
+}
+
+// expvar integration: the most recently constructed server is exported
+// under the "cescd" var so /debug/vars includes daemon metrics. expvar
+// forbids re-publishing a name, hence the once + swappable pointer
+// (tests construct many servers in one process).
+var (
+	expvarOnce sync.Once
+	expvarSrv  atomic.Pointer[Server]
+)
+
+func publishExpvar(s *Server) {
+	expvarSrv.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("cescd", expvar.Func(func() any {
+			if srv := expvarSrv.Load(); srv != nil {
+				return srv.Metrics()
+			}
+			return nil
+		}))
+	})
+}

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/chart"
+	"repro/internal/monitor"
+	"repro/internal/parser"
+	"repro/internal/synth"
+)
+
+// Spec is one loaded chart: the synthesized monitor plus compile-time
+// facts reported by GET /specs. Multi-clock (async) charts are loaded
+// and listed but cannot back sessions yet; they are the next ingest
+// backend on the roadmap.
+type Spec struct {
+	Name        string `json:"name"`
+	Source      string `json:"-"`
+	MultiClock  bool   `json:"multi_clock"`
+	Clock       string `json:"clock,omitempty"`
+	States      int    `json:"states,omitempty"`
+	Transitions int    `json:"transitions,omitempty"`
+	// TableBytes is the monitor.Compile table footprint, 0 when the
+	// combined support exceeds the compile limit (the interpreted engine
+	// still runs such monitors).
+	TableBytes int `json:"table_bytes,omitempty"`
+
+	mon *monitor.Monitor
+}
+
+// registry holds the loaded specs; hot-loading via POST /specs appends
+// under the lock, sessions resolve names at creation time.
+type registry struct {
+	mu    sync.RWMutex
+	specs map[string]*Spec
+}
+
+func newRegistry() *registry {
+	return &registry{specs: make(map[string]*Spec)}
+}
+
+// LoadSource parses .cesc source text, synthesizes a monitor per chart,
+// and registers the results. Name collisions are rejected unless replace
+// is set. Returns the registered spec names.
+func (r *registry) LoadSource(src string, replace bool) ([]string, error) {
+	f, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]*Spec, 0, len(f.Charts))
+	for _, n := range f.Charts {
+		sp := &Spec{Name: n.Name, Source: parser.Print(n.Name, n.Chart)}
+		if _, ok := n.Chart.(*chart.Async); ok {
+			sp.MultiClock = true
+		} else {
+			m, err := synth.Synthesize(n.Chart, nil)
+			if err != nil {
+				return nil, fmt.Errorf("server: chart %q: %w", n.Name, err)
+			}
+			sp.mon = m
+			sp.Clock = m.Clock
+			sp.States = m.States
+			sp.Transitions = m.NumTransitions()
+			// Exercise the table-driven fast path; monitors too wide to
+			// compile still run on the interpreted engine.
+			if c, err := monitor.Compile(m); err == nil {
+				sp.TableBytes = c.TableBytes()
+			}
+		}
+		specs = append(specs, sp)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !replace {
+		for _, sp := range specs {
+			if _, ok := r.specs[sp.Name]; ok {
+				return nil, fmt.Errorf("server: spec %q already loaded", sp.Name)
+			}
+		}
+	}
+	names := make([]string, 0, len(specs))
+	for _, sp := range specs {
+		r.specs[sp.Name] = sp
+		names = append(names, sp.Name)
+	}
+	return names, nil
+}
+
+// Get returns the spec registered under name.
+func (r *registry) Get(name string) (*Spec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sp, ok := r.specs[name]
+	return sp, ok
+}
+
+// List returns all specs sorted by name.
+func (r *registry) List() []*Spec {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Spec, 0, len(r.specs))
+	for _, sp := range r.specs {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of loaded specs.
+func (r *registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.specs)
+}

@@ -1,0 +1,477 @@
+// Package server is the monitor-as-a-service layer: a long-running HTTP
+// daemon (cmd/cescd) that loads .cesc specifications, synthesizes their
+// assertion monitors, and runs them against valuation-tick streams sent
+// by network clients. It closes the gap between the paper's offline
+// Fig. 4 flow — attach monitors to one simulation run, read verdicts —
+// and a production setting where long communication traces from live
+// designs arrive continuously and monitors live inside the running
+// system.
+//
+// Concurrency model: sessions are pinned to shards by ID hash; each
+// shard is one worker goroutine draining a bounded FIFO queue of tick
+// batches. One writer per session means engines need no locking beyond
+// the session mutex that serializes verdict reads, per-session tick
+// order is queue order, and a full queue is surfaced to clients as 429 +
+// Retry-After rather than unbounded buffering. Shutdown closes the
+// queues and drains every accepted batch before returning.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// Config tunes the daemon; zero values select the documented defaults.
+type Config struct {
+	// Shards is the number of worker goroutines (default 4).
+	Shards int
+	// QueueDepth is the per-shard bounded queue length in batches
+	// (default 64). A full queue rejects ticks with 429.
+	QueueDepth int
+	// MaxBatchTicks caps the ticks accepted in one request (default
+	// 65536; larger bodies get 413).
+	MaxBatchTicks int
+	// IdleTTL evicts sessions with no activity for this long (0 disables
+	// eviction).
+	IdleTTL time.Duration
+	// SweepEvery is the eviction sweep period (default IdleTTL/4,
+	// minimum 1s).
+	SweepEvery time.Duration
+	// TickDelay inserts an artificial per-tick processing delay — a load
+	// and backpressure test aid, never set in production.
+	TickDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatchTicks <= 0 {
+		c.MaxBatchTicks = 65536
+	}
+	if c.IdleTTL > 0 && c.SweepEvery <= 0 {
+		c.SweepEvery = c.IdleTTL / 4
+		if c.SweepEvery < time.Second {
+			c.SweepEvery = time.Second
+		}
+	}
+	return c
+}
+
+// Server is the cescd daemon core: spec registry, session table, shard
+// pool, and HTTP API. Create with New, serve via Handler, stop with
+// Close.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	specs   *registry
+	metrics *metrics
+
+	smu      sync.RWMutex
+	sessions map[string]*session
+
+	// qmu guards enqueues against Close closing the shard queues.
+	qmu      sync.RWMutex
+	draining bool
+	shards   []*shard
+
+	wg        sync.WaitGroup
+	janitorWG sync.WaitGroup
+	stopSweep chan struct{}
+	closeOnce sync.Once
+}
+
+// New constructs a server and starts its shard workers (and the idle
+// janitor when eviction is configured).
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg.withDefaults(),
+		mux:       http.NewServeMux(),
+		specs:     newRegistry(),
+		metrics:   newMetrics(),
+		sessions:  make(map[string]*session),
+		stopSweep: make(chan struct{}),
+	}
+	for i := 0; i < s.cfg.Shards; i++ {
+		sh := &shard{queue: make(chan *batch, s.cfg.QueueDepth)}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go s.runShard(sh)
+	}
+	if s.cfg.IdleTTL > 0 {
+		s.janitorWG.Add(1)
+		go s.janitor()
+	}
+	s.routes()
+	publishExpvar(s)
+	return s
+}
+
+// LoadSpecSource compiles .cesc source into the registry (startup path;
+// the HTTP hot-load endpoint shares the same registry).
+func (s *Server) LoadSpecSource(src string) ([]string, error) {
+	return s.specs.LoadSource(src, false)
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the current metrics snapshot.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := s.metrics.snapshot()
+	snap.SpecsLoaded = s.specs.Len()
+	s.smu.RLock()
+	snap.SessionsActive = len(s.sessions)
+	perShard := make([]int, len(s.shards))
+	for _, sess := range s.sessions {
+		perShard[sess.shard]++
+	}
+	s.smu.RUnlock()
+	for i, sh := range s.shards {
+		snap.Shards = append(snap.Shards, ShardSnapshot{
+			QueueDepth: len(sh.queue),
+			QueueCap:   cap(sh.queue),
+			Ticks:      sh.ticks.Load(),
+			Sessions:   perShard[i],
+		})
+	}
+	return snap
+}
+
+// Close drains: no new batches are accepted, shard queues are closed,
+// and every already-accepted batch is processed before Close returns.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.qmu.Lock()
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+		s.qmu.Unlock()
+		close(s.stopSweep)
+		s.wg.Wait()
+		s.janitorWG.Wait()
+	})
+}
+
+// janitor evicts idle sessions on a fixed sweep period.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case now := <-t.C:
+			s.smu.Lock()
+			for id, sess := range s.sessions {
+				if sess.idleFor(now) > s.cfg.IdleTTL {
+					delete(s.sessions, id)
+					s.metrics.sessionsEvicted.Add(1)
+				}
+			}
+			s.smu.Unlock()
+		}
+	}
+}
+
+func (s *Server) session(id string) (*session, bool) {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+// --- HTTP API -----------------------------------------------------------
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /specs", s.handleListSpecs)
+	s.mux.HandleFunc("POST /specs", s.handleLoadSpecs)
+	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /sessions/{id}/ticks", s.handleTicks)
+	s.mux.HandleFunc("POST /sessions/{id}/vcd", s.handleVCD)
+	s.mux.HandleFunc("GET /sessions/{id}/verdicts", s.handleVerdicts)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"uptime_sec": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleListSpecs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"specs": s.specs.List()})
+}
+
+// handleLoadSpecs hot-loads .cesc source from the request body.
+// ?replace=1 overwrites existing names (sessions keep the monitors they
+// were created with).
+func (s *Server) handleLoadSpecs(w http.ResponseWriter, r *http.Request) {
+	src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	names, err := s.specs.LoadSource(string(src), r.URL.Query().Get("replace") == "1")
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already loaded") {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"loaded": names})
+}
+
+// createSessionRequest is the body of POST /sessions.
+type createSessionRequest struct {
+	Specs []string `json:"specs"`
+	Mode  string   `json:"mode,omitempty"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "session needs at least one spec")
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	specs := make([]*Spec, 0, len(req.Specs))
+	for _, name := range req.Specs {
+		sp, ok := s.specs.Get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, "spec %q not loaded", name)
+			return
+		}
+		if sp.MultiClock {
+			writeError(w, http.StatusBadRequest,
+				"spec %q is multi-clock; sessions stream a single clock domain", name)
+			return
+		}
+		specs = append(specs, sp)
+	}
+	id := newSessionID()
+	sess := newSession(id, mode, shardFor(id, len(s.shards)), specs)
+	s.smu.Lock()
+	s.sessions[id] = sess
+	s.smu.Unlock()
+	s.metrics.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
+	s.smu.RLock()
+	infos := make([]SessionInfoJSON, 0, len(s.sessions))
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.smu.RUnlock()
+	for _, sess := range sessions {
+		infos = append(infos, sess.info())
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.info())
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.smu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.smu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleTicks ingests NDJSON valuation ticks (one StateJSON object per
+// line; a plain JSON stream also decodes). The batch is enqueued to the
+// session's shard: 202 on acceptance, 429 + Retry-After when the shard
+// queue is full, 503 when draining. ?wait=1 blocks until the batch has
+// been processed and returns 200.
+func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.touch()
+	var states []event.State
+	dec := json.NewDecoder(r.Body)
+	for {
+		var t StateJSON
+		if err := dec.Decode(&t); err == io.EOF {
+			break
+		} else if err != nil {
+			writeError(w, http.StatusBadRequest, "tick %d: %v", len(states), err)
+			return
+		}
+		if len(states) >= s.cfg.MaxBatchTicks {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"batch exceeds %d ticks; split the stream", s.cfg.MaxBatchTicks)
+			return
+		}
+		states = append(states, t.ToState())
+	}
+	if len(states) == 0 {
+		writeError(w, http.StatusBadRequest, "no ticks in body")
+		return
+	}
+	b := &batch{sess: sess, states: states, enqueued: time.Now()}
+	wait := r.URL.Query().Get("wait") == "1"
+	if wait {
+		b.done = make(chan struct{})
+	}
+	switch err := s.tryEnqueue(b); err {
+	case nil:
+	case errQueueFull:
+		s.metrics.rejectedTotal.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "shard %d queue full", sess.shard)
+		return
+	default:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if wait {
+		<-b.done
+		writeJSON(w, http.StatusOK, map[string]any{"accepted": len(states), "processed": true})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(states)})
+}
+
+// vcdChunkTicks is the enqueue granularity of the VCD upload path: the
+// request body is stream-parsed and handed to the shard in bounded
+// chunks, so arbitrarily large dumps never materialize in memory.
+const vcdChunkTicks = 256
+
+// handleVCD ingests a Value Change Dump as the session's tick stream.
+// ?props=a,b names signals read as propositions (level-holding); all
+// others are events. Backpressure is applied by blocking the upload,
+// never by dropping mid-stream.
+func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.touch()
+	props := make(map[string]bool)
+	if p := r.URL.Query().Get("props"); p != "" {
+		for _, n := range strings.Split(p, ",") {
+			props[strings.TrimSpace(n)] = true
+		}
+	}
+	kindOf := func(name string) event.Kind {
+		if props[name] {
+			return event.KindProp
+		}
+		return event.KindEvent
+	}
+	total := 0
+	chunk := make([]event.State, 0, vcdChunkTicks)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		b := &batch{
+			sess:     sess,
+			states:   chunk,
+			enqueued: time.Now(),
+			done:     make(chan struct{}),
+		}
+		if err := s.enqueueWait(b); err != nil {
+			return err
+		}
+		<-b.done
+		total += len(chunk)
+		chunk = make([]event.State, 0, vcdChunkTicks)
+		return nil
+	}
+	err := trace.StreamVCD(r.Body, kindOf, func(st event.State) error {
+		chunk = append(chunk, st)
+		if len(chunk) >= vcdChunkTicks {
+			return flush()
+		}
+		return nil
+	})
+	if err == nil {
+		err = flush()
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == errDraining {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": total, "processed": true})
+}
+
+func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.touch()
+	writeJSON(w, http.StatusOK, sess.verdicts())
+}

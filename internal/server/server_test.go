@@ -1,0 +1,352 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/parser"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/verif"
+)
+
+// newTestServer builds a server with the OCP simple-read spec loaded and
+// an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	src := parser.Print("OcpSimpleRead", ocp.SimpleReadChart())
+	if _, err := s.LoadSpecSource(src); err != nil {
+		t.Fatalf("loading spec: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url string, body []byte, wantCode int, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s: status %d (want %d): %s", method, url, resp.StatusCode, wantCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, data, err)
+		}
+	}
+	return resp
+}
+
+func createSession(t *testing.T, base, mode string, specs ...string) SessionInfoJSON {
+	t.Helper()
+	body, _ := json.Marshal(createSessionRequest{Specs: specs, Mode: mode})
+	var info SessionInfoJSON
+	doJSON(t, "POST", base+"/sessions", body, http.StatusCreated, &info)
+	return info
+}
+
+// ndjson renders a trace in the ingest endpoint's wire format.
+func ndjson(t *testing.T, tr trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, s := range tr {
+		if err := enc.Encode(stateJSON(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// streamTicks posts the trace in batches with ?wait=1, so processing is
+// complete when it returns.
+func streamTicks(t *testing.T, base, id string, tr trace.Trace, batchLen int) {
+	t.Helper()
+	for at := 0; at < len(tr); at += batchLen {
+		end := at + batchLen
+		if end > len(tr) {
+			end = len(tr)
+		}
+		doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/ticks?wait=1", base, id),
+			ndjson(t, tr[at:end]), http.StatusOK, nil)
+	}
+}
+
+func verdictFor(t *testing.T, base, id, spec string) MonitorVerdictJSON {
+	t.Helper()
+	var v VerdictsJSON
+	doJSON(t, "GET", fmt.Sprintf("%s/sessions/%s/verdicts", base, id), nil, http.StatusOK, &v)
+	for _, m := range v.Monitors {
+		if m.Spec == spec {
+			return m
+		}
+	}
+	t.Fatalf("no verdict for spec %q in %+v", spec, v)
+	return MonitorVerdictJSON{}
+}
+
+// TestE2ESimpleReadSession is the acceptance flow: a session streaming
+// the Fig. 6 OCP simple-read trace over HTTP reports the same detect and
+// assert verdicts as the in-process verif harness, and /metrics reports
+// nonzero throughput and queue gauges.
+func TestE2ESimpleReadSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, QueueDepth: 16})
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 1, FaultRate: 0.2}).GenerateTrace(400)
+
+	det := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	chk := createSession(t, ts.URL, "assert", "OcpSimpleRead")
+	streamTicks(t, ts.URL, det.ID, tr, 64)
+	streamTicks(t, ts.URL, chk.ID, tr, 64)
+
+	// In-process reference: same synthesis, same modes, same trace.
+	m, err := synth.Synthesize(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDet := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	wantAccepts := verif.EngineAcceptTicks(refDet, tr)
+	refChk := monitor.NewEngine(m, nil, monitor.ModeAssert)
+	refChk.EnableDiagnostics(diagDepth)
+	refChk.Run(tr)
+
+	gotDet := verdictFor(t, ts.URL, det.ID, "OcpSimpleRead")
+	if gotDet.Steps != len(tr) {
+		t.Errorf("detect steps = %d, want %d", gotDet.Steps, len(tr))
+	}
+	if gotDet.Accepts != len(wantAccepts) {
+		t.Errorf("detect accepts = %d, want %d", gotDet.Accepts, len(wantAccepts))
+	}
+	if len(gotDet.AcceptTicks) != len(wantAccepts) {
+		t.Fatalf("accept ticks %d, want %d", len(gotDet.AcceptTicks), len(wantAccepts))
+	}
+	for i, tick := range wantAccepts {
+		if gotDet.AcceptTicks[i] != tick {
+			t.Fatalf("accept tick %d = %d, want %d (order must match in-process run)",
+				i, gotDet.AcceptTicks[i], tick)
+		}
+	}
+	if gotDet.Coverage.State <= 0 || gotDet.Coverage.Transition <= 0 {
+		t.Errorf("coverage empty: %+v", gotDet.Coverage)
+	}
+
+	gotChk := verdictFor(t, ts.URL, chk.ID, "OcpSimpleRead")
+	wantStats := refChk.Stats()
+	if gotChk.Accepts != wantStats.Accepts || gotChk.Violations != wantStats.Violations {
+		t.Errorf("assert verdict accepts=%d violations=%d, want accepts=%d violations=%d",
+			gotChk.Accepts, gotChk.Violations, wantStats.Accepts, wantStats.Violations)
+	}
+	wantDiags := refChk.Diagnostics()
+	if len(gotChk.Diagnostics) != len(wantDiags) {
+		t.Fatalf("diagnostics = %d, want %d", len(gotChk.Diagnostics), len(wantDiags))
+	}
+	for i, d := range gotChk.Diagnostics {
+		if d.Tick != wantDiags[i].Tick || d.FromState != wantDiags[i].FromState {
+			t.Errorf("diagnostic %d: tick %d state %d, want tick %d state %d",
+				i, d.Tick, d.FromState, wantDiags[i].Tick, wantDiags[i].FromState)
+		}
+	}
+
+	var snap MetricsSnapshot
+	doJSON(t, "GET", ts.URL+"/metrics", nil, http.StatusOK, &snap)
+	if snap.TicksTotal != uint64(2*len(tr)) {
+		t.Errorf("ticks_total = %d, want %d", snap.TicksTotal, 2*len(tr))
+	}
+	if snap.TicksPerSec <= 0 {
+		t.Errorf("ticks_per_sec = %v, want > 0", snap.TicksPerSec)
+	}
+	if len(snap.Shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(snap.Shards))
+	}
+	for i, sh := range snap.Shards {
+		if sh.QueueCap != 16 {
+			t.Errorf("shard %d queue_cap = %d, want 16", i, sh.QueueCap)
+		}
+	}
+	if snap.TickLatencyN == 0 || snap.TickLatencyP99 <= 0 {
+		t.Errorf("latency histogram empty: %+v", snap)
+	}
+	if snap.AcceptsTotal == 0 {
+		t.Errorf("accepts_total = 0, want > 0")
+	}
+}
+
+// TestVCDUpload checks the streaming VCD ingest path produces the same
+// verdicts as NDJSON ingest of the equivalent trace.
+func TestVCDUpload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 1, QueueDepth: 4})
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 9}).GenerateTrace(600)
+	var vcd strings.Builder
+	if err := trace.WriteVCD(&vcd, "dut", tr); err != nil {
+		t.Fatal(err)
+	}
+	// The VCD round trip is what the server will see.
+	back, err := trace.ReadVCD(strings.NewReader(vcd.String()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	var res struct {
+		Accepted  int  `json:"accepted"`
+		Processed bool `json:"processed"`
+	}
+	doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/vcd", ts.URL, sess.ID),
+		[]byte(vcd.String()), http.StatusOK, &res)
+	if res.Accepted != len(back) || !res.Processed {
+		t.Fatalf("vcd upload accepted=%d processed=%v, want %d ticks processed",
+			res.Accepted, res.Processed, len(back))
+	}
+
+	m, err := synth.Synthesize(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := monitor.NewEngine(m, nil, monitor.ModeDetect)
+	want := verif.EngineAcceptTicks(ref, back)
+	got := verdictFor(t, ts.URL, sess.ID, "OcpSimpleRead")
+	if got.Steps != len(back) || got.Accepts != len(want) {
+		t.Errorf("vcd session steps=%d accepts=%d, want steps=%d accepts=%d",
+			got.Steps, got.Accepts, len(back), len(want))
+	}
+}
+
+// TestHotLoadSpecs exercises POST /specs: load, conflict, replace.
+func TestHotLoadSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 1})
+	burst := parser.Print("OcpBurstRead", ocp.BurstReadChart())
+
+	var loaded struct {
+		Loaded []string `json:"loaded"`
+	}
+	doJSON(t, "POST", ts.URL+"/specs", []byte(burst), http.StatusCreated, &loaded)
+	if len(loaded.Loaded) != 1 || loaded.Loaded[0] != "OcpBurstRead" {
+		t.Fatalf("loaded = %v", loaded.Loaded)
+	}
+	// Same name again: conflict without ?replace=1.
+	doJSON(t, "POST", ts.URL+"/specs", []byte(burst), http.StatusConflict, nil)
+	doJSON(t, "POST", ts.URL+"/specs?replace=1", []byte(burst), http.StatusCreated, nil)
+	// Garbage is a 400.
+	doJSON(t, "POST", ts.URL+"/specs", []byte("cesc Broken {"), http.StatusBadRequest, nil)
+
+	var list struct {
+		Specs []Spec `json:"specs"`
+	}
+	doJSON(t, "GET", ts.URL+"/specs", nil, http.StatusOK, &list)
+	if len(list.Specs) != 2 {
+		t.Fatalf("specs = %d, want 2 (%+v)", len(list.Specs), list.Specs)
+	}
+	for _, sp := range list.Specs {
+		if sp.States == 0 || sp.Transitions == 0 {
+			t.Errorf("spec %s missing structure: %+v", sp.Name, sp)
+		}
+	}
+	// A session can use the hot-loaded spec immediately.
+	sess := createSession(t, ts.URL, "detect", "OcpBurstRead", "OcpSimpleRead")
+	if len(sess.Specs) != 2 {
+		t.Fatalf("session specs = %v", sess.Specs)
+	}
+}
+
+// TestAPIErrors covers the failure modes clients hit.
+func TestAPIErrors(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1, MaxBatchTicks: 4})
+
+	// Unknown spec, empty spec list, bad mode.
+	body, _ := json.Marshal(createSessionRequest{Specs: []string{"Nope"}})
+	doJSON(t, "POST", ts.URL+"/sessions", body, http.StatusNotFound, nil)
+	body, _ = json.Marshal(createSessionRequest{})
+	doJSON(t, "POST", ts.URL+"/sessions", body, http.StatusBadRequest, nil)
+	body, _ = json.Marshal(createSessionRequest{Specs: []string{"OcpSimpleRead"}, Mode: "sideways"})
+	doJSON(t, "POST", ts.URL+"/sessions", body, http.StatusBadRequest, nil)
+
+	// Multi-clock specs cannot back sessions.
+	multi := `cesc TwoClocks {
+  async {
+    scesc DomA on clk_a { instances M, S; tick { e1 = evA @ M -> S; } }
+    scesc DomB on clk_b { instances M2, S2; tick { e2 = evB @ M2 -> S2; } }
+    cross e1 -> e2;
+  }
+}`
+	doJSON(t, "POST", ts.URL+"/specs", []byte(multi), http.StatusCreated, nil)
+	body, _ = json.Marshal(createSessionRequest{Specs: []string{"TwoClocks"}})
+	doJSON(t, "POST", ts.URL+"/sessions", body, http.StatusBadRequest, nil)
+
+	// Unknown session everywhere.
+	doJSON(t, "GET", ts.URL+"/sessions/deadbeef", nil, http.StatusNotFound, nil)
+	doJSON(t, "POST", ts.URL+"/sessions/deadbeef/ticks", []byte("{}"), http.StatusNotFound, nil)
+	doJSON(t, "GET", ts.URL+"/sessions/deadbeef/verdicts", nil, http.StatusNotFound, nil)
+	doJSON(t, "DELETE", ts.URL+"/sessions/deadbeef", nil, http.StatusNotFound, nil)
+
+	// Tick batch errors: empty body, malformed NDJSON, oversized batch.
+	sess := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/ticks", ts.URL, sess.ID),
+		nil, http.StatusBadRequest, nil)
+	doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/ticks", ts.URL, sess.ID),
+		[]byte(`{"events":["a"]}`+"\nnot json\n"), http.StatusBadRequest, nil)
+	big := strings.Repeat(`{"events":["MCmd_rd"]}`+"\n", 5)
+	doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/ticks", ts.URL, sess.ID),
+		[]byte(big), http.StatusRequestEntityTooLarge, nil)
+
+	// Delete, then the session is gone.
+	doJSON(t, "DELETE", fmt.Sprintf("%s/sessions/%s", ts.URL, sess.ID), nil, http.StatusOK, nil)
+	doJSON(t, "GET", fmt.Sprintf("%s/sessions/%s", ts.URL, sess.ID), nil, http.StatusNotFound, nil)
+
+	_ = s
+}
+
+// TestIdleEviction checks the janitor reaps sessions past the idle TTL.
+func TestIdleEviction(t *testing.T) {
+	s, ts := newTestServer(t, Config{Shards: 1, IdleTTL: 40 * time.Millisecond, SweepEvery: 10 * time.Millisecond})
+	sess := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := s.session(sess.ID); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session not evicted within 2s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.Metrics().SessionsEvicted; got == 0 {
+		t.Errorf("sessions_evicted = %d, want > 0", got)
+	}
+	doJSON(t, "GET", fmt.Sprintf("%s/sessions/%s", ts.URL, sess.ID), nil, http.StatusNotFound, nil)
+}
+
+// TestHealthz sanity-checks the liveness endpoint.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 1})
+	var h struct {
+		Status string `json:"status"`
+	}
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, &h)
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+}

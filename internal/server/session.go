@@ -1,0 +1,276 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/verif"
+)
+
+// maxAcceptTicks bounds the per-monitor accept-tick log returned by the
+// verdicts endpoint; later acceptances only increment counters.
+const maxAcceptTicks = 1024
+
+// diagDepth is the counterexample window armed for assert-mode sessions,
+// matching verif.Bank.
+const diagDepth = 8
+
+// session is one client's monitor bank. Its engines are mutated only by
+// the shard worker the session is pinned to; mu serializes the worker
+// against verdict reads from HTTP goroutines.
+type session struct {
+	id      string
+	mode    monitor.Mode
+	shard   int
+	created time.Time
+
+	lastActive atomic.Int64 // unix nanos
+
+	mu   sync.Mutex
+	mons []*sessionMonitor
+}
+
+// sessionMonitor pairs a spec's engine with its coverage collector and
+// accept-tick log.
+type sessionMonitor struct {
+	spec        string
+	eng         *monitor.Engine
+	cov         *verif.Coverage
+	acceptTicks []int
+}
+
+// newSessionID returns a 16-hex-char random identifier.
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: session id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// shardFor pins a session ID to a shard by FNV-1a hash, so every tick of
+// one session is processed by one worker in arrival order.
+func shardFor(id string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return int(h.Sum32() % uint32(shards))
+}
+
+func newSession(id string, mode monitor.Mode, shard int, specs []*Spec) *session {
+	s := &session{id: id, mode: mode, shard: shard, created: time.Now()}
+	s.touch()
+	for _, sp := range specs {
+		eng := monitor.NewEngine(sp.mon, nil, mode)
+		if mode == monitor.ModeAssert {
+			eng.EnableDiagnostics(diagDepth)
+		}
+		s.mons = append(s.mons, &sessionMonitor{
+			spec: sp.Name,
+			eng:  eng,
+			cov:  verif.NewCoverage(sp.mon),
+		})
+	}
+	return s
+}
+
+func (s *session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+func (s *session) idleFor(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, s.lastActive.Load()))
+}
+
+// step feeds one tick to every monitor of the session. Caller holds s.mu.
+// It returns the number of acceptances and violations at this tick.
+func (s *session) step(st event.State) (accepts, violations int) {
+	for _, sm := range s.mons {
+		res := sm.eng.Step(st)
+		sm.cov.Record(res)
+		switch res.Outcome {
+		case monitor.Accepted:
+			accepts++
+			if len(sm.acceptTicks) < maxAcceptTicks {
+				sm.acceptTicks = append(sm.acceptTicks, res.Tick)
+			}
+		case monitor.Violated:
+			violations++
+		}
+	}
+	return accepts, violations
+}
+
+// modeString renders the session mode for JSON bodies.
+func modeString(m monitor.Mode) string {
+	if m == monitor.ModeAssert {
+		return "assert"
+	}
+	return "detect"
+}
+
+// parseMode inverts modeString; empty defaults to detect.
+func parseMode(s string) (monitor.Mode, error) {
+	switch s {
+	case "", "detect":
+		return monitor.ModeDetect, nil
+	case "assert":
+		return monitor.ModeAssert, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want detect or assert)", s)
+	}
+}
+
+// StateJSON is the wire form of an event.State: the events that occur
+// and the propositions that hold at one tick. It doubles as the NDJSON
+// tick format of the ingest endpoint.
+type StateJSON struct {
+	Events []string        `json:"events,omitempty"`
+	Props  map[string]bool `json:"props,omitempty"`
+}
+
+// ToState materializes the wire form.
+func (t StateJSON) ToState() event.State {
+	s := event.NewState()
+	for _, e := range t.Events {
+		s.Events[e] = true
+	}
+	for p, v := range t.Props {
+		s.Props[p] = v
+	}
+	return s
+}
+
+// stateJSON converts an engine-side state to the wire form (only true
+// symbols are carried, sorted for stable output).
+func stateJSON(s event.State) StateJSON {
+	out := StateJSON{}
+	for e, v := range s.Events {
+		if v {
+			out.Events = append(out.Events, e)
+		}
+	}
+	sort.Strings(out.Events)
+	for p, v := range s.Props {
+		if v {
+			if out.Props == nil {
+				out.Props = make(map[string]bool)
+			}
+			out.Props[p] = true
+		}
+	}
+	return out
+}
+
+// DiagnosticJSON is the wire form of a monitor.Diagnostic counterexample.
+type DiagnosticJSON struct {
+	Tick       int         `json:"tick"`
+	FromState  int         `json:"from_state"`
+	Input      StateJSON   `json:"input"`
+	Recent     []StateJSON `json:"recent,omitempty"`
+	Scoreboard []string    `json:"scoreboard,omitempty"`
+}
+
+// CoverageJSON summarizes verif coverage for one monitor.
+type CoverageJSON struct {
+	State      float64  `json:"state"`
+	Transition float64  `json:"transition"`
+	HardResets uint64   `json:"hard_resets"`
+	Uncovered  []string `json:"uncovered,omitempty"`
+}
+
+// MonitorVerdictJSON is one monitor's accumulated verdict.
+type MonitorVerdictJSON struct {
+	Spec           string           `json:"spec"`
+	Steps          int              `json:"steps"`
+	Accepts        int              `json:"accepts"`
+	Violations     int              `json:"violations"`
+	Fallbacks      int              `json:"fallbacks"`
+	LastAcceptTick int              `json:"last_accept_tick"`
+	AcceptTicks    []int            `json:"accept_ticks,omitempty"`
+	Coverage       CoverageJSON     `json:"coverage"`
+	Diagnostics    []DiagnosticJSON `json:"diagnostics,omitempty"`
+}
+
+// VerdictsJSON is the body of GET /sessions/{id}/verdicts.
+type VerdictsJSON struct {
+	Session  string               `json:"session"`
+	Mode     string               `json:"mode"`
+	Monitors []MonitorVerdictJSON `json:"monitors"`
+}
+
+// verdicts snapshots the session's accumulated results.
+func (s *session) verdicts() VerdictsJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := VerdictsJSON{Session: s.id, Mode: modeString(s.mode)}
+	for _, sm := range s.mons {
+		st := sm.eng.Stats()
+		mv := MonitorVerdictJSON{
+			Spec:           sm.spec,
+			Steps:          st.Steps,
+			Accepts:        st.Accepts,
+			Violations:     st.Violations,
+			Fallbacks:      st.Fallbacks,
+			LastAcceptTick: st.LastAcceptTick,
+			AcceptTicks:    append([]int(nil), sm.acceptTicks...),
+			Coverage: CoverageJSON{
+				State:      sm.cov.StateCoverage(),
+				Transition: sm.cov.TransitionCoverage(),
+				HardResets: sm.cov.HardResets(),
+				Uncovered:  sm.cov.UncoveredTransitions(),
+			},
+		}
+		for _, d := range sm.eng.Diagnostics() {
+			dj := DiagnosticJSON{
+				Tick:       d.Tick,
+				FromState:  d.FromState,
+				Input:      stateJSON(d.Input),
+				Scoreboard: d.Scoreboard,
+			}
+			for _, r := range d.Recent {
+				dj.Recent = append(dj.Recent, stateJSON(r))
+			}
+			mv.Diagnostics = append(mv.Diagnostics, dj)
+		}
+		out.Monitors = append(out.Monitors, mv)
+	}
+	return out
+}
+
+// SessionInfoJSON is the body of GET /sessions/{id} and the elements of
+// GET /sessions.
+type SessionInfoJSON struct {
+	ID        string   `json:"id"`
+	Mode      string   `json:"mode"`
+	Shard     int      `json:"shard"`
+	Specs     []string `json:"specs"`
+	Steps     int      `json:"steps"`
+	IdleMilli int64    `json:"idle_ms"`
+}
+
+func (s *session) info() SessionInfoJSON {
+	s.mu.Lock()
+	steps := 0
+	specs := make([]string, 0, len(s.mons))
+	for _, sm := range s.mons {
+		specs = append(specs, sm.spec)
+		if st := sm.eng.Stats(); st.Steps > steps {
+			steps = st.Steps
+		}
+	}
+	s.mu.Unlock()
+	return SessionInfoJSON{
+		ID:        s.id,
+		Mode:      modeString(s.mode),
+		Shard:     s.shard,
+		Specs:     specs,
+		Steps:     steps,
+		IdleMilli: s.idleFor(time.Now()).Milliseconds(),
+	}
+}

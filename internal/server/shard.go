@@ -1,0 +1,103 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/event"
+)
+
+// batch is one ingest request's worth of ticks, processed atomically in
+// arrival order by the owning shard's worker.
+type batch struct {
+	sess     *session
+	states   []event.State
+	enqueued time.Time
+	// done, when non-nil, is closed after the last tick of the batch has
+	// been processed (the ?wait=1 ingest path and the VCD upload).
+	done chan struct{}
+}
+
+// shard owns a bounded FIFO queue and a single worker goroutine.
+// Sessions are pinned to shards by ID hash, so per-session tick order is
+// the per-shard queue order — accepted batches are never reordered.
+type shard struct {
+	queue chan *batch
+	ticks atomic.Uint64
+}
+
+var (
+	// errQueueFull is surfaced as 429 + Retry-After.
+	errQueueFull = errors.New("server: shard queue full")
+	// errDraining is surfaced as 503: the daemon is shutting down.
+	errDraining = errors.New("server: draining")
+)
+
+// tryEnqueue performs a non-blocking enqueue onto the session's shard.
+func (s *Server) tryEnqueue(b *batch) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.draining {
+		return errDraining
+	}
+	select {
+	case s.shards[b.sess.shard].queue <- b:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// enqueueWait enqueues with backpressure-by-blocking: when the shard
+// queue is full it retries until space frees up or the server drains.
+// Used by the VCD upload path, where a mid-stream 429 would tear a
+// half-accepted trace.
+func (s *Server) enqueueWait(b *batch) error {
+	for {
+		err := s.tryEnqueue(b)
+		if err != errQueueFull {
+			return err
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// runShard is the worker loop: it drains the queue until Close closes
+// it, which is what makes shutdown graceful — every accepted batch is
+// fully processed before Close returns.
+func (s *Server) runShard(sh *shard) {
+	defer s.wg.Done()
+	for b := range sh.queue {
+		s.process(sh, b)
+	}
+}
+
+// process applies one batch to its session and updates metrics. The
+// per-tick latency sample is enqueue-to-processed, so queue wait under
+// load is visible in the histogram.
+func (s *Server) process(sh *shard, b *batch) {
+	sess := b.sess
+	sess.mu.Lock()
+	for _, st := range b.states {
+		if d := s.cfg.TickDelay; d > 0 {
+			time.Sleep(d)
+		}
+		acc, vio := sess.step(st)
+		if acc > 0 {
+			s.metrics.acceptsTotal.Add(uint64(acc))
+		}
+		if vio > 0 {
+			s.metrics.violationsTotal.Add(uint64(vio))
+		}
+		sh.ticks.Add(1)
+		s.metrics.ticksTotal.Add(1)
+		s.metrics.latency.observe(time.Since(b.enqueued))
+	}
+	sess.mu.Unlock()
+	sess.touch()
+	s.metrics.batchesTotal.Add(1)
+	if b.done != nil {
+		close(b.done)
+	}
+}

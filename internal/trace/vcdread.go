@@ -10,27 +10,31 @@ import (
 	"repro/internal/event"
 )
 
-// ReadVCD parses a Value Change Dump of 1-bit wires back into a trace:
-// one trace element per time unit from 0 to the final timestamp
-// (exclusive), each signal holding its value until changed. It inverts
-// WriteVCD (round-trip tested) and accepts the common single-scope VCD
-// subset produced by simulators for pure-binary dumps.
+// StreamVCD parses a Value Change Dump of 1-bit wires incrementally,
+// invoking emit once per time unit from the first timestamp to the final
+// timestamp (exclusive), each signal holding its value until changed. At
+// most one materialized state is alive at a time, so arbitrarily long
+// dumps can be consumed from a network stream without buffering the whole
+// file — this is the ingestion path of the cescd upload endpoint. It
+// inverts WriteVCD (round-trip tested) and accepts the common
+// single-scope VCD subset produced by simulators for pure-binary dumps.
 //
 // kindOf assigns each signal name a kind; when nil every signal is read
-// as an event.
-func ReadVCD(r io.Reader, kindOf func(name string) event.Kind) (Trace, error) {
+// as an event. A non-nil error from emit aborts the parse and is
+// returned verbatim.
+func StreamVCD(r io.Reader, kindOf func(name string) event.Kind, emit func(event.State) error) error {
 	if kindOf == nil {
 		kindOf = func(string) event.Kind { return event.KindEvent }
 	}
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	codes := make(map[string]string) // code -> name
 	cur := make(map[string]bool)     // name -> current value
 	var (
-		out     Trace
 		now     int64 = -1
 		sawDefs bool
 	)
-	flushTo := func(t int64) {
+	flushTo := func(t int64) error {
 		// Materialize states for ticks now..t-1 with the current values.
 		for ; now >= 0 && now < t; now++ {
 			s := event.NewState()
@@ -44,9 +48,12 @@ func ReadVCD(r io.Reader, kindOf func(name string) event.Kind) (Trace, error) {
 					s.Events[name] = true
 				}
 			}
-			out = append(out, s)
+			if err := emit(s); err != nil {
+				return err
+			}
 		}
 		now = t
+		return nil
 	}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -58,10 +65,10 @@ func ReadVCD(r io.Reader, kindOf func(name string) event.Kind) (Trace, error) {
 			// $var wire 1 CODE NAME $end
 			fields := strings.Fields(line)
 			if len(fields) < 6 {
-				return nil, fmt.Errorf("trace: malformed $var line %q", line)
+				return fmt.Errorf("trace: malformed $var line %q", line)
 			}
 			if fields[2] != "1" {
-				return nil, fmt.Errorf("trace: only 1-bit wires supported, got width %q for %q", fields[2], fields[4])
+				return fmt.Errorf("trace: only 1-bit wires supported, got width %q for %q", fields[2], fields[4])
 			}
 			codes[fields[3]] = fields[4]
 			cur[fields[4]] = false
@@ -73,31 +80,44 @@ func ReadVCD(r io.Reader, kindOf func(name string) event.Kind) (Trace, error) {
 		case line[0] == '#':
 			t, err := strconv.ParseInt(line[1:], 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("trace: bad timestamp %q", line)
+				return fmt.Errorf("trace: bad timestamp %q", line)
 			}
 			if t < now {
-				return nil, fmt.Errorf("trace: timestamp %d goes backwards (now %d)", t, now)
+				return fmt.Errorf("trace: timestamp %d goes backwards (now %d)", t, now)
 			}
 			if now == -1 {
 				now = t
-			} else {
-				flushTo(t)
+			} else if err := flushTo(t); err != nil {
+				return err
 			}
 		case line[0] == '0' || line[0] == '1':
 			if !sawDefs {
-				return nil, fmt.Errorf("trace: value change before $enddefinitions")
+				return fmt.Errorf("trace: value change before $enddefinitions")
 			}
 			code := line[1:]
 			name, ok := codes[code]
 			if !ok {
-				return nil, fmt.Errorf("trace: value change for unknown code %q", code)
+				return fmt.Errorf("trace: value change for unknown code %q", code)
 			}
 			cur[name] = line[0] == '1'
 		default:
-			return nil, fmt.Errorf("trace: unsupported VCD line %q", line)
+			return fmt.Errorf("trace: unsupported VCD line %q", line)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// ReadVCD parses a Value Change Dump of 1-bit wires back into a trace:
+// one trace element per time unit from 0 to the final timestamp
+// (exclusive), each signal holding its value until changed. It is a thin
+// wrapper over StreamVCD that accumulates the emitted states.
+func ReadVCD(r io.Reader, kindOf func(name string) event.Kind) (Trace, error) {
+	var out Trace
+	err := StreamVCD(r, kindOf, func(s event.State) error {
+		out = append(out, s)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

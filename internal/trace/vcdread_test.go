@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"io"
 	"strings"
 	"testing"
 
@@ -117,5 +118,65 @@ func TestReadVCDEmpty(t *testing.T) {
 	}
 	if len(tr) != 0 {
 		t.Errorf("empty VCD produced %d ticks", len(tr))
+	}
+}
+
+// TestStreamVCDIncremental checks the streaming reader emits the same
+// tick sequence ReadVCD materializes, one state at a time.
+func TestStreamVCDIncremental(t *testing.T) {
+	orig := NewBuilder().
+		Tick().Events("req", "rd").
+		Tick().Events("ack").
+		Tick().
+		Tick().Events("req").
+		Tick().
+		Build()
+	var sb strings.Builder
+	if err := WriteVCD(&sb, "dut", orig); err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	err := StreamVCD(strings.NewReader(sb.String()), nil, func(s event.State) error {
+		got = append(got, s)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("streamed %d ticks, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if !orig[i].Equal(got[i]) {
+			t.Errorf("tick %d: %v != %v", i, orig[i], got[i])
+		}
+	}
+}
+
+// TestStreamVCDEmitError checks an emit error aborts the parse and is
+// returned verbatim.
+func TestStreamVCDEmitError(t *testing.T) {
+	orig := NewBuilder().
+		Tick().Events("a").
+		Tick().Events("b").
+		Tick().Events("a").
+		Build()
+	var sb strings.Builder
+	if err := WriteVCD(&sb, "dut", orig); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err := StreamVCD(strings.NewReader(sb.String()), nil, func(event.State) error {
+		calls++
+		if calls == 2 {
+			return io.ErrShortWrite
+		}
+		return nil
+	})
+	if err != io.ErrShortWrite {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if calls != 2 {
+		t.Fatalf("emit called %d times, want 2", calls)
 	}
 }
