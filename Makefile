@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json clean
+.PHONY: all build vet test race check crashtest bench bench-json clean
 
 all: check
 
@@ -19,6 +19,12 @@ race:
 # Tier-1 verification: build + vet + tests under the race detector.
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+
+# Fault-tolerance suite: crash-recovery, quarantine, fault-injection,
+# and client retry/exactly-once tests, under the race detector.
+crashtest:
+	$(GO) test -race -v -run 'Crash|Recovery|Quarantine|Dedup|Journal|Resume|ExactlyOnce|Injected|Truncated' \
+		./internal/server/ ./internal/client/ ./internal/wal/ ./internal/faultinject/ ./internal/trace/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -19,13 +19,16 @@ import (
 
 	"repro/internal/amba"
 	"repro/internal/chart"
+	"repro/internal/event"
 	"repro/internal/mclock"
 	"repro/internal/monitor"
 	"repro/internal/ocp"
 	"repro/internal/readproto"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/verif"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -56,6 +59,20 @@ type benchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// walBatchPayload renders a tick batch the way the cescd journal does,
+// so the WAL benchmarks measure realistic record sizes.
+func walBatchPayload(tr []event.State) []byte {
+	ticks := make([]server.StateJSON, len(tr))
+	for i, s := range tr {
+		ticks[i] = server.EncodeState(s)
+	}
+	data, err := json.Marshal(map[string]any{"jseq": 1, "ticks": ticks})
+	if err != nil {
+		fatal(err)
+	}
+	return data
 }
 
 // writeBenchJSON runs the hot-path micro-benchmarks via testing.Benchmark
@@ -98,6 +115,58 @@ func writeBenchJSON(path string) error {
 				sb.Add(int64(i), "e")
 				sb.Chk("e")
 				sb.Del("e")
+			}
+		}},
+		{"WALAppend64TickBatch", func(b *testing.B) {
+			payload := walBatchPayload(traffic[:64])
+			dir := b.TempDir()
+			mgr, err := wal.OpenManager(wal.Options{Dir: dir, Sync: wal.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			j, err := mgr.OpenJournal("bench", func(wal.Record) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := j.Append(2, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"WALReplay64TickBatches", func(b *testing.B) {
+			payload := walBatchPayload(traffic[:64])
+			dir := b.TempDir()
+			mgr, err := wal.OpenManager(wal.Options{Dir: dir, Sync: wal.SyncNever})
+			if err != nil {
+				b.Fatal(err)
+			}
+			j, err := mgr.OpenJournal("bench", func(wal.Record) error { return nil })
+			if err != nil {
+				b.Fatal(err)
+			}
+			const records = 256
+			for i := 0; i < records; i++ {
+				if err := j.Append(2, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				jr, err := mgr.OpenJournal("bench", func(wal.Record) error { n++; return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				jr.Abandon()
+				if n != records {
+					b.Fatalf("replayed %d records, want %d", n, records)
+				}
 			}
 		}},
 	}

@@ -17,6 +17,11 @@
 //	-idle-ttl DUR        evict sessions idle longer than this (0 = never)
 //	-max-batch N         max ticks accepted per request
 //	-tick-delay DUR      artificial per-tick delay (load testing only)
+//	-wal-dir PATH        journal sessions here and recover them at startup
+//	-fsync MODE          WAL durability: always | interval | never
+//	-fsync-every DUR     sync period for -fsync interval
+//	-snapshot-every N    checkpoint monitor state every N journaled batches
+//	                     (negative disables snapshots)
 //
 // Endpoints: GET /healthz, GET /metrics, GET|POST /specs,
 // POST|GET /sessions, GET|DELETE /sessions/{id},
@@ -41,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -51,15 +57,35 @@ func main() {
 	idleTTL := flag.Duration("idle-ttl", 30*time.Minute, "evict sessions idle longer than this (0 disables)")
 	maxBatch := flag.Int("max-batch", 65536, "max ticks per ingest request")
 	tickDelay := flag.Duration("tick-delay", 0, "artificial per-tick delay (load testing only)")
+	walDir := flag.String("wal-dir", "", "session journal directory (empty disables crash recovery)")
+	fsync := flag.String("fsync", "interval", "WAL durability: always | interval | never")
+	fsyncEvery := flag.Duration("fsync-every", 0, "sync period for -fsync interval (0 = wal default)")
+	snapEvery := flag.Int("snapshot-every", 0, "checkpoint every N journaled batches (0 = default, negative disables)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
+	policy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		log.Fatalf("cescd: %v", err)
+	}
+	srv, err := server.New(server.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
 		MaxBatchTicks: *maxBatch,
 		IdleTTL:       *idleTTL,
 		TickDelay:     *tickDelay,
+		WALDir:        *walDir,
+		Fsync:         policy,
+		FsyncEvery:    *fsyncEvery,
+		SnapshotEvery: *snapEvery,
 	})
+	if err != nil {
+		log.Fatalf("cescd: %v", err)
+	}
+	if *walDir != "" {
+		m := srv.Metrics()
+		log.Printf("cescd: journaling to %s (fsync %s), recovered %d session(s), replayed %d batch(es)",
+			*walDir, *fsync, m.SessionsRecovered, m.BatchesReplayed)
+	}
 	loaded, err := loadSpecs(srv, *specs)
 	if err != nil {
 		log.Fatalf("cescd: %v", err)

@@ -1,0 +1,328 @@
+// Package client is the Go client for the cescd daemon: request
+// timeouts, context cancellation, and transparent retry with
+// exponential backoff and jitter. Tick batches carry client-assigned
+// sequence numbers, which the server's dedup watermark turns into
+// exactly-once ingestion — a retry of a batch the server already
+// applied (because only the response was lost) is acknowledged without
+// being re-processed, so it is always safe to retry.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Options tunes a Client; zero values select the documented defaults.
+type Options struct {
+	// BaseURL is the daemon's root URL (required), e.g. "http://host:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (default: http.Client with
+	// RequestTimeout).
+	HTTPClient *http.Client
+	// RequestTimeout bounds each individual attempt (default 10s). The
+	// caller's context still bounds the whole call including backoff.
+	RequestTimeout time.Duration
+	// MaxAttempts is the total number of tries per request, first
+	// included (default 5).
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the exponential backoff between
+	// attempts: base*2^n capped, plus up to 50% jitter (defaults 50ms
+	// and 2s). A 429's Retry-After raises the delay when larger.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed makes the jitter deterministic in tests (0 seeds from the
+	// backoff parameters, still deterministic but arbitrary).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 50 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 2 * time.Second
+	}
+	return o
+}
+
+// APIError is a terminal (non-retryable) HTTP error response.
+type APIError struct {
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cescd: %d: %s", e.Code, e.Message)
+}
+
+// Client talks to one cescd daemon. Safe for concurrent use.
+type Client struct {
+	opts Options
+	http *http.Client
+	base string
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	retries atomic.Uint64 // attempts beyond the first, across all calls
+}
+
+// New builds a client for the daemon at opts.BaseURL.
+func New(opts Options) *Client {
+	opts = opts.withDefaults()
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: opts.RequestTimeout}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = int64(opts.BackoffBase) ^ int64(opts.BackoffCap)
+	}
+	return &Client{
+		opts: opts,
+		http: hc,
+		base: strings.TrimRight(opts.BaseURL, "/"),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Retries reports the attempts beyond the first across all calls — a
+// test and observability hook.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// backoff computes the sleep before retry attempt n (0-based), honoring
+// a server-provided floor (Retry-After).
+func (c *Client) backoff(n int, floor time.Duration) time.Duration {
+	d := c.opts.BackoffBase << uint(n)
+	if d > c.opts.BackoffCap || d <= 0 {
+		d = c.opts.BackoffCap
+	}
+	c.mu.Lock()
+	d += time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.mu.Unlock()
+	if d < floor {
+		d = floor
+	}
+	return d
+}
+
+// retryAfter parses a 429/503 Retry-After header (seconds form).
+func retryAfter(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if sec, err := strconv.Atoi(v); err == nil && sec >= 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return 0
+}
+
+// do runs one API call with per-attempt timeouts and retry on
+// network errors, 429, and 5xx. Terminal HTTP errors come back as
+// *APIError. The body is replayed from memory on each attempt, which is
+// what makes retrying POSTs safe (combined with ?seq dedup for ticks).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		var floor time.Duration
+		retryable := false
+		lastErr, floor, retryable = c.attempt(ctx, method, path, body, out)
+		if lastErr == nil || !retryable {
+			return lastErr
+		}
+		if attempt == c.opts.MaxAttempts-1 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.backoff(attempt, floor)):
+		}
+	}
+	return fmt.Errorf("cescd: %s %s: giving up after %d attempts: %w",
+		method, path, c.opts.MaxAttempts, lastErr)
+}
+
+// attempt performs one HTTP round trip and classifies the outcome.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (err error, floor time.Duration, retryable bool) {
+	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err, 0, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		// Network-level failure (or attempt timeout): retryable unless
+		// the caller's context is done.
+		if ctx.Err() != nil {
+			return ctx.Err(), 0, false
+		}
+		return err, 0, true
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err(), 0, false
+		}
+		return err, 0, true
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("cescd: decoding %s %s response: %w", method, path, err), 0, false
+			}
+		}
+		return nil, 0, false
+	}
+	msg := strings.TrimSpace(string(data))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	apiErr := &APIError{Code: resp.StatusCode, Message: msg}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests,
+		resp.StatusCode == http.StatusServiceUnavailable:
+		return apiErr, retryAfter(resp), true
+	case resp.StatusCode >= 500:
+		return apiErr, 0, true
+	default:
+		return apiErr, 0, false
+	}
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the daemon metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (server.MetricsSnapshot, error) {
+	var m server.MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &m)
+	return m, err
+}
+
+// LoadSpecs POSTs .cesc source; replace overwrites existing names.
+func (c *Client) LoadSpecs(ctx context.Context, src string, replace bool) ([]string, error) {
+	path := "/specs"
+	if replace {
+		path += "?replace=1"
+	}
+	var out struct {
+		Loaded []string `json:"loaded"`
+	}
+	if err := c.do(ctx, http.MethodPost, path, []byte(src), &out); err != nil {
+		return nil, err
+	}
+	return out.Loaded, nil
+}
+
+// CreateSession opens a monitoring session over the named specs.
+func (c *Client) CreateSession(ctx context.Context, mode string, specs ...string) (*Session, error) {
+	body, err := json.Marshal(map[string]any{"specs": specs, "mode": mode})
+	if err != nil {
+		return nil, err
+	}
+	var info server.SessionInfoJSON
+	if err := c.do(ctx, http.MethodPost, "/sessions", body, &info); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, ID: info.ID}, nil
+}
+
+// Session is one server-side monitor bank plus the client-side sequence
+// counter that makes its tick stream idempotent under retries.
+type Session struct {
+	c  *Client
+	ID string
+
+	seq atomic.Uint64
+}
+
+// Resume rebinds a session handle to an existing (possibly recovered)
+// server session. nextSeq is the first unused sequence number; pass
+// lastAcked+1 when resuming a stream.
+func (c *Client) Resume(id string, nextSeq uint64) *Session {
+	s := &Session{c: c, ID: id}
+	if nextSeq > 0 {
+		s.seq.Store(nextSeq - 1)
+	}
+	return s
+}
+
+// TickAck is the ingest acknowledgment.
+type TickAck struct {
+	Accepted  int    `json:"accepted"`
+	Processed bool   `json:"processed"`
+	Seq       uint64 `json:"seq"`
+	Duplicate bool   `json:"duplicate"`
+}
+
+// SendTicks streams one batch of valuation ticks. Each call consumes the
+// next sequence number, so a batch retried after a lost response is
+// deduplicated server-side: the ack then reports Duplicate with the
+// original seq. wait makes the call block until the batch is processed.
+func (s *Session) SendTicks(ctx context.Context, ticks []server.StateJSON, wait bool) (TickAck, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, tk := range ticks {
+		if err := enc.Encode(tk); err != nil {
+			return TickAck{}, err
+		}
+	}
+	seq := s.seq.Add(1)
+	path := fmt.Sprintf("/sessions/%s/ticks?seq=%d", s.ID, seq)
+	if wait {
+		path += "&wait=1"
+	}
+	var ack TickAck
+	if err := s.c.do(ctx, http.MethodPost, path, buf.Bytes(), &ack); err != nil {
+		return TickAck{}, err
+	}
+	return ack, nil
+}
+
+// Verdicts fetches the session's accumulated verdicts.
+func (s *Session) Verdicts(ctx context.Context) (server.VerdictsJSON, error) {
+	var v server.VerdictsJSON
+	err := s.c.do(ctx, http.MethodGet, "/sessions/"+s.ID+"/verdicts", nil, &v)
+	return v, err
+}
+
+// Info fetches the session's current info.
+func (s *Session) Info(ctx context.Context) (server.SessionInfoJSON, error) {
+	var info server.SessionInfoJSON
+	err := s.c.do(ctx, http.MethodGet, "/sessions/"+s.ID, nil, &info)
+	return info, err
+}
+
+// Delete tears the session down server-side.
+func (s *Session) Delete(ctx context.Context) error {
+	return s.c.do(ctx, http.MethodDelete, "/sessions/"+s.ID, nil, nil)
+}

@@ -1,0 +1,203 @@
+// Package faultinject is a small deterministic fault plane: named
+// injection points scattered through production code paths (WAL writes,
+// ingest handlers, monitor stepping) that a test wires to a seeded
+// schedule of errors, latencies, and panics. Production runs pass a nil
+// *Plane and every Hit call is a nil-check away from free; tests get
+// reproducible fault sequences instead of hoping a crash window lines
+// up. This is how the recovery, quarantine, and retry paths are proved
+// rather than assumed (see internal/server and internal/client tests).
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Kind selects what firing a rule does at the injection point.
+type Kind int
+
+const (
+	// KindError makes Hit return the rule's Err.
+	KindError Kind = iota
+	// KindLatency makes Hit sleep for the rule's Delay, then continue.
+	KindLatency
+	// KindPanic makes Hit panic with a *Injected value. Call sites that
+	// quarantine (recover) use this to prove their recovery path.
+	KindPanic
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindLatency:
+		return "latency"
+	case KindPanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Injected is the panic value of KindPanic rules, so recover sites can
+// distinguish injected panics in test assertions.
+type Injected struct {
+	Point string
+}
+
+// Error lets Injected double as the default KindError error.
+func (i *Injected) Error() string { return "faultinject: injected fault at " + i.Point }
+
+// Rule schedules faults at one injection point. The schedule is
+// counted, not timed: the rule looks at how many times the point has
+// been hit, so a fixed seed plus a fixed workload yields the exact same
+// fault sequence on every run.
+type Rule struct {
+	// Point is the injection point name, e.g. "wal.append".
+	Point string
+	// Kind is what firing does (error / latency / panic).
+	Kind Kind
+	// After skips the first After hits of the point.
+	After int
+	// Every fires on every Every-th eligible hit (1 = every hit).
+	// Zero means fire exactly once (on the first eligible hit).
+	Every int
+	// Count caps the total number of fires (0 = unlimited).
+	Count int
+	// Prob, when in (0,1), additionally gates each eligible fire on the
+	// plane's seeded RNG — deterministic for a fixed seed and hit order.
+	Prob float64
+	// Err is returned by KindError fires (default: *Injected).
+	Err error
+	// Delay is slept by KindLatency fires.
+	Delay time.Duration
+}
+
+type ruleState struct {
+	Rule
+	fires int
+}
+
+// Plane is a set of scheduled rules plus per-point hit counters. The
+// zero of *Plane (nil) is a valid, completely inert plane.
+type Plane struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hits  map[string]int
+	rules []*ruleState
+}
+
+// New returns a plane whose probabilistic gates draw from a rand source
+// seeded with seed.
+func New(seed int64) *Plane {
+	return &Plane{
+		rng:  rand.New(rand.NewSource(seed)),
+		hits: make(map[string]int),
+	}
+}
+
+// Add registers a rule and returns the plane for chaining.
+func (p *Plane) Add(r Rule) *Plane {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules = append(p.rules, &ruleState{Rule: r})
+	return p
+}
+
+// Hit announces that execution reached the named injection point. It
+// returns the injected error (KindError), sleeps then returns nil
+// (KindLatency), panics (KindPanic), or returns nil when no rule fires.
+// A nil plane always returns nil. Rules are evaluated in Add order; the
+// first one that fires wins.
+func (p *Plane) Hit(point string) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	p.hits[point]++
+	n := p.hits[point]
+	var fired *ruleState
+	for _, r := range p.rules {
+		if r.Point != point {
+			continue
+		}
+		if !r.due(n) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && p.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fires++
+		fired = r
+		break
+	}
+	p.mu.Unlock()
+	if fired == nil {
+		return nil
+	}
+	switch fired.Kind {
+	case KindLatency:
+		time.Sleep(fired.Delay)
+		return nil
+	case KindPanic:
+		panic(&Injected{Point: point})
+	default:
+		if fired.Err != nil {
+			return fired.Err
+		}
+		return &Injected{Point: point}
+	}
+}
+
+// due reports whether the rule's counted schedule selects hit number n
+// (1-based), before the probabilistic gate.
+func (r *ruleState) due(n int) bool {
+	if r.Count > 0 && r.fires >= r.Count {
+		return false
+	}
+	n -= r.After
+	if n <= 0 {
+		return false
+	}
+	if r.Every <= 0 {
+		return r.fires == 0
+	}
+	return (n-1)%r.Every == 0
+}
+
+// Hits returns how many times the point has been reached.
+func (p *Plane) Hits(point string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits[point]
+}
+
+// Fires returns how many faults have fired at the point across all
+// rules.
+func (p *Plane) Fires(point string) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, r := range p.rules {
+		if r.Point == point {
+			total += r.fires
+		}
+	}
+	return total
+}
+
+// IsInjected reports whether a recovered panic value (or an error) came
+// from this package.
+func IsInjected(v any) bool {
+	_, ok := v.(*Injected)
+	return ok
+}

@@ -1,0 +1,126 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilPlane checks the inert nil plane is safe everywhere.
+func TestNilPlane(t *testing.T) {
+	var p *Plane
+	if err := p.Hit("anything"); err != nil {
+		t.Fatalf("nil plane Hit = %v", err)
+	}
+	if p.Hits("anything") != 0 || p.Fires("anything") != 0 {
+		t.Fatal("nil plane has counters")
+	}
+}
+
+// TestCountedSchedule checks After/Every/Count arithmetic: fires land on
+// exactly the scheduled hit numbers, every run.
+func TestCountedSchedule(t *testing.T) {
+	p := New(1).Add(Rule{Point: "pt", Kind: KindError, After: 2, Every: 3, Count: 2})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if err := p.Hit("pt"); err != nil {
+			fired = append(fired, i)
+		}
+	}
+	// Eligible hits are 3,6,9,12 (After 2, Every 3); Count 2 keeps 3 and 6.
+	want := []int{3, 6}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if p.Hits("pt") != 12 || p.Fires("pt") != 2 {
+		t.Fatalf("hits=%d fires=%d", p.Hits("pt"), p.Fires("pt"))
+	}
+}
+
+// TestFireOnce checks Every=0 means a single fire.
+func TestFireOnce(t *testing.T) {
+	p := New(1).Add(Rule{Point: "pt", Kind: KindError})
+	n := 0
+	for i := 0; i < 5; i++ {
+		if p.Hit("pt") != nil {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("fired %d times, want 1", n)
+	}
+}
+
+// TestCustomError checks Err is returned verbatim and the default is an
+// *Injected naming the point.
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	p := New(1).
+		Add(Rule{Point: "a", Kind: KindError, Err: sentinel, Every: 1}).
+		Add(Rule{Point: "b", Kind: KindError, Every: 1})
+	if err := p.Hit("a"); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	err := p.Hit("b")
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Point != "b" {
+		t.Fatalf("err = %v, want *Injected{b}", err)
+	}
+}
+
+// TestPanicKind checks KindPanic panics with an identifiable value.
+func TestPanicKind(t *testing.T) {
+	p := New(1).Add(Rule{Point: "pt", Kind: KindPanic, Every: 1})
+	defer func() {
+		v := recover()
+		if !IsInjected(v) {
+			t.Fatalf("recovered %v, want *Injected", v)
+		}
+	}()
+	_ = p.Hit("pt")
+	t.Fatal("Hit did not panic")
+}
+
+// TestLatencyKind checks KindLatency sleeps and does not error.
+func TestLatencyKind(t *testing.T) {
+	p := New(1).Add(Rule{Point: "pt", Kind: KindLatency, Delay: 20 * time.Millisecond, Every: 1})
+	start := time.Now()
+	if err := p.Hit("pt"); err != nil {
+		t.Fatalf("latency Hit = %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("slept %v, want >= 20ms", d)
+	}
+}
+
+// TestSeededProbDeterministic checks the probabilistic gate replays
+// identically for a fixed seed.
+func TestSeededProbDeterministic(t *testing.T) {
+	run := func() []int {
+		p := New(42).Add(Rule{Point: "pt", Kind: KindError, Every: 1, Prob: 0.3})
+		var fired []int
+		for i := 1; i <= 200; i++ {
+			if p.Hit("pt") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob gate degenerate: %d fires of 200", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs differ: %d vs %d fires", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at fire %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package monitor
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Execution-state snapshots: everything an Engine accumulates at
+// runtime — automaton position, tick counter, stats, pending scoreboard
+// reversals, the diagnostic ring, and the scoreboard itself — captured
+// as plain JSON-marshalable values. The cescd WAL journals these
+// periodically so crash recovery restores a session and replays only
+// the journal tail, with verdicts identical to an uninterrupted run.
+// The automaton itself is not part of the snapshot: it is rebuilt from
+// the journaled spec source (see Monitor's own JSON form in json.go).
+
+// EngineSnapshot is the serializable execution state of an Engine.
+type EngineSnapshot struct {
+	State   int           `json:"state"`
+	Tick    int           `json:"tick"`
+	Stats   Stats         `json:"stats"`
+	Pending []string      `json:"pending,omitempty"`
+	Diag    *DiagSnapshot `json:"diag,omitempty"`
+}
+
+// DiagSnapshot is the serializable state of an engine's diagnostics:
+// the recent-input ring plus the recorded violation reports.
+type DiagSnapshot struct {
+	Depth   int           `json:"depth"`
+	Ring    []event.State `json:"ring"`
+	Next    int           `json:"next"`
+	Filled  bool          `json:"filled"`
+	Reports []Diagnostic  `json:"reports,omitempty"`
+}
+
+// Snapshot captures the engine's execution state. The returned value
+// shares no mutable structure with the engine.
+func (e *Engine) Snapshot() EngineSnapshot {
+	snap := EngineSnapshot{
+		State:   e.state,
+		Tick:    e.tick,
+		Stats:   e.stats,
+		Pending: append([]string(nil), e.pending...),
+	}
+	if e.diag != nil {
+		d := &DiagSnapshot{
+			Depth:  e.diag.depth,
+			Ring:   make([]event.State, len(e.diag.ring)),
+			Next:   e.diag.next,
+			Filled: e.diag.filled,
+		}
+		for i, s := range e.diag.ring {
+			d.Ring[i] = cloneMaybe(s)
+		}
+		for _, r := range e.diag.reports {
+			d.Reports = append(d.Reports, cloneDiagnostic(r))
+		}
+		snap.Diag = d
+	}
+	return snap
+}
+
+// Restore replaces the engine's execution state with a snapshot
+// (automaton and mode are unchanged; the scoreboard is restored
+// separately via Scoreboard.Restore).
+func (e *Engine) Restore(snap EngineSnapshot) error {
+	if snap.State < 0 || snap.State >= e.m.States {
+		return fmt.Errorf("monitor: snapshot state %d out of range for %q (%d states)",
+			snap.State, e.m.Name, e.m.States)
+	}
+	if snap.Tick < 0 {
+		return fmt.Errorf("monitor: snapshot tick %d negative", snap.Tick)
+	}
+	e.state = snap.State
+	e.tick = snap.Tick
+	e.stats = snap.Stats
+	e.pending = append([]string(nil), snap.Pending...)
+	if snap.Diag == nil {
+		e.diag = nil
+		return nil
+	}
+	d := snap.Diag
+	if d.Depth <= 0 || len(d.Ring) != d.Depth || d.Next < 0 || d.Next >= d.Depth {
+		return fmt.Errorf("monitor: snapshot diagnostics malformed (depth %d, ring %d, next %d)",
+			d.Depth, len(d.Ring), d.Next)
+	}
+	ds := &diagState{depth: d.Depth, ring: make([]event.State, d.Depth), next: d.Next, filled: d.Filled}
+	for i, s := range d.Ring {
+		ds.ring[i] = cloneMaybe(s)
+	}
+	for _, r := range d.Reports {
+		ds.reports = append(ds.reports, cloneDiagnostic(r))
+	}
+	e.diag = ds
+	return nil
+}
+
+// cloneMaybe deep-copies a state, tolerating the zero State (nil maps)
+// that unfilled ring slots and JSON round trips produce.
+func cloneMaybe(s event.State) event.State {
+	if s.Events == nil && s.Props == nil {
+		return s
+	}
+	c := event.NewState()
+	for k, v := range s.Props {
+		c.Props[k] = v
+	}
+	for k, v := range s.Events {
+		c.Events[k] = v
+	}
+	return c
+}
+
+func cloneDiagnostic(d Diagnostic) Diagnostic {
+	out := Diagnostic{
+		Tick:       d.Tick,
+		FromState:  d.FromState,
+		Input:      cloneMaybe(d.Input),
+		Scoreboard: append([]string(nil), d.Scoreboard...),
+	}
+	for _, r := range d.Recent {
+		out.Recent = append(out.Recent, cloneMaybe(r))
+	}
+	return out
+}
+
+// ScoreboardSnapshot is the serializable state of a Scoreboard.
+type ScoreboardSnapshot struct {
+	Counts  map[string]int     `json:"counts,omitempty"`
+	AddedAt map[string][]int64 `json:"added_at,omitempty"`
+	Ops     uint64             `json:"ops"`
+}
+
+// Snapshot captures the scoreboard's entries and op counter.
+func (sb *Scoreboard) Snapshot() ScoreboardSnapshot {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	snap := ScoreboardSnapshot{
+		Counts:  make(map[string]int, len(sb.counts)),
+		AddedAt: make(map[string][]int64, len(sb.addedAt)),
+		Ops:     sb.ops,
+	}
+	for k, v := range sb.counts {
+		snap.Counts[k] = v
+	}
+	for k, v := range sb.addedAt {
+		snap.AddedAt[k] = append([]int64(nil), v...)
+	}
+	return snap
+}
+
+// Restore replaces the scoreboard's state with a snapshot.
+func (sb *Scoreboard) Restore(snap ScoreboardSnapshot) {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	sb.counts = make(map[string]int, len(snap.Counts))
+	sb.addedAt = make(map[string][]int64, len(snap.AddedAt))
+	sb.ops = snap.Ops
+	for k, v := range snap.Counts {
+		sb.counts[k] = v
+	}
+	for k, v := range snap.AddedAt {
+		sb.addedAt[k] = append([]int64(nil), v...)
+	}
+}

@@ -1,0 +1,143 @@
+package monitor
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// snapMonitor builds a small linear monitor with scoreboard actions so
+// snapshots carry non-trivial pending/scoreboard state.
+func snapMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	ev := func(n string) expr.Expr { return expr.Ev(n) }
+	m := New("snap", "clk", 4)
+	m.Linear = true
+	m.AddTransition(0, Transition{To: 1, Guard: ev("a"), Actions: []Action{Add("a")}})
+	m.AddTransition(0, Transition{To: 0, Guard: expr.Not(ev("a"))})
+	m.AddTransition(1, Transition{To: 2, Guard: ev("b")})
+	m.AddTransition(1, Transition{To: 0, Guard: expr.Not(ev("b")), Actions: []Action{Del("a")}})
+	m.AddTransition(2, Transition{To: 3, Guard: expr.And(ev("c"), expr.Chk("a"))})
+	m.AddTransition(2, Transition{To: 0, Guard: expr.Not(ev("c")), Actions: []Action{Del("a")}})
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// snapTrace is a deterministic input mix: progress, acceptance,
+// abandonment (violations in assert mode), and idle ticks.
+func snapTrace(n int) []event.State {
+	pattern := [][]string{
+		{"a"}, {"b"}, {"c"}, // accept
+		{"a"}, {"x"}, // hard reset (uncovered in state 1? "!b" covers; x has no b -> Del path)
+		{}, {"a"}, {"b"}, {"q"}, // abandon at state 2
+	}
+	var tr []event.State
+	for i := 0; len(tr) < n; i++ {
+		tr = append(tr, event.NewState().WithEvents(pattern[i%len(pattern)]...))
+	}
+	return tr
+}
+
+// TestEngineSnapshotRoundTrip runs an engine halfway, snapshots it,
+// restores into a fresh engine, finishes both, and demands identical
+// stats, state, diagnostics, and scoreboard — the parity property WAL
+// recovery relies on. The snapshot crosses a JSON round trip, as it
+// does on disk.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{ModeDetect, ModeAssert} {
+		m := snapMonitor(t)
+		tr := snapTrace(200)
+		ref := NewEngine(m, nil, mode)
+		ref.EnableDiagnostics(4)
+		for _, s := range tr[:117] {
+			ref.Step(s)
+		}
+
+		snap := ref.Snapshot()
+		sbSnap := ref.Scoreboard().Snapshot()
+		data, err := json.Marshal(struct {
+			E EngineSnapshot
+			S ScoreboardSnapshot
+		}{snap, sbSnap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back struct {
+			E EngineSnapshot
+			S ScoreboardSnapshot
+		}
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := NewEngine(snapMonitor(t), nil, mode)
+		if err := fresh.Restore(back.E); err != nil {
+			t.Fatal(err)
+		}
+		fresh.Scoreboard().Restore(back.S)
+
+		for _, s := range tr[117:] {
+			wantRes := ref.Step(s)
+			gotRes := fresh.Step(s)
+			if !reflect.DeepEqual(gotRes, wantRes) {
+				t.Fatalf("mode %v: step diverged: got %+v, want %+v", mode, gotRes, wantRes)
+			}
+		}
+		if ref.Stats() != fresh.Stats() {
+			t.Fatalf("mode %v: stats %+v, want %+v", mode, fresh.Stats(), ref.Stats())
+		}
+		if ref.State() != fresh.State() {
+			t.Fatalf("mode %v: state %d, want %d", mode, fresh.State(), ref.State())
+		}
+		wantDiag, _ := json.Marshal(ref.Diagnostics())
+		gotDiag, _ := json.Marshal(fresh.Diagnostics())
+		if string(wantDiag) != string(gotDiag) {
+			t.Fatalf("mode %v: diagnostics diverged:\n got %s\nwant %s", mode, gotDiag, wantDiag)
+		}
+		for _, ev := range []string{"a", "b", "c"} {
+			if ref.Scoreboard().Count(ev) != fresh.Scoreboard().Count(ev) {
+				t.Fatalf("mode %v: scoreboard %s count %d, want %d",
+					mode, ev, fresh.Scoreboard().Count(ev), ref.Scoreboard().Count(ev))
+			}
+		}
+	}
+}
+
+// TestRestoreValidation checks malformed snapshots are rejected.
+func TestRestoreValidation(t *testing.T) {
+	e := NewEngine(snapMonitor(t), nil, ModeDetect)
+	if err := e.Restore(EngineSnapshot{State: 99}); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+	if err := e.Restore(EngineSnapshot{Tick: -1}); err == nil {
+		t.Error("negative tick accepted")
+	}
+	if err := e.Restore(EngineSnapshot{Diag: &DiagSnapshot{Depth: 3, Ring: make([]event.State, 2)}}); err == nil {
+		t.Error("mismatched diag ring accepted")
+	}
+}
+
+// TestScoreboardSnapshotIsolated checks the snapshot shares no mutable
+// structure with the live scoreboard.
+func TestScoreboardSnapshotIsolated(t *testing.T) {
+	sb := NewScoreboard()
+	sb.Add(7, "e1", "e2")
+	snap := sb.Snapshot()
+	sb.Add(9, "e1")
+	if snap.Counts["e1"] != 1 || len(snap.AddedAt["e1"]) != 1 {
+		t.Fatalf("snapshot mutated by later ops: %+v", snap)
+	}
+	sb2 := NewScoreboard()
+	sb2.Restore(snap)
+	if sb2.Count("e1") != 1 || sb2.Count("e2") != 1 || sb2.Ops() != 2 {
+		t.Fatalf("restored scoreboard = %s ops=%d", sb2, sb2.Ops())
+	}
+	if at, ok := sb2.FirstAddedAt("e2"); !ok || at != 7 {
+		t.Fatalf("restored timestamp = %d/%v", at, ok)
+	}
+}

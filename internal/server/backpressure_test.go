@@ -34,7 +34,10 @@ func postTicks(t *testing.T, base, id string, body []byte) (int, http.Header) {
 // (b) every accepted batch is processed completely and in order — no
 // drops, no reordering.
 func TestBackpressure429(t *testing.T) {
-	s := New(Config{Shards: 1, QueueDepth: 1, TickDelay: 10 * time.Millisecond})
+	s, err := New(Config{Shards: 1, QueueDepth: 1, TickDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	src := ocpSimpleReadSource(t)
 	if _, err := s.LoadSpecSource(src); err != nil {
 		t.Fatal(err)
@@ -98,7 +101,10 @@ func TestBackpressure429(t *testing.T) {
 // TestGracefulDrain checks Close processes every accepted batch before
 // returning, and that ingest after drain starts is refused with 503.
 func TestGracefulDrain(t *testing.T) {
-	s := New(Config{Shards: 1, QueueDepth: 8, TickDelay: 5 * time.Millisecond})
+	s, err := New(Config{Shards: 1, QueueDepth: 8, TickDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s.LoadSpecSource(ocpSimpleReadSource(t)); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/verif"
+	"repro/internal/wal"
+)
+
+// Session journaling. When Config.WALDir is set, every session owns one
+// journal under <WALDir>/<session-id>/ and the accept path appends a
+// record per accepted batch, so a crashed daemon restarted on the same
+// directory rebuilds each session by replaying the journal and reports
+// verdicts and coverage identical to an uninterrupted run.
+//
+// Record kinds:
+//
+//	recMeta     — session identity + the printed source of every spec,
+//	              written (and synced) before the create response. The
+//	              specs travel as source because the automaton is fully
+//	              deterministic to resynthesize, which keeps snapshots
+//	              small and versions the journal against the compiler.
+//	recBatch    — one accepted tick batch, with its journal index (jseq)
+//	              and the client's dedup seq, appended under ingestMu in
+//	              accept order.
+//	recSnapshot — periodic execution-state checkpoint. Appended via
+//	              wal.AppendCheckpoint, which rotates first so every
+//	              earlier record lands in an older segment and prunes
+//	              those segments afterwards; the record is therefore
+//	              self-contained (it repeats the session meta).
+const (
+	recMeta     byte = 1
+	recBatch    byte = 2
+	recSnapshot byte = 3
+)
+
+type specSourceJSON struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+type sessionMetaJSON struct {
+	ID      string           `json:"id"`
+	Mode    string           `json:"mode"`
+	Created time.Time        `json:"created"`
+	Specs   []specSourceJSON `json:"specs"`
+}
+
+type batchRecordJSON struct {
+	JSeq  uint64      `json:"jseq"`
+	Seq   uint64      `json:"seq,omitempty"`
+	Ticks []StateJSON `json:"ticks"`
+}
+
+type monitorSnapshotJSON struct {
+	Spec             string                     `json:"spec"`
+	Engine           monitor.EngineSnapshot     `json:"engine"`
+	Scoreboard       monitor.ScoreboardSnapshot `json:"scoreboard"`
+	Coverage         verif.CoverageSnapshot     `json:"coverage"`
+	AcceptTicks      []int                      `json:"accept_ticks,omitempty"`
+	Quarantined      bool                       `json:"quarantined,omitempty"`
+	QuarantineReason string                     `json:"quarantine_reason,omitempty"`
+}
+
+type snapshotRecordJSON struct {
+	Meta     sessionMetaJSON       `json:"meta"`
+	JSeq     uint64                `json:"jseq"`
+	LastSeq  uint64                `json:"last_seq"`
+	Monitors []monitorSnapshotJSON `json:"monitors"`
+}
+
+// journalCreate opens a fresh journal for a new session and makes its
+// meta record durable before the create response is sent.
+func (s *Server) journalCreate(sess *session, specs []*Spec) error {
+	meta := sessionMetaJSON{ID: sess.id, Mode: modeString(sess.mode), Created: sess.created}
+	for _, sp := range specs {
+		meta.Specs = append(meta.Specs, specSourceJSON{Name: sp.Name, Source: sp.Source})
+	}
+	j, err := s.wal.OpenJournal(sess.id, func(wal.Record) error {
+		return fmt.Errorf("journal for new session %s is not empty", sess.id)
+	})
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(meta)
+	if err != nil {
+		j.Abandon()
+		return err
+	}
+	if err := j.Append(recMeta, payload); err != nil {
+		j.Abandon()
+		return err
+	}
+	if err := j.Sync(); err != nil {
+		j.Abandon()
+		return err
+	}
+	sess.jrnl = j
+	sess.meta = meta
+	return nil
+}
+
+// journalBatch appends one accepted batch. Caller holds sess.ingestMu
+// and has already assigned b.jseq.
+func (s *Server) journalBatch(sess *session, b *batch, seq uint64) error {
+	rec := batchRecordJSON{JSeq: b.jseq, Seq: seq, Ticks: make([]StateJSON, len(b.states))}
+	for i, st := range b.states {
+		rec.Ticks[i] = stateJSON(st)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return sess.jrnl.Append(recBatch, payload)
+}
+
+// snapshotSession checkpoints the session's execution state. Caller
+// holds sess.ingestMu and has waited for the batch that made the
+// snapshot due, so appliedJSeq covers every journaled batch and the
+// checkpoint may prune all older segments.
+func (s *Server) snapshotSession(sess *session) error {
+	sess.mu.Lock()
+	rec := snapshotRecordJSON{Meta: sess.meta, JSeq: sess.appliedJSeq, LastSeq: sess.lastSeq}
+	for _, sm := range sess.mons {
+		rec.Monitors = append(rec.Monitors, monitorSnapshotJSON{
+			Spec:             sm.spec,
+			Engine:           sm.eng.Snapshot(),
+			Scoreboard:       sm.eng.Scoreboard().Snapshot(),
+			Coverage:         sm.cov.Snapshot(),
+			AcceptTicks:      append([]int(nil), sm.acceptTicks...),
+			Quarantined:      sm.quarantined,
+			QuarantineReason: sm.quarantineReason,
+		})
+	}
+	sess.mu.Unlock()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := sess.jrnl.AppendCheckpoint(recSnapshot, payload); err != nil {
+		return err
+	}
+	s.metrics.walSnapshots.Add(1)
+	return nil
+}
+
+// dropJournal closes a session's journal and removes it from disk
+// (explicit delete and idle eviction — the session is gone, so its
+// durability obligation is too).
+func (s *Server) dropJournal(sess *session) {
+	if sess.jrnl == nil {
+		return
+	}
+	_ = sess.jrnl.Close()
+	_ = s.wal.Remove(sess.id)
+	sess.jrnl = nil
+}
+
+// recoverSessions rebuilds every journaled session found in the WAL
+// directory. Called from New before the HTTP API is reachable, so the
+// rebuilt sessions see no concurrent traffic.
+func (s *Server) recoverSessions() error {
+	ids, err := s.wal.List()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := s.recoverSession(id); err != nil {
+			return fmt.Errorf("server: recovering session %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func (s *Server) recoverSession(id string) error {
+	var (
+		sess     *session
+		replayed uint64
+	)
+	j, err := s.wal.OpenJournal(id, func(rec wal.Record) error {
+		switch rec.Kind {
+		case recMeta:
+			var meta sessionMetaJSON
+			if err := json.Unmarshal(rec.Payload, &meta); err != nil {
+				return fmt.Errorf("meta record: %w", err)
+			}
+			var err error
+			sess, err = s.sessionFromMeta(meta)
+			return err
+		case recSnapshot:
+			var snap snapshotRecordJSON
+			if err := json.Unmarshal(rec.Payload, &snap); err != nil {
+				return fmt.Errorf("snapshot record: %w", err)
+			}
+			// Snapshots are self-contained: checkpointing pruned the
+			// segments holding the meta record, so rebuild from here.
+			var err error
+			sess, err = s.sessionFromMeta(snap.Meta)
+			if err != nil {
+				return err
+			}
+			if len(snap.Monitors) != len(sess.mons) {
+				return fmt.Errorf("snapshot has %d monitors, session has %d", len(snap.Monitors), len(sess.mons))
+			}
+			for i, ms := range snap.Monitors {
+				sm := sess.mons[i]
+				if sm.spec != ms.Spec {
+					return fmt.Errorf("snapshot monitor %d is %q, session has %q", i, ms.Spec, sm.spec)
+				}
+				if err := sm.eng.Restore(ms.Engine); err != nil {
+					return err
+				}
+				sm.eng.Scoreboard().Restore(ms.Scoreboard)
+				if err := sm.cov.Restore(ms.Coverage); err != nil {
+					return err
+				}
+				sm.acceptTicks = append([]int(nil), ms.AcceptTicks...)
+				sm.quarantined = ms.Quarantined
+				sm.quarantineReason = ms.QuarantineReason
+			}
+			sess.appliedJSeq = snap.JSeq
+			sess.walSeq = snap.JSeq
+			sess.lastSeq = snap.LastSeq
+			return nil
+		case recBatch:
+			if sess == nil {
+				return fmt.Errorf("batch record before session meta")
+			}
+			var br batchRecordJSON
+			if err := json.Unmarshal(rec.Payload, &br); err != nil {
+				return fmt.Errorf("batch record: %w", err)
+			}
+			if br.JSeq > sess.walSeq {
+				sess.walSeq = br.JSeq
+			}
+			if br.Seq > sess.lastSeq {
+				sess.lastSeq = br.Seq
+			}
+			if br.JSeq <= sess.appliedJSeq {
+				// Folded into the snapshot already.
+				return nil
+			}
+			sess.mu.Lock()
+			for _, t := range br.Ticks {
+				sess.step(t.ToState())
+			}
+			sess.appliedJSeq = br.JSeq
+			sess.mu.Unlock()
+			replayed++
+			return nil
+		default:
+			return fmt.Errorf("unknown record kind %d", rec.Kind)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if sess == nil {
+		// An empty journal directory (crash between mkdir and the meta
+		// append) represents a session that was never acknowledged.
+		j.Abandon()
+		return s.wal.Remove(id)
+	}
+	sess.jrnl = j
+	s.smu.Lock()
+	s.sessions[sess.id] = sess
+	s.smu.Unlock()
+	s.metrics.sessionsRecovered.Add(1)
+	s.metrics.batchesReplayed.Add(replayed)
+	return nil
+}
+
+// sessionFromMeta resynthesizes a session's monitors from the journaled
+// spec sources and rebuilds the (empty) session around them.
+func (s *Server) sessionFromMeta(meta sessionMetaJSON) (*session, error) {
+	mode, err := parseMode(meta.Mode)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]*Spec, 0, len(meta.Specs))
+	for _, ss := range meta.Specs {
+		sp, err := compileSingleSpec(ss.Name, ss.Source)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	sess := newSession(meta.ID, mode, shardFor(meta.ID, len(s.shards)), specs, s.cfg.Faults)
+	sess.created = meta.Created
+	sess.meta = meta
+	return sess, nil
+}

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // metrics aggregates daemon-wide counters. Shard workers are the only
@@ -20,6 +22,13 @@ type metrics struct {
 	violationsTotal atomic.Uint64 // monitor violations across sessions
 	sessionsCreated atomic.Uint64
 	sessionsEvicted atomic.Uint64 // idle evictions (not explicit deletes)
+
+	monitorsQuarantined atomic.Uint64 // engines fenced off after a step panic
+	sessionsRecovered   atomic.Uint64 // sessions rebuilt from the WAL at startup
+	batchesReplayed     atomic.Uint64 // journal-tail batches re-applied at startup
+	batchesDeduped      atomic.Uint64 // ?seq retries absorbed by the watermark
+	walErrors           atomic.Uint64 // journal append/snapshot failures
+	walSnapshots        atomic.Uint64 // checkpoints written
 
 	latency *histogram // enqueue-to-processed latency per tick
 }
@@ -53,6 +62,14 @@ type MetricsSnapshot struct {
 	TickLatencyP50  int64           `json:"tick_latency_p50_ns"`
 	TickLatencyP99  int64           `json:"tick_latency_p99_ns"`
 	TickLatencyN    uint64          `json:"tick_latency_samples"`
+
+	MonitorsQuarantined uint64     `json:"monitors_quarantined"`
+	SessionsRecovered   uint64     `json:"sessions_recovered"`
+	BatchesReplayed     uint64     `json:"batches_replayed"`
+	BatchesDeduped      uint64     `json:"batches_deduped"`
+	WALErrors           uint64     `json:"wal_errors"`
+	WALSnapshots        uint64     `json:"wal_snapshots"`
+	WAL                 *wal.Stats `json:"wal,omitempty"` // nil when journaling is off
 }
 
 // snapshot assembles the exported view; the server fills in the parts it
@@ -77,6 +94,13 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		TickLatencyP50:  int64(m.latency.quantile(0.50)),
 		TickLatencyP99:  int64(m.latency.quantile(0.99)),
 		TickLatencyN:    m.latency.count(),
+
+		MonitorsQuarantined: m.monitorsQuarantined.Load(),
+		SessionsRecovered:   m.sessionsRecovered.Load(),
+		BatchesReplayed:     m.batchesReplayed.Load(),
+		BatchesDeduped:      m.batchesDeduped.Load(),
+		WALErrors:           m.walErrors.Load(),
+		WALSnapshots:        m.walSnapshots.Load(),
 	}
 }
 

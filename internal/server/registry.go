@@ -41,35 +41,76 @@ func newRegistry() *registry {
 	return &registry{specs: make(map[string]*Spec)}
 }
 
-// LoadSource parses .cesc source text, synthesizes a monitor per chart,
-// and registers the results. Name collisions are rejected unless replace
-// is set. Returns the registered spec names.
-func (r *registry) LoadSource(src string, replace bool) ([]string, error) {
+// compileChart synthesizes one chart into a Spec. A panic anywhere in
+// synthesis is converted to an error so a malformed hot-load can never
+// take the daemon (or the serving registry) down with it.
+func compileChart(name string, c chart.Chart) (sp *Spec, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: chart %q: synthesis panic: %v", name, r)
+		}
+	}()
+	sp = &Spec{Name: name, Source: parser.Print(name, c)}
+	if _, ok := c.(*chart.Async); ok {
+		sp.MultiClock = true
+		return sp, nil
+	}
+	m, err := synth.Synthesize(c, nil)
+	if err != nil {
+		return nil, fmt.Errorf("server: chart %q: %w", name, err)
+	}
+	sp.mon = m
+	sp.Clock = m.Clock
+	sp.States = m.States
+	sp.Transitions = m.NumTransitions()
+	// Exercise the table-driven fast path; monitors too wide to
+	// compile still run on the interpreted engine.
+	if cm, err := monitor.Compile(m); err == nil {
+		sp.TableBytes = cm.TableBytes()
+	}
+	return sp, nil
+}
+
+// compileSource parses and synthesizes .cesc source without touching any
+// registry — the shared compile path of hot-loading and WAL recovery.
+func compileSource(src string) ([]*Spec, error) {
 	f, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	specs := make([]*Spec, 0, len(f.Charts))
 	for _, n := range f.Charts {
-		sp := &Spec{Name: n.Name, Source: parser.Print(n.Name, n.Chart)}
-		if _, ok := n.Chart.(*chart.Async); ok {
-			sp.MultiClock = true
-		} else {
-			m, err := synth.Synthesize(n.Chart, nil)
-			if err != nil {
-				return nil, fmt.Errorf("server: chart %q: %w", n.Name, err)
-			}
-			sp.mon = m
-			sp.Clock = m.Clock
-			sp.States = m.States
-			sp.Transitions = m.NumTransitions()
-			// Exercise the table-driven fast path; monitors too wide to
-			// compile still run on the interpreted engine.
-			if c, err := monitor.Compile(m); err == nil {
-				sp.TableBytes = c.TableBytes()
-			}
+		sp, err := compileChart(n.Name, n.Chart)
+		if err != nil {
+			return nil, err
 		}
 		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// compileSingleSpec rebuilds one journaled spec from its printed source
+// (the WAL recovery path).
+func compileSingleSpec(name, src string) (*Spec, error) {
+	specs, err := compileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) != 1 || specs[0].Name != name {
+		return nil, fmt.Errorf("server: journaled source for %q compiled to %d spec(s)", name, len(specs))
+	}
+	return specs[0], nil
+}
+
+// LoadSource parses .cesc source text, synthesizes a monitor per chart,
+// and registers the results — swap-on-success: the registry is only
+// touched after the entire batch has compiled, so a malformed POST
+// leaves every previously loaded version serving. Name collisions are
+// rejected unless replace is set. Returns the registered spec names.
+func (r *registry) LoadSource(src string, replace bool) ([]string, error) {
+	specs, err := compileSource(src)
+	if err != nil {
+		return nil, err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

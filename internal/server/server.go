@@ -18,16 +18,21 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/faultinject"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // Config tunes the daemon; zero values select the documented defaults.
@@ -49,6 +54,29 @@ type Config struct {
 	// TickDelay inserts an artificial per-tick processing delay — a load
 	// and backpressure test aid, never set in production.
 	TickDelay time.Duration
+
+	// WALDir enables crash-safe session journaling: every session's
+	// accepted batches are appended to a per-session journal under this
+	// directory, and New rebuilds journaled sessions found there. Empty
+	// disables journaling.
+	WALDir string
+	// WALSegmentBytes is the journal segment rotation size (see
+	// wal.Options; 0 selects the wal default).
+	WALSegmentBytes int64
+	// Fsync selects the journal durability policy (default
+	// wal.SyncInterval); FsyncEvery is the interval policy's period.
+	Fsync      wal.SyncPolicy
+	FsyncEvery time.Duration
+	// SnapshotEvery checkpoints a session's monitor state every N
+	// journaled batches and prunes the journal behind the checkpoint, so
+	// recovery replays only the tail (default 256; negative disables
+	// snapshots, keeping the whole journal).
+	SnapshotEvery int
+
+	// Faults wires a deterministic fault-injection plane through the
+	// daemon (WAL writes, monitor stepping, ingest responses). Tests
+	// only; nil means no faults.
+	Faults *faultinject.Plane
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +95,9 @@ func (c Config) withDefaults() Config {
 			c.SweepEvery = time.Second
 		}
 	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 256
+	}
 	return c
 }
 
@@ -78,6 +109,7 @@ type Server struct {
 	mux     *http.ServeMux
 	specs   *registry
 	metrics *metrics
+	wal     *wal.Manager // nil when journaling is disabled
 
 	smu      sync.RWMutex
 	sessions map[string]*session
@@ -87,6 +119,11 @@ type Server struct {
 	draining bool
 	shards   []*shard
 
+	// crashed is set by Crash (the simulated power cut): workers drop
+	// in-flight batches instead of processing them and handlers refuse
+	// new work.
+	crashed atomic.Bool
+
 	wg        sync.WaitGroup
 	janitorWG sync.WaitGroup
 	stopSweep chan struct{}
@@ -94,8 +131,11 @@ type Server struct {
 }
 
 // New constructs a server and starts its shard workers (and the idle
-// janitor when eviction is configured).
-func New(cfg Config) *Server {
+// janitor when eviction is configured). With Config.WALDir set it also
+// opens the journal directory and rebuilds every journaled session
+// before returning, so the HTTP API never exposes a half-recovered
+// state.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:       cfg.withDefaults(),
 		mux:       http.NewServeMux(),
@@ -104,11 +144,30 @@ func New(cfg Config) *Server {
 		sessions:  make(map[string]*session),
 		stopSweep: make(chan struct{}),
 	}
+	if s.cfg.WALDir != "" {
+		mgr, err := wal.OpenManager(wal.Options{
+			Dir:          s.cfg.WALDir,
+			SegmentBytes: s.cfg.WALSegmentBytes,
+			Sync:         s.cfg.Fsync,
+			SyncEvery:    s.cfg.FsyncEvery,
+			Faults:       s.cfg.Faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.wal = mgr
+	}
 	for i := 0; i < s.cfg.Shards; i++ {
 		sh := &shard{queue: make(chan *batch, s.cfg.QueueDepth)}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go s.runShard(sh)
+	}
+	if s.wal != nil {
+		if err := s.recoverSessions(); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	if s.cfg.IdleTTL > 0 {
 		s.janitorWG.Add(1)
@@ -116,7 +175,7 @@ func New(cfg Config) *Server {
 	}
 	s.routes()
 	publishExpvar(s)
-	return s
+	return s, nil
 }
 
 // LoadSpecSource compiles .cesc source into the registry (startup path;
@@ -132,6 +191,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := s.metrics.snapshot()
 	snap.SpecsLoaded = s.specs.Len()
+	if s.wal != nil {
+		st := s.wal.Stats()
+		snap.WAL = &st
+	}
 	s.smu.RLock()
 	snap.SessionsActive = len(s.sessions)
 	perShard := make([]int, len(s.shards))
@@ -151,7 +214,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 }
 
 // Close drains: no new batches are accepted, shard queues are closed,
-// and every already-accepted batch is processed before Close returns.
+// every already-accepted batch is processed, and session journals are
+// synced shut before Close returns.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.qmu.Lock()
@@ -163,6 +227,40 @@ func (s *Server) Close() {
 		close(s.stopSweep)
 		s.wg.Wait()
 		s.janitorWG.Wait()
+		s.smu.Lock()
+		for _, sess := range s.sessions {
+			if sess.jrnl != nil {
+				_ = sess.jrnl.Close()
+			}
+		}
+		s.smu.Unlock()
+	})
+}
+
+// Crash simulates a power cut for recovery tests: handlers start
+// refusing work, queued batches are discarded unprocessed, and journals
+// are abandoned without a final sync — whatever the WAL already holds is
+// all a restarted server gets. The in-memory session table is dropped.
+func (s *Server) Crash() {
+	s.closeOnce.Do(func() {
+		s.crashed.Store(true)
+		s.qmu.Lock()
+		s.draining = true
+		for _, sh := range s.shards {
+			close(sh.queue)
+		}
+		s.qmu.Unlock()
+		close(s.stopSweep)
+		s.wg.Wait()
+		s.janitorWG.Wait()
+		s.smu.Lock()
+		for _, sess := range s.sessions {
+			if sess.jrnl != nil {
+				sess.jrnl.Abandon()
+			}
+		}
+		s.sessions = make(map[string]*session)
+		s.smu.Unlock()
 	})
 }
 
@@ -180,6 +278,7 @@ func (s *Server) janitor() {
 			for id, sess := range s.sessions {
 				if sess.idleFor(now) > s.cfg.IdleTTL {
 					delete(s.sessions, id)
+					s.dropJournal(sess)
 					s.metrics.sessionsEvicted.Add(1)
 				}
 			}
@@ -224,6 +323,10 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.crashed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "crashed")
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"uptime_sec": time.Since(s.metrics.start).Seconds(),
@@ -295,7 +398,16 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		specs = append(specs, sp)
 	}
 	id := newSessionID()
-	sess := newSession(id, mode, shardFor(id, len(s.shards)), specs)
+	sess := newSession(id, mode, shardFor(id, len(s.shards)), specs, s.cfg.Faults)
+	if s.wal != nil {
+		// The meta record must be durable before the id is handed out:
+		// a session the client knows about must survive a crash.
+		if err := s.journalCreate(sess, specs); err != nil {
+			s.metrics.walErrors.Add(1)
+			writeError(w, http.StatusInternalServerError, "journal: %v", err)
+			return
+		}
+	}
 	s.smu.Lock()
 	s.sessions[id] = sess
 	s.smu.Unlock()
@@ -330,8 +442,11 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.smu.Lock()
-	_, ok := s.sessions[id]
+	sess, ok := s.sessions[id]
 	delete(s.sessions, id)
+	if ok {
+		s.dropJournal(sess)
+	}
 	s.smu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such session")
@@ -340,11 +455,26 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
+// ErrInjected429 is a sentinel for faultinject rules on the
+// "server.ingest" point: a rule carrying it makes the handler answer
+// 429 + Retry-After instead of 500, so client retry/backoff paths can be
+// driven deterministically.
+var ErrInjected429 = errors.New("injected backpressure")
+
 // handleTicks ingests NDJSON valuation ticks (one StateJSON object per
 // line; a plain JSON stream also decodes). The batch is enqueued to the
 // session's shard: 202 on acceptance, 429 + Retry-After when the shard
 // queue is full, 503 when draining. ?wait=1 blocks until the batch has
 // been processed and returns 200.
+//
+// ?seq=N attaches a client-assigned, per-session-monotonic sequence
+// number: a batch whose seq is not above the session's watermark is
+// acknowledged as a duplicate without being processed, which upgrades
+// at-least-once retries into exactly-once ingestion. With journaling
+// enabled the batch is appended to the session's WAL (in accept order,
+// under the same per-session lock as the dedup check) before the
+// response; an append failure returns 500 and the client's retry is
+// absorbed by the dedup watermark.
 func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
@@ -352,6 +482,15 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.touch()
+	var seq uint64
+	if q := r.URL.Query().Get("seq"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil || v == 0 {
+			writeError(w, http.StatusBadRequest, "seq must be a positive integer")
+			return
+		}
+		seq = v
+	}
 	var states []event.State
 	dec := json.NewDecoder(r.Body)
 	for {
@@ -373,28 +512,96 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no ticks in body")
 		return
 	}
+	if err := s.cfg.Faults.Hit("server.ingest"); err != nil {
+		if errors.Is(err, ErrInjected429) {
+			s.metrics.rejectedTotal.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	b := &batch{sess: sess, states: states, enqueued: time.Now()}
 	wait := r.URL.Query().Get("wait") == "1"
-	if wait {
+
+	sess.ingestMu.Lock()
+	if seq > 0 && seq <= sess.lastSeq {
+		sess.ingestMu.Unlock()
+		s.metrics.batchesDeduped.Add(1)
+		writeJSON(w, http.StatusOK, map[string]any{"accepted": 0, "seq": seq, "duplicate": true})
+		return
+	}
+	snapDue := false
+	if sess.jrnl != nil {
+		b.jseq = sess.walSeq + 1
+		snapDue = s.cfg.SnapshotEvery > 0 && b.jseq%uint64(s.cfg.SnapshotEvery) == 0
+	}
+	if wait || snapDue {
 		b.done = make(chan struct{})
 	}
 	switch err := s.tryEnqueue(b); err {
 	case nil:
 	case errQueueFull:
+		sess.ingestMu.Unlock()
 		s.metrics.rejectedTotal.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "shard %d queue full", sess.shard)
 		return
 	default:
+		sess.ingestMu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	if wait {
+	// The batch is accepted: advance the dedup watermark now, so a
+	// client retry after a lost response (or a failed journal append)
+	// never double-applies.
+	if seq > 0 {
+		sess.lastSeq = seq
+	}
+	if sess.jrnl != nil {
+		sess.walSeq = b.jseq
+		if err := s.journalBatch(sess, b, seq); err != nil {
+			sess.ingestMu.Unlock()
+			s.metrics.walErrors.Add(1)
+			// The batch is applied in memory but not durable; 500 asks
+			// the client to retry, and the retry is deduped above.
+			writeError(w, http.StatusInternalServerError, "journal append: %v", err)
+			return
+		}
+	}
+	if snapDue {
+		// Snapshot barrier: wait (still under ingestMu, so no later
+		// batch can be accepted meanwhile) until the worker has applied
+		// this batch, then checkpoint — appliedJSeq now covers every
+		// journaled record, making it safe for the checkpoint to prune
+		// all older segments.
 		<-b.done
-		writeJSON(w, http.StatusOK, map[string]any{"accepted": len(states), "processed": true})
+		if err := s.snapshotSession(sess); err != nil {
+			// Non-fatal: the journal tail still reconstructs the
+			// session, recovery just replays more.
+			s.metrics.walErrors.Add(1)
+		}
+	}
+	sess.ingestMu.Unlock()
+	if err := s.cfg.Faults.Hit("server.ingest.respond"); err != nil {
+		// Simulated response-path failure after the batch was accepted:
+		// the client sees an error and retries a batch the server has
+		// already applied — the dedup watermark makes that exactly-once.
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]any{"accepted": len(states)})
+	resp := map[string]any{"accepted": len(states)}
+	if seq > 0 {
+		resp["seq"] = seq
+	}
+	if wait {
+		<-b.done
+		resp["processed"] = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 // vcdChunkTicks is the enqueue granularity of the VCD upload path: the
@@ -437,10 +644,31 @@ func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
 			enqueued: time.Now(),
 			done:     make(chan struct{}),
 		}
+		sess.ingestMu.Lock()
+		snapDue := false
+		if sess.jrnl != nil {
+			b.jseq = sess.walSeq + 1
+			snapDue = s.cfg.SnapshotEvery > 0 && b.jseq%uint64(s.cfg.SnapshotEvery) == 0
+		}
 		if err := s.enqueueWait(b); err != nil {
+			sess.ingestMu.Unlock()
 			return err
 		}
+		if sess.jrnl != nil {
+			sess.walSeq = b.jseq
+			if err := s.journalBatch(sess, b, 0); err != nil {
+				sess.ingestMu.Unlock()
+				s.metrics.walErrors.Add(1)
+				return err
+			}
+		}
 		<-b.done
+		if snapDue {
+			if err := s.snapshotSession(sess); err != nil {
+				s.metrics.walErrors.Add(1)
+			}
+		}
+		sess.ingestMu.Unlock()
 		total += len(chunk)
 		chunk = make([]event.State, 0, vcdChunkTicks)
 		return nil

@@ -23,7 +23,10 @@ import (
 // an httptest front end.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	src := parser.Print("OcpSimpleRead", ocp.SimpleReadChart())
 	if _, err := s.LoadSpecSource(src); err != nil {
 		t.Fatalf("loading spec: %v", err)

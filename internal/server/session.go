@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/faultinject"
 	"repro/internal/monitor"
 	"repro/internal/verif"
+	"repro/internal/wal"
 )
 
 // maxAcceptTicks bounds the per-monitor accept-tick log returned by the
@@ -36,15 +38,35 @@ type session struct {
 
 	mu   sync.Mutex
 	mons []*sessionMonitor
+	// appliedJSeq is the journal index of the last batch the shard worker
+	// has applied (guarded by mu). Snapshots record it so recovery knows
+	// which journal records are already folded in.
+	appliedJSeq uint64
+
+	// ingestMu serializes the accept path of one session: duplicate
+	// detection, enqueue order, and journal appends must agree on batch
+	// order, so they happen under one lock per session.
+	ingestMu sync.Mutex
+	lastSeq  uint64 // highest client seq accepted (dedup watermark)
+	walSeq   uint64 // journal index of the last appended batch record
+	jrnl     *wal.Journal
+	meta     sessionMetaJSON
+
+	faults *faultinject.Plane
 }
 
 // sessionMonitor pairs a spec's engine with its coverage collector and
-// accept-tick log.
+// accept-tick log. A monitor that panics while stepping is quarantined:
+// its engine state is suspect, so it stops consuming ticks while the
+// rest of the session keeps running.
 type sessionMonitor struct {
 	spec        string
 	eng         *monitor.Engine
 	cov         *verif.Coverage
 	acceptTicks []int
+
+	quarantined      bool
+	quarantineReason string
 }
 
 // newSessionID returns a 16-hex-char random identifier.
@@ -64,8 +86,8 @@ func shardFor(id string, shards int) int {
 	return int(h.Sum32() % uint32(shards))
 }
 
-func newSession(id string, mode monitor.Mode, shard int, specs []*Spec) *session {
-	s := &session{id: id, mode: mode, shard: shard, created: time.Now()}
+func newSession(id string, mode monitor.Mode, shard int, specs []*Spec, faults *faultinject.Plane) *session {
+	s := &session{id: id, mode: mode, shard: shard, created: time.Now(), faults: faults}
 	s.touch()
 	for _, sp := range specs {
 		eng := monitor.NewEngine(sp.mon, nil, mode)
@@ -88,10 +110,23 @@ func (s *session) idleFor(now time.Time) time.Duration {
 }
 
 // step feeds one tick to every monitor of the session. Caller holds s.mu.
-// It returns the number of acceptances and violations at this tick.
-func (s *session) step(st event.State) (accepts, violations int) {
+// It returns the number of acceptances, violations, and newly
+// quarantined monitors at this tick.
+func (s *session) step(st event.State) (accepts, violations, quarantines int) {
 	for _, sm := range s.mons {
-		res := sm.eng.Step(st)
+		if sm.quarantined {
+			continue
+		}
+		res, panicked := sm.safeStep(s.faults, st)
+		if panicked != nil {
+			// The engine may have died mid-transition; its state is no
+			// longer trustworthy, so the monitor is fenced off for the
+			// rest of the session while its siblings keep stepping.
+			sm.quarantined = true
+			sm.quarantineReason = fmt.Sprintf("panic at step %d: %v", sm.eng.Stats().Steps, panicked)
+			quarantines++
+			continue
+		}
 		sm.cov.Record(res)
 		switch res.Outcome {
 		case monitor.Accepted:
@@ -103,7 +138,19 @@ func (s *session) step(st event.State) (accepts, violations int) {
 			violations++
 		}
 	}
-	return accepts, violations
+	return accepts, violations, quarantines
+}
+
+// safeStep runs one engine step behind a recover barrier so a panicking
+// monitor cannot take down its shard worker. The fault plane's
+// "monitor.step.<spec>" point lets tests simulate an engine bug
+// deterministically.
+func (sm *sessionMonitor) safeStep(faults *faultinject.Plane, st event.State) (res monitor.StepResult, panicked any) {
+	defer func() { panicked = recover() }()
+	if faults != nil {
+		_ = faults.Hit("monitor.step." + sm.spec)
+	}
+	return sm.eng.Step(st), nil
 }
 
 // modeString renders the session mode for JSON bodies.
@@ -146,6 +193,10 @@ func (t StateJSON) ToState() event.State {
 	return s
 }
 
+// EncodeState converts an engine-side state to the wire form — exported
+// for the client package and the WAL journal, which both speak StateJSON.
+func EncodeState(s event.State) StateJSON { return stateJSON(s) }
+
 // stateJSON converts an engine-side state to the wire form (only true
 // symbols are carried, sorted for stable output).
 func stateJSON(s event.State) StateJSON {
@@ -184,17 +235,21 @@ type CoverageJSON struct {
 	Uncovered  []string `json:"uncovered,omitempty"`
 }
 
-// MonitorVerdictJSON is one monitor's accumulated verdict.
+// MonitorVerdictJSON is one monitor's accumulated verdict. Quarantined
+// reports a monitor whose engine panicked while stepping: its counters
+// are frozen at the last healthy tick and QuarantineReason says why.
 type MonitorVerdictJSON struct {
-	Spec           string           `json:"spec"`
-	Steps          int              `json:"steps"`
-	Accepts        int              `json:"accepts"`
-	Violations     int              `json:"violations"`
-	Fallbacks      int              `json:"fallbacks"`
-	LastAcceptTick int              `json:"last_accept_tick"`
-	AcceptTicks    []int            `json:"accept_ticks,omitempty"`
-	Coverage       CoverageJSON     `json:"coverage"`
-	Diagnostics    []DiagnosticJSON `json:"diagnostics,omitempty"`
+	Spec             string           `json:"spec"`
+	Steps            int              `json:"steps"`
+	Accepts          int              `json:"accepts"`
+	Violations       int              `json:"violations"`
+	Fallbacks        int              `json:"fallbacks"`
+	LastAcceptTick   int              `json:"last_accept_tick"`
+	AcceptTicks      []int            `json:"accept_ticks,omitempty"`
+	Coverage         CoverageJSON     `json:"coverage"`
+	Diagnostics      []DiagnosticJSON `json:"diagnostics,omitempty"`
+	Quarantined      bool             `json:"quarantined,omitempty"`
+	QuarantineReason string           `json:"quarantine_reason,omitempty"`
 }
 
 // VerdictsJSON is the body of GET /sessions/{id}/verdicts.
@@ -225,6 +280,8 @@ func (s *session) verdicts() VerdictsJSON {
 				HardResets: sm.cov.HardResets(),
 				Uncovered:  sm.cov.UncoveredTransitions(),
 			},
+			Quarantined:      sm.quarantined,
+			QuarantineReason: sm.quarantineReason,
 		}
 		for _, d := range sm.eng.Diagnostics() {
 			dj := DiagnosticJSON{

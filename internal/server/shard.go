@@ -14,8 +14,13 @@ type batch struct {
 	sess     *session
 	states   []event.State
 	enqueued time.Time
+	// jseq is the journal index assigned to this batch when the session
+	// is journaled (0 otherwise); the worker records it as appliedJSeq so
+	// snapshots know where the replay tail starts.
+	jseq uint64
 	// done, when non-nil, is closed after the last tick of the batch has
-	// been processed (the ?wait=1 ingest path and the VCD upload).
+	// been processed (the ?wait=1 ingest path, the VCD upload, and
+	// snapshot barriers).
 	done chan struct{}
 }
 
@@ -69,6 +74,14 @@ func (s *Server) enqueueWait(b *batch) error {
 func (s *Server) runShard(sh *shard) {
 	defer s.wg.Done()
 	for b := range sh.queue {
+		if s.crashed.Load() {
+			// Simulated crash: discard in-memory work, but unblock any
+			// handler waiting on the batch.
+			if b.done != nil {
+				close(b.done)
+			}
+			continue
+		}
 		s.process(sh, b)
 	}
 }
@@ -83,16 +96,22 @@ func (s *Server) process(sh *shard, b *batch) {
 		if d := s.cfg.TickDelay; d > 0 {
 			time.Sleep(d)
 		}
-		acc, vio := sess.step(st)
+		acc, vio, quar := sess.step(st)
 		if acc > 0 {
 			s.metrics.acceptsTotal.Add(uint64(acc))
 		}
 		if vio > 0 {
 			s.metrics.violationsTotal.Add(uint64(vio))
 		}
+		if quar > 0 {
+			s.metrics.monitorsQuarantined.Add(uint64(quar))
+		}
 		sh.ticks.Add(1)
 		s.metrics.ticksTotal.Add(1)
 		s.metrics.latency.observe(time.Since(b.enqueued))
+	}
+	if b.jseq > 0 {
+		sess.appliedJSeq = b.jseq
 	}
 	sess.mu.Unlock()
 	sess.touch()

@@ -33,6 +33,7 @@ func StreamVCD(r io.Reader, kindOf func(name string) event.Kind, emit func(event
 	var (
 		now     int64 = -1
 		sawDefs bool
+		pending int // value changes since the last timestamp line
 	)
 	flushTo := func(t int64) error {
 		// Materialize states for ticks now..t-1 with the current values.
@@ -90,6 +91,7 @@ func StreamVCD(r io.Reader, kindOf func(name string) event.Kind, emit func(event
 			} else if err := flushTo(t); err != nil {
 				return err
 			}
+			pending = 0
 		case line[0] == '0' || line[0] == '1':
 			if !sawDefs {
 				return fmt.Errorf("trace: value change before $enddefinitions")
@@ -100,11 +102,26 @@ func StreamVCD(r io.Reader, kindOf func(name string) event.Kind, emit func(event
 				return fmt.Errorf("trace: value change for unknown code %q", code)
 			}
 			cur[name] = line[0] == '1'
+			pending++
 		default:
 			return fmt.Errorf("trace: unsupported VCD line %q", line)
 		}
 	}
-	return sc.Err()
+	// EOF. A dump cut mid-transfer must be reported, never silently read
+	// as a shorter trace: a well-formed dump ends with a closing
+	// timestamp, so definitions that never finished or value changes with
+	// no timestamp after them mean the tail is missing.
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("trace: reading VCD: %w", err)
+	}
+	if !sawDefs {
+		return fmt.Errorf("trace: truncated VCD: EOF before $enddefinitions")
+	}
+	if pending > 0 {
+		return fmt.Errorf("trace: truncated VCD: EOF with %d value change(s) after timestamp %d and no closing timestamp",
+			pending, now)
+	}
+	return nil
 }
 
 // ReadVCD parses a Value Change Dump of 1-bit wires back into a trace:

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// truncVCD builds a small dump with a known tick count for cutting up.
+func truncVCD(t *testing.T) ([]byte, int) {
+	t.Helper()
+	var tr Trace
+	for i := 0; i < 12; i++ {
+		s := event.NewState()
+		if i%3 == 0 {
+			s.Events["req"] = true
+		}
+		if i%3 == 1 {
+			s.Events["ack"] = true
+		}
+		tr = append(tr, s)
+	}
+	var buf bytes.Buffer
+	if err := WriteVCD(&buf, "cut", tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), len(tr)
+}
+
+// TestReadVCDTruncatedHeader checks a dump cut before the definitions
+// finish is reported as truncated, not read as an empty trace.
+func TestReadVCDTruncatedHeader(t *testing.T) {
+	dump, _ := truncVCD(t)
+	cut := bytes.Index(dump, []byte("$enddefinitions"))
+	if cut < 0 {
+		t.Fatal("no $enddefinitions in dump")
+	}
+	_, err := ReadVCD(bytes.NewReader(dump[:cut]), nil)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("header-cut dump: err = %v, want truncation error", err)
+	}
+}
+
+// TestReadVCDTruncatedMidRecord checks a dump cut between a timestamp
+// and the next one — value changes with no closing timestamp — errors
+// instead of silently dropping the tail ticks.
+func TestReadVCDTruncatedMidRecord(t *testing.T) {
+	dump, _ := truncVCD(t)
+	// Cut just after the last value-change line (drop the final "#12\n").
+	cut := bytes.LastIndexByte(bytes.TrimRight(dump, "\n"), '#')
+	_, err := ReadVCD(bytes.NewReader(dump[:cut]), nil)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("mid-record cut: err = %v, want truncation error", err)
+	}
+	if !strings.Contains(err.Error(), "value change") {
+		t.Fatalf("error not descriptive: %v", err)
+	}
+}
+
+// TestReadVCDEveryPrefix sweeps every byte-length prefix of a dump: the
+// reader must never panic, and whenever it accepts a prefix the result
+// must be a prefix-length trace (a cut can legitimately look like a
+// shorter dump — e.g. truncating "#12" to "#1" — but it must never
+// yield MORE ticks, and the intact dump must still round-trip).
+func TestReadVCDEveryPrefix(t *testing.T) {
+	dump, ticks := truncVCD(t)
+	for n := 0; n <= len(dump); n++ {
+		tr, err := ReadVCD(bytes.NewReader(dump[:n]), nil)
+		if err != nil {
+			continue
+		}
+		if len(tr) > ticks {
+			t.Fatalf("prefix %d/%d produced %d ticks, full dump has %d", n, len(dump), len(tr), ticks)
+		}
+		// A cut that drops actual content must never read as the full
+		// dump (losing only the final newline is fine).
+		if n < len(dump)-1 && len(tr) == ticks {
+			t.Fatalf("prefix %d/%d silently read as the complete %d-tick dump", n, len(dump), ticks)
+		}
+	}
+	tr, err := ReadVCD(bytes.NewReader(dump), nil)
+	if err != nil || len(tr) != ticks {
+		t.Fatalf("intact dump: %d ticks, err %v", len(tr), err)
+	}
+}

@@ -1,0 +1,47 @@
+package verif
+
+import "fmt"
+
+// CoverageSnapshot is the serializable state of a Coverage collector,
+// journaled by the cescd WAL so recovered sessions report coverage
+// identical to an uninterrupted run.
+type CoverageSnapshot struct {
+	StateHits  []uint64   `json:"state_hits"`
+	TransHits  [][]uint64 `json:"trans_hits"`
+	HardResets uint64     `json:"hard_resets"`
+}
+
+// Snapshot captures the collector's counters; the result shares no
+// structure with the collector.
+func (c *Coverage) Snapshot() CoverageSnapshot {
+	snap := CoverageSnapshot{
+		StateHits:  append([]uint64(nil), c.stateHits...),
+		TransHits:  make([][]uint64, len(c.transHits)),
+		HardResets: c.uncovered,
+	}
+	for i, hs := range c.transHits {
+		snap.TransHits[i] = append([]uint64(nil), hs...)
+	}
+	return snap
+}
+
+// Restore replaces the collector's counters with a snapshot, validating
+// that its shape matches the collector's monitor.
+func (c *Coverage) Restore(snap CoverageSnapshot) error {
+	if len(snap.StateHits) != len(c.stateHits) || len(snap.TransHits) != len(c.transHits) {
+		return fmt.Errorf("verif: coverage snapshot shape %d/%d does not match monitor %q (%d/%d)",
+			len(snap.StateHits), len(snap.TransHits), c.m.Name, len(c.stateHits), len(c.transHits))
+	}
+	for i, hs := range snap.TransHits {
+		if len(hs) != len(c.transHits[i]) {
+			return fmt.Errorf("verif: coverage snapshot state %d has %d transitions, monitor %q has %d",
+				i, len(hs), c.m.Name, len(c.transHits[i]))
+		}
+	}
+	copy(c.stateHits, snap.StateHits)
+	for i, hs := range snap.TransHits {
+		copy(c.transHits[i], hs)
+	}
+	c.uncovered = snap.HardResets
+	return nil
+}

@@ -1,0 +1,59 @@
+package verif
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/synth"
+)
+
+// TestCoverageSnapshotRoundTrip runs a covered engine halfway, moves the
+// collector state through a snapshot into a fresh collector, finishes
+// both, and demands identical coverage numbers.
+func TestCoverageSnapshotRoundTrip(t *testing.T) {
+	m, err := synth.Synthesize(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 11, FaultRate: 0.2}).GenerateTrace(400)
+
+	ref := NewCoveredEngine(m, nil, monitor.ModeAssert)
+	for _, s := range tr[:250] {
+		ref.Step(s)
+	}
+	snap := ref.Cov.Snapshot()
+	restored := NewCoverage(m)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	// NewCoverage pre-counts the initial state; Restore must overwrite,
+	// not add. Feed both collectors the same remaining results.
+	cont := monitor.NewEngine(m, nil, monitor.ModeAssert)
+	if err := cont.Restore(ref.Engine.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	cont.Scoreboard().Restore(ref.Engine.Scoreboard().Snapshot())
+	for _, s := range tr[250:] {
+		restored.Record(cont.Step(s))
+		ref.Step(s)
+	}
+	if restored.StateCoverage() != ref.Cov.StateCoverage() ||
+		restored.TransitionCoverage() != ref.Cov.TransitionCoverage() ||
+		restored.HardResets() != ref.Cov.HardResets() {
+		t.Fatalf("coverage diverged: got %.4f/%.4f/%d, want %.4f/%.4f/%d",
+			restored.StateCoverage(), restored.TransitionCoverage(), restored.HardResets(),
+			ref.Cov.StateCoverage(), ref.Cov.TransitionCoverage(), ref.Cov.HardResets())
+	}
+	if got, want := restored.UncoveredTransitions(), ref.Cov.UncoveredTransitions(); len(got) != len(want) {
+		t.Fatalf("uncovered = %v, want %v", got, want)
+	}
+
+	// Shape mismatches are rejected.
+	other := NewCoverage(m)
+	bad := snap
+	bad.StateHits = bad.StateHits[:1]
+	if err := other.Restore(bad); err == nil {
+		t.Error("mismatched snapshot accepted")
+	}
+}

@@ -1,0 +1,526 @@
+// Package wal is an append-only, per-session write-ahead journal for the
+// cescd daemon. Each session owns a directory of numbered segment files
+// holding CRC32-framed records; the server journals every accepted tick
+// batch (and periodic monitor-state snapshots) so that after a crash it
+// can rebuild each session and report the same verdicts as an
+// uninterrupted run.
+//
+// The package is deliberately semantics-free: callers choose record
+// kinds and payload encodings; wal owns framing, segment rotation, the
+// fsync policy, snapshot-anchored garbage collection, and torn-tail
+// recovery. A record is
+//
+//	| u32 payload length | u32 CRC32-IEEE(kind ‖ payload) | u8 kind | payload |
+//
+// in little-endian. On open, segments are scanned in order; a trailing
+// record that is cut short or fails its CRC (the torn write of a crash)
+// is truncated away and the journal resumes appending after the last
+// intact record. Corruption anywhere before the tail is reported as an
+// error — that is data loss, not a crash artifact.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncInterval (the default) fsyncs at most once per SyncEvery,
+	// lazily at append time — bounded data-loss window, near-SyncNever
+	// throughput.
+	SyncInterval SyncPolicy = iota
+	// SyncAlways fsyncs after every append: no acknowledged record is
+	// ever lost, at a per-batch fsync cost.
+	SyncAlways
+	// SyncNever leaves flushing to the OS; a machine crash can lose the
+	// page-cache tail, a process crash loses nothing.
+	SyncNever
+)
+
+// String renders the policy as its flag spelling.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParseSyncPolicy inverts String; it accepts "always", "interval", and
+// "never".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "", "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// Options tunes a Manager; zero values select the documented defaults.
+type Options struct {
+	// Dir is the journal root; one subdirectory per session.
+	Dir string
+	// SegmentBytes rotates to a fresh segment when the current one would
+	// exceed this size (default 4 MiB).
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// Faults optionally wires the deterministic fault plane into the
+	// append ("wal.append") and fsync ("wal.sync") paths.
+	Faults *faultinject.Plane
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// Stats aggregates journal activity across a manager, for /metrics.
+type Stats struct {
+	Appends  uint64 `json:"appends"`
+	Syncs    uint64 `json:"syncs"`
+	Bytes    uint64 `json:"bytes"`
+	Replayed uint64 `json:"replayed_records"`
+	// TornBytes counts bytes truncated from segment tails during open —
+	// the torn final write of a crash.
+	TornBytes uint64 `json:"torn_bytes"`
+}
+
+// Manager roots a journal directory and hands out per-session journals.
+type Manager struct {
+	opts Options
+
+	appends  atomic.Uint64
+	syncs    atomic.Uint64
+	bytes    atomic.Uint64
+	replayed atomic.Uint64
+	torn     atomic.Uint64
+}
+
+// OpenManager ensures the root directory exists and returns a manager.
+func OpenManager(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("wal: empty journal directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
+	}
+	return &Manager{opts: opts}, nil
+}
+
+// Stats returns cumulative manager-wide counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Appends:   m.appends.Load(),
+		Syncs:     m.syncs.Load(),
+		Bytes:     m.bytes.Load(),
+		Replayed:  m.replayed.Load(),
+		TornBytes: m.torn.Load(),
+	}
+}
+
+// List returns the session IDs that have journals under the root,
+// sorted.
+func (m *Manager) List() ([]string, error) {
+	ents, err := os.ReadDir(m.opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", m.opts.Dir, err)
+	}
+	var ids []string
+	for _, e := range ents {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Remove deletes a session's journal directory (evicted or deleted
+// sessions keep no history).
+func (m *Manager) Remove(id string) error {
+	return os.RemoveAll(filepath.Join(m.opts.Dir, id))
+}
+
+// Record is one framed journal entry.
+type Record struct {
+	Kind    byte
+	Payload []byte
+}
+
+// frameOverhead is the per-record framing cost: length + CRC + kind.
+const frameOverhead = 4 + 4 + 1
+
+// maxPayload bounds a single record so a corrupt length field cannot
+// drive an absurd allocation during replay.
+const maxPayload = 64 << 20
+
+// Journal is one session's append handle. All methods are safe for
+// concurrent use.
+type Journal struct {
+	mgr *Manager
+	dir string
+
+	mu       sync.Mutex
+	f        *os.File
+	seg      uint64 // current segment index
+	segSize  int64
+	lastSync time.Time
+	dirty    bool
+	closed   bool
+}
+
+// segName renders the segment file name for an index.
+func segName(i uint64) string { return fmt.Sprintf("%016d.wal", i) }
+
+// segIndex parses a segment file name, reporting whether it is one.
+func segIndex(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, ".wal") || len(name) != 16+4 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[:16], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// OpenJournal opens (creating if absent) the journal for a session,
+// replaying every intact record through fn in append order. A torn tail
+// on the final segment is truncated; appends resume after the last
+// intact record. A non-nil error from fn aborts the open.
+func (m *Manager) OpenJournal(id string, fn func(Record) error) (*Journal, error) {
+	dir := filepath.Join(m.opts.Dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{mgr: m, dir: dir, lastSync: time.Now()}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if err := j.scanSegment(seg, last, fn); err != nil {
+			return nil, err
+		}
+	}
+	if len(segs) == 0 {
+		j.seg = 1
+	} else {
+		j.seg = segs[len(segs)-1]
+	}
+	path := filepath.Join(dir, segName(j.seg))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	j.f = f
+	j.segSize = st.Size()
+	return j, nil
+}
+
+// listSegments returns the segment indices present in dir, sorted.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing %s: %w", dir, err)
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if n, ok := segIndex(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// scanSegment replays one segment. On the final segment a trailing
+// short or CRC-failing record is truncated away (torn write); anywhere
+// else it is corruption and an error.
+func (j *Journal) scanSegment(seg uint64, last bool, fn func(Record) error) error {
+	path := filepath.Join(j.dir, segName(seg))
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	var off int64
+	var hdr [frameOverhead]byte
+	for {
+		n, err := io.ReadFull(f, hdr[:])
+		if err == io.EOF {
+			return nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return j.truncateTail(path, off, int64(n), last)
+		}
+		if err != nil {
+			return fmt.Errorf("wal: reading %s: %w", path, err)
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		kind := hdr[8]
+		if size > maxPayload {
+			return j.truncateCorrupt(path, off, last,
+				fmt.Sprintf("record length %d exceeds limit", size))
+		}
+		payload := make([]byte, size)
+		if n, err := io.ReadFull(f, payload); err != nil {
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				return j.truncateTail(path, off, int64(frameOverhead+n), last)
+			}
+			return fmt.Errorf("wal: reading %s: %w", path, err)
+		}
+		if recordCRC(kind, payload) != crc {
+			return j.truncateCorrupt(path, off, last, "CRC mismatch")
+		}
+		if err := fn(Record{Kind: kind, Payload: payload}); err != nil {
+			return err
+		}
+		j.mgr.replayed.Add(1)
+		off += frameOverhead + int64(size)
+	}
+}
+
+// truncateTail handles a record cut short at the end of a segment: a
+// torn final write on the last segment is trimmed; anywhere else it is
+// an error.
+func (j *Journal) truncateTail(path string, off, extra int64, last bool) error {
+	if !last {
+		return fmt.Errorf("wal: %s: truncated record mid-journal at offset %d", path, off)
+	}
+	j.mgr.torn.Add(uint64(extra))
+	if err := os.Truncate(path, off); err != nil {
+		return fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+// truncateCorrupt handles an intact-length but corrupt record: torn
+// tail rules on the final segment (everything from the bad record on is
+// dropped), error elsewhere.
+func (j *Journal) truncateCorrupt(path string, off int64, last bool, what string) error {
+	if !last {
+		return fmt.Errorf("wal: %s: %s at offset %d (mid-journal corruption)", path, what, off)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	j.mgr.torn.Add(uint64(st.Size() - off))
+	if err := os.Truncate(path, off); err != nil {
+		return fmt.Errorf("wal: truncating corrupt tail of %s: %w", path, err)
+	}
+	return nil
+}
+
+func recordCRC(kind byte, payload []byte) uint32 {
+	c := crc32.NewIEEE()
+	c.Write([]byte{kind})
+	c.Write(payload)
+	return c.Sum32()
+}
+
+// Append frames and writes one record, rotating segments by size and
+// fsyncing per the manager's policy.
+func (j *Journal) Append(kind byte, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(kind, payload)
+}
+
+func (j *Journal) appendLocked(kind byte, payload []byte) error {
+	if j.closed {
+		return fmt.Errorf("wal: journal closed")
+	}
+	if err := j.mgr.opts.Faults.Hit("wal.append"); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	frame := int64(frameOverhead + len(payload))
+	if j.segSize > 0 && j.segSize+frame > j.mgr.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, frameOverhead, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], recordCRC(kind, payload))
+	buf[8] = kind
+	buf = append(buf, payload...)
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: writing %s: %w", j.f.Name(), err)
+	}
+	j.segSize += frame
+	j.dirty = true
+	j.mgr.appends.Add(1)
+	j.mgr.bytes.Add(uint64(frame))
+	return j.maybeSyncLocked()
+}
+
+// maybeSyncLocked applies the fsync policy after an append.
+func (j *Journal) maybeSyncLocked() error {
+	switch j.mgr.opts.Sync {
+	case SyncAlways:
+		return j.syncLocked()
+	case SyncInterval:
+		if time.Since(j.lastSync) >= j.mgr.opts.SyncEvery {
+			return j.syncLocked()
+		}
+	}
+	return nil
+}
+
+func (j *Journal) syncLocked() error {
+	if !j.dirty {
+		return nil
+	}
+	if err := j.mgr.opts.Faults.Hit("wal.sync"); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", j.f.Name(), err)
+	}
+	j.dirty = false
+	j.lastSync = time.Now()
+	j.mgr.syncs.Add(1)
+	return nil
+}
+
+// rotateLocked syncs and closes the current segment and opens the next.
+func (j *Journal) rotateLocked() error {
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("wal: closing %s: %w", j.f.Name(), err)
+	}
+	j.seg++
+	path := filepath.Join(j.dir, segName(j.seg))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	j.f = f
+	j.segSize = 0
+	return nil
+}
+
+// AppendCheckpoint rotates to a fresh segment, writes the record (a
+// caller-encoded state snapshot that subsumes all earlier records),
+// fsyncs it regardless of policy, and deletes every older segment —
+// recovery then replays only the snapshot plus the tail appended after
+// it.
+func (j *Journal) AppendCheckpoint(kind byte, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("wal: journal closed")
+	}
+	if err := j.rotateLocked(); err != nil {
+		return err
+	}
+	if err := j.appendLocked(kind, payload); err != nil {
+		return err
+	}
+	if err := j.syncLocked(); err != nil {
+		return err
+	}
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if seg < j.seg {
+			if err := os.Remove(filepath.Join(j.dir, segName(seg))); err != nil {
+				return fmt.Errorf("wal: removing old segment: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync of buffered appends.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+// Close syncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err := j.syncLocked()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Abandon closes the journal without a final sync — the crash-simulation
+// path: whatever the OS has not flushed is exactly what a real crash
+// would lose under the configured policy.
+func (j *Journal) Abandon() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	_ = j.f.Close()
+}
+
+// SegmentCount reports how many segment files the journal currently
+// holds (tests assert checkpoint GC this way).
+func (j *Journal) SegmentCount() (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	segs, err := listSegments(j.dir)
+	return len(segs), err
+}
