@@ -26,8 +26,12 @@ crashtest:
 	$(GO) test -race -v -run 'Crash|Recovery|Quarantine|Dedup|Journal|Resume|ExactlyOnce|Injected|Truncated' \
 		./internal/server/ ./internal/client/ ./internal/wal/ ./internal/faultinject/ ./internal/trace/
 
+# Runs the in-tree benchmarks and records the machine-readable summary
+# that tracks the perf trajectory across PRs (packed vs map engine, WAL,
+# ingest) into BENCH_PR3.json.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/cescbench -json BENCH_PR3.json
 
 # Machine-readable micro-benchmark summary (name, ns/op, allocs/op).
 bench-json:

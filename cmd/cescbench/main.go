@@ -27,6 +27,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/trace"
 	"repro/internal/verif"
 	"repro/internal/wal"
 )
@@ -83,6 +84,34 @@ func writeBenchJSON(path string) error {
 	if err != nil {
 		return err
 	}
+	prog6, err := monitor.CompileProgram(m)
+	if err != nil {
+		return err
+	}
+	packed6 := trace.Trace(traffic).Pack(prog6.Support())
+
+	traffic7 := ocp.NewModel(ocp.Config{Gap: 2, Seed: 2, Burst: true}).GenerateTrace(4096)
+	m7, err := synth.Synthesize(ocp.BurstReadChart(), nil)
+	if err != nil {
+		return err
+	}
+	prog7, err := monitor.CompileProgram(m7)
+	if err != nil {
+		return err
+	}
+	packed7 := trace.Trace(traffic7).Pack(prog7.Support())
+
+	traffic8 := amba.NewModel(amba.Config{Gap: 2, Seed: 3}).GenerateTrace(4096)
+	m8, err := synth.Synthesize(amba.TransactionChart(), nil)
+	if err != nil {
+		return err
+	}
+	prog8, err := monitor.CompileProgram(m8)
+	if err != nil {
+		return err
+	}
+	packed8 := trace.Trace(traffic8).Pack(prog8.Support())
+
 	benches := []struct {
 		name string
 		fn   func(b *testing.B)
@@ -107,6 +136,62 @@ func writeBenchJSON(path string) error {
 			}
 			for i := 0; i < b.N; i++ {
 				c.Step(traffic[i%len(traffic)])
+			}
+		}},
+		{"PackedStepFig6OCPTraffic", func(b *testing.B) {
+			eng := prog6.NewEngine(nil, monitor.ModeDetect)
+			for i := 0; i < b.N; i++ {
+				eng.StepPacked(packed6[i%len(packed6)])
+			}
+		}},
+		{"EngineStepFig7OCPBurstTraffic", func(b *testing.B) {
+			eng := monitor.NewEngine(m7, nil, monitor.ModeDetect)
+			for i := 0; i < b.N; i++ {
+				eng.Step(traffic7[i%len(traffic7)])
+			}
+		}},
+		{"PackedStepFig7OCPBurstTraffic", func(b *testing.B) {
+			eng := prog7.NewEngine(nil, monitor.ModeDetect)
+			for i := 0; i < b.N; i++ {
+				eng.StepPacked(packed7[i%len(packed7)])
+			}
+		}},
+		{"EngineStepFig8AHBTraffic", func(b *testing.B) {
+			eng := monitor.NewEngine(m8, nil, monitor.ModeDetect)
+			for i := 0; i < b.N; i++ {
+				eng.Step(traffic8[i%len(traffic8)])
+			}
+		}},
+		{"PackedStepFig8AHBTraffic", func(b *testing.B) {
+			eng := prog8.NewEngine(nil, monitor.ModeDetect)
+			for i := 0; i < b.N; i++ {
+				eng.StepPacked(packed8[i%len(packed8)])
+			}
+		}},
+		{"ServerIngestDecodePackTick", func(b *testing.B) {
+			// The per-tick half of the daemon's decode-once ingest:
+			// NDJSON wire form -> event.State -> one packed valuation
+			// shared by every monitor in the session.
+			vocab := event.NewVocabulary()
+			if err := vocab.DeclareSupport(prog6.Support()); err != nil {
+				b.Fatal(err)
+			}
+			lines := make([][]byte, 64)
+			for i := range lines {
+				data, err := json.Marshal(server.EncodeState(traffic[i]))
+				if err != nil {
+					b.Fatal(err)
+				}
+				lines[i] = data
+			}
+			var buf event.Packed
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var tick server.StateJSON
+				if err := json.Unmarshal(lines[i%len(lines)], &tick); err != nil {
+					b.Fatal(err)
+				}
+				buf = vocab.PackInto(tick.ToState(), buf)
 			}
 		}},
 		{"ScoreboardAddChkDel", func(b *testing.B) {

@@ -1,0 +1,209 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Guard programs: a guard Expr compiled into a flat postfix instruction
+// sequence over interned slot indices. Evaluation walks the code once
+// with a fixed-size value stack — no AST pointer chasing, no map
+// lookups, no allocation — so one immutable Program can be shared by
+// every session running the same monitor. The AST remains the home of
+// parsing, satisfiability, and minimization; Program is purely the
+// runtime form.
+
+// progOp is the opcode set. Operands are pushed left to right; opAnd /
+// opOr pop their arity and push the combined value.
+type progOp uint8
+
+const (
+	opTrue  progOp = iota // push true
+	opFalse               // push false
+	opInput               // push input slot arg (via the caller's remap)
+	opChk                 // push scoreboard chk bit arg
+	opNot                 // negate top of stack
+	opAnd                 // pop arg values, push conjunction
+	opOr                  // pop arg values, push disjunction
+)
+
+type progInstr struct {
+	op  progOp
+	arg int32
+}
+
+// MaxProgramDepth bounds the evaluation stack. Guards synthesized from
+// charts are shallow; a guard deeper than this is rejected at compile
+// time so EvalPacked can keep its whole boolean stack in a single
+// uint64 register — one bit per stack cell, no memory traffic at all.
+const MaxProgramDepth = 64
+
+// Program is a compiled guard. The zero value is invalid; build with
+// CompileProgram. Programs are immutable after compilation and safe for
+// concurrent evaluation.
+type Program struct {
+	code   []progInstr
+	depth  int
+	hasChk bool
+}
+
+// SlotResolver supplies the interned slot index for each atom during
+// compilation. InputSlot resolves events and propositions to input
+// valuation slots; ChkSlot resolves scoreboard predicates to chk-bit
+// indices. Returning a negative slot fails the compilation.
+type SlotResolver interface {
+	InputSlot(name string, kind event.Kind) int
+	ChkSlot(name string) int
+}
+
+// CompileProgram flattens e into postfix code over r's slots.
+func CompileProgram(e Expr, r SlotResolver) (*Program, error) {
+	p := &Program{}
+	depth, err := p.emit(e, r)
+	if err != nil {
+		return nil, err
+	}
+	p.depth = depth
+	return p, nil
+}
+
+// emit appends code for e and returns the stack depth it needs.
+func (p *Program) emit(e Expr, r SlotResolver) (int, error) {
+	switch v := e.(type) {
+	case trueExpr:
+		p.code = append(p.code, progInstr{op: opTrue})
+		return 1, nil
+	case falseExpr:
+		p.code = append(p.code, progInstr{op: opFalse})
+		return 1, nil
+	case EventRef:
+		return p.emitInput(v.Name, event.KindEvent, r)
+	case PropRef:
+		return p.emitInput(v.Name, event.KindProp, r)
+	case ChkExpr:
+		slot := r.ChkSlot(v.Name)
+		if slot < 0 {
+			return 0, fmt.Errorf("expr: no chk slot for event %q", v.Name)
+		}
+		p.code = append(p.code, progInstr{op: opChk, arg: int32(slot)})
+		p.hasChk = true
+		return 1, nil
+	case NotExpr:
+		d, err := p.emit(v.X, r)
+		if err != nil {
+			return 0, err
+		}
+		p.code = append(p.code, progInstr{op: opNot})
+		return d, nil
+	case AndExpr:
+		return p.emitNary(opAnd, v.Xs, r)
+	case OrExpr:
+		return p.emitNary(opOr, v.Xs, r)
+	default:
+		return 0, fmt.Errorf("expr: cannot compile %T", e)
+	}
+}
+
+func (p *Program) emitInput(name string, kind event.Kind, r SlotResolver) (int, error) {
+	slot := r.InputSlot(name, kind)
+	if slot < 0 {
+		return 0, fmt.Errorf("expr: no input slot for %s %q", kind, name)
+	}
+	p.code = append(p.code, progInstr{op: opInput, arg: int32(slot)})
+	return 1, nil
+}
+
+func (p *Program) emitNary(op progOp, xs []Expr, r SlotResolver) (int, error) {
+	depth := 0
+	for i, x := range xs {
+		d, err := p.emit(x, r)
+		if err != nil {
+			return 0, err
+		}
+		// Operand i sits on top of i already-pushed values.
+		if i+d > depth {
+			depth = i + d
+		}
+	}
+	if depth > MaxProgramDepth {
+		return 0, fmt.Errorf("expr: guard needs stack depth %d (limit %d)", depth, MaxProgramDepth)
+	}
+	p.code = append(p.code, progInstr{op: op, arg: int32(len(xs))})
+	return depth, nil
+}
+
+// Len returns the instruction count (diagnostics and sizing).
+func (p *Program) Len() int { return len(p.code) }
+
+// UsesChk reports whether any instruction samples a scoreboard chk bit —
+// callers that know no guard of the current automaton state tests the
+// scoreboard can skip sampling it (and its lock) entirely.
+func (p *Program) UsesChk() bool { return p.hasChk }
+
+// EvalPacked evaluates the program against a packed input valuation and
+// a chk bitmask (bit i = chk slot i currently live on the scoreboard).
+// remap, when non-nil, translates the program's input slots into the
+// caller's packed slot space — how one compiled spec runs against any
+// session vocabulary; a nil remap means the input is packed in the
+// program's own slot order. The call performs no allocation and never
+// mutates p, so concurrent evaluations are safe.
+func (p *Program) EvalPacked(in event.Packed, remap []int32, chk uint64) bool {
+	// The value stack is a uint64 bitmap: bit i is stack cell i, sp is
+	// the stack height. MaxProgramDepth = 64 guarantees it fits; pushes
+	// write their bit explicitly, so bits above sp may hold stale values.
+	var stack uint64
+	sp := uint(0)
+	for _, ins := range p.code {
+		switch ins.op {
+		case opTrue:
+			stack |= 1 << sp
+			sp++
+		case opFalse:
+			stack &^= 1 << sp
+			sp++
+		case opInput:
+			slot := ins.arg
+			if remap != nil {
+				slot = remap[slot]
+			}
+			if slot >= 0 && in.Bit(int(slot)) {
+				stack |= 1 << sp
+			} else {
+				stack &^= 1 << sp
+			}
+			sp++
+		case opChk:
+			if chk&(1<<uint(ins.arg)) != 0 {
+				stack |= 1 << sp
+			} else {
+				stack &^= 1 << sp
+			}
+			sp++
+		case opNot:
+			stack ^= 1 << (sp - 1)
+		case opAnd:
+			n := uint(ins.arg)
+			sp -= n
+			// n == 64 shifts 1<<n to zero, making mask all ones — still right.
+			mask := uint64(1)<<n - 1
+			if stack>>sp&mask == mask {
+				stack |= 1 << sp
+			} else {
+				stack &^= 1 << sp
+			}
+			sp++
+		case opOr:
+			n := uint(ins.arg)
+			sp -= n
+			mask := uint64(1)<<n - 1
+			if stack>>sp&mask != 0 {
+				stack |= 1 << sp
+			} else {
+				stack &^= 1 << sp
+			}
+			sp++
+		}
+	}
+	return stack&1 != 0
+}

@@ -189,7 +189,16 @@ func NewExec(mm *MultiMonitor, mode monitor.Mode) *Exec {
 		acceptedSince: make([]int, len(mm.Domains)),
 	}
 	for i, lm := range mm.Locals {
-		eng := monitor.NewEngine(lm, ex.sb, mode)
+		// Prefer the compiled-program path: guard evaluation over packed
+		// slots with one scoreboard sample per step. Monitors the program
+		// compiler rejects (e.g. > 64 Chk_evt events) run interpreted —
+		// both paths share Engine semantics and the one scoreboard.
+		var eng *monitor.Engine
+		if prog, err := monitor.CompileProgram(lm); err == nil {
+			eng = prog.NewEngine(ex.sb, mode)
+		} else {
+			eng = monitor.NewEngine(lm, ex.sb, mode)
+		}
 		eng.SetClockFunc(func() int64 { return ex.now })
 		ex.engines = append(ex.engines, eng)
 		ex.byName[mm.Domains[i]] = i

@@ -179,6 +179,10 @@ func (c *Compiled) Accepts() int { return c.accepts }
 // Steps returns the number of inputs consumed.
 func (c *Compiled) Steps() int { return c.steps }
 
+// Count returns the private scoreboard's occurrence count of e (for
+// cross-implementation differential tests).
+func (c *Compiled) Count(e string) int { return c.counts[e] }
+
 // Reset returns the monitor to its initial state and clears the private
 // scoreboard; counters are preserved.
 func (c *Compiled) Reset() {

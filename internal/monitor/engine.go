@@ -101,6 +101,10 @@ type Engine struct {
 	// diag, when armed via EnableDiagnostics, retains recent inputs and
 	// produces violation reports.
 	diag *diagState
+	// b, when non-nil, makes the engine evaluate compiled guard programs
+	// over packed valuations instead of interpreting guard ASTs (see
+	// Program.NewEngine); classification and bookkeeping are shared.
+	b *progBinding
 }
 
 // NewEngine returns an engine for m over scoreboard sb (a fresh
@@ -149,23 +153,72 @@ func (c guardContext) ChkEvt(name string) bool {
 // classifies the move. An input covered by no transition hard-resets the
 // monitor to its initial state, reversing pending Add_evt entries.
 func (e *Engine) Step(s event.State) StepResult {
-	res := StepResult{From: e.state, TransIndex: -1, Tick: e.tick}
 	if e.diag != nil {
 		e.diag.observe(s)
 	}
+	var fired int
+	if e.b != nil {
+		e.b.scratch = e.b.prog.sup.PackInto(s, e.b.scratch)
+		fired = e.firedPacked(e.b.scratch, nil)
+	} else {
+		fired = e.firedAST(s)
+	}
+	return e.finish(fired, s)
+}
+
+// StepPacked consumes one packed input element; the engine must have
+// been built from a Program. Input packed with the program's support
+// uses support slot order (NewEngine); input packed with a session
+// vocabulary (NewEngineVocab) is translated through the binding's remap.
+// When diagnostics are armed the input is unpacked once for the ring.
+func (e *Engine) StepPacked(in event.Packed) StepResult {
+	if e.b == nil {
+		panic("monitor: StepPacked on an engine without a compiled program")
+	}
+	var s event.State
+	if e.diag != nil {
+		s = e.b.unpack(in)
+		e.diag.observe(s)
+	}
+	return e.finish(e.firedPacked(in, e.b.remap), s)
+}
+
+// firedAST scans the current state's transitions interpreting guard
+// ASTs; it returns the fired transition index or -1.
+func (e *Engine) firedAST(s event.State) int {
 	ctx := guardContext{s: s, sb: e.sb}
-	var fired *Transition
 	for i := range e.m.Trans[e.state] {
-		t := &e.m.Trans[e.state][i]
-		if t.Guard.Eval(ctx) {
-			fired = t
-			res.TransIndex = i
-			break
+		if e.m.Trans[e.state][i].Guard.Eval(ctx) {
+			return i
 		}
 	}
+	return -1
+}
+
+// firedPacked scans the current state's compiled guards over a packed
+// valuation, sampling the scoreboard once for all Chk_evt atoms — and
+// not at all in states whose guards never test it.
+func (e *Engine) firedPacked(in event.Packed, remap []int32) int {
+	var chk uint64
+	if e.b.prog.chkByState[e.state] {
+		chk = e.sb.ChkBits(e.b.chkSlots)
+	}
+	for i, g := range e.b.prog.guards[e.state] {
+		if g.EvalPacked(in, remap, chk) {
+			return i
+		}
+	}
+	return -1
+}
+
+// finish applies the fired transition (index into Trans[state], -1 for
+// none) and classifies the move. s is only consulted for violation
+// diagnostics and may be the zero State when diagnostics are off.
+func (e *Engine) finish(firedIdx int, s event.State) StepResult {
+	res := StepResult{From: e.state, TransIndex: firedIdx, Tick: e.tick}
 	e.tick++
 	e.stats.Steps++
-	if fired == nil {
+	if firedIdx < 0 {
 		// Uncovered input: hard reset.
 		progressed := e.state != e.m.Initial
 		e.reversePending()
@@ -180,7 +233,8 @@ func (e *Engine) Step(s event.State) StepResult {
 		}
 		return res
 	}
-	e.apply(fired)
+	fired := &e.m.Trans[e.state][firedIdx]
+	e.apply(firedIdx, fired)
 	from := e.state
 	e.state = fired.To
 	res.To = fired.To
@@ -229,8 +283,25 @@ func (e *Engine) Step(s event.State) StepResult {
 }
 
 // apply performs the fired transition's scoreboard actions, maintaining
-// the pending-adds list used for hard resets.
-func (e *Engine) apply(t *Transition) {
+// the pending-adds list used for hard resets. Program-bound engines use
+// pre-resolved scoreboard slots; the pending list stays name-based so
+// snapshots and restores are format-identical across both paths.
+func (e *Engine) apply(idx int, t *Transition) {
+	if e.b != nil {
+		for _, a := range e.b.actions[e.state][idx] {
+			switch a.kind {
+			case ActAdd:
+				e.sb.AddSlots(e.now(), a.slots)
+				if !a.sticky {
+					e.pending = append(e.pending, a.names...)
+				}
+			case ActDel:
+				e.sb.DelSlots(a.slots)
+				e.unpend(a.names)
+			}
+		}
+		return
+	}
 	for _, a := range t.Actions {
 		switch a.Kind {
 		case ActAdd:

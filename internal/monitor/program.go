@@ -1,0 +1,234 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// Program is a monitor with every guard compiled to a flat expr.Program
+// over the monitor's support slots and scoreboard chk-bit indices. It
+// works at any support width — unlike Compiled there is no 2^bits
+// transition table, a step still scans the current state's guards — but
+// each guard evaluation is allocation-free bit arithmetic instead of an
+// AST walk over map-backed contexts.
+//
+// A Program is immutable after compilation and carries no execution
+// state: one Program is shared by every session running the monitor,
+// and each session binds it to its own Scoreboard via NewEngine /
+// NewEngineVocab. Program-bound engines are ordinary *Engine values, so
+// classification, diagnostics, pending-reversal, and snapshots behave
+// identically to the interpreted path.
+type Program struct {
+	m   *Monitor
+	sup *event.Support
+	// chkNames are the scoreboard events guards test, sorted; a guard's
+	// opChk arg indexes this list (and so a ChkBits mask).
+	chkNames []string
+	// guards[state][i] is the compiled guard of Trans[state][i].
+	guards [][]*expr.Program
+	// chkByState[s] reports whether any guard of state s samples the
+	// scoreboard; states that don't skip the ChkBits lock entirely.
+	chkByState []bool
+}
+
+// maxChkBits caps the scoreboard events one monitor's guards may test:
+// chk bits are sampled as a single uint64 mask per step.
+const maxChkBits = 64
+
+// progResolver maps guard atoms to support slots / chk-bit indices.
+type progResolver struct {
+	sup      *event.Support
+	chkIndex map[string]int
+}
+
+func (r progResolver) InputSlot(name string, _ event.Kind) int { return r.sup.Index(name) }
+func (r progResolver) ChkSlot(name string) int {
+	if i, ok := r.chkIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// CompileProgram compiles every guard of m. Unlike Compile it has no
+// support-width limit; it fails only on invalid monitors, guards deeper
+// than expr.MaxProgramDepth, or more than 64 distinct Chk_evt events.
+func CompileProgram(m *Monitor) (*Program, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sup, err := m.Support()
+	if err != nil {
+		return nil, err
+	}
+	chkSet := map[string]bool{}
+	for _, ts := range m.Trans {
+		for _, t := range ts {
+			for _, e := range expr.ChkRefs(t.Guard) {
+				chkSet[e] = true
+			}
+		}
+	}
+	chkNames := make([]string, 0, len(chkSet))
+	for e := range chkSet {
+		chkNames = append(chkNames, e)
+	}
+	sort.Strings(chkNames)
+	if len(chkNames) > maxChkBits {
+		return nil, fmt.Errorf("monitor %q: %d scoreboard events exceed the %d chk-bit limit",
+			m.Name, len(chkNames), maxChkBits)
+	}
+	r := progResolver{sup: sup, chkIndex: make(map[string]int, len(chkNames))}
+	for i, e := range chkNames {
+		r.chkIndex[e] = i
+	}
+	p := &Program{m: m, sup: sup, chkNames: chkNames,
+		guards: make([][]*expr.Program, m.States), chkByState: make([]bool, m.States)}
+	for s, ts := range m.Trans {
+		p.guards[s] = make([]*expr.Program, len(ts))
+		for i, t := range ts {
+			g, err := expr.CompileProgram(t.Guard, r)
+			if err != nil {
+				return nil, fmt.Errorf("monitor %q: state %d transition %d: %w", m.Name, s, i, err)
+			}
+			p.guards[s][i] = g
+			if g.UsesChk() {
+				p.chkByState[s] = true
+			}
+		}
+	}
+	return p, nil
+}
+
+// Monitor returns the automaton the program was compiled from.
+func (p *Program) Monitor() *Monitor { return p.m }
+
+// Support returns the monitor's input support; packed inputs fed to a
+// plain NewEngine must use this slot order.
+func (p *Program) Support() *event.Support { return p.sup }
+
+// ChkNames returns the scoreboard events the guards test, sorted.
+func (p *Program) ChkNames() []string { return append([]string(nil), p.chkNames...) }
+
+// Ops returns the total compiled instruction count (sizing diagnostics;
+// the Program analog of Compiled.TableBytes).
+func (p *Program) Ops() int {
+	n := 0
+	for _, gs := range p.guards {
+		for _, g := range gs {
+			n += g.Len()
+		}
+	}
+	return n
+}
+
+// boundAction is one scoreboard action resolved to slots of a specific
+// Scoreboard. Actions stay an ordered list (a Del after an Add of the
+// same event must run after it) and keep the original names for the
+// engine's pending-reversal bookkeeping and snapshots.
+type boundAction struct {
+	kind   ActionKind
+	slots  []int32
+	names  []string
+	sticky bool
+}
+
+// progBinding ties a Program to one engine's scoreboard (and optionally
+// to a session vocabulary for externally-packed input).
+type progBinding struct {
+	prog *Program
+	// remap translates program support slots into the slot space of
+	// externally packed input handed to StepPacked; nil means StepPacked
+	// input is packed in support order.
+	remap []int32
+	// vocab, when non-nil, is the interner the StepPacked input was
+	// packed with — needed to unpack inputs for diagnostics.
+	vocab *event.Vocabulary
+	// chkSlots are scoreboard slots of prog.chkNames, sampled once per
+	// step via ChkBits.
+	chkSlots []int32
+	// actions[state][i] mirrors Trans[state][i].Actions.
+	actions [][][]boundAction
+	// scratch is the engine-private pack buffer used by Step.
+	scratch event.Packed
+}
+
+// unpack expands a StepPacked input back to a map State for diagnostics.
+func (b *progBinding) unpack(in event.Packed) event.State {
+	if b.vocab != nil {
+		return b.vocab.UnpackState(in)
+	}
+	return b.prog.sup.UnpackState(in)
+}
+
+// bind attaches p to the engine, resolving chk events and action events
+// to scoreboard slots.
+func (e *Engine) bind(p *Program, remap []int32, vocab *event.Vocabulary) {
+	b := &progBinding{prog: p, remap: remap, vocab: vocab}
+	b.chkSlots = make([]int32, len(p.chkNames))
+	for i, n := range p.chkNames {
+		b.chkSlots[i] = e.sb.Slot(n)
+	}
+	b.actions = make([][][]boundAction, len(p.m.Trans))
+	for s, ts := range p.m.Trans {
+		b.actions[s] = make([][]boundAction, len(ts))
+		for i, t := range ts {
+			bas := make([]boundAction, len(t.Actions))
+			for j, a := range t.Actions {
+				ba := boundAction{kind: a.Kind, names: a.Events, sticky: a.Sticky}
+				ba.slots = make([]int32, len(a.Events))
+				for k, ev := range a.Events {
+					ba.slots[k] = e.sb.Slot(ev)
+				}
+				bas[j] = ba
+			}
+			b.actions[s][i] = bas
+		}
+	}
+	e.b = b
+}
+
+// NewEngine returns an engine executing the compiled program against sb
+// (a fresh scoreboard when nil). Step packs map states itself;
+// StepPacked expects input packed in the program's support order.
+func (p *Program) NewEngine(sb *Scoreboard, mode Mode) *Engine {
+	if sb == nil {
+		sb = NewScoreboard()
+	}
+	e := NewEngine(p.m, sb, mode)
+	e.bind(p, nil, nil)
+	return e
+}
+
+// NewEngineVocab returns a program engine whose StepPacked input is
+// packed with the session vocabulary v (a superset interner shared by
+// many monitors): support slots are remapped into v's slot space, so
+// one vocabulary-packed valuation per tick serves every monitor of the
+// session. Every support symbol must already be declared in v with the
+// same kind (see event.Vocabulary.DeclareSupport).
+func (p *Program) NewEngineVocab(sb *Scoreboard, mode Mode, v *event.Vocabulary) (*Engine, error) {
+	remap := make([]int32, p.sup.Len())
+	for i, sym := range p.sup.Symbols() {
+		j := v.Lookup(sym.Name)
+		if j < 0 {
+			return nil, fmt.Errorf("monitor %q: support symbol %q not in session vocabulary", p.m.Name, sym.Name)
+		}
+		if v.Symbol(j).Kind != sym.Kind {
+			return nil, fmt.Errorf("monitor %q: support symbol %q declared as %s in session vocabulary (want %s)",
+				p.m.Name, sym.Name, v.Symbol(j).Kind, sym.Kind)
+		}
+		remap[i] = int32(j)
+	}
+	if sb == nil {
+		sb = NewScoreboard()
+	}
+	e := NewEngine(p.m, sb, mode)
+	e.bind(p, remap, v)
+	return e, nil
+}
+
+// Programmed reports whether the engine executes compiled guard
+// programs (true) or interprets guard ASTs (false).
+func (e *Engine) Programmed() bool { return e.b != nil }

@@ -1,0 +1,132 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/expr"
+)
+
+// TestScoreboardSlotRaceStress is the slot-API counterpart of
+// TestScoreboardRaceStress: many goroutines hammer one shared scoreboard
+// through pre-interned slots (AddSlots/DelSlots/ChkBits) while others
+// keep interning fresh names, the way program-bound engines of different
+// clock domains share the index-based scoreboard. Run under -race this
+// locks in the mutex contract of the interned implementation; the final
+// counts and op totals catch lost updates without the race detector.
+func TestScoreboardSlotRaceStress(t *testing.T) {
+	const (
+		domains = 8
+		iters   = 2000
+	)
+	sb := NewScoreboard()
+	shared := sb.Slot("xdomain")
+	var wg sync.WaitGroup
+	for d := 0; d < domains; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			slot := sb.Slot(fmt.Sprintf("dom%d_evt", d))
+			own := []int32{slot}
+			probe := []int32{slot, shared}
+			for i := 0; i < iters; i++ {
+				sb.AddSlots(int64(i), own)
+				if sb.ChkBits(probe)&1 == 0 {
+					t.Errorf("domain %d: own slot not live after AddSlots", d)
+					return
+				}
+				if i%64 == 0 {
+					// Interning churn while other domains run the hot
+					// path: slots must stay stable under growth.
+					sb.Slot(fmt.Sprintf("dom%d_extra%d", d, i))
+					sb.Live()
+				}
+				sb.DelSlots(own)
+			}
+		}(d)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		x := []int32{shared}
+		for i := 0; i < iters; i++ {
+			sb.AddSlots(int64(i), x)
+			sb.DelSlots(x)
+		}
+	}()
+	wg.Wait()
+
+	for d := 0; d < domains; d++ {
+		if c := sb.Count(fmt.Sprintf("dom%d_evt", d)); c != 0 {
+			t.Errorf("domain %d: final count %d, want 0 (lost update)", d, c)
+		}
+	}
+	if c := sb.Count("xdomain"); c != 0 {
+		t.Errorf("shared slot: final count %d, want 0", c)
+	}
+	wantOps := uint64((domains + 1) * iters * 2)
+	if got := sb.Ops(); got != wantOps {
+		t.Errorf("ops = %d, want %d (lost scoreboard operations)", got, wantOps)
+	}
+}
+
+// TestScoreboardConcurrentProgramEngines mirrors
+// TestScoreboardConcurrentEngines with every engine on the compiled
+// guard-program path, stepping packed input: Chk_evt guards sample the
+// shared scoreboard via ChkBits and actions run through AddSlots /
+// DelSlots, so the index-based fast path itself is what contends across
+// goroutines. Each engine must still complete every round.
+func TestScoreboardConcurrentProgramEngines(t *testing.T) {
+	const (
+		engines = 6
+		rounds  = 500
+		xpend   = "xpend"
+	)
+	sb := NewScoreboard()
+	var wg sync.WaitGroup
+	accepts := make([]int, engines)
+	for e := 0; e < engines; e++ {
+		req := fmt.Sprintf("req%d", e)
+		resp := fmt.Sprintf("resp%d", e)
+		pend := fmt.Sprintf("pend%d", e)
+		m := New(fmt.Sprintf("eng%d", e), "clk", 3)
+		m.Linear = true
+		m.AddTransition(0, Transition{To: 1, Guard: expr.Ev(req), Actions: []Action{Add(pend, xpend)}})
+		m.AddTransition(0, Transition{To: 0, Guard: expr.Not(expr.Ev(req))})
+		m.AddTransition(1, Transition{To: 2, Guard: expr.And(expr.Ev(resp), expr.Chk(pend)), Actions: []Action{Del(pend, xpend)}})
+		m.AddTransition(1, Transition{To: 1, Guard: expr.Not(expr.Ev(resp))})
+		m.AddTransition(2, Transition{To: 1, Guard: expr.Ev(req), Actions: []Action{Add(pend, xpend)}})
+		m.AddTransition(2, Transition{To: 0, Guard: expr.Not(expr.Ev(req))})
+		prog, err := CompileProgram(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := prog.NewEngine(sb, ModeDetect)
+		reqPacked := prog.Support().Pack(event.NewState().WithEvents(req))
+		respPacked := prog.Support().Pack(event.NewState().WithEvents(resp))
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				eng.StepPacked(reqPacked)
+				eng.StepPacked(respPacked)
+			}
+			accepts[e] = eng.Stats().Accepts
+		}(e)
+	}
+	wg.Wait()
+
+	for e, a := range accepts {
+		if a != rounds {
+			t.Errorf("engine %d: accepts = %d, want %d", e, a, rounds)
+		}
+	}
+	if live := sb.Live(); len(live) != 0 {
+		t.Errorf("scoreboard not balanced after concurrent program engines: %v", live)
+	}
+	if c := sb.Count(xpend); c != 0 {
+		t.Errorf("cross-domain event count = %d, want 0", c)
+	}
+}

@@ -125,42 +125,67 @@ func cloneDiagnostic(d Diagnostic) Diagnostic {
 	return out
 }
 
-// ScoreboardSnapshot is the serializable state of a Scoreboard.
+// ScoreboardSnapshot is the serializable state of a Scoreboard. Since
+// the interned scoreboard (snapshot format v3) live entries are encoded
+// as parallel slices keyed by slot name; the map fields are the v2
+// (PR-2) encoding, which Restore still accepts so journals written
+// before the format bump replay unchanged.
 type ScoreboardSnapshot struct {
+	// Packed (v3) form: Slots[i] has count SlotCounts[i] and live
+	// timestamps SlotAddedAt[i]. Only live slots are emitted.
+	Slots       []string  `json:"slots,omitempty"`
+	SlotCounts  []int     `json:"slot_counts,omitempty"`
+	SlotAddedAt [][]int64 `json:"slot_added_at,omitempty"`
+	// Map (v2) form, accepted on restore for backward compatibility.
 	Counts  map[string]int     `json:"counts,omitempty"`
 	AddedAt map[string][]int64 `json:"added_at,omitempty"`
 	Ops     uint64             `json:"ops"`
 }
 
-// Snapshot captures the scoreboard's entries and op counter.
+// Snapshot captures the scoreboard's entries and op counter in the
+// packed form.
 func (sb *Scoreboard) Snapshot() ScoreboardSnapshot {
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
-	snap := ScoreboardSnapshot{
-		Counts:  make(map[string]int, len(sb.counts)),
-		AddedAt: make(map[string][]int64, len(sb.addedAt)),
-		Ops:     sb.ops,
-	}
-	for k, v := range sb.counts {
-		snap.Counts[k] = v
-	}
-	for k, v := range sb.addedAt {
-		snap.AddedAt[k] = append([]int64(nil), v...)
+	snap := ScoreboardSnapshot{Ops: sb.ops}
+	for i, c := range sb.counts {
+		if c == 0 && len(sb.addedAt[i]) == 0 {
+			continue
+		}
+		snap.Slots = append(snap.Slots, sb.names[i])
+		snap.SlotCounts = append(snap.SlotCounts, int(c))
+		snap.SlotAddedAt = append(snap.SlotAddedAt, append([]int64(nil), sb.addedAt[i]...))
 	}
 	return snap
 }
 
-// Restore replaces the scoreboard's state with a snapshot.
+// Restore replaces the scoreboard's entries with a snapshot (either the
+// packed v3 form or the map-based v2 form). Interned slots are kept and
+// extended by name, so engines bound before the restore stay valid.
 func (sb *Scoreboard) Restore(snap ScoreboardSnapshot) {
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
-	sb.counts = make(map[string]int, len(snap.Counts))
-	sb.addedAt = make(map[string][]int64, len(snap.AddedAt))
+	for i := range sb.counts {
+		sb.counts[i] = 0
+		sb.addedAt[i] = nil
+	}
 	sb.ops = snap.Ops
+	if len(snap.Slots) > 0 {
+		for i, name := range snap.Slots {
+			s := sb.slotLocked(name)
+			if i < len(snap.SlotCounts) {
+				sb.counts[s] = int32(snap.SlotCounts[i])
+			}
+			if i < len(snap.SlotAddedAt) {
+				sb.addedAt[s] = append([]int64(nil), snap.SlotAddedAt[i]...)
+			}
+		}
+		return
+	}
 	for k, v := range snap.Counts {
-		sb.counts[k] = v
+		sb.counts[sb.slotLocked(k)] = int32(v)
 	}
 	for k, v := range snap.AddedAt {
-		sb.addedAt[k] = append([]int64(nil), v...)
+		sb.addedAt[sb.slotLocked(k)] = append([]int64(nil), v...)
 	}
 }

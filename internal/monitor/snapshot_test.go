@@ -129,7 +129,13 @@ func TestScoreboardSnapshotIsolated(t *testing.T) {
 	sb.Add(7, "e1", "e2")
 	snap := sb.Snapshot()
 	sb.Add(9, "e1")
-	if snap.Counts["e1"] != 1 || len(snap.AddedAt["e1"]) != 1 {
+	i := -1
+	for j, name := range snap.Slots {
+		if name == "e1" {
+			i = j
+		}
+	}
+	if i < 0 || snap.SlotCounts[i] != 1 || len(snap.SlotAddedAt[i]) != 1 {
 		t.Fatalf("snapshot mutated by later ops: %+v", snap)
 	}
 	sb2 := NewScoreboard()

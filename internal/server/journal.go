@@ -65,7 +65,14 @@ type monitorSnapshotJSON struct {
 	QuarantineReason string                     `json:"quarantine_reason,omitempty"`
 }
 
+// snapshotFormat versions the snapshot record. Absent/zero means the
+// PR-2 encoding (map-keyed scoreboard entries); 3 means the packed
+// encoding (slot-keyed parallel slices, see monitor.ScoreboardSnapshot).
+// The decoder accepts both; writers emit the current format.
+const snapshotFormat = 3
+
 type snapshotRecordJSON struct {
+	Format   int                   `json:"format,omitempty"`
 	Meta     sessionMetaJSON       `json:"meta"`
 	JSeq     uint64                `json:"jseq"`
 	LastSeq  uint64                `json:"last_seq"`
@@ -123,7 +130,7 @@ func (s *Server) journalBatch(sess *session, b *batch, seq uint64) error {
 // checkpoint may prune all older segments.
 func (s *Server) snapshotSession(sess *session) error {
 	sess.mu.Lock()
-	rec := snapshotRecordJSON{Meta: sess.meta, JSeq: sess.appliedJSeq, LastSeq: sess.lastSeq}
+	rec := snapshotRecordJSON{Format: snapshotFormat, Meta: sess.meta, JSeq: sess.appliedJSeq, LastSeq: sess.lastSeq}
 	for _, sm := range sess.mons {
 		rec.Monitors = append(rec.Monitors, monitorSnapshotJSON{
 			Spec:             sm.spec,
@@ -194,6 +201,10 @@ func (s *Server) recoverSession(id string) error {
 			var snap snapshotRecordJSON
 			if err := json.Unmarshal(rec.Payload, &snap); err != nil {
 				return fmt.Errorf("snapshot record: %w", err)
+			}
+			if snap.Format > snapshotFormat {
+				return fmt.Errorf("snapshot format %d is newer than this build supports (%d)",
+					snap.Format, snapshotFormat)
 			}
 			// Snapshots are self-contained: checkpointing pruned the
 			// segments holding the meta record, so rebuild from here.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/ocp"
 	"repro/internal/parser"
 	"repro/internal/trace"
+	"repro/internal/wal"
 )
 
 // newWALServer builds a journaling server over dir with the OCP
@@ -320,5 +321,104 @@ func TestVCDRecoveryParity(t *testing.T) {
 	_, ts2 := newWALServer(t, dir, cfg)
 	if got := monitorsJSON(t, ts2.URL, sess.ID); string(got) != string(want) {
 		t.Fatalf("VCD session recovery diverged:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestRecoveryFromV2Snapshot replays a PR-2-format journal: the packed
+// (v3) snapshot records of a crashed server are down-converted to the
+// map-based scoreboard encoding that pre-format-bump daemons wrote, and
+// recovery from that journal must yield verdicts byte-identical to the
+// uninterrupted run. This pins the decoder's backward compatibility, not
+// just its self-round-trip.
+func TestRecoveryFromV2Snapshot(t *testing.T) {
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 23, FaultRate: 0.2}).GenerateTrace(600)
+	cfg := Config{Shards: 2, QueueDepth: 16, SnapshotEvery: 4}
+
+	_, refTS := newWALServer(t, t.TempDir(), cfg)
+	ref := createSession(t, refTS.URL, "assert", "OcpSimpleRead", "OcpSimpleReadB")
+	streamTicks(t, refTS.URL, ref.ID, tr, 32)
+	want := monitorsJSON(t, refTS.URL, ref.ID)
+
+	dirA := t.TempDir()
+	s1, ts1 := newWALServer(t, dirA, cfg)
+	sess := createSession(t, ts1.URL, "assert", "OcpSimpleRead", "OcpSimpleReadB")
+	streamTicks(t, ts1.URL, sess.ID, tr[:300], 32)
+	s1.Crash()
+	ts1.Close()
+
+	// Rewrite the journal into dirB with every snapshot record in the
+	// v2 encoding.
+	type rawRec struct {
+		kind    byte
+		payload []byte
+	}
+	var recs []rawRec
+	sawSnapshot := false
+	mgrA, err := wal.OpenManager(wal.Options{Dir: dirA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jA, err := mgrA.OpenJournal(sess.ID, func(rec wal.Record) error {
+		payload := append([]byte(nil), rec.Payload...)
+		if rec.Kind == recSnapshot {
+			var snap snapshotRecordJSON
+			if err := json.Unmarshal(payload, &snap); err != nil {
+				return err
+			}
+			snap.Format = 0
+			for i := range snap.Monitors {
+				sb := &snap.Monitors[i].Scoreboard
+				sb.Counts = make(map[string]int)
+				sb.AddedAt = make(map[string][]int64)
+				for j, name := range sb.Slots {
+					sb.Counts[name] = sb.SlotCounts[j]
+					sb.AddedAt[name] = sb.SlotAddedAt[j]
+				}
+				sb.Slots, sb.SlotCounts, sb.SlotAddedAt = nil, nil, nil
+			}
+			var err error
+			if payload, err = json.Marshal(snap); err != nil {
+				return err
+			}
+			sawSnapshot = true
+		}
+		recs = append(recs, rawRec{kind: rec.Kind, payload: payload})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jA.Abandon()
+	if !sawSnapshot {
+		t.Fatal("crashed journal contains no snapshot record; test exercises nothing")
+	}
+
+	dirB := t.TempDir()
+	mgrB, err := wal.OpenManager(wal.Options{Dir: dirB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := mgrB.OpenJournal(sess.ID, func(wal.Record) error {
+		return fmt.Errorf("fresh journal not empty")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := jB.Append(r.kind, r.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jB.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jB.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newWALServer(t, dirB, cfg)
+	streamTicks(t, ts2.URL, sess.ID, tr[300:], 32)
+	if got := monitorsJSON(t, ts2.URL, sess.ID); string(got) != string(want) {
+		t.Fatalf("recovery from v2-format snapshot diverged:\n got %s\nwant %s", got, want)
 	}
 }

@@ -26,8 +26,16 @@ type Spec struct {
 	// combined support exceeds the compile limit (the interpreted engine
 	// still runs such monitors).
 	TableBytes int `json:"table_bytes,omitempty"`
+	// ProgramOps is the compiled guard-program instruction count; 0 when
+	// the program compiler rejected the monitor (sessions then fall back
+	// to the interpreted engine).
+	ProgramOps int `json:"program_ops,omitempty"`
 
 	mon *monitor.Monitor
+	// compiled is the immutable shared fast-path artifact (monitor +
+	// guard programs + interned support); nil when program compilation
+	// failed. Sessions bind engines to it, never mutate it.
+	compiled *synth.CompiledSpec
 }
 
 // registry holds the loaded specs; hot-loading via POST /specs appends
@@ -67,6 +75,12 @@ func compileChart(name string, c chart.Chart) (sp *Spec, err error) {
 	// compile still run on the interpreted engine.
 	if cm, err := monitor.Compile(m); err == nil {
 		sp.TableBytes = cm.TableBytes()
+	}
+	// Compile the shared guard programs (the width-unlimited fast path
+	// sessions actually execute); failure degrades to interpretation.
+	if cs, err := synth.NewCompiledSpec(m); err == nil {
+		sp.compiled = cs
+		sp.ProgramOps = cs.Program.Ops()
 	}
 	return sp, nil
 }

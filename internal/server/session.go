@@ -38,6 +38,12 @@ type session struct {
 
 	mu   sync.Mutex
 	mons []*sessionMonitor
+	// vocab, when non-nil, is the session's union interner: the supports
+	// of every loaded spec declared into one symbol table. Each tick is
+	// then decoded once into packBuf (vocab slot space) and every
+	// program-bound engine consumes the same packed valuation.
+	vocab   *event.Vocabulary
+	packBuf event.Packed
 	// appliedJSeq is the journal index of the last batch the shard worker
 	// has applied (guarded by mu). Snapshots record it so recovery knows
 	// which journal records are already folded in.
@@ -60,8 +66,12 @@ type session struct {
 // its engine state is suspect, so it stops consuming ticks while the
 // rest of the session keeps running.
 type sessionMonitor struct {
-	spec        string
-	eng         *monitor.Engine
+	spec string
+	eng  *monitor.Engine
+	// packed marks engines bound to the session vocabulary: they consume
+	// the session's shared packed valuation via StepPacked instead of
+	// re-reading the map state.
+	packed      bool
 	cov         *verif.Coverage
 	acceptTicks []int
 
@@ -89,16 +99,51 @@ func shardFor(id string, shards int) int {
 func newSession(id string, mode monitor.Mode, shard int, specs []*Spec, faults *faultinject.Plane) *session {
 	s := &session{id: id, mode: mode, shard: shard, created: time.Now(), faults: faults}
 	s.touch()
-	for _, sp := range specs {
-		eng := monitor.NewEngine(sp.mon, nil, mode)
-		if mode == monitor.ModeAssert {
-			eng.EnableDiagnostics(diagDepth)
+	// Detect-mode sessions decode each tick once into a packed valuation
+	// over the union vocabulary of their specs. Assert-mode sessions keep
+	// the full map state per step so violation diagnostics capture the
+	// input exactly as received; their engines still run compiled guard
+	// programs. A vocabulary kind conflict across specs (same name used
+	// as event and prop) disables the shared packing for the session.
+	if mode == monitor.ModeDetect {
+		vocab := event.NewVocabulary()
+		ok := true
+		for _, sp := range specs {
+			if sp.compiled == nil {
+				ok = false
+				break
+			}
+			if err := vocab.DeclareSupport(sp.compiled.Support()); err != nil {
+				ok = false
+				break
+			}
 		}
-		s.mons = append(s.mons, &sessionMonitor{
-			spec: sp.Name,
-			eng:  eng,
-			cov:  verif.NewCoverage(sp.mon),
-		})
+		if ok {
+			s.vocab = vocab
+		}
+	}
+	for _, sp := range specs {
+		sm := &sessionMonitor{spec: sp.Name, cov: verif.NewCoverage(sp.mon)}
+		switch {
+		case s.vocab != nil:
+			eng, err := sp.compiled.Program.NewEngineVocab(nil, mode, s.vocab)
+			if err != nil {
+				// Unreachable after DeclareSupport succeeded; degrade
+				// rather than refuse the session.
+				sm.eng = monitor.NewEngine(sp.mon, nil, mode)
+			} else {
+				sm.eng = eng
+				sm.packed = true
+			}
+		case sp.compiled != nil:
+			sm.eng = sp.compiled.Program.NewEngine(nil, mode)
+		default:
+			sm.eng = monitor.NewEngine(sp.mon, nil, mode)
+		}
+		if mode == monitor.ModeAssert {
+			sm.eng.EnableDiagnostics(diagDepth)
+		}
+		s.mons = append(s.mons, sm)
 	}
 	return s
 }
@@ -113,11 +158,14 @@ func (s *session) idleFor(now time.Time) time.Duration {
 // It returns the number of acceptances, violations, and newly
 // quarantined monitors at this tick.
 func (s *session) step(st event.State) (accepts, violations, quarantines int) {
+	if s.vocab != nil {
+		s.packBuf = s.vocab.PackInto(st, s.packBuf)
+	}
 	for _, sm := range s.mons {
 		if sm.quarantined {
 			continue
 		}
-		res, panicked := sm.safeStep(s.faults, st)
+		res, panicked := sm.safeStep(s.faults, st, s.packBuf)
 		if panicked != nil {
 			// The engine may have died mid-transition; its state is no
 			// longer trustworthy, so the monitor is fenced off for the
@@ -145,10 +193,13 @@ func (s *session) step(st event.State) (accepts, violations, quarantines int) {
 // monitor cannot take down its shard worker. The fault plane's
 // "monitor.step.<spec>" point lets tests simulate an engine bug
 // deterministically.
-func (sm *sessionMonitor) safeStep(faults *faultinject.Plane, st event.State) (res monitor.StepResult, panicked any) {
+func (sm *sessionMonitor) safeStep(faults *faultinject.Plane, st event.State, in event.Packed) (res monitor.StepResult, panicked any) {
 	defer func() { panicked = recover() }()
 	if faults != nil {
 		_ = faults.Hit("monitor.step." + sm.spec)
+	}
+	if sm.packed {
+		return sm.eng.StepPacked(in), nil
 	}
 	return sm.eng.Step(st), nil
 }

@@ -1,11 +1,13 @@
 package verif
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/amba"
 	"repro/internal/chart"
 	"repro/internal/event"
+	"repro/internal/expr"
 	"repro/internal/monitor"
 	"repro/internal/ocp"
 	"repro/internal/synth"
@@ -59,5 +61,168 @@ func TestCompiledParityCaseStudies(t *testing.T) {
 				t.Error("no acceptances exercised")
 			}
 		})
+	}
+}
+
+// randGuard builds a random guard over the support symbols and the
+// scoreboard event pool.
+func randGuard(r *rand.Rand, sup []event.Symbol, chkPool []string, depth int) expr.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(6) {
+		case 0:
+			return expr.True
+		case 1:
+			return expr.False
+		case 2, 3:
+			sym := sup[r.Intn(len(sup))]
+			if sym.Kind == event.KindEvent {
+				return expr.Ev(sym.Name)
+			}
+			return expr.Pr(sym.Name)
+		default:
+			return expr.Chk(chkPool[r.Intn(len(chkPool))])
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return expr.Not(randGuard(r, sup, chkPool, depth-1))
+	case 1:
+		return expr.And(randGuard(r, sup, chkPool, depth-1), randGuard(r, sup, chkPool, depth-1))
+	default:
+		return expr.Or(randGuard(r, sup, chkPool, depth-1), randGuard(r, sup, chkPool, depth-1))
+	}
+}
+
+// randTotalMonitor builds a random total monitor: every state ends with
+// a catch-all transition, so no input ever hard-resets the engine. (Hard
+// resets reverse pending Add_evt entries in the interpreted/program
+// engines but not in the table-driven Compiled — synthesized monitors
+// are total, so the differential test constrains itself to that class.)
+func randTotalMonitor(r *rand.Rand, sup []event.Symbol, chkPool []string) *monitor.Monitor {
+	states := 3 + r.Intn(3)
+	m := monitor.New("fuzz", "clk", states)
+	randActions := func() []monitor.Action {
+		var acts []monitor.Action
+		for _, e := range chkPool {
+			switch r.Intn(4) {
+			case 0:
+				acts = append(acts, monitor.Add(e))
+			case 1:
+				acts = append(acts, monitor.Del(e))
+			}
+		}
+		return acts
+	}
+	for s := 0; s < states; s++ {
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			m.AddTransition(s, monitor.Transition{
+				To:      r.Intn(states),
+				Guard:   randGuard(r, sup, chkPool, 3),
+				Actions: randActions(),
+			})
+		}
+		m.AddTransition(s, monitor.Transition{
+			To:      r.Intn(states),
+			Guard:   expr.True,
+			Actions: randActions(),
+		})
+	}
+	return m
+}
+
+// TestDifferentialEngines cross-checks four independent implementations
+// of the paper's transition relation Tr over random total monitors and
+// random tick streams: the interpreted AST engine, the compiled
+// guard-program engine (both the map-input Step and the
+// vocabulary-packed StepPacked path, the latter exercising slot
+// remapping), and the table-driven Compiled. Verdicts, automaton
+// states, accept counts, and scoreboard contents must agree tick for
+// tick.
+func TestDifferentialEngines(t *testing.T) {
+	supSyms := []event.Symbol{
+		{Name: "a", Kind: event.KindEvent},
+		{Name: "b", Kind: event.KindEvent},
+		{Name: "c", Kind: event.KindEvent},
+		{Name: "p", Kind: event.KindProp},
+	}
+	chkPool := []string{"x", "y"}
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 150; iter++ {
+		m := randTotalMonitor(r, supSyms, chkPool)
+		prog, err := monitor.CompileProgram(m)
+		if err != nil {
+			t.Fatalf("iter %d: CompileProgram: %v", iter, err)
+		}
+		table, err := monitor.Compile(m)
+		if err != nil {
+			t.Fatalf("iter %d: Compile: %v", iter, err)
+		}
+		// Vocabulary with padding symbols declared first, so the packed
+		// slot space differs from the support's and remapping is real.
+		vocab := event.NewVocabulary()
+		vocab.MustDeclare("pad0", event.KindEvent)
+		vocab.MustDeclare("pad1", event.KindProp)
+		if err := vocab.DeclareSupport(prog.Support()); err != nil {
+			t.Fatalf("iter %d: DeclareSupport: %v", iter, err)
+		}
+
+		ast := monitor.NewEngine(m, nil, monitor.ModeDetect)
+		pmap := prog.NewEngine(nil, monitor.ModeDetect)
+		ppacked, err := prog.NewEngineVocab(nil, monitor.ModeDetect, vocab)
+		if err != nil {
+			t.Fatalf("iter %d: NewEngineVocab: %v", iter, err)
+		}
+
+		var buf event.Packed
+		for tick := 0; tick < 120; tick++ {
+			s := event.NewState()
+			for _, sym := range supSyms {
+				if r.Intn(2) == 0 {
+					continue
+				}
+				if sym.Kind == event.KindEvent {
+					s.Events[sym.Name] = true
+				} else {
+					s.Props[sym.Name] = true
+				}
+			}
+			ra := ast.Step(s)
+			rm := pmap.Step(s)
+			buf = vocab.PackInto(s, buf)
+			rp := ppacked.StepPacked(buf)
+			tb := table.Step(s)
+
+			if ra.Outcome != rm.Outcome || ra.Outcome != rp.Outcome ||
+				ra.To != rm.To || ra.To != rp.To ||
+				ra.TransIndex != rm.TransIndex || ra.TransIndex != rp.TransIndex {
+				t.Fatalf("iter %d tick %d: step diverged on %s:\n ast=%+v\n prog=%+v\n packed=%+v\nmonitor:\n%s",
+					iter, tick, s, ra, rm, rp, m)
+			}
+			if tb != (ra.Outcome == monitor.Accepted) {
+				t.Fatalf("iter %d tick %d: table accept=%v, ast outcome=%v on %s\nmonitor:\n%s",
+					iter, tick, tb, ra.Outcome, s, m)
+			}
+			if table.State() != ast.State() {
+				t.Fatalf("iter %d tick %d: table state=%d, ast state=%d", iter, tick, table.State(), ast.State())
+			}
+			for _, e := range chkPool {
+				na := ast.Scoreboard().Count(e)
+				if nm := pmap.Scoreboard().Count(e); nm != na {
+					t.Fatalf("iter %d tick %d: scoreboard[%s] ast=%d prog=%d", iter, tick, e, na, nm)
+				}
+				if np := ppacked.Scoreboard().Count(e); np != na {
+					t.Fatalf("iter %d tick %d: scoreboard[%s] ast=%d packed=%d", iter, tick, e, na, np)
+				}
+				if nt := table.Count(e); nt != na {
+					t.Fatalf("iter %d tick %d: scoreboard[%s] ast=%d table=%d", iter, tick, e, na, nt)
+				}
+			}
+		}
+		if ast.Stats().Accepts != table.Accepts() || ast.Stats().Accepts != pmap.Stats().Accepts ||
+			ast.Stats().Accepts != ppacked.Stats().Accepts {
+			t.Fatalf("iter %d: accept totals diverged: ast=%d prog=%d packed=%d table=%d",
+				iter, ast.Stats().Accepts, pmap.Stats().Accepts, ppacked.Stats().Accepts, table.Accepts())
+		}
 	}
 }

@@ -1,0 +1,82 @@
+package verif
+
+import (
+	"repro/internal/event"
+	"repro/internal/monitor"
+)
+
+// Tier identifies which execution strategy backs a tiered detector, in
+// descending per-step cost effectiveness.
+type Tier int
+
+const (
+	// TierTable is monitor.Compile: a precomputed 2^bits transition
+	// table, the fastest step but bounded by maxCompileBits of combined
+	// support and scoreboard width.
+	TierTable Tier = iota
+	// TierProgram is the compiled guard-program engine: allocation-free
+	// packed evaluation at any support width.
+	TierProgram
+	// TierInterp is the interpreted AST engine, the reference semantics.
+	TierInterp
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierTable:
+		return "table"
+	case TierProgram:
+		return "program"
+	default:
+		return "interpreted"
+	}
+}
+
+// TieredDetector runs a synthesized monitor in detect mode on the
+// fastest execution tier its shape admits: the transition table when the
+// monitor fits under the compile limit, otherwise the compiled guard
+// programs, otherwise the interpreted engine. Construction never fails —
+// a monitor too wide for one tier silently degrades to the next — which
+// is what the harness wants when it attaches arbitrary synthesized
+// monitors to a campaign.
+type TieredDetector struct {
+	tier  Tier
+	table *monitor.Compiled
+	eng   *monitor.Engine
+}
+
+// NewDetector builds the fastest detector for m. Only a structurally
+// invalid monitor errors (every tier would reject it).
+func NewDetector(m *monitor.Monitor) (*TieredDetector, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if c, err := monitor.Compile(m); err == nil {
+		return &TieredDetector{tier: TierTable, table: c}, nil
+	}
+	if p, err := monitor.CompileProgram(m); err == nil {
+		return &TieredDetector{tier: TierProgram, eng: p.NewEngine(nil, monitor.ModeDetect)}, nil
+	}
+	return &TieredDetector{tier: TierInterp, eng: monitor.NewEngine(m, nil, monitor.ModeDetect)}, nil
+}
+
+// Tier reports the execution strategy in use.
+func (d *TieredDetector) Tier() Tier { return d.tier }
+
+// StepDetect consumes one element and reports whether the scenario
+// completed at this tick.
+func (d *TieredDetector) StepDetect(s event.State) bool {
+	if d.table != nil {
+		return d.table.Step(s)
+	}
+	return d.eng.Step(s).Outcome == monitor.Accepted
+}
+
+// Accepts returns the number of acceptances so far.
+func (d *TieredDetector) Accepts() int {
+	if d.table != nil {
+		return d.table.Accepts()
+	}
+	return d.eng.Stats().Accepts
+}

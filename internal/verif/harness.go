@@ -8,6 +8,7 @@ package verif
 import (
 	"fmt"
 
+	"repro/internal/event"
 	"repro/internal/mclock"
 	"repro/internal/monitor"
 	"repro/internal/sim"
@@ -41,12 +42,12 @@ func AttachMulti(s *sim.Simulator, ex *mclock.Exec) {
 }
 
 // Detector is anything that consumes trace elements and reports window
-// completions — satisfied by the synthesized engines (via EngineDetector),
-// the manual baselines, and the temporal-logic baseline.
+// completions — satisfied by the tiered detector over the synthesized
+// engines (see NewDetector) as well as hand-written baselines.
 type Detector interface {
 	// StepDetect consumes one element and reports whether a scenario
 	// window completed at this tick.
-	StepDetect(s trace.Trace) bool
+	StepDetect(s event.State) bool
 }
 
 // AcceptTicks runs any per-tick accept predicate over a trace.
