@@ -1,8 +1,17 @@
 GO ?= go
 
-.PHONY: all build vet test race check crashtest bench bench-json clean
+.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json clean
 
 all: check
+
+# Per-target budget for `make fuzz` (native Go fuzzing). Short by design:
+# the checked-in corpora replay in ordinary `go test`, so this is a smoke
+# of the mutation engine, not the soak.
+FUZZTIME ?= 10s
+
+# Fixed-seed conformance campaign size for `make conformance`.
+CONFORM_N ?= 500
+CONFORM_SEED ?= 1
 
 build:
 	$(GO) build ./...
@@ -16,9 +25,28 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 verification: build + vet + tests under the race detector.
+# Tier-1 verification: build + vet + tests under the race detector
+# (includes the fixed-seed mini-campaign and regression replay), then the
+# full conformance campaign and a short fuzz budget per target.
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
+	$(MAKE) conformance
+	$(MAKE) fuzz
+
+# Whole-stack differential fuzzing: random charts + adversarial traces
+# vs. the reference semantics, all execution tiers, server ingest, and
+# crash recovery. Fixed seed — deterministic in CI; divergences land as
+# replayable pairs in testdata/regressions/ and fail the run.
+conformance:
+	$(GO) run ./cmd/cescfuzz -n $(CONFORM_N) -seed $(CONFORM_SEED) -q -out testdata/regressions
+
+# Native Go fuzz targets, one package at a time (go test allows a single
+# -fuzz pattern per invocation). Checked-in seed corpora live under each
+# package's testdata/fuzz/.
+fuzz:
+	$(GO) test ./internal/parser/ -run='^$$' -fuzz=FuzzParseChart -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/trace/ -run='^$$' -fuzz=FuzzStreamVCD -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wal/ -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME)
 
 # Fault-tolerance suite: crash-recovery, quarantine, fault-injection,
 # and client retry/exactly-once tests, under the race detector.

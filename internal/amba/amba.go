@@ -111,6 +111,10 @@ type Config struct {
 	FaultKinds []FaultKind
 	// Seed feeds the model's private PRNG.
 	Seed int64
+	// Source, when non-nil, supplies the model's randomness instead of a
+	// fresh PRNG seeded with Seed — letting harnesses inject one shared,
+	// reproducible stream across several models.
+	Source rand.Source
 }
 
 // Model is an executable AHB CLI master/bus pair.
@@ -128,7 +132,11 @@ func NewModel(cfg Config) *Model {
 	if cfg.Gap < 0 {
 		cfg.Gap = 0
 	}
-	m := &Model{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	src := cfg.Source
+	if src == nil {
+		src = rand.NewSource(cfg.Seed)
+	}
+	m := &Model{cfg: cfg, rng: rand.New(src)}
 	m.idle = 1
 	return m
 }

@@ -1,0 +1,119 @@
+package chart
+
+import "repro/internal/expr"
+
+// Equal reports structural equality of two charts: same node shapes, grid
+// lines, markers, guards, arrows, and composition parameters. Chart names
+// are ignored — the parser stamps the file-level name onto the root, so a
+// print→parse round trip changes names but not structure. Marker labels
+// are compared by effective label (explicit labels equal to the event
+// name are the same as no label, which is how the printer renders them),
+// and guards are compared by the expr package's canonical string form.
+func Equal(a, b Chart) bool {
+	switch va := a.(type) {
+	case nil:
+		return b == nil
+	case *SCESC:
+		vb, ok := b.(*SCESC)
+		return ok && equalSCESC(va, vb)
+	case *Seq:
+		vb, ok := b.(*Seq)
+		return ok && equalChildren(va.Children, vb.Children)
+	case *Par:
+		vb, ok := b.(*Par)
+		return ok && equalChildren(va.Children, vb.Children)
+	case *Alt:
+		vb, ok := b.(*Alt)
+		return ok && equalChildren(va.Children, vb.Children)
+	case *Loop:
+		vb, ok := b.(*Loop)
+		return ok && va.Min == vb.Min && va.Max == vb.Max && Equal(va.Body, vb.Body)
+	case *Implies:
+		vb, ok := b.(*Implies)
+		return ok && va.MaxDelay == vb.MaxDelay &&
+			Equal(va.Trigger, vb.Trigger) && Equal(va.Consequent, vb.Consequent)
+	case *Async:
+		vb, ok := b.(*Async)
+		if !ok || len(va.CrossArrows) != len(vb.CrossArrows) {
+			return false
+		}
+		for i := range va.CrossArrows {
+			if va.CrossArrows[i] != vb.CrossArrows[i] {
+				return false
+			}
+		}
+		return equalChildren(va.Children, vb.Children)
+	default:
+		return false
+	}
+}
+
+func equalChildren(a, b []Chart) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSCESC(a, b *SCESC) bool {
+	if a.Clock != b.Clock || len(a.Instances) != len(b.Instances) ||
+		len(a.Lines) != len(b.Lines) || len(a.Arrows) != len(b.Arrows) {
+		return false
+	}
+	for i := range a.Instances {
+		if a.Instances[i] != b.Instances[i] {
+			return false
+		}
+	}
+	for i := range a.Arrows {
+		if a.Arrows[i] != b.Arrows[i] {
+			return false
+		}
+	}
+	for i := range a.Lines {
+		if !equalLine(a.Lines[i], b.Lines[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalLine(a, b GridLine) bool {
+	if len(a.Events) != len(b.Events) || !equalExpr(a.Cond, b.Cond) {
+		return false
+	}
+	for i := range a.Events {
+		if !equalSpec(a.Events[i], b.Events[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func equalSpec(a, b EventSpec) bool {
+	if a.Event != b.Event || a.Negated != b.Negated || a.Env != b.Env ||
+		!equalExpr(a.Guard, b.Guard) {
+		return false
+	}
+	// The grammar only attaches labels to positive markers and endpoints
+	// to non-environment ones; ignore the fields the printer cannot carry.
+	if !a.Negated && a.EffLabel() != b.EffLabel() {
+		return false
+	}
+	if !a.Env && (a.From != b.From || a.To != b.To) {
+		return false
+	}
+	return true
+}
+
+func equalExpr(a, b expr.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return expr.Equal(a, b)
+}

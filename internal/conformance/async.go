@@ -1,0 +1,142 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/gen"
+	"repro/internal/mclock"
+	"repro/internal/monitor"
+	"repro/internal/parser"
+	"repro/internal/semantics"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// asyncCheck draws one multi-clock chart and probes the mclock executor
+// against the reference semantics under two phase arrangements: the
+// generator's forward phases (cross arrows likely satisfiable) and the
+// inverted phases (cross-domain causality races — source events now tend
+// to land after their targets). In both, a coherent multi-domain accept
+// must be at least weakly justified, and arrow-free orthogonal charts
+// must agree with the strict semantics exactly (see asyncCompare).
+func asyncCheck(g *gen.Gen) *Divergence {
+	spec := g.Async()
+	a := spec.Chart
+	src := parser.Print("AsyncSpec", a)
+	mm, err := mclock.Synthesize(a, nil)
+	if err != nil {
+		return &Divergence{Kind: "mclock-synth-error", Detail: err.Error(), Source: src}
+	}
+	n := len(spec.Domains)
+	forward := make([]int64, n)
+	inverted := make([]int64, n)
+	for i := 0; i < n; i++ {
+		forward[i] = int64(i)
+		inverted[i] = int64(n - 1 - i)
+	}
+	for _, phases := range [][]int64{forward, inverted} {
+		gt, ok := g.AsyncGlobal(spec, phases, 3)
+		if !ok {
+			continue
+		}
+		if d := asyncCompare(spec, mm, gt); d != nil {
+			gt = asyncShrinkTrace(spec, mm, gt, d.Kind)
+			d.Source = src
+			d.GlobalTrace = gt
+			// Refresh the detail against the shrunk trace.
+			if d2 := asyncCompare(spec, mm, gt); d2 != nil && d2.Kind == d.Kind {
+				d.Detail = d2.Detail
+			}
+			return d
+		}
+	}
+	return nil
+}
+
+// asyncCompare runs one global trace through a fresh executor and the
+// reference semantics and reports a divergence. The bounds mirror what
+// the scoreboard design guarantees:
+//
+//   - soundness against the weak justification predicate — a local
+//     monitor samples Chk_evt counts at its own tick, so a source window
+//     that later hard-resets still justifies a downstream Chk it already
+//     satisfied; the strict single-combination semantics is deliberately
+//     NOT the bound (AsyncSatisfied is stronger than the implementation);
+//   - exact agreement only when the chart is arrow-free (no cross-domain
+//     or in-domain causality to suppress accepts) and every child's
+//     pattern is orthogonal (the first-match history abstraction is
+//     exact there, as in the single-clock check).
+func asyncCompare(spec gen.AsyncSpec, mm *mclock.MultiMonitor, gt trace.GlobalTrace) *Divergence {
+	a := spec.Chart
+	v, err := mclock.NewExec(mm, monitor.ModeDetect).Run(gt)
+	if err != nil {
+		return &Divergence{Kind: "mclock-exec-error", Detail: err.Error()}
+	}
+	monSat := v.Accepts > 0
+	if monSat && !semantics.AsyncWeaklyJustified(a, gt) {
+		return &Divergence{Kind: "async-unsound",
+			Detail: fmt.Sprintf("executor counted %d coherent accepts without even weak semantic justification", v.Accepts)}
+	}
+	if !monSat && asyncExactComparable(a) {
+		if _, oracleSat := semantics.AsyncSatisfied(a, gt); oracleSat {
+			return &Divergence{Kind: "async-incomplete",
+				Detail: "reference semantics finds a coherent match but the executor never reached a coherent accept"}
+		}
+	}
+	return nil
+}
+
+// asyncExactComparable reports whether the executor must reproduce the
+// reference verdict exactly: no causality arrows anywhere and every
+// child an orthogonal pattern.
+func asyncExactComparable(a *chart.Async) bool {
+	if len(a.CrossArrows) > 0 || !arrowFree(a) {
+		return false
+	}
+	for _, ch := range a.Children {
+		p, ok := synth.WindowPattern(ch)
+		if !ok {
+			return false
+		}
+		if orth, err := p.Orthogonal(); err != nil || !orth {
+			return false
+		}
+	}
+	return true
+}
+
+// asyncShrinkTrace minimizes the global trace by chunk removal while the
+// same divergence kind persists. The chart itself is kept as drawn —
+// the async generator's charts are already small, and cross-arrow
+// bookkeeping makes structural mutation rarely worth the complexity.
+func asyncShrinkTrace(spec gen.AsyncSpec, mm *mclock.MultiMonitor, gt trace.GlobalTrace, kind string) trace.GlobalTrace {
+	fails := func(cand trace.GlobalTrace) bool {
+		d := asyncCompare(spec, mm, cand)
+		return d != nil && d.Kind == kind
+	}
+	for {
+		reduced := false
+		for size := len(gt) / 2; size >= 1; size /= 2 {
+			for start := 0; start+size <= len(gt); start += size {
+				cand := make(trace.GlobalTrace, 0, len(gt)-size)
+				cand = append(cand, gt[:start]...)
+				cand = append(cand, gt[start+size:]...)
+				if len(cand) == 0 {
+					continue
+				}
+				if fails(cand) {
+					gt = cand
+					reduced = true
+					break
+				}
+			}
+			if reduced {
+				break
+			}
+		}
+		if !reduced {
+			return gt
+		}
+	}
+}

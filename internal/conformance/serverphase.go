@@ -1,0 +1,233 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/chart"
+	"repro/internal/client"
+	"repro/internal/event"
+	"repro/internal/faultinject"
+	"repro/internal/monitor"
+	"repro/internal/parser"
+	"repro/internal/server"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// serverBatchTicks is the NDJSON batch size of the server phase — small,
+// so crash-at-every-batch recovery runs exercise many power cuts per
+// trace.
+const serverBatchTicks = 7
+
+// serverCheck rounds one (chart, trace) pair through a live cescd
+// instance and compares the server-side accept ticks against direct
+// local stepping, over both ingest formats:
+//
+//   - an NDJSON session streamed in small batches through the retrying
+//     client, with injected response-path faults so retries and ?seq
+//     dedup are on the differential path every run;
+//   - a VCD session fed the same trace as a Value Change Dump.
+//
+// With doRecover set the server is power-cut (Crash + restart on the
+// same WAL directory) after every NDJSON batch, so the comparison also
+// proves journal replay equivalence. Returns the divergences, the
+// number of recoveries performed, and a harness error.
+func serverCheck(c chart.Chart, tr trace.Trace, doRecover bool) ([]*Divergence, int, error) {
+	m, err := synth.Synthesize(c, nil)
+	if err != nil {
+		// checkChart reports synthesis failures; nothing to round-trip.
+		return nil, 0, nil
+	}
+	want := acceptTicks(monitor.NewEngine(m, nil, monitor.ModeDetect).Step, tr)
+	src := parser.Print("Spec", c)
+
+	var walDir string
+	if doRecover {
+		walDir, err = os.MkdirTemp("", "cescfuzz-wal-")
+		if err != nil {
+			return nil, 0, err
+		}
+		defer os.RemoveAll(walDir)
+	}
+	newServer := func() (*server.Server, *httptest.Server, error) {
+		// The fault plane is rebuilt per incarnation: two transient
+		// response-path failures per run keep the client's retry and the
+		// server's dedup watermark under test without ever losing data.
+		faults := faultinject.New(1).Add(faultinject.Rule{
+			Point: "server.ingest.respond", Kind: faultinject.KindError,
+			After: 1, Every: 3, Count: 2,
+		})
+		cfg := server.Config{Shards: 2, QueueDepth: 16, Faults: faults}
+		if walDir != "" {
+			cfg.WALDir = walDir
+			cfg.SnapshotEvery = 3
+		}
+		s, err := server.New(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := s.LoadSpecSource(src); err != nil {
+			s.Close()
+			return nil, nil, fmt.Errorf("loading generated spec: %w", err)
+		}
+		return s, httptest.NewServer(s.Handler()), nil
+	}
+
+	s, ts, err := newServer()
+	if err != nil {
+		return nil, 0, err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			ts.Close()
+			s.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	newClient := func(base string) *client.Client {
+		return client.New(client.Options{
+			BaseURL: base, MaxAttempts: 6,
+			BackoffBase: time.Millisecond, BackoffCap: 10 * time.Millisecond, Seed: 1,
+		})
+	}
+	cl := newClient(ts.URL)
+	sess, err := cl.CreateSession(ctx, "detect", "Spec")
+	if err != nil {
+		return nil, 0, err
+	}
+	vcdSess, err := cl.CreateSession(ctx, "detect", "Spec")
+	if err != nil {
+		return nil, 0, err
+	}
+	vcdID := vcdSess.ID
+
+	recoveries := 0
+	batches := uint64(0)
+	for at := 0; at < len(tr); at += serverBatchTicks {
+		end := at + serverBatchTicks
+		if end > len(tr) {
+			end = len(tr)
+		}
+		batch := make([]server.StateJSON, 0, end-at)
+		for _, st := range tr[at:end] {
+			batch = append(batch, server.EncodeState(st))
+		}
+		if _, err := sess.SendTicks(ctx, batch, true); err != nil {
+			return nil, recoveries, fmt.Errorf("sending batch at %d: %w", at, err)
+		}
+		batches++
+		if doRecover && end < len(tr) {
+			id := sess.ID
+			s.Crash()
+			ts.Close()
+			s, ts, err = newServer()
+			if err != nil {
+				return nil, recoveries, fmt.Errorf("restart after crash at %d: %w", at, err)
+			}
+			cl = newClient(ts.URL)
+			sess = cl.Resume(id, batches+1)
+			recoveries++
+		}
+	}
+
+	var out []*Divergence
+	kind := "server-ndjson"
+	if doRecover {
+		kind = "recovery"
+	}
+	got, err := settledAcceptTicks(ctx, sess, len(tr))
+	if err != nil {
+		return nil, recoveries, err
+	}
+	if !sameInts(want, got) {
+		out = append(out, &Divergence{Kind: kind,
+			Detail: fmt.Sprintf("local accepts %v, server accepts %v (recoveries %d)", want, got, recoveries)})
+	}
+
+	// The VCD path: one upload, synchronous, after any recovery dance —
+	// the recovered server must still serve the (journal-recovered) VCD
+	// session. Recovery keeps the session's monitor state, so ticks
+	// streamed before a crash are never replayed here: the whole dump
+	// goes to a session that saw no NDJSON traffic.
+	var vcd bytes.Buffer
+	if err := trace.WriteVCD(&vcd, "fuzz", tr); err != nil {
+		return out, recoveries, err
+	}
+	url := fmt.Sprintf("%s/sessions/%s/vcd?props=%s", ts.URL, vcdID, propsParam(c))
+	resp, err := http.Post(url, "text/plain", &vcd)
+	if err != nil {
+		return out, recoveries, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, recoveries, fmt.Errorf("vcd upload: status %d", resp.StatusCode)
+	}
+	vgot, err := settledAcceptTicks(ctx, cl.Resume(vcdID, 0), len(tr))
+	if err != nil {
+		return out, recoveries, err
+	}
+	if !sameInts(want, vgot) {
+		out = append(out, &Divergence{Kind: "server-vcd",
+			Detail: fmt.Sprintf("local accepts %v, vcd-ingested accepts %v", want, vgot)})
+	}
+
+	ts.Close()
+	s.Close()
+	closed = true
+	return out, recoveries, nil
+}
+
+// settledAcceptTicks polls the session until every tick has been
+// processed (dedup-retried batches can be acknowledged before the shard
+// applies them), then returns its accept ticks.
+func settledAcceptTicks(ctx context.Context, sess *client.Session, steps int) ([]int, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := sess.Verdicts(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(v.Monitors) != 1 {
+			return nil, fmt.Errorf("expected 1 monitor verdict, got %d", len(v.Monitors))
+		}
+		mv := v.Monitors[0]
+		if mv.Quarantined {
+			return nil, fmt.Errorf("monitor quarantined: %s", mv.QuarantineReason)
+		}
+		if mv.Steps >= steps {
+			return mv.AcceptTicks, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("session stalled at %d/%d steps", mv.Steps, steps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// propsParam lists the chart's proposition symbols for the VCD ingest
+// query (all other signals default to events).
+func propsParam(c chart.Chart) string {
+	var names []string
+	for _, s := range chart.Symbols(c) {
+		if s.Kind == event.KindProp {
+			names = append(names, s.Name)
+		}
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}

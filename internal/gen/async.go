@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+)
+
+// AsyncSpec is an Async chart plus the bookkeeping a campaign needs to
+// build global traces for it: the per-domain sub-generators (sharing the
+// parent's random source but scoped to disjoint symbol pools) and the
+// cross-arrow endpoints.
+type AsyncSpec struct {
+	Chart *chart.Async
+	// Domains lists the clock-domain names in child order.
+	Domains []string
+}
+
+// Async draws a multi-clock chart: 2–3 pattern-shaped children on
+// pairwise disjoint clock domains with disjoint symbol pools, plus up to
+// two cross-domain causality arrows between labelled markers. Children
+// are pattern-shaped (SCESC or Seq of SCESCs) because cross-arrow
+// endpoints need fixed tick offsets, which mclock requires.
+func (g *Gen) Async() AsyncSpec {
+	n := 2 + g.rng.Intn(2)
+	a := &chart.Async{}
+	spec := AsyncSpec{Chart: a}
+	// One scoped sub-generator per domain, all drawing from the parent's
+	// random stream so a single seed reproduces the whole chart.
+	subs := make([]*Gen, n)
+	for i := 0; i < n; i++ {
+		cfg := g.cfg
+		cfg.Clock = fmt.Sprintf("ck%d", i)
+		cfg.Events = domainSymbols(g.cfg.Events, i)
+		cfg.Props = domainSymbols(g.cfg.Props, i)
+		subs[i] = &Gen{cfg: cfg, rng: g.rng, labelSeq: g.labelSeq}
+		var child chart.Chart
+		if g.prob(0.3) {
+			child = &chart.Seq{Children: []chart.Chart{
+				subs[i].scesc(1+g.rng.Intn(2), false),
+				subs[i].scesc(1+g.rng.Intn(2), false),
+			}}
+		} else {
+			child = subs[i].scesc(1+g.rng.Intn(g.cfg.MaxLines), false)
+		}
+		g.labelSeq = subs[i].labelSeq
+		a.Children = append(a.Children, child)
+		spec.Domains = append(spec.Domains, cfg.Clock)
+	}
+	narrows := g.rng.Intn(3)
+	for k := 0; k < narrows; k++ {
+		src := g.rng.Intn(n)
+		dst := g.rng.Intn(n)
+		if src == dst {
+			continue
+		}
+		from := g.labelSomeMarker(a.Children[src])
+		to := g.labelSomeMarker(a.Children[dst])
+		if from == "" || to == "" || from == to {
+			continue
+		}
+		a.CrossArrows = append(a.CrossArrows, chart.Arrow{From: from, To: to})
+	}
+	if err := a.Validate(); err != nil {
+		panic(fmt.Sprintf("gen: produced invalid async chart %s: %v", chart.Describe(a), err))
+	}
+	return spec
+}
+
+// domainSymbols derives a disjoint symbol pool for async child i by
+// prefixing the base pool, so domains never share event or prop names
+// (cross-arrow scoreboard entries are keyed by event name).
+func domainSymbols(base []string, i int) []string {
+	out := make([]string, len(base))
+	for j, s := range base {
+		out[j] = fmt.Sprintf("d%d_%s", i, s)
+	}
+	return out
+}
+
+// labelSomeMarker gives a fresh explicit label to a random positive
+// marker of the (pattern-shaped) chart and returns it; "" when the chart
+// has no positive markers.
+func (g *Gen) labelSomeMarker(c chart.Chart) string {
+	type site struct {
+		sc        *chart.SCESC
+		tick, idx int
+	}
+	var sites []site
+	for _, sc := range chart.Leaves(c) {
+		for t, line := range sc.Lines {
+			for i, e := range line.Events {
+				if !e.Negated {
+					sites = append(sites, site{sc, t, i})
+				}
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return ""
+	}
+	s := sites[g.rng.Intn(len(sites))]
+	return g.ensureLabel(s.sc, s.tick, s.idx)
+}

@@ -1,0 +1,560 @@
+// Package gen is the generative side of the conformance harness: a
+// seeded, size-bounded generator of well-formed CESC charts and of
+// adversarial tick streams biased toward near-miss prefixes. Charts it
+// returns always pass chart.Validate, keep every grid line (and every
+// synchronous-overlay conjunction) satisfiable, and never admit the
+// empty window — the invariants the synthesis pipeline assumes — so a
+// campaign can draw thousands of charts and attribute every divergence
+// to the system under test rather than to a malformed input. All
+// randomness flows from one injectable rand.Source; reporting a seed is
+// enough to reproduce a failure exactly.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/chart"
+	"repro/internal/expr"
+)
+
+// Config bounds the generator. The zero value is usable: every field
+// defaults to a small adversarial setting (few symbols, so generated
+// windows collide and overlap often).
+type Config struct {
+	// Events and Props are the symbol pools for single-clock charts.
+	Events []string
+	Props  []string
+	// Instances is the instance-name pool for event endpoints.
+	Instances []string
+	// Clock names the clock of single-clock charts.
+	Clock string
+	// MaxLines caps grid lines per SCESC leaf.
+	MaxLines int
+	// MaxMarkers caps event markers per grid line.
+	MaxMarkers int
+	// MaxChildren caps children of seq/alt compositions.
+	MaxChildren int
+	// MaxDepth caps composition nesting (0 = SCESC leaves only).
+	MaxDepth int
+	// MaxDelay caps the implies deadline.
+	MaxDelay int
+	// GuardProb, NegateProb, CondProb, EnvProb, EndpointProb, ArrowProb
+	// steer marker decoration.
+	GuardProb, NegateProb, CondProb, EnvProb, EndpointProb, ArrowProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Events) == 0 {
+		c.Events = []string{"e1", "e2", "e3"}
+	}
+	if len(c.Props) == 0 {
+		c.Props = []string{"p1", "p2"}
+	}
+	if len(c.Instances) == 0 {
+		c.Instances = []string{"mst", "slv"}
+	}
+	if c.Clock == "" {
+		c.Clock = "clk"
+	}
+	if c.MaxLines <= 0 {
+		c.MaxLines = 3
+	}
+	if c.MaxMarkers <= 0 {
+		c.MaxMarkers = 2
+	}
+	if c.MaxChildren <= 0 {
+		c.MaxChildren = 3
+	}
+	if c.MaxDepth < 0 {
+		c.MaxDepth = 0
+	} else if c.MaxDepth == 0 {
+		c.MaxDepth = 2
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2
+	}
+	if c.GuardProb == 0 {
+		c.GuardProb = 0.4
+	}
+	if c.NegateProb == 0 {
+		c.NegateProb = 0.25
+	}
+	if c.CondProb == 0 {
+		c.CondProb = 0.2
+	}
+	if c.EnvProb == 0 {
+		c.EnvProb = 0.15
+	}
+	if c.EndpointProb == 0 {
+		c.EndpointProb = 0.5
+	}
+	if c.ArrowProb == 0 {
+		c.ArrowProb = 0.5
+	}
+	return c
+}
+
+// Gen draws charts and traces from a Config and a random source.
+type Gen struct {
+	cfg      Config
+	rng      *rand.Rand
+	labelSeq int
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64, cfg Config) *Gen {
+	return FromSource(rand.NewSource(seed), cfg)
+}
+
+// FromSource returns a generator over an injectable source, so harnesses
+// that already own a seeded source (soak tests, cescfuzz) derive chart
+// draws from it reproducibly.
+func FromSource(src rand.Source, cfg Config) *Gen {
+	return &Gen{cfg: cfg.withDefaults(), rng: rand.New(src)}
+}
+
+func (g *Gen) prob(p float64) bool { return g.rng.Float64() < p }
+
+func (g *Gen) pick(ss []string) string { return ss[g.rng.Intn(len(ss))] }
+
+func (g *Gen) freshLabel() string {
+	g.labelSeq++
+	return fmt.Sprintf("L%d", g.labelSeq)
+}
+
+// Chart draws a single-clock chart: an SCESC leaf or a sequential /
+// synchronous-parallel / alternative / loop / implication composition.
+// The result always passes Validate, has strictly positive minimum
+// window width, and keeps every grid line satisfiable.
+func (g *Gen) Chart() chart.Chart {
+	var c chart.Chart
+	if g.prob(0.2) {
+		c = g.implies()
+	} else {
+		c = g.window(g.cfg.MaxDepth)
+	}
+	forcePositiveWidth(c)
+	if err := c.Validate(); err != nil {
+		// The construction rules keep this unreachable; failing loudly
+		// (with the chart shape) beats silently feeding a malformed chart
+		// to a campaign that would misattribute the divergence.
+		panic(fmt.Sprintf("gen: produced invalid chart %s: %v", chart.Describe(c), err))
+	}
+	return c
+}
+
+// window draws a chart denoting a window language (no implication), for
+// use as a composition child.
+func (g *Gen) window(depth int) chart.Chart {
+	if depth <= 0 {
+		return g.scesc(1+g.rng.Intn(g.cfg.MaxLines), g.prob(g.cfg.ArrowProb))
+	}
+	switch g.rng.Intn(6) {
+	case 0, 1:
+		return g.scesc(1+g.rng.Intn(g.cfg.MaxLines), g.prob(g.cfg.ArrowProb))
+	case 2:
+		return g.seq(depth)
+	case 3:
+		return g.par(depth)
+	case 4:
+		return g.alt(depth)
+	default:
+		return g.loop(depth)
+	}
+}
+
+func (g *Gen) seq(depth int) *chart.Seq {
+	n := 2 + g.rng.Intn(g.cfg.MaxChildren-1)
+	children := make([]chart.Chart, n)
+	for i := range children {
+		children[i] = g.window(depth - 1)
+	}
+	return &chart.Seq{Children: children}
+}
+
+func (g *Gen) alt(depth int) *chart.Alt {
+	n := 2 + g.rng.Intn(g.cfg.MaxChildren-1)
+	children := make([]chart.Chart, n)
+	for i := range children {
+		children[i] = g.window(depth - 1)
+	}
+	return &chart.Alt{Children: children}
+}
+
+func (g *Gen) loop(depth int) *chart.Loop {
+	l := &chart.Loop{Body: g.window(depth - 1), Min: 1 + g.rng.Intn(2)}
+	if g.prob(0.2) {
+		l.Max = chart.Unbounded
+	} else {
+		l.Max = l.Min + g.rng.Intn(3)
+	}
+	if g.prob(0.25) {
+		// A zero-minimum loop is legal inside a wider window; if it ends
+		// up admitting the empty window at top level, forcePositiveWidth
+		// restores Min >= 1.
+		l.Min = 0
+	}
+	return l
+}
+
+// par draws a synchronous overlay. Children are pattern-shaped and of
+// equal width so the per-tick conjunction is defined, and every
+// conjunction is checked satisfiable; occasionally one child is an
+// alternative of same-width leaves, exercising the DFA-product path.
+func (g *Gen) par(depth int) chart.Chart {
+	width := 1 + g.rng.Intn(g.cfg.MaxLines)
+	first := g.scesc(width, g.prob(g.cfg.ArrowProb))
+	for attempt := 0; attempt < 16; attempt++ {
+		var second chart.Chart
+		if depth > 1 && g.prob(0.2) {
+			second = &chart.Alt{Children: []chart.Chart{
+				g.scesc(width, false),
+				g.scesc(width, false),
+			}}
+		} else {
+			second = g.scesc(width, false)
+		}
+		p := &chart.Par{Children: []chart.Chart{first, second}}
+		if overlaySatisfiable(p) {
+			return p
+		}
+	}
+	// Conjunctions kept colliding; an overlay with an identical twin is
+	// always satisfiable and still a legal (if easy) par. The twin is
+	// stripped of labels and arrows so instrumentation is not duplicated.
+	twin := cloneSCESC(first)
+	twin.Arrows = nil
+	for i := range twin.Lines {
+		for j := range twin.Lines[i].Events {
+			twin.Lines[i].Events[j].Label = ""
+		}
+	}
+	return &chart.Par{Children: []chart.Chart{first, twin}}
+}
+
+func (g *Gen) implies() *chart.Implies {
+	v := &chart.Implies{
+		Trigger:  g.window(1),
+		MaxDelay: g.rng.Intn(g.cfg.MaxDelay + 1),
+	}
+	// The trigger must denote a positive-width language on its own:
+	// synthesizeImplies rejects triggers admitting the empty window even
+	// when the implication as a whole has positive minimum width.
+	forcePositiveWidth(v.Trigger)
+	// The synthesized obligation requires a pattern-shaped consequent.
+	if g.prob(0.3) {
+		v.Consequent = &chart.Seq{Children: []chart.Chart{
+			g.scesc(1+g.rng.Intn(2), false),
+			g.scesc(1+g.rng.Intn(2), false),
+		}}
+	} else {
+		v.Consequent = g.scesc(1+g.rng.Intn(g.cfg.MaxLines), false)
+	}
+	return v
+}
+
+// scesc draws one leaf with n grid lines. Every line's conjunction is
+// satisfiable (retried against expr.SatAuto); when withArrows is set and
+// the leaf spans several ticks, up to two forward causality arrows are
+// attached to freshly labelled positive markers.
+func (g *Gen) scesc(n int, withArrows bool) *chart.SCESC {
+	sc := &chart.SCESC{Clock: g.cfg.Clock}
+	used := map[string]bool{}
+	for i := 0; i < n; i++ {
+		sc.Lines = append(sc.Lines, g.gridLine(used))
+	}
+	for inst := range used {
+		sc.Instances = append(sc.Instances, inst)
+	}
+	// Map iteration order is randomized; fix a deterministic order so the
+	// same seed always yields the identical chart.
+	sort.Strings(sc.Instances)
+	if withArrows && n >= 2 {
+		g.addArrows(sc)
+	}
+	return sc
+}
+
+func (g *Gen) gridLine(usedInstances map[string]bool) chart.GridLine {
+	for {
+		line := chart.GridLine{}
+		nm := 1 + g.rng.Intn(g.cfg.MaxMarkers)
+		if nm > len(g.cfg.Events) {
+			nm = len(g.cfg.Events)
+		}
+		for _, ev := range g.rng.Perm(len(g.cfg.Events))[:nm] {
+			line.Events = append(line.Events, g.marker(g.cfg.Events[ev], usedInstances))
+		}
+		if g.prob(g.cfg.CondProb) {
+			cond := expr.Pr(g.pick(g.cfg.Props))
+			if g.prob(0.5) {
+				cond = expr.Not(cond)
+			}
+			line.Cond = cond
+		}
+		if ok, err := expr.SatAuto(line.Expr()); err == nil && ok {
+			return line
+		}
+		// Unsatisfiable conjunction (e.g. a guard clashing with the
+		// condition): redraw the whole line.
+	}
+}
+
+func (g *Gen) marker(ev string, usedInstances map[string]bool) chart.EventSpec {
+	spec := chart.EventSpec{Event: ev}
+	if g.prob(g.cfg.GuardProb) {
+		spec.Guard = g.guard()
+	}
+	if g.prob(g.cfg.NegateProb) {
+		spec.Negated = true
+		return spec
+	}
+	switch {
+	case g.prob(g.cfg.EnvProb):
+		spec.Env = true
+	case len(g.cfg.Instances) >= 2 && g.prob(g.cfg.EndpointProb):
+		perm := g.rng.Perm(len(g.cfg.Instances))
+		spec.From = g.cfg.Instances[perm[0]]
+		spec.To = g.cfg.Instances[perm[1]]
+		usedInstances[spec.From] = true
+		usedInstances[spec.To] = true
+	}
+	return spec
+}
+
+func (g *Gen) guard() expr.Expr {
+	p := expr.Pr(g.pick(g.cfg.Props))
+	switch g.rng.Intn(4) {
+	case 0:
+		return expr.Not(p)
+	case 1:
+		if len(g.cfg.Props) > 1 {
+			q := expr.Pr(g.pick(g.cfg.Props))
+			if !expr.Equal(p, q) {
+				if g.prob(0.5) {
+					return expr.And(p, q)
+				}
+				return expr.Or(p, q)
+			}
+		}
+		return p
+	default:
+		return p
+	}
+}
+
+// addArrows labels up to two positive marker pairs on distinct ticks and
+// connects them with forward causality arrows.
+func (g *Gen) addArrows(sc *chart.SCESC) {
+	type site struct{ tick, idx int }
+	var positives []site
+	for t, line := range sc.Lines {
+		for i, e := range line.Events {
+			if !e.Negated {
+				positives = append(positives, site{t, i})
+			}
+		}
+	}
+	if len(positives) < 2 {
+		return
+	}
+	narrows := 1
+	if g.prob(0.3) {
+		narrows = 2
+	}
+	for a := 0; a < narrows; a++ {
+		// Draw two sites on distinct ticks, source first.
+		var src, dst site
+		found := false
+		for attempt := 0; attempt < 8 && !found; attempt++ {
+			i, j := g.rng.Intn(len(positives)), g.rng.Intn(len(positives))
+			if positives[i].tick > positives[j].tick {
+				i, j = j, i
+			}
+			if positives[i].tick < positives[j].tick {
+				src, dst, found = positives[i], positives[j], true
+			}
+		}
+		if !found {
+			return
+		}
+		from := g.ensureLabel(sc, src.tick, src.idx)
+		to := g.ensureLabel(sc, dst.tick, dst.idx)
+		if from == to {
+			continue
+		}
+		sc.Arrows = append(sc.Arrows, chart.Arrow{From: from, To: to})
+	}
+}
+
+func (g *Gen) ensureLabel(sc *chart.SCESC, tick, idx int) string {
+	e := &sc.Lines[tick].Events[idx]
+	if e.Label != "" {
+		return e.Label
+	}
+	e.Label = g.freshLabel()
+	return e.Label
+}
+
+// MinTicks returns the least number of ticks any window of c spans.
+func MinTicks(c chart.Chart) int {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		return v.NumTicks()
+	case *chart.Seq:
+		total := 0
+		for _, ch := range v.Children {
+			total += MinTicks(ch)
+		}
+		return total
+	case *chart.Alt:
+		best := -1
+		for _, ch := range v.Children {
+			if w := MinTicks(ch); best == -1 || w < best {
+				best = w
+			}
+		}
+		if best < 0 {
+			return 0
+		}
+		return best
+	case *chart.Par:
+		best := 0
+		for _, ch := range v.Children {
+			if w := MinTicks(ch); w > best {
+				best = w
+			}
+		}
+		return best
+	case *chart.Loop:
+		return v.Min * MinTicks(v.Body)
+	case *chart.Implies:
+		return MinTicks(v.Trigger) + MinTicks(v.Consequent)
+	default:
+		return 0
+	}
+}
+
+// forcePositiveWidth bumps zero-minimum loops until the chart no longer
+// admits the empty window (which synthesizeNFA rejects: such a detector
+// would accept vacuously at every tick).
+func forcePositiveWidth(c chart.Chart) {
+	for MinTicks(c) == 0 {
+		if !bumpOneLoop(c) {
+			return
+		}
+	}
+}
+
+func bumpOneLoop(c chart.Chart) bool {
+	switch v := c.(type) {
+	case *chart.Loop:
+		if v.Min == 0 {
+			v.Min = 1
+			if v.Max != chart.Unbounded && v.Max < v.Min {
+				v.Max = v.Min
+			}
+			return true
+		}
+		return bumpOneLoop(v.Body)
+	case *chart.Seq:
+		for _, ch := range v.Children {
+			if MinTicks(ch) == 0 && bumpOneLoop(ch) {
+				return true
+			}
+		}
+	case *chart.Alt:
+		for _, ch := range v.Children {
+			if MinTicks(ch) == 0 && bumpOneLoop(ch) {
+				return true
+			}
+		}
+	case *chart.Par:
+		for _, ch := range v.Children {
+			if MinTicks(ch) == 0 && bumpOneLoop(ch) {
+				return true
+			}
+		}
+	case *chart.Implies:
+		if MinTicks(v.Trigger) == 0 && bumpOneLoop(v.Trigger) {
+			return true
+		}
+		return bumpOneLoop(v.Consequent)
+	}
+	return false
+}
+
+// overlaySatisfiable checks that every per-tick conjunction of the
+// overlay's children (for every alternative choice) stays satisfiable.
+func overlaySatisfiable(p *chart.Par) bool {
+	combos := overlayLineSets(p)
+	for _, lines := range combos {
+		for _, e := range lines {
+			if ok, err := expr.SatAuto(e); err != nil || !ok {
+				return false
+			}
+		}
+	}
+	return len(combos) > 0
+}
+
+// overlayLineSets enumerates the per-tick conjunction sequences of a
+// pattern-shaped chart, one per combination of alternative choices.
+func overlayLineSets(c chart.Chart) [][]expr.Expr {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		lines := make([]expr.Expr, len(v.Lines))
+		for i, l := range v.Lines {
+			lines[i] = l.Expr()
+		}
+		return [][]expr.Expr{lines}
+	case *chart.Seq:
+		acc := [][]expr.Expr{{}}
+		for _, ch := range v.Children {
+			var next [][]expr.Expr
+			for _, tail := range overlayLineSets(ch) {
+				for _, head := range acc {
+					joined := append(append([]expr.Expr{}, head...), tail...)
+					next = append(next, joined)
+				}
+			}
+			acc = next
+		}
+		return acc
+	case *chart.Alt:
+		var out [][]expr.Expr
+		for _, ch := range v.Children {
+			out = append(out, overlayLineSets(ch)...)
+		}
+		return out
+	case *chart.Par:
+		acc := [][]expr.Expr{}
+		first := true
+		for _, ch := range v.Children {
+			sets := overlayLineSets(ch)
+			if first {
+				acc, first = sets, false
+				continue
+			}
+			var next [][]expr.Expr
+			for _, a := range acc {
+				for _, b := range sets {
+					if len(a) != len(b) {
+						continue
+					}
+					joined := make([]expr.Expr, len(a))
+					for i := range a {
+						joined[i] = expr.And(a[i], b[i])
+					}
+					next = append(next, joined)
+				}
+			}
+			acc = next
+		}
+		return acc
+	default:
+		return nil
+	}
+}

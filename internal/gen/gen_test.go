@@ -1,0 +1,154 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/parser"
+	"repro/internal/trace"
+)
+
+// TestGeneratedChartsWellFormed drives the generator across many seeds
+// and holds every chart to the invariants the campaign relies on:
+// validity, a parser/printer round trip that reproduces the chart
+// exactly, a derivable support, and positive-width trace generation.
+func TestGeneratedChartsWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		g := New(seed, Config{})
+		c := g.Chart()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if MinTicks(c) == 0 {
+			t.Fatalf("seed %d: zero-width chart %s", seed, chart.Describe(c))
+		}
+		src := parser.Print("roundtrip", c)
+		c2, err := parser.ParseChart(src)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, src)
+		}
+		if !chart.Equal(c, c2) {
+			t.Fatalf("seed %d: round-trip mismatch\n%s", seed, src)
+		}
+		sup, err := Support(c)
+		if err != nil {
+			t.Fatalf("seed %d: support: %v", seed, err)
+		}
+		tr := g.Trace(c, sup, 40)
+		if len(tr) != 40 {
+			t.Fatalf("seed %d: trace len %d", seed, len(tr))
+		}
+	}
+}
+
+// TestGeneratedAsyncWellFormed does the same for multi-clock charts,
+// including the printed-form round trip the regression store depends on.
+func TestGeneratedAsyncWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		g := New(seed, Config{})
+		spec := g.Async()
+		if err := spec.Chart.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		src := parser.Print("roundtrip", spec.Chart)
+		c2, err := parser.ParseChart(src)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, src)
+		}
+		if !chart.Equal(spec.Chart, c2) {
+			t.Fatalf("seed %d: round-trip mismatch\n%s", seed, src)
+		}
+		phases := make([]int64, len(spec.Domains))
+		for i := range phases {
+			phases[i] = int64(i)
+		}
+		if gt, ok := g.AsyncGlobal(spec, phases, 3); ok && len(gt) == 0 {
+			t.Fatalf("seed %d: empty global trace", seed)
+		}
+	}
+}
+
+// TestGeneratorDeterministic pins the seeding contract: the same seed
+// must reproduce the same charts and traces, or printed reproduce lines
+// are worthless.
+func TestGeneratorDeterministic(t *testing.T) {
+	a, b := New(7, Config{}), New(7, Config{})
+	for i := 0; i < 20; i++ {
+		ca, cb := a.Chart(), b.Chart()
+		if !chart.Equal(ca, cb) {
+			t.Fatalf("draw %d: charts diverged", i)
+		}
+		supA, _ := Support(ca)
+		supB, _ := Support(cb)
+		ta, tb := a.Trace(ca, supA, 30), b.Trace(cb, supB, 30)
+		for k := range ta {
+			if !ta[k].Equal(tb[k]) {
+				t.Fatalf("draw %d tick %d: traces diverged", i, k)
+			}
+		}
+	}
+}
+
+// TestSpecCorpusRoundTrips holds the printer/parser pair to the same
+// round-trip law over every checked-in spec, not just generated charts.
+func TestSpecCorpusRoundTrips(t *testing.T) {
+	paths, err := filepath.Glob("../../specs/*.cesc")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no specs found: %v", err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		for _, decl := range f.Charts {
+			printed := parser.Print(decl.Name, decl.Chart)
+			c2, err := parser.ParseChart(printed)
+			if err != nil {
+				t.Fatalf("%s/%s: reparse: %v\n%s", p, decl.Name, err, printed)
+			}
+			if !chart.Equal(decl.Chart, c2) {
+				t.Fatalf("%s/%s: round-trip mismatch\n%s", p, decl.Name, printed)
+			}
+		}
+	}
+}
+
+// TestShrinkPreservesFailure shrinks against a synthetic predicate and
+// checks the contract: the result still fails the predicate, validates,
+// and never grows.
+func TestShrinkPreservesFailure(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		g := New(seed, Config{})
+		c := g.Chart()
+		sup, err := Support(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := g.Trace(c, sup, 40)
+		// A predicate most shrink steps can preserve, so the loop actually
+		// exercises both trace and chart candidates.
+		fails := func(c2 chart.Chart, tr2 trace.Trace) bool {
+			return len(tr2) >= 3 && len(chart.Leaves(c2)) >= 1
+		}
+		c2, tr2 := Shrink(c, tr, fails)
+		if !fails(c2, tr2) {
+			t.Fatalf("seed %d: shrunk pair no longer fails", seed)
+		}
+		if err := c2.Validate(); err != nil {
+			t.Fatalf("seed %d: shrunk chart invalid: %v", seed, err)
+		}
+		if MinTicks(c2) == 0 {
+			t.Fatalf("seed %d: shrunk chart has zero width", seed)
+		}
+		if len(tr2) > len(tr) {
+			t.Fatalf("seed %d: trace grew from %d to %d", seed, len(tr), len(tr2))
+		}
+	}
+}

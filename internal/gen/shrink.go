@@ -1,0 +1,316 @@
+package gen
+
+import (
+	"repro/internal/chart"
+	"repro/internal/trace"
+)
+
+// Clone deep-copies a chart. Guard expressions are immutable and shared.
+func Clone(c chart.Chart) chart.Chart {
+	switch v := c.(type) {
+	case nil:
+		return nil
+	case *chart.SCESC:
+		return cloneSCESC(v)
+	case *chart.Seq:
+		return &chart.Seq{ChartName: v.ChartName, Children: cloneChildren(v.Children)}
+	case *chart.Par:
+		return &chart.Par{ChartName: v.ChartName, Children: cloneChildren(v.Children)}
+	case *chart.Alt:
+		return &chart.Alt{ChartName: v.ChartName, Children: cloneChildren(v.Children)}
+	case *chart.Loop:
+		return &chart.Loop{ChartName: v.ChartName, Body: Clone(v.Body), Min: v.Min, Max: v.Max}
+	case *chart.Implies:
+		return &chart.Implies{ChartName: v.ChartName, Trigger: Clone(v.Trigger),
+			Consequent: Clone(v.Consequent), MaxDelay: v.MaxDelay}
+	case *chart.Async:
+		return &chart.Async{ChartName: v.ChartName, Children: cloneChildren(v.Children),
+			CrossArrows: append([]chart.Arrow(nil), v.CrossArrows...)}
+	default:
+		return c
+	}
+}
+
+func cloneChildren(cs []chart.Chart) []chart.Chart {
+	out := make([]chart.Chart, len(cs))
+	for i, c := range cs {
+		out[i] = Clone(c)
+	}
+	return out
+}
+
+func cloneSCESC(sc *chart.SCESC) *chart.SCESC {
+	out := &chart.SCESC{
+		ChartName: sc.ChartName,
+		Clock:     sc.Clock,
+		Instances: append([]string(nil), sc.Instances...),
+		Arrows:    append([]chart.Arrow(nil), sc.Arrows...),
+	}
+	out.Lines = make([]chart.GridLine, len(sc.Lines))
+	for i, l := range sc.Lines {
+		out.Lines[i] = chart.GridLine{
+			Events: append([]chart.EventSpec(nil), l.Events...),
+			Cond:   l.Cond,
+		}
+	}
+	return out
+}
+
+// maxShrinkSteps bounds the number of accepted reductions; each accepted
+// step strictly shrinks the input, so this is a safety net, not a tuning
+// knob.
+const maxShrinkSteps = 400
+
+// Shrink greedily minimizes a failing (chart, trace) pair: it drops
+// trace chunks, composition children, grid lines, markers, arrows and
+// bounds as long as `fails` keeps reporting the divergence, and returns
+// the smallest reproduction found. Candidates that no longer validate
+// (or that admit the empty window) are skipped, so the result is always
+// a well-formed replayable pair.
+func Shrink(c chart.Chart, tr trace.Trace, fails func(chart.Chart, trace.Trace) bool) (chart.Chart, trace.Trace) {
+	for step := 0; step < maxShrinkSteps; step++ {
+		if tr2, ok := shrinkTrace(c, tr, fails); ok {
+			tr = tr2
+			continue
+		}
+		reduced := false
+		for _, cand := range chartCandidates(c) {
+			if cand.Validate() != nil || MinTicks(cand) == 0 {
+				continue
+			}
+			if fails(cand, tr) {
+				c = cand
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			return c, tr
+		}
+	}
+	return c, tr
+}
+
+// shrinkTrace removes the largest chunk of ticks that keeps the failure.
+func shrinkTrace(c chart.Chart, tr trace.Trace, fails func(chart.Chart, trace.Trace) bool) (trace.Trace, bool) {
+	for size := len(tr) / 2; size >= 1; size /= 2 {
+		for start := 0; start+size <= len(tr); start += size {
+			cand := make(trace.Trace, 0, len(tr)-size)
+			cand = append(cand, tr[:start]...)
+			cand = append(cand, tr[start+size:]...)
+			if len(cand) == 0 {
+				continue
+			}
+			if fails(c, cand) {
+				return cand, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// chartCandidates enumerates one-step reductions of c, each a fresh
+// deep-cloned chart. Order matters: structurally larger cuts (hoisting a
+// child over the whole composition) come before local ones, so the
+// greedy shrinker takes big steps first.
+func chartCandidates(c chart.Chart) []chart.Chart {
+	var out []chart.Chart
+	switch v := c.(type) {
+	case *chart.SCESC:
+		out = append(out, scescCandidates(v)...)
+	case *chart.Seq:
+		out = append(out, hoistAndDrop(v.Children, 1, func(cs []chart.Chart) chart.Chart {
+			return &chart.Seq{Children: cs}
+		})...)
+		out = append(out, spliceChildren(v.Children, func(cs []chart.Chart) chart.Chart {
+			return &chart.Seq{Children: cs}
+		})...)
+	case *chart.Par:
+		out = append(out, hoistAndDrop(v.Children, 2, func(cs []chart.Chart) chart.Chart {
+			return &chart.Par{Children: cs}
+		})...)
+		out = append(out, spliceChildren(v.Children, func(cs []chart.Chart) chart.Chart {
+			return &chart.Par{Children: cs}
+		})...)
+	case *chart.Alt:
+		out = append(out, hoistAndDrop(v.Children, 2, func(cs []chart.Chart) chart.Chart {
+			return &chart.Alt{Children: cs}
+		})...)
+		out = append(out, spliceChildren(v.Children, func(cs []chart.Chart) chart.Chart {
+			return &chart.Alt{Children: cs}
+		})...)
+	case *chart.Loop:
+		out = append(out, Clone(v.Body))
+		if v.Max == chart.Unbounded {
+			hi := v.Min + 1
+			if hi < 1 {
+				hi = 1
+			}
+			out = append(out, &chart.Loop{Body: Clone(v.Body), Min: v.Min, Max: hi})
+		} else if v.Max > v.Min {
+			out = append(out, &chart.Loop{Body: Clone(v.Body), Min: v.Min, Max: v.Max - 1})
+		}
+		if v.Min > 1 {
+			out = append(out, &chart.Loop{Body: Clone(v.Body), Min: v.Min - 1, Max: v.Max})
+		}
+		for _, bc := range chartCandidates(v.Body) {
+			out = append(out, &chart.Loop{Body: bc, Min: v.Min, Max: v.Max})
+		}
+	case *chart.Implies:
+		out = append(out, Clone(v.Trigger), Clone(v.Consequent))
+		if v.MaxDelay > 0 {
+			out = append(out, &chart.Implies{Trigger: Clone(v.Trigger),
+				Consequent: Clone(v.Consequent), MaxDelay: v.MaxDelay - 1})
+		}
+		for _, tc := range chartCandidates(v.Trigger) {
+			out = append(out, &chart.Implies{Trigger: tc, Consequent: Clone(v.Consequent), MaxDelay: v.MaxDelay})
+		}
+		for _, cc := range chartCandidates(v.Consequent) {
+			out = append(out, &chart.Implies{Trigger: Clone(v.Trigger), Consequent: cc, MaxDelay: v.MaxDelay})
+		}
+	case *chart.Async:
+		for i := range v.Children {
+			if len(v.Children) > 2 {
+				cs := cloneChildren(v.Children)
+				cand := &chart.Async{Children: append(cs[:i:i], cs[i+1:]...)}
+				cand.CrossArrows = pruneCrossArrows(cand, v.CrossArrows)
+				out = append(out, cand)
+			}
+		}
+		if len(v.CrossArrows) > 0 {
+			for i := range v.CrossArrows {
+				cand := Clone(v).(*chart.Async)
+				cand.CrossArrows = append(cand.CrossArrows[:i:i], cand.CrossArrows[i+1:]...)
+				out = append(out, cand)
+			}
+		}
+		for i := range v.Children {
+			for _, cc := range chartCandidates(v.Children[i]) {
+				cand := Clone(v).(*chart.Async)
+				cand.Children[i] = cc
+				cand.CrossArrows = pruneCrossArrows(cand, cand.CrossArrows)
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// hoistAndDrop yields each child alone, then the composition with one
+// child removed (respecting the minimum child count).
+func hoistAndDrop(children []chart.Chart, minLeft int, rebuild func([]chart.Chart) chart.Chart) []chart.Chart {
+	var out []chart.Chart
+	for _, ch := range children {
+		out = append(out, Clone(ch))
+	}
+	if len(children) > minLeft {
+		for i := range children {
+			cs := cloneChildren(children)
+			out = append(out, rebuild(append(cs[:i:i], cs[i+1:]...)))
+		}
+	}
+	return out
+}
+
+// spliceChildren substitutes each child's own candidates back into the
+// composition.
+func spliceChildren(children []chart.Chart, rebuild func([]chart.Chart) chart.Chart) []chart.Chart {
+	var out []chart.Chart
+	for i := range children {
+		for _, cc := range chartCandidates(children[i]) {
+			cs := cloneChildren(children)
+			cs[i] = cc
+			out = append(out, rebuild(cs))
+		}
+	}
+	return out
+}
+
+func scescCandidates(sc *chart.SCESC) []chart.Chart {
+	var out []chart.Chart
+	if len(sc.Lines) > 1 {
+		for i := range sc.Lines {
+			cand := cloneSCESC(sc)
+			cand.Lines = append(cand.Lines[:i:i], cand.Lines[i+1:]...)
+			fixupArrows(cand)
+			out = append(out, cand)
+		}
+	}
+	for i := range sc.Arrows {
+		cand := cloneSCESC(sc)
+		cand.Arrows = append(cand.Arrows[:i:i], cand.Arrows[i+1:]...)
+		out = append(out, cand)
+	}
+	for li, line := range sc.Lines {
+		for mi := range line.Events {
+			cand := cloneSCESC(sc)
+			evs := cand.Lines[li].Events
+			cand.Lines[li].Events = append(evs[:mi:mi], evs[mi+1:]...)
+			fixupArrows(cand)
+			out = append(out, cand)
+		}
+		if line.Cond != nil {
+			cand := cloneSCESC(sc)
+			cand.Lines[li].Cond = nil
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// fixupArrows drops arrows whose endpoints vanished or became ambiguous
+// or non-forward after a line or marker was removed, and prunes instance
+// declarations no marker references anymore.
+func fixupArrows(sc *chart.SCESC) {
+	labels := sc.Labels()
+	var kept []chart.Arrow
+	for _, a := range sc.Arrows {
+		f, okF := labels[a.From]
+		t, okT := labels[a.To]
+		if okF && okT && f.Tick < t.Tick {
+			kept = append(kept, a)
+		}
+	}
+	sc.Arrows = kept
+	used := map[string]bool{}
+	for _, line := range sc.Lines {
+		for _, e := range line.Events {
+			if e.From != "" {
+				used[e.From] = true
+			}
+			if e.To != "" {
+				used[e.To] = true
+			}
+		}
+	}
+	var insts []string
+	for _, in := range sc.Instances {
+		if used[in] {
+			insts = append(insts, in)
+		}
+	}
+	sc.Instances = insts
+}
+
+// pruneCrossArrows keeps only cross arrows whose endpoints still resolve
+// to labels in two different children.
+func pruneCrossArrows(a *chart.Async, arrows []chart.Arrow) []chart.Arrow {
+	var kept []chart.Arrow
+	for _, arr := range arrows {
+		fi, fok := findChild(a, arr.From)
+		ti, tok := findChild(a, arr.To)
+		if fok && tok && fi != ti {
+			kept = append(kept, arr)
+		}
+	}
+	return kept
+}
+
+func findChild(a *chart.Async, label string) (int, bool) {
+	for i, ch := range a.Children {
+		if _, _, ok := chart.FindLabel(ch, label); ok {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,231 @@
+package gen
+
+import (
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/expr"
+	"repro/internal/trace"
+)
+
+// Support returns the event/prop support of a chart's symbols.
+func Support(c chart.Chart) (*event.Support, error) {
+	return event.NewSupport(chart.Symbols(c))
+}
+
+// noiseDensity is the probability a symbol is true on a filler tick.
+// High enough that filler occasionally completes or extends candidate
+// windows (the adversarial part), low enough that witnesses dominate.
+const noiseDensity = 0.35
+
+func (g *Gen) randState(sup *event.Support) event.State {
+	var v event.Valuation
+	for i := 0; i < sup.Len(); i++ {
+		v = v.SetBit(i, g.prob(noiseDensity))
+	}
+	return sup.State(v)
+}
+
+// witnessExprs derives one per-tick constraint sequence whose
+// satisfaction makes the chart match: alternatives and loop repetition
+// counts are drawn randomly, implication delays are filled with nil
+// (unconstrained) slots. ok is false when the drawn combination is
+// unsatisfiable (e.g. a par overlay whose alternatives never align).
+func (g *Gen) witnessExprs(c chart.Chart) ([]expr.Expr, bool) {
+	switch v := c.(type) {
+	case *chart.SCESC:
+		out := make([]expr.Expr, len(v.Lines))
+		for i, l := range v.Lines {
+			out[i] = l.Expr()
+		}
+		return out, true
+	case *chart.Seq:
+		var out []expr.Expr
+		for _, ch := range v.Children {
+			part, ok := g.witnessExprs(ch)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, part...)
+		}
+		return out, true
+	case *chart.Alt:
+		for _, i := range g.rng.Perm(len(v.Children)) {
+			if part, ok := g.witnessExprs(v.Children[i]); ok {
+				return part, true
+			}
+		}
+		return nil, false
+	case *chart.Loop:
+		reps := v.Min
+		if reps == 0 {
+			reps = 1
+		}
+		span := 2
+		if v.Max != chart.Unbounded && v.Max-reps < span {
+			span = v.Max - reps
+		}
+		if span > 0 {
+			reps += g.rng.Intn(span + 1)
+		}
+		var out []expr.Expr
+		for r := 0; r < reps; r++ {
+			part, ok := g.witnessExprs(v.Body)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, part...)
+		}
+		return out, true
+	case *chart.Par:
+		for attempt := 0; attempt < 8; attempt++ {
+			parts := make([][]expr.Expr, len(v.Children))
+			ok := true
+			for i, ch := range v.Children {
+				parts[i], ok = g.witnessExprs(ch)
+				if !ok || len(parts[i]) != len(parts[0]) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			out := make([]expr.Expr, len(parts[0]))
+			sat := true
+			for t := range out {
+				terms := make([]expr.Expr, len(parts))
+				for i := range parts {
+					terms[i] = parts[i][t]
+				}
+				out[t] = expr.And(terms...)
+				if isSat, err := expr.SatAuto(out[t]); err != nil || !isSat {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				return out, true
+			}
+		}
+		return nil, false
+	case *chart.Implies:
+		tw, ok := g.witnessExprs(v.Trigger)
+		if !ok {
+			return nil, false
+		}
+		cw, ok := g.witnessExprs(v.Consequent)
+		if !ok {
+			return nil, false
+		}
+		out := append([]expr.Expr{}, tw...)
+		for d := g.rng.Intn(v.MaxDelay + 1); d > 0; d-- {
+			out = append(out, nil)
+		}
+		return append(out, cw...), true
+	default:
+		return nil, false
+	}
+}
+
+// Witness draws one trace window that satisfies c, sampling a random
+// minterm of each per-tick constraint; ok is false when no satisfying
+// assignment exists for a drawn combination.
+func (g *Gen) Witness(c chart.Chart, sup *event.Support) (trace.Trace, bool) {
+	exprs, ok := g.witnessExprs(c)
+	if !ok {
+		return nil, false
+	}
+	out := make(trace.Trace, len(exprs))
+	for i, e := range exprs {
+		if e == nil {
+			out[i] = g.randState(sup)
+			continue
+		}
+		ms := expr.Minterms(e, sup)
+		if len(ms) == 0 {
+			return nil, false
+		}
+		out[i] = sup.State(ms[g.rng.Intn(len(ms))])
+	}
+	return out, true
+}
+
+// Trace draws an adversarial tick stream of n ticks for c: random filler
+// seeded with full and truncated witness windows at random (possibly
+// overlapping) offsets, then a few random near-miss bit flips.
+func (g *Gen) Trace(c chart.Chart, sup *event.Support, n int) trace.Trace {
+	tr := make(trace.Trace, n)
+	for i := range tr {
+		tr[i] = g.randState(sup)
+	}
+	embeds := 1 + g.rng.Intn(3)
+	for k := 0; k < embeds; k++ {
+		w, ok := g.Witness(c, sup)
+		if !ok || len(w) == 0 {
+			break
+		}
+		if g.prob(0.3) && len(w) > 1 {
+			// Near-miss prefix: all but the closing ticks of a witness.
+			w = w[:1+g.rng.Intn(len(w)-1)]
+		}
+		if len(w) > n {
+			w = w[:n]
+		}
+		at := g.rng.Intn(n - len(w) + 1)
+		trace.Embed(tr, at, w)
+	}
+	if sup.Len() > 0 {
+		for flips := g.rng.Intn(4); flips > 0; flips-- {
+			t := g.rng.Intn(n)
+			v := sup.Valuation(tr[t])
+			bit := g.rng.Intn(sup.Len())
+			tr[t] = sup.State(v.SetBit(bit, !v.Bit(bit)))
+		}
+	}
+	return tr
+}
+
+// AsyncGlobal builds a global trace for an async chart: each domain gets
+// noise around its witness window, and the domains are interleaved on a
+// shared global clock with the given per-domain phases (periods all
+// equal len(domains), so distinct phases mod that period guarantee a
+// strict global order — no timestamp ties). pad bounds the noise padding
+// per domain. ok is false when some child has no satisfiable witness.
+func (g *Gen) AsyncGlobal(spec AsyncSpec, phases []int64, pad int) (trace.GlobalTrace, bool) {
+	a := spec.Chart
+	period := int64(len(a.Children))
+	periods := make(map[string]int64, len(a.Children))
+	phaseMap := make(map[string]int64, len(a.Children))
+	traces := make(map[string]trace.Trace, len(a.Children))
+	for i, ch := range a.Children {
+		sup, err := Support(ch)
+		if err != nil {
+			return nil, false
+		}
+		w, ok := g.Witness(ch, sup)
+		if !ok {
+			return nil, false
+		}
+		pre, post := 0, 0
+		if pad > 0 {
+			pre, post = g.rng.Intn(pad+1), g.rng.Intn(pad+1)
+		}
+		tr := make(trace.Trace, 0, pre+len(w)+post)
+		for k := 0; k < pre; k++ {
+			tr = append(tr, g.randState(sup))
+		}
+		tr = append(tr, w...)
+		for k := 0; k < post; k++ {
+			tr = append(tr, g.randState(sup))
+		}
+		d := spec.Domains[i]
+		periods[d] = period
+		phaseMap[d] = phases[i%len(phases)] % period
+		traces[d] = tr
+	}
+	gt, err := trace.Interleave(spec.Domains, periods, phaseMap, traces)
+	if err != nil {
+		return nil, false
+	}
+	return gt, true
+}

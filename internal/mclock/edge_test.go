@@ -1,0 +1,143 @@
+package mclock
+
+import (
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// leaf builds a one-domain SCESC matching ev at each of n consecutive
+// ticks of the given clock.
+func edgeLeaf(clock, ev string, n int) *chart.SCESC {
+	sc := &chart.SCESC{Clock: clock}
+	for i := 0; i < n; i++ {
+		sc.Lines = append(sc.Lines, chart.GridLine{
+			Events: []chart.EventSpec{{Event: ev}},
+		})
+	}
+	return sc
+}
+
+// TestIdenticalPeriodDomains runs two domains whose clocks tick in
+// lockstep (same period, adjacent phases). Each domain sees its own
+// two-tick scenario; the executor must count exactly one coherent accept
+// per joint completion, not one per domain.
+func TestIdenticalPeriodDomains(t *testing.T) {
+	a := &chart.Async{Children: []chart.Chart{
+		edgeLeaf("cka", "a", 2),
+		edgeLeaf("ckb", "b", 2),
+	}}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := Synthesize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g trace.GlobalTrace
+	for i := int64(0); i < 6; i++ {
+		g = append(g,
+			trace.GlobalTick{Domain: "cka", Time: 2 * i, State: event.NewState().WithEvents("a")},
+			trace.GlobalTick{Domain: "ckb", Time: 2*i + 1, State: event.NewState().WithEvents("b")},
+		)
+	}
+	v, err := NewExec(mm, monitor.ModeDetect).Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six ticks per domain, a two-tick scenario matching everywhere:
+	// windows overlap, so each domain accepts at local ticks 1..5, and
+	// every lockstep round after the first completes a coherent accept.
+	if v.Accepts != 5 {
+		t.Errorf("coherent accepts = %d, want 5\n%s", v.Accepts, mm)
+	}
+	for i, pd := range v.PerDomain {
+		if pd.Accepts != 5 {
+			t.Errorf("domain %d accepts = %d, want 5", i, pd.Accepts)
+		}
+	}
+}
+
+// TestNeverTickingDomain starves one domain entirely: however often the
+// live domain completes its scenario, no coherent accept may be counted,
+// and the starved domain's engine must consume zero steps.
+func TestNeverTickingDomain(t *testing.T) {
+	a := &chart.Async{Children: []chart.Chart{
+		edgeLeaf("live", "a", 1),
+		edgeLeaf("dead", "b", 1),
+	}}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := Synthesize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExec(mm, monitor.ModeDetect)
+	var g trace.GlobalTrace
+	for i := int64(0); i < 10; i++ {
+		g = append(g, trace.GlobalTick{Domain: "live", Time: i, State: event.NewState().WithEvents("a")})
+	}
+	v, err := ex.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Accepts != 0 {
+		t.Errorf("coherent accepts = %d with a starved domain, want 0", v.Accepts)
+	}
+	if v.PerDomain[0].Accepts != 10 {
+		t.Errorf("live domain accepts = %d, want 10", v.PerDomain[0].Accepts)
+	}
+	if v.PerDomain[1].Steps != 0 {
+		t.Errorf("starved domain consumed %d steps, want 0", v.PerDomain[1].Steps)
+	}
+}
+
+// TestSingleDomainDegenerate pins the degenerate async-parallel case:
+// with every other domain silent and no cross arrows, the one live
+// domain's local monitor must behave verdict-for-verdict like the plain
+// single-clock monitor synthesized from the same child (Async requires
+// two children, so degeneracy means starving the second).
+func TestSingleDomainDegenerate(t *testing.T) {
+	child := edgeLeaf("clk", "a", 2)
+	a := &chart.Async{Children: []chart.Chart{child, edgeLeaf("silent", "b", 1)}}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := Synthesize(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := synth.Synthesize(child, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := monitor.NewEngine(plain, nil, monitor.ModeDetect)
+	ex := NewExec(mm, monitor.ModeDetect)
+
+	states := []struct {
+		ev string
+	}{{"a"}, {"a"}, {"x"}, {"a"}, {"a"}, {"a"}, {"x"}, {"a"}}
+	for i, s := range states {
+		st := event.NewState().WithEvents(s.ev)
+		res := eng.Step(st)
+		mres, err := ex.StepTick(trace.GlobalTick{Domain: "clk", Time: int64(i), State: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome != mres.Outcome {
+			t.Fatalf("tick %d: plain outcome %v, degenerate-async outcome %v", i, res.Outcome, mres.Outcome)
+		}
+	}
+	v := ex.Verdict()
+	if got, want := v.PerDomain[0].Accepts, eng.Stats().Accepts; got != want {
+		t.Errorf("degenerate-async local accepts = %d, single-clock accepts = %d", got, want)
+	}
+	if v.Accepts != 0 {
+		t.Errorf("coherent accepts = %d with a silent second domain, want 0", v.Accepts)
+	}
+}

@@ -33,9 +33,10 @@ type Compiled struct {
 	// counts is the private scoreboard.
 	counts map[string]int
 
-	state   int
-	accepts int
-	steps   int
+	state      int
+	accepts    int
+	steps      int
+	violations int
 }
 
 // maxCompileBits caps the table: 2^(support+chk) entries per state.
@@ -161,6 +162,13 @@ func (c *Compiled) Step(s event.State) bool {
 			}
 		}
 	}
+	// Mirror Engine.finish: the violation sink behaves like a reset, so
+	// the table re-arms at Initial in the same tick rather than parking in
+	// the sink until the next uncovered input.
+	if c.m.Violation != NoState && to == c.m.Violation {
+		c.violations++
+		to = c.m.Initial
+	}
 	c.state = to
 	c.steps++
 	if c.m.IsFinal(to) {
@@ -178,6 +186,9 @@ func (c *Compiled) Accepts() int { return c.accepts }
 
 // Steps returns the number of inputs consumed.
 func (c *Compiled) Steps() int { return c.steps }
+
+// Violations returns the number of violation-sink entries so far.
+func (c *Compiled) Violations() int { return c.violations }
 
 // Count returns the private scoreboard's occurrence count of e (for
 // cross-implementation differential tests).

@@ -1,0 +1,51 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/chart"
+)
+
+// FuzzParseChart feeds arbitrary source to the chart parser. The parser
+// must never panic, and any chart it accepts that also validates must
+// survive a print/parse round trip unchanged — the law the conformance
+// harness's regression store depends on.
+func FuzzParseChart(f *testing.F) {
+	f.Add(`scesc on clk { tick { req; } }`)
+	f.Add(`scesc on clk {
+  instances mst, slv;
+  tick { L1 = req @ mst -> slv; when en; }
+  tick { ack; !req; }
+  arrow L1 -> ack;
+}`)
+	f.Add(`seq { scesc on clk { tick { a; } } scesc on clk { tick { b; } } }`)
+	f.Add(`alt { scesc on clk { tick { a; } } scesc on clk { tick { b; } } }`)
+	f.Add(`loop [1, 3] { scesc on clk { tick { a; } } }`)
+	f.Add(`implies [2] { scesc on clk { tick { req; } } } { scesc on clk { tick { ack; } } }`)
+	f.Add(`async {
+  scesc on ck0 { tick { L1 = a; } }
+  scesc on ck1 { tick { b; } tick { L2 = c; } }
+  cross L1 -> L2;
+}`)
+	f.Add(`par { scesc on clk { tick { (p | q): a; } } scesc on clk { tick { !b; } } }`)
+	f.Add(`cesc Spec { prop p; scesc on clk { tick { p: a; } } }`)
+	f.Add("scesc on clk { tick { a }")
+	f.Add("\x00\xff{{{")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseChart(src)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			return
+		}
+		printed := Print("fuzz", c)
+		c2, err := ParseChart(printed)
+		if err != nil {
+			t.Fatalf("printed form fails to reparse: %v\n%s", err, printed)
+		}
+		if !chart.Equal(c, c2) {
+			t.Fatalf("round-trip mismatch for %s\nprinted:\n%s", chart.Describe(c), printed)
+		}
+	})
+}

@@ -19,6 +19,9 @@ func Print(name string, c chart.Chart) string {
 	if props := collectProps(c); len(props) > 0 {
 		fmt.Fprintf(&b, "  prop %s;\n", strings.Join(props, ", "))
 	}
+	if evs := collectGuardEvents(c); len(evs) > 0 {
+		fmt.Fprintf(&b, "  event %s;\n", strings.Join(evs, ", "))
+	}
 	printChart(&b, c, 1)
 	b.WriteString("}\n")
 	return b.String()
@@ -34,6 +37,37 @@ func collectProps(c chart.Chart) []string {
 		if s.Kind == event.KindProp && !seen[s.Name] {
 			seen[s.Name] = true
 			out = append(out, s.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectGuardEvents lists event symbols referenced inside guard or
+// condition expressions. Unlike marker events — whose position fixes the
+// kind — a bare identifier in a guard reparses as a proposition, so
+// these must be re-declared for the round trip to preserve kinds (found
+// by FuzzParseChart).
+func collectGuardEvents(c chart.Chart) []string {
+	var out []string
+	seen := make(map[string]bool)
+	collect := func(e expr.Expr) {
+		if e == nil {
+			return
+		}
+		for _, s := range expr.SupportSymbols(e) {
+			if s.Kind == event.KindEvent && !seen[s.Name] {
+				seen[s.Name] = true
+				out = append(out, s.Name)
+			}
+		}
+	}
+	for _, sc := range chart.Leaves(c) {
+		for _, line := range sc.Lines {
+			for _, ev := range line.Events {
+				collect(ev.Guard)
+			}
+			collect(line.Cond)
 		}
 	}
 	sort.Strings(out)

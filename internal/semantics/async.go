@@ -2,6 +2,7 @@ package semantics
 
 import (
 	"repro/internal/chart"
+	"repro/internal/expr"
 	"repro/internal/trace"
 )
 
@@ -144,4 +145,117 @@ func findLabelWithOffset(c chart.Chart, label string) (*chart.SCESC, int, bool) 
 		// Labels inside alternatives/loops have no fixed offset.
 		return nil, 0, false
 	}
+}
+
+// AsyncWeaklyJustified is the necessary condition the scoreboard design
+// actually guarantees for a coherent multi-domain accept, and therefore
+// the soundness bound for differential testing of the executor. The
+// strict single-combination semantics (AsyncSatisfied) is stronger than
+// the implementation: a local monitor samples Chk_evt counts at its own
+// tick, and a later hard reset of the source window reverses the add
+// without retracting decisions already taken downstream. What a coherent
+// accept does imply is:
+//
+//   - every child has at least one full window match in its projection
+//     (the local accept, with the cross-arrow guards weakened away); and
+//   - for every cross arrow, some source-domain tick satisfying the
+//     labelled grid line precedes (in global processing order) the
+//     labelled tick of some candidate destination window.
+//
+// A coherent accept with this predicate false is an executor bug.
+func AsyncWeaklyJustified(a *chart.Async, g trace.GlobalTrace) bool {
+	infos := make([]domainInfo, len(a.Children))
+	// pos maps each projected tick back to its global-trace index — the
+	// processing order the scoreboard observes (ties in global time are
+	// broken by stream order, exactly as the executor does).
+	pos := make([][]int, len(a.Children))
+	for i, ch := range a.Children {
+		clocks := ch.Clocks()
+		if len(clocks) != 1 {
+			return false
+		}
+		var di domainInfo
+		for k, t := range g {
+			if t.Domain == clocks[0] {
+				di.proj = append(di.proj, t.State)
+				di.times = append(di.times, t.Time)
+				pos[i] = append(pos[i], k)
+			}
+		}
+		infos[i] = di
+	}
+	cands := make([][]int, len(a.Children))
+	for i, ch := range a.Children {
+		for from := 0; from <= len(infos[i].proj); from++ {
+			ls := MatchLengths(ch, infos[i].proj, from)
+			if len(ls) > 0 && ls[len(ls)-1] > 0 {
+				cands[i] = append(cands[i], from)
+			}
+		}
+		if len(cands[i]) == 0 {
+			return false
+		}
+	}
+	for _, arr := range a.CrossArrows {
+		if !weakArrowJustified(a, infos, pos, cands, arr.From, arr.To) {
+			return false
+		}
+	}
+	return true
+}
+
+// weakArrowJustified checks one cross arrow under the weak guarantee:
+// the earliest source tick whose labelled grid line holds must precede
+// the labelled tick of some candidate destination window.
+func weakArrowJustified(a *chart.Async, infos []domainInfo, pos, cands [][]int, from, to string) bool {
+	srcChild, srcLine, ok := labelLine(a, from)
+	if !ok {
+		return false
+	}
+	dstChild, dstOff, ok := labelChildOffset(a, to)
+	if !ok {
+		return false
+	}
+	srcEarliest := -1
+	for j, st := range infos[srcChild].proj {
+		if expr.EvalState(srcLine, st) {
+			srcEarliest = pos[srcChild][j]
+			break
+		}
+	}
+	if srcEarliest < 0 {
+		return false
+	}
+	for _, s := range cands[dstChild] {
+		p := s + dstOff
+		if p >= 0 && p < len(pos[dstChild]) && srcEarliest < pos[dstChild][p] {
+			return true
+		}
+	}
+	return false
+}
+
+// labelLine resolves a label to its child index and the grid-line
+// conjunction of the labelled tick.
+func labelLine(a *chart.Async, label string) (int, expr.Expr, bool) {
+	for i, ch := range a.Children {
+		if sc, site, ok := chart.FindLabel(ch, label); ok {
+			if site.Tick < 0 || site.Tick >= len(sc.Lines) {
+				return 0, nil, false
+			}
+			return i, sc.Lines[site.Tick].Expr(), true
+		}
+	}
+	return 0, nil, false
+}
+
+// labelChildOffset resolves a label to its child index and absolute tick
+// offset within that child's window.
+func labelChildOffset(a *chart.Async, label string) (int, int, bool) {
+	for i, ch := range a.Children {
+		if _, off, ok := findLabelWithOffset(ch, label); ok {
+			return i, off, true
+		}
+	}
+	return 0, 0, false
 }

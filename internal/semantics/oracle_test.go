@@ -1,0 +1,70 @@
+package semantics
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/gen"
+)
+
+// TestOracleAgreesWithNaive pins the memoized oracle to the naive
+// reference functions over a spread of generated charts and adversarial
+// traces: same match lengths at every start, same end ticks, same
+// containment verdict, and for implications the same violation ticks.
+func TestOracleAgreesWithNaive(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		g := gen.New(seed, gen.Config{})
+		c := g.Chart()
+		sup, err := gen.Support(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tr := g.Trace(c, sup, 30)
+		o := NewOracle(tr)
+		for from := 0; from <= len(tr); from++ {
+			want := MatchLengths(c, tr, from)
+			got := o.MatchLengths(c, from)
+			if !sameInts(want, got) {
+				t.Fatalf("seed %d from %d: lengths naive=%v oracle=%v\nchart: %s",
+					seed, from, want, got, chart.Describe(c))
+			}
+		}
+		if want, got := MatchEndTicks(c, tr), o.EndTicks(c); !sameInts(want, got) {
+			t.Fatalf("seed %d: ends naive=%v oracle=%v", seed, want, got)
+		}
+		if want, got := ContainsScenario(c, tr), o.Contains(c); want != got {
+			t.Fatalf("seed %d: contains naive=%v oracle=%v", seed, want, got)
+		}
+		if imp, ok := c.(*chart.Implies); ok {
+			// Neither implementation promises an order or dedup for
+			// violation ticks; compare the sets.
+			want := normalize(ImpliesViolations(imp, tr))
+			got := normalize(o.ImpliesViolations(imp))
+			if !sameInts(want, got) {
+				t.Fatalf("seed %d: violations naive=%v oracle=%v", seed, want, got)
+			}
+		}
+	}
+}
+
+func normalize(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}

@@ -358,3 +358,16 @@ func synthesizeImplies(v *chart.Implies, opts *Options) (*monitor.Monitor, error
 	}
 	return m, nil
 }
+
+// WindowPattern reports whether c is pattern-shaped — an SCESC, or a
+// Seq/Par composition of pattern-shaped charts that merges into a single
+// linear pattern — and returns the merged pattern. Pattern-shaped charts
+// have an exact reference matcher (ExactMatcher), which the conformance
+// harness uses to sandwich the history abstractions.
+func WindowPattern(c chart.Chart) (Pattern, bool) {
+	mp, err := mergePattern(c)
+	if err != nil || mp == nil {
+		return nil, false
+	}
+	return mp.p, true
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// FuzzStreamVCD feeds arbitrary bytes to the streaming VCD reader: it
+// must reject garbage and truncated dumps with an error, never a panic,
+// and any states it does emit must carry only declared symbols.
+func FuzzStreamVCD(f *testing.F) {
+	var sb strings.Builder
+	tr := Trace{
+		event.NewState().WithEvents("req").WithProps("en"),
+		event.NewState().WithProps("en"),
+		event.NewState().WithEvents("ack"),
+	}
+	if err := WriteVCD(&sb, "dut", tr); err != nil {
+		f.Fatal(err)
+	}
+	full := sb.String()
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add("$var wire 1 ! req $end\n$enddefinitions $end\n#0\n1!\n")
+	f.Add("#5\n")
+	f.Add("$scope module x $end")
+	f.Add("")
+	kindOf := func(name string) event.Kind {
+		if name == "en" {
+			return event.KindProp
+		}
+		return event.KindEvent
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_ = StreamVCD(strings.NewReader(src), kindOf, func(s event.State) error {
+			return nil
+		})
+	})
+}

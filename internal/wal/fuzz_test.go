@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSegment frames the given records exactly as appendLocked does, so
+// the fuzzer starts from intact journals and mutates from there.
+func fuzzSegment(recs ...Record) []byte {
+	var buf []byte
+	for _, r := range recs {
+		frame := make([]byte, frameOverhead)
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(r.Payload)))
+		binary.LittleEndian.PutUint32(frame[4:8], recordCRC(r.Kind, r.Payload))
+		frame[8] = r.Kind
+		buf = append(buf, frame...)
+		buf = append(buf, r.Payload...)
+	}
+	return buf
+}
+
+// FuzzWALReplay writes arbitrary bytes as a session's only journal
+// segment and opens it: replay must either recover (possibly truncating
+// a torn or corrupt tail) or fail with a clean error — never panic —
+// and a recovered journal must accept appends again.
+func FuzzWALReplay(f *testing.F) {
+	intact := fuzzSegment(
+		Record{Kind: 1, Payload: []byte(`{"spec":"Spec","mode":"detect"}`)},
+		Record{Kind: 2, Payload: []byte(`{"seq":1,"events":["req"]}`)},
+		Record{Kind: 2, Payload: []byte(`{"seq":2,"props":{"en":true}}`)},
+	)
+	f.Add(intact)
+	torn := append([]byte{}, intact...)
+	f.Add(torn[:len(torn)-3])
+	flipped := append([]byte{}, intact...)
+	flipped[13] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		sess := filepath.Join(dir, "s1")
+		if err := os.MkdirAll(sess, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sess, segName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := OpenManager(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("manager open: %v", err)
+		}
+		j, err := m.OpenJournal("s1", func(Record) error { return nil })
+		if err != nil {
+			// A clean refusal is a valid outcome for corrupt input.
+			return
+		}
+		// Recovery succeeded: the journal must be writable again, and a
+		// second open must replay without error (the recovered file is
+		// intact by construction).
+		if err := j.Append(3, []byte("post-recovery")); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if _, err := m.OpenJournal("s1", func(Record) error { return nil }); err != nil {
+			t.Fatalf("reopen after recovery: %v", err)
+		}
+	})
+}
