@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json clean
+.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json obs-bench clean
 
 all: check
 
@@ -64,6 +64,13 @@ bench:
 # Machine-readable micro-benchmark summary (name, ns/op, allocs/op).
 bench-json:
 	$(GO) run ./cmd/cescbench -json BENCH_local.json
+
+# Observability-overhead suite: packed stepping with tracing disabled
+# (must stay at 0 allocs/op), with the span ring recording per tick, and
+# with full violation provenance armed, on the Fig. 6/7/8 workloads.
+# Optional rider on `make check`; refreshes the committed BENCH_PR5.json.
+obs-bench:
+	$(GO) run ./cmd/cescbench -obs-json BENCH_PR5.json
 
 clean:
 	$(GO) clean ./...

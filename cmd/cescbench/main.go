@@ -22,6 +22,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/mclock"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/ocp"
 	"repro/internal/readproto"
 	"repro/internal/server"
@@ -34,7 +35,15 @@ import (
 
 func main() {
 	jsonPath := flag.String("json", "", "run the micro-benchmarks and write a machine-readable summary (name, ns/op, allocs/op) to this path instead of the narrative tables")
+	obsPath := flag.String("obs-json", "", "run the observability-overhead suite (tracing off / ring-only / full provenance) and write the summary to this path")
 	flag.Parse()
+	if *obsPath != "" {
+		if err := writeObsBenchJSON(*obsPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *obsPath)
+		return
+	}
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fatal(err)
@@ -76,46 +85,54 @@ func walBatchPayload(tr []event.State) []byte {
 	return data
 }
 
+// figBench is one figure's synthesized monitor plus its model traffic in
+// both map and packed form — the shared setup of the perf suites.
+type figBench struct {
+	name    string
+	mon     *monitor.Monitor
+	prog    *monitor.Program
+	traffic []event.State
+	packed  []event.Packed
+}
+
+// figBenches synthesizes the three protocol figures the paper evaluates
+// (Fig. 6 OCP simple read, Fig. 7 OCP burst read, Fig. 8 AHB
+// transaction) with deterministic model traffic.
+func figBenches() ([]figBench, error) {
+	out := []figBench{
+		{name: "Fig6OCP", traffic: ocp.NewModel(ocp.Config{Gap: 2, Seed: 1}).GenerateTrace(4096)},
+		{name: "Fig7OCPBurst", traffic: ocp.NewModel(ocp.Config{Gap: 2, Seed: 2, Burst: true}).GenerateTrace(4096)},
+		{name: "Fig8AHB", traffic: amba.NewModel(amba.Config{Gap: 2, Seed: 3}).GenerateTrace(4096)},
+	}
+	charts := []chart.Chart{ocp.SimpleReadChart(), ocp.BurstReadChart(), amba.TransactionChart()}
+	for i := range out {
+		m, err := synth.Synthesize(charts[i], nil)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := monitor.CompileProgram(m)
+		if err != nil {
+			return nil, err
+		}
+		out[i].mon = m
+		out[i].prog = prog
+		out[i].packed = trace.Trace(out[i].traffic).Pack(prog.Support())
+	}
+	return out, nil
+}
+
 // writeBenchJSON runs the hot-path micro-benchmarks via testing.Benchmark
 // and writes a BENCH_*.json-style summary.
 func writeBenchJSON(path string) error {
-	traffic := ocp.NewModel(ocp.Config{Gap: 2, Seed: 1}).GenerateTrace(4096)
-	m, err := synth.Synthesize(ocp.SimpleReadChart(), nil)
+	figs, err := figBenches()
 	if err != nil {
 		return err
 	}
-	prog6, err := monitor.CompileProgram(m)
-	if err != nil {
-		return err
-	}
-	packed6 := trace.Trace(traffic).Pack(prog6.Support())
+	m, prog6, traffic, packed6 := figs[0].mon, figs[0].prog, figs[0].traffic, figs[0].packed
+	m7, prog7, traffic7, packed7 := figs[1].mon, figs[1].prog, figs[1].traffic, figs[1].packed
+	m8, prog8, traffic8, packed8 := figs[2].mon, figs[2].prog, figs[2].traffic, figs[2].packed
 
-	traffic7 := ocp.NewModel(ocp.Config{Gap: 2, Seed: 2, Burst: true}).GenerateTrace(4096)
-	m7, err := synth.Synthesize(ocp.BurstReadChart(), nil)
-	if err != nil {
-		return err
-	}
-	prog7, err := monitor.CompileProgram(m7)
-	if err != nil {
-		return err
-	}
-	packed7 := trace.Trace(traffic7).Pack(prog7.Support())
-
-	traffic8 := amba.NewModel(amba.Config{Gap: 2, Seed: 3}).GenerateTrace(4096)
-	m8, err := synth.Synthesize(amba.TransactionChart(), nil)
-	if err != nil {
-		return err
-	}
-	prog8, err := monitor.CompileProgram(m8)
-	if err != nil {
-		return err
-	}
-	packed8 := trace.Trace(traffic8).Pack(prog8.Support())
-
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
+	benches := []namedBench{
 		{"SynthesizeFig6OCPSimpleRead", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := synth.Synthesize(ocp.SimpleReadChart(), nil); err != nil {
@@ -255,10 +272,26 @@ func writeBenchJSON(path string) error {
 			}
 		}},
 	}
+	data, err := benchSummary("cescbench/v1", benches)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// namedBench is one micro-benchmark of a JSON suite.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchSummary runs each benchmark via testing.Benchmark and renders the
+// machine-readable summary document.
+func benchSummary(schema string, benches []namedBench) ([]byte, error) {
 	out := struct {
 		Schema  string        `json:"schema"`
 		Results []benchResult `json:"results"`
-	}{Schema: "cescbench/v1"}
+	}{Schema: schema}
 	for _, bm := range benches {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -274,9 +307,65 @@ func writeBenchJSON(path string) error {
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// writeObsBenchJSON measures what the observability plane costs on the
+// packed stepping hot path, per figure, at three levels:
+//
+//	ObsDisabled…  — StepPacked plus a disabled Tracer.Record call per
+//	                tick: the production default. Must stay 0 allocs/op,
+//	                within noise of the plain PackedStep numbers.
+//	ObsRing…      — StepPacked plus an enabled tracer recording one span
+//	                per tick into the lock-free ring (worst case: real
+//	                deployments record per batch, ~64-4096x fewer).
+//	ObsProvenance… — StepPacked with diagnostics armed (depth 8), so each
+//	                violation assembles full provenance (guard strings,
+//	                valuation, recent window).
+func writeObsBenchJSON(path string) error {
+	figs, err := figBenches()
+	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	var benches []namedBench
+	for _, fig := range figs {
+		fig := fig
+		benches = append(benches,
+			namedBench{"ObsDisabledPackedStep" + fig.name, func(b *testing.B) {
+				eng := fig.prog.NewEngine(nil, monitor.ModeDetect)
+				tr := obs.NewTracer(1, 0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.StepPacked(fig.packed[i%len(fig.packed)])
+					tr.Record(0, obs.Span{Stage: obs.StageStep})
+				}
+			}},
+			namedBench{"ObsRingPackedStep" + fig.name, func(b *testing.B) {
+				eng := fig.prog.NewEngine(nil, monitor.ModeDetect)
+				tr := obs.NewTracer(1, 1024)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.StepPacked(fig.packed[i%len(fig.packed)])
+					tr.Record(0, obs.Span{Stage: obs.StageStep, Session: "bench", Ticks: 1})
+				}
+			}},
+			namedBench{"ObsProvenancePackedStep" + fig.name, func(b *testing.B) {
+				eng := fig.prog.NewEngine(nil, monitor.ModeDetect)
+				eng.EnableDiagnostics(8)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.StepPacked(fig.packed[i%len(fig.packed)])
+				}
+			}},
+		)
+	}
+	data, err := benchSummary("cescbench/obs/v1", benches)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func structural() {

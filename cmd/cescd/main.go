@@ -22,22 +22,28 @@
 //	-fsync-every DUR     sync period for -fsync interval
 //	-snapshot-every N    checkpoint monitor state every N journaled batches
 //	                     (negative disables snapshots)
+//	-trace-depth N       per-shard tick-trace ring depth (0 disables tracing)
+//	-slow-tick DUR       warn when a batch's per-tick step time exceeds this
+//	-debug-addr ADDR     serve net/http/pprof and expvar on a second listener
 //
-// Endpoints: GET /healthz, GET /metrics, GET|POST /specs,
-// POST|GET /sessions, GET|DELETE /sessions/{id},
-// POST /sessions/{id}/ticks (NDJSON; ?wait=1),
-// POST /sessions/{id}/vcd (?props=a,b), GET /sessions/{id}/verdicts.
-// See the README "Running cescd" section for the tick format and curl
-// examples.
+// Endpoints: GET /healthz, GET /metrics (Prometheus text; JSON with
+// Accept: application/json), GET|POST /specs, POST|GET /sessions,
+// GET|DELETE /sessions/{id}, POST /sessions/{id}/ticks (NDJSON; ?wait=1),
+// POST /sessions/{id}/vcd (?props=a,b), GET /sessions/{id}/verdicts,
+// GET /sessions/{id}/diagnostics, GET /debug/trace.
+// See the README "Running cescd" and "Observability" sections for the
+// tick format and curl examples.
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,6 +67,9 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL durability: always | interval | never")
 	fsyncEvery := flag.Duration("fsync-every", 0, "sync period for -fsync interval (0 = wal default)")
 	snapEvery := flag.Int("snapshot-every", 0, "checkpoint every N journaled batches (0 = default, negative disables)")
+	traceDepth := flag.Int("trace-depth", 0, "per-shard tick-trace ring depth (0 disables tracing)")
+	slowTick := flag.Duration("slow-tick", 0, "warn when a batch's per-tick step time exceeds this (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
 	flag.Parse()
 
 	policy, err := wal.ParseSyncPolicy(*fsync)
@@ -77,6 +86,8 @@ func main() {
 		Fsync:         policy,
 		FsyncEvery:    *fsyncEvery,
 		SnapshotEvery: *snapEvery,
+		TraceDepth:    *traceDepth,
+		SlowTick:      *slowTick,
 	})
 	if err != nil {
 		log.Fatalf("cescd: %v", err)
@@ -92,6 +103,10 @@ func main() {
 	}
 	for _, n := range loaded {
 		log.Printf("cescd: loaded spec %s", n)
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -116,6 +131,23 @@ func main() {
 	}
 	<-done
 	log.Printf("cescd: drained, bye")
+}
+
+// serveDebug exposes the Go runtime's profiling surface on a separate
+// listener, so production deployments can keep pprof off the public API
+// port (bind it to localhost or a management network).
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	log.Printf("cescd: debug listener (pprof, expvar) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("cescd: debug listener: %v", err)
+	}
 }
 
 // loadSpecs loads every .cesc file named by the comma-separated list of

@@ -10,6 +10,7 @@ package client
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -23,6 +24,21 @@ import (
 
 	"repro/internal/server"
 )
+
+// traceKey carries a caller-chosen X-Cesc-Trace id through a context.
+type traceKey struct{}
+
+// WithTraceID pins the trace id attached to requests made with ctx, so a
+// caller can correlate its own logs with the daemon's /debug/trace spans.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceIDFrom extracts a trace id set by WithTraceID ("" when absent).
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
 
 // Options tunes a Client; zero values select the documented defaults.
 type Options struct {
@@ -134,19 +150,34 @@ func retryAfter(resp *http.Response) time.Duration {
 	return 0
 }
 
+// newTraceID mints a client-side correlation id from the seeded rng, so
+// test runs produce reproducible trace ids.
+func (c *Client) newTraceID() string {
+	var b [8]byte
+	c.mu.Lock()
+	for i := range b {
+		b[i] = byte(c.rng.Intn(256))
+	}
+	c.mu.Unlock()
+	return hex.EncodeToString(b[:])
+}
+
 // do runs one API call with per-attempt timeouts and retry on
 // network errors, 429, and 5xx. Terminal HTTP errors come back as
 // *APIError. The body is replayed from memory on each attempt, which is
 // what makes retrying POSTs safe (combined with ?seq dedup for ticks).
+// The X-Cesc-Trace header is the caller's id from WithTraceID when set;
+// retries reuse the same id, so one logical call is one trace.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
 	var lastErr error
+	traceID := TraceIDFrom(ctx)
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
 		var floor time.Duration
 		retryable := false
-		lastErr, floor, retryable = c.attempt(ctx, method, path, body, out)
+		lastErr, floor, retryable = c.attempt(ctx, method, path, body, traceID, out)
 		if lastErr == nil || !retryable {
 			return lastErr
 		}
@@ -164,7 +195,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 }
 
 // attempt performs one HTTP round trip and classifies the outcome.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (err error, floor time.Duration, retryable bool) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, traceID string, out any) (err error, floor time.Duration, retryable bool) {
 	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, method, c.base+path, bytes.NewReader(body))
@@ -172,6 +203,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 		return err, 0, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/json")
+	if traceID != "" {
+		req.Header.Set("X-Cesc-Trace", traceID)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Network-level failure (or attempt timeout): retryable unless
@@ -245,7 +280,14 @@ func (c *Client) LoadSpecs(ctx context.Context, src string, replace bool) ([]str
 
 // CreateSession opens a monitoring session over the named specs.
 func (c *Client) CreateSession(ctx context.Context, mode string, specs ...string) (*Session, error) {
-	body, err := json.Marshal(map[string]any{"specs": specs, "mode": mode})
+	return c.CreateSessionDiag(ctx, mode, 0, specs...)
+}
+
+// CreateSessionDiag opens a session with an explicit violation-
+// diagnostics window (0 keeps the mode default: 8 for assert, off for
+// detect), so detect-mode sessions can serve provenance too.
+func (c *Client) CreateSessionDiag(ctx context.Context, mode string, diagDepth int, specs ...string) (*Session, error) {
+	body, err := json.Marshal(map[string]any{"specs": specs, "mode": mode, "diag_depth": diagDepth})
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +304,15 @@ type Session struct {
 	c  *Client
 	ID string
 
-	seq atomic.Uint64
+	seq       atomic.Uint64
+	lastTrace atomic.Value // string: trace id of the last SendTicks
+}
+
+// LastTrace reports the trace id attached to the most recent SendTicks
+// call ("" before the first) — the handle into GET /debug/trace?trace=….
+func (s *Session) LastTrace() string {
+	id, _ := s.lastTrace.Load().(string)
+	return id
 }
 
 // Resume rebinds a session handle to an existing (possibly recovered)
@@ -276,12 +326,14 @@ func (c *Client) Resume(id string, nextSeq uint64) *Session {
 	return s
 }
 
-// TickAck is the ingest acknowledgment.
+// TickAck is the ingest acknowledgment. Trace echoes the batch's
+// X-Cesc-Trace correlation id when the daemon has tracing enabled.
 type TickAck struct {
 	Accepted  int    `json:"accepted"`
 	Processed bool   `json:"processed"`
 	Seq       uint64 `json:"seq"`
 	Duplicate bool   `json:"duplicate"`
+	Trace     string `json:"trace"`
 }
 
 // SendTicks streams one batch of valuation ticks. Each call consumes the
@@ -301,11 +353,27 @@ func (s *Session) SendTicks(ctx context.Context, ticks []server.StateJSON, wait 
 	if wait {
 		path += "&wait=1"
 	}
+	// Every batch travels under a trace id (caller's via WithTraceID, or a
+	// fresh client-minted one), so any slow or violating batch can be
+	// looked up in the daemon's /debug/trace afterwards.
+	traceID := TraceIDFrom(ctx)
+	if traceID == "" {
+		traceID = s.c.newTraceID()
+		ctx = WithTraceID(ctx, traceID)
+	}
 	var ack TickAck
 	if err := s.c.do(ctx, http.MethodPost, path, buf.Bytes(), &ack); err != nil {
 		return TickAck{}, err
 	}
+	s.lastTrace.Store(traceID)
 	return ack, nil
+}
+
+// Diagnostics fetches the session's violation-provenance reports.
+func (s *Session) Diagnostics(ctx context.Context) (server.DiagnosticsJSON, error) {
+	var d server.DiagnosticsJSON
+	err := s.c.do(ctx, http.MethodGet, "/sessions/"+s.ID+"/diagnostics", nil, &d)
+	return d, err
 }
 
 // Verdicts fetches the session's accumulated verdicts.

@@ -331,3 +331,70 @@ func TestResumeAfterCrash(t *testing.T) {
 		t.Fatalf("resumed stream verdicts diverged:\n got %s\nwant %s", got, want)
 	}
 }
+
+// TestTraceIDPropagation checks the client's half of the tracing
+// contract: every request carries Accept: application/json and an
+// X-Cesc-Trace id, the id is stable across retry attempts of one
+// logical call, a caller-chosen id (WithTraceID) wins over the client's
+// own, and the acked id is retained on the session.
+func TestTraceIDPropagation(t *testing.T) {
+	var calls atomic.Int64
+	seen := make(chan string, 8)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen <- r.Header.Get("X-Cesc-Trace")
+		if r.Header.Get("Accept") != "application/json" {
+			t.Errorf("missing Accept: application/json on %s %s", r.Method, r.URL.Path)
+		}
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"transient"}`, http.StatusBadGateway)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok","accepted":0,"trace":"ignored"}`)
+	}))
+	defer ts.Close()
+	c := New(fastOpts(ts.URL))
+	sess := c.Resume("fake", 0)
+	ticks := []server.StateJSON{{}}
+	if _, err := sess.SendTicks(context.Background(), ticks, false); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	first, second := <-seen, <-seen
+	if first == "" || first != second {
+		t.Errorf("retry changed trace id: %q then %q", first, second)
+	}
+
+	const chosen = "caller-chose-this"
+	ctx := WithTraceID(context.Background(), chosen)
+	if _, err := sess.SendTicks(ctx, ticks, false); err != nil {
+		t.Fatalf("send with trace: %v", err)
+	}
+	if got := <-seen; got != chosen {
+		t.Errorf("WithTraceID sent %q, want %q", got, chosen)
+	}
+	if got := TraceIDFrom(ctx); got != chosen {
+		t.Errorf("TraceIDFrom = %q, want %q", got, chosen)
+	}
+}
+
+// TestTraceIDEndToEnd drives a real daemon with tracing enabled and
+// checks SendTicks retains the server-acked trace id, which then
+// correlates spans on GET /debug/trace.
+func TestTraceIDEndToEnd(t *testing.T) {
+	srv, c := newDaemon(t, server.Config{Shards: 2, TraceDepth: 128})
+	sess, err := c.CreateSession(context.Background(), "detect", "OcpSimpleRead")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 2}).GenerateTrace(32)
+	ack, err := sess.SendTicks(context.Background(), wireTicks(tr), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Trace == "" || sess.LastTrace() != ack.Trace {
+		t.Fatalf("acked trace %q, LastTrace %q", ack.Trace, sess.LastTrace())
+	}
+	snap := srv.Metrics()
+	if snap.TraceSpans == 0 {
+		t.Fatal("server recorded no spans")
+	}
+}

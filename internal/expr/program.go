@@ -141,6 +141,72 @@ func (p *Program) Len() int { return len(p.code) }
 // scoreboard can skip sampling it (and its lock) entirely.
 func (p *Program) UsesChk() bool { return p.hasChk }
 
+// SlotNamer is the inverse of SlotResolver: it renders compiled slot
+// indices back to the names they were resolved from, so diagnostics can
+// reconstruct a guard from its compiled form alone. InputSym returns the
+// empty name for an unknown slot; ChkName likewise.
+type SlotNamer interface {
+	InputSym(slot int) (string, event.Kind)
+	ChkName(idx int) string
+}
+
+// Decompile reconstructs the guard AST from the postfix code. The
+// compiler preserves n-ary arity (opAnd/opOr carry the operand count),
+// so the reconstruction is exact: for any e accepted by CompileProgram,
+// Decompile(Compile(e)) renders to the same String() as e. Violation
+// provenance relies on this to report the failing guard from the
+// compiled program's slot names without keeping the source AST around.
+func (p *Program) Decompile(n SlotNamer) (Expr, error) {
+	stack := make([]Expr, 0, p.depth)
+	for pc, ins := range p.code {
+		switch ins.op {
+		case opTrue:
+			stack = append(stack, True)
+		case opFalse:
+			stack = append(stack, False)
+		case opInput:
+			name, kind := n.InputSym(int(ins.arg))
+			if name == "" {
+				return nil, fmt.Errorf("expr: no symbol for input slot %d", ins.arg)
+			}
+			if kind == event.KindProp {
+				stack = append(stack, PropRef{Name: name})
+			} else {
+				stack = append(stack, EventRef{Name: name})
+			}
+		case opChk:
+			name := n.ChkName(int(ins.arg))
+			if name == "" {
+				return nil, fmt.Errorf("expr: no name for chk slot %d", ins.arg)
+			}
+			stack = append(stack, ChkExpr{Name: name})
+		case opNot:
+			if len(stack) < 1 {
+				return nil, fmt.Errorf("expr: stack underflow at pc %d", pc)
+			}
+			stack[len(stack)-1] = NotExpr{X: stack[len(stack)-1]}
+		case opAnd, opOr:
+			k := int(ins.arg)
+			if len(stack) < k {
+				return nil, fmt.Errorf("expr: stack underflow at pc %d", pc)
+			}
+			xs := append([]Expr(nil), stack[len(stack)-k:]...)
+			stack = stack[:len(stack)-k]
+			if ins.op == opAnd {
+				stack = append(stack, AndExpr{Xs: xs})
+			} else {
+				stack = append(stack, OrExpr{Xs: xs})
+			}
+		default:
+			return nil, fmt.Errorf("expr: unknown opcode %d at pc %d", ins.op, pc)
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("expr: program leaves %d values on the stack", len(stack))
+	}
+	return stack[0], nil
+}
+
 // EvalPacked evaluates the program against a packed input valuation and
 // a chk bitmask (bit i = chk slot i currently live on the scoreboard).
 // remap, when non-nil, translates the program's input slots into the

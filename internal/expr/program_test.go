@@ -1,0 +1,114 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+// tableSlots is a SlotResolver/SlotNamer pair over a fixed symbol table,
+// mimicking how monitor.Program resolves supports and chk lists.
+type tableSlots struct {
+	inputs []event.Symbol
+	chks   []string
+}
+
+func (t tableSlots) InputSlot(name string, _ event.Kind) int {
+	for i, s := range t.inputs {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t tableSlots) ChkSlot(name string) int {
+	for i, c := range t.chks {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t tableSlots) InputSym(slot int) (string, event.Kind) {
+	if slot < 0 || slot >= len(t.inputs) {
+		return "", 0
+	}
+	return t.inputs[slot].Name, t.inputs[slot].Kind
+}
+
+func (t tableSlots) ChkName(idx int) string {
+	if idx < 0 || idx >= len(t.chks) {
+		return ""
+	}
+	return t.chks[idx]
+}
+
+func TestDecompileRoundTrip(t *testing.T) {
+	slots := tableSlots{
+		inputs: []event.Symbol{
+			{Name: "a", Kind: event.KindEvent},
+			{Name: "b", Kind: event.KindEvent},
+			{Name: "p", Kind: event.KindProp},
+			{Name: "q", Kind: event.KindProp},
+		},
+		chks: []string{"tok", "seen"},
+	}
+	kindOf := func(name string) (event.Kind, bool) {
+		for _, s := range slots.inputs {
+			if s.Name == name {
+				return s.Kind, true
+			}
+		}
+		return 0, false
+	}
+	for _, src := range []string{
+		"true",
+		"false",
+		"a",
+		"p",
+		"!a",
+		"!!a",
+		"a & b",
+		"a | b",
+		"a & b & p & q",
+		"a & !b | !(p & q)",
+		"Chk_evt(tok)",
+		"a & Chk_evt(tok) | b & !Chk_evt(seen)",
+		"!(a | b) & (p | !q | Chk_evt(tok))",
+	} {
+		e := MustParse(src, kindOf)
+		prog, err := CompileProgram(e, slots)
+		if err != nil {
+			t.Fatalf("%q: compile: %v", src, err)
+		}
+		back, err := prog.Decompile(slots)
+		if err != nil {
+			t.Fatalf("%q: decompile: %v", src, err)
+		}
+		if got, want := back.String(), e.String(); got != want {
+			t.Errorf("%q: round trip = %q, want %q", src, got, want)
+		}
+		// Prop vs event kind must survive the round trip, not just the
+		// rendered text.
+		if !Equal(back, e) {
+			t.Errorf("%q: round-tripped AST differs", src)
+		}
+	}
+}
+
+func TestDecompileBadNamer(t *testing.T) {
+	slots := tableSlots{
+		inputs: []event.Symbol{{Name: "a", Kind: event.KindEvent}},
+		chks:   []string{"tok"},
+	}
+	prog, err := CompileProgram(AndExpr{Xs: []Expr{EventRef{Name: "a"}, ChkExpr{Name: "tok"}}}, slots)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	// A namer that knows nothing must fail, not fabricate names.
+	if _, err := prog.Decompile(tableSlots{}); err == nil {
+		t.Error("decompile with an empty namer should fail")
+	}
+}

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/event"
 	"repro/internal/expr"
@@ -37,6 +38,9 @@ type Compiled struct {
 	accepts    int
 	steps      int
 	violations int
+	// diag, when armed via EnableDiagnostics, retains recent inputs and
+	// produces the same violation reports as the interpreted engine.
+	diag *diagState
 }
 
 // maxCompileBits caps the table: 2^(support+chk) entries per state.
@@ -137,7 +141,11 @@ func (c compiledCtx) ChkEvt(name string) bool {
 // Step consumes one input element; it reports whether the monitor
 // accepted at this tick.
 func (c *Compiled) Step(s event.State) bool {
-	idx := uint64(c.sup.Valuation(s))
+	if c.diag != nil {
+		c.diag.observe(s)
+	}
+	val := uint64(c.sup.Valuation(s))
+	idx := val
 	for i, e := range c.chkEvents {
 		if c.counts[e] > 0 {
 			idx |= 1 << (c.width + uint(i))
@@ -167,6 +175,9 @@ func (c *Compiled) Step(s event.State) bool {
 	// the sink until the next uncovered input.
 	if c.m.Violation != NoState && to == c.m.Violation {
 		c.violations++
+		if c.diag != nil {
+			c.recordViolation(int(ti), val, s)
+		}
 		to = c.m.Initial
 	}
 	c.state = to
@@ -176,6 +187,72 @@ func (c *Compiled) Step(s event.State) bool {
 		return true
 	}
 	return false
+}
+
+// EnableDiagnostics arms violation reporting exactly as on the
+// interpreted engine; depth <= 0 disables.
+func (c *Compiled) EnableDiagnostics(depth int) {
+	if depth <= 0 {
+		c.diag = nil
+		return
+	}
+	c.diag = &diagState{depth: depth, ring: make([]event.State, depth), sup: c.sup}
+}
+
+// Diagnostics returns the recorded violation reports (nil when
+// diagnostics are disabled or no violation occurred).
+func (c *Compiled) Diagnostics() []Diagnostic {
+	if c.diag == nil {
+		return nil
+	}
+	return c.diag.reports
+}
+
+// recordViolation captures provenance matching Engine.recordViolation:
+// same tick convention (pre-increment), same pre-move state, and the
+// private counts scoreboard rendered exactly as Scoreboard.Live would.
+func (c *Compiled) recordViolation(ti int, val uint64, s event.State) {
+	rep := Diagnostic{
+		Monitor:    c.m.Name,
+		Tick:       c.steps,
+		FromState:  c.state,
+		GridLine:   gridLine(c.m, c.state),
+		Guards:     c.guardStrings(c.state),
+		Valuation:  val,
+		Input:      s.Clone(),
+		Recent:     c.diag.recent(),
+		Scoreboard: c.liveCounts(),
+	}
+	if ti >= 0 {
+		rep.Guard = c.m.Trans[c.state][ti].Guard.String()
+	}
+	c.diag.push(rep)
+}
+
+// guardStrings renders the candidate guards of state s in transition
+// order.
+func (c *Compiled) guardStrings(s int) []string {
+	if s < 0 || s >= len(c.m.Trans) || len(c.m.Trans[s]) == 0 {
+		return nil
+	}
+	out := make([]string, len(c.m.Trans[s]))
+	for i := range c.m.Trans[s] {
+		out[i] = c.m.Trans[s][i].Guard.String()
+	}
+	return out
+}
+
+// liveCounts renders the private scoreboard the way Scoreboard.Live
+// does: names with positive counts, sorted.
+func (c *Compiled) liveCounts() []string {
+	var out []string
+	for e, n := range c.counts {
+		if n > 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // State returns the current automaton state.

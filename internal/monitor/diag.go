@@ -12,10 +12,30 @@ import (
 // window leading up to it — the counterexample excerpt a verification
 // engineer needs to debug the failure.
 type Diagnostic struct {
+	// Monitor is the chart name of the violated specification.
+	Monitor string
 	// Tick is the engine-local tick at which the violation fired.
 	Tick int
 	// FromState is the automaton state abandoned.
 	FromState int
+	// GridLine is the chart grid line the monitor sat on when the
+	// violation fired. For linear SCESC monitors states are synthesized
+	// one per grid line, so GridLine equals FromState; for composed
+	// (non-linear) monitors no single grid line applies and GridLine
+	// is -1.
+	GridLine int
+	// Guard is the fired guard that routed the run into the violation
+	// (rendered from the compiled program's slot names on compiled
+	// tiers). Empty for a hard reset, where no guard matched at all.
+	Guard string
+	// Guards lists every candidate guard of the abandoned state, in
+	// transition order — on a hard reset these are the guards that all
+	// evaluated false against the offending input.
+	Guards []string
+	// Valuation is the offending input packed through the monitor's
+	// support slot order — the exact table index / program input the
+	// compiled tiers evaluated.
+	Valuation uint64
 	// Input is the offending trace element.
 	Input event.State
 	// Recent holds up to the configured depth of elements before the
@@ -29,6 +49,18 @@ type Diagnostic struct {
 func (d Diagnostic) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "violation at tick %d (abandoned state %d)\n", d.Tick, d.FromState)
+	if d.Monitor != "" {
+		fmt.Fprintf(&b, "  monitor: %s", d.Monitor)
+		if d.GridLine >= 0 {
+			fmt.Fprintf(&b, " (grid line %d)", d.GridLine)
+		}
+		b.WriteByte('\n')
+	}
+	if d.Guard != "" {
+		fmt.Fprintf(&b, "  guard: %s\n", d.Guard)
+	} else if len(d.Guards) > 0 {
+		fmt.Fprintf(&b, "  no guard matched of: %s\n", strings.Join(d.Guards, " | "))
+	}
 	for i, s := range d.Recent {
 		fmt.Fprintf(&b, "  t-%d: %s\n", len(d.Recent)-i, s)
 	}
@@ -39,8 +71,8 @@ func (d Diagnostic) String() string {
 	return b.String()
 }
 
-// maxDiagnostics bounds the retained reports; later violations only
-// increment counters.
+// maxDiagnostics bounds the retained reports: the ring keeps the most
+// recent maxDiagnostics violations, and counters keep counting past it.
 const maxDiagnostics = 32
 
 // diagState is the engine's diagnostic machinery.
@@ -50,17 +82,25 @@ type diagState struct {
 	next    int
 	filled  bool
 	reports []Diagnostic
+	// sup packs offending inputs for Diagnostic.Valuation (nil when the
+	// monitor's support is unavailable).
+	sup *event.Support
 }
 
 // EnableDiagnostics makes the engine retain the last `depth` inputs and
-// record a Diagnostic for each violation (up to an internal cap).
-// Call before stepping; depth <= 0 disables.
+// record a Diagnostic for each violation (a bounded ring keeps the most
+// recent reports). Call before stepping; depth <= 0 disables.
 func (e *Engine) EnableDiagnostics(depth int) {
 	if depth <= 0 {
 		e.diag = nil
 		return
 	}
 	e.diag = &diagState{depth: depth, ring: make([]event.State, depth)}
+	if e.b != nil {
+		e.diag.sup = e.b.prog.sup
+	} else if sup, err := e.m.Support(); err == nil {
+		e.diag.sup = sup
+	}
 }
 
 // Diagnostics returns the recorded violation reports (nil when
@@ -96,16 +136,72 @@ func (d *diagState) recent() []event.State {
 	return out
 }
 
-// recordViolation captures a diagnostic if armed and under the cap.
-func (e *Engine) recordViolation(res StepResult, input event.State) {
-	if e.diag == nil || len(e.diag.reports) >= maxDiagnostics {
+// push appends d to the bounded report ring, dropping the oldest report
+// once maxDiagnostics are retained.
+func (d *diagState) push(rep Diagnostic) {
+	if len(d.reports) >= maxDiagnostics {
+		copy(d.reports, d.reports[1:])
+		d.reports[len(d.reports)-1] = rep
 		return
 	}
-	e.diag.reports = append(e.diag.reports, Diagnostic{
+	d.reports = append(d.reports, rep)
+}
+
+// recordViolation captures a diagnostic if armed. Provenance is rendered
+// from whichever tier executed the step: program-bound engines decompile
+// the fired compiled guard back to source form, interpreted engines
+// render the guard AST directly — identical strings by construction.
+func (e *Engine) recordViolation(res StepResult, input event.State) {
+	if e.diag == nil {
+		return
+	}
+	rep := Diagnostic{
+		Monitor:    e.m.Name,
 		Tick:       res.Tick,
 		FromState:  res.From,
+		GridLine:   gridLine(e.m, res.From),
+		Guards:     e.guardStrings(res.From),
 		Input:      input.Clone(),
 		Recent:     e.diag.recent(),
 		Scoreboard: e.sb.Live(),
-	})
+	}
+	if res.TransIndex >= 0 {
+		rep.Guard = e.guardString(res.From, res.TransIndex)
+	}
+	if e.diag.sup != nil {
+		rep.Valuation = uint64(e.diag.sup.Valuation(input))
+	}
+	e.diag.push(rep)
+}
+
+// guardString renders one guard of state s: from the compiled program's
+// slot names on the program tier, from the guard AST otherwise.
+func (e *Engine) guardString(s, idx int) string {
+	if e.b != nil {
+		return e.b.prog.GuardString(s, idx)
+	}
+	return e.m.Trans[s][idx].Guard.String()
+}
+
+// guardStrings renders every candidate guard of state s in transition
+// order.
+func (e *Engine) guardStrings(s int) []string {
+	if s < 0 || s >= len(e.m.Trans) || len(e.m.Trans[s]) == 0 {
+		return nil
+	}
+	out := make([]string, len(e.m.Trans[s]))
+	for i := range e.m.Trans[s] {
+		out[i] = e.guardString(s, i)
+	}
+	return out
+}
+
+// gridLine maps an automaton state to the chart grid line it represents:
+// linear SCESC monitors synthesize one state per grid line, so the state
+// index is the grid line; composed monitors have no such mapping.
+func gridLine(m *Monitor, state int) int {
+	if m.Linear {
+		return state
+	}
+	return -1
 }

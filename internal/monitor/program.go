@@ -112,6 +112,44 @@ func (p *Program) Support() *event.Support { return p.sup }
 // ChkNames returns the scoreboard events the guards test, sorted.
 func (p *Program) ChkNames() []string { return append([]string(nil), p.chkNames...) }
 
+// progNamer renders a program's slots back to names — the inverse of
+// progResolver, used to decompile guards for violation provenance.
+type progNamer struct{ p *Program }
+
+func (n progNamer) InputSym(slot int) (string, event.Kind) {
+	syms := n.p.sup.Symbols()
+	if slot < 0 || slot >= len(syms) {
+		return "", 0
+	}
+	return syms[slot].Name, syms[slot].Kind
+}
+
+func (n progNamer) ChkName(idx int) string {
+	if idx < 0 || idx >= len(n.p.chkNames) {
+		return ""
+	}
+	return n.p.chkNames[idx]
+}
+
+// GuardString renders the compiled guard of Trans[state][idx] purely
+// from the program's slot names: the postfix code is decompiled back to
+// an AST (exact, because compilation preserves n-ary arity) and rendered
+// with the standard expression syntax. The result equals the source
+// guard's String() by construction, which is what lets every execution
+// tier report identical provenance.
+func (p *Program) GuardString(state, idx int) string {
+	if state < 0 || state >= len(p.guards) || idx < 0 || idx >= len(p.guards[state]) {
+		return ""
+	}
+	e, err := p.guards[state][idx].Decompile(progNamer{p})
+	if err != nil {
+		// Unreachable for programs this package compiled; keep provenance
+		// usable anyway.
+		return p.m.Trans[state][idx].Guard.String()
+	}
+	return e.String()
+}
+
 // Ops returns the total compiled instruction count (sizing diagnostics;
 // the Program analog of Compiled.TableBytes).
 func (p *Program) Ops() int {

@@ -86,6 +86,13 @@ func (e *Engine) Restore(snap EngineSnapshot) error {
 			d.Depth, len(d.Ring), d.Next)
 	}
 	ds := &diagState{depth: d.Depth, ring: make([]event.State, d.Depth), next: d.Next, filled: d.Filled}
+	// Rebind the support used for Valuation provenance, exactly as
+	// EnableDiagnostics would.
+	if e.b != nil {
+		ds.sup = e.b.prog.sup
+	} else if sup, err := e.m.Support(); err == nil {
+		ds.sup = sup
+	}
 	for i, s := range d.Ring {
 		ds.ring[i] = cloneMaybe(s)
 	}
@@ -114,8 +121,13 @@ func cloneMaybe(s event.State) event.State {
 
 func cloneDiagnostic(d Diagnostic) Diagnostic {
 	out := Diagnostic{
+		Monitor:    d.Monitor,
 		Tick:       d.Tick,
 		FromState:  d.FromState,
+		GridLine:   d.GridLine,
+		Guard:      d.Guard,
+		Guards:     append([]string(nil), d.Guards...),
+		Valuation:  d.Valuation,
 		Input:      cloneMaybe(d.Input),
 		Scoreboard: append([]string(nil), d.Scoreboard...),
 	}

@@ -1,0 +1,152 @@
+// Package obs is the daemon's zero-dependency observability plane:
+// tick-trace spans captured in lock-free ring buffers, a Prometheus
+// text-format exposition writer, and a slow-tick watchdog. The package
+// deliberately imports nothing beyond the standard library — the paper's
+// point is that synthesized monitors help an engineer *debug* a design,
+// and this layer extends the same courtesy to the daemon itself: an
+// operator can see which session, stage, and trace id a slow or
+// violating tick belongs to, not just that the totals moved.
+//
+// Everything here is safe for concurrent use, and every disabled path is
+// allocation-free: a Tracer that is off returns before touching its
+// rings, so the packed hot path (monitor.Engine.StepPacked under a shard
+// worker) pays one predictable branch.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage names the pipeline position a span measures. The set is small
+// and fixed so metric label cardinality stays bounded.
+const (
+	StageIngest    = "ingest"     // HTTP handler: request accepted
+	StageDecode    = "decode"     // wire ticks -> event.State (+ pack)
+	StageEnqueue   = "enqueue"    // shard queue admission
+	StageQueueWait = "queue_wait" // enqueue -> worker dequeue
+	StageStep      = "step"       // monitor stepping (whole batch)
+	StageVerdict   = "verdict"    // verdict/diagnostic readout
+	StageWALAppend = "wal_append" // journal append for one batch
+	StageWALReplay = "wal_replay" // recovery replay of one session
+)
+
+// Span is one timed pipeline stage of one tick batch. Spans are written
+// by shard workers and HTTP handlers and read by the /debug/trace
+// endpoint; they are correlated across stages (and across the network)
+// by Trace, the client-propagated X-Cesc-Trace id.
+type Span struct {
+	// Seq is a tracer-global sequence number: snapshot order is Seq
+	// order, which is write order.
+	Seq uint64 `json:"seq"`
+	// Trace is the correlation id (client-propagated or server-assigned).
+	Trace string `json:"trace,omitempty"`
+	// Session is the session the batch belongs to ("" for daemon-wide
+	// work such as recovery of an unknown session).
+	Session string `json:"session,omitempty"`
+	// Stage is one of the Stage* constants.
+	Stage string `json:"stage"`
+	// Shard is the shard worker involved, -1 when not applicable.
+	Shard int `json:"shard"`
+	// Start is the wall-clock stage start.
+	Start time.Time `json:"start"`
+	// Dur is the stage duration.
+	Dur time.Duration `json:"dur_ns"`
+	// Ticks is the number of valuation ticks the stage covered.
+	Ticks int `json:"ticks,omitempty"`
+	// Note carries stage-specific detail (error text, record counts).
+	Note string `json:"note,omitempty"`
+}
+
+// Tracer captures spans into per-shard lock-free rings. The zero value
+// is a disabled tracer; build a live one with NewTracer. All methods are
+// safe for concurrent use from any number of goroutines.
+type Tracer struct {
+	rings   []*Ring
+	seq     atomic.Uint64
+	total   atomic.Uint64
+	enabled atomic.Bool
+}
+
+// NewTracer returns a tracer with one ring of depth slots per shard
+// (plus one extra ring for work not pinned to a shard). depth <= 0
+// disables tracing entirely: Record becomes a no-op branch.
+func NewTracer(shards, depth int) *Tracer {
+	t := &Tracer{}
+	if depth <= 0 {
+		return t
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	t.rings = make([]*Ring, shards+1)
+	for i := range t.rings {
+		t.rings[i] = NewRing(depth)
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether spans are being captured.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Spans reports the number of spans recorded since start (including
+// those already overwritten in their rings).
+func (t *Tracer) Spans() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total.Load()
+}
+
+// Record captures one span into the ring of shard (a negative shard
+// selects the unpinned ring). When the tracer is disabled the call
+// returns immediately and performs no allocation — the hot path's
+// guarantee.
+func (t *Tracer) Record(shard int, sp Span) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	sp.Seq = t.seq.Add(1)
+	sp.Shard = shard
+	t.total.Add(1)
+	r := t.rings[len(t.rings)-1]
+	if shard >= 0 && shard < len(t.rings)-1 {
+		r = t.rings[shard]
+	}
+	c := new(Span)
+	*c = sp
+	r.Put(c)
+}
+
+// Snapshot collects the retained spans of every ring, filtered by keep
+// (nil keeps all), ordered by Seq (write order), keeping only the newest
+// n when n > 0.
+func (t *Tracer) Snapshot(keep func(*Span) bool, n int) []Span {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	var out []Span
+	for _, r := range t.rings {
+		for _, sp := range r.Snapshot() {
+			if keep == nil || keep(sp) {
+				out = append(out, *sp)
+			}
+		}
+	}
+	sortSpans(out)
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// sortSpans orders by Seq ascending (insertion sort is fine: snapshots
+// are bounded by ring depth and nearly sorted per ring).
+func sortSpans(s []Span) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Seq < s[j-1].Seq; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

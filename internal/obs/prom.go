@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders the Prometheus text exposition format (version
+// 0.0.4) without importing a client library. Families must be declared
+// before their samples; the writer keeps declaration order and rejects
+// duplicate declarations, so the output is deterministic and
+// scrape-valid by construction.
+type PromWriter struct {
+	b        strings.Builder
+	declared map[string]string // family name -> type
+}
+
+// NewPromWriter returns an empty exposition.
+func NewPromWriter() *PromWriter {
+	return &PromWriter{declared: make(map[string]string)}
+}
+
+// L is one label pair; samples take an ordered list so output is stable.
+type L struct{ Name, Value string }
+
+// Family declares a metric family: typ is "counter", "gauge", or
+// "histogram". Declaring the same name twice is a no-op so helpers can
+// declare defensively.
+func (w *PromWriter) Family(name, typ, help string) {
+	if _, ok := w.declared[name]; ok {
+		return
+	}
+	w.declared[name] = typ
+	fmt.Fprintf(&w.b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&w.b, "# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample of a declared family.
+func (w *PromWriter) Sample(name string, labels []L, value float64) {
+	w.b.WriteString(name)
+	writeLabels(&w.b, labels)
+	w.b.WriteByte(' ')
+	w.b.WriteString(formatValue(value))
+	w.b.WriteByte('\n')
+}
+
+// Histogram emits a full histogram family sample set: cumulative
+// `_bucket` series with `le` bounds (in seconds or any unit the caller
+// chose), the mandatory `+Inf` bucket, `_sum`, and `_count`. counts are
+// per-bucket (non-cumulative) tallies aligned with bounds, with one
+// extra overflow bucket at the end.
+func (w *PromWriter) Histogram(name string, labels []L, bounds []float64, counts []uint64, sum float64) {
+	var cum uint64
+	for i, b := range bounds {
+		if i < len(counts) {
+			cum += counts[i]
+		}
+		w.Sample(name+"_bucket", append(append([]L(nil), labels...), L{"le", formatValue(b)}), float64(cum))
+	}
+	for i := len(bounds); i < len(counts); i++ {
+		cum += counts[i]
+	}
+	w.Sample(name+"_bucket", append(append([]L(nil), labels...), L{"le", "+Inf"}), float64(cum))
+	w.Sample(name+"_sum", labels, sum)
+	w.Sample(name+"_count", labels, float64(cum))
+}
+
+// String returns the exposition body.
+func (w *PromWriter) String() string { return w.b.String() }
+
+// Bytes returns the exposition body.
+func (w *PromWriter) Bytes() []byte { return []byte(w.b.String()) }
+
+func writeLabels(b *strings.Builder, labels []L) {
+	if len(labels) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabel applies the exposition-format label escaping: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ValidatePromText is a structural checker for the exposition format
+// used by tests (and kept here so the format rules live next to the
+// writer): every sample line must parse as name{labels} value, every
+// sample's family must have HELP/TYPE headers above it, and histogram
+// bucket counts must be cumulative. It returns the parsed sample count.
+func ValidatePromText(text string) (int, error) {
+	declared := map[string]bool{}
+	samples := 0
+	lastBucket := map[string]float64{} // series (sans le) -> last cumulative count
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				return samples, fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			declared[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, val, err := parsePromSample(line)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && declared[strings.TrimSuffix(name, suf)] {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if !declared[base] {
+			return samples, fmt.Errorf("line %d: sample %q has no HELP/TYPE declaration", ln+1, name)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			key := name + "|" + labelsSansLE(labels)
+			if val < lastBucket[key] {
+				return samples, fmt.Errorf("line %d: non-cumulative bucket for %s", ln+1, name)
+			}
+			lastBucket[key] = val
+		}
+		samples++
+	}
+	return samples, nil
+}
+
+func labelsSansLE(labels []L) string {
+	parts := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.Name == "le" {
+			continue
+		}
+		parts = append(parts, l.Name+"="+l.Value)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// parsePromSample splits one exposition sample line.
+func parsePromSample(line string) (name string, labels []L, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated labels in %q", line)
+		}
+		labels, err = parsePromLabels(rest[i+1 : end])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if name == "" || !promNameOK(name) {
+		return "", nil, 0, fmt.Errorf("bad metric name in %q", line)
+	}
+	v := strings.TrimSpace(rest)
+	if v == "+Inf" {
+		return name, labels, math.Inf(1), nil
+	}
+	value, err = strconv.ParseFloat(v, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", v)
+	}
+	return name, labels, value, nil
+}
+
+func parsePromLabels(s string) ([]L, error) {
+	var out []L
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		name := s[:eq]
+		rest := s[eq+2:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i >= len(rest) {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		out = append(out, L{name, val.String()})
+		s = rest[i+1:]
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out, nil
+}
+
+func promNameOK(name string) bool {
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

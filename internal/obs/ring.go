@@ -1,0 +1,47 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a bounded lock-free span buffer: writers claim a slot with one
+// atomic increment and publish the span with one atomic pointer store;
+// readers snapshot by loading the pointers. Overwriting the oldest entry
+// is the eviction policy — the ring always holds the most recent spans,
+// and neither side ever blocks the other. Multiple concurrent writers
+// are safe (the claim is the atomic increment); a torn "write" is
+// impossible because the span is fully built before its pointer is
+// published.
+type Ring struct {
+	slots  []atomic.Pointer[Span]
+	cursor atomic.Uint64
+}
+
+// NewRing returns a ring retaining the most recent depth spans.
+func NewRing(depth int) *Ring {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Span], depth)}
+}
+
+// Depth returns the ring capacity.
+func (r *Ring) Depth() int { return len(r.slots) }
+
+// Put publishes sp, overwriting the oldest retained span once the ring
+// has wrapped. The caller must not mutate sp afterwards.
+func (r *Ring) Put(sp *Span) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(sp)
+}
+
+// Snapshot returns the currently retained spans in unspecified order
+// (callers sort by Span.Seq). The returned pointers are immutable
+// published spans; the slice is freshly allocated.
+func (r *Ring) Snapshot() []*Span {
+	out := make([]*Span, 0, len(r.slots))
+	for i := range r.slots {
+		if sp := r.slots[i].Load(); sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingConcurrentWritersReaders hammers one tracer from many writers
+// and readers at once; run under -race this proves the lock-free ring's
+// publication discipline (fully-built span, then atomic pointer store).
+func TestRingConcurrentWritersReaders(t *testing.T) {
+	tr := NewTracer(4, 64)
+	const writers, readers, perWriter = 8, 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.Record(w%4, Span{
+					Stage:   StageStep,
+					Session: "sess",
+					Trace:   "trace",
+					Start:   time.Now(),
+					Dur:     time.Duration(i),
+					Ticks:   i,
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spans := tr.Snapshot(nil, 0)
+				for i := 1; i < len(spans); i++ {
+					if spans[i].Seq <= spans[i-1].Seq {
+						t.Error("snapshot not ordered by seq")
+						return
+					}
+				}
+				for _, sp := range spans {
+					if sp.Stage != StageStep || sp.Session != "sess" {
+						t.Errorf("torn span observed: %+v", sp)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Let writers finish, then release the readers.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(stop)
+	}()
+	<-done
+
+	if got := tr.Spans(); got != writers*perWriter {
+		t.Fatalf("recorded %d spans, want %d", got, writers*perWriter)
+	}
+	if got := len(tr.Snapshot(nil, 0)); got > 5*64 {
+		t.Fatalf("snapshot holds %d spans, rings cap at %d", got, 5*64)
+	}
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog flags slow tick processing: when a batch's per-tick stepping
+// time exceeds the threshold it logs one structured warning carrying the
+// offending trace id, so an operator can jump from "the daemon is slow"
+// straight to the session, shard, and trace that made it so. Warnings
+// are rate-limited (at most one per second) because a saturated daemon
+// would otherwise turn every batch into a log line.
+type Watchdog struct {
+	threshold time.Duration
+	logger    *slog.Logger
+	lastLog   atomic.Int64 // unix nanos of the last warning
+	slow      atomic.Uint64
+}
+
+// NewWatchdog builds a watchdog warning at perTick threshold; a zero or
+// negative threshold disables it (Observe becomes a cheap branch).
+// logger nil selects slog.Default.
+func NewWatchdog(threshold time.Duration, logger *slog.Logger) *Watchdog {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Watchdog{threshold: threshold, logger: logger}
+}
+
+// Enabled reports whether the watchdog is armed.
+func (w *Watchdog) Enabled() bool { return w != nil && w.threshold > 0 }
+
+// Slow reports the number of slow batches observed (counted even while
+// log output is rate-limited).
+func (w *Watchdog) Slow() uint64 {
+	if w == nil {
+		return 0
+	}
+	return w.slow.Load()
+}
+
+// Observe checks one processed batch: dur is the stepping time for ticks
+// valuation ticks. Returns true when the batch was flagged slow.
+func (w *Watchdog) Observe(dur time.Duration, ticks int, trace, session string, shard int) bool {
+	if w == nil || w.threshold <= 0 || ticks <= 0 {
+		return false
+	}
+	perTick := dur / time.Duration(ticks)
+	if perTick <= w.threshold {
+		return false
+	}
+	w.slow.Add(1)
+	now := time.Now().UnixNano()
+	last := w.lastLog.Load()
+	if now-last >= int64(time.Second) && w.lastLog.CompareAndSwap(last, now) {
+		w.logger.Warn("slow tick batch",
+			slog.String("trace", trace),
+			slog.String("session", session),
+			slog.Int("shard", shard),
+			slog.Int("ticks", ticks),
+			slog.Duration("batch", dur),
+			slog.Duration("per_tick", perTick),
+			slog.Duration("threshold", w.threshold),
+		)
+	}
+	return true
+}

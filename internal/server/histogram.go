@@ -24,6 +24,7 @@ var histBounds = []time.Duration{
 type histogram struct {
 	counts []atomic.Uint64 // len(histBounds)+1, last is overflow
 	total  atomic.Uint64
+	sumNs  atomic.Int64 // sum of samples, for the Prometheus _sum series
 }
 
 func newHistogram() *histogram {
@@ -40,10 +41,32 @@ func (h *histogram) observe(d time.Duration) {
 	}
 	h.counts[i].Add(1)
 	h.total.Add(1)
+	h.sumNs.Add(int64(d))
 }
 
 // count returns the number of samples recorded.
 func (h *histogram) count() uint64 { return h.total.Load() }
+
+// buckets snapshots the per-bucket (non-cumulative) counts — one per
+// bound plus the overflow bucket — and the sample sum in seconds, the
+// shape obs.PromWriter.Histogram consumes.
+func (h *histogram) buckets() ([]uint64, float64) {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out, time.Duration(h.sumNs.Load()).Seconds()
+}
+
+// histBoundsSeconds renders the bucket bounds as seconds for the
+// Prometheus `le` labels.
+func histBoundsSeconds() []float64 {
+	out := make([]float64, len(histBounds))
+	for i, b := range histBounds {
+		out[i] = b.Seconds()
+	}
+	return out
+}
 
 // quantile returns the upper bound of the bucket containing the p-th
 // quantile (0 < p <= 1), or 0 when empty. The overflow bucket reports

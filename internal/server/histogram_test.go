@@ -1,0 +1,87 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries checks that samples landing exactly on a
+// bucket's upper bound are counted in that bucket (bounds are inclusive,
+// matching Prometheus `le` semantics), and that quantiles over
+// boundary-valued samples report the bound itself.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram()
+	for _, b := range histBounds {
+		h.observe(b) // exactly on the bound: must land at that index
+	}
+	counts, sum := h.buckets()
+	if len(counts) != len(histBounds)+1 {
+		t.Fatalf("buckets() returned %d counts, want %d", len(counts), len(histBounds)+1)
+	}
+	for i := range histBounds {
+		if counts[i] != 1 {
+			t.Errorf("bucket %d (le=%v) count = %d, want 1", i, histBounds[i], counts[i])
+		}
+	}
+	if counts[len(histBounds)] != 0 {
+		t.Errorf("overflow bucket count = %d, want 0", counts[len(histBounds)])
+	}
+	var wantSum time.Duration
+	for _, b := range histBounds {
+		wantSum += b
+	}
+	if got := wantSum.Seconds(); sum != got {
+		t.Errorf("sum = %v seconds, want %v", sum, got)
+	}
+
+	// One nanosecond past a bound must fall into the next bucket.
+	h2 := newHistogram()
+	h2.observe(histBounds[0] + time.Nanosecond)
+	c2, _ := h2.buckets()
+	if c2[0] != 0 || c2[1] != 1 {
+		t.Errorf("bound+1ns landed in bucket 0: counts %v", c2[:3])
+	}
+
+	// Beyond the last bound lands in the overflow bucket, and quantiles
+	// there report the largest bound rather than inventing a value.
+	h3 := newHistogram()
+	h3.observe(histBounds[len(histBounds)-1] + time.Second)
+	c3, _ := h3.buckets()
+	if c3[len(histBounds)] != 1 {
+		t.Errorf("overflow sample not in overflow bucket: %v", c3)
+	}
+	if q := h3.quantile(0.99); q != histBounds[len(histBounds)-1] {
+		t.Errorf("overflow quantile = %v, want %v", q, histBounds[len(histBounds)-1])
+	}
+}
+
+// TestHistogramQuantiles checks quantile selection across a known
+// distribution: 90 samples in the first bucket and 10 in the fourth give
+// p50 at the first bound and p99 at the fourth.
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	if q := h.quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+	for i := 0; i < 90; i++ {
+		h.observe(histBounds[0])
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(histBounds[3])
+	}
+	if got := h.quantile(0.50); got != histBounds[0] {
+		t.Errorf("p50 = %v, want %v", got, histBounds[0])
+	}
+	if got := h.quantile(0.90); got != histBounds[0] {
+		t.Errorf("p90 = %v, want %v", got, histBounds[0])
+	}
+	if got := h.quantile(0.99); got != histBounds[3] {
+		t.Errorf("p99 = %v, want %v", got, histBounds[3])
+	}
+	if got := h.quantile(1.0); got != histBounds[3] {
+		t.Errorf("p100 = %v, want %v", got, histBounds[3])
+	}
+	if h.count() != 100 {
+		t.Errorf("count = %d, want 100", h.count())
+	}
+}

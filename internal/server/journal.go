@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/verif"
 	"repro/internal/wal"
 )
@@ -43,10 +44,11 @@ type specSourceJSON struct {
 }
 
 type sessionMetaJSON struct {
-	ID      string           `json:"id"`
-	Mode    string           `json:"mode"`
-	Created time.Time        `json:"created"`
-	Specs   []specSourceJSON `json:"specs"`
+	ID        string           `json:"id"`
+	Mode      string           `json:"mode"`
+	Created   time.Time        `json:"created"`
+	DiagDepth int              `json:"diag_depth,omitempty"`
+	Specs     []specSourceJSON `json:"specs"`
 }
 
 type batchRecordJSON struct {
@@ -82,7 +84,7 @@ type snapshotRecordJSON struct {
 // journalCreate opens a fresh journal for a new session and makes its
 // meta record durable before the create response is sent.
 func (s *Server) journalCreate(sess *session, specs []*Spec) error {
-	meta := sessionMetaJSON{ID: sess.id, Mode: modeString(sess.mode), Created: sess.created}
+	meta := sessionMetaJSON{ID: sess.id, Mode: modeString(sess.mode), Created: sess.created, DiagDepth: sess.diagDepth}
 	for _, sp := range specs {
 		meta.Specs = append(meta.Specs, specSourceJSON{Name: sp.Name, Source: sp.Source})
 	}
@@ -121,7 +123,19 @@ func (s *Server) journalBatch(sess *session, b *batch, seq uint64) error {
 	if err != nil {
 		return err
 	}
-	return sess.jrnl.Append(recBatch, payload)
+	start := time.Now()
+	err = sess.jrnl.Append(recBatch, payload)
+	dur := time.Since(start)
+	s.metrics.observeStage(obs.StageWALAppend, dur)
+	sp := obs.Span{
+		Trace: b.trace, Session: sess.id, Stage: obs.StageWALAppend,
+		Start: start, Dur: dur, Ticks: len(b.states),
+	}
+	if err != nil {
+		sp.Note = err.Error()
+	}
+	s.tracer.Record(sess.shard, sp)
+	return err
 }
 
 // snapshotSession checkpoints the session's execution state. Caller
@@ -184,8 +198,10 @@ func (s *Server) recoverSessions() error {
 
 func (s *Server) recoverSession(id string) error {
 	var (
-		sess     *session
-		replayed uint64
+		sess        *session
+		replayed    uint64
+		replayStart = time.Now()
+		replayTicks int
 	)
 	j, err := s.wal.OpenJournal(id, func(rec wal.Record) error {
 		switch rec.Kind {
@@ -261,6 +277,7 @@ func (s *Server) recoverSession(id string) error {
 			sess.appliedJSeq = br.JSeq
 			sess.mu.Unlock()
 			replayed++
+			replayTicks += len(br.Ticks)
 			return nil
 		default:
 			return fmt.Errorf("unknown record kind %d", rec.Kind)
@@ -276,6 +293,21 @@ func (s *Server) recoverSession(id string) error {
 		return s.wal.Remove(id)
 	}
 	sess.jrnl = j
+	// Replayed verdicts are session state, not new daemon work: align the
+	// per-spec reporting watermarks with the recovered engine totals so
+	// the first live batch reports only its own delta (matching the
+	// daemon-wide accepts/violations counters, which ignore replay too).
+	for _, sm := range sess.mons {
+		st := sm.eng.Stats()
+		sm.reportedAccepts, sm.reportedViolations = uint64(st.Accepts), uint64(st.Violations)
+	}
+	replayDur := time.Since(replayStart)
+	s.metrics.observeStage(obs.StageWALReplay, replayDur)
+	s.tracer.Record(sess.shard, obs.Span{
+		Trace: "recovery", Session: sess.id, Stage: obs.StageWALReplay,
+		Start: replayStart, Dur: replayDur, Ticks: replayTicks,
+		Note: fmt.Sprintf("replayed %d batches", replayed),
+	})
 	s.smu.Lock()
 	s.sessions[sess.id] = sess
 	s.smu.Unlock()
@@ -299,7 +331,7 @@ func (s *Server) sessionFromMeta(meta sessionMetaJSON) (*session, error) {
 		}
 		specs = append(specs, sp)
 	}
-	sess := newSession(meta.ID, mode, shardFor(meta.ID, len(s.shards)), specs, s.cfg.Faults)
+	sess := newSession(meta.ID, mode, shardFor(meta.ID, len(s.shards)), specs, s.cfg.Faults, meta.DiagDepth)
 	sess.created = meta.Created
 	sess.meta = meta
 	return sess, nil

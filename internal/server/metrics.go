@@ -31,10 +31,72 @@ type metrics struct {
 	walSnapshots        atomic.Uint64 // checkpoints written
 
 	latency *histogram // enqueue-to-processed latency per tick
+
+	// stage histograms dimension the pipeline: one fixed histogram per
+	// processing stage. The map is built once and never mutated, so
+	// lookups need no lock.
+	stages map[string]*histogram
+
+	// Per-spec verdict counters live here — on the daemon, not the
+	// session — so evicting or deleting a session never loses the
+	// verdict totals of the specs it ran.
+	specMu         sync.Mutex
+	specAccepts    map[string]uint64
+	specViolations map[string]uint64
 }
 
+// stageNames are the dimensioned pipeline stages; each gets a latency
+// histogram labelled stage=<name> in the Prometheus exposition.
+var stageNames = []string{"decode", "enqueue", "queue_wait", "step", "verdict", "wal_append", "wal_replay"}
+
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), latency: newHistogram()}
+	m := &metrics{
+		start:          time.Now(),
+		latency:        newHistogram(),
+		stages:         make(map[string]*histogram, len(stageNames)),
+		specAccepts:    make(map[string]uint64),
+		specViolations: make(map[string]uint64),
+	}
+	for _, st := range stageNames {
+		m.stages[st] = newHistogram()
+	}
+	return m
+}
+
+// observeStage records one latency sample for a pipeline stage; unknown
+// stages are dropped rather than allocated, keeping label cardinality
+// fixed.
+func (m *metrics) observeStage(stage string, d time.Duration) {
+	if h, ok := m.stages[stage]; ok {
+		h.observe(d)
+	}
+}
+
+// addSpecCounts folds one batch's per-spec verdict deltas into the
+// daemon-lifetime counters.
+func (m *metrics) addSpecCounts(spec string, accepts, violations uint64) {
+	if accepts == 0 && violations == 0 {
+		return
+	}
+	m.specMu.Lock()
+	m.specAccepts[spec] += accepts
+	m.specViolations[spec] += violations
+	m.specMu.Unlock()
+}
+
+// specCounts snapshots the per-spec counters.
+func (m *metrics) specCounts() (accepts, violations map[string]uint64) {
+	m.specMu.Lock()
+	defer m.specMu.Unlock()
+	accepts = make(map[string]uint64, len(m.specAccepts))
+	for k, v := range m.specAccepts {
+		accepts[k] = v
+	}
+	violations = make(map[string]uint64, len(m.specViolations))
+	for k, v := range m.specViolations {
+		violations[k] = v
+	}
+	return accepts, violations
 }
 
 // ShardSnapshot reports one shard's queue state.
@@ -70,6 +132,15 @@ type MetricsSnapshot struct {
 	WALErrors           uint64     `json:"wal_errors"`
 	WALSnapshots        uint64     `json:"wal_snapshots"`
 	WAL                 *wal.Stats `json:"wal,omitempty"` // nil when journaling is off
+
+	// Dimensioned observability (PR 5): per-spec verdict counters that
+	// survive session eviction, per-stage p99 latencies, and the tracing
+	// plane's own counters.
+	PerSpecAccepts    map[string]uint64 `json:"per_spec_accepts,omitempty"`
+	PerSpecViolations map[string]uint64 `json:"per_spec_violations,omitempty"`
+	StageLatencyP99   map[string]int64  `json:"stage_latency_p99_ns,omitempty"`
+	TraceSpans        uint64            `json:"trace_spans"`
+	SlowBatches       uint64            `json:"slow_batches"`
 }
 
 // snapshot assembles the exported view; the server fills in the parts it
@@ -81,7 +152,18 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	if uptime > 0 {
 		rate = float64(ticks) / uptime
 	}
+	accepts, violations := m.specCounts()
+	stageP99 := make(map[string]int64, len(m.stages))
+	for name, h := range m.stages {
+		if h.count() > 0 {
+			stageP99[name] = int64(h.quantile(0.99))
+		}
+	}
 	return MetricsSnapshot{
+		PerSpecAccepts:    accepts,
+		PerSpecViolations: violations,
+		StageLatencyP99:   stageP99,
+
 		UptimeSec:       uptime,
 		TicksTotal:      ticks,
 		TicksPerSec:     rate,

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -73,6 +74,17 @@ type Config struct {
 	// snapshots, keeping the whole journal).
 	SnapshotEvery int
 
+	// TraceDepth enables tick tracing: each shard keeps a lock-free ring
+	// of the most recent TraceDepth pipeline spans (ingest, decode,
+	// enqueue, queue wait, step, WAL append/replay), served as JSON from
+	// GET /debug/trace. 0 disables tracing entirely — the record path
+	// becomes a single branch with no allocation.
+	TraceDepth int
+	// SlowTick arms the slow-tick watchdog: a batch whose per-tick
+	// stepping time exceeds this threshold is counted and logged (rate
+	// limited) with its trace id. 0 disables.
+	SlowTick time.Duration
+
 	// Faults wires a deterministic fault-injection plane through the
 	// daemon (WAL writes, monitor stepping, ingest responses). Tests
 	// only; nil means no faults.
@@ -105,11 +117,13 @@ func (c Config) withDefaults() Config {
 // pool, and HTTP API. Create with New, serve via Handler, stop with
 // Close.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	specs   *registry
-	metrics *metrics
-	wal     *wal.Manager // nil when journaling is disabled
+	cfg      Config
+	mux      *http.ServeMux
+	specs    *registry
+	metrics  *metrics
+	tracer   *obs.Tracer   // disabled (nil-safe no-op) unless Config.TraceDepth > 0
+	watchdog *obs.Watchdog // disabled unless Config.SlowTick > 0
+	wal      *wal.Manager  // nil when journaling is disabled
 
 	smu      sync.RWMutex
 	sessions map[string]*session
@@ -144,6 +158,8 @@ func New(cfg Config) (*Server, error) {
 		sessions:  make(map[string]*session),
 		stopSweep: make(chan struct{}),
 	}
+	s.tracer = obs.NewTracer(s.cfg.Shards, s.cfg.TraceDepth)
+	s.watchdog = obs.NewWatchdog(s.cfg.SlowTick, nil)
 	if s.cfg.WALDir != "" {
 		mgr, err := wal.OpenManager(wal.Options{
 			Dir:          s.cfg.WALDir,
@@ -158,7 +174,7 @@ func New(cfg Config) (*Server, error) {
 		s.wal = mgr
 	}
 	for i := 0; i < s.cfg.Shards; i++ {
-		sh := &shard{queue: make(chan *batch, s.cfg.QueueDepth)}
+		sh := &shard{idx: i, queue: make(chan *batch, s.cfg.QueueDepth)}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go s.runShard(sh)
@@ -191,6 +207,8 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() MetricsSnapshot {
 	snap := s.metrics.snapshot()
 	snap.SpecsLoaded = s.specs.Len()
+	snap.TraceSpans = s.tracer.Spans()
+	snap.SlowBatches = s.watchdog.Slow()
 	if s.wal != nil {
 		st := s.wal.Stats()
 		snap.WAL = &st
@@ -308,6 +326,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /sessions/{id}/ticks", s.handleTicks)
 	s.mux.HandleFunc("POST /sessions/{id}/vcd", s.handleVCD)
 	s.mux.HandleFunc("GET /sessions/{id}/verdicts", s.handleVerdicts)
+	s.mux.HandleFunc("GET /sessions/{id}/diagnostics", s.handleDiagnostics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -333,8 +353,73 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+// handleMetrics serves the daemon metrics. The default body is the
+// Prometheus text exposition (version 0.0.4) with per-spec, per-shard,
+// and per-stage labels; clients that ask for application/json (the CLI
+// and the Go client do) get the MetricsSnapshot JSON instead.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		writeJSON(w, http.StatusOK, s.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.promText())
+}
+
+// handleDiagnostics serves the per-session violation provenance ring:
+// for each monitor, the retained Diagnostic reports with chart name,
+// grid line, fired (or candidate) guards, and packed valuation — the
+// same fields every execution tier emits identically.
+func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.touch()
+	start := time.Now()
+	body := sess.diagnostics()
+	s.metrics.observeStage(obs.StageVerdict, time.Since(start))
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleDebugTrace serves the tracer rings as JSON, newest last.
+// ?session=ID keeps one session's spans, ?trace=ID one correlation id,
+// ?stage=NAME one pipeline stage, and ?n=N only the newest N spans.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.tracer.Enabled() {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false, "spans": []obs.Span{}})
+		return
+	}
+	q := r.URL.Query()
+	n := 0
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
+			return
+		}
+		n = parsed
+	}
+	session, traceID, stage := q.Get("session"), q.Get("trace"), q.Get("stage")
+	var keep func(*obs.Span) bool
+	if session != "" || traceID != "" || stage != "" {
+		keep = func(sp *obs.Span) bool {
+			return (session == "" || sp.Session == session) &&
+				(traceID == "" || sp.Trace == traceID) &&
+				(stage == "" || sp.Stage == stage)
+		}
+	}
+	spans := s.tracer.Snapshot(keep, n)
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"total":   s.tracer.Spans(),
+		"spans":   spans,
+	})
 }
 
 func (s *Server) handleListSpecs(w http.ResponseWriter, _ *http.Request) {
@@ -362,10 +447,14 @@ func (s *Server) handleLoadSpecs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]any{"loaded": names})
 }
 
-// createSessionRequest is the body of POST /sessions.
+// createSessionRequest is the body of POST /sessions. DiagDepth, when
+// positive, arms violation diagnostics (the provenance ring served from
+// /sessions/{id}/diagnostics) with a recent-window of that many ticks in
+// any mode; assert-mode sessions default to a window of 8.
 type createSessionRequest struct {
-	Specs []string `json:"specs"`
-	Mode  string   `json:"mode,omitempty"`
+	Specs     []string `json:"specs"`
+	Mode      string   `json:"mode,omitempty"`
+	DiagDepth int      `json:"diag_depth,omitempty"`
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -383,6 +472,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.DiagDepth < 0 || req.DiagDepth > maxDiagDepth {
+		writeError(w, http.StatusBadRequest, "diag_depth must be in [0, %d]", maxDiagDepth)
+		return
+	}
 	specs := make([]*Spec, 0, len(req.Specs))
 	for _, name := range req.Specs {
 		sp, ok := s.specs.Get(name)
@@ -398,7 +491,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		specs = append(specs, sp)
 	}
 	id := newSessionID()
-	sess := newSession(id, mode, shardFor(id, len(s.shards)), specs, s.cfg.Faults)
+	sess := newSession(id, mode, shardFor(id, len(s.shards)), specs, s.cfg.Faults, req.DiagDepth)
 	if s.wal != nil {
 		// The meta record must be durable before the id is handed out:
 		// a session the client knows about must survive a crash.
@@ -476,12 +569,24 @@ var ErrInjected429 = errors.New("injected backpressure")
 // response; an append failure returns 500 and the client's retry is
 // absorbed by the dedup watermark.
 func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
+	ingestStart := time.Now()
 	sess, ok := s.session(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
 	sess.touch()
+	// The trace id correlates this batch's spans across pipeline stages.
+	// Clients propagate their own via X-Cesc-Trace; otherwise the server
+	// assigns one (only when tracing is on — the id is echoed back either
+	// way so the client can cite it).
+	traceID := r.Header.Get("X-Cesc-Trace")
+	if s.tracer.Enabled() {
+		if traceID == "" {
+			traceID = newTraceID()
+		}
+		w.Header().Set("X-Cesc-Trace", traceID)
+	}
 	var seq uint64
 	if q := r.URL.Query().Get("seq"); q != "" {
 		v, err := strconv.ParseUint(q, 10, 64)
@@ -491,6 +596,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		}
 		seq = v
 	}
+	decodeStart := time.Now()
 	var states []event.State
 	dec := json.NewDecoder(r.Body)
 	for {
@@ -512,6 +618,12 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no ticks in body")
 		return
 	}
+	decodeDur := time.Since(decodeStart)
+	s.metrics.observeStage(obs.StageDecode, decodeDur)
+	s.tracer.Record(sess.shard, obs.Span{
+		Trace: traceID, Session: sess.id, Stage: obs.StageDecode,
+		Start: decodeStart, Dur: decodeDur, Ticks: len(states),
+	})
 	if err := s.cfg.Faults.Hit("server.ingest"); err != nil {
 		if errors.Is(err, ErrInjected429) {
 			s.metrics.rejectedTotal.Add(1)
@@ -522,7 +634,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	b := &batch{sess: sess, states: states, enqueued: time.Now()}
+	b := &batch{sess: sess, states: states, enqueued: time.Now(), trace: traceID}
 	wait := r.URL.Query().Get("wait") == "1"
 
 	sess.ingestMu.Lock()
@@ -540,11 +652,22 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	if wait || snapDue {
 		b.done = make(chan struct{})
 	}
+	enqStart := time.Now()
 	switch err := s.tryEnqueue(b); err {
 	case nil:
+		enqDur := time.Since(enqStart)
+		s.metrics.observeStage(obs.StageEnqueue, enqDur)
+		s.tracer.Record(sess.shard, obs.Span{
+			Trace: traceID, Session: sess.id, Stage: obs.StageEnqueue,
+			Start: enqStart, Dur: enqDur, Ticks: len(states),
+		})
 	case errQueueFull:
 		sess.ingestMu.Unlock()
 		s.metrics.rejectedTotal.Add(1)
+		s.tracer.Record(sess.shard, obs.Span{
+			Trace: traceID, Session: sess.id, Stage: obs.StageEnqueue,
+			Start: enqStart, Dur: time.Since(enqStart), Ticks: len(states), Note: "queue full",
+		})
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "shard %d queue full", sess.shard)
 		return
@@ -595,14 +718,31 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	if seq > 0 {
 		resp["seq"] = seq
 	}
+	if traceID != "" && s.tracer.Enabled() {
+		resp["trace"] = traceID
+	}
 	if wait {
 		<-b.done
 		resp["processed"] = true
+		s.recordIngest(sess, traceID, ingestStart, len(states))
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	s.recordIngest(sess, traceID, ingestStart, len(states))
 	writeJSON(w, http.StatusAccepted, resp)
 }
+
+// recordIngest closes the whole-request span of one accepted tick batch.
+func (s *Server) recordIngest(sess *session, traceID string, start time.Time, ticks int) {
+	s.tracer.Record(sess.shard, obs.Span{
+		Trace: traceID, Session: sess.id, Stage: obs.StageIngest,
+		Start: start, Dur: time.Since(start), Ticks: ticks,
+	})
+}
+
+// newTraceID mints a server-assigned correlation id (same shape as
+// session ids: 16 hex chars).
+func newTraceID() string { return newSessionID() }
 
 // vcdChunkTicks is the enqueue granularity of the VCD upload path: the
 // request body is stream-parsed and handed to the shard in bounded
@@ -701,5 +841,13 @@ func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess.touch()
-	writeJSON(w, http.StatusOK, sess.verdicts())
+	start := time.Now()
+	body := sess.verdicts()
+	dur := time.Since(start)
+	s.metrics.observeStage(obs.StageVerdict, dur)
+	s.tracer.Record(sess.shard, obs.Span{
+		Trace: r.Header.Get("X-Cesc-Trace"), Session: sess.id,
+		Stage: obs.StageVerdict, Start: start, Dur: dur,
+	})
+	writeJSON(w, http.StatusOK, body)
 }

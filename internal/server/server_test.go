@@ -45,6 +45,7 @@ func doJSON(t *testing.T, method, url string, body []byte, wantCode int, out any
 	if err != nil {
 		t.Fatal(err)
 	}
+	req.Header.Set("Accept", "application/json")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +135,7 @@ func TestE2ESimpleReadSession(t *testing.T) {
 	refDet := monitor.NewEngine(m, nil, monitor.ModeDetect)
 	wantAccepts := verif.EngineAcceptTicks(refDet, tr)
 	refChk := monitor.NewEngine(m, nil, monitor.ModeAssert)
-	refChk.EnableDiagnostics(diagDepth)
+	refChk.EnableDiagnostics(defaultDiagDepth)
 	refChk.Run(tr)
 
 	gotDet := verdictFor(t, ts.URL, det.ID, "OcpSimpleRead")

@@ -21,9 +21,13 @@ import (
 // verdicts endpoint; later acceptances only increment counters.
 const maxAcceptTicks = 1024
 
-// diagDepth is the counterexample window armed for assert-mode sessions,
-// matching verif.Bank.
-const diagDepth = 8
+// defaultDiagDepth is the counterexample window armed for assert-mode
+// sessions, matching verif.Bank. Clients may request a different window
+// (any mode) via diag_depth at session creation, up to maxDiagDepth.
+const (
+	defaultDiagDepth = 8
+	maxDiagDepth     = 256
+)
 
 // session is one client's monitor bank. Its engines are mutated only by
 // the shard worker the session is pinned to; mu serializes the worker
@@ -33,6 +37,9 @@ type session struct {
 	mode    monitor.Mode
 	shard   int
 	created time.Time
+	// diagDepth is the client-requested diagnostics window (0 means the
+	// mode default); journaled so recovery re-arms the same window.
+	diagDepth int
 
 	lastActive atomic.Int64 // unix nanos
 
@@ -75,6 +82,13 @@ type sessionMonitor struct {
 	cov         *verif.Coverage
 	acceptTicks []int
 
+	// reportedAccepts/reportedViolations are the engine totals already
+	// folded into the daemon's per-spec counters (guarded by session.mu);
+	// the shard worker reports only the delta after each batch, so the
+	// daemon counters survive session eviction without double counting.
+	reportedAccepts    uint64
+	reportedViolations uint64
+
 	quarantined      bool
 	quarantineReason string
 }
@@ -96,9 +110,13 @@ func shardFor(id string, shards int) int {
 	return int(h.Sum32() % uint32(shards))
 }
 
-func newSession(id string, mode monitor.Mode, shard int, specs []*Spec, faults *faultinject.Plane) *session {
-	s := &session{id: id, mode: mode, shard: shard, created: time.Now(), faults: faults}
+func newSession(id string, mode monitor.Mode, shard int, specs []*Spec, faults *faultinject.Plane, diagDepth int) *session {
+	s := &session{id: id, mode: mode, shard: shard, created: time.Now(), faults: faults, diagDepth: diagDepth}
 	s.touch()
+	depth := diagDepth
+	if depth == 0 && mode == monitor.ModeAssert {
+		depth = defaultDiagDepth
+	}
 	// Detect-mode sessions decode each tick once into a packed valuation
 	// over the union vocabulary of their specs. Assert-mode sessions keep
 	// the full map state per step so violation diagnostics capture the
@@ -140,8 +158,8 @@ func newSession(id string, mode monitor.Mode, shard int, specs []*Spec, faults *
 		default:
 			sm.eng = monitor.NewEngine(sp.mon, nil, mode)
 		}
-		if mode == monitor.ModeAssert {
-			sm.eng.EnableDiagnostics(diagDepth)
+		if depth > 0 {
+			sm.eng.EnableDiagnostics(depth)
 		}
 		s.mons = append(s.mons, sm)
 	}
@@ -269,13 +287,43 @@ func stateJSON(s event.State) StateJSON {
 	return out
 }
 
-// DiagnosticJSON is the wire form of a monitor.Diagnostic counterexample.
+// DiagnosticJSON is the wire form of a monitor.Diagnostic counterexample,
+// carrying the full provenance every execution tier emits identically:
+// the chart (monitor) name, the grid line of the abandoned state, the
+// guard that fired into the violation (empty on a hard reset), the
+// candidate guards of that state in transition order, and the input
+// packed through the monitor's own support order.
 type DiagnosticJSON struct {
-	Tick       int         `json:"tick"`
-	FromState  int         `json:"from_state"`
+	Tick      int      `json:"tick"`
+	Monitor   string   `json:"monitor,omitempty"`
+	GridLine  int      `json:"grid_line"`
+	FromState int      `json:"from_state"`
+	Guard     string   `json:"guard,omitempty"`
+	Guards    []string `json:"guards,omitempty"`
+	Valuation uint64   `json:"valuation"`
+
 	Input      StateJSON   `json:"input"`
 	Recent     []StateJSON `json:"recent,omitempty"`
 	Scoreboard []string    `json:"scoreboard,omitempty"`
+}
+
+// diagnosticJSON renders one provenance report for the wire.
+func diagnosticJSON(d monitor.Diagnostic) DiagnosticJSON {
+	dj := DiagnosticJSON{
+		Tick:       d.Tick,
+		Monitor:    d.Monitor,
+		GridLine:   d.GridLine,
+		FromState:  d.FromState,
+		Guard:      d.Guard,
+		Guards:     d.Guards,
+		Valuation:  d.Valuation,
+		Input:      stateJSON(d.Input),
+		Scoreboard: d.Scoreboard,
+	}
+	for _, r := range d.Recent {
+		dj.Recent = append(dj.Recent, stateJSON(r))
+	}
+	return dj
 }
 
 // CoverageJSON summarizes verif coverage for one monitor.
@@ -335,18 +383,38 @@ func (s *session) verdicts() VerdictsJSON {
 			QuarantineReason: sm.quarantineReason,
 		}
 		for _, d := range sm.eng.Diagnostics() {
-			dj := DiagnosticJSON{
-				Tick:       d.Tick,
-				FromState:  d.FromState,
-				Input:      stateJSON(d.Input),
-				Scoreboard: d.Scoreboard,
-			}
-			for _, r := range d.Recent {
-				dj.Recent = append(dj.Recent, stateJSON(r))
-			}
-			mv.Diagnostics = append(mv.Diagnostics, dj)
+			mv.Diagnostics = append(mv.Diagnostics, diagnosticJSON(d))
 		}
 		out.Monitors = append(out.Monitors, mv)
+	}
+	return out
+}
+
+// MonitorDiagnosticsJSON is one monitor's retained provenance ring.
+type MonitorDiagnosticsJSON struct {
+	Spec        string           `json:"spec"`
+	Violations  int              `json:"violations"`
+	Diagnostics []DiagnosticJSON `json:"diagnostics,omitempty"`
+}
+
+// DiagnosticsJSON is the body of GET /sessions/{id}/diagnostics.
+type DiagnosticsJSON struct {
+	Session  string                   `json:"session"`
+	Mode     string                   `json:"mode"`
+	Monitors []MonitorDiagnosticsJSON `json:"monitors"`
+}
+
+// diagnostics snapshots the per-monitor provenance rings.
+func (s *session) diagnostics() DiagnosticsJSON {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := DiagnosticsJSON{Session: s.id, Mode: modeString(s.mode)}
+	for _, sm := range s.mons {
+		md := MonitorDiagnosticsJSON{Spec: sm.spec, Violations: sm.eng.Stats().Violations}
+		for _, d := range sm.eng.Diagnostics() {
+			md.Diagnostics = append(md.Diagnostics, diagnosticJSON(d))
+		}
+		out.Monitors = append(out.Monitors, md)
 	}
 	return out
 }

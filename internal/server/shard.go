@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/obs"
 )
 
 // batch is one ingest request's worth of ticks, processed atomically in
@@ -14,6 +15,10 @@ type batch struct {
 	sess     *session
 	states   []event.State
 	enqueued time.Time
+	// trace is the correlation id of the ingest request ("" when tracing
+	// is off); the worker stamps it on queue-wait and step spans so an
+	// operator can follow one batch end to end.
+	trace string
 	// jseq is the journal index assigned to this batch when the session
 	// is journaled (0 otherwise); the worker records it as appliedJSeq so
 	// snapshots know where the replay tail starts.
@@ -28,6 +33,7 @@ type batch struct {
 // Sessions are pinned to shards by ID hash, so per-session tick order is
 // the per-shard queue order — accepted batches are never reordered.
 type shard struct {
+	idx   int
 	queue chan *batch
 	ticks atomic.Uint64
 }
@@ -91,6 +97,13 @@ func (s *Server) runShard(sh *shard) {
 // load is visible in the histogram.
 func (s *Server) process(sh *shard, b *batch) {
 	sess := b.sess
+	dequeued := time.Now()
+	queueWait := dequeued.Sub(b.enqueued)
+	s.metrics.observeStage(obs.StageQueueWait, queueWait)
+	s.tracer.Record(sh.idx, obs.Span{
+		Trace: b.trace, Session: sess.id, Stage: obs.StageQueueWait,
+		Start: b.enqueued, Dur: queueWait, Ticks: len(b.states),
+	})
 	sess.mu.Lock()
 	for _, st := range b.states {
 		if d := s.cfg.TickDelay; d > 0 {
@@ -110,10 +123,28 @@ func (s *Server) process(sh *shard, b *batch) {
 		s.metrics.ticksTotal.Add(1)
 		s.metrics.latency.observe(time.Since(b.enqueued))
 	}
+	// Per-spec verdict deltas fold into daemon-lifetime counters here —
+	// the engines' own totals die with the session on eviction, the
+	// daemon's do not.
+	for _, sm := range sess.mons {
+		st := sm.eng.Stats()
+		da, dv := uint64(st.Accepts)-sm.reportedAccepts, uint64(st.Violations)-sm.reportedViolations
+		if da > 0 || dv > 0 {
+			s.metrics.addSpecCounts(sm.spec, da, dv)
+			sm.reportedAccepts, sm.reportedViolations = uint64(st.Accepts), uint64(st.Violations)
+		}
+	}
 	if b.jseq > 0 {
 		sess.appliedJSeq = b.jseq
 	}
 	sess.mu.Unlock()
+	stepDur := time.Since(dequeued)
+	s.metrics.observeStage(obs.StageStep, stepDur)
+	s.tracer.Record(sh.idx, obs.Span{
+		Trace: b.trace, Session: sess.id, Stage: obs.StageStep,
+		Start: dequeued, Dur: stepDur, Ticks: len(b.states),
+	})
+	s.watchdog.Observe(stepDur, len(b.states), b.trace, sess.id, sh.idx)
 	sess.touch()
 	s.metrics.batchesTotal.Add(1)
 	if b.done != nil {
