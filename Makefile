@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json obs-bench clean
+.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json obs-bench perfgate clustertest clean
 
 all: check
 
@@ -31,6 +31,7 @@ race:
 check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 	$(MAKE) conformance
+	$(MAKE) clustertest
 	$(MAKE) fuzz
 
 # Whole-stack differential fuzzing: random charts + adversarial traces
@@ -71,6 +72,23 @@ bench-json:
 # Optional rider on `make check`; refreshes the committed BENCH_PR5.json.
 obs-bench:
 	$(GO) run ./cmd/cescbench -obs-json BENCH_PR5.json
+
+# Perf gate: re-run the observability suite and diff it against the
+# checked-in BENCH_PR5.json with noise-aware thresholds (time must grow
+# >50% AND >50ns to fail; any allocs/op increase fails — that gate
+# protects the 0-alloc packed hot path). Nonzero exit on regression.
+perfgate:
+	$(GO) run ./cmd/cescbench -obs-json BENCH_gate.json
+	$(GO) run ./cmd/cescbench -compare BENCH_PR5.json BENCH_gate.json
+	rm -f BENCH_gate.json
+
+# Clustering suite: ring property tests, migration/promotion e2e, and
+# churn stress under the race detector, then the process-level smoke
+# (builds the real cescd binary, runs a 3-node ring, kill -9s the
+# session owner, and requires the standby promotion to take over).
+clustertest:
+	$(GO) test -race ./internal/cluster/ ./internal/client/
+	$(GO) test -run TestClusterSmoke -v ./cmd/cescd/
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@
 //
 //	go run ./cmd/cescbench
 //	go run ./cmd/cescbench -json BENCH_seed.json   # machine-readable micro-benchmarks
+//	go run ./cmd/cescbench -compare old.json new.json   # perf gate (see compare.go)
 package main
 
 import (
@@ -36,7 +37,23 @@ import (
 func main() {
 	jsonPath := flag.String("json", "", "run the micro-benchmarks and write a machine-readable summary (name, ns/op, allocs/op) to this path instead of the narrative tables")
 	obsPath := flag.String("obs-json", "", "run the observability-overhead suite (tracing off / ring-only / full provenance) and write the summary to this path")
+	compare := flag.Bool("compare", false, "compare two -json/-obs-json summaries: cescbench -compare old.json new.json; exits 1 on regression")
+	threshold := flag.Float64("threshold", 0.5, "relative ns/op growth tolerated by -compare (0.5 = +50%)")
+	floorNs := flag.Float64("floor", 50, "absolute ns/op growth a -compare time regression must also exceed")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("usage: cescbench -compare old.json new.json"))
+		}
+		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *floorNs)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if *obsPath != "" {
 		if err := writeObsBenchJSON(*obsPath); err != nil {
 			fatal(err)

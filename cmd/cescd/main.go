@@ -26,11 +26,26 @@
 //	-slow-tick DUR       warn when a batch's per-tick step time exceeds this
 //	-debug-addr ADDR     serve net/http/pprof and expvar on a second listener
 //
+// Clustering (see the README "Clustering" section):
+//
+//	-cluster-name NAME    enable cluster mode under this member name
+//	-advertise URL        base URL peers and clients reach this node at
+//	-peers NAME=URL,...   static membership (self included automatically)
+//	-join URL[,URL]       join an existing cluster via any listed node
+//	-vnodes N             virtual nodes per member on the hash ring
+//	-refresh-every DUR    ring refresh / failure probe period
+//	-fail-after N         failed probes before declaring a peer dead
+//	-replicate-every DUR  WAL standby shipping period
+//	-standby-dir PATH     standby journal root (default <wal-dir>.standby)
+//	-drain                on SIGTERM, migrate sessions away before exit
+//
 // Endpoints: GET /healthz, GET /metrics (Prometheus text; JSON with
 // Accept: application/json), GET|POST /specs, POST|GET /sessions,
 // GET|DELETE /sessions/{id}, POST /sessions/{id}/ticks (NDJSON; ?wait=1),
 // POST /sessions/{id}/vcd (?props=a,b), GET /sessions/{id}/verdicts,
-// GET /sessions/{id}/diagnostics, GET /debug/trace.
+// GET /sessions/{id}/diagnostics, GET /debug/trace; in cluster mode also
+// GET /cluster/ring, GET /cluster/status, POST /cluster/{join,leave,
+// adopt,migrate,replicate,drain,flush}.
 // See the README "Running cescd" and "Observability" sections for the
 // tick format and curl examples.
 package main
@@ -51,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -70,13 +86,24 @@ func main() {
 	traceDepth := flag.Int("trace-depth", 0, "per-shard tick-trace ring depth (0 disables tracing)")
 	slowTick := flag.Duration("slow-tick", 0, "warn when a batch's per-tick step time exceeds this (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
+
+	clusterName := flag.String("cluster-name", "", "enable cluster mode under this member name")
+	advertise := flag.String("advertise", "", "base URL peers reach this node at (cluster mode)")
+	peersFlag := flag.String("peers", "", "static membership as name=url[,name=url...] (cluster mode)")
+	joinFlag := flag.String("join", "", "join an existing cluster via these comma-separated node URLs")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per ring member (0 = default)")
+	refreshEvery := flag.Duration("refresh-every", 2*time.Second, "ring refresh / failure probe period (cluster mode)")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before declaring a peer dead")
+	replicateEvery := flag.Duration("replicate-every", 250*time.Millisecond, "WAL standby shipping period (cluster mode)")
+	standbyDir := flag.String("standby-dir", "", "standby journal root (default <wal-dir>.standby)")
+	drainOnExit := flag.Bool("drain", false, "on SIGTERM, migrate sessions to peers before exiting")
 	flag.Parse()
 
 	policy, err := wal.ParseSyncPolicy(*fsync)
 	if err != nil {
 		log.Fatalf("cescd: %v", err)
 	}
-	srv, err := server.New(server.Config{
+	srvCfg := server.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
 		MaxBatchTicks: *maxBatch,
@@ -88,9 +115,58 @@ func main() {
 		SnapshotEvery: *snapEvery,
 		TraceDepth:    *traceDepth,
 		SlowTick:      *slowTick,
-	})
-	if err != nil {
-		log.Fatalf("cescd: %v", err)
+	}
+
+	// Cluster mode wraps the server in ring routing + replication; the
+	// standalone path keeps the bare server. Either way there is one
+	// *server.Server to load specs into and one handler to serve.
+	var (
+		srv     *server.Server
+		node    *cluster.Node
+		handler http.Handler
+	)
+	if *clusterName != "" {
+		if *advertise == "" {
+			log.Fatalf("cescd: -cluster-name requires -advertise")
+		}
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			log.Fatalf("cescd: %v", err)
+		}
+		sbDir := *standbyDir
+		if sbDir == "" && *walDir != "" {
+			sbDir = strings.TrimRight(*walDir, "/") + ".standby"
+		}
+		var joins []string
+		for _, u := range strings.Split(*joinFlag, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				joins = append(joins, u)
+			}
+		}
+		node, err = cluster.New(cluster.Config{
+			Name:           *clusterName,
+			AdvertiseURL:   *advertise,
+			Peers:          peers,
+			JoinURLs:       joins,
+			VNodes:         *vnodes,
+			RefreshEvery:   *refreshEvery,
+			FailAfter:      *failAfter,
+			ReplicateEvery: *replicateEvery,
+			StandbyDir:     sbDir,
+			Server:         srvCfg,
+		})
+		if err != nil {
+			log.Fatalf("cescd: %v", err)
+		}
+		srv, handler = node.Server(), node.Handler()
+		log.Printf("cescd: cluster member %s at %s (ring epoch %d, %d member(s), standby %s)",
+			*clusterName, *advertise, node.Ring().Epoch(), node.Ring().Len(), sbDir)
+	} else {
+		srv, err = server.New(srvCfg)
+		if err != nil {
+			log.Fatalf("cescd: %v", err)
+		}
+		handler = srv.Handler()
 	}
 	if *walDir != "" {
 		m := srv.Metrics()
@@ -109,20 +185,29 @@ func main() {
 		go serveDebug(*debugAddr)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+		if node != nil && *drainOnExit {
+			log.Printf("cescd: draining out of the ring")
+			moved := node.Drain()
+			log.Printf("cescd: migrated %d session(s) to peers", moved)
+		}
 		log.Printf("cescd: shutting down, draining in-flight ticks")
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("cescd: http shutdown: %v", err)
 		}
-		srv.Close()
+		if node != nil {
+			node.Close()
+		} else {
+			srv.Close()
+		}
 	}()
 	log.Printf("cescd: listening on %s (%d shards, queue %d, %d specs)",
 		*addr, *shards, *queue, len(loaded))
@@ -131,6 +216,23 @@ func main() {
 	}
 	<-done
 	log.Printf("cescd: drained, bye")
+}
+
+// parsePeers parses the -peers flag: name=url pairs, comma-separated.
+func parsePeers(list string) ([]cluster.Member, error) {
+	var peers []cluster.Member
+	for _, p := range strings.Split(list, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(p, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=url)", p)
+		}
+		peers = append(peers, cluster.Member{Name: name, URL: url})
+	}
+	return peers, nil
 }
 
 // serveDebug exposes the Go runtime's profiling surface on a separate

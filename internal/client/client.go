@@ -61,6 +61,9 @@ type Options struct {
 	// Seed makes the jitter deterministic in tests (0 seeds from the
 	// backoff parameters, still deterministic but arbitrary).
 	Seed int64
+	// ExtraHeader is added to every request (the cluster router uses it
+	// to opt into redirect routing via X-Cesc-Route).
+	ExtraHeader http.Header
 }
 
 func (o Options) withDefaults() Options {
@@ -79,10 +82,15 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// APIError is a terminal (non-retryable) HTTP error response.
+// APIError is a terminal (non-retryable) HTTP error response. For a
+// 307 from a cluster node, Location carries the session owner's URL;
+// RetryAfter echoes the response's Retry-After header when present, so
+// a routing layer can honor the server's pacing before its next hop.
 type APIError struct {
-	Code    int
-	Message string
+	Code       int
+	Message    string
+	Location   string
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -207,6 +215,9 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if traceID != "" {
 		req.Header.Set("X-Cesc-Trace", traceID)
 	}
+	for k, vs := range c.opts.ExtraHeader {
+		req.Header[k] = vs
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Network-level failure (or attempt timeout): retryable unless
@@ -239,11 +250,26 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
 		msg = e.Error
 	}
-	apiErr := &APIError{Code: resp.StatusCode, Message: msg}
+	apiErr := &APIError{Code: resp.StatusCode, Message: msg, RetryAfter: retryAfter(resp)}
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests,
 		resp.StatusCode == http.StatusServiceUnavailable:
-		return apiErr, retryAfter(resp), true
+		return apiErr, apiErr.RetryAfter, true
+	case resp.StatusCode == http.StatusConflict:
+		// 409 with Retry-After is a transient cluster condition (a
+		// session mid-handoff or mid-promotion): honor the server's
+		// pacing and retry. A bare 409 (e.g. a spec-name conflict) is
+		// a real conflict and stays terminal.
+		if resp.Header.Get("Retry-After") != "" {
+			return apiErr, apiErr.RetryAfter, true
+		}
+		return apiErr, 0, false
+	case resp.StatusCode == http.StatusTemporaryRedirect:
+		// A routing answer, not a failure: surface the owner's URL (and
+		// any Retry-After pacing) so the ring-aware router can hop.
+		// Retrying the same node would just redirect again.
+		apiErr.Location = resp.Header.Get("Location")
+		return apiErr, 0, false
 	case resp.StatusCode >= 500:
 		return apiErr, 0, true
 	default:
@@ -341,12 +367,9 @@ type TickAck struct {
 // deduplicated server-side: the ack then reports Duplicate with the
 // original seq. wait makes the call block until the batch is processed.
 func (s *Session) SendTicks(ctx context.Context, ticks []server.StateJSON, wait bool) (TickAck, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, tk := range ticks {
-		if err := enc.Encode(tk); err != nil {
-			return TickAck{}, err
-		}
+	body, err := encodeTicks(ticks)
+	if err != nil {
+		return TickAck{}, err
 	}
 	seq := s.seq.Add(1)
 	path := fmt.Sprintf("/sessions/%s/ticks?seq=%d", s.ID, seq)
@@ -362,11 +385,23 @@ func (s *Session) SendTicks(ctx context.Context, ticks []server.StateJSON, wait 
 		ctx = WithTraceID(ctx, traceID)
 	}
 	var ack TickAck
-	if err := s.c.do(ctx, http.MethodPost, path, buf.Bytes(), &ack); err != nil {
+	if err := s.c.do(ctx, http.MethodPost, path, body, &ack); err != nil {
 		return TickAck{}, err
 	}
 	s.lastTrace.Store(traceID)
 	return ack, nil
+}
+
+// encodeTicks renders a tick batch as the NDJSON ingest body.
+func encodeTicks(ticks []server.StateJSON) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, tk := range ticks {
+		if err := enc.Encode(tk); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
 }
 
 // Diagnostics fetches the session's violation-provenance reports.

@@ -1,0 +1,925 @@
+// Package cluster turns a fleet of cescd daemons into one logical
+// monitor service. Three mechanisms compose:
+//
+//   - A consistent-hash ring (ring.go) assigns every session ID an
+//     owner. Each node wraps its server.Server with a routing layer:
+//     requests for sessions it holds are served locally, everything
+//     else is transparently proxied to the owner — or answered with a
+//     307 redirect when the client opts in via `X-Cesc-Route: redirect`
+//     (the ring-aware client does, so steady-state traffic needs no
+//     extra hop).
+//
+//   - Ring changes trigger live session migration. The losing owner
+//     freezes the session (ingest answers 409 + Retry-After), exports
+//     one self-contained snapshot record — the WAL checkpoint encoding
+//     — and ships it with the ring it is acting under. The receiver
+//     adopts newer rings, rejects stale epochs, and rebuilds the
+//     session through the recovery replay path, so a moved session is
+//     byte-identical to one that never moved. The ?seq dedup watermark
+//     travels inside the snapshot, keeping ingest exactly-once across
+//     the move.
+//
+//   - Each owner asynchronously streams its sessions' WAL records to
+//     the ring successor's standby store. When a node dies (failure
+//     detector or explicit POST /cluster/leave), keys it owned land
+//     exactly on their old successor — which holds the warm copy — and
+//     promotion replays the standby journal into a live session. At
+//     most the unacknowledged replication tail is lost, and the ?seq
+//     watermark makes client retries across the promotion safe.
+//
+// Membership is static-peer with optional pull-based refresh: every
+// node republishes its ring at GET /cluster/ring, polls peers on a
+// timer, adopts strictly newer epochs (fingerprint breaks equal-epoch
+// ties), and counts consecutive probe failures toward declaring a peer
+// dead. There is no consensus layer — the ring is a CRDT-ish
+// last-writer-wins table, which is the right weight for a monitor
+// fleet where the WAL, not the ring, is the source of truth.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// Routing and fencing headers.
+const (
+	// HeaderRoute, when set to "redirect" by a client, turns proxying
+	// into a 307 + Location answer carrying the owner.
+	HeaderRoute = "X-Cesc-Route"
+	// HeaderForwarded marks a request already proxied once; a second
+	// forward would mean the ring views disagree, so the node answers
+	// 409 instead of looping.
+	HeaderForwarded = "X-Cesc-Forwarded"
+	// HeaderOwner and HeaderRingEpoch annotate redirect answers so
+	// ring-aware clients can refresh without an extra round trip.
+	HeaderOwner     = "X-Cesc-Owner"
+	HeaderRingEpoch = "X-Cesc-Ring-Epoch"
+)
+
+// Config assembles a cluster node around an embedded server config.
+type Config struct {
+	// Name uniquely identifies this node in the ring.
+	Name string
+	// AdvertiseURL is the base URL peers and redirected clients use to
+	// reach this node (e.g. "http://10.0.0.7:8080").
+	AdvertiseURL string
+	// Peers is the static membership (self is added automatically).
+	// All nodes started with the same peer list converge immediately.
+	Peers []Member
+	// JoinURLs, when set, joins an existing cluster through any one of
+	// the listed nodes instead of relying on a static peer list.
+	JoinURLs []string
+	// VNodes is the virtual-node count per member (default
+	// DefaultVNodes).
+	VNodes int
+	// RefreshEvery is the ring refresh + failure probe period; 0
+	// disables the background loop (tests drive refresh explicitly).
+	RefreshEvery time.Duration
+	// FailAfter is the number of consecutive failed probes before a
+	// peer is declared dead and removed from the ring (default 3).
+	FailAfter int
+	// ReplicateEvery is the standby shipping period; 0 disables the
+	// background loop (replication can still be driven via
+	// POST /cluster/flush).
+	ReplicateEvery time.Duration
+	// StandbyDir, when set, stores warm standby copies of peer
+	// sessions this node is successor for. It must not live inside the
+	// server's WALDir (the server would mistake standby journals for
+	// its own).
+	StandbyDir string
+	// HTTPClient is used for peer-to-peer calls (default: 5s timeout).
+	HTTPClient *http.Client
+	// Server is the wrapped daemon's configuration. Its IDFilter is
+	// overwritten: the node mints only session IDs it owns.
+	Server server.Config
+}
+
+// Node is one member of a cescd cluster: a server.Server wrapped in
+// ring routing, migration, and standby replication.
+type Node struct {
+	cfg     Config
+	self    Member
+	srv     *server.Server
+	mux     *http.ServeMux
+	hc      *http.Client
+	metrics *nodeMetrics
+
+	mu         sync.RWMutex // guards ring, draining, probeFails
+	ring       *Ring
+	draining   bool
+	probeFails map[string]int
+
+	standby *standbyStore // nil when StandbyDir is empty
+	repl    *replicator   // nil when the server has no WAL
+
+	// migrateMu serializes rebalance scans (migration out, standby
+	// promotion, standby GC) so two ring changes can't race each other
+	// over the same session.
+	migrateMu sync.Mutex
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds the node, starts the wrapped server (recovering its WAL),
+// joins or forms the ring, and starts the refresh/replication loops.
+func New(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: node name is required")
+	}
+	if cfg.AdvertiseURL == "" {
+		return nil, fmt.Errorf("cluster: advertise URL is required")
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.StandbyDir != "" && cfg.Server.WALDir != "" &&
+		strings.HasPrefix(cfg.StandbyDir+"/", cfg.Server.WALDir+"/") {
+		return nil, fmt.Errorf("cluster: standby dir %s must not live inside WAL dir %s", cfg.StandbyDir, cfg.Server.WALDir)
+	}
+	n := &Node{
+		cfg:        cfg,
+		self:       Member{Name: cfg.Name, URL: strings.TrimRight(cfg.AdvertiseURL, "/")},
+		mux:        http.NewServeMux(),
+		hc:         cfg.HTTPClient,
+		metrics:    newNodeMetrics(),
+		probeFails: make(map[string]int),
+		stop:       make(chan struct{}),
+	}
+	if n.hc == nil {
+		n.hc = &http.Client{Timeout: 5 * time.Second}
+	}
+	members := append([]Member{n.self}, cfg.Peers...)
+	n.ring = NewRing(1, cfg.VNodes, members)
+
+	srvCfg := cfg.Server
+	srvCfg.IDFilter = n.ownsID
+	srv, err := server.New(srvCfg)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+
+	if cfg.StandbyDir != "" {
+		mgr, err := wal.OpenManager(wal.Options{Dir: cfg.StandbyDir})
+		if err != nil {
+			srv.Close()
+			return nil, err
+		}
+		n.standby = newStandbyStore(mgr)
+	}
+	if srv.WAL() != nil {
+		n.repl = newReplicator(n)
+	}
+	n.routes()
+
+	if len(cfg.JoinURLs) > 0 {
+		if err := n.join(); err != nil {
+			n.closeStores()
+			srv.Close()
+			return nil, err
+		}
+	}
+	// Settle ownership for whatever the ring and the recovered WAL say:
+	// promote leftover standby copies we now own, migrate away recovered
+	// sessions we no longer own.
+	n.rebalance()
+
+	if cfg.RefreshEvery > 0 {
+		n.wg.Add(1)
+		go n.refreshLoop()
+	}
+	if cfg.ReplicateEvery > 0 && n.repl != nil {
+		n.wg.Add(1)
+		go n.repl.loop(cfg.ReplicateEvery)
+	}
+	return n, nil
+}
+
+// Handler returns the node's HTTP surface: the cluster endpoints plus
+// the ring-routed server API.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// Server exposes the wrapped daemon (tests compare verdicts directly).
+func (n *Node) Server() *server.Server { return n.srv }
+
+// Ring returns the node's current view of the ring.
+func (n *Node) Ring() *Ring {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ring
+}
+
+// Close stops the loops and shuts the wrapped server down cleanly.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		n.wg.Wait()
+		n.closeStores()
+		n.srv.Close()
+	})
+}
+
+// Kill simulates node death for failover tests: loops stop and the
+// wrapped server crashes (queued work discarded, no final sync) — the
+// rest of the cluster sees probe failures, nothing more.
+func (n *Node) Kill() {
+	n.closeOnce.Do(func() {
+		close(n.stop)
+		n.wg.Wait()
+		n.closeStores()
+		n.srv.Crash()
+	})
+}
+
+func (n *Node) closeStores() {
+	if n.standby != nil {
+		n.standby.closeAll()
+	}
+}
+
+// ─── ring state ───────────────────────────────────────────────────────
+
+func (n *Node) currentRing() *Ring {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.ring
+}
+
+func (n *Node) isDraining() bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.draining
+}
+
+// ownsID is the server's IDFilter: freshly minted session IDs must land
+// on this node under the current ring, so created sessions never start
+// life needing a proxy hop.
+func (n *Node) ownsID(id string) bool {
+	n.mu.RLock()
+	ring, draining := n.ring, n.draining
+	n.mu.RUnlock()
+	if draining {
+		return false
+	}
+	if ring == nil || ring.Len() <= 1 {
+		return true
+	}
+	owner, ok := ring.Owner(id)
+	return ok && owner.Name == n.self.Name
+}
+
+// adoptInfo installs a peer's ring if it is strictly newer — higher
+// epoch, or same epoch with a winning fingerprint (deterministic
+// tie-break so concurrent equal-epoch edits converge fleet-wide).
+func (n *Node) adoptInfo(info RingInfo) bool {
+	if len(info.Members) == 0 {
+		return false
+	}
+	incoming := NewRingFromInfo(info)
+	n.mu.Lock()
+	cur := n.ring
+	adopt := incoming.Epoch() > cur.Epoch() ||
+		(incoming.Epoch() == cur.Epoch() && incoming.Fingerprint() > cur.Fingerprint())
+	if adopt {
+		n.ring = incoming
+	}
+	n.mu.Unlock()
+	if adopt {
+		n.metrics.ringAdoptions.Add(1)
+		n.onRingChange()
+	}
+	return adopt
+}
+
+// addMember grows the ring (idempotent) and gossips the result.
+func (n *Node) addMember(m Member) *Ring {
+	n.mu.Lock()
+	cur := n.ring
+	if existing, ok := cur.Lookup(m.Name); ok && existing.URL == m.URL {
+		n.mu.Unlock()
+		return cur
+	}
+	next := cur.WithMember(m)
+	n.ring = next
+	n.mu.Unlock()
+	n.onRingChange()
+	n.broadcast(next)
+	return next
+}
+
+// removeMember shrinks the ring (idempotent) and gossips the result.
+func (n *Node) removeMember(name string) *Ring {
+	n.mu.Lock()
+	cur := n.ring
+	if _, ok := cur.Lookup(name); !ok {
+		n.mu.Unlock()
+		return cur
+	}
+	next := cur.WithoutMember(name)
+	n.ring = next
+	delete(n.probeFails, name)
+	n.mu.Unlock()
+	n.onRingChange()
+	n.broadcast(next)
+	return next
+}
+
+// onRingChange kicks an asynchronous rebalance scan. Handlers must not
+// block on migrations, and the scan itself re-reads the ring per
+// session, so back-to-back changes coalesce safely.
+func (n *Node) onRingChange() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.rebalance()
+	}()
+}
+
+// rebalance settles local state against the current ring: promote
+// standby copies this node now owns, migrate away sessions it no longer
+// owns, drop standby copies it is no longer successor for.
+func (n *Node) rebalance() {
+	n.migrateMu.Lock()
+	defer n.migrateMu.Unlock()
+	n.promoteLocked()
+	n.migrateLocked()
+	n.gcStandbyLocked()
+}
+
+// promoteLocked replays standby journals for sessions the ring now
+// assigns to this node into live sessions.
+func (n *Node) promoteLocked() {
+	if n.standby == nil {
+		return
+	}
+	ids, err := n.standby.list()
+	if err != nil {
+		return
+	}
+	for _, id := range ids {
+		ring := n.currentRing()
+		owner, ok := ring.Owner(id)
+		if !ok || owner.Name != n.self.Name {
+			continue
+		}
+		if n.srv.HasSession(id) {
+			// Already live here (migrated in while we also held a
+			// standby copy from an older topology) — the copy is stale.
+			_ = n.standby.drop(id)
+			continue
+		}
+		recs, err := n.standby.take(id)
+		if err != nil || len(recs) == 0 {
+			continue
+		}
+		if err := n.srv.AdoptSession(id, recs); err != nil {
+			n.metrics.replicationErrors.Add(1)
+			continue
+		}
+		_ = n.standby.drop(id)
+		n.metrics.promotions.Add(1)
+	}
+}
+
+// migrateLocked ships every local session whose ring owner is another
+// node.
+func (n *Node) migrateLocked() {
+	for _, id := range n.srv.SessionIDs() {
+		ring := n.currentRing()
+		owner, ok := ring.Owner(id)
+		if !ok || owner.Name == n.self.Name {
+			continue
+		}
+		n.migrateSession(id, owner, ring)
+	}
+}
+
+// migrateSession hands one session to its owner: freeze + export, ship
+// snapshot fenced by the ring we acted under, commit (or thaw on
+// failure). Reports whether the handoff committed.
+func (n *Node) migrateSession(id string, owner Member, ring *Ring) bool {
+	payload, err := n.srv.ExportSession(id)
+	if err != nil {
+		// Already gone or already mid-handoff — nothing to do.
+		return false
+	}
+	req := migrateRequest{
+		Ring:     ring.Info(),
+		Session:  id,
+		Snapshot: payload,
+	}
+	if err := n.postJSON(owner.URL, "/cluster/migrate", req, nil); err != nil {
+		n.srv.AbortMigration(id)
+		n.metrics.migrationsFailed.Add(1)
+		return false
+	}
+	n.srv.CommitMigration(id)
+	if n.repl != nil {
+		n.repl.forget(id)
+	}
+	n.metrics.migrationsOut.Add(1)
+	return true
+}
+
+// gcStandbyLocked drops standby copies for sessions this node is no
+// longer the successor of; the owner re-ships to the new successor with
+// a reset cursor.
+func (n *Node) gcStandbyLocked() {
+	if n.standby == nil {
+		return
+	}
+	ids, err := n.standby.list()
+	if err != nil {
+		return
+	}
+	for _, id := range ids {
+		ring := n.currentRing()
+		if owner, ok := ring.Owner(id); ok && owner.Name == n.self.Name {
+			continue // promotion candidate, not garbage
+		}
+		if succ, ok := ring.Successor(id); ok && succ.Name == n.self.Name {
+			continue
+		}
+		_ = n.standby.drop(id)
+	}
+}
+
+// Drain removes this node from its own ring, migrates every session
+// away, and then gossips the shrunk ring — in that order, so a receiver
+// that learns the new topology early simply sees migrations it already
+// expects. Returns the number of sessions handed off.
+func (n *Node) Drain() int {
+	n.mu.Lock()
+	if n.draining {
+		n.mu.Unlock()
+		return 0
+	}
+	n.draining = true
+	next := n.ring.WithoutMember(n.self.Name)
+	n.ring = next
+	n.mu.Unlock()
+
+	n.migrateMu.Lock()
+	count := 0
+	for _, id := range n.srv.SessionIDs() {
+		ring := n.currentRing()
+		owner, ok := ring.Owner(id)
+		if !ok || owner.Name == n.self.Name {
+			continue
+		}
+		if n.migrateSession(id, owner, ring) {
+			count++
+		}
+	}
+	n.migrateMu.Unlock()
+	n.broadcast(n.currentRing())
+	return count
+}
+
+// Status assembles the node's cluster-plane view.
+func (n *Node) Status() StatusJSON {
+	n.mu.RLock()
+	ring, draining := n.ring, n.draining
+	n.mu.RUnlock()
+	st := StatusJSON{
+		Self:     n.self.Name,
+		Epoch:    ring.Epoch(),
+		Members:  ring.Members(),
+		Draining: draining,
+
+		SessionsLocal: len(n.srv.SessionIDs()),
+
+		MigrationsOut:    n.metrics.migrationsOut.Load(),
+		MigrationsIn:     n.metrics.migrationsIn.Load(),
+		MigrationsFailed: n.metrics.migrationsFailed.Load(),
+		Promotions:       n.metrics.promotions.Load(),
+		Redirects:        n.metrics.redirects.Load(),
+		Proxied:          n.metrics.proxied.Load(),
+
+		RingAdoptions:     n.metrics.ringAdoptions.Load(),
+		PeersDeclaredDead: n.metrics.peersDeclaredDead.Load(),
+
+		RecordsReplicated: n.metrics.recordsReplicated.Load(),
+		ReplicationErrors: n.metrics.replicationErrors.Load(),
+		ReplicationLag:    n.metrics.peerLagSnapshot(),
+	}
+	if n.standby != nil {
+		if ids, err := n.standby.list(); err == nil {
+			st.StandbySessions = ids
+		}
+	}
+	return st
+}
+
+// ─── membership: join, refresh, failure detection ─────────────────────
+
+// join introduces this node to an existing cluster through any of the
+// configured join URLs.
+func (n *Node) join() error {
+	var lastErr error
+	for _, u := range n.cfg.JoinURLs {
+		var info RingInfo
+		if err := n.postJSON(u, "/cluster/join", n.self, &info); err != nil {
+			lastErr = err
+			continue
+		}
+		n.adoptInfo(info)
+		return nil
+	}
+	return fmt.Errorf("cluster: joining via %v: %w", n.cfg.JoinURLs, lastErr)
+}
+
+func (n *Node) refreshLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.RefreshEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.refreshOnce()
+		}
+	}
+}
+
+// refreshOnce probes every peer for its ring, adopting newer views and
+// counting consecutive failures toward declaring the peer dead.
+func (n *Node) refreshOnce() {
+	for _, m := range n.currentRing().Members() {
+		if m.Name == n.self.Name {
+			continue
+		}
+		var info RingInfo
+		err := n.getJSON(m.URL, "/cluster/ring", &info)
+		if err != nil {
+			n.mu.Lock()
+			n.probeFails[m.Name]++
+			fails := n.probeFails[m.Name]
+			n.mu.Unlock()
+			if fails >= n.cfg.FailAfter {
+				n.declareDead(m.Name)
+			}
+			continue
+		}
+		n.mu.Lock()
+		delete(n.probeFails, m.Name)
+		n.mu.Unlock()
+		n.adoptInfo(info)
+	}
+}
+
+// declareDead removes an unresponsive peer from the ring; its sessions
+// re-home to their successors, where promotion finds the standby
+// copies.
+func (n *Node) declareDead(name string) {
+	n.mu.RLock()
+	_, present := n.ring.Lookup(name)
+	n.mu.RUnlock()
+	if !present || name == n.self.Name {
+		return
+	}
+	n.metrics.peersDeclaredDead.Add(1)
+	n.removeMember(name)
+}
+
+// broadcast pushes a ring to every other member, best effort.
+func (n *Node) broadcast(r *Ring) {
+	info := r.Info()
+	for _, m := range r.Members() {
+		if m.Name == n.self.Name {
+			continue
+		}
+		m := m
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			_ = n.postJSON(m.URL, "/cluster/adopt", info, nil)
+		}()
+	}
+}
+
+// ─── HTTP surface ─────────────────────────────────────────────────────
+
+type migrateRequest struct {
+	Ring     RingInfo        `json:"ring"`
+	Session  string          `json:"session"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+func (n *Node) routes() {
+	n.mux.HandleFunc("GET /cluster/ring", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, n.currentRing().Info())
+	})
+	n.mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, n.Status())
+	})
+	n.mux.HandleFunc("POST /cluster/join", n.handleJoin)
+	n.mux.HandleFunc("POST /cluster/leave", n.handleLeave)
+	n.mux.HandleFunc("POST /cluster/adopt", n.handleAdopt)
+	n.mux.HandleFunc("POST /cluster/migrate", n.handleMigrate)
+	n.mux.HandleFunc("POST /cluster/replicate", n.handleReplicate)
+	n.mux.HandleFunc("POST /cluster/drain", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]int{"migrated": n.Drain()})
+	})
+	n.mux.HandleFunc("POST /cluster/flush", func(w http.ResponseWriter, _ *http.Request) {
+		var lag int64
+		if n.repl != nil {
+			lag = n.repl.cycle()
+		}
+		writeJSON(w, http.StatusOK, map[string]int64{"lag_bytes": lag})
+	})
+	n.mux.HandleFunc("/", n.route)
+}
+
+func (n *Node) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var m Member
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil || m.Name == "" || m.URL == "" {
+		writeError(w, http.StatusBadRequest, "join needs {name, url}")
+		return
+	}
+	ring := n.addMember(Member{Name: m.Name, URL: strings.TrimRight(m.URL, "/")})
+	writeJSON(w, http.StatusOK, ring.Info())
+}
+
+func (n *Node) handleLeave(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Name == "" {
+		writeError(w, http.StatusBadRequest, "leave needs {name}")
+		return
+	}
+	ring := n.removeMember(body.Name)
+	writeJSON(w, http.StatusOK, ring.Info())
+}
+
+func (n *Node) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	var info RingInfo
+	if err := json.NewDecoder(r.Body).Decode(&info); err != nil {
+		writeError(w, http.StatusBadRequest, "adopt needs a ring")
+		return
+	}
+	n.adoptInfo(info)
+	writeJSON(w, http.StatusOK, n.currentRing().Info())
+}
+
+// handleMigrate is the gaining side of a handoff: adopt the sender's
+// ring if newer, then fence — the handoff only lands if this node owns
+// the session under a ring at least as new as the sender's.
+func (n *Node) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req migrateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Session == "" {
+		writeError(w, http.StatusBadRequest, "migrate needs {ring, session, snapshot}")
+		return
+	}
+	n.adoptInfo(req.Ring)
+	ring := n.currentRing()
+	if req.Ring.Epoch < ring.Epoch() {
+		writeError(w, http.StatusConflict, "stale ring epoch %d (current %d)", req.Ring.Epoch, ring.Epoch())
+		return
+	}
+	if owner, ok := ring.Owner(req.Session); !ok || owner.Name != n.self.Name {
+		writeError(w, http.StatusConflict, "node %s does not own session %s under epoch %d", n.self.Name, req.Session, ring.Epoch())
+		return
+	}
+	rec := wal.Record{Kind: server.RecordSnapshot, Payload: req.Snapshot}
+	if err := n.srv.AdoptSession(req.Session, []wal.Record{rec}); err != nil {
+		writeError(w, http.StatusInternalServerError, "adopting session %s: %v", req.Session, err)
+		return
+	}
+	n.metrics.migrationsIn.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"adopted": req.Session})
+}
+
+func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if n.standby == nil {
+		writeError(w, http.StatusNotImplemented, "node %s has no standby store", n.self.Name)
+		return
+	}
+	var req replicateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Session == "" {
+		writeError(w, http.StatusBadRequest, "replicate needs {session, records}")
+		return
+	}
+	if err := n.standby.append(req.Session, req.Reset, req.Records); err != nil {
+		writeError(w, http.StatusInternalServerError, "standby append for %s: %v", req.Session, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"appended": len(req.Records)})
+}
+
+// route is the catch-all: session traffic is ring-routed, /metrics is
+// augmented with the cluster families, everything else falls through to
+// the wrapped server.
+func (n *Node) route(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if rest, ok := strings.CutPrefix(path, "/sessions/"); ok {
+		if id, _, _ := strings.Cut(rest, "/"); id != "" {
+			n.routeSession(w, r, id)
+			return
+		}
+	}
+	if path == "/sessions" && r.Method == http.MethodPost && n.isDraining() {
+		n.proxyCreate(w, r)
+		return
+	}
+	if path == "/metrics" && !strings.Contains(r.Header.Get("Accept"), "application/json") {
+		n.serveMetrics(w, r)
+		return
+	}
+	n.srv.Handler().ServeHTTP(w, r)
+}
+
+// routeSession serves locally held sessions first — the holder answers
+// regardless of what any ring says, which keeps requests correct while
+// a topology change is mid-flight — and routes the rest by ring.
+func (n *Node) routeSession(w http.ResponseWriter, r *http.Request, id string) {
+	if n.srv.HasSession(id) {
+		n.srv.Handler().ServeHTTP(w, r)
+		return
+	}
+	ring := n.currentRing()
+	owner, ok := ring.Owner(id)
+	if !ok || owner.Name == n.self.Name {
+		if ring.Len() <= 1 {
+			// Standalone: let the server produce its natural 404.
+			n.srv.Handler().ServeHTTP(w, r)
+			return
+		}
+		// This node owns the ID but doesn't hold the session: a handoff
+		// or promotion is in flight (or the ID never existed). Kick the
+		// rebalance scan in case a standby copy is waiting, and have
+		// the client retry.
+		if n.standby != nil && n.standby.has(id) {
+			n.onRingChange()
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "session %s is not at its owner yet (handoff in flight); retry", id)
+		return
+	}
+	n.forward(w, r, owner, ring)
+}
+
+// forward sends a request toward the session's owner: 307 for
+// ring-aware clients, transparent proxy otherwise.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, ring *Ring) {
+	if r.Header.Get(HeaderRoute) == "redirect" {
+		loc := owner.URL + r.URL.RequestURI()
+		w.Header().Set("Location", loc)
+		w.Header().Set(HeaderOwner, owner.Name)
+		w.Header().Set(HeaderRingEpoch, strconv.FormatUint(ring.Epoch(), 10))
+		n.metrics.redirects.Add(1)
+		writeJSON(w, http.StatusTemporaryRedirect, map[string]string{
+			"error":    "session owned by " + owner.Name,
+			"location": loc,
+		})
+		return
+	}
+	if r.Header.Get(HeaderForwarded) != "" {
+		// A peer proxied to us believing we own the session; our ring
+		// disagrees. Refusing beats proxy ping-pong — the views
+		// converge within a refresh period.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "ring views disagree about the owner; retry")
+		return
+	}
+	n.proxy(w, r, owner)
+}
+
+// proxyCreate forwards a session create while draining to the first
+// surviving member.
+func (n *Node) proxyCreate(w http.ResponseWriter, r *http.Request) {
+	for _, m := range n.currentRing().Members() {
+		if m.Name != n.self.Name {
+			n.proxy(w, r, m)
+			return
+		}
+	}
+	writeError(w, http.StatusServiceUnavailable, "node is draining and no peer remains")
+}
+
+// proxy relays the request to a peer and streams the answer back.
+func (n *Node) proxy(w http.ResponseWriter, r *http.Request, m Member) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, m.URL+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "building proxy request: %v", err)
+		return
+	}
+	out.Header = r.Header.Clone()
+	out.Header.Set(HeaderForwarded, n.self.Name)
+	out.ContentLength = r.ContentLength
+	resp, err := n.hc.Do(out)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusBadGateway, "proxy to owner %s failed: %v", m.Name, err)
+		return
+	}
+	defer resp.Body.Close()
+	n.metrics.proxied.Add(1)
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// serveMetrics appends the cluster families to the wrapped server's
+// Prometheus exposition.
+func (n *Node) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	rec := &respBuffer{hdr: make(http.Header)}
+	n.srv.Handler().ServeHTTP(rec, r)
+	if rec.code != 0 && rec.code != http.StatusOK {
+		for k, vs := range rec.hdr {
+			w.Header()[k] = vs
+		}
+		w.WriteHeader(rec.code)
+		_, _ = w.Write(rec.buf.Bytes())
+		return
+	}
+	for k, vs := range rec.hdr {
+		w.Header()[k] = vs
+	}
+	body := append(rec.buf.Bytes(), n.promText()...)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
+}
+
+// respBuffer captures a handler's response for augmentation.
+type respBuffer struct {
+	hdr  http.Header
+	code int
+	buf  bytes.Buffer
+}
+
+func (b *respBuffer) Header() http.Header         { return b.hdr }
+func (b *respBuffer) WriteHeader(c int)           { b.code = c }
+func (b *respBuffer) Write(p []byte) (int, error) { return b.buf.Write(p) }
+
+// ─── peer HTTP helpers ────────────────────────────────────────────────
+
+func (n *Node) postJSON(baseURL, path string, body, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, strings.TrimRight(baseURL, "/")+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return n.doJSON(req, out)
+}
+
+func (n *Node) getJSON(baseURL, path string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, strings.TrimRight(baseURL, "/")+path, nil)
+	if err != nil {
+		return err
+	}
+	return n.doJSON(req, out)
+}
+
+func (n *Node) doJSON(req *http.Request, out any) error {
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out != nil {
+		return json.Unmarshal(raw, out)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{Name: fmt.Sprintf("node-%d", i), URL: fmt.Sprintf("http://10.0.0.%d:8080", i+1)}
+	}
+	return ms
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+	}
+	return keys
+}
+
+// TestRingBalance checks that 1k virtual nodes spread keys within a
+// modest bound of the fair share: consistent hashing is never perfectly
+// uniform, but no member may become a hot spot.
+func TestRingBalance(t *testing.T) {
+	const (
+		nodes  = 5
+		vnodes = 1000
+		keys   = 20000
+	)
+	r := NewRing(1, vnodes, testMembers(nodes))
+	counts := make(map[string]int)
+	for _, k := range testKeys(keys) {
+		m, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("no owner on populated ring")
+		}
+		counts[m.Name]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d of %d members own keys", len(counts), nodes)
+	}
+	fair := float64(keys) / nodes
+	for name, c := range counts {
+		dev := (float64(c) - fair) / fair
+		if dev < -0.20 || dev > 0.20 {
+			t.Errorf("member %s owns %d keys, %.1f%% from fair share %v", name, c, dev*100, fair)
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin checks the defining property of
+// consistent hashing: adding a member moves keys only TO the new member
+// (never between survivors), and roughly 1/(n+1) of them.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	const keys = 10000
+	base := NewRing(1, 128, testMembers(4))
+	joined := base.WithMember(Member{Name: "node-new", URL: "http://10.0.0.99:8080"})
+	if joined.Epoch() != base.Epoch()+1 {
+		t.Fatalf("join did not advance epoch: %d -> %d", base.Epoch(), joined.Epoch())
+	}
+	moved := 0
+	for _, k := range testKeys(keys) {
+		before, _ := base.Owner(k)
+		after, _ := joined.Owner(k)
+		if before.Name == after.Name {
+			continue
+		}
+		moved++
+		if after.Name != "node-new" {
+			t.Fatalf("key %s moved between survivors: %s -> %s", k, before.Name, after.Name)
+		}
+	}
+	share := float64(moved) / keys
+	want := 1.0 / 5
+	if share < want*0.5 || share > want*1.6 {
+		t.Errorf("join moved %.1f%% of keys, want about %.1f%%", share*100, want*100)
+	}
+}
+
+// TestRingMinimalMovementOnLeave checks the mirror property: removing a
+// member moves only the keys it owned, and every one of them lands on
+// what was the key's successor — which is why standby-on-successor makes
+// promotion line up with reassignment.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	const keys = 10000
+	base := NewRing(7, 128, testMembers(5))
+	gone := "node-2"
+	shrunk := base.WithoutMember(gone)
+	for _, k := range testKeys(keys) {
+		before, _ := base.Owner(k)
+		after, _ := shrunk.Owner(k)
+		if before.Name != gone {
+			if after.Name != before.Name {
+				t.Fatalf("key %s moved although its owner survived: %s -> %s", k, before.Name, after.Name)
+			}
+			continue
+		}
+		succ, ok := base.Successor(k)
+		if !ok {
+			t.Fatalf("no successor for %s on a 5-member ring", k)
+		}
+		if after.Name != succ.Name {
+			t.Fatalf("key %s reassigned to %s, but its standby was %s", k, after.Name, succ.Name)
+		}
+	}
+}
+
+func TestRingDeterminism(t *testing.T) {
+	ms := testMembers(3)
+	a := NewRing(3, 64, ms)
+	// Same members in a different order must produce the same ring.
+	b := NewRing(3, 64, []Member{ms[2], ms[0], ms[1]})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on member order")
+	}
+	for _, k := range testKeys(500) {
+		ao, _ := a.Owner(k)
+		bo, _ := b.Owner(k)
+		if ao != bo {
+			t.Fatalf("owner of %s differs: %v vs %v", k, ao, bo)
+		}
+		as, _ := a.Successor(k)
+		bs, _ := b.Successor(k)
+		if as != bs {
+			t.Fatalf("successor of %s differs: %v vs %v", k, as, bs)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(1, 8, nil)
+	if _, ok := empty.Owner("abc"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	solo := NewRing(1, 8, testMembers(1))
+	if m, ok := solo.Owner("abc"); !ok || m.Name != "node-0" {
+		t.Fatalf("solo ring owner = %v, %v", m, ok)
+	}
+	if _, ok := solo.Successor("abc"); ok {
+		t.Fatal("solo ring returned a successor")
+	}
+	pair := NewRing(1, 8, testMembers(2))
+	for _, k := range testKeys(100) {
+		o, _ := pair.Owner(k)
+		s, ok := pair.Successor(k)
+		if !ok {
+			t.Fatalf("no successor for %s on a 2-member ring", k)
+		}
+		if o.Name == s.Name {
+			t.Fatalf("owner and successor coincide for %s", k)
+		}
+	}
+	info := pair.Info()
+	back := NewRingFromInfo(info)
+	if back.Fingerprint() != pair.Fingerprint() || back.Epoch() != pair.Epoch() {
+		t.Fatal("Info/NewRingFromInfo round trip changed the ring")
+	}
+}

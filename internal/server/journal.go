@@ -38,6 +38,17 @@ const (
 	recSnapshot byte = 3
 )
 
+// The record kinds are exported for the cluster layer, which passes
+// journal records through verbatim: the replicator tails an owner's
+// journal and appends the same records to the standby copy, applying
+// RecordSnapshot via a checkpoint so the standby journal is pruned in
+// lockstep with the owner's.
+const (
+	RecordMeta     = recMeta
+	RecordBatch    = recBatch
+	RecordSnapshot = recSnapshot
+)
+
 type specSourceJSON struct {
 	Name   string `json:"name"`
 	Source string `json:"source"`
@@ -138,12 +149,13 @@ func (s *Server) journalBatch(sess *session, b *batch, seq uint64) error {
 	return err
 }
 
-// snapshotSession checkpoints the session's execution state. Caller
-// holds sess.ingestMu and has waited for the batch that made the
-// snapshot due, so appliedJSeq covers every journaled batch and the
-// checkpoint may prune all older segments.
-func (s *Server) snapshotSession(sess *session) error {
+// buildSnapshotRecord assembles a self-contained snapshot of the
+// session's execution state. Caller holds sess.ingestMu (or otherwise
+// guarantees no concurrent worker), so appliedJSeq and lastSeq are
+// settled; sess.mu is taken for the engine reads.
+func buildSnapshotRecord(sess *session) snapshotRecordJSON {
 	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	rec := snapshotRecordJSON{Format: snapshotFormat, Meta: sess.meta, JSeq: sess.appliedJSeq, LastSeq: sess.lastSeq}
 	for _, sm := range sess.mons {
 		rec.Monitors = append(rec.Monitors, monitorSnapshotJSON{
@@ -156,8 +168,15 @@ func (s *Server) snapshotSession(sess *session) error {
 			QuarantineReason: sm.quarantineReason,
 		})
 	}
-	sess.mu.Unlock()
-	payload, err := json.Marshal(rec)
+	return rec
+}
+
+// snapshotSession checkpoints the session's execution state. Caller
+// holds sess.ingestMu and has waited for the batch that made the
+// snapshot due, so appliedJSeq covers every journaled batch and the
+// checkpoint may prune all older segments.
+func (s *Server) snapshotSession(sess *session) error {
+	payload, err := json.Marshal(buildSnapshotRecord(sess))
 	if err != nil {
 		return err
 	}
@@ -196,96 +215,121 @@ func (s *Server) recoverSessions() error {
 	return nil
 }
 
-func (s *Server) recoverSession(id string) error {
-	var (
-		sess        *session
-		replayed    uint64
-		replayStart = time.Now()
-		replayTicks int
-	)
-	j, err := s.wal.OpenJournal(id, func(rec wal.Record) error {
-		switch rec.Kind {
-		case recMeta:
-			var meta sessionMetaJSON
-			if err := json.Unmarshal(rec.Payload, &meta); err != nil {
-				return fmt.Errorf("meta record: %w", err)
-			}
-			var err error
-			sess, err = s.sessionFromMeta(meta)
+// sessionRestorer folds a stream of journal records into a session being
+// rebuilt. It is the shared replay core of three paths that must agree
+// byte for byte: crash recovery (records from the local journal),
+// migration import (a single self-contained snapshot record shipped by
+// the losing owner), and standby promotion (the records a dead owner
+// replicated to this node).
+type sessionRestorer struct {
+	srv         *Server
+	sess        *session
+	replayed    uint64
+	replayTicks int
+}
+
+// apply folds one record into the session under construction.
+func (rs *sessionRestorer) apply(rec wal.Record) error {
+	switch rec.Kind {
+	case recMeta:
+		var meta sessionMetaJSON
+		if err := json.Unmarshal(rec.Payload, &meta); err != nil {
+			return fmt.Errorf("meta record: %w", err)
+		}
+		var err error
+		rs.sess, err = rs.srv.sessionFromMeta(meta)
+		return err
+	case recSnapshot:
+		var snap snapshotRecordJSON
+		if err := json.Unmarshal(rec.Payload, &snap); err != nil {
+			return fmt.Errorf("snapshot record: %w", err)
+		}
+		if snap.Format > snapshotFormat {
+			return fmt.Errorf("snapshot format %d is newer than this build supports (%d)",
+				snap.Format, snapshotFormat)
+		}
+		// Snapshots are self-contained: checkpointing pruned the
+		// segments holding the meta record, so rebuild from here.
+		sess, err := rs.srv.sessionFromMeta(snap.Meta)
+		if err != nil {
 			return err
-		case recSnapshot:
-			var snap snapshotRecordJSON
-			if err := json.Unmarshal(rec.Payload, &snap); err != nil {
-				return fmt.Errorf("snapshot record: %w", err)
+		}
+		if len(snap.Monitors) != len(sess.mons) {
+			return fmt.Errorf("snapshot has %d monitors, session has %d", len(snap.Monitors), len(sess.mons))
+		}
+		for i, ms := range snap.Monitors {
+			sm := sess.mons[i]
+			if sm.spec != ms.Spec {
+				return fmt.Errorf("snapshot monitor %d is %q, session has %q", i, ms.Spec, sm.spec)
 			}
-			if snap.Format > snapshotFormat {
-				return fmt.Errorf("snapshot format %d is newer than this build supports (%d)",
-					snap.Format, snapshotFormat)
-			}
-			// Snapshots are self-contained: checkpointing pruned the
-			// segments holding the meta record, so rebuild from here.
-			var err error
-			sess, err = s.sessionFromMeta(snap.Meta)
-			if err != nil {
+			if err := sm.eng.Restore(ms.Engine); err != nil {
 				return err
 			}
-			if len(snap.Monitors) != len(sess.mons) {
-				return fmt.Errorf("snapshot has %d monitors, session has %d", len(snap.Monitors), len(sess.mons))
+			sm.eng.Scoreboard().Restore(ms.Scoreboard)
+			if err := sm.cov.Restore(ms.Coverage); err != nil {
+				return err
 			}
-			for i, ms := range snap.Monitors {
-				sm := sess.mons[i]
-				if sm.spec != ms.Spec {
-					return fmt.Errorf("snapshot monitor %d is %q, session has %q", i, ms.Spec, sm.spec)
-				}
-				if err := sm.eng.Restore(ms.Engine); err != nil {
-					return err
-				}
-				sm.eng.Scoreboard().Restore(ms.Scoreboard)
-				if err := sm.cov.Restore(ms.Coverage); err != nil {
-					return err
-				}
-				sm.acceptTicks = append([]int(nil), ms.AcceptTicks...)
-				sm.quarantined = ms.Quarantined
-				sm.quarantineReason = ms.QuarantineReason
-			}
-			sess.appliedJSeq = snap.JSeq
-			sess.walSeq = snap.JSeq
-			sess.lastSeq = snap.LastSeq
-			return nil
-		case recBatch:
-			if sess == nil {
-				return fmt.Errorf("batch record before session meta")
-			}
-			var br batchRecordJSON
-			if err := json.Unmarshal(rec.Payload, &br); err != nil {
-				return fmt.Errorf("batch record: %w", err)
-			}
-			if br.JSeq > sess.walSeq {
-				sess.walSeq = br.JSeq
-			}
-			if br.Seq > sess.lastSeq {
-				sess.lastSeq = br.Seq
-			}
-			if br.JSeq <= sess.appliedJSeq {
-				// Folded into the snapshot already.
-				return nil
-			}
-			sess.mu.Lock()
-			for _, t := range br.Ticks {
-				sess.step(t.ToState())
-			}
-			sess.appliedJSeq = br.JSeq
-			sess.mu.Unlock()
-			replayed++
-			replayTicks += len(br.Ticks)
-			return nil
-		default:
-			return fmt.Errorf("unknown record kind %d", rec.Kind)
+			sm.acceptTicks = append([]int(nil), ms.AcceptTicks...)
+			sm.quarantined = ms.Quarantined
+			sm.quarantineReason = ms.QuarantineReason
 		}
-	})
+		sess.appliedJSeq = snap.JSeq
+		sess.walSeq = snap.JSeq
+		sess.lastSeq = snap.LastSeq
+		rs.sess = sess
+		return nil
+	case recBatch:
+		if rs.sess == nil {
+			return fmt.Errorf("batch record before session meta")
+		}
+		sess := rs.sess
+		var br batchRecordJSON
+		if err := json.Unmarshal(rec.Payload, &br); err != nil {
+			return fmt.Errorf("batch record: %w", err)
+		}
+		if br.JSeq > sess.walSeq {
+			sess.walSeq = br.JSeq
+		}
+		if br.Seq > sess.lastSeq {
+			sess.lastSeq = br.Seq
+		}
+		if br.JSeq <= sess.appliedJSeq {
+			// Folded into the snapshot already.
+			return nil
+		}
+		sess.mu.Lock()
+		for _, t := range br.Ticks {
+			sess.step(t.ToState())
+		}
+		sess.appliedJSeq = br.JSeq
+		sess.mu.Unlock()
+		rs.replayed++
+		rs.replayTicks += len(br.Ticks)
+		return nil
+	default:
+		return fmt.Errorf("unknown record kind %d", rec.Kind)
+	}
+}
+
+// finish aligns the per-spec reporting watermarks with the restored
+// engine totals: replayed verdicts are session state, not new daemon
+// work, so the first live batch reports only its own delta (matching the
+// daemon-wide accepts/violations counters, which ignore replay too).
+func (rs *sessionRestorer) finish() {
+	for _, sm := range rs.sess.mons {
+		st := sm.eng.Stats()
+		sm.reportedAccepts, sm.reportedViolations = uint64(st.Accepts), uint64(st.Violations)
+	}
+}
+
+func (s *Server) recoverSession(id string) error {
+	replayStart := time.Now()
+	rs := &sessionRestorer{srv: s}
+	j, err := s.wal.OpenJournal(id, rs.apply)
 	if err != nil {
 		return err
 	}
+	sess, replayed, replayTicks := rs.sess, rs.replayed, rs.replayTicks
 	if sess == nil {
 		// An empty journal directory (crash between mkdir and the meta
 		// append) represents a session that was never acknowledged.
@@ -293,14 +337,7 @@ func (s *Server) recoverSession(id string) error {
 		return s.wal.Remove(id)
 	}
 	sess.jrnl = j
-	// Replayed verdicts are session state, not new daemon work: align the
-	// per-spec reporting watermarks with the recovered engine totals so
-	// the first live batch reports only its own delta (matching the
-	// daemon-wide accepts/violations counters, which ignore replay too).
-	for _, sm := range sess.mons {
-		st := sm.eng.Stats()
-		sm.reportedAccepts, sm.reportedViolations = uint64(st.Accepts), uint64(st.Violations)
-	}
+	rs.finish()
 	replayDur := time.Since(replayStart)
 	s.metrics.observeStage(obs.StageWALReplay, replayDur)
 	s.tracer.Record(sess.shard, obs.Span{

@@ -30,6 +30,9 @@ type metrics struct {
 	walErrors           atomic.Uint64 // journal append/snapshot failures
 	walSnapshots        atomic.Uint64 // checkpoints written
 
+	sessionsMigratedOut atomic.Uint64 // live handoffs shipped to a new owner
+	sessionsMigratedIn  atomic.Uint64 // sessions adopted (handoff or standby promotion)
+
 	latency *histogram // enqueue-to-processed latency per tick
 
 	// stage histograms dimension the pipeline: one fixed histogram per
@@ -133,6 +136,12 @@ type MetricsSnapshot struct {
 	WALSnapshots        uint64     `json:"wal_snapshots"`
 	WAL                 *wal.Stats `json:"wal,omitempty"` // nil when journaling is off
 
+	// Cluster handoff counters (always present; zero on a standalone
+	// node). The cluster layer's own metrics ride on top at
+	// /cluster/status.
+	SessionsMigratedOut uint64 `json:"sessions_migrated_out"`
+	SessionsMigratedIn  uint64 `json:"sessions_migrated_in"`
+
 	// Dimensioned observability (PR 5): per-spec verdict counters that
 	// survive session eviction, per-stage p99 latencies, and the tracing
 	// plane's own counters.
@@ -183,6 +192,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		BatchesDeduped:      m.batchesDeduped.Load(),
 		WALErrors:           m.walErrors.Load(),
 		WALSnapshots:        m.walSnapshots.Load(),
+
+		SessionsMigratedOut: m.sessionsMigratedOut.Load(),
+		SessionsMigratedIn:  m.sessionsMigratedIn.Load(),
 	}
 }
 

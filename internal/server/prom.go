@@ -41,6 +41,8 @@ func (s *Server) promText() []byte {
 	counter("cescd_batches_deduped_total", "Duplicate batches absorbed by the seq watermark.", float64(snap.BatchesDeduped))
 	counter("cescd_wal_errors_total", "Journal append/snapshot failures.", float64(snap.WALErrors))
 	counter("cescd_wal_snapshots_total", "Session checkpoints written.", float64(snap.WALSnapshots))
+	counter("cescd_sessions_migrated_out_total", "Sessions handed off to a new owner.", float64(snap.SessionsMigratedOut))
+	counter("cescd_sessions_migrated_in_total", "Sessions adopted from a peer (handoff or promotion).", float64(snap.SessionsMigratedIn))
 	counter("cescd_trace_spans_total", "Tick-trace spans recorded.", float64(snap.TraceSpans))
 	counter("cescd_slow_batches_total", "Batches flagged by the slow-tick watchdog.", float64(snap.SlowBatches))
 

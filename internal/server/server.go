@@ -89,6 +89,13 @@ type Config struct {
 	// daemon (WAL writes, monitor stepping, ingest responses). Tests
 	// only; nil means no faults.
 	Faults *faultinject.Plane
+
+	// IDFilter, when set, constrains freshly minted session IDs: session
+	// creation draws random IDs until the filter accepts one. The cluster
+	// layer uses it to mint only IDs the local node owns under the
+	// current hash ring, so a freshly created session never needs an
+	// immediate migration. Must be fast and side-effect free.
+	IDFilter func(id string) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +144,11 @@ type Server struct {
 	// in-flight batches instead of processing them and handlers refuse
 	// new work.
 	crashed atomic.Bool
+
+	// adoptMu serializes AdoptSession calls so two concurrent handoffs
+	// (or a handoff racing a standby promotion) of the same session
+	// cannot both build it.
+	adoptMu sync.Mutex
 
 	wg        sync.WaitGroup
 	janitorWG sync.WaitGroup
@@ -490,7 +502,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 		specs = append(specs, sp)
 	}
-	id := newSessionID()
+	id, ok := s.mintSessionID()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "could not mint an acceptable session id")
+		return
+	}
 	sess := newSession(id, mode, shardFor(id, len(s.shards)), specs, s.cfg.Faults, req.DiagDepth)
 	if s.wal != nil {
 		// The meta record must be durable before the id is handed out:
@@ -506,6 +522,23 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.smu.Unlock()
 	s.metrics.sessionsCreated.Add(1)
 	writeJSON(w, http.StatusCreated, sess.info())
+}
+
+// mintSessionID draws random session IDs until Config.IDFilter accepts
+// one (and it is unused). The filter typically accepts ~1/n of draws on
+// an n-node cluster, so the try budget is effectively unreachable.
+func (s *Server) mintSessionID() (string, bool) {
+	for tries := 0; tries < 4096; tries++ {
+		id := newSessionID()
+		if s.cfg.IDFilter != nil && !s.cfg.IDFilter(id) {
+			continue
+		}
+		if _, exists := s.session(id); exists {
+			continue
+		}
+		return id, true
+	}
+	return "", false
 }
 
 func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
@@ -638,6 +671,12 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	wait := r.URL.Query().Get("wait") == "1"
 
 	sess.ingestMu.Lock()
+	if sess.frozen {
+		sess.ingestMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "session %s is migrating to a new owner; retry", sess.id)
+		return
+	}
 	if seq > 0 && seq <= sess.lastSeq {
 		sess.ingestMu.Unlock()
 		s.metrics.batchesDeduped.Add(1)
@@ -785,6 +824,10 @@ func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
 			done:     make(chan struct{}),
 		}
 		sess.ingestMu.Lock()
+		if sess.frozen {
+			sess.ingestMu.Unlock()
+			return errMigrating
+		}
 		snapDue := false
 		if sess.jrnl != nil {
 			b.jseq = sess.walSeq + 1
@@ -825,8 +868,12 @@ func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		code := http.StatusBadRequest
-		if err == errDraining {
+		switch {
+		case err == errDraining:
 			code = http.StatusServiceUnavailable
+		case errors.Is(err, errMigrating):
+			code = http.StatusConflict
+			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, code, "%v", err)
 		return

@@ -64,6 +64,12 @@ type session struct {
 	walSeq   uint64 // journal index of the last appended batch record
 	jrnl     *wal.Journal
 	meta     sessionMetaJSON
+	// frozen fences ingest during a live migration (guarded by ingestMu):
+	// ExportSession sets it after the final pre-handoff barrier, so no
+	// tick can land between the exported snapshot and the handoff commit.
+	// Ingest against a frozen session answers 409 + Retry-After; the
+	// retry lands on the new owner (or here again if the handoff aborts).
+	frozen bool
 
 	faults *faultinject.Plane
 }
