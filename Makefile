@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json obs-bench perfgate clustertest clean
+.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json obs-bench perfgate soaktest clustertest clean
 
 all: check
 
@@ -77,10 +77,20 @@ obs-bench:
 # checked-in BENCH_PR5.json with noise-aware thresholds (time must grow
 # >50% AND >50ns to fail; any allocs/op increase fails — that gate
 # protects the 0-alloc packed hot path). Nonzero exit on regression.
+# Every run appends one line to the versioned BENCH_HISTORY.jsonl, so
+# the perf trajectory is tracked across PRs without diffing snapshots.
 perfgate:
-	$(GO) run ./cmd/cescbench -obs-json BENCH_gate.json
-	$(GO) run ./cmd/cescbench -compare BENCH_PR5.json BENCH_gate.json
+	$(GO) run ./cmd/cescbench -obs-json BENCH_gate.json -history BENCH_HISTORY.jsonl
+	$(GO) run ./cmd/cescbench -compare -history BENCH_HISTORY.jsonl BENCH_PR5.json BENCH_gate.json
 	rm -f BENCH_gate.json
+
+# Overload soak: one node with a deliberately small memory budget takes
+# thousands of sessions of Fig. 6 OCP traffic through the retrying
+# client while the governor sheds and the janitor pages — zero lost
+# verdicts, bounded session memory, clean Prometheus exposition.
+# SOAK_SESSIONS scales the population (CI uses the default).
+soaktest:
+	$(GO) test -race -run TestOverloadSoak -v ./internal/server/
 
 # Clustering suite: ring property tests, migration/promotion e2e, and
 # churn stress under the race detector, then the process-level smoke

@@ -1,0 +1,55 @@
+package main
+
+// Versioned benchmark history: with -history PATH, every -json,
+// -obs-json, and -compare run appends one self-describing JSON line to
+// PATH (conventionally BENCH_HISTORY.jsonl at the repo root, committed
+// alongside the BENCH_*.json snapshots). The file is append-only, so
+// the perf trajectory across PRs is greppable and plottable without
+// reconstructing it from git history.
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// historySchema versions the line format itself.
+const historySchema = "cescbench/history/v1"
+
+// historyEntry is one line of the history file.
+type historyEntry struct {
+	Schema string `json:"schema"`
+	Time   string `json:"time"`
+	// Kind is the run flavor: "json", "obs-json", or "compare".
+	Kind string `json:"kind"`
+	// BenchSchema is the schema of the summary involved (e.g.
+	// "cescbench/v1"), so mixed histories stay separable.
+	BenchSchema string `json:"bench_schema,omitempty"`
+	// Files are the summary paths involved: the written file for
+	// json/obs-json, [old, new] for compare.
+	Files []string `json:"files,omitempty"`
+	// Compare-run fields.
+	Regressions int     `json:"regressions,omitempty"`
+	Threshold   float64 `json:"threshold,omitempty"`
+	FloorNs     float64 `json:"floor_ns,omitempty"`
+	// Measurement-run payload: the full result rows.
+	Results []benchResult `json:"results,omitempty"`
+}
+
+// appendHistory appends one entry as a JSON line; a missing file is
+// created, an existing one is never rewritten.
+func appendHistory(path string, e historyEntry) error {
+	e.Schema = historySchema
+	e.Time = time.Now().UTC().Format(time.RFC3339)
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(data, '\n'))
+	return err
+}

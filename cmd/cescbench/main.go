@@ -40,7 +40,30 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two -json/-obs-json summaries: cescbench -compare old.json new.json; exits 1 on regression")
 	threshold := flag.Float64("threshold", 0.5, "relative ns/op growth tolerated by -compare (0.5 = +50%)")
 	floorNs := flag.Float64("floor", 50, "absolute ns/op growth a -compare time regression must also exceed")
+	history := flag.String("history", "", "append one JSON line per -json/-obs-json/-compare run to this file (e.g. BENCH_HISTORY.jsonl)")
 	flag.Parse()
+	// recordHistory re-reads the summary a measurement run just wrote (or
+	// a compare run's new side) and appends the history line.
+	recordHistory := func(kind string, regressions int, files ...string) {
+		if *history == "" {
+			return
+		}
+		e := historyEntry{Kind: kind, Files: files}
+		if f, err := loadBenchFile(files[len(files)-1]); err == nil {
+			e.BenchSchema = f.Schema
+			if kind != "compare" {
+				e.Results = f.Results
+			}
+		}
+		if kind == "compare" {
+			e.Regressions = regressions
+			e.Threshold = *threshold
+			e.FloorNs = *floorNs
+		}
+		if err := appendHistory(*history, e); err != nil {
+			fatal(err)
+		}
+	}
 	if *compare {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("usage: cescbench -compare old.json new.json"))
@@ -49,6 +72,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		recordHistory("compare", regressions, flag.Arg(0), flag.Arg(1))
 		if regressions > 0 {
 			os.Exit(1)
 		}
@@ -59,6 +83,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *obsPath)
+		recordHistory("obs-json", 0, *obsPath)
 		return
 	}
 	if *jsonPath != "" {
@@ -66,6 +91,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+		recordHistory("json", 0, *jsonPath)
 		return
 	}
 	fmt.Println("# CESC monitor synthesis — reproduction summary")

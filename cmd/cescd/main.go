@@ -26,6 +26,19 @@
 //	-slow-tick DUR       warn when a batch's per-tick step time exceeds this
 //	-debug-addr ADDR     serve net/http/pprof and expvar on a second listener
 //
+// Overload, quotas, and paging (see the README section of that name):
+//
+//	-mem-budget SIZE        session memory budget (e.g. 256m, 2g); over it,
+//	                        coldest sessions page out to the WAL (0 = unlimited)
+//	-tenant-header NAME     request header carrying the tenant key
+//	                        (default X-Cesc-Tenant; session-ID prefix otherwise)
+//	-quota-tick-rate N      per-tenant sustained ticks/sec (token bucket)
+//	-quota-tick-burst N     per-tenant tick burst allowance (default = rate)
+//	-quota-max-sessions N   per-tenant open session cap (hot + cold)
+//	-quota-hot-sessions N   per-tenant hot session cap (excess pages out)
+//	-governor-latency DUR   per-tick step latency treated as saturation
+//	-cold-start             register recovered sessions cold, revive on demand
+//
 // Clustering (see the README "Clustering" section):
 //
 //	-cluster-name NAME    enable cluster mode under this member name
@@ -62,6 +75,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -87,6 +101,15 @@ func main() {
 	slowTick := flag.Duration("slow-tick", 0, "warn when a batch's per-tick step time exceeds this (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
 
+	memBudget := flag.String("mem-budget", "", "session memory budget, e.g. 256m or 2g (empty = unlimited; needs -wal-dir to page instead of delete)")
+	tenantHeader := flag.String("tenant-header", "", "request header carrying the tenant key (default X-Cesc-Tenant)")
+	quotaTickRate := flag.Float64("quota-tick-rate", 0, "per-tenant sustained ticks/sec ingest quota (0 = unlimited)")
+	quotaTickBurst := flag.Float64("quota-tick-burst", 0, "per-tenant tick burst allowance (0 = same as rate)")
+	quotaMaxSessions := flag.Int("quota-max-sessions", 0, "per-tenant open session cap, hot + cold (0 = unlimited)")
+	quotaHotSessions := flag.Int("quota-hot-sessions", 0, "per-tenant hot session cap; excess pages out coldest-first (0 = unlimited)")
+	governorLatency := flag.Duration("governor-latency", 0, "per-tick step latency the governor treats as saturation (0 = default 100ms)")
+	coldStart := flag.Bool("cold-start", false, "register recovered WAL sessions cold (revive on first touch) instead of replaying all at boot")
+
 	clusterName := flag.String("cluster-name", "", "enable cluster mode under this member name")
 	advertise := flag.String("advertise", "", "base URL peers reach this node at (cluster mode)")
 	peersFlag := flag.String("peers", "", "static membership as name=url[,name=url...] (cluster mode)")
@@ -103,6 +126,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("cescd: %v", err)
 	}
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		log.Fatalf("cescd: -mem-budget: %v", err)
+	}
 	srvCfg := server.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
@@ -115,6 +142,15 @@ func main() {
 		SnapshotEvery: *snapEvery,
 		TraceDepth:    *traceDepth,
 		SlowTick:      *slowTick,
+
+		MemBudget:        budget,
+		TenantHeader:     *tenantHeader,
+		QuotaTickRate:    *quotaTickRate,
+		QuotaTickBurst:   *quotaTickBurst,
+		QuotaMaxSessions: *quotaMaxSessions,
+		QuotaHotSessions: *quotaHotSessions,
+		GovernorLatency:  *governorLatency,
+		ColdStart:        *coldStart,
 	}
 
 	// Cluster mode wraps the server in ring routing + replication; the
@@ -216,6 +252,29 @@ func main() {
 	}
 	<-done
 	log.Printf("cescd: drained, bye")
+}
+
+// parseBytes parses a byte-size flag value: a bare number or one with a
+// k / m / g suffix (binary multiples). Empty means 0 (unlimited).
+func parseBytes(v string) (int64, error) {
+	v = strings.TrimSpace(strings.ToLower(v))
+	if v == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(v, "g"):
+		mult, v = 1<<30, strings.TrimSuffix(v, "g")
+	case strings.HasSuffix(v, "m"):
+		mult, v = 1<<20, strings.TrimSuffix(v, "m")
+	case strings.HasSuffix(v, "k"):
+		mult, v = 1<<10, strings.TrimSuffix(v, "k")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 268435456, 256m, 2g)", v)
+	}
+	return n * mult, nil
 }
 
 // parsePeers parses the -peers flag: name=url pairs, comma-separated.

@@ -29,6 +29,7 @@ func main() {
 		asyncN        = flag.Int("async", 0, "multi-clock charts to draw (default n/10)")
 		serverEvery   = flag.Int("server-every", 10, "route every k-th chart through a live cescd (-1 disables)")
 		recoveryEvery = flag.Int("recovery-every", 2, "crash-recover every k-th server run (-1 disables)")
+		pageEvery     = flag.Int("page-every", 3, "page every k-th server run's sessions out between batches (-1 disables)")
 		out           = flag.String("out", "testdata/regressions", "directory for shrunk replayable regressions")
 		quiet         = flag.Bool("q", false, "suppress progress lines")
 		replay        = flag.Bool("replay", false, "replay the regression corpus in -out instead of fuzzing")
@@ -59,6 +60,7 @@ func main() {
 		AsyncCharts:    *asyncN,
 		ServerEvery:    *serverEvery,
 		RecoveryEvery:  *recoveryEvery,
+		PageEvery:      *pageEvery,
 		RegressionDir:  *out,
 	}
 	if !*quiet {
@@ -71,8 +73,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cescfuzz: harness error: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Printf("seed=%d charts=%d traces=%d async=%d server-runs=%d recoveries=%d divergences=%d\n",
-		rep.Seed, rep.Charts, rep.Traces, rep.AsyncCharts, rep.ServerRuns, rep.Recoveries, len(rep.Divergences))
+	fmt.Printf("seed=%d charts=%d traces=%d async=%d server-runs=%d recoveries=%d pageouts=%d divergences=%d\n",
+		rep.Seed, rep.Charts, rep.Traces, rep.AsyncCharts, rep.ServerRuns, rep.Recoveries, rep.Pageouts, len(rep.Divergences))
 	for _, d := range rep.Divergences {
 		fmt.Printf("DIVERGENCE %s\n", d)
 		if d.File != "" {

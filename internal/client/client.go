@@ -86,11 +86,16 @@ func (o Options) withDefaults() Options {
 // 307 from a cluster node, Location carries the session owner's URL;
 // RetryAfter echoes the response's Retry-After header when present, so
 // a routing layer can honor the server's pacing before its next hop.
+// Quota and Shed echo the daemon's X-Cesc-Quota / X-Cesc-Shed headers
+// on 429s, distinguishing a per-tenant quota refusal from overload
+// shedding (and both from ordinary queue backpressure).
 type APIError struct {
 	Code       int
 	Message    string
 	Location   string
 	RetryAfter time.Duration
+	Quota      string
+	Shed       string
 }
 
 func (e *APIError) Error() string {
@@ -250,10 +255,24 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte, 
 	if json.Unmarshal(data, &e) == nil && e.Error != "" {
 		msg = e.Error
 	}
-	apiErr := &APIError{Code: resp.StatusCode, Message: msg, RetryAfter: retryAfter(resp)}
+	apiErr := &APIError{
+		Code: resp.StatusCode, Message: msg, RetryAfter: retryAfter(resp),
+		Quota: resp.Header.Get("X-Cesc-Quota"),
+		Shed:  resp.Header.Get("X-Cesc-Shed"),
+	}
 	switch {
-	case resp.StatusCode == http.StatusTooManyRequests,
-		resp.StatusCode == http.StatusServiceUnavailable:
+	case resp.StatusCode == http.StatusTooManyRequests:
+		// Three distinct 429s. A session-count quota refusal is terminal:
+		// the tenant is at its cap and retrying the same request cannot
+		// succeed. A shed session create is terminal to *this* node — the
+		// Router hops to a cooler member instead of hammering a hot one.
+		// Everything else (tick-rate quota, full shard queue) is pacing:
+		// honor Retry-After and retry here.
+		if apiErr.Quota == "sessions" || apiErr.Shed == "sessions" {
+			return apiErr, apiErr.RetryAfter, false
+		}
+		return apiErr, apiErr.RetryAfter, true
+	case resp.StatusCode == http.StatusServiceUnavailable:
 		return apiErr, apiErr.RetryAfter, true
 	case resp.StatusCode == http.StatusConflict:
 		// 409 with Retry-After is a transient cluster condition (a

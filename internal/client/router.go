@@ -312,6 +312,11 @@ func (r *Router) LoadSpecs(ctx context.Context, src string, replace bool) error 
 
 // CreateSession opens a session on any live node; the node mints an ID
 // it owns under the current ring, so the new session starts at home.
+// A 429 with X-Cesc-Shed: sessions is terminal to the member client, so
+// an overloaded node costs one attempt here and the loop hops to the
+// next member — the routed view of "the ring steers creation to cooler
+// nodes". A quota refusal (X-Cesc-Quota: sessions) hops too, which is
+// correct while quotas are per-node state.
 func (r *Router) CreateSession(ctx context.Context, mode string, specs ...string) (*RoutedSession, error) {
 	if r.Ring() == nil {
 		_ = r.Refresh(ctx)

@@ -22,6 +22,7 @@ type nodeMetrics struct {
 
 	ringAdoptions     atomic.Uint64 // newer rings adopted from peers
 	peersDeclaredDead atomic.Uint64 // members removed by the failure detector
+	loadRouted        atomic.Uint64 // creates proxied to a cooler peer under overload
 
 	recordsReplicated atomic.Uint64 // WAL records shipped to standbys
 	replicationErrors atomic.Uint64 // failed replication reads or ships
@@ -64,6 +65,13 @@ type StatusJSON struct {
 	SessionsLocal   int      `json:"sessions_local"`
 	StandbySessions []string `json:"standby_sessions,omitempty"`
 
+	// Overload gossip: this node's own governor state plus the freshest
+	// load sample cached for each peer.
+	GovernorLevel int                     `json:"governor_level"`
+	GovernorScore float64                 `json:"governor_score"`
+	PeerLoads     map[string]PeerLoadJSON `json:"peer_loads,omitempty"`
+	LoadRouted    uint64                  `json:"load_routed"`
+
 	MigrationsOut    uint64 `json:"migrations_out"`
 	MigrationsIn     uint64 `json:"migrations_in"`
 	MigrationsFailed uint64 `json:"migrations_failed"`
@@ -78,6 +86,12 @@ type StatusJSON struct {
 	RecordsReplicated uint64           `json:"records_replicated"`
 	ReplicationErrors uint64           `json:"replication_errors"`
 	ReplicationLag    map[string]int64 `json:"replication_lag_bytes,omitempty"`
+}
+
+// PeerLoadJSON is one peer's gossiped admission-governor state.
+type PeerLoadJSON struct {
+	Level int     `json:"level"`
+	Score float64 `json:"score"`
 }
 
 // promText renders the cluster families appended to the wrapped
@@ -105,6 +119,16 @@ func (n *Node) promText() []byte {
 	counter("cescd_cluster_proxied_total", "Requests transparently proxied to the session owner.", st.Proxied)
 	counter("cescd_cluster_ring_adoptions_total", "Newer rings adopted from peers.", st.RingAdoptions)
 	counter("cescd_cluster_peers_declared_dead_total", "Members removed by the failure detector.", st.PeersDeclaredDead)
+	counter("cescd_cluster_load_routed_total", "Session creates proxied to a cooler peer under overload.", st.LoadRouted)
+	w.Family("cescd_cluster_peer_load_level", "gauge", "Gossiped admission-governor level per peer.")
+	loadPeers := make([]string, 0, len(st.PeerLoads))
+	for p := range st.PeerLoads {
+		loadPeers = append(loadPeers, p)
+	}
+	sort.Strings(loadPeers)
+	for _, p := range loadPeers {
+		w.Sample("cescd_cluster_peer_load_level", []obs.L{{Name: "peer", Value: p}}, float64(st.PeerLoads[p].Level))
+	}
 	counter("cescd_cluster_records_replicated_total", "WAL records shipped to standby holders.", st.RecordsReplicated)
 	counter("cescd_cluster_replication_errors_total", "Failed replication reads or ships.", st.ReplicationErrors)
 	w.Family("cescd_cluster_replication_lag_bytes", "gauge", "Journal bytes not yet shipped to the session's standby, per peer.")

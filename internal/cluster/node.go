@@ -64,7 +64,24 @@ const (
 	// ring-aware clients can refresh without an extra round trip.
 	HeaderOwner     = "X-Cesc-Owner"
 	HeaderRingEpoch = "X-Cesc-Ring-Epoch"
+	// HeaderLoad carries a node's admission-governor state as
+	// "<level> <score>" on ring gossip responses. Peers cache it so
+	// session creation can be routed away from overloaded nodes before
+	// the local 429 is ever sent.
+	HeaderLoad = "X-Cesc-Load"
 )
+
+// peerLoadTTL bounds how long a gossiped load sample steers routing; a
+// stale sample (peer unreachable, refresh stopped) stops influencing
+// create placement rather than pinning traffic on outdated data.
+const peerLoadTTL = 30 * time.Second
+
+// peerLoad is one cached load sample gossiped by a peer.
+type peerLoad struct {
+	level int
+	score float64
+	at    time.Time
+}
 
 // Config assembles a cluster node around an embedded server config.
 type Config struct {
@@ -114,10 +131,11 @@ type Node struct {
 	hc      *http.Client
 	metrics *nodeMetrics
 
-	mu         sync.RWMutex // guards ring, draining, probeFails
+	mu         sync.RWMutex // guards ring, draining, probeFails, peerLoads
 	ring       *Ring
 	draining   bool
 	probeFails map[string]int
+	peerLoads  map[string]peerLoad
 
 	standby *standbyStore // nil when StandbyDir is empty
 	repl    *replicator   // nil when the server has no WAL
@@ -155,6 +173,7 @@ func New(cfg Config) (*Node, error) {
 		hc:         cfg.HTTPClient,
 		metrics:    newNodeMetrics(),
 		probeFails: make(map[string]int),
+		peerLoads:  make(map[string]peerLoad),
 		stop:       make(chan struct{}),
 	}
 	if n.hc == nil {
@@ -493,6 +512,13 @@ func (n *Node) Status() StatusJSON {
 	n.mu.RLock()
 	ring, draining := n.ring, n.draining
 	n.mu.RUnlock()
+	lvl, score := n.srv.GovernorState()
+	n.mu.RLock()
+	peerLoads := make(map[string]PeerLoadJSON, len(n.peerLoads))
+	for name, pl := range n.peerLoads {
+		peerLoads[name] = PeerLoadJSON{Level: pl.level, Score: pl.score}
+	}
+	n.mu.RUnlock()
 	st := StatusJSON{
 		Self:     n.self.Name,
 		Epoch:    ring.Epoch(),
@@ -500,6 +526,11 @@ func (n *Node) Status() StatusJSON {
 		Draining: draining,
 
 		SessionsLocal: len(n.srv.SessionIDs()),
+
+		GovernorLevel: lvl,
+		GovernorScore: score,
+		PeerLoads:     peerLoads,
+		LoadRouted:    n.metrics.loadRouted.Load(),
 
 		MigrationsOut:    n.metrics.migrationsOut.Load(),
 		MigrationsIn:     n.metrics.migrationsIn.Load(),
@@ -556,18 +587,22 @@ func (n *Node) refreshLoop() {
 }
 
 // refreshOnce probes every peer for its ring, adopting newer views and
-// counting consecutive failures toward declaring the peer dead.
+// counting consecutive failures toward declaring the peer dead. The
+// probe response doubles as load gossip: each peer reports its
+// admission-governor state in X-Cesc-Load, cached here so session
+// creation can be steered toward cooler nodes.
 func (n *Node) refreshOnce() {
 	for _, m := range n.currentRing().Members() {
 		if m.Name == n.self.Name {
 			continue
 		}
 		var info RingInfo
-		err := n.getJSON(m.URL, "/cluster/ring", &info)
+		hdr, err := n.getJSONHdr(m.URL, "/cluster/ring", &info)
 		if err != nil {
 			n.mu.Lock()
 			n.probeFails[m.Name]++
 			fails := n.probeFails[m.Name]
+			delete(n.peerLoads, m.Name)
 			n.mu.Unlock()
 			if fails >= n.cfg.FailAfter {
 				n.declareDead(m.Name)
@@ -576,9 +611,55 @@ func (n *Node) refreshOnce() {
 		}
 		n.mu.Lock()
 		delete(n.probeFails, m.Name)
+		if lvl, score, ok := parseLoad(hdr.Get(HeaderLoad)); ok {
+			n.peerLoads[m.Name] = peerLoad{level: lvl, score: score, at: time.Now()}
+		}
 		n.mu.Unlock()
 		n.adoptInfo(info)
 	}
+}
+
+// parseLoad decodes an X-Cesc-Load header ("<level> <score>").
+func parseLoad(v string) (level int, score float64, ok bool) {
+	lvlStr, scoreStr, found := strings.Cut(v, " ")
+	if !found {
+		return 0, 0, false
+	}
+	lvl, err1 := strconv.Atoi(lvlStr)
+	sc, err2 := strconv.ParseFloat(scoreStr, 64)
+	if err1 != nil || err2 != nil {
+		return 0, 0, false
+	}
+	return lvl, sc, true
+}
+
+// coolerPeer picks the least-loaded peer to take a session create. It
+// reports false unless this node's own governor is throttling new
+// sessions AND some peer gossiped a strictly lower level recently — in
+// every other case the create is served (and possibly shed) locally.
+func (n *Node) coolerPeer() (Member, bool) {
+	lvl, _ := n.srv.GovernorState()
+	if lvl < server.GovLevelThrottleSessions {
+		return Member{}, false
+	}
+	ring := n.currentRing()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var best Member
+	bestLvl, bestScore, found := lvl, 0.0, false
+	for _, m := range ring.Members() {
+		if m.Name == n.self.Name {
+			continue
+		}
+		pl, ok := n.peerLoads[m.Name]
+		if !ok || time.Since(pl.at) > peerLoadTTL || pl.level >= lvl {
+			continue
+		}
+		if !found || pl.level < bestLvl || (pl.level == bestLvl && pl.score < bestScore) {
+			best, bestLvl, bestScore, found = m, pl.level, pl.score, true
+		}
+	}
+	return best, found
 }
 
 // declareDead removes an unresponsive peer from the ring; its sessions
@@ -621,6 +702,8 @@ type migrateRequest struct {
 
 func (n *Node) routes() {
 	n.mux.HandleFunc("GET /cluster/ring", func(w http.ResponseWriter, _ *http.Request) {
+		lvl, score := n.srv.GovernorState()
+		w.Header().Set(HeaderLoad, fmt.Sprintf("%d %.3f", lvl, score))
 		writeJSON(w, http.StatusOK, n.currentRing().Info())
 	})
 	n.mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, _ *http.Request) {
@@ -732,9 +815,23 @@ func (n *Node) route(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if path == "/sessions" && r.Method == http.MethodPost && n.isDraining() {
-		n.proxyCreate(w, r)
-		return
+	if path == "/sessions" && r.Method == http.MethodPost {
+		if n.isDraining() {
+			n.proxyCreate(w, r)
+			return
+		}
+		// Overload routing: when the local governor is throttling new
+		// sessions and gossip shows a cooler peer, place the session
+		// there instead of answering 429. A request a peer already
+		// forwarded is served locally — two hot nodes must not ping-pong
+		// a create between them.
+		if r.Header.Get(HeaderForwarded) == "" {
+			if m, ok := n.coolerPeer(); ok {
+				n.metrics.loadRouted.Add(1)
+				n.proxy(w, r, m)
+				return
+			}
+		}
 	}
 	if path == "/metrics" && !strings.Contains(r.Header.Get("Accept"), "application/json") {
 		n.serveMetrics(w, r)
@@ -885,12 +982,29 @@ func (n *Node) postJSON(baseURL, path string, body, out any) error {
 	return n.doJSON(req, out)
 }
 
-func (n *Node) getJSON(baseURL, path string, out any) error {
+// getJSONHdr performs a GET and returns the response headers along with
+// the decoded body — ring probes read the X-Cesc-Load gossip from them.
+func (n *Node) getJSONHdr(baseURL, path string, out any) (http.Header, error) {
 	req, err := http.NewRequest(http.MethodGet, strings.TrimRight(baseURL, "/")+path, nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return n.doJSON(req, out)
+	resp, err := n.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return resp.Header, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.Header, fmt.Errorf("cluster: GET %s: %s: %s", req.URL.Path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	if out != nil {
+		return resp.Header, json.Unmarshal(raw, out)
+	}
+	return resp.Header, nil
 }
 
 func (n *Node) doJSON(req *http.Request, out any) error {

@@ -41,6 +41,12 @@ type Config struct {
 	// RecoveryEvery crash-recovers every k-th server run at every batch
 	// boundary (default 2 — every second server run; negative disables).
 	RecoveryEvery int
+	// PageEvery pages every k-th server run's sessions out to the WAL
+	// between batches, so each batch lands on a cold session and forces
+	// a revival (default 3 — every third server run; negative disables).
+	// Verdicts must still match the oracle exactly: paging is required
+	// to be transparent.
+	PageEvery int
 	// RegressionDir, when set, receives a shrunk replayable reproduction
 	// of every divergence.
 	RegressionDir string
@@ -68,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RecoveryEvery == 0 {
 		c.RecoveryEvery = 2
+	}
+	if c.PageEvery == 0 {
+		c.PageEvery = 3
 	}
 	return c
 }
@@ -106,6 +115,7 @@ type Report struct {
 	AsyncCharts int
 	ServerRuns  int
 	Recoveries  int
+	Pageouts    int
 	Divergences []*Divergence
 }
 
@@ -141,14 +151,17 @@ func Run(cfg Config) (*Report, error) {
 			}
 		}
 		if cfg.ServerEvery > 0 && i%cfg.ServerEvery == 0 {
-			doRecover := cfg.RecoveryEvery > 0 && (i/cfg.ServerEvery)%cfg.RecoveryEvery == 0
+			run := i / cfg.ServerEvery
+			doRecover := cfg.RecoveryEvery > 0 && run%cfg.RecoveryEvery == 0
+			doPage := cfg.PageEvery > 0 && run%cfg.PageEvery == 0
 			tr := g.Trace(c, sup, cfg.TraceLen)
-			ds, recovered, err := serverCheck(c, tr, doRecover)
+			ds, recovered, paged, err := serverCheck(c, tr, doRecover, doPage)
 			if err != nil {
 				return rep, fmt.Errorf("chart %d: server phase: %w", i, err)
 			}
 			rep.ServerRuns++
 			rep.Recoveries += recovered
+			rep.Pageouts += paged
 			for _, d := range ds {
 				// Server divergences are shrunk against the local check
 				// only when the local stack also disagrees; a pure

@@ -36,22 +36,25 @@ const serverBatchTicks = 7
 //
 // With doRecover set the server is power-cut (Crash + restart on the
 // same WAL directory) after every NDJSON batch, so the comparison also
-// proves journal replay equivalence. Returns the divergences, the
-// number of recoveries performed, and a harness error.
-func serverCheck(c chart.Chart, tr trace.Trace, doRecover bool) ([]*Divergence, int, error) {
+// proves journal replay equivalence. With doPage set every session is
+// paged out to its WAL checkpoint between batches, so each batch lands
+// on a cold session and forces a revival — paging must be transparent,
+// verdict-for-verdict. Returns the divergences, the number of
+// recoveries and page-outs performed, and a harness error.
+func serverCheck(c chart.Chart, tr trace.Trace, doRecover, doPage bool) ([]*Divergence, int, int, error) {
 	m, err := synth.Synthesize(c, nil)
 	if err != nil {
 		// checkChart reports synthesis failures; nothing to round-trip.
-		return nil, 0, nil
+		return nil, 0, 0, nil
 	}
 	want := acceptTicks(monitor.NewEngine(m, nil, monitor.ModeDetect).Step, tr)
 	src := parser.Print("Spec", c)
 
 	var walDir string
-	if doRecover {
+	if doRecover || doPage {
 		walDir, err = os.MkdirTemp("", "cescfuzz-wal-")
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		defer os.RemoveAll(walDir)
 	}
@@ -81,7 +84,7 @@ func serverCheck(c chart.Chart, tr trace.Trace, doRecover bool) ([]*Divergence, 
 
 	s, ts, err := newServer()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	closed := false
 	defer func() {
@@ -102,15 +105,15 @@ func serverCheck(c chart.Chart, tr trace.Trace, doRecover bool) ([]*Divergence, 
 	cl := newClient(ts.URL)
 	sess, err := cl.CreateSession(ctx, "detect", "Spec")
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	vcdSess, err := cl.CreateSession(ctx, "detect", "Spec")
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	vcdID := vcdSess.ID
 
-	recoveries := 0
+	recoveries, pageouts := 0, 0
 	batches := uint64(0)
 	for at := 0; at < len(tr); at += serverBatchTicks {
 		end := at + serverBatchTicks
@@ -122,16 +125,26 @@ func serverCheck(c chart.Chart, tr trace.Trace, doRecover bool) ([]*Divergence, 
 			batch = append(batch, server.EncodeState(st))
 		}
 		if _, err := sess.SendTicks(ctx, batch, true); err != nil {
-			return nil, recoveries, fmt.Errorf("sending batch at %d: %w", at, err)
+			return nil, recoveries, pageouts, fmt.Errorf("sending batch at %d: %w", at, err)
 		}
 		batches++
+		if doPage {
+			// Park both sessions cold; the next touch must revive them
+			// with byte-identical state.
+			for _, id := range []string{sess.ID, vcdID} {
+				if err := s.PageOutSession(id); err != nil {
+					return nil, recoveries, pageouts, fmt.Errorf("paging out %s at %d: %w", id, at, err)
+				}
+				pageouts++
+			}
+		}
 		if doRecover && end < len(tr) {
 			id := sess.ID
 			s.Crash()
 			ts.Close()
 			s, ts, err = newServer()
 			if err != nil {
-				return nil, recoveries, fmt.Errorf("restart after crash at %d: %w", at, err)
+				return nil, recoveries, pageouts, fmt.Errorf("restart after crash at %d: %w", at, err)
 			}
 			cl = newClient(ts.URL)
 			sess = cl.Resume(id, batches+1)
@@ -141,12 +154,17 @@ func serverCheck(c chart.Chart, tr trace.Trace, doRecover bool) ([]*Divergence, 
 
 	var out []*Divergence
 	kind := "server-ndjson"
-	if doRecover {
+	switch {
+	case doRecover && doPage:
+		kind = "recovery-paging"
+	case doRecover:
 		kind = "recovery"
+	case doPage:
+		kind = "paging"
 	}
 	got, err := settledAcceptTicks(ctx, sess, len(tr))
 	if err != nil {
-		return nil, recoveries, err
+		return nil, recoveries, pageouts, err
 	}
 	if !sameInts(want, got) {
 		out = append(out, &Divergence{Kind: kind,
@@ -160,20 +178,20 @@ func serverCheck(c chart.Chart, tr trace.Trace, doRecover bool) ([]*Divergence, 
 	// goes to a session that saw no NDJSON traffic.
 	var vcd bytes.Buffer
 	if err := trace.WriteVCD(&vcd, "fuzz", tr); err != nil {
-		return out, recoveries, err
+		return out, recoveries, pageouts, err
 	}
 	url := fmt.Sprintf("%s/sessions/%s/vcd?props=%s", ts.URL, vcdID, propsParam(c))
 	resp, err := http.Post(url, "text/plain", &vcd)
 	if err != nil {
-		return out, recoveries, err
+		return out, recoveries, pageouts, err
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return out, recoveries, fmt.Errorf("vcd upload: status %d", resp.StatusCode)
+		return out, recoveries, pageouts, fmt.Errorf("vcd upload: status %d", resp.StatusCode)
 	}
 	vgot, err := settledAcceptTicks(ctx, cl.Resume(vcdID, 0), len(tr))
 	if err != nil {
-		return out, recoveries, err
+		return out, recoveries, pageouts, err
 	}
 	if !sameInts(want, vgot) {
 		out = append(out, &Divergence{Kind: "server-vcd",
@@ -183,7 +201,7 @@ func serverCheck(c chart.Chart, tr trace.Trace, doRecover bool) ([]*Divergence, 
 	ts.Close()
 	s.Close()
 	closed = true
-	return out, recoveries, nil
+	return out, recoveries, pageouts, nil
 }
 
 // settledAcceptTicks polls the session until every tick has been

@@ -60,6 +60,15 @@ func (sb *Scoreboard) Slot(name string) int32 {
 	return sb.slotLocked(name)
 }
 
+// Slots reports the number of interned slots — the scoreboard's
+// resident width, live or not. The server's memory accounting prices a
+// session's footprint from it.
+func (sb *Scoreboard) Slots() int {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	return len(sb.names)
+}
+
 // SlotName returns the event name interned at slot i.
 func (sb *Scoreboard) SlotName(i int32) string {
 	sb.mu.Lock()

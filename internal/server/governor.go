@@ -1,0 +1,202 @@
+package server
+
+// Load governor: overload admission control with graceful degradation.
+// The governor folds three saturation signals into one score —
+//
+//	queue:   max shard queue occupancy (len/cap)
+//	memory:  estimated hot-state bytes over Config.MemBudget
+//	latency: smoothed per-tick step time over Config.GovernorLatency
+//
+// — and maps the score to a shed level. Shedding follows a strict,
+// documented order, chosen so that what is dropped is always latency
+// coupling or *new* work, never accepted data:
+//
+//	level 1 (score ≥ 0.75): shed ?wait=1 — the batch is still accepted,
+//	        journaled, and processed, but the response returns 202
+//	        immediately (X-Cesc-Shed: wait) instead of blocking on the
+//	        shard worker. Verdicts are unaffected; only the client's
+//	        synchronization is degraded.
+//	level 2 (score ≥ 0.90): throttle new sessions — POST /sessions
+//	        answers 429 + jittered Retry-After (X-Cesc-Shed: sessions).
+//	        Existing sessions keep ingesting. Clustered nodes gossip
+//	        their level, so the ring routes creation to cooler peers
+//	        before this rejection is ever seen.
+//	level 3 (score ≥ 1.0): force page-outs — the janitor is kicked to
+//	        drain hot state to the low watermark, trading revival
+//	        latency for headroom.
+//
+// WAL appends and in-flight verdicts are never dropped at any level.
+// Levels fall with a hysteresis margin so the daemon does not flap at a
+// threshold, and the whole computation is cached for govRecompute so
+// the hot path pays one atomic load. The fault-injection points
+// governor.force.{wait,sessions,pageout} drive each level
+// deterministically in tests.
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Shed levels, in degradation order.
+const (
+	govLevelOK               = 0
+	govLevelShedWait         = 1
+	govLevelThrottleSessions = 2
+	govLevelForcePageout     = 3
+)
+
+const (
+	govShedWaitAt = 0.75
+	govThrottleAt = 0.90
+	govPageoutAt  = 1.0
+	govHysteresis = 0.10
+	govRecompute  = 50 * time.Millisecond
+	defaultGovLat = 100 * time.Millisecond
+)
+
+type governor struct {
+	srv *Server
+
+	// stepEWMA smooths per-tick step latency (nanoseconds), updated by
+	// shard workers after every batch (7/8 old + 1/8 new). Concurrent
+	// lost updates are harmless — it is a signal, not a ledger.
+	stepEWMA atomic.Int64
+
+	lastCalc atomic.Int64  // unix nanos of the last recompute
+	score    atomic.Uint64 // math.Float64bits of the last score
+	level    atomic.Int32
+}
+
+// observeStep folds one batch's per-tick step latency into the EWMA.
+func (g *governor) observeStep(d time.Duration, ticks int) {
+	if ticks <= 0 {
+		return
+	}
+	per := d.Nanoseconds() / int64(ticks)
+	old := g.stepEWMA.Load()
+	g.stepEWMA.Store(old - old/8 + per/8)
+}
+
+// recompute refreshes score and level, at most once per govRecompute.
+func (g *governor) recompute() {
+	now := time.Now().UnixNano()
+	last := g.lastCalc.Load()
+	if now-last < int64(govRecompute) || !g.lastCalc.CompareAndSwap(last, now) {
+		return
+	}
+	s := g.srv
+	score := 0.0
+	for _, sh := range s.shards {
+		if f := float64(len(sh.queue)) / float64(cap(sh.queue)); f > score {
+			score = f
+		}
+	}
+	if b := s.cfg.MemBudget; b > 0 {
+		if f := float64(s.memUsed.Load()) / float64(b); f > score {
+			score = f
+		}
+	}
+	if lat := s.cfg.GovernorLatency; lat > 0 {
+		if f := float64(g.stepEWMA.Load()) / float64(lat.Nanoseconds()); f > score {
+			score = f
+		}
+	}
+	g.score.Store(math.Float64bits(score))
+	target := levelForScore(score)
+	cur := int(g.level.Load())
+	switch {
+	case target >= cur:
+		g.level.Store(int32(target))
+	case score < levelThreshold(cur)-govHysteresis:
+		// Falling edge: only step down once the score is a full margin
+		// below the level's own threshold.
+		g.level.Store(int32(target))
+	}
+	if int(g.level.Load()) >= govLevelForcePageout {
+		s.kickPressure()
+	}
+}
+
+func levelForScore(score float64) int {
+	switch {
+	case score >= govPageoutAt:
+		return govLevelForcePageout
+	case score >= govThrottleAt:
+		return govLevelThrottleSessions
+	case score >= govShedWaitAt:
+		return govLevelShedWait
+	default:
+		return govLevelOK
+	}
+}
+
+func levelThreshold(level int) float64 {
+	switch level {
+	case govLevelForcePageout:
+		return govPageoutAt
+	case govLevelThrottleSessions:
+		return govThrottleAt
+	case govLevelShedWait:
+		return govShedWaitAt
+	default:
+		return 0
+	}
+}
+
+// govLevel reports the current shed level on the admission path,
+// letting the fault plane force a stage: a firing rule on
+// governor.force.<stage> behaves exactly as if the score had crossed
+// that stage's threshold, which is how the tests exercise every
+// degradation step deterministically.
+func (s *Server) govLevel() int {
+	return s.govLevelAct(true)
+}
+
+// govLevelAct computes the shed level; act distinguishes the admission
+// path (forced pageout levels kick the janitor) from pure state reads
+// (GovernorState via /metrics and cluster gossip), which must not turn
+// a poll loop into an eviction storm.
+func (s *Server) govLevelAct(act bool) int {
+	s.gov.recompute()
+	lvl := int(s.gov.level.Load())
+	if s.cfg.Faults != nil {
+		switch {
+		case s.cfg.Faults.Hit("governor.force.pageout") != nil:
+			lvl = govLevelForcePageout
+			if act {
+				s.kickPressure()
+			}
+		case s.cfg.Faults.Hit("governor.force.sessions") != nil:
+			lvl = govLevelThrottleSessions
+		case s.cfg.Faults.Hit("governor.force.wait") != nil:
+			if lvl < govLevelShedWait {
+				lvl = govLevelShedWait
+			}
+		}
+	}
+	return lvl
+}
+
+// GovLevelThrottleSessions is the governor level at which new-session
+// creation is shed, exported for the cluster router: a node at or above
+// it proxies creates to a cooler peer before the local 429 is ever sent.
+const GovLevelThrottleSessions = govLevelThrottleSessions
+
+// GovernorState reports the governor's level and score — the cluster
+// layer gossips it so the ring can route new sessions to cooler nodes.
+// The level comes from govLevel, fault forcing included, so what a node
+// gossips always matches what its admission path enforces.
+func (s *Server) GovernorState() (level int, score float64) {
+	lvl := s.govLevelAct(false)
+	return lvl, math.Float64frombits(s.gov.score.Load())
+}
+
+// sessionThrottleRetryAfter jitters the Retry-After of a shed session
+// creation across 1–3 seconds, decorrelating the retry stampede of many
+// rejected clients. The jitter source is the shed counter itself —
+// deterministic across runs, varied across rejections.
+func (s *Server) sessionThrottleRetryAfter() int {
+	n := s.metrics.shedSessions.Load()
+	return int(1 + (n*2654435761)%3)
+}

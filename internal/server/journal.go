@@ -55,11 +55,15 @@ type specSourceJSON struct {
 }
 
 type sessionMetaJSON struct {
-	ID        string           `json:"id"`
-	Mode      string           `json:"mode"`
-	Created   time.Time        `json:"created"`
-	DiagDepth int              `json:"diag_depth,omitempty"`
-	Specs     []specSourceJSON `json:"specs"`
+	ID        string    `json:"id"`
+	Mode      string    `json:"mode"`
+	Created   time.Time `json:"created"`
+	DiagDepth int       `json:"diag_depth,omitempty"`
+	// Tenant keys quota accounting; journaled so recovery, revival, and
+	// migration keep charging the same tenant. Absent in pre-tenancy
+	// journals, which fall back to the session-ID prefix.
+	Tenant string           `json:"tenant,omitempty"`
+	Specs  []specSourceJSON `json:"specs"`
 }
 
 type batchRecordJSON struct {
@@ -95,7 +99,7 @@ type snapshotRecordJSON struct {
 // journalCreate opens a fresh journal for a new session and makes its
 // meta record durable before the create response is sent.
 func (s *Server) journalCreate(sess *session, specs []*Spec) error {
-	meta := sessionMetaJSON{ID: sess.id, Mode: modeString(sess.mode), Created: sess.created, DiagDepth: sess.diagDepth}
+	meta := sessionMetaJSON{ID: sess.id, Mode: modeString(sess.mode), Created: sess.created, DiagDepth: sess.diagDepth, Tenant: sess.tenant}
 	for _, sp := range specs {
 		meta.Specs = append(meta.Specs, specSourceJSON{Name: sp.Name, Source: sp.Source})
 	}
@@ -119,6 +123,7 @@ func (s *Server) journalCreate(sess *session, specs []*Spec) error {
 		return err
 	}
 	sess.jrnl = j
+	sess.journaled.Store(true)
 	sess.meta = meta
 	return nil
 }
@@ -197,6 +202,7 @@ func (s *Server) dropJournal(sess *session) {
 	_ = sess.jrnl.Close()
 	_ = s.wal.Remove(sess.id)
 	sess.jrnl = nil
+	sess.journaled.Store(false)
 }
 
 // recoverSessions rebuilds every journaled session found in the WAL
@@ -322,34 +328,45 @@ func (rs *sessionRestorer) finish() {
 	}
 }
 
-func (s *Server) recoverSession(id string) error {
+// rebuildFromJournal replays one session's journal into a fresh session
+// — the shared core of startup crash recovery and cold-session revival
+// (paging is crash recovery on demand). The returned session holds the
+// open journal and is not yet registered; a nil session with nil error
+// means the journal held no meta record (a never-acknowledged session)
+// and was removed.
+func (s *Server) rebuildFromJournal(id, traceTag string) (*session, error) {
 	replayStart := time.Now()
 	rs := &sessionRestorer{srv: s}
 	j, err := s.wal.OpenJournal(id, rs.apply)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	sess, replayed, replayTicks := rs.sess, rs.replayed, rs.replayTicks
-	if sess == nil {
-		// An empty journal directory (crash between mkdir and the meta
-		// append) represents a session that was never acknowledged.
+	if rs.sess == nil {
 		j.Abandon()
-		return s.wal.Remove(id)
+		return nil, s.wal.Remove(id)
 	}
+	sess := rs.sess
 	sess.jrnl = j
+	sess.journaled.Store(true)
 	rs.finish()
 	replayDur := time.Since(replayStart)
 	s.metrics.observeStage(obs.StageWALReplay, replayDur)
 	s.tracer.Record(sess.shard, obs.Span{
-		Trace: "recovery", Session: sess.id, Stage: obs.StageWALReplay,
-		Start: replayStart, Dur: replayDur, Ticks: replayTicks,
-		Note: fmt.Sprintf("replayed %d batches", replayed),
+		Trace: traceTag, Session: sess.id, Stage: obs.StageWALReplay,
+		Start: replayStart, Dur: replayDur, Ticks: rs.replayTicks,
+		Note: fmt.Sprintf("replayed %d batches", rs.replayed),
 	})
-	s.smu.Lock()
-	s.sessions[sess.id] = sess
-	s.smu.Unlock()
+	s.metrics.batchesReplayed.Add(rs.replayed)
+	return sess, nil
+}
+
+func (s *Server) recoverSession(id string) error {
+	sess, err := s.rebuildFromJournal(id, "recovery")
+	if err != nil || sess == nil {
+		return err
+	}
+	s.trackLive(sess)
 	s.metrics.sessionsRecovered.Add(1)
-	s.metrics.batchesReplayed.Add(replayed)
 	return nil
 }
 
@@ -371,5 +388,9 @@ func (s *Server) sessionFromMeta(meta sessionMetaJSON) (*session, error) {
 	sess := newSession(meta.ID, mode, shardFor(meta.ID, len(s.shards)), specs, s.cfg.Faults, meta.DiagDepth)
 	sess.created = meta.Created
 	sess.meta = meta
+	sess.tenant = meta.Tenant
+	if sess.tenant == "" {
+		sess.tenant = fallbackTenant(meta.ID)
+	}
 	return sess, nil
 }

@@ -21,7 +21,17 @@ type metrics struct {
 	acceptsTotal    atomic.Uint64 // monitor acceptances across sessions
 	violationsTotal atomic.Uint64 // monitor violations across sessions
 	sessionsCreated atomic.Uint64
-	sessionsEvicted atomic.Uint64 // idle evictions (not explicit deletes)
+	// The old sessions_evicted counter conflated losing a session with
+	// parking it; it is now split. The JSON field SessionsEvicted remains
+	// as the sum for dashboard compatibility.
+	sessionsPaged   atomic.Uint64 // checkpointed to WAL and dropped cold (idle or pressure)
+	sessionsDeleted atomic.Uint64 // explicit deletes + WAL-less idle evictions (state gone)
+	sessionsRevived atomic.Uint64 // cold sessions rebuilt on first touch
+
+	// Shed counters, one per governor degradation stage.
+	shedWait     atomic.Uint64 // ?wait=1 demoted to async 202
+	shedSessions atomic.Uint64 // session creations throttled 429
+	shedPageouts atomic.Uint64 // pressure/governor-forced page-outs
 
 	monitorsQuarantined atomic.Uint64 // engines fenced off after a step panic
 	sessionsRecovered   atomic.Uint64 // sessions rebuilt from the WAL at startup
@@ -112,21 +122,39 @@ type ShardSnapshot struct {
 
 // MetricsSnapshot is the JSON body of GET /metrics.
 type MetricsSnapshot struct {
-	UptimeSec       float64         `json:"uptime_sec"`
-	TicksTotal      uint64          `json:"ticks_total"`
-	TicksPerSec     float64         `json:"ticks_per_sec"`
-	BatchesTotal    uint64          `json:"batches_total"`
-	RejectedTotal   uint64          `json:"rejected_total"`
-	AcceptsTotal    uint64          `json:"accepts_total"`
-	ViolationsTotal uint64          `json:"violations_total"`
-	SessionsActive  int             `json:"sessions_active"`
-	SessionsCreated uint64          `json:"sessions_created"`
-	SessionsEvicted uint64          `json:"sessions_evicted"`
-	SpecsLoaded     int             `json:"specs_loaded"`
-	Shards          []ShardSnapshot `json:"shards"`
-	TickLatencyP50  int64           `json:"tick_latency_p50_ns"`
-	TickLatencyP99  int64           `json:"tick_latency_p99_ns"`
-	TickLatencyN    uint64          `json:"tick_latency_samples"`
+	UptimeSec       float64 `json:"uptime_sec"`
+	TicksTotal      uint64  `json:"ticks_total"`
+	TicksPerSec     float64 `json:"ticks_per_sec"`
+	BatchesTotal    uint64  `json:"batches_total"`
+	RejectedTotal   uint64  `json:"rejected_total"`
+	AcceptsTotal    uint64  `json:"accepts_total"`
+	ViolationsTotal uint64  `json:"violations_total"`
+	SessionsActive  int     `json:"sessions_active"`
+	SessionsCreated uint64  `json:"sessions_created"`
+	// SessionsEvicted is the legacy sum SessionsPaged + SessionsDeleted,
+	// kept so pre-split dashboards keep reading a meaningful series.
+	SessionsEvicted uint64 `json:"sessions_evicted"`
+	SessionsPaged   uint64 `json:"sessions_paged"`
+	SessionsDeleted uint64 `json:"sessions_deleted"`
+	SessionsRevived uint64 `json:"sessions_revived"`
+	SessionsCold    int    `json:"sessions_cold"`
+
+	// Memory budget and overload control (zero when unconfigured).
+	MemUsedBytes   int64   `json:"mem_used_bytes"`
+	MemBudgetBytes int64   `json:"mem_budget_bytes,omitempty"`
+	GovernorLevel  int     `json:"governor_level"`
+	GovernorScore  float64 `json:"governor_score"`
+	ShedWait       uint64  `json:"shed_wait"`
+	ShedSessions   uint64  `json:"shed_sessions"`
+	ShedPageouts   uint64  `json:"shed_pageouts"`
+
+	// Tenants maps tenant keys to their quota accounting.
+	Tenants        map[string]TenantSnapshot `json:"tenants,omitempty"`
+	SpecsLoaded    int                       `json:"specs_loaded"`
+	Shards         []ShardSnapshot           `json:"shards"`
+	TickLatencyP50 int64                     `json:"tick_latency_p50_ns"`
+	TickLatencyP99 int64                     `json:"tick_latency_p99_ns"`
+	TickLatencyN   uint64                    `json:"tick_latency_samples"`
 
 	MonitorsQuarantined uint64     `json:"monitors_quarantined"`
 	SessionsRecovered   uint64     `json:"sessions_recovered"`
@@ -181,7 +209,13 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		AcceptsTotal:    m.acceptsTotal.Load(),
 		ViolationsTotal: m.violationsTotal.Load(),
 		SessionsCreated: m.sessionsCreated.Load(),
-		SessionsEvicted: m.sessionsEvicted.Load(),
+		SessionsEvicted: m.sessionsPaged.Load() + m.sessionsDeleted.Load(),
+		SessionsPaged:   m.sessionsPaged.Load(),
+		SessionsDeleted: m.sessionsDeleted.Load(),
+		SessionsRevived: m.sessionsRevived.Load(),
+		ShedWait:        m.shedWait.Load(),
+		ShedSessions:    m.shedSessions.Load(),
+		ShedPageouts:    m.shedPageouts.Load(),
 		TickLatencyP50:  int64(m.latency.quantile(0.50)),
 		TickLatencyP99:  int64(m.latency.quantile(0.99)),
 		TickLatencyN:    m.latency.count(),

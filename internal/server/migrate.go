@@ -33,17 +33,29 @@ var ErrNoSession = errors.New("server: no such session")
 // HTTP layer maps it to 409 + Retry-After.
 var errMigrating = errors.New("server: session migrating")
 
-// HasSession reports whether the session lives on this node.
+// HasSession reports whether the session lives on this node, hot or
+// cold — a paged-out session is still owned here (its state is in the
+// local WAL), so routing, draining, and migration must all see it.
 func (s *Server) HasSession(id string) bool {
-	_, ok := s.session(id)
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	if _, ok := s.sessions[id]; ok {
+		return true
+	}
+	_, ok := s.paged[id]
 	return ok
 }
 
-// SessionIDs returns the IDs of every live local session, sorted.
+// SessionIDs returns the IDs of every local session, hot and cold,
+// sorted. Drain and rebalance iterate this list, so cold sessions
+// migrate (reviving on export) instead of being stranded.
 func (s *Server) SessionIDs() []string {
 	s.smu.RLock()
-	ids := make([]string, 0, len(s.sessions))
+	ids := make([]string, 0, len(s.sessions)+len(s.paged))
 	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	for id := range s.paged {
 		ids = append(ids, id)
 	}
 	s.smu.RUnlock()
@@ -66,9 +78,12 @@ func (s *Server) WAL() *wal.Manager { return s.wal }
 // ever acknowledged and nothing can be accepted between snapshot and
 // freeze.
 func (s *Server) ExportSession(id string) ([]byte, error) {
-	sess, ok := s.session(id)
-	if !ok {
-		return nil, ErrNoSession
+	// A cold session revives first: the handoff payload is built from
+	// live state, the same path as a hot export, so a migrated-then-
+	// revived session cannot diverge from a never-paged one.
+	sess, err := s.fetchSession(id)
+	if err != nil {
+		return nil, err
 	}
 	sess.ingestMu.Lock()
 	defer sess.ingestMu.Unlock()
@@ -95,12 +110,22 @@ func (s *Server) ExportSession(id string) ([]byte, error) {
 func (s *Server) CommitMigration(id string) {
 	s.smu.Lock()
 	sess, ok := s.sessions[id]
-	delete(s.sessions, id)
+	if ok {
+		delete(s.sessions, id)
+		s.tenants.addHot(sess.tenant, -1)
+	}
+	// Exports revive cold sessions, but clear any cold entry too so a
+	// racing page-out cannot leave a ghost behind.
+	if cold, wasCold := s.paged[id]; wasCold {
+		delete(s.paged, id)
+		s.tenants.addCold(cold.tenant, -1)
+	}
 	s.smu.Unlock()
 	if !ok {
 		return
 	}
 	s.dropJournal(sess)
+	s.releaseSessionMem(sess)
 	s.metrics.sessionsMigratedOut.Add(1)
 }
 
@@ -166,10 +191,10 @@ func (s *Server) AdoptSession(id string, recs []wal.Record) error {
 			return fmt.Errorf("server: adopting session %s: %w", id, err)
 		}
 		sess.jrnl = j
+		sess.journaled.Store(true)
 	}
-	s.smu.Lock()
-	s.sessions[id] = sess
-	s.smu.Unlock()
+	s.trackLive(sess)
 	s.metrics.sessionsMigratedIn.Add(1)
+	s.enforceHotLimit(sess.tenant, sess)
 	return nil
 }

@@ -33,8 +33,21 @@ func (s *Server) promText() []byte {
 	counter("cescd_violations_total", "Monitor violations across sessions.", float64(snap.ViolationsTotal))
 	gauge("cescd_sessions_active", "Live sessions.", float64(snap.SessionsActive))
 	counter("cescd_sessions_created_total", "Sessions created.", float64(snap.SessionsCreated))
-	counter("cescd_sessions_evicted_total", "Sessions evicted idle.", float64(snap.SessionsEvicted))
+	counter("cescd_sessions_evicted_total", "Legacy sum of paged + deleted sessions (pre-split dashboards).", float64(snap.SessionsEvicted))
+	counter("cescd_sessions_paged_total", "Sessions checkpointed to the WAL and parked cold.", float64(snap.SessionsPaged))
+	counter("cescd_sessions_deleted_total", "Sessions whose state was discarded (delete or WAL-less idle eviction).", float64(snap.SessionsDeleted))
+	counter("cescd_sessions_revived_total", "Cold sessions rebuilt from the WAL on first touch.", float64(snap.SessionsRevived))
+	gauge("cescd_sessions_cold", "Sessions currently paged out to the WAL.", float64(snap.SessionsCold))
+	gauge("cescd_mem_used_bytes", "Estimated bytes held by live session state.", float64(snap.MemUsedBytes))
+	gauge("cescd_mem_budget_bytes", "Configured session memory budget (0 = unlimited).", float64(snap.MemBudgetBytes))
+	gauge("cescd_governor_level", "Admission governor level (0 ok, 1 shed-wait, 2 throttle-sessions, 3 force-pageout).", float64(snap.GovernorLevel))
+	gauge("cescd_governor_score", "Admission governor load score (max of queue, memory, latency fractions).", snap.GovernorScore)
 	gauge("cescd_specs_loaded", "Specs loaded in the registry.", float64(snap.SpecsLoaded))
+
+	w.Family("cescd_shed_total", "counter", "Requests degraded by the admission governor, by stage.")
+	w.Sample("cescd_shed_total", []obs.L{{Name: "stage", Value: "wait"}}, float64(snap.ShedWait))
+	w.Sample("cescd_shed_total", []obs.L{{Name: "stage", Value: "sessions"}}, float64(snap.ShedSessions))
+	w.Sample("cescd_shed_total", []obs.L{{Name: "stage", Value: "pageout"}}, float64(snap.ShedPageouts))
 	counter("cescd_monitors_quarantined_total", "Monitors fenced off after a step panic.", float64(snap.MonitorsQuarantined))
 	counter("cescd_sessions_recovered_total", "Sessions rebuilt from the WAL at startup.", float64(snap.SessionsRecovered))
 	counter("cescd_batches_replayed_total", "Journal-tail batches re-applied at startup.", float64(snap.BatchesReplayed))
@@ -72,6 +85,26 @@ func (s *Server) promText() []byte {
 		l := []obs.L{{Name: "spec", Value: name}}
 		w.Sample("cescd_spec_accepts_total", l, float64(snap.PerSpecAccepts[name]))
 		w.Sample("cescd_spec_violations_total", l, float64(snap.PerSpecViolations[name]))
+	}
+
+	if len(snap.Tenants) > 0 {
+		names := make([]string, 0, len(snap.Tenants))
+		for name := range snap.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		w.Family("cescd_tenant_sessions", "gauge", "Sessions per tenant by residency.")
+		w.Family("cescd_tenant_ticks_total", "counter", "Ticks accepted per tenant.")
+		w.Family("cescd_tenant_rejections_total", "counter", "Quota rejections per tenant by kind.")
+		for _, name := range names {
+			ts := snap.Tenants[name]
+			w.Sample("cescd_tenant_sessions", []obs.L{{Name: "tenant", Value: name}, {Name: "state", Value: "hot"}}, float64(ts.HotSessions))
+			w.Sample("cescd_tenant_sessions", []obs.L{{Name: "tenant", Value: name}, {Name: "state", Value: "cold"}}, float64(ts.ColdSessions))
+			w.Sample("cescd_tenant_ticks_total", []obs.L{{Name: "tenant", Value: name}}, float64(ts.Ticks))
+			for _, kind := range sortedKeys(ts.Rejections) {
+				w.Sample("cescd_tenant_rejections_total", []obs.L{{Name: "tenant", Value: name}, {Name: "kind", Value: kind}}, float64(ts.Rejections[kind]))
+			}
+		}
 	}
 
 	bounds := histBoundsSeconds()

@@ -46,12 +46,51 @@ type Config struct {
 	// MaxBatchTicks caps the ticks accepted in one request (default
 	// 65536; larger bodies get 413).
 	MaxBatchTicks int
-	// IdleTTL evicts sessions with no activity for this long (0 disables
-	// eviction).
+	// IdleTTL pages out sessions with no activity for this long (0
+	// disables the idle sweep). With journaling enabled the session's
+	// state is checkpointed to its WAL and revived transparently on the
+	// next request; without a journal, idle eviction remains deletion.
 	IdleTTL time.Duration
-	// SweepEvery is the eviction sweep period (default IdleTTL/4,
-	// minimum 1s).
+	// SweepEvery is the janitor sweep period (default IdleTTL/4,
+	// minimum 1s; 1s when only MemBudget arms the janitor).
 	SweepEvery time.Duration
+
+	// MemBudget caps the estimated resident bytes of hot session state
+	// (priced per session from packed scoreboard sizes); past it, the
+	// janitor pages out the coldest journaled sessions until back under
+	// budget. 0 disables the budget. Effective only with WALDir set —
+	// sessions without a journal have nowhere durable to page to.
+	MemBudget int64
+
+	// TenantHeader names the request header whose value keys a new
+	// session to a tenant for quota accounting (default "X-Cesc-Tenant").
+	// Sessions created without the header are keyed by their session-ID
+	// prefix.
+	TenantHeader string
+	// QuotaTickRate arms per-tenant token-bucket ingest limits, in ticks
+	// per second (0 disables); QuotaTickBurst is the bucket size
+	// (default: one second's rate). A batch that outruns the bucket is
+	// rejected 429 + Retry-After with X-Cesc-Quota: ticks.
+	QuotaTickRate  float64
+	QuotaTickBurst float64
+	// QuotaMaxSessions caps a tenant's open sessions, hot + cold
+	// (0 disables); creation past the cap is a terminal 429 with
+	// X-Cesc-Quota: sessions.
+	QuotaMaxSessions int
+	// QuotaHotSessions caps a tenant's hot sessions (0 disables). This
+	// is fairness, not rejection: a tenant going past it gets its own
+	// coldest session paged out instead.
+	QuotaHotSessions int
+
+	// GovernorLatency is the smoothed per-tick step latency the load
+	// governor treats as saturation (score 1.0; default 100ms).
+	GovernorLatency time.Duration
+
+	// ColdStart registers journaled sessions found at startup as cold
+	// instead of eagerly replaying them, so a node fronting a huge
+	// session population is ready immediately and pays replay lazily on
+	// first touch. Default off: small fleets prefer warm caches.
+	ColdStart bool
 	// TickDelay inserts an artificial per-tick processing delay — a load
 	// and backpressure test aid, never set in production.
 	TickDelay time.Duration
@@ -108,7 +147,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchTicks <= 0 {
 		c.MaxBatchTicks = 65536
 	}
-	if c.IdleTTL > 0 && c.SweepEvery <= 0 {
+	if (c.IdleTTL > 0 || c.MemBudget > 0) && c.SweepEvery <= 0 {
 		c.SweepEvery = c.IdleTTL / 4
 		if c.SweepEvery < time.Second {
 			c.SweepEvery = time.Second
@@ -116,6 +155,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 256
+	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = "X-Cesc-Tenant"
+	}
+	if c.GovernorLatency <= 0 {
+		c.GovernorLatency = defaultGovLat
 	}
 	return c
 }
@@ -132,8 +177,26 @@ type Server struct {
 	watchdog *obs.Watchdog // disabled unless Config.SlowTick > 0
 	wal      *wal.Manager  // nil when journaling is disabled
 
+	// smu guards both session tables; hot/cold transitions mutate them
+	// (and the per-tenant counts) inside one critical section, so a
+	// session is always in exactly one of the two.
 	smu      sync.RWMutex
-	sessions map[string]*session
+	sessions map[string]*session      // hot: live engines + open journal
+	paged    map[string]*pagedSession // cold: state parked in the WAL checkpoint
+
+	// reviveMu serializes cold-session revivals (one journal replay per
+	// ID, concurrent callers adopt the winner's session).
+	reviveMu sync.Mutex
+
+	// memUsed is the estimated resident bytes of hot session state,
+	// charged/credited as sessions enter and leave the hot table.
+	memUsed atomic.Int64
+	// underPressure asks the next sweep to drain to the low watermark.
+	underPressure atomic.Bool
+	pressureCh    chan struct{}
+
+	tenants *tenantTable
+	gov     *governor
 
 	// qmu guards enqueues against Close closing the shard queues.
 	qmu      sync.RWMutex
@@ -163,13 +226,17 @@ type Server struct {
 // state.
 func New(cfg Config) (*Server, error) {
 	s := &Server{
-		cfg:       cfg.withDefaults(),
-		mux:       http.NewServeMux(),
-		specs:     newRegistry(),
-		metrics:   newMetrics(),
-		sessions:  make(map[string]*session),
-		stopSweep: make(chan struct{}),
+		cfg:        cfg.withDefaults(),
+		mux:        http.NewServeMux(),
+		specs:      newRegistry(),
+		metrics:    newMetrics(),
+		sessions:   make(map[string]*session),
+		paged:      make(map[string]*pagedSession),
+		stopSweep:  make(chan struct{}),
+		pressureCh: make(chan struct{}, 1),
 	}
+	s.tenants = newTenantTable(s.cfg.QuotaTickRate, s.cfg.QuotaTickBurst)
+	s.gov = &governor{srv: s}
 	s.tracer = obs.NewTracer(s.cfg.Shards, s.cfg.TraceDepth)
 	s.watchdog = obs.NewWatchdog(s.cfg.SlowTick, nil)
 	if s.cfg.WALDir != "" {
@@ -192,12 +259,16 @@ func New(cfg Config) (*Server, error) {
 		go s.runShard(sh)
 	}
 	if s.wal != nil {
-		if err := s.recoverSessions(); err != nil {
+		recover := s.recoverSessions
+		if s.cfg.ColdStart {
+			recover = s.registerColdSessions
+		}
+		if err := recover(); err != nil {
 			s.Close()
 			return nil, err
 		}
 	}
-	if s.cfg.IdleTTL > 0 {
+	if s.cfg.SweepEvery > 0 {
 		s.janitorWG.Add(1)
 		go s.janitor()
 	}
@@ -227,11 +298,16 @@ func (s *Server) Metrics() MetricsSnapshot {
 	}
 	s.smu.RLock()
 	snap.SessionsActive = len(s.sessions)
+	snap.SessionsCold = len(s.paged)
 	perShard := make([]int, len(s.shards))
 	for _, sess := range s.sessions {
 		perShard[sess.shard]++
 	}
 	s.smu.RUnlock()
+	snap.MemUsedBytes = s.memUsed.Load()
+	snap.MemBudgetBytes = s.cfg.MemBudget
+	snap.GovernorLevel, snap.GovernorScore = s.GovernorState()
+	snap.Tenants = s.tenants.snapshot()
 	for i, sh := range s.shards {
 		snap.Shards = append(snap.Shards, ShardSnapshot{
 			QueueDepth: len(sh.queue),
@@ -294,7 +370,8 @@ func (s *Server) Crash() {
 	})
 }
 
-// janitor evicts idle sessions on a fixed sweep period.
+// janitor runs the sweep on a fixed period, plus immediately whenever
+// the governor (or a revival over budget) kicks pressureCh.
 func (s *Server) janitor() {
 	defer s.janitorWG.Done()
 	t := time.NewTicker(s.cfg.SweepEvery)
@@ -304,15 +381,9 @@ func (s *Server) janitor() {
 		case <-s.stopSweep:
 			return
 		case now := <-t.C:
-			s.smu.Lock()
-			for id, sess := range s.sessions {
-				if sess.idleFor(now) > s.cfg.IdleTTL {
-					delete(s.sessions, id)
-					s.dropJournal(sess)
-					s.metrics.sessionsEvicted.Add(1)
-				}
-			}
-			s.smu.Unlock()
+			s.sweep(now)
+		case <-s.pressureCh:
+			s.sweep(time.Now())
 		}
 	}
 }
@@ -335,6 +406,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /sessions", s.handleListSessions)
 	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
 	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /sessions/{id}/pageout", s.handlePageOut)
 	s.mux.HandleFunc("POST /sessions/{id}/ticks", s.handleTicks)
 	s.mux.HandleFunc("POST /sessions/{id}/vcd", s.handleVCD)
 	s.mux.HandleFunc("GET /sessions/{id}/verdicts", s.handleVerdicts)
@@ -384,9 +456,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // grid line, fired (or candidate) guards, and packed valuation — the
 // same fields every execution tier emits identically.
 func (s *Server) handleDiagnostics(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
+	sess, err := s.fetchSession(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrNoSession) {
+			writeError(w, http.StatusNotFound, "no such session")
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
 	sess.touch()
@@ -470,6 +546,17 @@ type createSessionRequest struct {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.govLevel() >= govLevelThrottleSessions {
+		// Degradation level 2: new sessions are the sheddable work —
+		// existing sessions keep ingesting. The jittered Retry-After
+		// decorrelates the retry stampede; the cluster layer routes
+		// creations to cooler peers before this is ever reached.
+		s.metrics.shedSessions.Add(1)
+		w.Header().Set("X-Cesc-Shed", "sessions")
+		w.Header().Set("Retry-After", strconv.Itoa(s.sessionThrottleRetryAfter()))
+		writeError(w, http.StatusTooManyRequests, "node overloaded; new sessions throttled")
+		return
+	}
 	var req createSessionRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
@@ -507,7 +594,24 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "could not mint an acceptable session id")
 		return
 	}
+	tenantKey := r.Header.Get(s.cfg.TenantHeader)
+	if tenantKey == "" {
+		tenantKey = fallbackTenant(id)
+	}
+	if max := s.cfg.QuotaMaxSessions; max > 0 {
+		if hot, cold := s.tenants.counts(tenantKey); hot+cold >= max {
+			// Terminal for this tenant — retrying elsewhere won't help,
+			// the quota is cluster-agnostic per key. X-Cesc-Quota lets
+			// the client tell quota exhaustion from overload shedding.
+			s.tenants.rejectSessions(tenantKey)
+			w.Header().Set("X-Cesc-Quota", "sessions")
+			writeError(w, http.StatusTooManyRequests,
+				"tenant %s at its session quota (%d open)", tenantKey, max)
+			return
+		}
+	}
 	sess := newSession(id, mode, shardFor(id, len(s.shards)), specs, s.cfg.Faults, req.DiagDepth)
+	sess.tenant = tenantKey
 	if s.wal != nil {
 		// The meta record must be durable before the id is handed out:
 		// a session the client knows about must survive a crash.
@@ -517,10 +621,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.smu.Lock()
-	s.sessions[id] = sess
-	s.smu.Unlock()
+	s.trackLive(sess)
 	s.metrics.sessionsCreated.Add(1)
+	s.enforceHotLimit(tenantKey, sess)
+	if b := s.cfg.MemBudget; b > 0 && s.memUsed.Load() > b {
+		s.kickPressure()
+	}
 	writeJSON(w, http.StatusCreated, sess.info())
 }
 
@@ -533,7 +639,7 @@ func (s *Server) mintSessionID() (string, bool) {
 		if s.cfg.IDFilter != nil && !s.cfg.IDFilter(id) {
 			continue
 		}
-		if _, exists := s.session(id); exists {
+		if s.HasSession(id) { // hot or cold — a paged ID is still taken
 			continue
 		}
 		return id, true
@@ -541,12 +647,18 @@ func (s *Server) mintSessionID() (string, bool) {
 	return "", false
 }
 
+// handleListSessions lists hot and cold sessions. Cold entries come
+// from the paged table alone — listing must never trigger a revival
+// stampede across a million parked sessions.
 func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
 	s.smu.RLock()
-	infos := make([]SessionInfoJSON, 0, len(s.sessions))
+	infos := make([]SessionInfoJSON, 0, len(s.sessions)+len(s.paged))
 	sessions := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		sessions = append(sessions, sess)
+	}
+	for _, cold := range s.paged {
+		infos = append(infos, cold.info())
 	}
 	s.smu.RUnlock()
 	for _, sess := range sessions {
@@ -557,27 +669,56 @@ func (s *Server) handleListSessions(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.PathValue("id"))
+	id := r.PathValue("id")
+	if sess, ok := s.session(id); ok {
+		writeJSON(w, http.StatusOK, sess.info())
+		return
+	}
+	// A cold session answers from its paged entry without reviving —
+	// info polls must not defeat the pager.
+	s.smu.RLock()
+	cold, ok := s.paged[id]
+	s.smu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
-	writeJSON(w, http.StatusOK, sess.info())
+	writeJSON(w, http.StatusOK, cold.info())
 }
 
+// handleDeleteSession removes a session, hot or cold. The hot table
+// entry goes first (so no new request adopts the pointer), then the
+// journal is dropped under ingestMu — which also serializes against an
+// in-flight page-out of the same session.
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.smu.Lock()
-	sess, ok := s.sessions[id]
-	delete(s.sessions, id)
-	if ok {
-		s.dropJournal(sess)
+	sess, hot := s.sessions[id]
+	if hot {
+		delete(s.sessions, id)
+		s.tenants.addHot(sess.tenant, -1)
+	}
+	cold, wasCold := s.paged[id]
+	if wasCold {
+		delete(s.paged, id)
+		s.tenants.addCold(cold.tenant, -1)
 	}
 	s.smu.Unlock()
-	if !ok {
+	switch {
+	case hot:
+		sess.ingestMu.Lock()
+		s.dropJournal(sess)
+		sess.ingestMu.Unlock()
+		s.releaseSessionMem(sess)
+	case wasCold:
+		if s.wal != nil {
+			_ = s.wal.Remove(id)
+		}
+	default:
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
+	s.metrics.sessionsDeleted.Add(1)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
@@ -603,9 +744,13 @@ var ErrInjected429 = errors.New("injected backpressure")
 // absorbed by the dedup watermark.
 func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	ingestStart := time.Now()
-	sess, ok := s.session(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
+	sess, err := s.fetchSession(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrNoSession) {
+			writeError(w, http.StatusNotFound, "no such session")
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
 	sess.touch()
@@ -657,6 +802,17 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		Trace: traceID, Session: sess.id, Stage: obs.StageDecode,
 		Start: decodeStart, Dur: decodeDur, Ticks: len(states),
 	})
+	if ok, retryAfter := s.tenants.takeTicks(sess.tenant, len(states), false); !ok {
+		// Tenant outran its tick bucket. Retry-After is sized so a
+		// client that honors it paces to exactly the allowed rate;
+		// X-Cesc-Quota tells it this is its own quota, not server load.
+		s.metrics.rejectedTotal.Add(1)
+		w.Header().Set("X-Cesc-Quota", "ticks")
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %s over its tick rate; retry in %s", sess.tenant, retryAfter)
+		return
+	}
 	if err := s.cfg.Faults.Hit("server.ingest"); err != nil {
 		if errors.Is(err, ErrInjected429) {
 			s.metrics.rejectedTotal.Add(1)
@@ -669,8 +825,23 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	}
 	b := &batch{sess: sess, states: states, enqueued: time.Now(), trace: traceID}
 	wait := r.URL.Query().Get("wait") == "1"
+	shedWait := false
+	if wait && s.govLevel() >= govLevelShedWait {
+		// Degradation level 1: the batch is still accepted, journaled,
+		// and processed — only the latency coupling is shed. The client
+		// gets 202 + X-Cesc-Shed: wait instead of blocking on the shard.
+		wait, shedWait = false, true
+	}
 
 	sess.ingestMu.Lock()
+	if sess.pagedOut {
+		// Raced a page-out while holding a stale pointer: the retry
+		// resolves the ID again and revives the session.
+		sess.ingestMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "session %s was paged out; retry", sess.id)
+		return
+	}
 	if sess.frozen {
 		sess.ingestMu.Unlock()
 		w.Header().Set("Retry-After", "1")
@@ -767,6 +938,11 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	if shedWait {
+		s.metrics.shedWait.Add(1)
+		w.Header().Set("X-Cesc-Shed", "wait")
+		resp["processed"] = false
+	}
 	s.recordIngest(sess, traceID, ingestStart, len(states))
 	writeJSON(w, http.StatusAccepted, resp)
 }
@@ -793,9 +969,13 @@ const vcdChunkTicks = 256
 // others are events. Backpressure is applied by blocking the upload,
 // never by dropping mid-stream.
 func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
+	sess, err := s.fetchSession(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrNoSession) {
+			writeError(w, http.StatusNotFound, "no such session")
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
 	sess.touch()
@@ -823,7 +1003,16 @@ func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
 			enqueued: time.Now(),
 			done:     make(chan struct{}),
 		}
+		// The VCD path applies backpressure by blocking, so the tick
+		// quota is charged with force: the upload never fails mid-stream
+		// on quota, it drives the bucket into debt and the tenant's
+		// subsequent batches absorb the throttling.
+		s.tenants.takeTicks(sess.tenant, len(chunk), true)
 		sess.ingestMu.Lock()
+		if sess.pagedOut {
+			sess.ingestMu.Unlock()
+			return errPagedOut
+		}
 		if sess.frozen {
 			sess.ingestMu.Unlock()
 			return errMigrating
@@ -856,7 +1045,7 @@ func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
 		chunk = make([]event.State, 0, vcdChunkTicks)
 		return nil
 	}
-	err := trace.StreamVCD(r.Body, kindOf, func(st event.State) error {
+	err = trace.StreamVCD(r.Body, kindOf, func(st event.State) error {
 		chunk = append(chunk, st)
 		if len(chunk) >= vcdChunkTicks {
 			return flush()
@@ -871,7 +1060,7 @@ func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case err == errDraining:
 			code = http.StatusServiceUnavailable
-		case errors.Is(err, errMigrating):
+		case errors.Is(err, errMigrating), errors.Is(err, errPagedOut):
 			code = http.StatusConflict
 			w.Header().Set("Retry-After", "1")
 		}
@@ -881,10 +1070,17 @@ func (s *Server) handleVCD(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": total, "processed": true})
 }
 
+// handleVerdicts revives a cold session to answer: the verdict state is
+// exactly what the checkpoint parked, so the response is byte-identical
+// to one from a session that never paged.
 func (s *Server) handleVerdicts(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such session")
+	sess, err := s.fetchSession(r.PathValue("id"))
+	if err != nil {
+		if errors.Is(err, ErrNoSession) {
+			writeError(w, http.StatusNotFound, "no such session")
+		} else {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
 		return
 	}
 	sess.touch()

@@ -37,11 +37,19 @@ type session struct {
 	mode    monitor.Mode
 	shard   int
 	created time.Time
+	// tenant is the quota/fairness accounting key, fixed at creation
+	// (client header or session-ID prefix) and journaled so recovery and
+	// revival keep charging the same tenant.
+	tenant string
 	// diagDepth is the client-requested diagnostics window (0 means the
 	// mode default); journaled so recovery re-arms the same window.
 	diagDepth int
 
 	lastActive atomic.Int64 // unix nanos
+	// footprint is the estimated resident bytes of the session's hot
+	// state, charged against Config.MemBudget. Set at registration and
+	// refreshed by the janitor sweep as scoreboards grow.
+	footprint atomic.Int64
 
 	mu   sync.Mutex
 	mons []*sessionMonitor
@@ -63,13 +71,23 @@ type session struct {
 	lastSeq  uint64 // highest client seq accepted (dedup watermark)
 	walSeq   uint64 // journal index of the last appended batch record
 	jrnl     *wal.Journal
-	meta     sessionMetaJSON
+	// journaled mirrors jrnl != nil for lock-free readers (the janitor
+	// sweep and fairness scans pick page-out candidates without taking
+	// every session's ingestMu); jrnl itself is only touched under
+	// ingestMu or before the session is exposed.
+	journaled atomic.Bool
+	meta      sessionMetaJSON
 	// frozen fences ingest during a live migration (guarded by ingestMu):
 	// ExportSession sets it after the final pre-handoff barrier, so no
 	// tick can land between the exported snapshot and the handoff commit.
 	// Ingest against a frozen session answers 409 + Retry-After; the
 	// retry lands on the new owner (or here again if the handoff aborts).
 	frozen bool
+	// pagedOut marks a session whose state has been checkpointed to its
+	// journal and dropped from the hot table (guarded by ingestMu, like
+	// frozen). A handler holding a stale pointer answers 409 +
+	// Retry-After; the retry looks the session up again and revives it.
+	pagedOut bool
 
 	faults *faultinject.Plane
 }
@@ -176,6 +194,48 @@ func (s *session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
 
 func (s *session) idleFor(now time.Time) time.Duration {
 	return now.Sub(time.Unix(0, s.lastActive.Load()))
+}
+
+// Footprint pricing for the memory budget. Exact accounting would mean
+// walking every engine allocation; instead the estimate is anchored on
+// what actually scales with session lifetime — interned scoreboard
+// slots, the accept-tick log, and the diagnostics ring — plus fixed
+// charges for the structs around them.
+const (
+	footprintBase       = 4096 // session struct, vocab, journal buffers
+	footprintPerMonitor = 2048 // engine, program binding, coverage
+	footprintPerSlot    = 96   // interned slot: name, count, timestamp log
+	footprintPerAccept  = 8    // one accept-tick log entry
+	footprintPerDiag    = 768  // one retained diagnostic with its recent window
+)
+
+// estimateFootprint prices the session's resident state in bytes.
+func (s *session) estimateFootprint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	depth := s.diagDepth
+	if depth == 0 && s.mode == monitor.ModeAssert {
+		depth = defaultDiagDepth
+	}
+	fp := int64(footprintBase)
+	for _, sm := range s.mons {
+		fp += footprintPerMonitor
+		fp += int64(sm.eng.Scoreboard().Slots()) * footprintPerSlot
+		fp += int64(len(sm.acceptTicks)) * footprintPerAccept
+		fp += int64(depth) * footprintPerDiag
+	}
+	return fp
+}
+
+// fallbackTenant derives the default tenant key from a session ID: its
+// first four characters. Random IDs spread tenants evenly, while a
+// cluster's ID minting keeps one client's sessions co-keyed only if the
+// client supplies an explicit tenant header.
+func fallbackTenant(id string) string {
+	if len(id) > 4 {
+		return id[:4]
+	}
+	return id
 }
 
 // step feeds one tick to every monitor of the session. Caller holds s.mu.
@@ -434,6 +494,12 @@ type SessionInfoJSON struct {
 	Specs     []string `json:"specs"`
 	Steps     int      `json:"steps"`
 	IdleMilli int64    `json:"idle_ms"`
+	// Tenant is the quota accounting key the session is charged to.
+	Tenant string `json:"tenant,omitempty"`
+	// Cold marks a paged-out session: its state lives in its WAL
+	// checkpoint and the next tick revives it transparently. Cold
+	// entries report no step count (reading one would mean reviving).
+	Cold bool `json:"cold,omitempty"`
 }
 
 func (s *session) info() SessionInfoJSON {
@@ -454,5 +520,6 @@ func (s *session) info() SessionInfoJSON {
 		Specs:     specs,
 		Steps:     steps,
 		IdleMilli: s.idleFor(time.Now()).Milliseconds(),
+		Tenant:    s.tenant,
 	}
 }

@@ -139,6 +139,7 @@ func (s *Server) process(sh *shard, b *batch) {
 	}
 	sess.mu.Unlock()
 	stepDur := time.Since(dequeued)
+	s.gov.observeStep(stepDur, len(b.states))
 	s.metrics.observeStage(obs.StageStep, stepDur)
 	s.tracer.Record(sh.idx, obs.Span{
 		Trace: b.trace, Session: sess.id, Stage: obs.StageStep,

@@ -1,0 +1,190 @@
+package server
+
+// Per-tenant quotas and fairness. Every session belongs to a tenant —
+// the value of Config.TenantHeader at creation, or a session-ID prefix
+// when the client sends none — and the daemon accounts hot/cold session
+// counts, ingested ticks, and quota rejections per tenant. Enforcement
+// is three-fold:
+//
+//   - token-bucket ingest limits (QuotaTickRate/QuotaTickBurst): a
+//     batch that outruns the bucket is answered 429 + Retry-After with
+//     the X-Cesc-Quota: ticks header, sized so a well-behaved client
+//     paces itself to exactly the allowed rate;
+//   - max open sessions (QuotaMaxSessions, hot + cold): creation beyond
+//     the cap is a terminal 429 with X-Cesc-Quota: sessions;
+//   - max hot sessions (QuotaHotSessions): fairness, not rejection — a
+//     tenant reviving or creating past the cap gets its own coldest
+//     session paged out, so one tenant cannot monopolize hot memory.
+//
+// The hot/cold counters are mutated only inside Server.smu critical
+// sections (the same ones that move sessions between tables), which is
+// what keeps them exact; the table's own lock guards the buckets and
+// the monotonic counters.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenant is one accounting bucket.
+type tenant struct {
+	hot  int // sessions in the hot table (guarded by Server.smu)
+	cold int // sessions in the cold table (guarded by Server.smu)
+
+	tokens   float64 // tick tokens available (guarded by tenantTable.mu)
+	lastFill time.Time
+
+	ticks      uint64            // ticks accepted
+	rejections map[string]uint64 // quota kind → rejected requests
+}
+
+// tenantTable maps tenant keys to their accounting state.
+type tenantTable struct {
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	rate    float64 // tick tokens per second; <= 0 disables the bucket
+	burst   float64
+}
+
+func newTenantTable(rate, burst float64) *tenantTable {
+	if burst <= 0 {
+		burst = rate // default burst: one second's allowance
+	}
+	return &tenantTable{tenants: make(map[string]*tenant), rate: rate, burst: burst}
+}
+
+func (tt *tenantTable) ensure(name string) *tenant {
+	t, ok := tt.tenants[name]
+	if !ok {
+		t = &tenant{tokens: tt.burst, lastFill: time.Now(), rejections: make(map[string]uint64)}
+		tt.tenants[name] = t
+	}
+	return t
+}
+
+// addHot/addCold adjust the session counts. Callers hold Server.smu.
+func (tt *tenantTable) addHot(name string, d int) {
+	tt.mu.Lock()
+	tt.ensure(name).hot += d
+	tt.mu.Unlock()
+}
+
+func (tt *tenantTable) addCold(name string, d int) {
+	tt.mu.Lock()
+	tt.ensure(name).cold += d
+	tt.mu.Unlock()
+}
+
+// counts reads a tenant's session counts.
+func (tt *tenantTable) counts(name string) (hot, cold int) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	t, ok := tt.tenants[name]
+	if !ok {
+		return 0, 0
+	}
+	return t.hot, t.cold
+}
+
+// takeTicks charges n ticks against the tenant's bucket. With force set
+// the charge always succeeds and may drive the bucket negative (the VCD
+// upload path, which applies backpressure by blocking, pays its debt by
+// throttling the tenant's subsequent batches). On refusal, retryAfter
+// is how long until the bucket holds n tokens again.
+func (tt *tenantTable) takeTicks(name string, n int, force bool) (ok bool, retryAfter time.Duration) {
+	if tt.rate <= 0 {
+		return true, 0
+	}
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	t := tt.ensure(name)
+	now := time.Now()
+	t.tokens = math.Min(tt.burst, t.tokens+tt.rate*now.Sub(t.lastFill).Seconds())
+	t.lastFill = now
+	need := float64(n)
+	if t.tokens >= need || force {
+		t.tokens -= need
+		t.ticks += uint64(n)
+		return true, 0
+	}
+	t.rejections["ticks"]++
+	secs := (need - t.tokens) / tt.rate
+	return false, time.Duration(math.Ceil(secs)) * time.Second
+}
+
+// rejectSessions counts a session-quota refusal.
+func (tt *tenantTable) rejectSessions(name string) {
+	tt.mu.Lock()
+	tt.ensure(name).rejections["sessions"]++
+	tt.mu.Unlock()
+}
+
+// TenantSnapshot is one tenant's accounting in /metrics.
+type TenantSnapshot struct {
+	HotSessions  int               `json:"hot_sessions"`
+	ColdSessions int               `json:"cold_sessions"`
+	Ticks        uint64            `json:"ticks"`
+	Rejections   map[string]uint64 `json:"rejections,omitempty"`
+}
+
+// snapshot exports every tenant with any recorded state.
+func (tt *tenantTable) snapshot() map[string]TenantSnapshot {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if len(tt.tenants) == 0 {
+		return nil
+	}
+	out := make(map[string]TenantSnapshot, len(tt.tenants))
+	for name, t := range tt.tenants {
+		ts := TenantSnapshot{HotSessions: t.hot, ColdSessions: t.cold, Ticks: t.ticks}
+		if len(t.rejections) > 0 {
+			ts.Rejections = make(map[string]uint64, len(t.rejections))
+			for k, v := range t.rejections {
+				ts.Rejections[k] = v
+			}
+		}
+		out[name] = ts
+	}
+	return out
+}
+
+// enforceHotLimit pages out the tenant's coldest hot session(s) while
+// the tenant exceeds QuotaHotSessions. keep (the session that just
+// became hot) is never chosen, so a revival cannot evict itself.
+func (s *Server) enforceHotLimit(name string, keep *session) {
+	limit := s.cfg.QuotaHotSessions
+	if limit <= 0 {
+		return
+	}
+	for {
+		hot, _ := s.tenants.counts(name)
+		if hot <= limit {
+			return
+		}
+		victim := s.coldestLiveOf(name, keep)
+		if victim == nil {
+			return
+		}
+		if err := s.pageOutSession(victim); err != nil {
+			return
+		}
+	}
+}
+
+// coldestLiveOf finds the tenant's least recently active journaled hot
+// session, excluding keep.
+func (s *Server) coldestLiveOf(name string, keep *session) *session {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	var victim *session
+	for _, sess := range s.sessions {
+		if sess == keep || sess.tenant != name || !sess.journaled.Load() {
+			continue
+		}
+		if victim == nil || sess.lastActive.Load() < victim.lastActive.Load() {
+			victim = sess
+		}
+	}
+	return victim
+}
