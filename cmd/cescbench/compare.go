@@ -30,6 +30,36 @@ type benchFile struct {
 	Results []benchResult `json:"results"`
 }
 
+// gateRule is one per-benchmark override of the global compare gate,
+// loaded from the -thresholds file (a JSON map of benchmark name to
+// rule). A nil field inherits the global flag, so a rule can tighten
+// just one axis — e.g. the bit-sliced lane benches carry a hard ns/op
+// ceiling while the rest of the suite keeps the relative gate.
+type gateRule struct {
+	// Threshold is the relative ns/op growth allowed (0.5 = +50%).
+	Threshold *float64 `json:"threshold,omitempty"`
+	// FloorNs is the absolute ns/op growth a time regression must also
+	// exceed.
+	FloorNs *float64 `json:"floor_ns,omitempty"`
+	// MaxNsPerOp, when set, fails the gate outright if the new run's
+	// ns/op exceeds it — an absolute budget independent of the old run
+	// (acceptance ceilings, e.g. 20ns/monitor-tick x 64 lanes).
+	MaxNsPerOp *float64 `json:"max_ns_per_op,omitempty"`
+}
+
+// loadThresholds reads a -thresholds override file.
+func loadThresholds(path string) (map[string]gateRule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]gateRule
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
 // compareVerdict classifies one matched benchmark pair.
 type compareVerdict int
 
@@ -51,7 +81,8 @@ type compareRow struct {
 // compareResults matches benchmarks by name and classifies each pair.
 // threshold is the relative ns/op growth allowed (0.5 = +50%); floorNs
 // is the absolute ns/op growth a time regression must also exceed.
-func compareResults(old, new []benchResult, threshold, floorNs float64) []compareRow {
+// overrides (may be nil) substitutes per-benchmark gate rules by name.
+func compareResults(old, new []benchResult, threshold, floorNs float64, overrides map[string]gateRule) []compareRow {
 	oldByName := make(map[string]*benchResult, len(old))
 	for i := range old {
 		oldByName[old[i].Name] = &old[i]
@@ -68,7 +99,22 @@ func compareResults(old, new []benchResult, threshold, floorNs float64) []compar
 			rows = append(rows, compareRow{Name: o.Name, Old: o})
 			continue
 		}
-		rows = append(rows, compareRow{Name: o.Name, Old: o, New: n, Verdict: classify(o, n, threshold, floorNs)})
+		th, fl := threshold, floorNs
+		var maxNs *float64
+		if r, ok := overrides[o.Name]; ok {
+			if r.Threshold != nil {
+				th = *r.Threshold
+			}
+			if r.FloorNs != nil {
+				fl = *r.FloorNs
+			}
+			maxNs = r.MaxNsPerOp
+		}
+		v := classify(o, n, th, fl)
+		if maxNs != nil && n.NsPerOp > *maxNs && v != verdictAllocRegression {
+			v = verdictTimeRegression
+		}
+		rows = append(rows, compareRow{Name: o.Name, Old: o, New: n, Verdict: v})
 	}
 	for i := range new {
 		n := &new[i]
@@ -115,7 +161,7 @@ func loadBenchFile(path string) (benchFile, error) {
 
 // runCompare is the -compare entry point. Returns the number of
 // regressions (the caller exits nonzero if > 0).
-func runCompare(oldPath, newPath string, threshold, floorNs float64) (int, error) {
+func runCompare(oldPath, newPath string, threshold, floorNs float64, overrides map[string]gateRule) (int, error) {
 	oldFile, err := loadBenchFile(oldPath)
 	if err != nil {
 		return 0, err
@@ -128,7 +174,7 @@ func runCompare(oldPath, newPath string, threshold, floorNs float64) (int, error
 		return 0, fmt.Errorf("schema mismatch: %s has %q, %s has %q (compare like with like)",
 			oldPath, oldFile.Schema, newPath, newFile.Schema)
 	}
-	rows := compareResults(oldFile.Results, newFile.Results, threshold, floorNs)
+	rows := compareResults(oldFile.Results, newFile.Results, threshold, floorNs, overrides)
 
 	fmt.Printf("# cescbench compare — %s vs %s (threshold +%.0f%%, floor %.0fns)\n\n",
 		oldPath, newPath, threshold*100, floorNs)

@@ -48,7 +48,7 @@ func TestClassifyNoiseGate(t *testing.T) {
 func TestCompareResultsMatching(t *testing.T) {
 	old := []benchResult{br("shared", 100, 0), br("removed", 50, 0)}
 	new := []benchResult{br("shared", 120, 0), br("added", 70, 1)}
-	rows := compareResults(old, new, 0.5, 50)
+	rows := compareResults(old, new, 0.5, 50, nil)
 	if len(rows) != 3 {
 		t.Fatalf("got %d rows, want 3", len(rows))
 	}
@@ -64,6 +64,58 @@ func TestCompareResultsMatching(t *testing.T) {
 	}
 	if r := byName["added"]; r.Old != nil {
 		t.Fatalf("added row should have no old result: %+v", r)
+	}
+}
+
+func TestCompareOverrides(t *testing.T) {
+	old := []benchResult{br("lane", 1000, 0), br("other", 100, 0)}
+	// lane grows 20% — under the global gate, but the override pins an
+	// absolute ceiling of 1100ns/op.
+	new := []benchResult{br("lane", 1200, 0), br("other", 120, 0)}
+	ceiling := 1100.0
+	rows := compareResults(old, new, 0.5, 50, map[string]gateRule{
+		"lane": {MaxNsPerOp: &ceiling},
+	})
+	byName := map[string]compareRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if v := byName["lane"].Verdict; v != verdictTimeRegression {
+		t.Fatalf("lane over its max_ns_per_op ceiling: verdict %d, want %d", v, verdictTimeRegression)
+	}
+	if v := byName["other"].Verdict; v != verdictOK {
+		t.Fatalf("other (no override) verdict %d, want %d", v, verdictOK)
+	}
+	// A per-benchmark threshold can also loosen the gate: +100% on lane
+	// with threshold 2.0 stays advisory ("slower", absolute floor only)
+	// instead of failing, as long as the ceiling allows it.
+	loose := 3000.0
+	th := 2.0
+	rows = compareResults(old, []benchResult{br("lane", 2000, 0), br("other", 120, 0)}, 0.5, 50,
+		map[string]gateRule{"lane": {Threshold: &th, MaxNsPerOp: &loose}})
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if v := byName["lane"].Verdict; v != verdictSlower {
+		t.Fatalf("loosened lane verdict %d, want %d", v, verdictSlower)
+	}
+}
+
+func TestLoadThresholds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.json")
+	if err := os.WriteFile(path, []byte(`{"lane": {"max_ns_per_op": 1280, "threshold": 0.25}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := loadThresholds(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := rules["lane"]
+	if !ok || r.MaxNsPerOp == nil || *r.MaxNsPerOp != 1280 || r.Threshold == nil || *r.Threshold != 0.25 || r.FloorNs != nil {
+		t.Fatalf("rules[lane] = %+v", r)
+	}
+	if _, err := loadThresholds(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing thresholds file should error")
 	}
 }
 
@@ -89,7 +141,7 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	good := writeBenchFixture(t, "good.json", "cescbench/v1", []benchResult{
 		br("steady", 130, 0), br("hot", 90, 0),
 	})
-	n, err := runCompare(old, good, 0.5, 50)
+	n, err := runCompare(old, good, 0.5, 50, nil)
 	if err != nil || n != 0 {
 		t.Fatalf("good compare: regressions=%d err=%v", n, err)
 	}
@@ -97,13 +149,13 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	bad := writeBenchFixture(t, "bad.json", "cescbench/v1", []benchResult{
 		br("steady", 100, 0), br("hot", 400, 2),
 	})
-	n, err = runCompare(old, bad, 0.5, 50)
+	n, err = runCompare(old, bad, 0.5, 50, nil)
 	if err != nil || n != 1 {
 		t.Fatalf("bad compare: regressions=%d err=%v", n, err)
 	}
 	// Schema mismatch is an error, not a silent pass.
 	mismatched := writeBenchFixture(t, "obs.json", "cescbench/obs/v1", []benchResult{br("steady", 100, 0)})
-	if _, err := runCompare(old, mismatched, 0.5, 50); err == nil {
+	if _, err := runCompare(old, mismatched, 0.5, 50, nil); err == nil {
 		t.Fatal("schema mismatch should error")
 	}
 }

@@ -37,10 +37,12 @@ import (
 func main() {
 	jsonPath := flag.String("json", "", "run the micro-benchmarks and write a machine-readable summary (name, ns/op, allocs/op) to this path instead of the narrative tables")
 	obsPath := flag.String("obs-json", "", "run the observability-overhead suite (tracing off / ring-only / full provenance) and write the summary to this path")
-	compare := flag.Bool("compare", false, "compare two -json/-obs-json summaries: cescbench -compare old.json new.json; exits 1 on regression")
+	lanePath := flag.String("lane-json", "", "run only the bit-sliced lane + batch-decode suite (fast; the CI lanebench smoke) and write the summary to this path")
+	compare := flag.Bool("compare", false, "compare two -json/-obs-json/-lane-json summaries: cescbench -compare old.json new.json; exits 1 on regression")
 	threshold := flag.Float64("threshold", 0.5, "relative ns/op growth tolerated by -compare (0.5 = +50%)")
 	floorNs := flag.Float64("floor", 50, "absolute ns/op growth a -compare time regression must also exceed")
-	history := flag.String("history", "", "append one JSON line per -json/-obs-json/-compare run to this file (e.g. BENCH_HISTORY.jsonl)")
+	thresholds := flag.String("thresholds", "", "per-benchmark gate overrides for -compare: JSON map of name to {threshold, floor_ns, max_ns_per_op}")
+	history := flag.String("history", "", "append one JSON line per -json/-obs-json/-lane-json/-compare run to this file (e.g. BENCH_HISTORY.jsonl)")
 	flag.Parse()
 	// recordHistory re-reads the summary a measurement run just wrote (or
 	// a compare run's new side) and appends the history line.
@@ -68,7 +70,14 @@ func main() {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("usage: cescbench -compare old.json new.json"))
 		}
-		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *floorNs)
+		var overrides map[string]gateRule
+		if *thresholds != "" {
+			var err error
+			if overrides, err = loadThresholds(*thresholds); err != nil {
+				fatal(err)
+			}
+		}
+		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), *threshold, *floorNs, overrides)
 		if err != nil {
 			fatal(err)
 		}
@@ -84,6 +93,14 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *obsPath)
 		recordHistory("obs-json", 0, *obsPath)
+		return
+	}
+	if *lanePath != "" {
+		if err := writeLaneBenchJSON(*lanePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *lanePath)
+		recordHistory("lane-json", 0, *lanePath)
 		return
 	}
 	if *jsonPath != "" {
@@ -315,7 +332,93 @@ func writeBenchJSON(path string) error {
 			}
 		}},
 	}
+	lanes, err := laneBenches(figs)
+	if err != nil {
+		return err
+	}
+	benches = append(benches, lanes...)
 	data, err := benchSummary("cescbench/v1", benches)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// laneBenches is the bit-sliced hot-path suite: for each figure, one
+// bench stepping a full 64-lane bank in lockstep (ns/op there is 64
+// monitor-ticks — the 20ns-per-monitor-tick acceptance ceiling is
+// 1280ns/op, enforced via PERF_THRESHOLDS.json) and one bench decoding
+// a 64-tick NDJSON batch straight into bitset lanes (the zero-copy
+// ingest path; the alloc gate pins it at 0 allocs/op).
+func laneBenches(figs []figBench) ([]namedBench, error) {
+	var benches []namedBench
+	for i := range figs {
+		fig := figs[i]
+		tab, err := monitor.CompileTable(fig.mon)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", fig.name, err)
+		}
+		benches = append(benches,
+			namedBench{"LaneStepUniform64x" + fig.name, func(b *testing.B) {
+				bank := monitor.NewLaneBank(tab)
+				for l := 0; l < monitor.MaxLanes; l++ {
+					if _, ok := bank.Join(); !ok {
+						b.Fatal("lane bank full early")
+					}
+				}
+				sup := tab.Support()
+				vals := make([]uint64, len(fig.traffic))
+				for j, st := range fig.traffic {
+					vals[j] = uint64(sup.Valuation(st))
+				}
+				b.ResetTimer()
+				for j := 0; j < b.N; j++ {
+					bank.StepUniform(vals[j%len(vals)])
+				}
+			}},
+			namedBench{"BatchDecode64Tick" + fig.name, func(b *testing.B) {
+				vocab := event.NewVocabulary()
+				if err := vocab.DeclareSupport(fig.prog.Support()); err != nil {
+					b.Fatal(err)
+				}
+				var body []byte
+				for _, st := range fig.traffic[:64] {
+					line, err := json.Marshal(server.EncodeState(st))
+					if err != nil {
+						b.Fatal(err)
+					}
+					body = append(body, line...)
+					body = append(body, '\n')
+				}
+				dec := event.NewBatchDecoder(vocab)
+				var pb event.PackedBatch
+				if n, err := dec.Decode(body, &pb, 0); err != nil || n != 64 {
+					b.Fatalf("warm decode: n=%d err=%v", n, err)
+				}
+				b.ResetTimer()
+				for j := 0; j < b.N; j++ {
+					if _, err := dec.Decode(body, &pb, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}},
+		)
+	}
+	return benches, nil
+}
+
+// writeLaneBenchJSON runs only the lane suite — the fast CI smoke that
+// `make lanebench` compares against the checked-in BENCH_LANE.json.
+func writeLaneBenchJSON(path string) error {
+	figs, err := figBenches()
+	if err != nil {
+		return err
+	}
+	benches, err := laneBenches(figs)
+	if err != nil {
+		return err
+	}
+	data, err := benchSummary("cescbench/lane/v1", benches)
 	if err != nil {
 		return err
 	}

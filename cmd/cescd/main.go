@@ -30,6 +30,8 @@
 //
 //	-mem-budget SIZE        session memory budget (e.g. 256m, 2g); over it,
 //	                        coldest sessions page out to the WAL (0 = unlimited)
+//	-journal-budget SIZE    journal disk budget; over it, cold sessions'
+//	                        journals are pruned oldest-first (0 = unlimited)
 //	-tenant-header NAME     request header carrying the tenant key
 //	                        (default X-Cesc-Tenant; session-ID prefix otherwise)
 //	-quota-tick-rate N      per-tenant sustained ticks/sec (token bucket)
@@ -102,6 +104,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
 
 	memBudget := flag.String("mem-budget", "", "session memory budget, e.g. 256m or 2g (empty = unlimited; needs -wal-dir to page instead of delete)")
+	journalBudget := flag.String("journal-budget", "", "journal disk budget, e.g. 10g (empty = unlimited; prunes cold sessions' journals oldest-first)")
 	tenantHeader := flag.String("tenant-header", "", "request header carrying the tenant key (default X-Cesc-Tenant)")
 	quotaTickRate := flag.Float64("quota-tick-rate", 0, "per-tenant sustained ticks/sec ingest quota (0 = unlimited)")
 	quotaTickBurst := flag.Float64("quota-tick-burst", 0, "per-tenant tick burst allowance (0 = same as rate)")
@@ -130,6 +133,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("cescd: -mem-budget: %v", err)
 	}
+	jbudget, err := parseBytes(*journalBudget)
+	if err != nil {
+		log.Fatalf("cescd: -journal-budget: %v", err)
+	}
 	srvCfg := server.Config{
 		Shards:        *shards,
 		QueueDepth:    *queue,
@@ -144,6 +151,7 @@ func main() {
 		SlowTick:      *slowTick,
 
 		MemBudget:        budget,
+		JournalBudget:    jbudget,
 		TenantHeader:     *tenantHeader,
 		QuotaTickRate:    *quotaTickRate,
 		QuotaTickBurst:   *quotaTickBurst,

@@ -70,6 +70,10 @@ func checkChart(c chart.Chart, tr trace.Trace) *Divergence {
 		}
 	}
 
+	if d := laneCheck(m, tr, interp, total || !m.HasActions()); d != nil {
+		return d
+	}
+
 	// The tiered detector must agree with whichever tier it selected.
 	if det, err := verif.NewDetector(m); err == nil {
 		detTicks := acceptTicks(func(s event.State) monitor.StepResult {
@@ -157,6 +161,83 @@ func oracleCheck(c chart.Chart, m *monitor.Monitor, tr trace.Trace, accepts []in
 	if !sameInts(accepts, want) {
 		return &Divergence{Kind: "nfa-vs-oracle",
 			Detail: fmt.Sprintf("monitor accepts %v, oracle ends %v", accepts, want)}
+	}
+	return nil
+}
+
+// laneCheck cross-checks the bit-sliced lane tier. A full LaneBank fed
+// the trace through uniform valuations must agree lane-for-lane — on
+// accept bit, violation bit, and state — with 64 per-session Compiled
+// cursors at every tick (that parity is unconditional: lanes mirror the
+// full chk-bit and action-counter semantics of the table). Lane accept
+// ticks are additionally compared against the interpreted engine under
+// the same gate as the table tier (comparable), since only then can the
+// table itself be trusted against the engines. A second bank joins its
+// lanes staggered, one per tick, so mid-stream membership churn is
+// exercised against cursors created at the same offsets.
+func laneCheck(m *monitor.Monitor, tr trace.Trace, interp []int, comparable bool) *Divergence {
+	tbl, err := monitor.CompileTable(m)
+	if err != nil {
+		return nil // shape not table-compilable; the other tiers cover it
+	}
+	sup := tbl.Support()
+
+	bank := monitor.NewLaneBank(tbl)
+	refs := make([]*monitor.Compiled, 0, monitor.MaxLanes)
+	for i := 0; i < monitor.MaxLanes; i++ {
+		if _, ok := bank.Join(); !ok {
+			return &Divergence{Kind: "lane-join",
+				Detail: fmt.Sprintf("fresh bank refused lane %d", i)}
+		}
+		refs = append(refs, tbl.NewInstance())
+	}
+	var laneAccepts []int
+	for tick, st := range tr {
+		acceptMask, violMask := bank.StepUniform(uint64(sup.Valuation(st)))
+		for l, c := range refs {
+			prevViol := c.Violations()
+			accepted := c.Step(st)
+			if got := acceptMask>>uint(l)&1 == 1; got != accepted {
+				return &Divergence{Kind: "lane-vs-compiled",
+					Detail: fmt.Sprintf("tick %d lane %d: lane accept %v, compiled %v", tick, l, got, accepted)}
+			}
+			if got := violMask>>uint(l)&1 == 1; got != (c.Violations() > prevViol) {
+				return &Divergence{Kind: "lane-vs-compiled",
+					Detail: fmt.Sprintf("tick %d lane %d: violation bit mismatch", tick, l)}
+			}
+			if bank.State(l) != c.State() {
+				return &Divergence{Kind: "lane-vs-compiled",
+					Detail: fmt.Sprintf("tick %d lane %d: state %d, compiled %d", tick, l, bank.State(l), c.State())}
+			}
+		}
+		if acceptMask&1 == 1 {
+			laneAccepts = append(laneAccepts, tick)
+		}
+	}
+	if comparable && !sameInts(interp, laneAccepts) {
+		return &Divergence{Kind: "tier-lane",
+			Detail: fmt.Sprintf("interp accepts %v, lane accepts %v", interp, laneAccepts)}
+	}
+
+	stag := monitor.NewLaneBank(tbl)
+	joined := make([]*monitor.Compiled, 0, monitor.MaxLanes)
+	for tick, st := range tr {
+		if tick < monitor.MaxLanes {
+			if _, ok := stag.Join(); !ok {
+				return &Divergence{Kind: "lane-join",
+					Detail: fmt.Sprintf("staggered bank refused lane %d", tick)}
+			}
+			joined = append(joined, tbl.NewInstance())
+		}
+		acceptMask, _ := stag.StepUniform(uint64(sup.Valuation(st)))
+		for l, c := range joined {
+			accepted := c.Step(st)
+			if got := acceptMask>>uint(l)&1 == 1; got != accepted {
+				return &Divergence{Kind: "lane-staggered",
+					Detail: fmt.Sprintf("tick %d lane %d (joined at %d): lane accept %v, compiled %v",
+						tick, l, l, got, accepted)}
+			}
+		}
 	}
 	return nil
 }

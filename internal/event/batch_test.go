@@ -1,0 +1,235 @@
+package event
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// refTick mirrors server.StateJSON for the reference decode path.
+type refTick struct {
+	Events []string        `json:"events,omitempty"`
+	Props  map[string]bool `json:"props,omitempty"`
+}
+
+func (t refTick) toState() State {
+	s := NewState()
+	for _, e := range t.Events {
+		s.Events[e] = true
+	}
+	for p, v := range t.Props {
+		s.Props[p] = v
+	}
+	return s
+}
+
+// refDecode is the slow path the decoder must match bit-for-bit:
+// encoding/json into StateJSON-shaped structs, ToState, PackInto.
+func refDecode(t *testing.T, v *Vocabulary, body string) []Packed {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(body))
+	var out []Packed
+	for dec.More() {
+		var tick refTick
+		if err := dec.Decode(&tick); err != nil {
+			t.Fatalf("reference decode: %v", err)
+		}
+		out = append(out, v.Pack(tick.toState()))
+	}
+	return out
+}
+
+func testVocab(t *testing.T) *Vocabulary {
+	t.Helper()
+	v := NewVocabulary()
+	for _, e := range []string{"cmd", "resp", "data", `quo"te`, "esc\\ape", "unié"} {
+		v.MustDeclare(e, KindEvent)
+	}
+	for _, p := range []string{"busy", "ready", "tab\tprop"} {
+		v.MustDeclare(p, KindProp)
+	}
+	return v
+}
+
+func TestBatchDecoderMatchesJSONPath(t *testing.T) {
+	v := testVocab(t)
+	bodies := []string{
+		`{"events":["cmd"],"props":{"busy":true}}`,
+		`{"events":["cmd","resp","data"]}` + "\n" + `{"props":{"busy":true,"ready":false}}`,
+		"  \t\n" + `{ "events" : [ "cmd" , "resp" ] , "props" : { "ready" : true } }` + "\r\n  ",
+		`{}` + "\n" + `{"events":[],"props":{}}` + "\n" + `{"events":null,"props":null}`,
+		// Field order reversed, unknown symbols dropped, kind mismatches
+		// dropped (cmd as prop, busy as event).
+		`{"props":{"cmd":true,"busy":true,"nosuch":true},"events":["busy","nosuch","resp"]}`,
+		// Escapes resolving to declared symbols.
+		`{"events":["quo\"te","esc\\ape","unié"],"props":{"tab\tprop":true}}`,
+		`{"events":["cmd"]}`,
+		// False props and empty ticks interleaved.
+		`{"props":{"busy":false}}` + `{"events":["data"]}`,
+	}
+	for i, body := range bodies {
+		want := refDecode(t, v, body)
+		d := NewBatchDecoder(v)
+		var got PackedBatch
+		n, err := d.Decode([]byte(body), &got, 0)
+		if err != nil {
+			t.Fatalf("body %d: decode: %v", i, err)
+		}
+		if n != len(want) {
+			t.Fatalf("body %d: decoded %d ticks, want %d", i, n, len(want))
+		}
+		for j := range want {
+			if !got.Tick(j).Equal(want[j]) {
+				t.Errorf("body %d tick %d: packed %x, want %x", i, j, got.Tick(j), want[j])
+			}
+		}
+	}
+}
+
+func TestBatchDecoderRandomizedEquivalence(t *testing.T) {
+	v := testVocab(t)
+	names := append([]string{}, v.Names()...)
+	names = append(names, "unknown1", "unknown2")
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 200; round++ {
+		var sb strings.Builder
+		nticks := rng.Intn(8)
+		for k := 0; k < nticks; k++ {
+			tick := refTick{Props: map[string]bool{}}
+			for _, n := range names {
+				switch rng.Intn(5) {
+				case 0:
+					tick.Events = append(tick.Events, n)
+				case 1:
+					tick.Props[n] = rng.Intn(2) == 0
+				}
+			}
+			data, err := json.Marshal(tick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.Write(data)
+			sb.WriteByte('\n')
+		}
+		body := sb.String()
+		want := refDecode(t, v, body)
+		d := NewBatchDecoder(v)
+		var got PackedBatch
+		n, err := d.Decode([]byte(body), &got, 0)
+		if err != nil {
+			t.Fatalf("round %d: decode: %v\nbody: %s", round, err, body)
+		}
+		if n != len(want) {
+			t.Fatalf("round %d: decoded %d ticks, want %d", round, n, len(want))
+		}
+		for j := range want {
+			if !got.Tick(j).Equal(want[j]) {
+				t.Errorf("round %d tick %d: packed %x, want %x", round, j, got.Tick(j), want[j])
+			}
+		}
+	}
+}
+
+func TestBatchDecoderErrors(t *testing.T) {
+	v := testVocab(t)
+	bad := []string{
+		`{"events":["cmd"]`,            // unterminated object
+		`{"events":"cmd"}`,             // not an array
+		`{"events":[123]}`,             // not a string
+		`{"props":{"busy":1}}`,         // not a bool
+		`{"props":{"busy":truex}}`,     // bad literal
+		`{"extra":true}`,               // unknown field (json would ignore; we fall back)
+		`{"events":["a"],"events":[]}`, // duplicate field
+		`{"events":["\q"]}`,            // bad escape
+		`{"events":["\u00"]}`,          // truncated \u
+		`[{"events":["cmd"]}]`,         // array wrapper, not NDJSON
+		`{"events":["cmd"]} trailing`,  // trailing garbage
+	}
+	for i, body := range bad {
+		d := NewBatchDecoder(v)
+		var got PackedBatch
+		if _, err := d.Decode([]byte(body), &got, 0); err == nil {
+			t.Errorf("body %d (%s): expected error", i, body)
+		}
+	}
+}
+
+func TestBatchDecoderTickLimit(t *testing.T) {
+	v := testVocab(t)
+	body := strings.Repeat(`{"events":["cmd"]}`+"\n", 5)
+	d := NewBatchDecoder(v)
+	var got PackedBatch
+	n, err := d.Decode([]byte(body), &got, 3)
+	if !IsTooManyTicks(err) {
+		t.Fatalf("err = %v, want too-many-ticks", err)
+	}
+	if n <= 3 {
+		t.Fatalf("n = %d, want > limit to signal overflow", n)
+	}
+	if _, err := d.Decode([]byte(body), &got, 5); err != nil {
+		t.Fatalf("at-limit decode: %v", err)
+	}
+	if _, err := d.Decode([]byte(body), &got, 6); err != nil {
+		t.Fatalf("under-limit decode: %v", err)
+	}
+}
+
+func TestBatchDecoderSurrogatePairs(t *testing.T) {
+	v := NewVocabulary()
+	v.MustDeclare("pair\U0001D11E", KindEvent) // U+1D11E musical G clef
+	body := `{"events":["pair𝄞"]}`
+	d := NewBatchDecoder(v)
+	var got PackedBatch
+	if _, err := d.Decode([]byte(body), &got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Tick(0).Bit(0) {
+		t.Fatal("literal astral-plane name did not resolve")
+	}
+	escaped := `{"events":["pair\uD834\uDD1E"]}`
+	var gotEsc PackedBatch
+	if _, err := d.Decode([]byte(escaped), &gotEsc, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !gotEsc.Tick(0).Bit(0) {
+		t.Fatal("surrogate-pair escaped name did not resolve")
+	}
+	// Lone surrogates become the replacement rune, exactly like
+	// encoding/json — verified against the reference path.
+	lone := `{"events":["pair\uD834"]}`
+	want := refDecode(t, v, lone)
+	var got2 PackedBatch
+	if _, err := d.Decode([]byte(lone), &got2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Tick(0).Equal(want[0]) {
+		t.Fatalf("lone surrogate: packed %x, want %x", got2.Tick(0), want[0])
+	}
+}
+
+// TestBatchDecoderZeroAlloc locks in the acceptance criterion: steady
+// state decoding allocates nothing per tick (the backing array is
+// reused across Decodes).
+func TestBatchDecoderZeroAlloc(t *testing.T) {
+	v := testVocab(t)
+	var sb strings.Builder
+	for k := 0; k < 64; k++ {
+		fmt.Fprintf(&sb, `{"events":["cmd","resp"],"props":{"busy":true}}`+"\n")
+	}
+	body := []byte(sb.String())
+	d := NewBatchDecoder(v)
+	var batch PackedBatch
+	if _, err := d.Decode(body, &batch, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := d.Decode(body, &batch, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Decode allocates %.1f/op, want 0", allocs)
+	}
+}

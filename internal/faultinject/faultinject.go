@@ -152,6 +152,62 @@ func (p *Plane) Hit(point string) error {
 	}
 }
 
+// HitBatch announces that execution is about to process the named
+// injection point once for a whole batch of n ticks. The batch counts
+// as a single hit — counted schedules (After/Every/Count) advance per
+// batch, not per tick, so a crash-at-every-batch campaign hits every
+// batch exactly once no matter how traffic was chunked. When a rule
+// fires, HitBatch picks a deterministic in-batch offset from the
+// plane's seeded RNG and returns it with a closure that performs the
+// fault's effect; the caller invokes do immediately before processing
+// tick offset, landing the fault on exactly one tick so conformance
+// bisection still resolves a single-tick boundary. A nil do means no
+// rule fired (offset is -1).
+func (p *Plane) HitBatch(point string, n int) (offset int, do func() error) {
+	if p == nil || n <= 0 {
+		return -1, nil
+	}
+	p.mu.Lock()
+	p.hits[point]++
+	hit := p.hits[point]
+	var fired *ruleState
+	for _, r := range p.rules {
+		if r.Point != point {
+			continue
+		}
+		if !r.due(hit) {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && p.rng.Float64() >= r.Prob {
+			continue
+		}
+		r.fires++
+		fired = r
+		break
+	}
+	if fired == nil {
+		p.mu.Unlock()
+		return -1, nil
+	}
+	offset = p.rng.Intn(n)
+	p.mu.Unlock()
+	kind, delay, err := fired.Kind, fired.Delay, fired.Err
+	return offset, func() error {
+		switch kind {
+		case KindLatency:
+			time.Sleep(delay)
+			return nil
+		case KindPanic:
+			panic(&Injected{Point: point})
+		default:
+			if err != nil {
+				return err
+			}
+			return &Injected{Point: point}
+		}
+	}
+}
+
 // due reports whether the rule's counted schedule selects hit number n
 // (1-based), before the probabilistic gate.
 func (r *ruleState) due(n int) bool {

@@ -124,3 +124,66 @@ func TestSeededProbDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestHitBatchSchedule checks batch hits advance counted schedules per
+// batch and land the fault on one deterministic in-batch offset.
+func TestHitBatchSchedule(t *testing.T) {
+	var p *Plane
+	if off, do := p.HitBatch("pt", 64); off != -1 || do != nil {
+		t.Fatal("nil plane fired")
+	}
+	p = New(7).Add(Rule{Point: "pt", Kind: KindError, After: 2, Every: 2, Count: 2})
+	var offsets []int
+	for batch := 1; batch <= 10; batch++ {
+		off, do := p.HitBatch("pt", 64)
+		if do == nil {
+			continue
+		}
+		if off < 0 || off >= 64 {
+			t.Fatalf("batch %d: offset %d out of range", batch, off)
+		}
+		if err := do(); err == nil {
+			t.Fatalf("batch %d: fired rule returned nil", batch)
+		}
+		offsets = append(offsets, batch*1000+off)
+	}
+	if len(offsets) != 2 {
+		t.Fatalf("fired %d times, want 2 (Count)", len(offsets))
+	}
+	if p.Hits("pt") != 10 {
+		t.Fatalf("hits = %d, want 10 (one per batch)", p.Hits("pt"))
+	}
+	// Deterministic: an identically seeded plane replays the exact same
+	// (batch, offset) schedule.
+	q := New(7).Add(Rule{Point: "pt", Kind: KindError, After: 2, Every: 2, Count: 2})
+	var replay []int
+	for batch := 1; batch <= 10; batch++ {
+		if off, do := q.HitBatch("pt", 64); do != nil {
+			replay = append(replay, batch*1000+off)
+		}
+	}
+	if len(replay) != len(offsets) {
+		t.Fatalf("replay fired %d times, want %d", len(replay), len(offsets))
+	}
+	for i := range replay {
+		if replay[i] != offsets[i] {
+			t.Fatalf("replay schedule diverged: %v vs %v", replay, offsets)
+		}
+	}
+}
+
+// TestHitBatchPanicKind checks the returned closure carries the panic
+// effect to the caller's chosen tick.
+func TestHitBatchPanicKind(t *testing.T) {
+	p := New(3).Add(Rule{Point: "pt", Kind: KindPanic})
+	off, do := p.HitBatch("pt", 8)
+	if do == nil || off < 0 || off >= 8 {
+		t.Fatalf("off=%d fired=%v", off, do != nil)
+	}
+	defer func() {
+		if !IsInjected(recover()) {
+			t.Fatal("expected injected panic")
+		}
+	}()
+	_ = do()
+}

@@ -8,18 +8,12 @@ import (
 	"repro/internal/expr"
 )
 
-// Compiled is the table-driven fast path for monitor execution: the
-// transition function is precomputed over every (input valuation,
-// scoreboard-bit vector) pair, so a step is two table lookups and a
-// handful of counter updates instead of guard-tree evaluation. It exists
-// to close the throughput gap between synthesized monitors and
-// hand-written checkers (experiment E10); parity with the interpreted
-// engine is property-tested.
-//
-// The fast path is single-goroutine and owns a private scoreboard (plain
-// counters, no locking), so it does not participate in multi-clock
-// shared-scoreboard execution — use the interpreted Engine there.
-type Compiled struct {
+// Table is the immutable, shareable core of the table-driven execution
+// tier: the transition function of a monitor precomputed over every
+// (input valuation, scoreboard-bit vector) pair. One Table backs any
+// number of Compiled instances and LaneBanks concurrently — it is
+// read-only after CompileTable returns, so sharing needs no locks.
+type Table struct {
 	m   *Monitor
 	sup *event.Support
 	// chkEvents are the scoreboard events guards test, in index order.
@@ -31,24 +25,29 @@ type Compiled struct {
 	stride int
 	next   []int32
 	trans  []int32
-	// counts is the private scoreboard.
-	counts map[string]int
+	// acts[state][ti] is the transition's chk-slot action footprint:
+	// the action list pre-resolved to chkEvents indices, in original
+	// action order (order matters — a del of a zero count is a no-op, so
+	// del-then-add and add-then-del differ). Events outside chkEvents can
+	// never influence a guard and are dropped from the resolved form
+	// (Compiled keeps its name-keyed counts for the diagnostics surface).
+	acts [][][]tableOp
+}
 
-	state      int
-	accepts    int
-	steps      int
-	violations int
-	// diag, when armed via EnableDiagnostics, retains recent inputs and
-	// produces the same violation reports as the interpreted engine.
-	diag *diagState
+// tableOp is one chk-slot increment (del=false) or guarded decrement
+// (del=true) of a transition's action list.
+type tableOp struct {
+	ci  int
+	del bool
 }
 
 // maxCompileBits caps the table: 2^(support+chk) entries per state.
 const maxCompileBits = 20
 
-// Compile builds the table-driven form of m. It fails when the combined
-// support and scoreboard-bit width would make the table excessive.
-func Compile(m *Monitor) (*Compiled, error) {
+// CompileTable builds the shared table-driven form of m. It fails when
+// the combined support and scoreboard-bit width would make the table
+// excessive.
+func CompileTable(m *Monitor) (*Table, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,51 +67,143 @@ func Compile(m *Monitor) (*Compiled, error) {
 	for e := range chkSet {
 		chkEvents = append(chkEvents, e)
 	}
-	// Deterministic order.
-	for i := 0; i < len(chkEvents); i++ {
-		for j := i + 1; j < len(chkEvents); j++ {
-			if chkEvents[j] < chkEvents[i] {
-				chkEvents[i], chkEvents[j] = chkEvents[j], chkEvents[i]
-			}
-		}
-	}
+	sort.Strings(chkEvents)
 	totalBits := sup.Len() + len(chkEvents)
 	if totalBits > maxCompileBits {
 		return nil, fmt.Errorf("monitor: %d support + %d scoreboard bits exceed compile limit %d",
 			sup.Len(), len(chkEvents), maxCompileBits)
 	}
-	c := &Compiled{
+	t := &Table{
 		m:         m,
 		sup:       sup,
 		chkEvents: chkEvents,
 		chkIndex:  map[string]int{},
 		width:     uint(sup.Len()),
 		stride:    1 << uint(totalBits),
-		counts:    map[string]int{},
-		state:     m.Initial,
 	}
 	for i, e := range chkEvents {
-		c.chkIndex[e] = i
+		t.chkIndex[e] = i
 	}
-	c.next = make([]int32, m.States*c.stride)
-	c.trans = make([]int32, m.States*c.stride)
+	t.next = make([]int32, m.States*t.stride)
+	t.trans = make([]int32, m.States*t.stride)
 	for s := 0; s < m.States; s++ {
-		for idx := 0; idx < c.stride; idx++ {
-			val := event.Valuation(uint64(idx) & ((1 << c.width) - 1))
-			chkBits := uint64(idx) >> c.width
-			ctx := compiledCtx{sup: sup, val: val, chk: chkBits, chkIndex: c.chkIndex}
+		for idx := 0; idx < t.stride; idx++ {
+			val := event.Valuation(uint64(idx) & ((1 << t.width) - 1))
+			chkBits := uint64(idx) >> t.width
+			ctx := compiledCtx{sup: sup, val: val, chk: chkBits, chkIndex: t.chkIndex}
 			to, ti := m.Initial, int32(-1)
-			for i, t := range m.Trans[s] {
-				if t.Guard.Eval(ctx) {
-					to, ti = t.To, int32(i)
+			for i, tr := range m.Trans[s] {
+				if tr.Guard.Eval(ctx) {
+					to, ti = tr.To, int32(i)
 					break
 				}
 			}
-			c.next[s*c.stride+idx] = int32(to)
-			c.trans[s*c.stride+idx] = ti
+			t.next[s*t.stride+idx] = int32(to)
+			t.trans[s*t.stride+idx] = ti
 		}
 	}
-	return c, nil
+	t.acts = make([][][]tableOp, m.States)
+	for s := 0; s < m.States; s++ {
+		t.acts[s] = make([][]tableOp, len(m.Trans[s]))
+		for i, tr := range m.Trans[s] {
+			for _, a := range tr.Actions {
+				for _, e := range a.Events {
+					ci, tracked := t.chkIndex[e]
+					if !tracked {
+						continue
+					}
+					switch a.Kind {
+					case ActAdd:
+						t.acts[s][i] = append(t.acts[s][i], tableOp{ci: ci})
+					case ActDel:
+						t.acts[s][i] = append(t.acts[s][i], tableOp{ci: ci, del: true})
+					}
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Monitor returns the automaton the table was compiled from.
+func (t *Table) Monitor() *Monitor { return t.m }
+
+// Support returns the support the valuation index bits follow.
+func (t *Table) Support() *event.Support { return t.sup }
+
+// ChkEvents returns the scoreboard events guards test (index order).
+func (t *Table) ChkEvents() []string { return t.chkEvents }
+
+// Width returns the number of support bits in a table index.
+func (t *Table) Width() int { return int(t.width) }
+
+// Stride returns the number of table entries per state.
+func (t *Table) Stride() int { return t.stride }
+
+// TableBytes reports the transition table footprint, for sizing
+// diagnostics.
+func (t *Table) TableBytes() int { return 8 * len(t.next) }
+
+// Lookup resolves one (state, index) cell: the raw target state (before
+// the violation-sink reset) and the fired transition index (-1 none).
+// idx is the support valuation in the low width bits or'd with the chk
+// bits above them; bits beyond the stride are masked off.
+func (t *Table) Lookup(state int, idx uint64) (to int, fired int) {
+	i := state*t.stride + int(idx&uint64(t.stride-1))
+	return int(t.next[i]), int(t.trans[i])
+}
+
+// Fired resolves only the fired transition index of a (state, index)
+// cell. For chk-free monitors idx is just the packed support valuation,
+// which lets batch steppers replace per-guard program evaluation with
+// one load.
+func (t *Table) Fired(state int, idx uint64) int {
+	return int(t.trans[state*t.stride+int(idx&uint64(t.stride-1))])
+}
+
+// ChkFree reports whether no guard of the monitor tests the scoreboard;
+// only then is a table index a pure support valuation.
+func (t *Table) ChkFree() bool { return len(t.chkEvents) == 0 }
+
+// Compiled is the table-driven fast path for monitor execution: a
+// private cursor (state + scoreboard counters) over a shared Table, so
+// a step is two table lookups and a handful of counter updates instead
+// of guard-tree evaluation. It exists to close the throughput gap
+// between synthesized monitors and hand-written checkers (experiment
+// E10); parity with the interpreted engine is property-tested.
+//
+// The fast path is single-goroutine and owns a private scoreboard (plain
+// counters, no locking), so it does not participate in multi-clock
+// shared-scoreboard execution — use the interpreted Engine there.
+type Compiled struct {
+	t *Table
+	// counts is the private scoreboard.
+	counts map[string]int
+
+	state      int
+	accepts    int
+	steps      int
+	violations int
+	// diag, when armed via EnableDiagnostics, retains recent inputs and
+	// produces the same violation reports as the interpreted engine.
+	diag *diagState
+}
+
+// Compile builds the table-driven form of m with a fresh private
+// cursor. The underlying table is not shared; use CompileTable +
+// NewInstance to share one table across many instances.
+func Compile(m *Monitor) (*Compiled, error) {
+	t, err := CompileTable(m)
+	if err != nil {
+		return nil, err
+	}
+	return t.NewInstance(), nil
+}
+
+// NewInstance returns a fresh cursor over the shared table, starting at
+// the initial state with an empty scoreboard.
+func (t *Table) NewInstance() *Compiled {
+	return &Compiled{t: t, counts: map[string]int{}, state: t.m.Initial}
 }
 
 // compiledCtx evaluates guards during table construction.
@@ -144,18 +235,19 @@ func (c *Compiled) Step(s event.State) bool {
 	if c.diag != nil {
 		c.diag.observe(s)
 	}
-	val := uint64(c.sup.Valuation(s))
+	t := c.t
+	val := uint64(t.sup.Valuation(s))
 	idx := val
-	for i, e := range c.chkEvents {
+	for i, e := range t.chkEvents {
 		if c.counts[e] > 0 {
-			idx |= 1 << (c.width + uint(i))
+			idx |= 1 << (t.width + uint(i))
 		}
 	}
-	base := c.state * c.stride
-	to := int(c.next[base+int(idx)])
-	ti := c.trans[base+int(idx)]
+	base := c.state * t.stride
+	to := int(t.next[base+int(idx)])
+	ti := t.trans[base+int(idx)]
 	if ti >= 0 {
-		for _, a := range c.m.Trans[c.state][ti].Actions {
+		for _, a := range t.m.Trans[c.state][ti].Actions {
 			switch a.Kind {
 			case ActAdd:
 				for _, e := range a.Events {
@@ -173,16 +265,16 @@ func (c *Compiled) Step(s event.State) bool {
 	// Mirror Engine.finish: the violation sink behaves like a reset, so
 	// the table re-arms at Initial in the same tick rather than parking in
 	// the sink until the next uncovered input.
-	if c.m.Violation != NoState && to == c.m.Violation {
+	if t.m.Violation != NoState && to == t.m.Violation {
 		c.violations++
 		if c.diag != nil {
 			c.recordViolation(int(ti), val, s)
 		}
-		to = c.m.Initial
+		to = t.m.Initial
 	}
 	c.state = to
 	c.steps++
-	if c.m.IsFinal(to) {
+	if t.m.IsFinal(to) {
 		c.accepts++
 		return true
 	}
@@ -196,7 +288,7 @@ func (c *Compiled) EnableDiagnostics(depth int) {
 		c.diag = nil
 		return
 	}
-	c.diag = &diagState{depth: depth, ring: make([]event.State, depth), sup: c.sup}
+	c.diag = &diagState{depth: depth, ring: make([]event.State, depth), sup: c.t.sup}
 }
 
 // Diagnostics returns the recorded violation reports (nil when
@@ -212,11 +304,12 @@ func (c *Compiled) Diagnostics() []Diagnostic {
 // same tick convention (pre-increment), same pre-move state, and the
 // private counts scoreboard rendered exactly as Scoreboard.Live would.
 func (c *Compiled) recordViolation(ti int, val uint64, s event.State) {
+	m := c.t.m
 	rep := Diagnostic{
-		Monitor:    c.m.Name,
+		Monitor:    m.Name,
 		Tick:       c.steps,
 		FromState:  c.state,
-		GridLine:   gridLine(c.m, c.state),
+		GridLine:   gridLine(m, c.state),
 		Guards:     c.guardStrings(c.state),
 		Valuation:  val,
 		Input:      s.Clone(),
@@ -224,7 +317,7 @@ func (c *Compiled) recordViolation(ti int, val uint64, s event.State) {
 		Scoreboard: c.liveCounts(),
 	}
 	if ti >= 0 {
-		rep.Guard = c.m.Trans[c.state][ti].Guard.String()
+		rep.Guard = m.Trans[c.state][ti].Guard.String()
 	}
 	c.diag.push(rep)
 }
@@ -232,12 +325,13 @@ func (c *Compiled) recordViolation(ti int, val uint64, s event.State) {
 // guardStrings renders the candidate guards of state s in transition
 // order.
 func (c *Compiled) guardStrings(s int) []string {
-	if s < 0 || s >= len(c.m.Trans) || len(c.m.Trans[s]) == 0 {
+	m := c.t.m
+	if s < 0 || s >= len(m.Trans) || len(m.Trans[s]) == 0 {
 		return nil
 	}
-	out := make([]string, len(c.m.Trans[s]))
-	for i := range c.m.Trans[s] {
-		out[i] = c.m.Trans[s][i].Guard.String()
+	out := make([]string, len(m.Trans[s]))
+	for i := range m.Trans[s] {
+		out[i] = m.Trans[s][i].Guard.String()
 	}
 	return out
 }
@@ -254,6 +348,9 @@ func (c *Compiled) liveCounts() []string {
 	sort.Strings(out)
 	return out
 }
+
+// Table returns the shared transition table backing this instance.
+func (c *Compiled) Table() *Table { return c.t }
 
 // State returns the current automaton state.
 func (c *Compiled) State() int { return c.state }
@@ -274,10 +371,10 @@ func (c *Compiled) Count(e string) int { return c.counts[e] }
 // Reset returns the monitor to its initial state and clears the private
 // scoreboard; counters are preserved.
 func (c *Compiled) Reset() {
-	c.state = c.m.Initial
+	c.state = c.t.m.Initial
 	c.counts = map[string]int{}
 }
 
 // TableBytes reports the transition table footprint, for sizing
 // diagnostics.
-func (c *Compiled) TableBytes() int { return 8 * len(c.next) }
+func (c *Compiled) TableBytes() int { return c.t.TableBytes() }

@@ -183,6 +183,16 @@ func (e *Engine) StepPacked(in event.Packed) StepResult {
 	return e.finish(e.firedPacked(in, e.b.remap), s)
 }
 
+// StepFired applies an externally resolved fired-transition index —
+// typically a shared Table lookup over a packed batch valuation — and
+// classifies the move exactly as Step would. It is only equivalent to
+// Step when the resolver sees everything a guard can: the caller must
+// restrict it to chk-free monitors (no scoreboard in guards) with
+// diagnostics off (no input ring to feed). Actions still apply.
+func (e *Engine) StepFired(fired int) StepResult {
+	return e.finish(fired, event.State{})
+}
+
 // firedAST scans the current state's transitions interpreting guard
 // ASTs; it returns the fired transition index or -1.
 func (e *Engine) firedAST(s event.State) int {

@@ -1,0 +1,200 @@
+package monitor
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/event"
+)
+
+// maxFusedMonitors bounds a fused set: verdict masks are one byte.
+const maxFusedMonitors = 8
+
+// maxFusedCells caps the product table footprint (cells, not bytes).
+const maxFusedCells = 1 << 20
+
+// FusedTable product-steps a small set of chk-free monitors as one
+// automaton: the product state × union-support valuation transition
+// function is precomputed, so a tick for the whole set is a single
+// table load regardless of how many monitors it fuses. Violation-sink
+// resets are folded into the stored target state per component, and the
+// per-component accept/violation verdicts of each cell are stored as
+// bit masks alongside it.
+//
+// Only chk-free monitors fuse: a scoreboard-testing guard would make
+// the transition function depend on unbounded counter state that a
+// finite product cannot enumerate — those monitors stay on the Compiled
+// or LaneBank tiers. Scoreboard actions are permitted but their counts
+// are not maintained (they are unobservable to chk-free stepping);
+// callers needing Count parity use per-monitor tiers.
+type FusedTable struct {
+	ms  []*Monitor
+	sup *event.Support // union support; index bits follow it
+
+	stride int // 1 << union support bits
+	next   []uint32
+	accept []uint8
+	viol   []uint8
+
+	state      int
+	steps      int
+	accepts    [maxFusedMonitors]int
+	violations [maxFusedMonitors]int
+}
+
+// NewFusedTable builds the product table of ms over their union
+// support. It fails on non-chk-free monitors, more than 8 monitors, or
+// a product exceeding the cell cap.
+func NewFusedTable(ms []*Monitor) (*FusedTable, error) {
+	if len(ms) == 0 || len(ms) > maxFusedMonitors {
+		return nil, fmt.Errorf("monitor: fused set of %d monitors (want 1..%d)", len(ms), maxFusedMonitors)
+	}
+	tables := make([]*Table, len(ms))
+	var sup *event.Support
+	for i, m := range ms {
+		t, err := CompileTable(m)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: fusing %q: %w", m.Name, err)
+		}
+		if !t.ChkFree() {
+			return nil, fmt.Errorf("monitor: %q tests the scoreboard; chk guards do not fuse", m.Name)
+		}
+		tables[i] = t
+		if sup == nil {
+			sup = t.Support()
+		} else if sup, err = sup.Union(t.Support()); err != nil {
+			return nil, fmt.Errorf("monitor: fusing %q: %w", m.Name, err)
+		}
+	}
+	productStates := 1
+	for _, m := range ms {
+		productStates *= m.States
+		if productStates > maxFusedCells {
+			return nil, fmt.Errorf("monitor: fused product of states alone exceeds %d cells", maxFusedCells)
+		}
+	}
+	if cells := productStates << uint(sup.Len()); cells > maxFusedCells {
+		return nil, fmt.Errorf("monitor: fused product of %d states x %d valuations exceeds %d cells",
+			productStates, uint64(1)<<uint(sup.Len()), maxFusedCells)
+	}
+	f := &FusedTable{ms: ms, sup: sup, stride: 1 << uint(sup.Len())}
+	// remap[i][b] is the union-support bit feeding monitor i's support
+	// bit b.
+	remap := make([][]int, len(ms))
+	for i, t := range tables {
+		remap[i] = make([]int, t.Support().Len())
+		for b, sym := range t.Support().Symbols() {
+			remap[i][b] = sup.Index(sym.Name)
+		}
+	}
+	f.next = make([]uint32, productStates*f.stride)
+	f.accept = make([]uint8, len(f.next))
+	f.viol = make([]uint8, len(f.next))
+	comp := make([]int, len(ms))
+	for ps := 0; ps < productStates; ps++ {
+		decodeProduct(ms, ps, comp)
+		for v := 0; v < f.stride; v++ {
+			var acceptMask, violMask uint8
+			nps := 0
+			radix := 1
+			for i, t := range tables {
+				mv := uint64(0)
+				for b, ub := range remap[i] {
+					mv |= uint64(v>>uint(ub)&1) << uint(b)
+				}
+				to, _ := t.Lookup(comp[i], mv)
+				if ms[i].Violation != NoState && to == ms[i].Violation {
+					violMask |= 1 << uint(i)
+					to = ms[i].Initial
+				}
+				if ms[i].IsFinal(to) {
+					acceptMask |= 1 << uint(i)
+				}
+				nps += to * radix
+				radix *= ms[i].States
+			}
+			cell := ps*f.stride + v
+			f.next[cell] = uint32(nps)
+			f.accept[cell] = acceptMask
+			f.viol[cell] = violMask
+		}
+	}
+	f.state = encodeProduct(ms, initialStates(ms))
+	return f, nil
+}
+
+func initialStates(ms []*Monitor) []int {
+	out := make([]int, len(ms))
+	for i, m := range ms {
+		out[i] = m.Initial
+	}
+	return out
+}
+
+func encodeProduct(ms []*Monitor, comp []int) int {
+	ps, radix := 0, 1
+	for i, m := range ms {
+		ps += comp[i] * radix
+		radix *= m.States
+	}
+	return ps
+}
+
+func decodeProduct(ms []*Monitor, ps int, comp []int) {
+	for i, m := range ms {
+		comp[i] = ps % m.States
+		ps /= m.States
+	}
+}
+
+// Support returns the union support the valuation bits follow.
+func (f *FusedTable) Support() *event.Support { return f.sup }
+
+// Monitors returns the fused set in mask-bit order.
+func (f *FusedTable) Monitors() []*Monitor { return f.ms }
+
+// TableBytes reports the product table footprint.
+func (f *FusedTable) TableBytes() int { return 6 * len(f.next) }
+
+// Step consumes one union-support valuation for the whole set: bit i of
+// the returned masks is monitor i's accept / violation verdict.
+func (f *FusedTable) Step(val uint64) (acceptMask, violMask uint8) {
+	cell := f.state*f.stride + int(val&uint64(f.stride-1))
+	f.state = int(f.next[cell])
+	acceptMask = f.accept[cell]
+	violMask = f.viol[cell]
+	f.steps++
+	for m := acceptMask; m != 0; m &= m - 1 {
+		f.accepts[bits.TrailingZeros8(m)]++
+	}
+	for m := violMask; m != 0; m &= m - 1 {
+		f.violations[bits.TrailingZeros8(m)]++
+	}
+	return acceptMask, violMask
+}
+
+// StepState packs a full input element onto the union support and
+// steps.
+func (f *FusedTable) StepState(s event.State) (acceptMask, violMask uint8) {
+	return f.Step(uint64(f.sup.Valuation(s)))
+}
+
+// States returns the component automaton states in set order.
+func (f *FusedTable) States() []int {
+	comp := make([]int, len(f.ms))
+	decodeProduct(f.ms, f.state, comp)
+	return comp
+}
+
+// Steps returns the number of ticks consumed.
+func (f *FusedTable) Steps() int { return f.steps }
+
+// Accepts returns monitor i's acceptance count.
+func (f *FusedTable) Accepts(i int) int { return f.accepts[i] }
+
+// Violations returns monitor i's violation count.
+func (f *FusedTable) Violations(i int) int { return f.violations[i] }
+
+// Reset returns every component to its initial state; counters are
+// preserved, matching Compiled.Reset.
+func (f *FusedTable) Reset() { f.state = encodeProduct(f.ms, initialStates(f.ms)) }

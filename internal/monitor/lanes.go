@@ -1,0 +1,363 @@
+package monitor
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxLanes is the width of a LaneBank: one bit-sliced lane per bit of a
+// uint64.
+const MaxLanes = 64
+
+// laneCountBits is the bit-sliced scoreboard counter width per lane. A
+// count about to exceed the 16-bit ceiling marks its lane as spilled
+// (see Spilled) instead of wrapping.
+const laneCountBits = 16
+
+// LaneBank steps up to 64 independent sessions of one Table in lockstep
+// on uint64 lanes. State bits and scoreboard counters are transposed —
+// plane p of statePlanes holds bit p of every lane's state, lane L in
+// bit L — so the table's transition function is evaluated once per
+// distinct (state, scoreboard, valuation) group per tick and the result
+// is scattered to every lane of the group with a handful of word ops.
+// With homogeneous traffic the 64 lanes collapse to one group and the
+// amortized cost per monitor-tick is a few word operations.
+//
+// Semantics are exactly Compiled's: same table cells, same action
+// counters (restricted to guard-tested chk events, the only ones that
+// can influence stepping), same same-tick violation-sink reset, same
+// accept convention. The differential tests in lanes_test.go and the
+// conformance harness hold a LaneBank to byte-identical verdicts
+// against per-session Compiled instances.
+//
+// A LaneBank is single-goroutine, like Compiled.
+type LaneBank struct {
+	t *Table
+
+	occupied uint64
+	spilled  uint64
+	ticks    uint64
+
+	// statePlanes[p] bit L = bit p of lane L's state.
+	statePlanes []uint64
+	// counts[c][p] bit L = bit p of lane L's count of chk event c.
+	counts [][laneCountBits]uint64
+	// chkNonzero[c] bit L = lane L's count of chk event c is > 0;
+	// recomputed from the planes at the top of every step.
+	chkNonzero []uint64
+
+	joinTick   [MaxLanes]uint64
+	accepts    [MaxLanes]int
+	violations [MaxLanes]int
+}
+
+// NewLaneBank returns an empty bank over the shared table.
+func NewLaneBank(t *Table) *LaneBank {
+	planes := bits.Len(uint(t.m.States - 1))
+	return &LaneBank{
+		t:           t,
+		statePlanes: make([]uint64, planes),
+		counts:      make([][laneCountBits]uint64, len(t.chkEvents)),
+		chkNonzero:  make([]uint64, len(t.chkEvents)),
+	}
+}
+
+// Table returns the shared transition table the bank steps.
+func (b *LaneBank) Table() *Table { return b.t }
+
+// Occupied returns the mask of live lanes.
+func (b *LaneBank) Occupied() uint64 { return b.occupied }
+
+// Len returns the number of live lanes.
+func (b *LaneBank) Len() int { return bits.OnesCount64(b.occupied) }
+
+// Spilled returns the mask of lanes whose scoreboard counter hit the
+// 16-bit lane ceiling. A spilled lane's count is clamped, so it can
+// diverge from the unbounded reference once decremented back down —
+// callers must evict spilled lanes to a scalar tier. In practice a
+// count of 65535 outstanding transactions means the monitored design is
+// already broken.
+func (b *LaneBank) Spilled() uint64 { return b.spilled }
+
+// Join claims a free lane starting at the initial state with a zero
+// scoreboard, exactly like a fresh Compiled instance. ok is false when
+// the bank is full.
+func (b *LaneBank) Join() (lane int, ok bool) {
+	return b.JoinWith(LaneState{State: b.t.m.Initial, Counts: nil})
+}
+
+// LaneState is the portable snapshot of one lane: automaton state and
+// scoreboard counts indexed by the table's ChkEvents order. It is what
+// Snapshot returns and JoinWith / Restore consume, and is the bridge
+// for moving a session between a scalar Compiled cursor and a lane.
+type LaneState struct {
+	State      int
+	Counts     []uint32 // by ChkEvents index; nil means all zero
+	Steps      int
+	Accepts    int
+	Violations int
+}
+
+// JoinWith claims a free lane seeded from a snapshot (session revival,
+// or migration from a scalar tier). ok is false when the bank is full
+// or the snapshot is out of range for the lane representation.
+func (b *LaneBank) JoinWith(st LaneState) (lane int, ok bool) {
+	free := ^b.occupied
+	if free == 0 {
+		return 0, false
+	}
+	lane = bits.TrailingZeros64(free)
+	if err := b.restore(lane, st); err != nil {
+		return 0, false
+	}
+	b.occupied |= 1 << uint(lane)
+	return lane, true
+}
+
+// Restore overwrites a live lane from a snapshot.
+func (b *LaneBank) Restore(lane int, st LaneState) error {
+	if uint(lane) >= MaxLanes || b.occupied&(1<<uint(lane)) == 0 {
+		return fmt.Errorf("monitor: restore of dead lane %d", lane)
+	}
+	return b.restore(lane, st)
+}
+
+func (b *LaneBank) restore(lane int, st LaneState) error {
+	if st.State < 0 || st.State >= b.t.m.States {
+		return fmt.Errorf("monitor: lane state %d out of range", st.State)
+	}
+	if len(st.Counts) > len(b.t.chkEvents) {
+		return fmt.Errorf("monitor: %d lane counts for %d chk events", len(st.Counts), len(b.t.chkEvents))
+	}
+	bit := uint64(1) << uint(lane)
+	for p := range b.statePlanes {
+		if st.State&(1<<uint(p)) != 0 {
+			b.statePlanes[p] |= bit
+		} else {
+			b.statePlanes[p] &^= bit
+		}
+	}
+	for c := range b.counts {
+		var n uint32
+		if c < len(st.Counts) {
+			n = st.Counts[c]
+		}
+		if n >= 1<<laneCountBits {
+			return fmt.Errorf("monitor: lane count %d exceeds %d-bit lane ceiling", n, laneCountBits)
+		}
+		for p := 0; p < laneCountBits; p++ {
+			if n&(1<<uint(p)) != 0 {
+				b.counts[c][p] |= bit
+			} else {
+				b.counts[c][p] &^= bit
+			}
+		}
+	}
+	b.spilled &^= bit
+	b.accepts[lane] = st.Accepts
+	b.violations[lane] = st.Violations
+	b.joinTick[lane] = b.ticks - uint64(st.Steps)
+	return nil
+}
+
+// Snapshot captures a live lane's full cursor.
+func (b *LaneBank) Snapshot(lane int) (LaneState, error) {
+	if uint(lane) >= MaxLanes || b.occupied&(1<<uint(lane)) == 0 {
+		return LaneState{}, fmt.Errorf("monitor: snapshot of dead lane %d", lane)
+	}
+	st := LaneState{
+		State:      b.laneState(lane),
+		Steps:      int(b.ticks - b.joinTick[lane]),
+		Accepts:    b.accepts[lane],
+		Violations: b.violations[lane],
+	}
+	if len(b.counts) > 0 {
+		st.Counts = make([]uint32, len(b.counts))
+		for c := range b.counts {
+			st.Counts[c] = b.laneCount(lane, c)
+		}
+	}
+	return st, nil
+}
+
+// Evict releases a lane; its bits are cleared for reuse.
+func (b *LaneBank) Evict(lane int) {
+	if uint(lane) >= MaxLanes {
+		return
+	}
+	bit := uint64(1) << uint(lane)
+	b.occupied &^= bit
+	b.spilled &^= bit
+}
+
+// State returns lane's current automaton state.
+func (b *LaneBank) State(lane int) int { return b.laneState(lane) }
+
+// Steps returns the number of ticks lane has consumed.
+func (b *LaneBank) Steps(lane int) int { return int(b.ticks - b.joinTick[lane]) }
+
+// Accepts returns lane's acceptance count.
+func (b *LaneBank) Accepts(lane int) int { return b.accepts[lane] }
+
+// Violations returns lane's violation count.
+func (b *LaneBank) Violations(lane int) int { return b.violations[lane] }
+
+// Count returns lane's scoreboard count of event e (0 for untracked
+// events — only guard-tested chk events are observable to stepping).
+func (b *LaneBank) Count(lane int, e string) int {
+	c, ok := b.t.chkIndex[e]
+	if !ok {
+		return 0
+	}
+	return int(b.laneCount(lane, c))
+}
+
+func (b *LaneBank) laneState(lane int) int {
+	s := 0
+	for p, plane := range b.statePlanes {
+		s |= int(plane>>uint(lane)&1) << uint(p)
+	}
+	return s
+}
+
+func (b *LaneBank) laneCount(lane int, c int) uint32 {
+	var n uint32
+	for p := 0; p < laneCountBits; p++ {
+		n |= uint32(b.counts[c][p]>>uint(lane)&1) << uint(p)
+	}
+	return n
+}
+
+// StepUniform feeds the same packed support valuation to every live
+// lane — the broadcast-traffic fast path — and returns the lanes that
+// accepted and the lanes that entered the violation sink this tick.
+func (b *LaneBank) StepUniform(val uint64) (acceptMask, violMask uint64) {
+	return b.step(val, nil)
+}
+
+// StepAll feeds a per-lane valuation (vals[lane], only live lanes are
+// read) and returns the accept and violation lane masks for the tick.
+func (b *LaneBank) StepAll(vals *[MaxLanes]uint64) (acceptMask, violMask uint64) {
+	return b.step(0, vals)
+}
+
+func (b *LaneBank) step(uniform uint64, vals *[MaxLanes]uint64) (acceptMask, violMask uint64) {
+	t := b.t
+	for c := range b.counts {
+		nz := uint64(0)
+		for p := 0; p < laneCountBits; p++ {
+			nz |= b.counts[c][p]
+		}
+		b.chkNonzero[c] = nz
+	}
+	remaining := b.occupied
+	for remaining != 0 {
+		lead := bits.TrailingZeros64(remaining)
+		// Gather the leader's cursor, then intersect planes to find every
+		// remaining lane sharing it: the guard evaluates once per group.
+		s := b.laneState(lead)
+		group := remaining
+		for p, plane := range b.statePlanes {
+			if s&(1<<uint(p)) != 0 {
+				group &= plane
+			} else {
+				group &= ^plane
+			}
+		}
+		idx := uniform
+		if vals != nil {
+			idx = vals[lead]
+		}
+		for c, nz := range b.chkNonzero {
+			if nz>>uint(lead)&1 != 0 {
+				group &= nz
+				idx |= 1 << (t.width + uint(c))
+			} else {
+				group &= ^nz
+			}
+		}
+		if vals != nil {
+			// Per-lane traffic: keep only lanes seeing the leader's valuation;
+			// the rest stay in remaining for a later group.
+			uniq := group
+			for m := group; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				if vals[l] != vals[lead] {
+					uniq &^= 1 << uint(l)
+				}
+			}
+			group = uniq
+		}
+		remaining &^= group
+
+		cell := s*t.stride + int(idx&uint64(t.stride-1))
+		to := int(t.next[cell])
+		ti := t.trans[cell]
+		if ti >= 0 {
+			for _, op := range t.acts[s][ti] {
+				if op.del {
+					b.decCount(op.ci, group)
+				} else {
+					b.incCount(op.ci, group)
+				}
+			}
+		}
+		if t.m.Violation != NoState && to == t.m.Violation {
+			violMask |= group
+			to = t.m.Initial
+		}
+		for p := range b.statePlanes {
+			if to&(1<<uint(p)) != 0 {
+				b.statePlanes[p] |= group
+			} else {
+				b.statePlanes[p] &^= group
+			}
+		}
+		if t.m.IsFinal(to) {
+			acceptMask |= group
+		}
+	}
+	b.ticks++
+	for m := acceptMask; m != 0; m &= m - 1 {
+		b.accepts[bits.TrailingZeros64(m)]++
+	}
+	for m := violMask; m != 0; m &= m - 1 {
+		b.violations[bits.TrailingZeros64(m)]++
+	}
+	return acceptMask, violMask
+}
+
+// incCount adds one to chk slot c of every lane in mask — a ripple-
+// carry increment across the bit planes. Lanes already at the ceiling
+// saturate and are recorded in spilled.
+func (b *LaneBank) incCount(c int, mask uint64) {
+	sat := mask
+	for p := 0; p < laneCountBits; p++ {
+		sat &= b.counts[c][p]
+	}
+	if sat != 0 {
+		b.spilled |= sat
+		mask &^= sat
+	}
+	carry := mask
+	for p := 0; p < laneCountBits && carry != 0; p++ {
+		old := b.counts[c][p]
+		b.counts[c][p] = old ^ carry
+		carry &= old
+	}
+}
+
+// decCount subtracts one from chk slot c of every lane in mask whose
+// count is positive (the scoreboard's guarded del), via borrow ripple.
+func (b *LaneBank) decCount(c int, mask uint64) {
+	nz := uint64(0)
+	for p := 0; p < laneCountBits; p++ {
+		nz |= b.counts[c][p]
+	}
+	borrow := mask & nz
+	for p := 0; p < laneCountBits && borrow != 0; p++ {
+		old := b.counts[c][p]
+		b.counts[c][p] = old ^ borrow
+		borrow &= ^old
+	}
+}

@@ -1,0 +1,91 @@
+package monitor_test
+
+import (
+	"testing"
+
+	"repro/internal/amba"
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/synth"
+)
+
+// TestLaneBankFigMonitors is the acceptance-criterion differential on
+// the paper's protocol figures: 64 lanes of each synthesized monitor,
+// each lane fed its own deterministic model traffic, must match 64
+// independent Compiled instances on every verdict, state, and
+// scoreboard count.
+func TestLaneBankFigMonitors(t *testing.T) {
+	cases := []struct {
+		name    string
+		chart   chart.Chart
+		traffic func(seed int64) []event.State
+	}{
+		{"Fig6OCP", ocp.SimpleReadChart(), func(seed int64) []event.State {
+			return ocp.NewModel(ocp.Config{Gap: 2, Seed: seed}).GenerateTrace(1024)
+		}},
+		{"Fig7OCPBurst", ocp.BurstReadChart(), func(seed int64) []event.State {
+			return ocp.NewModel(ocp.Config{Gap: 2, Seed: seed, Burst: true}).GenerateTrace(1024)
+		}},
+		{"Fig8AHB", amba.TransactionChart(), func(seed int64) []event.State {
+			return amba.NewModel(amba.Config{Gap: 2, Seed: seed}).GenerateTrace(1024)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := synth.Synthesize(tc.chart, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tab, err := monitor.CompileTable(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bank := monitor.NewLaneBank(tab)
+			refs := make([]*monitor.Compiled, monitor.MaxLanes)
+			traces := make([][]event.State, monitor.MaxLanes)
+			for i := range refs {
+				if _, ok := bank.Join(); !ok {
+					t.Fatal("bank full")
+				}
+				refs[i] = tab.NewInstance()
+				traces[i] = tc.traffic(int64(i + 1))
+			}
+			var vals [monitor.MaxLanes]uint64
+			for tick := 0; tick < 1024; tick++ {
+				for l := range vals {
+					vals[l] = uint64(tab.Support().Valuation(traces[l][tick]))
+				}
+				acceptMask, violMask := bank.StepAll(&vals)
+				for l, c := range refs {
+					prevViol := c.Violations()
+					accepted := c.Step(traces[l][tick])
+					if got := acceptMask>>uint(l)&1 == 1; got != accepted {
+						t.Fatalf("tick %d lane %d: accept %v, reference %v", tick, l, got, accepted)
+					}
+					if got := violMask>>uint(l)&1 == 1; got != (c.Violations() > prevViol) {
+						t.Fatalf("tick %d lane %d: violation bit mismatch", tick, l)
+					}
+					if bank.State(l) != c.State() {
+						t.Fatalf("tick %d lane %d: state %d, reference %d", tick, l, bank.State(l), c.State())
+					}
+				}
+			}
+			for l, c := range refs {
+				if bank.Accepts(l) != c.Accepts() || bank.Violations(l) != c.Violations() {
+					t.Fatalf("lane %d: counters diverged (%d/%d vs %d/%d)",
+						l, bank.Accepts(l), bank.Violations(l), c.Accepts(), c.Violations())
+				}
+				for _, e := range tab.ChkEvents() {
+					if bank.Count(l, e) != c.Count(e) {
+						t.Fatalf("lane %d: count[%s] %d, reference %d", l, e, bank.Count(l, e), c.Count(e))
+					}
+				}
+			}
+			if bank.Spilled() != 0 {
+				t.Fatal("unexpected spill on fig traffic")
+			}
+		})
+	}
+}

@@ -119,6 +119,30 @@ func (t *Tracer) Record(shard int, sp Span) {
 	r.Put(c)
 }
 
+// RecordBatch records a batch's worth of spans with one sequence claim,
+// one counter add, and one slab allocation for the whole batch — the
+// amortized write path for batch-stepped shards, where per-span Record
+// calls would tax the hot loop k times per batch. Span order within the
+// batch is preserved in Seq order.
+func (t *Tracer) RecordBatch(shard int, spans []Span) {
+	if t == nil || len(spans) == 0 || !t.enabled.Load() {
+		return
+	}
+	base := t.seq.Add(uint64(len(spans))) - uint64(len(spans))
+	t.total.Add(uint64(len(spans)))
+	r := t.rings[len(t.rings)-1]
+	if shard >= 0 && shard < len(t.rings)-1 {
+		r = t.rings[shard]
+	}
+	slab := make([]Span, len(spans))
+	copy(slab, spans)
+	for i := range slab {
+		slab[i].Seq = base + uint64(i) + 1
+		slab[i].Shard = shard
+		r.Put(&slab[i])
+	}
+}
+
 // Snapshot collects the retained spans of every ring, filtered by keep
 // (nil keeps all), ordered by Seq (write order), keeping only the newest
 // n when n > 0.

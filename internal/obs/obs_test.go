@@ -161,3 +161,38 @@ func TestWatchdogRateLimit(t *testing.T) {
 		t.Errorf("logged %d warnings in one second, want 1 (rate limit)", got)
 	}
 }
+
+// TestTracerRecordBatch checks the amortized batch write path matches
+// per-span Record semantics: sequencing interleaves correctly with
+// scalar records, shard routing holds, and the span count is exact.
+func TestTracerRecordBatch(t *testing.T) {
+	tr := NewTracer(2, 16)
+	var none *Tracer
+	none.RecordBatch(0, []Span{{Stage: StageStep}}) // nil tracer is inert
+	tr.RecordBatch(0, nil)                          // empty batch is free
+
+	tr.Record(0, Span{Stage: StageDecode, Session: "a"})
+	tr.RecordBatch(1, []Span{
+		{Stage: StageQueueWait, Session: "b", Ticks: 64},
+		{Stage: StageStep, Session: "b", Ticks: 64},
+	})
+	tr.Record(-1, Span{Stage: StageWALReplay})
+	got := tr.Snapshot(nil, 0)
+	if len(got) != 4 {
+		t.Fatalf("snapshot = %d spans, want 4", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("sequence not dense: %+v", got)
+		}
+	}
+	if got[1].Stage != StageQueueWait || got[2].Stage != StageStep {
+		t.Fatalf("batch order not preserved: %+v", got)
+	}
+	if got[1].Shard != 1 || got[2].Shard != 1 {
+		t.Fatalf("batch spans not pinned to shard: %+v", got)
+	}
+	if tr.Spans() != 4 {
+		t.Errorf("Spans() = %d, want 4", tr.Spans())
+	}
+}

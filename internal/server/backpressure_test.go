@@ -55,9 +55,10 @@ func TestBackpressure429(t *testing.T) {
 	if code, _ := postTicks(t, ts.URL, sess.ID, ndjson(t, seg1)); code != http.StatusAccepted {
 		t.Fatalf("batch 1 status %d", code)
 	}
-	// Wait until the worker has dequeued batch 1 (first tick processed),
-	// so batch 2 deterministically lands in the empty queue slot.
-	waitFor(t, time.Second, func() bool { return s.Metrics().TicksTotal >= 1 })
+	// Wait until the worker has dequeued batch 1 (queue slot empty, worker
+	// busy for 30 ticks x 10ms), so batch 2 deterministically lands in the
+	// empty queue slot.
+	waitFor(t, time.Second, func() bool { return s.Metrics().Shards[0].QueueDepth == 0 })
 
 	if code, _ := postTicks(t, ts.URL, sess.ID, ndjson(t, seg2)); code != http.StatusAccepted {
 		t.Fatalf("batch 2 status %d", code)

@@ -1,10 +1,14 @@
 package server
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
 	"time"
 
+	"repro/internal/event"
 	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/verif"
@@ -32,10 +36,17 @@ import (
 //	              earlier record lands in an older segment and prunes
 //	              those segments afterwards; the record is therefore
 //	              self-contained (it repeats the session meta).
+//	recBatchRaw — one accepted fast-path batch: a 16-byte little-endian
+//	              header (jseq, then the client's dedup seq) followed by
+//	              the verbatim NDJSON request body. The ingest path
+//	              already validated the bytes with the strict batch
+//	              decoder, so journaling is one copy — no re-encode —
+//	              and replay re-decodes the same bytes.
 const (
 	recMeta     byte = 1
 	recBatch    byte = 2
 	recSnapshot byte = 3
+	recBatchRaw byte = 4
 )
 
 // The record kinds are exported for the cluster layer, which passes
@@ -47,7 +58,12 @@ const (
 	RecordMeta     = recMeta
 	RecordBatch    = recBatch
 	RecordSnapshot = recSnapshot
+	RecordBatchRaw = recBatchRaw
 )
+
+// rawBatchHeaderLen is the fixed prefix of a recBatchRaw payload: jseq
+// and the client seq, little-endian uint64s.
+const rawBatchHeaderLen = 16
 
 type specSourceJSON struct {
 	Name   string `json:"name"`
@@ -128,24 +144,41 @@ func (s *Server) journalCreate(sess *session, specs []*Spec) error {
 	return nil
 }
 
-// journalBatch appends one accepted batch. Caller holds sess.ingestMu
-// and has already assigned b.jseq.
+// journalBatch appends one accepted batch — one journal frame per batch
+// on either decode path. A fast-path batch is framed as recBatchRaw (the
+// header plus the verbatim request bytes, no re-encode); a slow-path
+// batch re-encodes its map states as the JSON recBatch record. Caller
+// holds sess.ingestMu and has already assigned b.jseq.
 func (s *Server) journalBatch(sess *session, b *batch, seq uint64) error {
-	rec := batchRecordJSON{JSeq: b.jseq, Seq: seq, Ticks: make([]StateJSON, len(b.states))}
-	for i, st := range b.states {
-		rec.Ticks[i] = stateJSON(st)
-	}
-	payload, err := json.Marshal(rec)
-	if err != nil {
-		return err
+	var (
+		kind    byte
+		payload []byte
+	)
+	if b.packed != nil {
+		kind = recBatchRaw
+		payload = make([]byte, rawBatchHeaderLen+len(b.raw))
+		binary.LittleEndian.PutUint64(payload[0:8], b.jseq)
+		binary.LittleEndian.PutUint64(payload[8:16], seq)
+		copy(payload[rawBatchHeaderLen:], b.raw)
+	} else {
+		kind = recBatch
+		rec := batchRecordJSON{JSeq: b.jseq, Seq: seq, Ticks: make([]StateJSON, len(b.states))}
+		for i, st := range b.states {
+			rec.Ticks[i] = stateJSON(st)
+		}
+		var err error
+		payload, err = json.Marshal(rec)
+		if err != nil {
+			return err
+		}
 	}
 	start := time.Now()
-	err = sess.jrnl.Append(recBatch, payload)
+	err := sess.jrnl.Append(kind, payload)
 	dur := time.Since(start)
 	s.metrics.observeStage(obs.StageWALAppend, dur)
 	sp := obs.Span{
 		Trace: b.trace, Session: sess.id, Stage: obs.StageWALAppend,
-		Start: start, Dur: dur, Ticks: len(b.states),
+		Start: start, Dur: dur, Ticks: b.tickCount(),
 	}
 	if err != nil {
 		sp.Note = err.Error()
@@ -311,6 +344,52 @@ func (rs *sessionRestorer) apply(rec wal.Record) error {
 		sess.mu.Unlock()
 		rs.replayed++
 		rs.replayTicks += len(br.Ticks)
+		return nil
+	case recBatchRaw:
+		if rs.sess == nil {
+			return fmt.Errorf("raw batch record before session meta")
+		}
+		sess := rs.sess
+		if len(rec.Payload) < rawBatchHeaderLen {
+			return fmt.Errorf("raw batch record: %d bytes, want at least %d", len(rec.Payload), rawBatchHeaderLen)
+		}
+		jseq := binary.LittleEndian.Uint64(rec.Payload[0:8])
+		seq := binary.LittleEndian.Uint64(rec.Payload[8:16])
+		raw := rec.Payload[rawBatchHeaderLen:]
+		if jseq > sess.walSeq {
+			sess.walSeq = jseq
+		}
+		if seq > sess.lastSeq {
+			sess.lastSeq = seq
+		}
+		if jseq <= sess.appliedJSeq {
+			// Folded into the snapshot already.
+			return nil
+		}
+		// The raw bytes passed the strict batch decoder at ingest, so the
+		// lenient json path accepts them; an error here is corruption the
+		// CRC framing missed, reported rather than skipped. Replaying
+		// through the map path is verdict-identical to the fast path — the
+		// decoder equivalence the conformance suite pins.
+		var states []event.State
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		for {
+			var t StateJSON
+			if err := dec.Decode(&t); err == io.EOF {
+				break
+			} else if err != nil {
+				return fmt.Errorf("raw batch record tick %d: %w", len(states), err)
+			}
+			states = append(states, t.ToState())
+		}
+		sess.mu.Lock()
+		for _, st := range states {
+			sess.step(st)
+		}
+		sess.appliedJSeq = jseq
+		sess.mu.Unlock()
+		rs.replayed++
+		rs.replayTicks += len(states)
 		return nil
 	default:
 		return fmt.Errorf("unknown record kind %d", rec.Kind)

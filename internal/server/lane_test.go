@@ -1,0 +1,387 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/ocp"
+	"repro/internal/parser"
+	"repro/internal/synth"
+	"repro/internal/trace"
+	"repro/internal/verif"
+	"repro/internal/wal"
+)
+
+// laneChart is the Fig. 6 simple read without its causality arrow: no
+// scoreboard actions, no Chk guards, so the synthesized table is
+// chk-free and a single-spec detect session on it is lane-steppable.
+func laneChart() *chart.SCESC {
+	c := ocp.SimpleReadChart()
+	c.ChartName = "lane_read"
+	c.Arrows = nil
+	return c
+}
+
+// newLaneServer builds a server with both the lane-eligible spec and
+// the arrowed (chk-carrying) original loaded.
+func newLaneServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	src := parser.Print("LaneRead", laneChart()) +
+		parser.Print("OcpSimpleRead", ocp.SimpleReadChart())
+	if _, err := s.LoadSpecSource(src); err != nil {
+		t.Fatalf("loading spec: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// prettyNDJSON renders the trace as indented, multi-line JSON values.
+// The lenient stream decoder accepts this; the strict byte-level batch
+// decoder does not, so a body in this shape is guaranteed to take the
+// slow map path.
+func prettyNDJSON(t *testing.T, tr trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, s := range tr {
+		data, err := json.MarshalIndent(stateJSON(s), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestBatchFastPathParity streams the same trace through the zero-copy
+// batch decoder (compact NDJSON) and the lenient map decoder (indented
+// JSON, which the strict decoder rejects) into two sessions of the same
+// server: verdicts, coverage, and accept ticks must be byte-identical,
+// and both must match the in-process reference engine.
+func TestBatchFastPathParity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, QueueDepth: 16})
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 7, FaultRate: 0.15}).GenerateTrace(300)
+
+	fast := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	slow := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	for at := 0; at < len(tr); at += 60 {
+		end := at + 60
+		if end > len(tr) {
+			end = len(tr)
+		}
+		doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/ticks?wait=1", ts.URL, fast.ID),
+			ndjson(t, tr[at:end]), http.StatusOK, nil)
+		doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/ticks?wait=1", ts.URL, slow.ID),
+			prettyNDJSON(t, tr[at:end]), http.StatusOK, nil)
+	}
+
+	got, want := monitorsJSON(t, ts.URL, fast.ID), monitorsJSON(t, ts.URL, slow.ID)
+	if string(got) != string(want) {
+		t.Fatalf("fast path diverged from slow path:\n fast %s\n slow %s", got, want)
+	}
+	m, err := synth.Synthesize(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAccepts := verif.EngineAcceptTicks(monitor.NewEngine(m, nil, monitor.ModeDetect), tr)
+	v := verdictFor(t, ts.URL, fast.ID, "OcpSimpleRead")
+	if v.Steps != len(tr) || v.Accepts != len(wantAccepts) {
+		t.Fatalf("fast path verdict steps=%d accepts=%d, want %d/%d",
+			v.Steps, v.Accepts, len(tr), len(wantAccepts))
+	}
+}
+
+// TestFastPathJournalRecoveryParity checks the raw-batch journal frame
+// end to end: fast-path batches are journaled as verbatim NDJSON
+// (recBatchRaw), survive a crash, and replay to byte-identical verdicts.
+func TestFastPathJournalRecoveryParity(t *testing.T) {
+	dir := t.TempDir()
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 21, FaultRate: 0.1}).GenerateTrace(200)
+	// SnapshotEvery < 0 keeps the whole journal, so recovery must replay
+	// every raw batch rather than lean on a checkpoint.
+	s1, ts1 := newWALServer(t, dir, Config{Shards: 1, QueueDepth: 16, SnapshotEvery: -1})
+	sess := createSession(t, ts1.URL, "detect", "OcpSimpleRead")
+	streamTicks(t, ts1.URL, sess.ID, tr, 25)
+	want := monitorsJSON(t, ts1.URL, sess.ID)
+	s1.Crash()
+	ts1.Close()
+
+	// The journal of a fast-path session must actually hold raw frames —
+	// otherwise this test would only re-prove the map-batch path.
+	mgr, err := wal.OpenManager(wal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawRecords := 0
+	j, err := mgr.OpenJournal(sess.ID, func(rec wal.Record) error {
+		if rec.Kind == RecordBatchRaw {
+			rawRecords++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Abandon()
+	if rawRecords == 0 {
+		t.Fatal("no raw batch records journaled; fast path did not engage")
+	}
+
+	s2, ts2 := newWALServer(t, dir, Config{Shards: 1, QueueDepth: 16, SnapshotEvery: -1})
+	if got := monitorsJSON(t, ts2.URL, sess.ID); string(got) != string(want) {
+		t.Fatalf("recovered verdicts diverged:\n got %s\nwant %s", got, want)
+	}
+	if replayed := s2.Metrics().BatchesReplayed; replayed == 0 {
+		t.Fatal("no batches replayed from the raw journal")
+	}
+}
+
+// TestLanePageoutRevivalParity checks the snapshot round trip of a
+// lane-eligible session: page it out mid-stream, revive it with more
+// fast-path traffic, and compare against an uninterrupted run.
+func TestLanePageoutRevivalParity(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Shards: 1, QueueDepth: 16, WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSpecSource(parser.Print("LaneRead", laneChart())); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 5, FaultRate: 0.1}).GenerateTrace(240)
+	sess := createSession(t, ts.URL, "detect", "LaneRead")
+	live, ok := s.session(sess.ID)
+	if !ok || live.laneTab == nil {
+		t.Fatalf("session not lane-eligible (laneTab nil); fast path preconditions regressed")
+	}
+	streamTicks(t, ts.URL, sess.ID, tr[:120], 30)
+	doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/pageout", ts.URL, sess.ID), nil, http.StatusOK, nil)
+	if s.Metrics().SessionsCold != 1 {
+		t.Fatal("session not cold after pageout")
+	}
+	streamTicks(t, ts.URL, sess.ID, tr[120:], 30) // revives, then continues fast
+	got := verdictFor(t, ts.URL, sess.ID, "LaneRead")
+
+	m, err := synth.Synthesize(laneChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAccepts := verif.EngineAcceptTicks(monitor.NewEngine(m, nil, monitor.ModeDetect), tr)
+	if got.Steps != len(tr) || got.Accepts != len(wantAccepts) {
+		t.Fatalf("revived session verdict steps=%d accepts=%d, want %d/%d",
+			got.Steps, got.Accepts, len(tr), len(wantAccepts))
+	}
+	if s.Metrics().SessionsRevived != 1 {
+		t.Fatal("revival not counted")
+	}
+}
+
+// TestLaneGroupWindow drives processWindow directly with a window of
+// packed batches for five lane-eligible sessions sharing one table, one
+// slow-path batch, and a second batch for the first session (which, by
+// the first-batch-only rule, must run on the scalar path after the
+// group). Every session must report verdicts identical to the reference
+// engine over its own full input, in order.
+func TestLaneGroupWindow(t *testing.T) {
+	s, ts := newLaneServer(t, Config{Shards: 1, QueueDepth: 64})
+	const lanes = 5
+	sessions := make([]*session, lanes)
+	traces := make([]trace.Trace, lanes)
+	window := make([]*batch, 0, lanes+2)
+	for i := 0; i < lanes; i++ {
+		info := createSession(t, ts.URL, "detect", "LaneRead")
+		live, ok := s.session(info.ID)
+		if !ok || live.laneTab == nil {
+			t.Fatalf("session %d not lane-eligible", i)
+		}
+		sessions[i] = live
+		traces[i] = ocp.NewModel(ocp.Config{Gap: 2, Seed: int64(i + 1), FaultRate: 0.1}).GenerateTrace(100)
+		window = append(window, packedBatch(t, live, traces[i]))
+	}
+	// A chk-carrying session rides the same window on the scalar path.
+	chkInfo := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	chkSess, _ := s.session(chkInfo.ID)
+	chkTrace := ocp.NewModel(ocp.Config{Gap: 2, Seed: 9}).GenerateTrace(80)
+	window = append(window, &batch{sess: chkSess, states: append(trace.Trace(nil), chkTrace...), enqueued: time.Now()})
+	// Second batch for session 0: must not join the group (ordering).
+	tail := ocp.NewModel(ocp.Config{Gap: 2, Seed: 99, FaultRate: 0.1}).GenerateTrace(60)
+	window = append(window, packedBatch(t, sessions[0], tail))
+
+	s.processWindow(s.shards[0], window)
+
+	if got := s.Metrics().LaneGroupTicks; got != uint64(lanes*100) {
+		t.Fatalf("lane_group_ticks = %d, want %d", got, lanes*100)
+	}
+	m, err := synth.Synthesize(laneChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < lanes; i++ {
+		input := traces[i]
+		if i == 0 {
+			input = append(append(trace.Trace(nil), traces[0]...), tail...)
+		}
+		wantAccepts := verif.EngineAcceptTicks(monitor.NewEngine(m, nil, monitor.ModeDetect), input)
+		v := verdictFor(t, ts.URL, sessions[i].id, "LaneRead")
+		if v.Steps != len(input) || v.Accepts != len(wantAccepts) {
+			t.Fatalf("lane session %d: steps=%d accepts=%d, want %d/%d",
+				i, v.Steps, v.Accepts, len(input), len(wantAccepts))
+		}
+		for j, tick := range v.AcceptTicks {
+			if tick != wantAccepts[j] {
+				t.Fatalf("lane session %d accept tick %d = %d, want %d", i, j, tick, wantAccepts[j])
+			}
+		}
+	}
+	mo, err := synth.Synthesize(ocp.SimpleReadChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChk := verif.EngineAcceptTicks(monitor.NewEngine(mo, nil, monitor.ModeDetect), chkTrace)
+	if v := verdictFor(t, ts.URL, chkInfo.ID, "OcpSimpleRead"); v.Accepts != len(wantChk) {
+		t.Fatalf("scalar session in mixed window: accepts=%d, want %d", v.Accepts, len(wantChk))
+	}
+}
+
+// packedBatch builds a fast-path batch for the session from the trace,
+// through the same decoder ingest uses.
+func packedBatch(t *testing.T, sess *session, tr trace.Trace) *batch {
+	t.Helper()
+	body := ndjson(t, tr)
+	pb := new(event.PackedBatch)
+	n, err := event.NewBatchDecoder(sess.vocab).Decode(body, pb, 1<<20)
+	if err != nil || n != len(tr) {
+		t.Fatalf("packing batch: n=%d err=%v", n, err)
+	}
+	return &batch{sess: sess, packed: pb, raw: body, enqueued: time.Now()}
+}
+
+// TestLaneChurnStress churns lane membership under concurrent traffic:
+// sessions stream fast-path batches, page out, revive, and delete while
+// sharing shards. Run with -race in CI; here it must simply converge to
+// correct per-session verdicts.
+func TestLaneChurnStress(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Shards: 2, QueueDepth: 64, WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSpecSource(parser.Print("LaneRead", laneChart())); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	m, err := synth.Synthesize(laneChart(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: int64(w + 1), FaultRate: 0.1}).GenerateTrace(256)
+			info := createSession(t, ts.URL, "detect", "LaneRead")
+			streamTicks(t, ts.URL, info.ID, tr[:128], 32)
+			if w%2 == 0 {
+				doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/pageout", ts.URL, info.ID), nil, http.StatusOK, nil)
+			}
+			streamTicks(t, ts.URL, info.ID, tr[128:], 32)
+			wantAccepts := verif.EngineAcceptTicks(monitor.NewEngine(m, nil, monitor.ModeDetect), tr)
+			v := verdictFor(t, ts.URL, info.ID, "LaneRead")
+			if v.Steps != len(tr) || v.Accepts != len(wantAccepts) {
+				errs <- fmt.Sprintf("worker %d: steps=%d accepts=%d, want %d/%d",
+					w, v.Steps, v.Accepts, len(tr), len(wantAccepts))
+			}
+			if w%3 == 0 {
+				doJSON(t, "DELETE", fmt.Sprintf("%s/sessions/%s", ts.URL, info.ID), nil, http.StatusOK, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	doJSON(t, "GET", ts.URL+"/healthz", nil, http.StatusOK, nil)
+}
+
+// TestJournalBudgetPruning checks the disk cap: cold paged sessions are
+// pruned oldest-checkpoint-first once the journal directory outgrows
+// the budget, hot sessions are never touched, and the gauge/counters
+// report it.
+func TestJournalBudgetPruning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Shards: 1, QueueDepth: 16, WALDir: dir, JournalBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadSpecSource(ocpSimpleReadSource(t)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.Close()
+
+	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 3}).GenerateTrace(40)
+	cold := make([]SessionInfoJSON, 2)
+	for i := range cold {
+		cold[i] = createSession(t, ts.URL, "detect", "OcpSimpleRead")
+		streamTicks(t, ts.URL, cold[i].ID, tr, 20)
+		doJSON(t, "POST", fmt.Sprintf("%s/sessions/%s/pageout", ts.URL, cold[i].ID), nil, http.StatusOK, nil)
+	}
+	hot := createSession(t, ts.URL, "detect", "OcpSimpleRead")
+	streamTicks(t, ts.URL, hot.ID, tr, 20)
+
+	if got := s.Metrics().JournalBytes; got == 0 {
+		t.Fatal("journal_bytes gauge not populated")
+	}
+	s.sweep(time.Now())
+
+	snap := s.Metrics()
+	if snap.JournalPruned != 2 {
+		t.Fatalf("journal_pruned = %d, want 2", snap.JournalPruned)
+	}
+	if snap.SessionsCold != 0 {
+		t.Fatalf("sessions_cold = %d after pruning, want 0", snap.SessionsCold)
+	}
+	// Pruned sessions are gone for good; the hot one is untouched.
+	for _, c := range cold {
+		doJSON(t, "GET", fmt.Sprintf("%s/sessions/%s/verdicts", ts.URL, c.ID), nil, http.StatusNotFound, nil)
+	}
+	if v := verdictFor(t, ts.URL, hot.ID, "OcpSimpleRead"); v.Steps != len(tr) {
+		t.Fatalf("hot session damaged by pruning: %+v", v)
+	}
+	ids, err := s.wal.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != hot.ID {
+		t.Fatalf("journal dirs after pruning = %v, want only %s", ids, hot.ID)
+	}
+}

@@ -17,6 +17,7 @@ type metrics struct {
 
 	ticksTotal      atomic.Uint64 // valuation ticks processed
 	batchesTotal    atomic.Uint64 // tick batches processed
+	laneGroupTicks  atomic.Uint64 // ticks stepped via bit-sliced lane groups
 	rejectedTotal   atomic.Uint64 // 429 responses (shard queue full)
 	acceptsTotal    atomic.Uint64 // monitor acceptances across sessions
 	violationsTotal atomic.Uint64 // monitor violations across sessions
@@ -39,6 +40,8 @@ type metrics struct {
 	batchesDeduped      atomic.Uint64 // ?seq retries absorbed by the watermark
 	walErrors           atomic.Uint64 // journal append/snapshot failures
 	walSnapshots        atomic.Uint64 // checkpoints written
+	journalBytes        atomic.Int64  // measured on-disk journal bytes (gauge)
+	journalPruned       atomic.Uint64 // cold sessions deleted by the journal budget
 
 	sessionsMigratedOut atomic.Uint64 // live handoffs shipped to a new owner
 	sessionsMigratedIn  atomic.Uint64 // sessions adopted (handoff or standby promotion)
@@ -126,6 +129,7 @@ type MetricsSnapshot struct {
 	TicksTotal      uint64  `json:"ticks_total"`
 	TicksPerSec     float64 `json:"ticks_per_sec"`
 	BatchesTotal    uint64  `json:"batches_total"`
+	LaneGroupTicks  uint64  `json:"lane_group_ticks"`
 	RejectedTotal   uint64  `json:"rejected_total"`
 	AcceptsTotal    uint64  `json:"accepts_total"`
 	ViolationsTotal uint64  `json:"violations_total"`
@@ -162,6 +166,9 @@ type MetricsSnapshot struct {
 	BatchesDeduped      uint64     `json:"batches_deduped"`
 	WALErrors           uint64     `json:"wal_errors"`
 	WALSnapshots        uint64     `json:"wal_snapshots"`
+	JournalBytes        int64      `json:"journal_bytes"`
+	JournalBudgetBytes  int64      `json:"journal_budget_bytes,omitempty"`
+	JournalPruned       uint64     `json:"journal_pruned"`
 	WAL                 *wal.Stats `json:"wal,omitempty"` // nil when journaling is off
 
 	// Cluster handoff counters (always present; zero on a standalone
@@ -205,6 +212,7 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		TicksTotal:      ticks,
 		TicksPerSec:     rate,
 		BatchesTotal:    m.batchesTotal.Load(),
+		LaneGroupTicks:  m.laneGroupTicks.Load(),
 		RejectedTotal:   m.rejectedTotal.Load(),
 		AcceptsTotal:    m.acceptsTotal.Load(),
 		ViolationsTotal: m.violationsTotal.Load(),
@@ -226,6 +234,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		BatchesDeduped:      m.batchesDeduped.Load(),
 		WALErrors:           m.walErrors.Load(),
 		WALSnapshots:        m.walSnapshots.Load(),
+		JournalBytes:        m.journalBytes.Load(),
+		JournalPruned:       m.journalPruned.Load(),
 
 		SessionsMigratedOut: m.sessionsMigratedOut.Load(),
 		SessionsMigratedIn:  m.sessionsMigratedIn.Load(),

@@ -278,7 +278,7 @@ func (s *Server) kickPressure() {
 
 // sweep is one janitor pass: refresh footprints, page (or, without a
 // journal, delete) idle sessions, then enforce the memory budget
-// coldest-first.
+// coldest-first and the journal disk budget oldest-first.
 func (s *Server) sweep(now time.Time) {
 	live := s.liveSessions()
 	for _, sess := range live {
@@ -296,6 +296,14 @@ func (s *Server) sweep(now time.Time) {
 			}
 		}
 	}
+	s.enforceMemBudget()
+	s.enforceJournalBudget()
+}
+
+// enforceMemBudget pages hot sessions coldest-first until estimated
+// resident bytes are back under the memory budget (or its pressure
+// watermark).
+func (s *Server) enforceMemBudget() {
 	budget := s.cfg.MemBudget
 	if budget <= 0 {
 		return
@@ -308,6 +316,56 @@ func (s *Server) sweep(now time.Time) {
 		return
 	}
 	s.pageColdest(target, true)
+}
+
+// enforceJournalBudget caps the on-disk bytes of the journal directory.
+// Hot journals cannot be dropped without losing acknowledged state, so
+// the budget prunes cold paged sessions oldest-checkpoint-first: the
+// cold entry and its journal are deleted together, counted as a
+// deletion (the state really is gone — a later request gets 404). The
+// measured total is published as the journal_bytes gauge either way.
+func (s *Server) enforceJournalBudget() {
+	if s.wal == nil {
+		return
+	}
+	total, per, err := s.wal.DiskUsage()
+	if err != nil {
+		return
+	}
+	s.metrics.journalBytes.Store(total)
+	budget := s.cfg.JournalBudget
+	if budget <= 0 || total <= budget {
+		return
+	}
+	// reviveMu excludes concurrent revivals, so a session observed cold
+	// under smu stays cold while its journal is removed.
+	s.reviveMu.Lock()
+	defer s.reviveMu.Unlock()
+	s.smu.RLock()
+	cold := make([]*pagedSession, 0, len(s.paged))
+	for _, p := range s.paged {
+		cold = append(cold, p)
+	}
+	s.smu.RUnlock()
+	sort.Slice(cold, func(i, j int) bool { return cold[i].pagedAt.Before(cold[j].pagedAt) })
+	for _, p := range cold {
+		if total <= budget {
+			break
+		}
+		s.smu.Lock()
+		if cur, ok := s.paged[p.id]; !ok || cur != p {
+			s.smu.Unlock()
+			continue
+		}
+		delete(s.paged, p.id)
+		s.tenants.addCold(p.tenant, -1)
+		s.smu.Unlock()
+		_ = s.wal.Remove(p.id)
+		total -= per[p.id]
+		s.metrics.sessionsDeleted.Add(1)
+		s.metrics.journalPruned.Add(1)
+	}
+	s.metrics.journalBytes.Store(total)
 }
 
 // pageColdest pages hot journaled sessions in rising lastActive order

@@ -28,6 +28,7 @@ func (s *Server) promText() []byte {
 	gauge("cescd_uptime_seconds", "Daemon uptime.", snap.UptimeSec)
 	counter("cescd_ticks_total", "Valuation ticks processed.", float64(snap.TicksTotal))
 	counter("cescd_batches_total", "Tick batches processed.", float64(snap.BatchesTotal))
+	counter("cescd_lane_group_ticks_total", "Ticks stepped via bit-sliced lane groups.", float64(snap.LaneGroupTicks))
 	counter("cescd_rejected_total", "Ingest requests rejected with 429.", float64(snap.RejectedTotal))
 	counter("cescd_accepts_total", "Monitor acceptances across sessions.", float64(snap.AcceptsTotal))
 	counter("cescd_violations_total", "Monitor violations across sessions.", float64(snap.ViolationsTotal))
@@ -65,6 +66,9 @@ func (s *Server) promText() []byte {
 		counter("cescd_wal_bytes_total", "Bytes appended to the WAL.", float64(snap.WAL.Bytes))
 		counter("cescd_wal_replayed_records_total", "WAL records replayed at open.", float64(snap.WAL.Replayed))
 		counter("cescd_wal_torn_bytes_total", "Torn trailing bytes discarded at open.", float64(snap.WAL.TornBytes))
+		gauge("cescd_journal_bytes", "On-disk bytes of the session journal directory.", float64(snap.JournalBytes))
+		gauge("cescd_journal_budget_bytes", "Configured journal disk budget (0 = unlimited).", float64(snap.JournalBudgetBytes))
+		counter("cescd_journal_pruned_total", "Cold session journals deleted by the disk budget.", float64(snap.JournalPruned))
 	}
 
 	w.Family("cescd_shard_queue_depth", "gauge", "Batches waiting in the shard queue.")

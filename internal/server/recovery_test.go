@@ -188,8 +188,10 @@ func TestJournalAppendFailure(t *testing.T) {
 // the same session and a second session keep processing every tick, and
 // the daemon stays healthy.
 func TestQuarantine(t *testing.T) {
+	// Step faults are counted per batch: After: 1 skips the first batch
+	// and fires on the second (ticks 30..59), at a seeded in-batch offset.
 	faults := faultinject.New(1).Add(faultinject.Rule{
-		Point: "monitor.step.OcpSimpleRead", Kind: faultinject.KindPanic, After: 49, Count: 1,
+		Point: "monitor.step.OcpSimpleRead", Kind: faultinject.KindPanic, After: 1, Count: 1,
 	})
 	s, ts := newWALServer(t, t.TempDir(), Config{Shards: 2, QueueDepth: 16, Faults: faults})
 	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 11, FaultRate: 0.1}).GenerateTrace(120)
@@ -225,8 +227,9 @@ func TestQuarantine(t *testing.T) {
 // monitor as quarantined (replay re-fences it deterministically even
 // without the fault plane, but snapshots must carry the flag too).
 func TestQuarantineSurvivesRecovery(t *testing.T) {
+	// Per-batch counting: the panic lands inside the second batch of 10.
 	faults := faultinject.New(1).Add(faultinject.Rule{
-		Point: "monitor.step.OcpSimpleRead", Kind: faultinject.KindPanic, After: 9, Count: 1,
+		Point: "monitor.step.OcpSimpleRead", Kind: faultinject.KindPanic, After: 1, Count: 1,
 	})
 	dir := t.TempDir()
 	tr := ocp.NewModel(ocp.Config{Gap: 2, Seed: 13}).GenerateTrace(60)

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -61,6 +62,13 @@ type Config struct {
 	// budget. 0 disables the budget. Effective only with WALDir set —
 	// sessions without a journal have nowhere durable to page to.
 	MemBudget int64
+
+	// JournalBudget caps the on-disk bytes of the WALDir journal
+	// directory. Past it, the janitor deletes the journals of cold paged
+	// sessions oldest-checkpoint-first (state loss, counted in
+	// journal_pruned); hot sessions' journals are never touched. 0
+	// disables the cap. Effective only with WALDir set.
+	JournalBudget int64
 
 	// TenantHeader names the request header whose value keys a new
 	// session to a tenant for quota accounting (default "X-Cesc-Tenant").
@@ -147,7 +155,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchTicks <= 0 {
 		c.MaxBatchTicks = 65536
 	}
-	if (c.IdleTTL > 0 || c.MemBudget > 0) && c.SweepEvery <= 0 {
+	if (c.IdleTTL > 0 || c.MemBudget > 0 || c.JournalBudget > 0) && c.SweepEvery <= 0 {
 		c.SweepEvery = c.IdleTTL / 4
 		if c.SweepEvery < time.Second {
 			c.SweepEvery = time.Second
@@ -295,6 +303,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.wal != nil {
 		st := s.wal.Stats()
 		snap.WAL = &st
+		// Refresh the disk gauge on demand so /metrics reflects reality
+		// even between janitor sweeps (and with no janitor armed at all).
+		if total, _, err := s.wal.DiskUsage(); err == nil {
+			s.metrics.journalBytes.Store(total)
+			snap.JournalBytes = total
+		}
+		snap.JournalBudgetBytes = s.cfg.JournalBudget
 	}
 	s.smu.RLock()
 	snap.SessionsActive = len(s.sessions)
@@ -775,34 +790,63 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		seq = v
 	}
 	decodeStart := time.Now()
-	var states []event.State
-	dec := json.NewDecoder(r.Body)
-	for {
-		var t StateJSON
-		if err := dec.Decode(&t); err == io.EOF {
-			break
-		} else if err != nil {
-			writeError(w, http.StatusBadRequest, "tick %d: %v", len(states), err)
-			return
-		}
-		if len(states) >= s.cfg.MaxBatchTicks {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				"batch exceeds %d ticks; split the stream", s.cfg.MaxBatchTicks)
-			return
-		}
-		states = append(states, t.ToState())
-	}
-	if len(states) == 0 {
-		writeError(w, http.StatusBadRequest, "no ticks in body")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
+	}
+	// Fast path: when every monitor in the session steps packed, the
+	// strict zero-copy batch decoder packs the NDJSON body straight into
+	// bitset lanes — no map materialization, no per-tick allocation. Any
+	// decode error (unknown field, malformed line, oversized batch) falls
+	// back to the lenient map path below, which reproduces the exact
+	// legacy error responses; the fast path only ever wins on input the
+	// slow path would also have accepted, with bit-identical packing.
+	var (
+		states []event.State
+		packed *event.PackedBatch
+		raw    []byte
+	)
+	if sess.fastPath {
+		pb := new(event.PackedBatch)
+		bd := event.NewBatchDecoder(sess.vocab)
+		if n, derr := bd.Decode(body, pb, s.cfg.MaxBatchTicks); derr == nil && n > 0 {
+			packed, raw = pb, body
+		}
+	}
+	if packed == nil {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		for {
+			var t StateJSON
+			if err := dec.Decode(&t); err == io.EOF {
+				break
+			} else if err != nil {
+				writeError(w, http.StatusBadRequest, "tick %d: %v", len(states), err)
+				return
+			}
+			if len(states) >= s.cfg.MaxBatchTicks {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"batch exceeds %d ticks; split the stream", s.cfg.MaxBatchTicks)
+				return
+			}
+			states = append(states, t.ToState())
+		}
+		if len(states) == 0 {
+			writeError(w, http.StatusBadRequest, "no ticks in body")
+			return
+		}
+	}
+	nticks := len(states)
+	if packed != nil {
+		nticks = packed.Len()
 	}
 	decodeDur := time.Since(decodeStart)
 	s.metrics.observeStage(obs.StageDecode, decodeDur)
 	s.tracer.Record(sess.shard, obs.Span{
 		Trace: traceID, Session: sess.id, Stage: obs.StageDecode,
-		Start: decodeStart, Dur: decodeDur, Ticks: len(states),
+		Start: decodeStart, Dur: decodeDur, Ticks: nticks,
 	})
-	if ok, retryAfter := s.tenants.takeTicks(sess.tenant, len(states), false); !ok {
+	if ok, retryAfter := s.tenants.takeTicks(sess.tenant, nticks, false); !ok {
 		// Tenant outran its tick bucket. Retry-After is sized so a
 		// client that honors it paces to exactly the allowed rate;
 		// X-Cesc-Quota tells it this is its own quota, not server load.
@@ -823,7 +867,8 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	b := &batch{sess: sess, states: states, enqueued: time.Now(), trace: traceID}
+	b := &batch{sess: sess, states: states, packed: packed, raw: raw,
+		enqueued: time.Now(), trace: traceID}
 	wait := r.URL.Query().Get("wait") == "1"
 	shedWait := false
 	if wait && s.govLevel() >= govLevelShedWait {
@@ -869,14 +914,14 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		s.metrics.observeStage(obs.StageEnqueue, enqDur)
 		s.tracer.Record(sess.shard, obs.Span{
 			Trace: traceID, Session: sess.id, Stage: obs.StageEnqueue,
-			Start: enqStart, Dur: enqDur, Ticks: len(states),
+			Start: enqStart, Dur: enqDur, Ticks: nticks,
 		})
 	case errQueueFull:
 		sess.ingestMu.Unlock()
 		s.metrics.rejectedTotal.Add(1)
 		s.tracer.Record(sess.shard, obs.Span{
 			Trace: traceID, Session: sess.id, Stage: obs.StageEnqueue,
-			Start: enqStart, Dur: time.Since(enqStart), Ticks: len(states), Note: "queue full",
+			Start: enqStart, Dur: time.Since(enqStart), Ticks: nticks, Note: "queue full",
 		})
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "shard %d queue full", sess.shard)
@@ -924,7 +969,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	resp := map[string]any{"accepted": len(states)}
+	resp := map[string]any{"accepted": nticks}
 	if seq > 0 {
 		resp["seq"] = seq
 	}
@@ -934,7 +979,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	if wait {
 		<-b.done
 		resp["processed"] = true
-		s.recordIngest(sess, traceID, ingestStart, len(states))
+		s.recordIngest(sess, traceID, ingestStart, nticks)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -943,7 +988,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cesc-Shed", "wait")
 		resp["processed"] = false
 	}
-	s.recordIngest(sess, traceID, ingestStart, len(states))
+	s.recordIngest(sess, traceID, ingestStart, nticks)
 	writeJSON(w, http.StatusAccepted, resp)
 }
 

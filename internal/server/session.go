@@ -59,6 +59,18 @@ type session struct {
 	// program-bound engine consumes the same packed valuation.
 	vocab   *event.Vocabulary
 	packBuf event.Packed
+	// fastPath marks sessions eligible for zero-copy batch ingest: every
+	// monitor consumes the shared packed valuation, so the byte-level
+	// batch decoder can pack request bodies straight into lanes without
+	// materializing event.State maps. Immutable after newSession.
+	fastPath bool
+	// laneTab, when non-nil, marks the session lane-steppable: a single
+	// chk-free monitor with diagnostics off whose table tier compiled and
+	// whose vocabulary order equals the table's support order, so the
+	// shard worker may resolve each tick's fired transition with one
+	// table lookup (Engine.StepFired) and step sessions sharing the same
+	// table in lockstep. Immutable after newSession.
+	laneTab *monitor.Table
 	// appliedJSeq is the journal index of the last batch the shard worker
 	// has applied (guarded by mu). Snapshots record it so recovery knows
 	// which journal records are already folded in.
@@ -187,7 +199,41 @@ func newSession(id string, mode monitor.Mode, shard int, specs []*Spec, faults *
 		}
 		s.mons = append(s.mons, sm)
 	}
+	if s.vocab != nil {
+		s.fastPath = true
+		for _, sm := range s.mons {
+			if !sm.packed {
+				s.fastPath = false
+				break
+			}
+		}
+	}
+	// Lane eligibility: one packed chk-free monitor, diagnostics off, and
+	// a vocabulary that is exactly the table's support in slot order (a
+	// single-spec vocabulary always is; the check guards the invariant).
+	// Chk guards and diagnostics both read state StepFired cannot see, so
+	// sessions carrying either stay on the per-tick engine path.
+	if s.fastPath && depth == 0 && len(s.mons) == 1 && len(specs) == 1 && specs[0].compiled != nil {
+		if tab, err := specs[0].compiled.Table(); err == nil && tab.ChkFree() && vocabIsSupport(s.vocab, tab.Support()) {
+			s.laneTab = tab
+		}
+	}
 	return s
+}
+
+// vocabIsSupport reports whether the vocabulary's slot order is exactly
+// the support's symbol order, which makes a batch-decoded word usable as
+// a table valuation index directly.
+func vocabIsSupport(v *event.Vocabulary, sup *event.Support) bool {
+	if v.Len() != sup.Len() {
+		return false
+	}
+	for i, sym := range sup.Symbols() {
+		if v.Symbol(i) != sym {
+			return false
+		}
+	}
+	return true
 }
 
 func (s *session) touch() { s.lastActive.Store(time.Now().UnixNano()) }
@@ -238,18 +284,56 @@ func fallbackTenant(id string) string {
 	return id
 }
 
-// step feeds one tick to every monitor of the session. Caller holds s.mu.
-// It returns the number of acceptances, violations, and newly
-// quarantined monitors at this tick.
-func (s *session) step(st event.State) (accepts, violations, quarantines int) {
-	if s.vocab != nil {
-		s.packBuf = s.vocab.PackInto(st, s.packBuf)
+// faultShot is one monitor's per-batch fault plan: the in-batch tick
+// offset a scheduled fault lands on, and the closure that performs its
+// effect there. A nil do means no rule fired for this batch.
+type faultShot struct {
+	off int
+	do  func() error
+}
+
+// batchShots plans the "monitor.step.<spec>" fault point for a batch of
+// n ticks: one HitBatch per monitor, so counted fault schedules advance
+// per batch no matter how traffic was chunked, and a fired rule lands on
+// one deterministic tick inside the batch. Nil when no plane is wired.
+func (s *session) batchShots(n int) []faultShot {
+	if s.faults == nil || n <= 0 {
+		return nil
 	}
-	for _, sm := range s.mons {
+	shots := make([]faultShot, len(s.mons))
+	for i, sm := range s.mons {
+		shots[i].off, shots[i].do = s.faults.HitBatch("monitor.step."+sm.spec, n)
+	}
+	return shots
+}
+
+// step feeds one tick to every monitor of the session — the single-tick
+// path (journal replay, VCD chunks processed as batches of map states).
+// Caller holds s.mu. It returns the number of acceptances, violations,
+// and newly quarantined monitors at this tick.
+func (s *session) step(st event.State) (accepts, violations, quarantines int) {
+	return s.stepTick(st, nil, s.batchShots(1), 0)
+}
+
+// stepTick feeds tick i of a batch to every monitor. Caller holds s.mu.
+// When in is non-nil it is the batch-decoded packed valuation in vocab
+// slot order and st is ignored (the zero-copy fast path); otherwise st
+// is packed here exactly as the batch decoder would have. shots is the
+// batch's fault plan from batchShots (nil when no faults are wired).
+func (s *session) stepTick(st event.State, in event.Packed, shots []faultShot, i int) (accepts, violations, quarantines int) {
+	if in == nil && s.vocab != nil {
+		s.packBuf = s.vocab.PackInto(st, s.packBuf)
+		in = s.packBuf
+	}
+	for mi, sm := range s.mons {
 		if sm.quarantined {
 			continue
 		}
-		res, panicked := sm.safeStep(s.faults, st, s.packBuf)
+		var fire func() error
+		if shots != nil && shots[mi].do != nil && shots[mi].off == i {
+			fire = shots[mi].do
+		}
+		res, panicked := sm.safeStep(fire, st, in)
 		if panicked != nil {
 			// The engine may have died mid-transition; its state is no
 			// longer trustworthy, so the monitor is fenced off for the
@@ -274,18 +358,30 @@ func (s *session) step(st event.State) (accepts, violations, quarantines int) {
 }
 
 // safeStep runs one engine step behind a recover barrier so a panicking
-// monitor cannot take down its shard worker. The fault plane's
-// "monitor.step.<spec>" point lets tests simulate an engine bug
-// deterministically.
-func (sm *sessionMonitor) safeStep(faults *faultinject.Plane, st event.State, in event.Packed) (res monitor.StepResult, panicked any) {
+// monitor cannot take down its shard worker. fire, when non-nil, is the
+// batch fault plan's effect for this monitor at this tick — the
+// "monitor.step.<spec>" injection point resolved per batch (error
+// effects are ignored here, like the old per-tick Hit; latency sleeps
+// and panics land as themselves).
+func (sm *sessionMonitor) safeStep(fire func() error, st event.State, in event.Packed) (res monitor.StepResult, panicked any) {
 	defer func() { panicked = recover() }()
-	if faults != nil {
-		_ = faults.Hit("monitor.step." + sm.spec)
+	if fire != nil {
+		_ = fire()
 	}
 	if sm.packed {
 		return sm.eng.StepPacked(in), nil
 	}
 	return sm.eng.Step(st), nil
+}
+
+// safeStepFired is the lane-group step: the fired transition is resolved
+// with one shared-table lookup and the engine consumes it via StepFired,
+// behind the same recover barrier as safeStep. Valid only for the
+// sessions laneTab marks (chk-free monitor, diagnostics off), where
+// StepFired is verdict- and provenance-identical to StepPacked.
+func (sm *sessionMonitor) safeStepFired(tab *monitor.Table, val uint64) (res monitor.StepResult, panicked any) {
+	defer func() { panicked = recover() }()
+	return sm.eng.StepFired(tab.Fired(sm.eng.State(), val)), nil
 }
 
 // modeString renders the session mode for JSON bodies.

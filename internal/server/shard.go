@@ -2,18 +2,31 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/event"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 )
 
 // batch is one ingest request's worth of ticks, processed atomically in
 // arrival order by the owning shard's worker.
 type batch struct {
-	sess     *session
-	states   []event.State
+	sess *session
+	// states carries the slow-path decode: one map state per tick. Nil
+	// when the batch rode the zero-copy fast path.
+	states []event.State
+	// packed carries the fast-path decode: the request body packed
+	// directly into bitset lanes by event.BatchDecoder, one stride of
+	// words per tick in vocab slot order. Nil on the slow path.
+	packed *event.PackedBatch
+	// raw is the verbatim NDJSON request body of a fast-path batch; the
+	// journal appends it as-is (one frame, no re-encode) and replay
+	// re-decodes it, so durability never pays the map materialization
+	// the fast path just avoided.
+	raw      []byte
 	enqueued time.Time
 	// trace is the correlation id of the ingest request ("" when tracing
 	// is off); the worker stamps it on queue-wait and step spans so an
@@ -27,6 +40,15 @@ type batch struct {
 	// been processed (the ?wait=1 ingest path, the VCD upload, and
 	// snapshot barriers).
 	done chan struct{}
+}
+
+// tickCount returns the number of ticks in the batch on either decode
+// path.
+func (b *batch) tickCount() int {
+	if b.packed != nil {
+		return b.packed.Len()
+	}
+	return len(b.states)
 }
 
 // shard owns a bounded FIFO queue and a single worker goroutine.
@@ -74,58 +96,164 @@ func (s *Server) enqueueWait(b *batch) error {
 	}
 }
 
+// drainWindow bounds how many already-queued batches one worker pass
+// collects for lockstep grouping.
+const drainWindow = 16
+
 // runShard is the worker loop: it drains the queue until Close closes
 // it, which is what makes shutdown graceful — every accepted batch is
-// fully processed before Close returns.
+// fully processed before Close returns. Each pass collects whatever is
+// already queued (up to drainWindow batches) so lane-steppable sessions
+// sharing one transition table can step in lockstep.
 func (s *Server) runShard(sh *shard) {
 	defer s.wg.Done()
+	window := make([]*batch, 0, drainWindow)
 	for b := range sh.queue {
-		if s.crashed.Load() {
-			// Simulated crash: discard in-memory work, but unblock any
-			// handler waiting on the batch.
-			if b.done != nil {
-				close(b.done)
+		window = append(window[:0], b)
+	fill:
+		for len(window) < drainWindow {
+			select {
+			case nb, ok := <-sh.queue:
+				if !ok {
+					break fill
+				}
+				window = append(window, nb)
+			default:
+				break fill
 			}
-			continue
 		}
+		s.processWindow(sh, window)
+	}
+}
+
+// laneGroupable reports whether a batch may join a lane group: a packed
+// fast-path batch of a lane-steppable session, with no fault plane or
+// tick-delay knob in play (both are per-tick semantics the fused loop
+// does not reproduce).
+func (s *Server) laneGroupable(b *batch) bool {
+	return b.sess.laneTab != nil && b.packed != nil &&
+		s.cfg.Faults == nil && s.cfg.TickDelay == 0
+}
+
+// processWindow applies one drained window. Batches of lane-steppable
+// sessions are grouped by shared transition table and stepped in
+// lockstep; everything else runs the per-batch scalar path in window
+// order. Only a session's first batch in the window may join a group
+// (groups run before the scalar remainder, which preserves per-session
+// batch order; cross-session order carries no meaning).
+func (s *Server) processWindow(sh *shard, window []*batch) {
+	if len(window) == 1 {
+		s.process(sh, window[0])
+		return
+	}
+	var (
+		order  []*monitor.Table
+		groups map[*monitor.Table][]*batch
+		rest   []*batch
+	)
+	seen := make(map[*session]bool, len(window))
+	for _, b := range window {
+		if s.laneGroupable(b) && !seen[b.sess] {
+			if groups == nil {
+				groups = make(map[*monitor.Table][]*batch)
+			}
+			tab := b.sess.laneTab
+			if _, ok := groups[tab]; !ok {
+				order = append(order, tab)
+			}
+			groups[tab] = append(groups[tab], b)
+		} else {
+			rest = append(rest, b)
+		}
+		seen[b.sess] = true
+	}
+	for _, tab := range order {
+		if g := groups[tab]; len(g) == 1 {
+			s.process(sh, g[0])
+		} else {
+			s.processLaneGroup(sh, tab, g)
+		}
+	}
+	for _, b := range rest {
 		s.process(sh, b)
 	}
 }
 
-// process applies one batch to its session and updates metrics. The
-// per-tick latency sample is enqueue-to-processed, so queue wait under
-// load is visible in the histogram.
+// process applies one batch to its session and updates metrics. Lock
+// acquisition, fault planning, counter updates, the latency sample, and
+// span writes are all amortized to once per batch; only the engine steps
+// themselves run per tick.
 func (s *Server) process(sh *shard, b *batch) {
+	if s.crashed.Load() {
+		// Simulated crash: discard in-memory work, but unblock any
+		// handler waiting on the batch.
+		if b.done != nil {
+			close(b.done)
+		}
+		return
+	}
 	sess := b.sess
 	dequeued := time.Now()
 	queueWait := dequeued.Sub(b.enqueued)
 	s.metrics.observeStage(obs.StageQueueWait, queueWait)
-	s.tracer.Record(sh.idx, obs.Span{
-		Trace: b.trace, Session: sess.id, Stage: obs.StageQueueWait,
-		Start: b.enqueued, Dur: queueWait, Ticks: len(b.states),
-	})
+	n := b.tickCount()
 	sess.mu.Lock()
-	for _, st := range b.states {
+	shots := sess.batchShots(n)
+	var acc, vio, quar int
+	for i := 0; i < n; i++ {
 		if d := s.cfg.TickDelay; d > 0 {
 			time.Sleep(d)
 		}
-		acc, vio, quar := sess.step(st)
-		if acc > 0 {
-			s.metrics.acceptsTotal.Add(uint64(acc))
+		var a, v, q int
+		if b.packed != nil {
+			a, v, q = sess.stepTick(event.State{}, b.packed.Tick(i), shots, i)
+		} else {
+			a, v, q = sess.stepTick(b.states[i], nil, shots, i)
 		}
-		if vio > 0 {
-			s.metrics.violationsTotal.Add(uint64(vio))
-		}
-		if quar > 0 {
-			s.metrics.monitorsQuarantined.Add(uint64(quar))
-		}
-		sh.ticks.Add(1)
-		s.metrics.ticksTotal.Add(1)
+		acc += a
+		vio += v
+		quar += q
+	}
+	if acc > 0 {
+		s.metrics.acceptsTotal.Add(uint64(acc))
+	}
+	if vio > 0 {
+		s.metrics.violationsTotal.Add(uint64(vio))
+	}
+	if quar > 0 {
+		s.metrics.monitorsQuarantined.Add(uint64(quar))
+	}
+	s.foldSpecDeltas(sess)
+	if b.jseq > 0 {
+		sess.appliedJSeq = b.jseq
+	}
+	sess.mu.Unlock()
+	sh.ticks.Add(uint64(n))
+	s.metrics.ticksTotal.Add(uint64(n))
+	if n > 0 {
 		s.metrics.latency.observe(time.Since(b.enqueued))
 	}
-	// Per-spec verdict deltas fold into daemon-lifetime counters here —
-	// the engines' own totals die with the session on eviction, the
-	// daemon's do not.
+	stepDur := time.Since(dequeued)
+	s.gov.observeStep(stepDur, n)
+	s.metrics.observeStage(obs.StageStep, stepDur)
+	s.tracer.RecordBatch(sh.idx, []obs.Span{
+		{Trace: b.trace, Session: sess.id, Stage: obs.StageQueueWait,
+			Start: b.enqueued, Dur: queueWait, Ticks: n},
+		{Trace: b.trace, Session: sess.id, Stage: obs.StageStep,
+			Start: dequeued, Dur: stepDur, Ticks: n},
+	})
+	s.watchdog.Observe(stepDur, n, b.trace, sess.id, sh.idx)
+	sess.touch()
+	s.metrics.batchesTotal.Add(1)
+	if b.done != nil {
+		close(b.done)
+	}
+}
+
+// foldSpecDeltas folds per-spec verdict deltas into daemon-lifetime
+// counters — the engines' own totals die with the session on eviction,
+// the daemon's do not. Caller holds sess.mu.
+func (s *Server) foldSpecDeltas(sess *session) {
 	for _, sm := range sess.mons {
 		st := sm.eng.Stats()
 		da, dv := uint64(st.Accepts)-sm.reportedAccepts, uint64(st.Violations)-sm.reportedViolations
@@ -134,21 +262,104 @@ func (s *Server) process(sh *shard, b *batch) {
 			sm.reportedAccepts, sm.reportedViolations = uint64(st.Accepts), uint64(st.Violations)
 		}
 	}
-	if b.jseq > 0 {
-		sess.appliedJSeq = b.jseq
+}
+
+// processLaneGroup steps a group of lane-steppable sessions sharing one
+// transition table in tick-major lockstep: at each tick index, every
+// member session resolves its fired transition with one lookup in the
+// shared table and advances via StepFired. The per-batch bookkeeping —
+// locks, verdict folds, metrics, spans — is identical to process; only
+// the stepping order is fused.
+func (s *Server) processLaneGroup(sh *shard, tab *monitor.Table, batches []*batch) {
+	if s.crashed.Load() {
+		for _, b := range batches {
+			if b.done != nil {
+				close(b.done)
+			}
+		}
+		return
 	}
-	sess.mu.Unlock()
+	dequeued := time.Now()
+	maxN, total := 0, 0
+	for _, b := range batches {
+		s.metrics.observeStage(obs.StageQueueWait, dequeued.Sub(b.enqueued))
+		b.sess.mu.Lock()
+		n := b.packed.Len()
+		total += n
+		if n > maxN {
+			maxN = n
+		}
+	}
+	var acc, vio, quar uint64
+	for t := 0; t < maxN; t++ {
+		for _, b := range batches {
+			if t >= b.packed.Len() {
+				continue
+			}
+			sm := b.sess.mons[0]
+			if sm.quarantined {
+				continue
+			}
+			res, panicked := sm.safeStepFired(tab, b.packed.Word(t, 0))
+			if panicked != nil {
+				sm.quarantined = true
+				sm.quarantineReason = fmt.Sprintf("panic at step %d: %v", sm.eng.Stats().Steps, panicked)
+				quar++
+				continue
+			}
+			sm.cov.Record(res)
+			switch res.Outcome {
+			case monitor.Accepted:
+				acc++
+				if len(sm.acceptTicks) < maxAcceptTicks {
+					sm.acceptTicks = append(sm.acceptTicks, res.Tick)
+				}
+			case monitor.Violated:
+				vio++
+			}
+		}
+	}
+	if acc > 0 {
+		s.metrics.acceptsTotal.Add(acc)
+	}
+	if vio > 0 {
+		s.metrics.violationsTotal.Add(vio)
+	}
+	if quar > 0 {
+		s.metrics.monitorsQuarantined.Add(quar)
+	}
 	stepDur := time.Since(dequeued)
-	s.gov.observeStep(stepDur, len(b.states))
+	spans := make([]obs.Span, 0, 2*len(batches))
+	for _, b := range batches {
+		sess := b.sess
+		s.foldSpecDeltas(sess)
+		if b.jseq > 0 {
+			sess.appliedJSeq = b.jseq
+		}
+		sess.mu.Unlock()
+		n := b.packed.Len()
+		sh.ticks.Add(uint64(n))
+		s.metrics.ticksTotal.Add(uint64(n))
+		if n > 0 {
+			s.metrics.latency.observe(time.Since(b.enqueued))
+		}
+		spans = append(spans,
+			obs.Span{Trace: b.trace, Session: sess.id, Stage: obs.StageQueueWait,
+				Start: b.enqueued, Dur: dequeued.Sub(b.enqueued), Ticks: n},
+			obs.Span{Trace: b.trace, Session: sess.id, Stage: obs.StageStep,
+				Start: dequeued, Dur: stepDur, Ticks: n,
+				Note: fmt.Sprintf("lane group of %d", len(batches))})
+		sess.touch()
+		s.metrics.batchesTotal.Add(1)
+	}
+	s.metrics.laneGroupTicks.Add(uint64(total))
+	s.gov.observeStep(stepDur, total)
 	s.metrics.observeStage(obs.StageStep, stepDur)
-	s.tracer.Record(sh.idx, obs.Span{
-		Trace: b.trace, Session: sess.id, Stage: obs.StageStep,
-		Start: dequeued, Dur: stepDur, Ticks: len(b.states),
-	})
-	s.watchdog.Observe(stepDur, len(b.states), b.trace, sess.id, sh.idx)
-	sess.touch()
-	s.metrics.batchesTotal.Add(1)
-	if b.done != nil {
-		close(b.done)
+	s.tracer.RecordBatch(sh.idx, spans)
+	s.watchdog.Observe(stepDur, total, batches[0].trace, batches[0].sess.id, sh.idx)
+	for _, b := range batches {
+		if b.done != nil {
+			close(b.done)
+		}
 	}
 }

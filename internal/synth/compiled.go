@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/chart"
 	"repro/internal/event"
@@ -18,11 +19,27 @@ import (
 type CompiledSpec struct {
 	Monitor *monitor.Monitor
 	Program *monitor.Program
+
+	tableOnce sync.Once
+	table     *monitor.Table
+	tableErr  error
 }
 
 // Support returns the interned input support of the compiled monitor;
 // its slot order is the packing order for Program-bound engines.
 func (cs *CompiledSpec) Support() *event.Support { return cs.Program.Support() }
+
+// Table returns the shared transition table of the monitor, building it
+// on first use (the table tier is optional: wide monitors exceed the
+// compile cap and keep running on the program tier). The result is
+// cached — every lane bank and scalar cursor of the spec shares one
+// table — and safe for concurrent callers.
+func (cs *CompiledSpec) Table() (*monitor.Table, error) {
+	cs.tableOnce.Do(func() {
+		cs.table, cs.tableErr = monitor.CompileTable(cs.Monitor)
+	})
+	return cs.table, cs.tableErr
+}
 
 // NewCompiledSpec compiles the guard programs of an already-synthesized
 // monitor.

@@ -21,9 +21,11 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -172,6 +174,44 @@ func (m *Manager) List() ([]string, error) {
 // sessions keep no history).
 func (m *Manager) Remove(id string) error {
 	return os.RemoveAll(filepath.Join(m.opts.Dir, id))
+}
+
+// DiskUsage walks every session journal under the root and returns the
+// total on-disk bytes plus the per-session breakdown. Journals racing a
+// concurrent Remove are tolerated (counted as zero), so callers can
+// size-budget a live directory.
+func (m *Manager) DiskUsage() (total int64, perSession map[string]int64, err error) {
+	ids, err := m.List()
+	if err != nil {
+		return 0, nil, err
+	}
+	perSession = make(map[string]int64, len(ids))
+	for _, id := range ids {
+		var n int64
+		dir := filepath.Join(m.opts.Dir, id)
+		walkErr := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.Type().IsRegular() {
+				info, err := d.Info()
+				if err != nil {
+					return err
+				}
+				n += info.Size()
+			}
+			return nil
+		})
+		if walkErr != nil {
+			if errors.Is(walkErr, fs.ErrNotExist) {
+				continue // lost a race with Remove
+			}
+			return 0, nil, fmt.Errorf("wal: sizing %s: %w", dir, walkErr)
+		}
+		perSession[id] = n
+		total += n
+	}
+	return total, perSession, nil
 }
 
 // Record is one framed journal entry.
