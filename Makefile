@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json obs-bench perfgate lanebench soaktest clustertest clean
+.PHONY: all build vet test race check crashtest fuzz conformance bench bench-json obs-bench perfgate lanebench minetest minebench soaktest clustertest clean
 
 all: check
 
@@ -32,6 +32,7 @@ check:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test -race ./...
 	$(MAKE) conformance
 	$(MAKE) clustertest
+	$(MAKE) minetest
 	$(MAKE) fuzz
 
 # Whole-stack differential fuzzing: random charts + adversarial traces
@@ -48,6 +49,24 @@ fuzz:
 	$(GO) test ./internal/parser/ -run='^$$' -fuzz=FuzzParseChart -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/trace/ -run='^$$' -fuzz=FuzzStreamVCD -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wal/ -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/mine/ -run='^$$' -fuzz=FuzzMine -fuzztime=$(FUZZTIME)
+
+# Spec-mining suite: the miner and its protocol models under the race
+# detector (golden corpus byte-stability, gate soundness, mutant
+# discrimination, the 64-lane corpus replay), then the cescmine CLI
+# mining every checked-in corpus with the validation gate armed — the
+# CI mining smoke.
+minetest:
+	$(GO) test -race ./internal/mine/ ./internal/axi/ ./cmd/cescmine/
+	$(GO) run ./cmd/cescmine -q -name smoke_ocp -clock ocp_clk testdata/corpus/ocp_fig6_read.ndjson >/dev/null
+	$(GO) run ./cmd/cescmine -q -name smoke_ahb -clock ahb_clk testdata/corpus/ahb_cli.ndjson >/dev/null
+	$(GO) run ./cmd/cescmine -q -name smoke_axi -clock aclk testdata/corpus/axi4_burst.ndjson >/dev/null
+
+# Mining-throughput snapshot: corpus decode, inference, and the
+# validation gate on in-process model corpora; refreshes BENCH_MINE.json
+# and appends the run to the versioned BENCH_HISTORY.jsonl.
+minebench:
+	$(GO) run ./cmd/cescbench -mine-json BENCH_MINE.json -history BENCH_HISTORY.jsonl
 
 # Fault-tolerance suite: crash-recovery, quarantine, fault-injection,
 # and client retry/exactly-once tests, under the race detector.

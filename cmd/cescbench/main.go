@@ -38,6 +38,7 @@ func main() {
 	jsonPath := flag.String("json", "", "run the micro-benchmarks and write a machine-readable summary (name, ns/op, allocs/op) to this path instead of the narrative tables")
 	obsPath := flag.String("obs-json", "", "run the observability-overhead suite (tracing off / ring-only / full provenance) and write the summary to this path")
 	lanePath := flag.String("lane-json", "", "run only the bit-sliced lane + batch-decode suite (fast; the CI lanebench smoke) and write the summary to this path")
+	minePath := flag.String("mine-json", "", "run only the spec-mining suite (corpus decode, inference, validation gate; the CI mining smoke) and write the summary to this path")
 	compare := flag.Bool("compare", false, "compare two -json/-obs-json/-lane-json summaries: cescbench -compare old.json new.json; exits 1 on regression")
 	threshold := flag.Float64("threshold", 0.5, "relative ns/op growth tolerated by -compare (0.5 = +50%)")
 	floorNs := flag.Float64("floor", 50, "absolute ns/op growth a -compare time regression must also exceed")
@@ -103,6 +104,14 @@ func main() {
 		recordHistory("lane-json", 0, *lanePath)
 		return
 	}
+	if *minePath != "" {
+		if err := writeMineBenchJSON(*minePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *minePath)
+		recordHistory("mine-json", 0, *minePath)
+		return
+	}
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fatal(err)
@@ -118,6 +127,7 @@ func main() {
 	parity()
 	multiclock()
 	ablation()
+	mineSummary()
 }
 
 // benchResult is one row of the -json summary; the fields mirror what

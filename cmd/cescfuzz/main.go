@@ -30,6 +30,7 @@ func main() {
 		serverEvery   = flag.Int("server-every", 10, "route every k-th chart through a live cescd (-1 disables)")
 		recoveryEvery = flag.Int("recovery-every", 2, "crash-recover every k-th server run (-1 disables)")
 		pageEvery     = flag.Int("page-every", 3, "page every k-th server run's sessions out between batches (-1 disables)")
+		mineEvery     = flag.Int("mine-every", 5, "run the spec-mining round trip on every k-th chart (-1 disables)")
 		out           = flag.String("out", "testdata/regressions", "directory for shrunk replayable regressions")
 		quiet         = flag.Bool("q", false, "suppress progress lines")
 		replay        = flag.Bool("replay", false, "replay the regression corpus in -out instead of fuzzing")
@@ -61,6 +62,7 @@ func main() {
 		ServerEvery:    *serverEvery,
 		RecoveryEvery:  *recoveryEvery,
 		PageEvery:      *pageEvery,
+		MineEvery:      *mineEvery,
 		RegressionDir:  *out,
 	}
 	if !*quiet {
@@ -73,8 +75,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cescfuzz: harness error: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Printf("seed=%d charts=%d traces=%d async=%d server-runs=%d recoveries=%d pageouts=%d divergences=%d\n",
-		rep.Seed, rep.Charts, rep.Traces, rep.AsyncCharts, rep.ServerRuns, rep.Recoveries, rep.Pageouts, len(rep.Divergences))
+	fmt.Printf("seed=%d charts=%d traces=%d async=%d server-runs=%d recoveries=%d pageouts=%d mine-runs=%d divergences=%d\n",
+		rep.Seed, rep.Charts, rep.Traces, rep.AsyncCharts, rep.ServerRuns, rep.Recoveries, rep.Pageouts, rep.MineRuns, len(rep.Divergences))
 	for _, d := range rep.Divergences {
 		fmt.Printf("DIVERGENCE %s\n", d)
 		if d.File != "" {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mine"
+	"repro/internal/parser"
+)
+
+const corpusDir = "../../testdata/corpus"
+
+func TestSplitProps(t *testing.T) {
+	if got := splitProps(""); got != nil {
+		t.Errorf("empty: %v", got)
+	}
+	got := splitProps(" a, b ,,c ")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("split: %v", got)
+	}
+}
+
+func TestReadCorpusByExtension(t *testing.T) {
+	nd, err := readCorpus(filepath.Join(corpusDir, "ocp_fig6_read.ndjson"), nil)
+	if err != nil {
+		t.Fatalf("ndjson (regenerate with go test ./internal/mine -run Golden -update): %v", err)
+	}
+	if len(nd.Segments) < 2 {
+		t.Fatalf("ndjson corpus has %d segments", len(nd.Segments))
+	}
+	vcd, err := readCorpus(filepath.Join(corpusDir, "ocp_fig6_read.vcd"), []string{"MRespAccept"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vcd.Segments) != 1 || len(vcd.Segments[0]) == 0 {
+		t.Fatalf("vcd corpus shape: %d segments", len(vcd.Segments))
+	}
+}
+
+func TestReadCorporaMergesSegments(t *testing.T) {
+	f := filepath.Join(corpusDir, "ocp_fig6_read.ndjson")
+	one, err := readCorpora([]string{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := readCorpora([]string{f, f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two.Segments) != 2*len(one.Segments) {
+		t.Fatalf("merge: %d vs 2×%d", len(two.Segments), len(one.Segments))
+	}
+}
+
+// TestEmitFilesRoundTrip mines the checked-in OCP corpus end to end the
+// way the CLI does, writes the charts to a temp dir, and re-parses each
+// emitted file.
+func TestEmitFilesRoundTrip(t *testing.T) {
+	c, err := readCorpora([]string{filepath.Join(corpusDir, "ocp_fig6_read.ndjson")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mine.Config{ChartName: "ocp_read", Clock: "ocp_clk", Seed: 1}
+	ms, rs, err := mine.MineValidated(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []*mine.Mined
+	var stats []string
+	for i, m := range ms {
+		if rs[i].Pass {
+			kept = append(kept, m)
+			stats = append(stats, "// stats")
+		}
+	}
+	if len(kept) == 0 {
+		t.Fatal("no charts passed the gate on the golden corpus")
+	}
+	dir := t.TempDir()
+	if err := emit(kept, stats, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range kept {
+		raw, err := os.ReadFile(filepath.Join(dir, m.Name+".cesc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(raw), "// stats\n") {
+			t.Errorf("%s: missing stats comment", m.Name)
+		}
+		cs, err := parser.Parse(string(raw))
+		if err != nil {
+			t.Fatalf("%s does not re-parse: %v", m.Name, err)
+		}
+		if len(cs.Charts) != 2 {
+			t.Fatalf("%s: %d charts, want scenario+assert", m.Name, len(cs.Charts))
+		}
+	}
+}

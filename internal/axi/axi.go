@@ -1,0 +1,250 @@
+// Package axi models an AXI4-style read burst channel pair — the first
+// protocol model beyond the paper's OCP/AHB case studies. A master
+// issues a fixed-length read burst on the AR (address read) channel with
+// a same-cycle ARREADY handshake; after a fixed slave latency the R
+// (read data) channel returns one beat per cycle, the final beat tagged
+// RLAST. As with packages ocp and amba, the model is cycle-accurate at
+// the observed interface: each tick emits the events a bus monitor would
+// sample, and configurable fault injection perturbs the sequences for
+// the bug-detection and spec-mining experiments.
+package axi
+
+import (
+	"math/rand"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/trace"
+)
+
+// AXI4 read-channel event names (1-bit interface view).
+const (
+	EvARValid = "ARVALID" // master presents a read address
+	EvARReady = "ARREADY" // slave accepts the address this cycle
+	EvARLen4  = "ARLEN4"  // burst-length annotation: four beats
+	EvRValid  = "RVALID"  // a read data beat is live
+	EvRData   = "RDATA"   // the beat carries data
+	EvRLast   = "RLAST"   // final beat of the burst
+)
+
+// RespLatency is the number of idle cycles between the accepted address
+// handshake and the first data beat.
+const RespLatency = 2
+
+// BurstLen is the modelled burst length (ARLEN4).
+const BurstLen = 4
+
+// BurstReadChart builds the AXI4 burst-read SCESC: the address handshake
+// on the first grid line, a latency line with no required events, then
+// four data beats with RLAST closing the burst. The causality arrow
+// requires the address handshake to be live on the scoreboard when the
+// last beat is consumed.
+func BurstReadChart() *chart.SCESC {
+	lines := []chart.GridLine{
+		{Events: []chart.EventSpec{
+			{Event: EvARValid, Label: "ar", From: "Master", To: "Slave"},
+			{Event: EvARReady, From: "Slave", To: "Master"},
+			{Event: EvARLen4, From: "Master", To: "Slave"},
+		}},
+	}
+	for i := 0; i < RespLatency-1; i++ {
+		lines = append(lines, chart.GridLine{})
+	}
+	for beat := 1; beat <= BurstLen; beat++ {
+		specs := []chart.EventSpec{
+			{Event: EvRValid, From: "Slave", To: "Master"},
+			{Event: EvRData, From: "Slave", To: "Master"},
+		}
+		if beat == BurstLen {
+			specs = append(specs, chart.EventSpec{Event: EvRLast, Label: "last", From: "Slave", To: "Master"})
+		}
+		lines = append(lines, chart.GridLine{Events: specs})
+	}
+	return &chart.SCESC{
+		ChartName: "axi4_burst_read",
+		Clock:     "aclk",
+		Instances: []string{"Master", "Slave"},
+		Lines:     lines,
+		Arrows:    []chart.Arrow{{From: "ar", To: "last"}},
+	}
+}
+
+// FaultKind enumerates injectable deviations from the burst sequence.
+type FaultKind int
+
+const (
+	// FaultNone performs the burst correctly.
+	FaultNone FaultKind = iota
+	// FaultDropLast omits the closing RLAST tag (the beat still occurs).
+	FaultDropLast
+	// FaultShortBurst returns only three of the four beats.
+	FaultShortBurst
+	// FaultDropBeat skips a middle beat entirely.
+	FaultDropBeat
+	// FaultMissingData raises RVALID on a beat without RDATA.
+	FaultMissingData
+	// FaultDropReady omits the ARREADY handshake on the address cycle.
+	FaultDropReady
+)
+
+// String names the fault.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDropLast:
+		return "drop-last"
+	case FaultShortBurst:
+		return "short-burst"
+	case FaultDropBeat:
+		return "drop-beat"
+	case FaultMissingData:
+		return "missing-data"
+	case FaultDropReady:
+		return "drop-ready"
+	default:
+		return "fault?"
+	}
+}
+
+// Config parameterizes the master/slave pair.
+type Config struct {
+	// Gap is the number of idle cycles between bursts.
+	Gap int
+	// FaultRate is the probability that a burst is injected with a fault
+	// drawn from FaultKinds.
+	FaultRate float64
+	// FaultKinds lists the faults to draw from (defaults to all kinds
+	// when empty).
+	FaultKinds []FaultKind
+	// Seed feeds the model's private PRNG.
+	Seed int64
+	// Source, when non-nil, supplies the model's randomness instead of a
+	// fresh PRNG seeded with Seed.
+	Source rand.Source
+}
+
+// Model is an executable AXI read channel pair producing the per-cycle
+// event sets observed at the interface.
+type Model struct {
+	cfg Config
+	rng *rand.Rand
+
+	future  []event.State
+	idle    int
+	issued  int
+	faulted int
+}
+
+// NewModel returns a model for cfg.
+func NewModel(cfg Config) *Model {
+	if cfg.Gap < 0 {
+		cfg.Gap = 0
+	}
+	src := cfg.Source
+	if src == nil {
+		src = rand.NewSource(cfg.Seed)
+	}
+	m := &Model{cfg: cfg, rng: rand.New(src)}
+	m.idle = 1 // settle one cycle before the first burst
+	return m
+}
+
+// Issued returns the number of bursts started.
+func (m *Model) Issued() int { return m.issued }
+
+// Faulted returns the number of bursts injected with a fault.
+func (m *Model) Faulted() int { return m.faulted }
+
+func (m *Model) at(i int) event.State {
+	for len(m.future) <= i {
+		m.future = append(m.future, event.NewState())
+	}
+	return m.future[i]
+}
+
+func (m *Model) schedule(offset int, events ...string) {
+	s := m.at(offset)
+	for _, e := range events {
+		s.Events[e] = true
+	}
+}
+
+func (m *Model) pickFault() FaultKind {
+	if m.cfg.FaultRate <= 0 || m.rng.Float64() >= m.cfg.FaultRate {
+		return FaultNone
+	}
+	kinds := m.cfg.FaultKinds
+	if len(kinds) == 0 {
+		kinds = []FaultKind{FaultDropLast, FaultShortBurst, FaultDropBeat, FaultMissingData, FaultDropReady}
+	}
+	return kinds[m.rng.Intn(len(kinds))]
+}
+
+// startBurst schedules the cycles of one burst starting at offset 0 and
+// returns its total length in cycles.
+func (m *Model) startBurst() int {
+	m.issued++
+	fault := m.pickFault()
+	if fault != FaultNone {
+		m.faulted++
+	}
+	ar := []string{EvARValid, EvARReady, EvARLen4}
+	if fault == FaultDropReady {
+		ar = []string{EvARValid, EvARLen4}
+	}
+	m.schedule(0, ar...)
+	beats := BurstLen
+	if fault == FaultShortBurst {
+		beats = BurstLen - 1
+	}
+	skip := -1
+	if fault == FaultDropBeat {
+		skip = 1 + m.rng.Intn(BurstLen-2) // a middle beat
+	}
+	cycle := RespLatency
+	for beat := 0; beat < beats; beat++ {
+		if beat == skip {
+			cycle++
+			continue
+		}
+		evs := []string{EvRValid, EvRData}
+		if fault == FaultMissingData && beat == beats-1 {
+			evs = []string{EvRValid}
+		}
+		if beat == beats-1 && fault != FaultDropLast {
+			evs = append(evs, EvRLast)
+		}
+		m.schedule(cycle, evs...)
+		cycle++
+	}
+	return cycle
+}
+
+// Step produces the event state for the next cycle.
+func (m *Model) Step() event.State {
+	if len(m.future) == 0 && m.idle == 0 {
+		busy := m.startBurst()
+		m.idle = busy + m.cfg.Gap
+	}
+	var out event.State
+	if len(m.future) > 0 {
+		out = m.future[0]
+		m.future = m.future[1:]
+	} else {
+		out = event.NewState()
+	}
+	if m.idle > 0 {
+		m.idle--
+	}
+	return out
+}
+
+// GenerateTrace runs the model for n cycles.
+func (m *Model) GenerateTrace(n int) trace.Trace {
+	out := make(trace.Trace, n)
+	for i := range out {
+		out[i] = m.Step()
+	}
+	return out
+}

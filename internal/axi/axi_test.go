@@ -1,0 +1,77 @@
+package axi
+
+import (
+	"testing"
+
+	"repro/internal/monitor"
+	"repro/internal/semantics"
+	"repro/internal/synth"
+)
+
+func TestBurstReadChartValid(t *testing.T) {
+	c := BurstReadChart()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("chart invalid: %v", err)
+	}
+	if len(c.Lines) != 1+(RespLatency-1)+BurstLen {
+		t.Fatalf("unexpected line count %d", len(c.Lines))
+	}
+}
+
+// TestCleanTraceAccepted runs a fault-free model against the burst-read
+// monitor: one accept per issued burst, zero violations.
+func TestCleanTraceAccepted(t *testing.T) {
+	m := NewModel(Config{Gap: 2, Seed: 1})
+	tr := m.GenerateTrace(400)
+	mon, err := synth.Synthesize(BurstReadChart(), nil)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	eng := monitor.NewEngine(mon, nil, monitor.ModeDetect)
+	accepts := 0
+	for _, s := range tr {
+		res := eng.Step(s)
+		if res.Outcome == monitor.Accepted {
+			accepts++
+		}
+		if res.Outcome == monitor.Violated {
+			t.Fatalf("violation on clean trace")
+		}
+	}
+	if accepts == 0 || m.Issued() == 0 {
+		t.Fatalf("no bursts observed (issued %d, accepts %d)", m.Issued(), accepts)
+	}
+	// Every burst whose window completed inside the trace is accepted.
+	if accepts < m.Issued()-1 {
+		t.Fatalf("issued %d bursts but only %d accepts", m.Issued(), accepts)
+	}
+}
+
+// TestFaultsBreakBurst checks each fault kind produces traces the oracle
+// no longer fully matches: fewer complete burst windows than issued.
+func TestFaultsBreakBurst(t *testing.T) {
+	kinds := []FaultKind{FaultDropLast, FaultShortBurst, FaultDropBeat, FaultMissingData, FaultDropReady}
+	c := BurstReadChart()
+	for _, k := range kinds {
+		m := NewModel(Config{Gap: 2, FaultRate: 1, FaultKinds: []FaultKind{k}, Seed: 7})
+		tr := m.GenerateTrace(300)
+		o := semantics.NewOracle(tr)
+		ends := o.EndTicks(c)
+		if m.Issued() == 0 {
+			t.Fatalf("%v: no bursts issued", k)
+		}
+		if len(ends) >= m.Issued() {
+			t.Fatalf("%v: fault not observable (issued %d, matched %d)", k, m.Issued(), len(ends))
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := NewModel(Config{Gap: 1, FaultRate: 0.3, Seed: 42}).GenerateTrace(200)
+	b := NewModel(Config{Gap: 1, FaultRate: 0.3, Seed: 42}).GenerateTrace(200)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("tick %d differs across identically seeded models", i)
+		}
+	}
+}

@@ -47,6 +47,12 @@ type Config struct {
 	// Verdicts must still match the oracle exactly: paging is required
 	// to be transparent.
 	PageEvery int
+	// MineEvery runs the spec-mining round-trip phase on every k-th
+	// chart: satisfying witnesses are mined back into charts, and every
+	// chart clearing the mine validation gate must accept each witness
+	// it came from, with the gate's own differential stack escalated as
+	// divergences (default 5; negative disables).
+	MineEvery int
 	// RegressionDir, when set, receives a shrunk replayable reproduction
 	// of every divergence.
 	RegressionDir string
@@ -77,6 +83,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PageEvery == 0 {
 		c.PageEvery = 3
+	}
+	if c.MineEvery == 0 {
+		c.MineEvery = 5
 	}
 	return c
 }
@@ -116,6 +125,7 @@ type Report struct {
 	ServerRuns  int
 	Recoveries  int
 	Pageouts    int
+	MineRuns    int
 	Divergences []*Divergence
 }
 
@@ -168,6 +178,24 @@ func Run(cfg Config) (*Report, error) {
 				// transport divergence keeps the original pair (the
 				// server harness is too heavy for the shrink loop).
 				d = finishDivergence(cfg, d, i, c, tr, nil)
+				rep.Divergences = append(rep.Divergences, d)
+				logf("DIVERGENCE %s", d)
+			}
+		}
+		if cfg.MineEvery > 0 && i%cfg.MineEvery == 0 {
+			rep.MineRuns++
+			for _, d := range mineCheck(g, c, sup, cfg.Seed) {
+				// mineCheck sets Source to the offending mined chart and
+				// shrinks the witness itself, so provenance and the
+				// regression write happen here rather than through
+				// finishDivergence (which would re-print the generated
+				// chart over the mined one).
+				d.Seed, d.Index = cfg.Seed, i
+				if cfg.RegressionDir != "" {
+					if err := writeRegression(cfg.RegressionDir, d); err != nil {
+						d.Detail += fmt.Sprintf(" (regression write failed: %v)", err)
+					}
+				}
 				rep.Divergences = append(rep.Divergences, d)
 				logf("DIVERGENCE %s", d)
 			}

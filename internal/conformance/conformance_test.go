@@ -19,6 +19,9 @@ func TestCampaignFixedSeed(t *testing.T) {
 	if rep.ServerRuns == 0 || rep.Recoveries == 0 {
 		t.Fatalf("campaign exercised no server runs (%d) or recoveries (%d)", rep.ServerRuns, rep.Recoveries)
 	}
+	if rep.MineRuns == 0 {
+		t.Fatalf("campaign exercised no spec-mining round trips")
+	}
 	for _, d := range rep.Divergences {
 		t.Errorf("%s\n%s", d, d.Source)
 	}

@@ -1,0 +1,185 @@
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chart"
+	"repro/internal/event"
+	"repro/internal/gen"
+	"repro/internal/mine"
+	"repro/internal/parser"
+	"repro/internal/semantics"
+	"repro/internal/trace"
+)
+
+// mineCheck is the spec-mining round-trip phase: draw satisfying
+// witnesses for a generated chart, mine the witness corpus back into
+// charts (trace-aligned, confidence 1.0), and hold the miner to its
+// contract. Confidence-1.0 aligned mining makes two properties
+// theorems, so any breach is a stack bug, not mining noise:
+//
+//   - every chart that clears the mine validation gate must accept
+//     every witness it was mined from (the reference semantics decides
+//     acceptance); the offending witness is shrunk before it is
+//     reported;
+//   - the gate's internal differential stack (engine tiers vs. table
+//     vs. oracle) must agree — mine.Result.Divergent escalates here.
+//
+// Near-miss discrimination is enforced inside the gate itself: a chart
+// only passes when ≥95% of the oracle-confirmed mutants constructed
+// from its own witness windows are flagged by the assert monitor.
+// Mining legitimately yielding nothing (or rejecting a candidate on
+// soundness grounds) is not a divergence.
+func mineCheck(g *gen.Gen, c chart.Chart, sup *event.Support, campaignSeed int64) []*Divergence {
+	const wantWitnesses = 6
+	var segs []trace.Trace
+	for tries := 0; tries < wantWitnesses*4 && len(segs) < wantWitnesses; tries++ {
+		if w, ok := g.Witness(c, sup); ok && len(w) >= 2 {
+			segs = append(segs, w)
+		}
+	}
+	if len(segs) < 3 {
+		return nil // chart has no usable witnesses; nothing to mine
+	}
+	// Truncate to the shortest witness so every segment covers every
+	// mined offset: window statistics then have full support by
+	// construction and mutant rejection is deterministic.
+	minLen := len(segs[0])
+	for _, s := range segs {
+		if len(s) < minLen {
+			minLen = len(s)
+		}
+	}
+	for i := range segs {
+		segs[i] = segs[i][:minLen]
+	}
+
+	corpus := &mine.Corpus{Segments: segs}
+	mcfg := mineConfig(c, len(segs), minLen, campaignSeed)
+	ms, rs, err := mine.MineValidated(corpus, mcfg)
+	if err != nil {
+		return []*Divergence{{Kind: "mine-roundtrip", Detail: err.Error()}}
+	}
+	var out []*Divergence
+	for i, m := range ms {
+		if rs[i].Divergent {
+			out = append(out, &Divergence{
+				Kind:   "mine-tier",
+				Detail: rs[i].Reason,
+				Source: parser.Print("R_mine_tier", m.Assert),
+			})
+			continue
+		}
+		if !rs[i].Pass {
+			continue
+		}
+		for wi, w := range segs {
+			if !semantics.NewOracle(w).Contains(m.Scenario) {
+				shrunk := shrinkMineWitness(segs, wi, mcfg)
+				out = append(out, &Divergence{
+					Kind:   "mine-witness",
+					Detail: fmt.Sprintf("validated mined chart %s rejects witness %d of its own corpus", m.Name, wi),
+					Source: parser.Print("R_mine_witness", m.Scenario),
+					Trace:  shrunk,
+				})
+				break
+			}
+		}
+	}
+	return out
+}
+
+func mineConfig(c chart.Chart, support, minLen int, seed int64) mine.Config {
+	clock := "clk"
+	if clocks := c.Clocks(); len(clocks) > 0 && clocks[0] != "" {
+		clock = clocks[0]
+	}
+	w := minLen
+	if w > 12 {
+		w = 12
+	}
+	return mine.Config{
+		AlignTraces: true,
+		MinSupport:  support,
+		Confidence:  1.0,
+		MaxWindow:   w,
+		Clock:       clock,
+		ChartName:   "mined_rt",
+		Seed:        seed,
+	}
+}
+
+// mineWitnessFails re-runs the round-trip property with segs[wi]
+// replaced by cand (all segments re-truncated to cand's length): it
+// reports whether some validated mined chart still rejects cand. The
+// mining pipeline is deterministic, so this predicate is stable and
+// drives the shrinker below.
+func mineWitnessFails(segs []trace.Trace, wi int, cand trace.Trace, mcfg mine.Config) bool {
+	if len(cand) < 2 {
+		return false
+	}
+	trial := make([]trace.Trace, len(segs))
+	copy(trial, segs)
+	trial[wi] = cand
+	for i := range trial {
+		if len(trial[i]) > len(cand) {
+			trial[i] = trial[i][:len(cand)]
+		}
+	}
+	cfg := mcfg
+	if cfg.MaxWindow > len(cand) {
+		cfg.MaxWindow = len(cand)
+	}
+	ms, rs, err := mine.MineValidated(&mine.Corpus{Segments: trial}, cfg)
+	if err != nil {
+		return true
+	}
+	for i, m := range ms {
+		if rs[i].Pass && !semantics.NewOracle(cand).Contains(m.Scenario) {
+			return true
+		}
+	}
+	return false
+}
+
+// shrinkMineWitness minimizes the offending witness: drop trailing
+// ticks, then single events, while the round-trip property still fails.
+func shrinkMineWitness(segs []trace.Trace, wi int, mcfg mine.Config) trace.Trace {
+	cur := segs[wi]
+	for len(cur) > 2 && mineWitnessFails(segs, wi, cur[:len(cur)-1], mcfg) {
+		cur = cur[:len(cur)-1]
+	}
+	for t := range cur {
+		var names []string
+		for e, v := range cur[t].Events {
+			if v {
+				names = append(names, e)
+			}
+		}
+		sort.Strings(names)
+		for _, e := range names {
+			cand := cloneTrace(cur)
+			delete(cand[t].Events, e)
+			if mineWitnessFails(segs, wi, cand, mcfg) {
+				cur = cand
+			}
+		}
+	}
+	return cur
+}
+
+func cloneTrace(tr trace.Trace) trace.Trace {
+	out := make(trace.Trace, len(tr))
+	for i, src := range tr {
+		st := event.NewState()
+		for e, v := range src.Events {
+			st.Events[e] = v
+		}
+		for p, v := range src.Props {
+			st.Props[p] = v
+		}
+		out[i] = st
+	}
+	return out
+}

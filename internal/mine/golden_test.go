@@ -1,0 +1,243 @@
+package mine
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/amba"
+	"repro/internal/axi"
+	"repro/internal/event"
+	"repro/internal/ocp"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/corpus and golden mined charts")
+
+// corpusDir is the checked-in mining corpus shared with `make minetest`
+// and the cescmine CLI smoke.
+const corpusDir = "../../testdata/corpus"
+
+// goldenCorpora defines the checked-in corpora: each is generated from
+// a protocol model at mixed gaps (fixed per segment, varied across
+// segments, so fixed-period artifacts cannot clear confidence 1.0) and
+// mined with the default thresholds.
+var goldenCorpora = []struct {
+	file string // NDJSON corpus basename
+	cfg  Config
+	gen  func() []trace.Trace
+	// minPass is the number of charts that must clear the gate.
+	minPass int
+}{
+	{
+		file: "ocp_fig6_read.ndjson",
+		cfg:  Config{ChartName: "ocp_read", Clock: "ocp_clk", Seed: 1},
+		gen: func() []trace.Trace {
+			return modelSegments(func(gap int) stepper { return ocp.NewModel(ocp.Config{Gap: gap, Seed: int64(gap)}) }, 160)
+		},
+		minPass: 1,
+	},
+	{
+		file: "ahb_cli.ndjson",
+		cfg:  Config{ChartName: "ahb_cli", Clock: "ahb_clk", Seed: 1},
+		gen: func() []trace.Trace {
+			return modelSegments(func(gap int) stepper { return amba.NewModel(amba.Config{Gap: gap, Seed: int64(gap)}) }, 160)
+		},
+		minPass: 1,
+	},
+	{
+		file: "axi4_burst.ndjson",
+		cfg:  Config{ChartName: "axi4_burst", Clock: "aclk", Seed: 1},
+		gen: func() []trace.Trace {
+			return modelSegments(func(gap int) stepper { return axi.NewModel(axi.Config{Gap: gap, Seed: int64(gap)}) }, 200)
+		},
+		minPass: 1,
+	},
+}
+
+type stepper interface{ GenerateTrace(n int) trace.Trace }
+
+func modelSegments(mk func(gap int) stepper, n int) []trace.Trace {
+	var segs []trace.Trace
+	for gap := 1; gap <= 6; gap++ {
+		segs = append(segs, mk(gap).GenerateTrace(n))
+	}
+	return segs
+}
+
+// encodeCorpus renders segments in the NDJSON corpus format (sorted
+// event lists, blank-line segment separators) — the same wire format
+// the daemon ingests.
+func encodeCorpus(segs []trace.Trace) []byte {
+	var b bytes.Buffer
+	for i, seg := range segs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		for _, st := range seg {
+			b.WriteString(encodeStateLine(st))
+			b.WriteByte('\n')
+		}
+	}
+	return b.Bytes()
+}
+
+// encodeStateLine renders one tick as the daemon's StateJSON wire form
+// (sorted, stable). Kept local: importing internal/server here would
+// cycle through its mine dependency.
+func encodeStateLine(st event.State) string {
+	var evs, prs []string
+	for e, v := range st.Events {
+		if v {
+			evs = append(evs, e)
+		}
+	}
+	for p, v := range st.Props {
+		if v {
+			prs = append(prs, p)
+		}
+	}
+	sort.Strings(evs)
+	sort.Strings(prs)
+	var b strings.Builder
+	b.WriteByte('{')
+	if len(evs) > 0 {
+		b.WriteString(`"events":[`)
+		for i, e := range evs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%q", e)
+		}
+		b.WriteByte(']')
+	}
+	if len(prs) > 0 {
+		if len(evs) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`"props":{`)
+		for i, p := range prs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%q:true", p)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func TestGoldenCorpora(t *testing.T) {
+	for _, g := range goldenCorpora {
+		g := g
+		t.Run(strings.TrimSuffix(g.file, ".ndjson"), func(t *testing.T) {
+			path := filepath.Join(corpusDir, g.file)
+			if *update {
+				if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, encodeCorpus(g.gen()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("corpus missing (run with -update to regenerate): %v", err)
+			}
+			// The checked-in corpus must be byte-identical to the model run:
+			// the corpus is itself a regression artifact.
+			if want := encodeCorpus(g.gen()); !bytes.Equal(raw, want) {
+				t.Fatalf("%s drifted from its generating model (run with -update)", g.file)
+			}
+			c, err := ReadNDJSON(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("ReadNDJSON: %v", err)
+			}
+
+			ms, rs, err := MineValidated(c, g.cfg)
+			if err != nil {
+				t.Fatalf("MineValidated: %v", err)
+			}
+			var srcs []string
+			pass := 0
+			for i, m := range ms {
+				if !rs[i].Pass {
+					t.Logf("gate rejected %s: %s", m.Name, rs[i].Reason)
+					continue
+				}
+				pass++
+				// Acceptance gate: zero violations, ≥95% mutant kill.
+				if rs[i].Violations != 0 || rs[i].OracleViolations != 0 {
+					t.Errorf("%s: violations on own corpus", m.Name)
+				}
+				if rs[i].KillRate() < 0.95 {
+					t.Errorf("%s: kill rate %.2f", m.Name, rs[i].KillRate())
+				}
+				srcs = append(srcs, fmt.Sprintf("// support=%d accepts=%d mutants=%d killed=%d\n%s",
+					m.Support, rs[i].Accepts, rs[i].Mutants, rs[i].Killed, m.Source()))
+			}
+			if pass < g.minPass {
+				t.Fatalf("only %d charts cleared the gate, want >= %d", pass, g.minPass)
+			}
+			goldenPath := filepath.Join(corpusDir, "golden", strings.TrimSuffix(g.file, ".ndjson")+".cesc")
+			got := strings.Join(srcs, "\n")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("golden missing (run with -update): %v", err)
+			}
+			// Byte-stable mining on fixed seeds.
+			if got != string(want) {
+				t.Fatalf("mined output differs from golden %s:\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenVCDRoundTrip writes the OCP corpus's first segment as VCD,
+// reads it back through the streaming decoder, and checks mining sees
+// the same Fig. 6 pattern — exercising the second ingest format
+// end-to-end against a checked-in .vcd file.
+func TestGoldenVCDRoundTrip(t *testing.T) {
+	path := filepath.Join(corpusDir, "ocp_fig6_read.vcd")
+	seg := modelSegments(func(gap int) stepper { return ocp.NewModel(ocp.Config{Gap: gap, Seed: int64(gap)}) }, 160)[0]
+	if *update {
+		var b bytes.Buffer
+		if err := trace.WriteVCD(&b, "ocp", seg); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("vcd corpus missing (run with -update): %v", err)
+	}
+	defer f.Close()
+	c, err := ReadVCD(f, nil)
+	if err != nil {
+		t.Fatalf("ReadVCD: %v", err)
+	}
+	if c.Ticks() != len(seg) {
+		t.Fatalf("vcd decoded %d ticks, want %d", c.Ticks(), len(seg))
+	}
+	for i, st := range c.Segments[0] {
+		if !st.Equal(seg[i]) {
+			t.Fatalf("vcd tick %d differs from model", i)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package mine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/monitor"
+	"repro/internal/synth"
+	"repro/internal/trace"
+)
+
+// TestStepAllCorpusReplay drives LaneBank.StepAll — the non-uniform
+// mega-step the PR 8 refactor left as a follow-up seam — with 64 lanes
+// replaying *different* slices of the checked-in mining corpora against
+// per-lane scalar Compiled cursors. Every lane gets its own valuation
+// every tick (distinct offsets into distinct segments), so the grouped
+// bit-plane path is exercised with maximally divergent lane states, and
+// accept bit, violation bit, and automaton state must match the scalar
+// engine lane-for-lane at every tick.
+func TestStepAllCorpusReplay(t *testing.T) {
+	for _, g := range goldenCorpora {
+		g := g
+		t.Run(g.cfg.ChartName, func(t *testing.T) {
+			f, err := os.Open(filepath.Join(corpusDir, g.file))
+			if err != nil {
+				t.Fatalf("corpus missing (run golden tests with -update): %v", err)
+			}
+			c, err := ReadNDJSON(f)
+			f.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, rs, err := MineValidated(c, g.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, m := range ms {
+				if !rs[i].Pass {
+					continue
+				}
+				for _, view := range []struct {
+					name string
+					mon  func() (*monitor.Monitor, error)
+				}{
+					{"scenario", func() (*monitor.Monitor, error) { return synth.Synthesize(m.Scenario, nil) }},
+					{"assert", func() (*monitor.Monitor, error) { return synth.Synthesize(m.Assert, nil) }},
+				} {
+					mon, err := view.mon()
+					if err != nil {
+						t.Fatalf("%s %s: synth: %v", m.Name, view.name, err)
+					}
+					tbl, err := monitor.CompileTable(mon)
+					if err != nil {
+						continue // shape not table-compilable; lane tier not offered
+					}
+					replayLanes(t, m.Name+"/"+view.name, tbl, c.Segments)
+				}
+			}
+		})
+	}
+}
+
+// replayLanes steps a full 64-lane bank where lane l replays the corpus
+// starting at segment l mod S with a phase shift of l ticks, comparing
+// against a scalar cursor per lane.
+func replayLanes(t *testing.T, name string, tbl *monitor.Table, segs []trace.Trace) {
+	t.Helper()
+	sup := tbl.Support()
+
+	// Build one flattened per-lane stream: segment (l mod S) rotated by
+	// l ticks, so no two lanes see the same valuation sequence.
+	const ticks = 192
+	streams := make([][]uint64, monitor.MaxLanes)
+	states := make([][]event.State, monitor.MaxLanes)
+	for l := 0; l < monitor.MaxLanes; l++ {
+		seg := segs[l%len(segs)]
+		streams[l] = make([]uint64, ticks)
+		states[l] = make([]event.State, ticks)
+		for i := 0; i < ticks; i++ {
+			st := seg[(l+i)%len(seg)]
+			streams[l][i] = uint64(sup.Valuation(st))
+			states[l][i] = st
+		}
+	}
+
+	bank := monitor.NewLaneBank(tbl)
+	refs := make([]*monitor.Compiled, monitor.MaxLanes)
+	for l := 0; l < monitor.MaxLanes; l++ {
+		if _, ok := bank.Join(); !ok {
+			t.Fatalf("%s: bank refused lane %d", name, l)
+		}
+		refs[l] = tbl.NewInstance()
+	}
+
+	var vals [monitor.MaxLanes]uint64
+	for i := 0; i < ticks; i++ {
+		for l := 0; l < monitor.MaxLanes; l++ {
+			vals[l] = streams[l][i]
+		}
+		acceptMask, violMask := bank.StepAll(&vals)
+		for l := 0; l < monitor.MaxLanes; l++ {
+			prevViol := refs[l].Violations()
+			accepted := refs[l].Step(states[l][i])
+			if got := acceptMask>>uint(l)&1 == 1; got != accepted {
+				t.Fatalf("%s: tick %d lane %d accept: lane %v, scalar %v", name, i, l, got, accepted)
+			}
+			if got := violMask>>uint(l)&1 == 1; got != (refs[l].Violations() > prevViol) {
+				t.Fatalf("%s: tick %d lane %d violation bit mismatch", name, i, l)
+			}
+			if bank.State(l) != refs[l].State() {
+				t.Fatalf("%s: tick %d lane %d state %d, scalar %d", name, i, l, bank.State(l), refs[l].State())
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package mine
+
+import (
+	"repro/internal/chart"
+	"repro/internal/expr"
+)
+
+// Shrink greedily drops over-specific decorations from a mined chart —
+// negated markers, condition literals, then arrows — keeping a removal
+// only when the validation gate's verdict does not regress: violations
+// and oracle violations must not grow, the mutant kill count must not
+// drop, and the scenario must keep accepting its corpus. Positive event
+// markers are never dropped: they are the confidence-thresholded
+// invariant content, and each one backs the mutants that establish
+// non-vacuity. Shrinking therefore both trims a passing chart down to
+// its load-bearing markers and can rescue a failing one whose only sin
+// is an over-fitted negative, condition, or arrow. The shrunk chart
+// replaces m's views in place; the final Result is returned.
+func Shrink(m *Mined, c *Corpus, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	best := Validate(m, c, cfg)
+	for {
+		improved := false
+		// Arrows are mined content: only offer to drop them when the
+		// chart is failing and losing one might rescue it.
+		for _, cand := range shrinkCandidates(m.Scenario, !best.Pass) {
+			trial := &Mined{
+				Name:     m.Name,
+				Anchor:   m.Anchor,
+				Domain:   m.Domain,
+				Support:  m.Support,
+				Scenario: cand,
+				Assert:   buildAssert(cand),
+				windows:  m.windows,
+			}
+			if trial.Scenario.Validate() != nil || trial.Assert.Validate() != nil {
+				continue
+			}
+			res := Validate(trial, c, cfg)
+			if !regressed(best, res) {
+				m.Scenario = trial.Scenario
+				m.Assert = trial.Assert
+				best = res
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return best
+		}
+	}
+}
+
+// regressed reports whether the candidate verdict is worse than the
+// current one on any gate axis.
+func regressed(cur, cand *Result) bool {
+	if cur.Pass && !cand.Pass {
+		return true
+	}
+	if cand.Violations > cur.Violations || cand.OracleViolations > cur.OracleViolations {
+		return true
+	}
+	if cand.Killed < cur.Killed {
+		return true
+	}
+	return cand.Accepts == 0
+}
+
+// shrinkCandidates enumerates one-step reductions of the scenario chart
+// in deterministic order: drop a negated marker, drop one condition
+// literal, and — only when rescuing a failing chart — drop an arrow
+// (with its then-unreferenced labels).
+func shrinkCandidates(sc *chart.SCESC, tryArrows bool) []*chart.SCESC {
+	var out []*chart.SCESC
+	for li, line := range sc.Lines {
+		for ei, es := range line.Events {
+			if !es.Negated {
+				continue
+			}
+			c := cloneSCESC(sc)
+			c.Lines[li].Events = append(c.Lines[li].Events[:ei:ei], c.Lines[li].Events[ei+1:]...)
+			out = append(out, c)
+		}
+		if line.Cond != nil {
+			lits := condLiterals(line.Cond)
+			if len(lits) > 1 {
+				for drop := range lits {
+					c := cloneSCESC(sc)
+					kept := append(append([]expr.Expr(nil), lits[:drop]...), lits[drop+1:]...)
+					c.Lines[li].Cond = expr.And(kept...)
+					out = append(out, c)
+				}
+			} else {
+				c := cloneSCESC(sc)
+				c.Lines[li].Cond = nil
+				out = append(out, c)
+			}
+		}
+	}
+	if !tryArrows {
+		return out
+	}
+	for ai, a := range sc.Arrows {
+		c := cloneSCESC(sc)
+		c.Arrows = append(c.Arrows[:ai:ai], c.Arrows[ai+1:]...)
+		clearLabel(c, a.To)
+		if len(c.Arrows) == 0 {
+			clearLabel(c, a.From)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// condLiterals splits a conjunction into its literals.
+func condLiterals(e expr.Expr) []expr.Expr {
+	if and, ok := e.(expr.AndExpr); ok {
+		var out []expr.Expr
+		for _, x := range and.Xs {
+			out = append(out, condLiterals(x)...)
+		}
+		return out
+	}
+	return []expr.Expr{e}
+}
+
+func cloneSCESC(sc *chart.SCESC) *chart.SCESC {
+	return &chart.SCESC{
+		ChartName: sc.ChartName,
+		Clock:     sc.Clock,
+		Instances: append([]string(nil), sc.Instances...),
+		Lines:     cloneLines(sc.Lines),
+		Arrows:    append([]chart.Arrow(nil), sc.Arrows...),
+	}
+}
+
+func clearLabel(sc *chart.SCESC, label string) {
+	for _, a := range sc.Arrows {
+		if a.From == label || a.To == label {
+			return // still referenced by another arrow
+		}
+	}
+	for li := range sc.Lines {
+		for ei := range sc.Lines[li].Events {
+			if sc.Lines[li].Events[ei].Label == label {
+				sc.Lines[li].Events[ei].Label = ""
+			}
+		}
+	}
+}

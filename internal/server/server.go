@@ -417,6 +417,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /specs", s.handleListSpecs)
 	s.mux.HandleFunc("POST /specs", s.handleLoadSpecs)
+	s.mux.HandleFunc("POST /specs/mine", s.handleMineSpecs)
 	s.mux.HandleFunc("POST /sessions", s.handleCreateSession)
 	s.mux.HandleFunc("GET /sessions", s.handleListSessions)
 	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
