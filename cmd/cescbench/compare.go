@@ -45,6 +45,11 @@ type gateRule struct {
 	// ns/op exceeds it — an absolute budget independent of the old run
 	// (acceptance ceilings, e.g. 20ns/monitor-tick x 64 lanes).
 	MaxNsPerOp *float64 `json:"max_ns_per_op,omitempty"`
+	// MaxAllocsPerOp, when set, fails the gate outright if the new run
+	// allocates more than this per op. Unlike the relative alloc gate it
+	// applies to benchmarks with no baseline too, so a freshly added
+	// bench can pin "disabled tracing is 0 allocs/op" from its first run.
+	MaxAllocsPerOp *int64 `json:"max_allocs_per_op,omitempty"`
 }
 
 // loadThresholds reads a -thresholds override file.
@@ -101,6 +106,7 @@ func compareResults(old, new []benchResult, threshold, floorNs float64, override
 		}
 		th, fl := threshold, floorNs
 		var maxNs *float64
+		var maxAllocs *int64
 		if r, ok := overrides[o.Name]; ok {
 			if r.Threshold != nil {
 				th = *r.Threshold
@@ -109,18 +115,33 @@ func compareResults(old, new []benchResult, threshold, floorNs float64, override
 				fl = *r.FloorNs
 			}
 			maxNs = r.MaxNsPerOp
+			maxAllocs = r.MaxAllocsPerOp
 		}
 		v := classify(o, n, th, fl)
 		if maxNs != nil && n.NsPerOp > *maxNs && v != verdictAllocRegression {
 			v = verdictTimeRegression
 		}
+		if maxAllocs != nil && n.AllocsPerOp > *maxAllocs {
+			v = verdictAllocRegression
+		}
 		rows = append(rows, compareRow{Name: o.Name, Old: o, New: n, Verdict: v})
 	}
 	for i := range new {
 		n := &new[i]
-		if _, ok := oldByName[n.Name]; !ok {
-			rows = append(rows, compareRow{Name: n.Name, New: n})
+		if _, ok := oldByName[n.Name]; ok {
+			continue
 		}
+		// No baseline — only the absolute ceilings can judge a new bench.
+		v := verdictOK
+		if r, ok := overrides[n.Name]; ok {
+			switch {
+			case r.MaxAllocsPerOp != nil && n.AllocsPerOp > *r.MaxAllocsPerOp:
+				v = verdictAllocRegression
+			case r.MaxNsPerOp != nil && n.NsPerOp > *r.MaxNsPerOp:
+				v = verdictTimeRegression
+			}
+		}
+		rows = append(rows, compareRow{Name: n.Name, New: n, Verdict: v})
 	}
 	return rows
 }
@@ -187,7 +208,16 @@ func runCompare(oldPath, newPath string, threshold, floorNs float64, overrides m
 			fmt.Printf("| %s | %.1f | — | — | %d | — | removed |\n", r.Name, r.Old.NsPerOp, r.Old.AllocsPerOp)
 			continue
 		case r.Old == nil:
-			fmt.Printf("| %s | — | %.1f | — | — | %d | new |\n", r.Name, r.New.NsPerOp, r.New.AllocsPerOp)
+			verdict := "new"
+			switch r.Verdict {
+			case verdictTimeRegression:
+				verdict = "TIME REGRESSION (over ceiling)"
+				regressions++
+			case verdictAllocRegression:
+				verdict = "ALLOC REGRESSION (over ceiling)"
+				regressions++
+			}
+			fmt.Printf("| %s | — | %.1f | — | — | %d | %s |\n", r.Name, r.New.NsPerOp, r.New.AllocsPerOp, verdict)
 			continue
 		}
 		delta := fmt.Sprintf("%+.1f%%", 100*(r.New.NsPerOp-r.Old.NsPerOp)/r.Old.NsPerOp)

@@ -480,6 +480,19 @@ func benchSummary(schema string, benches []namedBench) ([]byte, error) {
 //	ObsProvenance… — StepPacked with diagnostics armed (depth 8), so each
 //	                violation assembles full provenance (guard strings,
 //	                valuation, recent window).
+//	ObsFlightRec… — StepPacked with tracing disabled but the always-on
+//	                flight recorder armed, noting one event per 4096
+//	                ticks (the per-batch cadence of real deployments).
+//	                Must stay 0 allocs/op: arming the black box is free
+//	                on the hot path.
+//
+// Two fleet-tracing micro-benches ride along, not per figure:
+//
+//	ObsTraceHLCNow — one hybrid-logical-clock reading, the cost added to
+//	                every enabled span and every cross-node hop.
+//	ObsTracePropagationRecord — an enabled Record carrying the full
+//	                cross-node propagation fields (node, parent token,
+//	                kind, HLC), the per-batch cost when tracing is on.
 func writeObsBenchJSON(path string) error {
 	figs, err := figBenches()
 	if err != nil {
@@ -515,8 +528,42 @@ func writeObsBenchJSON(path string) error {
 					eng.StepPacked(fig.packed[i%len(fig.packed)])
 				}
 			}},
+			namedBench{"ObsFlightRecPackedStep" + fig.name, func(b *testing.B) {
+				eng := fig.prog.NewEngine(nil, monitor.ModeDetect)
+				tr := obs.NewTracer(1, 0)
+				rec := obs.NewFlightRecorder(30*time.Second, "", "bench", tr)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.StepPacked(fig.packed[i%len(fig.packed)])
+					tr.Record(0, obs.Span{Stage: obs.StageStep})
+					if i%4096 == 0 {
+						rec.Note("bench", "", "tick")
+					}
+				}
+			}},
 		)
 	}
+	benches = append(benches,
+		namedBench{"ObsTraceHLCNow", func(b *testing.B) {
+			var clk obs.HLC
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clk.Now()
+			}
+		}},
+		namedBench{"ObsTracePropagationRecord", func(b *testing.B) {
+			tr := obs.NewTracer(1, 1024)
+			tr.SetNode("bench-node")
+			parent := obs.ParentToken("peer", 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Record(0, obs.Span{
+					Stage: obs.StageStep, Session: "bench", Ticks: 1,
+					Trace: "bench-trace", Parent: parent, Kind: "proxied",
+				})
+			}
+		}},
+	)
 	data, err := benchSummary("cescbench/obs/v1", benches)
 	if err != nil {
 		return err

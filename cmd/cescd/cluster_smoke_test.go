@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/ocp"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -135,6 +136,7 @@ func TestClusterSmokeKillMinusNine(t *testing.T) {
 			"-wal-dir", filepath.Join(dir, "wal"),
 			"-specs", filepath.Join("..", "..", "specs"),
 			"-snapshot-every", "4",
+			"-trace-depth", "256",
 		)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
@@ -177,13 +179,20 @@ func TestClusterSmokeKillMinusNine(t *testing.T) {
 		t.Fatalf("ring has %d members, want 3", router.Ring().Len())
 	}
 
-	sess, err := router.CreateSession(ctx, "assert", "OcpSimpleRead")
+	// Every batch travels under one pinned trace id, so after the kill -9
+	// the cluster-merged timeline must tell the whole story: ingest on the
+	// owner, the proxy hop through a non-owner, and the standby promotion
+	// replay attributed to the same trace.
+	const traceID = "smoke-kill-nine-trace"
+	tctx := client.WithTraceID(ctx, traceID)
+
+	sess, err := router.CreateSession(tctx, "assert", "OcpSimpleRead")
 	if err != nil {
 		t.Fatalf("CreateSession: %v", err)
 	}
 	states := smokeStates(200)
 	for at := 0; at < 100; at += 20 {
-		if _, err := sess.SendTicks(ctx, states[at:at+20], true); err != nil {
+		if _, err := sess.SendTicks(tctx, states[at:at+20], true); err != nil {
 			t.Fatalf("SendTicks at %d: %v", at, err)
 		}
 	}
@@ -238,7 +247,7 @@ func TestClusterSmokeKillMinusNine(t *testing.T) {
 		time.Sleep(200 * time.Millisecond)
 	}
 	for at := 100; at < 200; at += 20 {
-		if _, err := sess.SendTicks(ctx, states[at:at+20], true); err != nil {
+		if _, err := sess.SendTicks(tctx, states[at:at+20], true); err != nil {
 			t.Fatalf("post-failover SendTicks at %d: %v", at, err)
 		}
 	}
@@ -269,5 +278,69 @@ func TestClusterSmokeKillMinusNine(t *testing.T) {
 	}
 	if !sawPromotion {
 		t.Fatalf("no survivor reported a standby promotion")
+	}
+
+	// Force one transparent proxy hop under the trace: a traced GET
+	// through whichever survivor does not hold the session records a
+	// proxy span on its way to the holder.
+	for _, name := range names {
+		if name == owner.Name {
+			continue
+		}
+		req, _ := http.NewRequest(http.MethodGet, urls[name]+"/sessions/"+sess.ID, nil)
+		req.Header.Set("X-Cesc-Trace", traceID)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("traced GET via %s: %v", name, err)
+		}
+		resp.Body.Close()
+	}
+
+	// One trace id, one merged timeline: spans from at least two of the
+	// surviving processes, in causal (HLC) order, including the standby
+	// promotion replay attributed to the originating trace.
+	var merged cluster.ClusterTraceJSON
+	for _, name := range names {
+		if name == owner.Name {
+			continue
+		}
+		resp, err := http.Get(urls[name] + "/cluster/trace?trace=" + traceID)
+		if err != nil {
+			t.Fatalf("GET /cluster/trace via %s: %v", name, err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&merged)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding /cluster/trace via %s: %v", name, err)
+		}
+		break
+	}
+	spanNodes := map[string]bool{}
+	var sawPromotionSpan, sawProxySpan bool
+	for i, sp := range merged.Spans {
+		if sp.Trace != traceID {
+			t.Fatalf("span %d carries trace %q, want %q", i, sp.Trace, traceID)
+		}
+		if i > 0 && sp.HLC < merged.Spans[i-1].HLC {
+			t.Fatalf("merged timeline not causally ordered at span %d", i)
+		}
+		if sp.Node != "" {
+			spanNodes[sp.Node] = true
+		}
+		if sp.Stage == obs.StageWALReplay && sp.Kind == "promotion" {
+			sawPromotionSpan = true
+		}
+		if sp.Kind == "proxy" {
+			sawProxySpan = true
+		}
+	}
+	if len(spanNodes) < 2 {
+		t.Fatalf("merged timeline names %d nodes, want >= 2 (nodes %+v)", len(spanNodes), merged.Nodes)
+	}
+	if !sawPromotionSpan {
+		t.Fatalf("merged timeline missing the promotion replay span:\n%+v", merged.Spans)
+	}
+	if !sawProxySpan {
+		t.Fatalf("merged timeline missing a proxy hop span:\n%+v", merged.Spans)
 	}
 }

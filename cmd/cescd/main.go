@@ -25,6 +25,10 @@
 //	-trace-depth N       per-shard tick-trace ring depth (0 disables tracing)
 //	-slow-tick DUR       warn when a batch's per-tick step time exceeds this
 //	-debug-addr ADDR     serve net/http/pprof and expvar on a second listener
+//	-flightrec-window DUR  flight recorder lookback window (default 30s)
+//	-flightrec-dir PATH    write black-box dumps here on trips and SIGQUIT
+//	-node-name NAME        node name stamped on spans (standalone mode;
+//	                       cluster mode uses -cluster-name)
 //
 // Overload, quotas, and paging (see the README section of that name):
 //
@@ -54,13 +58,16 @@
 //	-standby-dir PATH     standby journal root (default <wal-dir>.standby)
 //	-drain                on SIGTERM, migrate sessions away before exit
 //
-// Endpoints: GET /healthz, GET /metrics (Prometheus text; JSON with
-// Accept: application/json), GET|POST /specs, POST|GET /sessions,
-// GET|DELETE /sessions/{id}, POST /sessions/{id}/ticks (NDJSON; ?wait=1),
-// POST /sessions/{id}/vcd (?props=a,b), GET /sessions/{id}/verdicts,
-// GET /sessions/{id}/diagnostics, GET /debug/trace; in cluster mode also
-// GET /cluster/ring, GET /cluster/status, POST /cluster/{join,leave,
-// adopt,migrate,replicate,drain,flush}.
+// Endpoints: GET /healthz (liveness), GET /readyz (readiness),
+// GET /metrics (Prometheus text; JSON with Accept: application/json),
+// GET|POST /specs, POST|GET /sessions, GET|DELETE /sessions/{id},
+// POST /sessions/{id}/ticks (NDJSON; ?wait=1), POST /sessions/{id}/vcd
+// (?props=a,b), GET /sessions/{id}/verdicts, GET /sessions/{id}/diagnostics,
+// GET /debug/trace, GET /debug/flightrec; in cluster mode also
+// GET /cluster/ring, GET /cluster/status, GET /cluster/trace (fleet-merged
+// timeline for one trace id), GET /cluster/metrics (node-labeled federated
+// exposition), POST /cluster/{join,leave,adopt,migrate,replicate,drain,
+// flush}.
 // See the README "Running cescd" and "Observability" sections for the
 // tick format and curl examples.
 package main
@@ -102,6 +109,9 @@ func main() {
 	traceDepth := flag.Int("trace-depth", 0, "per-shard tick-trace ring depth (0 disables tracing)")
 	slowTick := flag.Duration("slow-tick", 0, "warn when a batch's per-tick step time exceeds this (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
+	flightWindow := flag.Duration("flightrec-window", 30*time.Second, "flight recorder lookback window")
+	flightDir := flag.String("flightrec-dir", "", "write flight-recorder dumps here on trips and SIGQUIT (empty disables dumps)")
+	nodeName := flag.String("node-name", "", "node name stamped on trace spans (cluster mode uses -cluster-name)")
 
 	memBudget := flag.String("mem-budget", "", "session memory budget, e.g. 256m or 2g (empty = unlimited; needs -wal-dir to page instead of delete)")
 	journalBudget := flag.String("journal-budget", "", "journal disk budget, e.g. 10g (empty = unlimited; prunes cold sessions' journals oldest-first)")
@@ -149,6 +159,9 @@ func main() {
 		SnapshotEvery: *snapEvery,
 		TraceDepth:    *traceDepth,
 		SlowTick:      *slowTick,
+		NodeName:      *nodeName,
+		FlightWindow:  *flightWindow,
+		FlightDir:     *flightDir,
 
 		MemBudget:        budget,
 		JournalBudget:    jbudget,
@@ -228,6 +241,24 @@ func main() {
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr)
 	}
+
+	// SIGQUIT dumps the black box on demand — the operator's "what just
+	// happened" signal for a daemon that is misbehaving but not dead.
+	go func() {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		for range quit {
+			path, err := srv.FlightRecorder().Dump("sigquit")
+			switch {
+			case err != nil:
+				log.Printf("cescd: flight-recorder dump: %v", err)
+			case path == "":
+				log.Printf("cescd: flight recorder has no dump dir (-flightrec-dir)")
+			default:
+				log.Printf("cescd: flight recorder dumped to %s", path)
+			}
+		}
+	}()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	done := make(chan struct{})

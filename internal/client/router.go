@@ -344,9 +344,18 @@ func (r *Router) CreateSession(ctx context.Context, mode string, specs ...string
 // cluster: every call is routed to the current ring owner, and the
 // sequence counter lives here so exactly-once ingest survives moves.
 type RoutedSession struct {
-	r   *Router
-	ID  string
-	seq atomic.Uint64
+	r         *Router
+	ID        string
+	seq       atomic.Uint64
+	lastTrace atomic.Value // string: trace id of the last SendTicks
+}
+
+// LastTrace reports the trace id the most recent SendTicks traveled
+// under ("" before the first) — the handle into GET /cluster/trace?trace=…,
+// which merges that trace's spans across every node it touched.
+func (s *RoutedSession) LastTrace() string {
+	id, _ := s.lastTrace.Load().(string)
+	return id
 }
 
 // Resume rebinds a routed handle to an existing session; nextSeq is the
@@ -365,6 +374,16 @@ func (s *RoutedSession) SendTicks(ctx context.Context, ticks []server.StateJSON,
 	if err != nil {
 		return TickAck{}, err
 	}
+	// Every routed batch travels under one trace id (the caller's via
+	// WithTraceID, or a minted one), stable across redirects, retries,
+	// and failovers — so a single id stitches the batch's path through
+	// the whole fleet.
+	traceID := TraceIDFrom(ctx)
+	if traceID == "" {
+		traceID = s.r.clientAt(s.r.ownerURL(s.ID)).newTraceID()
+		ctx = WithTraceID(ctx, traceID)
+	}
+	s.lastTrace.Store(traceID)
 	seq := s.seq.Add(1)
 	path := fmt.Sprintf("/sessions/%s/ticks?seq=%d", s.ID, seq)
 	if wait {

@@ -158,6 +158,7 @@ func newTestCluster(t *testing.T, refresh time.Duration, names ...string) *testC
 				QueueDepth:    16,
 				SnapshotEvery: 4,
 				WALDir:        filepath.Join(dir, "wal"),
+				TraceDepth:    256,
 			},
 		})
 		if err != nil {

@@ -47,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -184,6 +185,9 @@ func New(cfg Config) (*Node, error) {
 
 	srvCfg := cfg.Server
 	srvCfg.IDFilter = n.ownsID
+	// Spans (and flight-recorder dumps) carry the ring member name, so a
+	// cluster-merged timeline can attribute every span to its node.
+	srvCfg.NodeName = cfg.Name
 	srv, err := server.New(srvCfg)
 	if err != nil {
 		return nil, err
@@ -724,6 +728,9 @@ func (n *Node) routes() {
 		}
 		writeJSON(w, http.StatusOK, map[string]int64{"lag_bytes": lag})
 	})
+	n.mux.HandleFunc("GET /cluster/trace", n.handleClusterTrace)
+	n.mux.HandleFunc("GET /cluster/metrics", n.handleClusterMetrics)
+	n.mux.HandleFunc("GET /readyz", n.handleReadyz)
 	n.mux.HandleFunc("/", n.route)
 }
 
@@ -879,6 +886,17 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, owner Member, rin
 		w.Header().Set(HeaderOwner, owner.Name)
 		w.Header().Set(HeaderRingEpoch, strconv.FormatUint(ring.Epoch(), 10))
 		n.metrics.redirects.Add(1)
+		if trace := r.Header.Get("X-Cesc-Trace"); trace != "" {
+			// The client re-sends to the owner itself, so there is no
+			// downstream request to decorate — the span alone records
+			// that this hop happened and where it pointed.
+			h := obs.Clock.Now()
+			n.srv.Tracer().Record(-1, obs.Span{
+				Trace: trace, Stage: obs.StageRedirect, Kind: "redirect",
+				Parent: r.Header.Get("X-Cesc-Parent"), HLC: h,
+				Start: time.Now(), Note: "-> " + owner.Name,
+			})
+		}
 		writeJSON(w, http.StatusTemporaryRedirect, map[string]string{
 			"error":    "session owned by " + owner.Name,
 			"location": loc,
@@ -908,7 +926,10 @@ func (n *Node) proxyCreate(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusServiceUnavailable, "node is draining and no peer remains")
 }
 
-// proxy relays the request to a peer and streams the answer back.
+// proxy relays the request to a peer and streams the answer back. A
+// traced request gets a proxy span on this node and an X-Cesc-Parent
+// token on the outbound hop, so the owner's spans order causally after
+// (and point back at) this hop in a merged timeline.
 func (n *Node) proxy(w http.ResponseWriter, r *http.Request, m Member) {
 	out, err := http.NewRequestWithContext(r.Context(), r.Method, m.URL+r.URL.RequestURI(), r.Body)
 	if err != nil {
@@ -918,7 +939,26 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, m Member) {
 	out.Header = r.Header.Clone()
 	out.Header.Set(HeaderForwarded, n.self.Name)
 	out.ContentLength = r.ContentLength
+	trace := r.Header.Get("X-Cesc-Trace")
+	var hlc uint64
+	if trace != "" {
+		var token string
+		hlc, token = n.traceParentToken()
+		out.Header.Set("X-Cesc-Parent", token)
+	}
+	start := time.Now()
 	resp, err := n.hc.Do(out)
+	if trace != "" {
+		sp := obs.Span{
+			Trace: trace, Stage: obs.StageProxy, Kind: "proxy",
+			Parent: r.Header.Get("X-Cesc-Parent"), HLC: hlc,
+			Start: start, Dur: time.Since(start), Note: "-> " + m.Name,
+		}
+		if err != nil {
+			sp.Note = "-> " + m.Name + ": " + err.Error()
+		}
+		n.srv.Tracer().Record(-1, sp)
+	}
 	if err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusBadGateway, "proxy to owner %s failed: %v", m.Name, err)

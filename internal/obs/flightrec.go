@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEvent is one entry in the flight recorder's bounded ring: a
+// governor state transition, a watchdog trip, a panic quarantine, a WAL
+// error, a shed decision — the rare, load-bearing moments an operator
+// wants to replay after the fact. Events are cheap (recorded off the
+// per-tick hot path, at most once per batch) but never sampled away:
+// unlike the span tracer, the recorder is always on.
+type FlightEvent struct {
+	HLC   uint64    `json:"hlc"`
+	Time  time.Time `json:"time"`
+	Kind  string    `json:"kind"`
+	Trace string    `json:"trace,omitempty"`
+	Note  string    `json:"note,omitempty"`
+}
+
+// FlightDump is the document written on a trip (and served by
+// GET /debug/flightrec): the event ring plus the tracer's span rings,
+// bounded to the recorder's window.
+type FlightDump struct {
+	Node    string        `json:"node,omitempty"`
+	Reason  string        `json:"reason,omitempty"`
+	At      time.Time     `json:"at"`
+	Window  time.Duration `json:"window_ns"`
+	Dumps   uint64        `json:"dumps"`
+	Events  []FlightEvent `json:"events"`
+	Spans   []Span        `json:"spans,omitempty"`
+	Tracing bool          `json:"tracing"`
+}
+
+// flightDepth bounds the event ring. Events are rare (per batch at most,
+// usually per incident), so a small fixed ring covers any sane window.
+const flightDepth = 4096
+
+// FlightRecorder is the daemon's black box: an always-on bounded ring of
+// notable events plus a reference to the span tracer, dumped atomically
+// to a timestamped file when something trips — panic quarantine, slow
+// tick watchdog, conformance divergence, SIGQUIT. The daemon becomes an
+// assertion monitor over itself: the last N seconds before an incident
+// survive the incident.
+type FlightRecorder struct {
+	window time.Duration
+	dir    string
+	node   string
+	tracer *Tracer
+
+	mu     sync.Mutex
+	events [flightDepth]FlightEvent
+	next   uint64 // total events recorded; next slot is next % flightDepth
+
+	dumps    atomic.Uint64
+	lastDump atomic.Int64 // unix nanos; dumps are rate-limited to one per window
+}
+
+// NewFlightRecorder arms a recorder keeping window's worth of events
+// (<= 0 selects 30s), dumping into dir on trips ("" disables file dumps
+// but keeps the ring and the HTTP exposure live), attributing events to
+// node, and snapshotting tracer's spans into each dump (nil is allowed).
+func NewFlightRecorder(window time.Duration, dir, node string, tracer *Tracer) *FlightRecorder {
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	return &FlightRecorder{window: window, dir: dir, node: node, tracer: tracer}
+}
+
+// Window reports the retention window.
+func (f *FlightRecorder) Window() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return f.window
+}
+
+// Dumps reports how many dump files have been written.
+func (f *FlightRecorder) Dumps() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dumps.Load()
+}
+
+// Note records one event into the ring. Safe from any goroutine; called
+// at most once per batch on the processing path, so the mutex is cold.
+func (f *FlightRecorder) Note(kind, trace, note string) {
+	if f == nil {
+		return
+	}
+	ev := FlightEvent{HLC: Clock.Now(), Time: time.Now(), Kind: kind, Trace: trace, Note: note}
+	f.mu.Lock()
+	f.events[f.next%flightDepth] = ev
+	f.next++
+	f.mu.Unlock()
+}
+
+// Snapshot assembles the current dump document: ring events within the
+// window (oldest first) plus the newest spans whose wall start falls
+// inside it.
+func (f *FlightRecorder) Snapshot(reason string) FlightDump {
+	now := time.Now()
+	d := FlightDump{Node: f.node, Reason: reason, At: now, Window: f.window, Dumps: f.dumps.Load()}
+	cutoff := now.Add(-f.window)
+	f.mu.Lock()
+	n := f.next
+	lo := uint64(0)
+	if n > flightDepth {
+		lo = n - flightDepth
+	}
+	for i := lo; i < n; i++ {
+		ev := f.events[i%flightDepth]
+		if ev.Time.Before(cutoff) {
+			continue
+		}
+		d.Events = append(d.Events, ev)
+	}
+	f.mu.Unlock()
+	if d.Events == nil {
+		d.Events = []FlightEvent{}
+	}
+	if f.tracer.Enabled() {
+		d.Tracing = true
+		d.Spans = f.tracer.Snapshot(func(sp *Span) bool {
+			return !sp.Start.Before(cutoff)
+		}, 0)
+	}
+	return d
+}
+
+// Trip records the triggering event and writes one dump file, rate
+// limited to one per window so a storm of trips (every slow batch under
+// sustained overload) costs one file, not thousands. It returns the
+// path written ("" when skipped by the rate limit or when no dump dir is
+// configured).
+func (f *FlightRecorder) Trip(reason, trace, note string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.Note(reason, trace, note)
+	if f.dir == "" {
+		return "", nil
+	}
+	now := time.Now().UnixNano()
+	last := f.lastDump.Load()
+	if now-last < int64(f.window) || !f.lastDump.CompareAndSwap(last, now) {
+		return "", nil
+	}
+	return f.Dump(reason)
+}
+
+// Dump writes the current snapshot to a timestamped file in the dump
+// directory, atomically: the document lands under a temp name and is
+// renamed into place, so a reader never sees a torn black box.
+func (f *FlightRecorder) Dump(reason string) (string, error) {
+	if f == nil || f.dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return "", err
+	}
+	d := f.Snapshot(reason)
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	stamp := d.At.UTC().Format("20060102T150405.000000000Z")
+	path := filepath.Join(f.dir, fmt.Sprintf("flightrec-%s.json", stamp))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	f.dumps.Add(1)
+	return path, nil
+}

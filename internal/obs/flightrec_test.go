@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Note("kind", "trace", "note")
+	if path, err := f.Trip("reason", "", ""); path != "" || err != nil {
+		t.Fatalf("nil Trip = (%q, %v)", path, err)
+	}
+	if path, err := f.Dump("reason"); path != "" || err != nil {
+		t.Fatalf("nil Dump = (%q, %v)", path, err)
+	}
+	if f.Window() != 0 || f.Dumps() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+}
+
+func TestFlightRecorderSnapshotWindow(t *testing.T) {
+	f := NewFlightRecorder(50*time.Millisecond, "", "n1", nil)
+	f.Note("governor", "t-1", "level 0 -> 1")
+	time.Sleep(80 * time.Millisecond)
+	f.Note("watchdog", "t-2", "slow batch")
+
+	d := f.Snapshot("test")
+	if d.Node != "n1" || d.Reason != "test" || d.Tracing {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if len(d.Events) != 1 || d.Events[0].Kind != "watchdog" || d.Events[0].Trace != "t-2" {
+		t.Fatalf("window kept %+v, want only the recent watchdog event", d.Events)
+	}
+	if d.Events[0].HLC == 0 {
+		t.Fatal("event missing HLC stamp")
+	}
+}
+
+func TestFlightRecorderRingBounded(t *testing.T) {
+	f := NewFlightRecorder(time.Hour, "", "", nil)
+	for i := 0; i < flightDepth+100; i++ {
+		f.Note("shed", "", "x")
+	}
+	d := f.Snapshot("test")
+	if len(d.Events) != flightDepth {
+		t.Fatalf("ring kept %d events, want %d", len(d.Events), flightDepth)
+	}
+}
+
+func TestFlightRecorderDumpAndTripRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewTracer(1, 16)
+	tr.SetNode("n1")
+	tr.Record(0, Span{Trace: "t-1", Stage: StageStep, Ticks: 64, Start: time.Now()})
+	f := NewFlightRecorder(time.Hour, dir, "n1", tr)
+
+	path, err := f.Trip("quarantine", "t-1", "panic in monitor step")
+	if err != nil || path == "" {
+		t.Fatalf("first Trip = (%q, %v), want a dump file", path, err)
+	}
+	// A second trip inside the window records the event but skips the
+	// file: one black box per incident window, not one per symptom.
+	again, err := f.Trip("watchdog", "t-1", "slow batch")
+	if err != nil || again != "" {
+		t.Fatalf("rate-limited Trip = (%q, %v), want no file", again, err)
+	}
+	if f.Dumps() != 1 {
+		t.Fatalf("Dumps() = %d, want 1", f.Dumps())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d FlightDump
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Reason != "quarantine" || d.Node != "n1" || !d.Tracing {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if len(d.Events) != 1 || d.Events[0].Kind != "quarantine" {
+		t.Fatalf("dump events = %+v", d.Events)
+	}
+	if len(d.Spans) != 1 || d.Spans[0].Trace != "t-1" || d.Spans[0].Node != "n1" {
+		t.Fatalf("dump spans = %+v", d.Spans)
+	}
+	// Atomic rename: no temp files left behind, name carries the stamp.
+	if !strings.HasPrefix(filepath.Base(path), "flightrec-") {
+		t.Fatalf("dump name %q", path)
+	}
+	leftovers, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(leftovers) != 0 {
+		t.Fatalf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestFlightRecorderTripWithoutDirKeepsRing(t *testing.T) {
+	f := NewFlightRecorder(time.Hour, "", "", nil)
+	path, err := f.Trip("divergence", "t-9", "conformance mismatch")
+	if err != nil || path != "" {
+		t.Fatalf("dirless Trip = (%q, %v)", path, err)
+	}
+	d := f.Snapshot("live")
+	if len(d.Events) != 1 || d.Events[0].Kind != "divergence" || d.Events[0].Trace != "t-9" {
+		t.Fatalf("dirless trip lost the event: %+v", d.Events)
+	}
+	if f.Dumps() != 0 {
+		t.Fatalf("Dumps() = %d, want 0", f.Dumps())
+	}
+}

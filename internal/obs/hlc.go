@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// HLC is a hybrid logical clock: 48 bits of physical milliseconds above a
+// 16-bit logical counter, packed into one uint64 so a reading is a single
+// atomic CAS loop. Timestamps are monotonic per process and merge across
+// processes by Observe, which advances the local clock past any remote
+// reading — so spans stamped on different nodes order causally whenever a
+// message (proxy hop, replication frame, parent-span token) carried the
+// sender's clock, even when the nodes' wall clocks disagree.
+type HLC struct {
+	state atomic.Uint64
+}
+
+// hlcLogicalBits is the width of the logical counter below the physical
+// millisecond component.
+const hlcLogicalBits = 16
+
+// Now returns the next timestamp: max(physical-now, last)+ε.
+func (c *HLC) Now() uint64 {
+	phys := uint64(time.Now().UnixMilli()) << hlcLogicalBits
+	for {
+		old := c.state.Load()
+		next := phys
+		if next <= old {
+			next = old + 1
+		}
+		if c.state.CompareAndSwap(old, next) {
+			return next
+		}
+	}
+}
+
+// Observe merges a remote timestamp: the local clock advances strictly
+// past it, so every subsequent local Now() orders after the remote event.
+// A zero remote is a no-op.
+func (c *HLC) Observe(remote uint64) {
+	if remote == 0 {
+		return
+	}
+	for {
+		old := c.state.Load()
+		if old >= remote {
+			return
+		}
+		if c.state.CompareAndSwap(old, remote) {
+			return
+		}
+	}
+}
+
+// Clock is the process-wide hybrid clock every tracer stamps spans from.
+// One clock per process (not per tracer) is deliberate: a node's cluster
+// plane and its wrapped server must read the same clock for their spans
+// to interleave causally.
+var Clock HLC
+
+// HLCWall recovers the physical component of a hybrid timestamp as a
+// wall-clock time (millisecond precision) — for human rendering only;
+// ordering must always use the full value.
+func HLCWall(ts uint64) time.Time {
+	return time.UnixMilli(int64(ts >> hlcLogicalBits))
+}
+
+// ParentToken renders a parent-span reference as carried in the
+// X-Cesc-Parent header: "node@hlc". The token is opaque to clients; nodes
+// mint one when recording the span a downstream hop should attach to.
+func ParentToken(node string, hlc uint64) string {
+	return node + "@" + strconv.FormatUint(hlc, 10)
+}
+
+// ParseParentToken splits a parent-span token into its node name and
+// hybrid timestamp. Malformed tokens yield ("", 0): propagation is best
+// effort and must never fail a request.
+func ParseParentToken(tok string) (node string, hlc uint64) {
+	i := strings.LastIndexByte(tok, '@')
+	if i < 0 {
+		return "", 0
+	}
+	ts, err := strconv.ParseUint(tok[i+1:], 10, 64)
+	if err != nil {
+		return "", 0
+	}
+	return tok[:i], ts
+}

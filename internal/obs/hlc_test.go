@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHLCMonotonic(t *testing.T) {
+	var c HLC
+	prev := c.Now()
+	for i := 0; i < 10_000; i++ {
+		ts := c.Now()
+		if ts <= prev {
+			t.Fatalf("Now() went backwards: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestHLCObserve(t *testing.T) {
+	var c HLC
+	local := c.Now()
+
+	// A remote reading far in the future drags the clock forward: the
+	// next local reading must order after it.
+	future := local + (uint64(time.Hour/time.Millisecond) << 16)
+	c.Observe(future)
+	if got := c.Now(); got <= future {
+		t.Fatalf("Now() after Observe(future) = %d, want > %d", got, future)
+	}
+
+	// A stale or zero remote reading never rewinds the clock.
+	high := c.Now()
+	c.Observe(local)
+	c.Observe(0)
+	if got := c.Now(); got <= high {
+		t.Fatalf("Now() after stale Observe = %d, want > %d", got, high)
+	}
+}
+
+func TestHLCConcurrentUnique(t *testing.T) {
+	var c HLC
+	const goroutines, per = 8, 2000
+	out := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ts := make([]uint64, per)
+			for i := range ts {
+				ts[i] = c.Now()
+			}
+			out[g] = ts
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, goroutines*per)
+	for _, ts := range out {
+		for _, v := range ts {
+			if seen[v] {
+				t.Fatalf("duplicate timestamp %d across goroutines", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestHLCWallRecoversPhysical(t *testing.T) {
+	var c HLC
+	before := time.Now().Truncate(time.Millisecond)
+	ts := c.Now()
+	after := time.Now().Add(time.Millisecond)
+	wall := HLCWall(ts)
+	if wall.Before(before) || wall.After(after) {
+		t.Fatalf("HLCWall(%d) = %v, want within [%v, %v]", ts, wall, before, after)
+	}
+}
+
+func TestParentTokenRoundTrip(t *testing.T) {
+	tok := ParentToken("node-a", 123456)
+	node, hlc := ParseParentToken(tok)
+	if node != "node-a" || hlc != 123456 {
+		t.Fatalf("round trip = (%q, %d), want (node-a, 123456)", node, hlc)
+	}
+
+	// Node names containing '@' split on the last separator.
+	node, hlc = ParseParentToken(ParentToken("we@ird", 7))
+	if node != "we@ird" || hlc != 7 {
+		t.Fatalf("@-name round trip = (%q, %d)", node, hlc)
+	}
+
+	// Malformed tokens degrade to the zero reading, never an error.
+	for _, bad := range []string{"", "no-separator", "n@notanumber", "n@-1", "@"} {
+		if node, hlc := ParseParentToken(bad); node != "" || hlc != 0 {
+			t.Errorf("ParseParentToken(%q) = (%q, %d), want (\"\", 0)", bad, node, hlc)
+		}
+	}
+}
+
+func TestMergeTimelineCausalOrder(t *testing.T) {
+	a := []Span{
+		{Seq: 1, Node: "a", HLC: 10, Stage: StageIngest},
+		{Seq: 2, Node: "a", HLC: 40, Stage: StageStep},
+	}
+	b := []Span{
+		{Seq: 1, Node: "b", HLC: 20, Stage: StageProxy, Kind: "proxy"},
+		{Seq: 2, Node: "b", HLC: 30, Stage: StageWALReplay, Kind: "promotion"},
+	}
+	got := MergeTimeline(a, b)
+	if len(got) != 4 {
+		t.Fatalf("merged %d spans, want 4", len(got))
+	}
+	for i, want := range []uint64{10, 20, 30, 40} {
+		if got[i].HLC != want {
+			t.Fatalf("merged[%d].HLC = %d, want %d (order %+v)", i, got[i].HLC, want, got)
+		}
+	}
+}
+
+func TestMergeTimelineZeroHLCFirst(t *testing.T) {
+	// Spans from a pre-HLC node (HLC == 0) sort before stamped spans, in
+	// their own Seq order, so mixed fleets degrade instead of lying.
+	old := []Span{{Seq: 5, Node: "old"}, {Seq: 2, Node: "old"}}
+	neu := []Span{{Seq: 1, Node: "new", HLC: 1}}
+	got := MergeTimeline(old, neu)
+	if got[0].Seq != 2 || got[1].Seq != 5 || got[2].HLC != 1 {
+		t.Fatalf("zero-HLC spans not first in Seq order: %+v", got)
+	}
+}
+
+func TestMergeTimelineTieBreak(t *testing.T) {
+	// Equal HLC readings order by node name, then per-node Seq — total
+	// and deterministic, so repeated merges agree.
+	got := MergeTimeline(
+		[]Span{{Seq: 2, Node: "b", HLC: 9}, {Seq: 1, Node: "b", HLC: 9}},
+		[]Span{{Seq: 9, Node: "a", HLC: 9}},
+	)
+	if got[0].Node != "a" || got[1].Seq != 1 || got[2].Seq != 2 {
+		t.Fatalf("tie break wrong: %+v", got)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	if got := RenderTimeline(nil); got != "(no spans)\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+	text := RenderTimeline([]Span{
+		{Node: "n1", HLC: 1 << 16, Stage: StageIngest, Session: "s-1", Ticks: 64, Dur: time.Millisecond},
+		{Node: "n2", HLC: 2 << 16, Stage: StageProxy, Kind: "proxy", Parent: "n1@65536", Note: "-> n1"},
+	})
+	for _, want := range []string{"n1", "ingest", "session=s-1", "ticks=64", "[proxy]", "parent=n1@65536", "(-> n1)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered timeline missing %q:\n%s", want, text)
+		}
+	}
+	if lines := strings.Count(text, "\n"); lines != 2 {
+		t.Errorf("rendered %d lines, want 2:\n%s", lines, text)
+	}
+}

@@ -29,6 +29,8 @@ const (
 	StageVerdict   = "verdict"    // verdict/diagnostic readout
 	StageWALAppend = "wal_append" // journal append for one batch
 	StageWALReplay = "wal_replay" // recovery replay of one session
+	StageProxy     = "proxy"      // cluster layer: request relayed to the ring owner
+	StageRedirect  = "redirect"   // cluster layer: 307 answered with the owner
 )
 
 // Span is one timed pipeline stage of one tick batch. Spans are written
@@ -56,7 +58,23 @@ type Span struct {
 	Ticks int `json:"ticks,omitempty"`
 	// Note carries stage-specific detail (error text, record counts).
 	Note string `json:"note,omitempty"`
+
+	// Cross-node fields (PR 10). Node is the cluster member that recorded
+	// the span (tracer-stamped, "" standalone); Parent is the parent-span
+	// token ("node@hlc") the request carried in via X-Cesc-Parent, tying
+	// this span under the hop that forwarded it; Kind classifies the span
+	// beyond its pipeline stage ("proxy", "redirect", "promotion",
+	// "recovery", "migration"); HLC is the hybrid-logical-clock reading
+	// that makes the cluster-merged timeline causal rather than
+	// wall-clock-ordered.
+	Node   string `json:"node,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	HLC    uint64 `json:"hlc,omitempty"`
 }
+
+// Token renders this span's parent token for downstream hops.
+func (sp *Span) Token() string { return ParentToken(sp.Node, sp.HLC) }
 
 // Tracer captures spans into per-shard lock-free rings. The zero value
 // is a disabled tracer; build a live one with NewTracer. All methods are
@@ -66,6 +84,26 @@ type Tracer struct {
 	seq     atomic.Uint64
 	total   atomic.Uint64
 	enabled atomic.Bool
+	// node is stamped on every recorded span (set once before traffic via
+	// SetNode; "" on standalone daemons keeps the field out of the JSON).
+	node string
+}
+
+// SetNode names the cluster member this tracer records for. It must be
+// called before any span is recorded (the server does so during
+// construction); the field is read without synchronization afterwards.
+func (t *Tracer) SetNode(name string) {
+	if t != nil {
+		t.node = name
+	}
+}
+
+// Node returns the name stamped on recorded spans.
+func (t *Tracer) Node() string {
+	if t == nil {
+		return ""
+	}
+	return t.node
 }
 
 // NewTracer returns a tracer with one ring of depth slots per shard
@@ -109,6 +147,12 @@ func (t *Tracer) Record(shard int, sp Span) {
 	}
 	sp.Seq = t.seq.Add(1)
 	sp.Shard = shard
+	if sp.Node == "" {
+		sp.Node = t.node
+	}
+	if sp.HLC == 0 {
+		sp.HLC = Clock.Now()
+	}
 	t.total.Add(1)
 	r := t.rings[len(t.rings)-1]
 	if shard >= 0 && shard < len(t.rings)-1 {
@@ -139,6 +183,12 @@ func (t *Tracer) RecordBatch(shard int, spans []Span) {
 	for i := range slab {
 		slab[i].Seq = base + uint64(i) + 1
 		slab[i].Shard = shard
+		if slab[i].Node == "" {
+			slab[i].Node = t.node
+		}
+		if slab[i].HLC == 0 {
+			slab[i].HLC = Clock.Now()
+		}
 		r.Put(&slab[i])
 	}
 }

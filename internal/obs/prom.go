@@ -68,6 +68,51 @@ func (w *PromWriter) Histogram(name string, labels []L, bounds []float64, counts
 	w.Sample(name+"_count", labels, float64(cum))
 }
 
+// AppendExposition re-emits an existing text exposition through this
+// writer with extra labels prepended to every sample — the federation
+// primitive behind GET /cluster/metrics, where each ring member's
+// /metrics body is folded in under a node label. Family declarations are
+// routed through Family, so identical families from multiple nodes
+// declare once and the merged document stays scrape-valid; per-series
+// histogram bucket cumulativity holds because the extra labels keep each
+// node's series distinct. Returns the number of samples appended.
+func (w *PromWriter) AppendExposition(text string, extra []L) (int, error) {
+	help := map[string]string{}
+	samples := 0
+	for ln, line := range strings.Split(text, "\n") {
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				return samples, fmt.Errorf("line %d: malformed HELP %q", ln+1, line)
+			}
+			help[fields[2]] = fields[3]
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				return samples, fmt.Errorf("line %d: malformed TYPE %q", ln+1, line)
+			}
+			w.Family(fields[2], fields[3], help[fields[2]])
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue
+		}
+		name, labels, val, err := parsePromSample(line)
+		if err != nil {
+			return samples, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		merged := make([]L, 0, len(extra)+len(labels))
+		merged = append(merged, extra...)
+		merged = append(merged, labels...)
+		w.Sample(name, merged, val)
+		samples++
+	}
+	return samples, nil
+}
+
 // String returns the exposition body.
 func (w *PromWriter) String() string { return w.b.String() }
 

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// nodeExposition builds one member's /metrics body for federation tests.
+func nodeExposition(ticks float64) string {
+	w := NewPromWriter()
+	w.Family("cescd_ticks_total", "counter", "ticks processed")
+	w.Sample("cescd_ticks_total", nil, ticks)
+	w.Family("cescd_lat_seconds", "histogram", "latency")
+	w.Histogram("cescd_lat_seconds", []L{{"stage", "step"}},
+		[]float64{0.001, 0.01}, []uint64{3, 2, 1}, 0.05)
+	return w.String()
+}
+
+func TestAppendExpositionFederatesUnderNodeLabel(t *testing.T) {
+	pw := NewPromWriter()
+	pw.Family("cescd_node_up", "gauge", "member answered")
+	pw.Sample("cescd_node_up", []L{{"node", "alpha"}}, 1)
+	pw.Sample("cescd_node_up", []L{{"node", "beta"}}, 1)
+	for _, n := range []struct {
+		name  string
+		ticks float64
+	}{{"alpha", 42}, {"beta", 7}} {
+		added, err := pw.AppendExposition(nodeExposition(n.ticks), []L{{"node", n.name}})
+		if err != nil {
+			t.Fatalf("AppendExposition(%s): %v", n.name, err)
+		}
+		if added != 6 { // 1 counter + 3 buckets + sum + count
+			t.Fatalf("appended %d samples for %s, want 6", added, n.name)
+		}
+	}
+	text := pw.String()
+
+	// The merged document must itself be scrape-valid: identical families
+	// from both nodes collapse into one declaration, every sample carries
+	// the node label, and each node's histogram stays cumulative because
+	// the label keeps the series distinct.
+	if _, err := ValidatePromText(text); err != nil {
+		t.Fatalf("federated exposition invalid: %v\n%s", err, text)
+	}
+	if got := strings.Count(text, "# TYPE cescd_ticks_total counter"); got != 1 {
+		t.Fatalf("family declared %d times, want 1:\n%s", got, text)
+	}
+	for _, want := range []string{
+		`cescd_ticks_total{node="alpha"} 42`,
+		`cescd_ticks_total{node="beta"} 7`,
+		`cescd_lat_seconds_bucket{node="alpha",stage="step",le="+Inf"} 6`,
+		`cescd_lat_seconds_count{node="beta",stage="step"} 6`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("federated exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestAppendExpositionRejectsGarbage(t *testing.T) {
+	pw := NewPromWriter()
+	for _, bad := range []string{
+		"# HELP broken\n",
+		"# TYPE broken\n",
+		"# HELP x h\n# TYPE x counter\nx notanumber\n",
+	} {
+		if _, err := pw.AppendExposition(bad, nil); err == nil {
+			t.Errorf("AppendExposition accepted %q", bad)
+		}
+	}
+}

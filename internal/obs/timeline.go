@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MergeTimeline folds per-node span snapshots into one causally-ordered
+// timeline. Ordering is the hybrid-logical-clock reading (which Observe
+// calls made consistent across hops), with node name and then per-node
+// Seq breaking ties — never wall clocks, which the cluster does not
+// trust to agree. Spans recorded before the HLC existed (HLC == 0, e.g.
+// from a pre-PR-10 node) sort first in their node's Seq order, so mixed
+// fleets degrade to per-node ordering instead of lying.
+func MergeTimeline(perNode ...[]Span) []Span {
+	var out []Span
+	for _, spans := range perNode {
+		out = append(out, spans...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.HLC != b.HLC {
+			return a.HLC < b.HLC
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// RenderTimeline renders a merged timeline as aligned human-readable
+// text, one line per span: relative time since the first span, node,
+// stage, kind, session, tick count, duration, and note. The format is
+// for eyes, not machines — the JSON rendering is the stable one.
+func RenderTimeline(spans []Span) string {
+	var b strings.Builder
+	if len(spans) == 0 {
+		b.WriteString("(no spans)\n")
+		return b.String()
+	}
+	base := HLCWall(spans[0].HLC)
+	for i := range spans {
+		sp := &spans[i]
+		at := time.Duration(0)
+		if sp.HLC != 0 {
+			at = HLCWall(sp.HLC).Sub(base)
+		}
+		node := sp.Node
+		if node == "" {
+			node = "-"
+		}
+		fmt.Fprintf(&b, "%+10s  %-8s %-10s", at.Round(time.Millisecond), node, sp.Stage)
+		if sp.Kind != "" {
+			fmt.Fprintf(&b, " [%s]", sp.Kind)
+		}
+		if sp.Session != "" {
+			fmt.Fprintf(&b, " session=%s", sp.Session)
+		}
+		if sp.Ticks > 0 {
+			fmt.Fprintf(&b, " ticks=%d", sp.Ticks)
+		}
+		fmt.Fprintf(&b, " dur=%s", sp.Dur.Round(time.Microsecond))
+		if sp.Parent != "" {
+			fmt.Fprintf(&b, " parent=%s", sp.Parent)
+		}
+		if sp.Note != "" {
+			fmt.Fprintf(&b, " (%s)", sp.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

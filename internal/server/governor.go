@@ -33,6 +33,7 @@ package server
 // deterministically in tests.
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
@@ -112,6 +113,12 @@ func (g *governor) recompute() {
 		// Falling edge: only step down once the score is a full margin
 		// below the level's own threshold.
 		g.level.Store(int32(target))
+	}
+	if next := int(g.level.Load()); next != cur {
+		// Level transitions are rare (hysteresis guarantees it) and are
+		// exactly what an operator wants in the black box next to the
+		// incident's spans.
+		s.flight.Note("governor", "", fmt.Sprintf("level %d -> %d (score %.2f)", cur, next, score))
 	}
 	if int(g.level.Load()) >= govLevelForcePageout {
 		s.kickPressure()

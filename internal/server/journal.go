@@ -42,11 +42,20 @@ import (
 //	              already validated the bytes with the strict batch
 //	              decoder, so journaling is one copy — no re-encode —
 //	              and replay re-decodes the same bytes.
+//	recBatchRawTraced — the PR-10 frame-header bump of recBatchRaw: the
+//	              same 16-byte header, then a uint16 trace-id length and
+//	              the trace-id bytes, then the verbatim body. Written
+//	              only when the batch carried a trace id, so a standby's
+//	              promotion replay (the records replicate verbatim) can
+//	              attribute recovered ticks to the originating trace.
+//	              Replay accepts both forms — PR-8-format standby
+//	              journals keep promoting, they just replay traceless.
 const (
-	recMeta     byte = 1
-	recBatch    byte = 2
-	recSnapshot byte = 3
-	recBatchRaw byte = 4
+	recMeta           byte = 1
+	recBatch          byte = 2
+	recSnapshot       byte = 3
+	recBatchRaw       byte = 4
+	recBatchRawTraced byte = 5
 )
 
 // The record kinds are exported for the cluster layer, which passes
@@ -55,14 +64,16 @@ const (
 // RecordSnapshot via a checkpoint so the standby journal is pruned in
 // lockstep with the owner's.
 const (
-	RecordMeta     = recMeta
-	RecordBatch    = recBatch
-	RecordSnapshot = recSnapshot
-	RecordBatchRaw = recBatchRaw
+	RecordMeta           = recMeta
+	RecordBatch          = recBatch
+	RecordSnapshot       = recSnapshot
+	RecordBatchRaw       = recBatchRaw
+	RecordBatchRawTraced = recBatchRawTraced
 )
 
 // rawBatchHeaderLen is the fixed prefix of a recBatchRaw payload: jseq
-// and the client seq, little-endian uint64s.
+// and the client seq, little-endian uint64s. recBatchRawTraced extends
+// it with a uint16 trace length and the trace bytes.
 const rawBatchHeaderLen = 16
 
 type specSourceJSON struct {
@@ -83,8 +94,12 @@ type sessionMetaJSON struct {
 }
 
 type batchRecordJSON struct {
-	JSeq  uint64      `json:"jseq"`
-	Seq   uint64      `json:"seq,omitempty"`
+	JSeq uint64 `json:"jseq"`
+	Seq  uint64 `json:"seq,omitempty"`
+	// Trace is the X-Cesc-Trace id the batch arrived under, kept so a
+	// replay (recovery, revival, promotion) can attribute the recovered
+	// ticks to the trace that originally carried them.
+	Trace string      `json:"trace,omitempty"`
 	Ticks []StateJSON `json:"ticks"`
 }
 
@@ -155,14 +170,28 @@ func (s *Server) journalBatch(sess *session, b *batch, seq uint64) error {
 		payload []byte
 	)
 	if b.packed != nil {
-		kind = recBatchRaw
-		payload = make([]byte, rawBatchHeaderLen+len(b.raw))
-		binary.LittleEndian.PutUint64(payload[0:8], b.jseq)
-		binary.LittleEndian.PutUint64(payload[8:16], seq)
-		copy(payload[rawBatchHeaderLen:], b.raw)
+		if b.trace != "" && len(b.trace) <= 0xFFFF {
+			// Traced batches take the extended frame so the trace id
+			// survives into replicated standby journals. Untraced batches
+			// keep the PR-8 frame byte for byte — tracing off costs the
+			// WAL nothing.
+			kind = recBatchRawTraced
+			payload = make([]byte, rawBatchHeaderLen+2+len(b.trace)+len(b.raw))
+			binary.LittleEndian.PutUint64(payload[0:8], b.jseq)
+			binary.LittleEndian.PutUint64(payload[8:16], seq)
+			binary.LittleEndian.PutUint16(payload[16:18], uint16(len(b.trace)))
+			copy(payload[18:], b.trace)
+			copy(payload[18+len(b.trace):], b.raw)
+		} else {
+			kind = recBatchRaw
+			payload = make([]byte, rawBatchHeaderLen+len(b.raw))
+			binary.LittleEndian.PutUint64(payload[0:8], b.jseq)
+			binary.LittleEndian.PutUint64(payload[8:16], seq)
+			copy(payload[rawBatchHeaderLen:], b.raw)
+		}
 	} else {
 		kind = recBatch
-		rec := batchRecordJSON{JSeq: b.jseq, Seq: seq, Ticks: make([]StateJSON, len(b.states))}
+		rec := batchRecordJSON{JSeq: b.jseq, Seq: seq, Trace: b.trace, Ticks: make([]StateJSON, len(b.states))}
 		for i, st := range b.states {
 			rec.Ticks[i] = stateJSON(st)
 		}
@@ -265,6 +294,11 @@ type sessionRestorer struct {
 	sess        *session
 	replayed    uint64
 	replayTicks int
+	// lastTrace is the trace id of the newest replayed batch that carried
+	// one, so the replay span can point back at the originating trace —
+	// on a promoted standby this is how a cross-node timeline shows the
+	// recovered ticks under the client's own trace id.
+	lastTrace string
 }
 
 // apply folds one record into the session under construction.
@@ -336,6 +370,9 @@ func (rs *sessionRestorer) apply(rec wal.Record) error {
 			// Folded into the snapshot already.
 			return nil
 		}
+		if br.Trace != "" {
+			rs.lastTrace = br.Trace
+		}
 		sess.mu.Lock()
 		for _, t := range br.Ticks {
 			sess.step(t.ToState())
@@ -349,51 +386,75 @@ func (rs *sessionRestorer) apply(rec wal.Record) error {
 		if rs.sess == nil {
 			return fmt.Errorf("raw batch record before session meta")
 		}
-		sess := rs.sess
 		if len(rec.Payload) < rawBatchHeaderLen {
 			return fmt.Errorf("raw batch record: %d bytes, want at least %d", len(rec.Payload), rawBatchHeaderLen)
 		}
 		jseq := binary.LittleEndian.Uint64(rec.Payload[0:8])
 		seq := binary.LittleEndian.Uint64(rec.Payload[8:16])
-		raw := rec.Payload[rawBatchHeaderLen:]
-		if jseq > sess.walSeq {
-			sess.walSeq = jseq
+		return rs.applyRawBatch(jseq, seq, "", rec.Payload[rawBatchHeaderLen:])
+	case recBatchRawTraced:
+		if rs.sess == nil {
+			return fmt.Errorf("traced raw batch record before session meta")
 		}
-		if seq > sess.lastSeq {
-			sess.lastSeq = seq
+		if len(rec.Payload) < rawBatchHeaderLen+2 {
+			return fmt.Errorf("traced raw batch record: %d bytes, want at least %d", len(rec.Payload), rawBatchHeaderLen+2)
 		}
-		if jseq <= sess.appliedJSeq {
-			// Folded into the snapshot already.
-			return nil
+		jseq := binary.LittleEndian.Uint64(rec.Payload[0:8])
+		seq := binary.LittleEndian.Uint64(rec.Payload[8:16])
+		tlen := int(binary.LittleEndian.Uint16(rec.Payload[16:18]))
+		if len(rec.Payload) < rawBatchHeaderLen+2+tlen {
+			return fmt.Errorf("traced raw batch record: trace length %d overruns %d-byte payload", tlen, len(rec.Payload))
 		}
-		// The raw bytes passed the strict batch decoder at ingest, so the
-		// lenient json path accepts them; an error here is corruption the
-		// CRC framing missed, reported rather than skipped. Replaying
-		// through the map path is verdict-identical to the fast path — the
-		// decoder equivalence the conformance suite pins.
-		var states []event.State
-		dec := json.NewDecoder(bytes.NewReader(raw))
-		for {
-			var t StateJSON
-			if err := dec.Decode(&t); err == io.EOF {
-				break
-			} else if err != nil {
-				return fmt.Errorf("raw batch record tick %d: %w", len(states), err)
-			}
-			states = append(states, t.ToState())
-		}
-		sess.mu.Lock()
-		for _, st := range states {
-			sess.step(st)
-		}
-		sess.appliedJSeq = jseq
-		sess.mu.Unlock()
-		rs.replayed++
-		rs.replayTicks += len(states)
-		return nil
+		trace := string(rec.Payload[18 : 18+tlen])
+		return rs.applyRawBatch(jseq, seq, trace, rec.Payload[18+tlen:])
 	default:
 		return fmt.Errorf("unknown record kind %d", rec.Kind)
 	}
+}
+
+// applyRawBatch folds one fast-path batch record (either raw frame) into
+// the session: watermark updates, snapshot skip, and a step replay of the
+// verbatim NDJSON body.
+func (rs *sessionRestorer) applyRawBatch(jseq, seq uint64, trace string, raw []byte) error {
+	sess := rs.sess
+	if jseq > sess.walSeq {
+		sess.walSeq = jseq
+	}
+	if seq > sess.lastSeq {
+		sess.lastSeq = seq
+	}
+	if jseq <= sess.appliedJSeq {
+		// Folded into the snapshot already.
+		return nil
+	}
+	if trace != "" {
+		rs.lastTrace = trace
+	}
+	// The raw bytes passed the strict batch decoder at ingest, so the
+	// lenient json path accepts them; an error here is corruption the
+	// CRC framing missed, reported rather than skipped. Replaying
+	// through the map path is verdict-identical to the fast path — the
+	// decoder equivalence the conformance suite pins.
+	var states []event.State
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for {
+		var t StateJSON
+		if err := dec.Decode(&t); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("raw batch record tick %d: %w", len(states), err)
+		}
+		states = append(states, t.ToState())
+	}
+	sess.mu.Lock()
+	for _, st := range states {
+		sess.step(st)
+	}
+	sess.appliedJSeq = jseq
+	sess.mu.Unlock()
+	rs.replayed++
+	rs.replayTicks += len(states)
+	return nil
 }
 
 // finish aligns the per-spec reporting watermarks with the restored
@@ -430,8 +491,17 @@ func (s *Server) rebuildFromJournal(id, traceTag string) (*session, error) {
 	rs.finish()
 	replayDur := time.Since(replayStart)
 	s.metrics.observeStage(obs.StageWALReplay, replayDur)
+	// A replay that saw traced batches attributes the span to the newest
+	// originating trace, so a merged cluster timeline shows the recovered
+	// ticks under the client's own trace id; the tag ("recovery",
+	// "revival", "promotion") stays visible as the span kind.
+	spanTrace := traceTag
+	if rs.lastTrace != "" {
+		spanTrace = rs.lastTrace
+	}
 	s.tracer.Record(sess.shard, obs.Span{
-		Trace: traceTag, Session: sess.id, Stage: obs.StageWALReplay,
+		Trace: spanTrace, Session: sess.id, Stage: obs.StageWALReplay,
+		Kind:  traceTag,
 		Start: replayStart, Dur: replayDur, Ticks: rs.replayTicks,
 		Note: fmt.Sprintf("replayed %d batches", rs.replayed),
 	})

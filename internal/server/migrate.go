@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -155,6 +157,7 @@ func (s *Server) AdoptSession(id string, recs []wal.Record) error {
 	if s.HasSession(id) {
 		return nil
 	}
+	replayStart := time.Now()
 	rs := &sessionRestorer{srv: s}
 	for _, rec := range recs {
 		if err := rs.apply(rec); err != nil {
@@ -168,6 +171,26 @@ func (s *Server) AdoptSession(id string, recs []wal.Record) error {
 		return fmt.Errorf("server: adopting session %s: records describe session %s", id, rs.sess.id)
 	}
 	rs.finish()
+	// Attribute the adoption replay. A standby promotion replays batch
+	// records the dead owner replicated here, so the span carries the
+	// originating trace id those batches arrived under — the link that
+	// lets a merged timeline show recovery under the client's trace. A
+	// migration handoff is a single snapshot record (no batches).
+	kind := "migration"
+	if rs.replayed > 0 {
+		kind = "promotion"
+	}
+	spanTrace := kind
+	if rs.lastTrace != "" {
+		spanTrace = rs.lastTrace
+	}
+	replayDur := time.Since(replayStart)
+	s.metrics.observeStage(obs.StageWALReplay, replayDur)
+	s.tracer.Record(rs.sess.shard, obs.Span{
+		Trace: spanTrace, Session: id, Stage: obs.StageWALReplay,
+		Kind: kind, Start: replayStart, Dur: replayDur, Ticks: rs.replayTicks,
+		Note: fmt.Sprintf("adopted: replayed %d batches", rs.replayed),
+	})
 	sess := rs.sess
 	if s.wal != nil {
 		if err := s.wal.Remove(id); err != nil {

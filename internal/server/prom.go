@@ -25,6 +25,9 @@ func (s *Server) promText() []byte {
 		w.Sample(name, nil, v)
 	}
 
+	w.Family("cescd_build_info", "gauge", "Build identity; always 1, labels carry version and commit.")
+	w.Sample("cescd_build_info", []obs.L{{Name: "version", Value: BuildVersion}, {Name: "commit", Value: BuildCommit}}, 1)
+	gauge("cescd_start_time_seconds", "Unix time the daemon started.", float64(s.metrics.start.UnixNano())/1e9)
 	gauge("cescd_uptime_seconds", "Daemon uptime.", snap.UptimeSec)
 	counter("cescd_ticks_total", "Valuation ticks processed.", float64(snap.TicksTotal))
 	counter("cescd_batches_total", "Tick batches processed.", float64(snap.BatchesTotal))

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -132,6 +133,21 @@ type Config struct {
 	// limited) with its trace id. 0 disables.
 	SlowTick time.Duration
 
+	// NodeName is the cluster member name stamped on every recorded span
+	// (and the flight recorder's dumps), so cluster-merged timelines can
+	// attribute spans to nodes. Empty on standalone daemons.
+	NodeName string
+
+	// FlightWindow is the black-box flight recorder's retention window:
+	// the last FlightWindow of notable events (governor transitions,
+	// watchdog trips, quarantines, WAL errors) and spans are kept ready to
+	// dump. <= 0 selects 30s; the recorder itself is always on.
+	FlightWindow time.Duration
+	// FlightDir is where trip-triggered flight-recorder dumps land as
+	// timestamped JSON files. Empty disables file dumps; the live buffer
+	// stays served from GET /debug/flightrec regardless.
+	FlightDir string
+
 	// Faults wires a deterministic fault-injection plane through the
 	// daemon (WAL writes, monitor stepping, ingest responses). Tests
 	// only; nil means no faults.
@@ -183,7 +199,13 @@ type Server struct {
 	metrics  *metrics
 	tracer   *obs.Tracer   // disabled (nil-safe no-op) unless Config.TraceDepth > 0
 	watchdog *obs.Watchdog // disabled unless Config.SlowTick > 0
-	wal      *wal.Manager  // nil when journaling is disabled
+	flight   *obs.FlightRecorder
+	wal      *wal.Manager // nil when journaling is disabled
+
+	// lastShedLog rate-limits governor shed-decision log lines (1/s), the
+	// same discipline the watchdog applies — shedding under sustained
+	// overload must not turn every request into a log write.
+	lastShedLog atomic.Int64
 
 	// smu guards both session tables; hot/cold transitions mutate them
 	// (and the per-tenant counts) inside one critical section, so a
@@ -246,7 +268,9 @@ func New(cfg Config) (*Server, error) {
 	s.tenants = newTenantTable(s.cfg.QuotaTickRate, s.cfg.QuotaTickBurst)
 	s.gov = &governor{srv: s}
 	s.tracer = obs.NewTracer(s.cfg.Shards, s.cfg.TraceDepth)
+	s.tracer.SetNode(s.cfg.NodeName)
 	s.watchdog = obs.NewWatchdog(s.cfg.SlowTick, nil)
+	s.flight = obs.NewFlightRecorder(s.cfg.FlightWindow, s.cfg.FlightDir, s.cfg.NodeName, s.tracer)
 	if s.cfg.WALDir != "" {
 		mgr, err := wal.OpenManager(wal.Options{
 			Dir:          s.cfg.WALDir,
@@ -414,6 +438,7 @@ func (s *Server) session(id string) (*session, bool) {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /specs", s.handleListSpecs)
 	s.mux.HandleFunc("POST /specs", s.handleLoadSpecs)
@@ -428,6 +453,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /sessions/{id}/verdicts", s.handleVerdicts)
 	s.mux.HandleFunc("GET /sessions/{id}/diagnostics", s.handleDiagnostics)
 	s.mux.HandleFunc("GET /debug/trace", s.handleDebugTrace)
+	s.mux.HandleFunc("GET /debug/flightrec", s.handleFlightRec)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -451,6 +477,65 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":     "ok",
 		"uptime_sec": time.Since(s.metrics.start).Seconds(),
 	})
+}
+
+// Ready reports whether the node should receive load-balanced traffic:
+// not crashed, not draining, the governor below the session-throttling
+// level, and — when journaling is configured — the WAL directory still
+// writable. The reasons map names every failing check; /healthz stays
+// pure liveness. The cluster layer adds its own ring-adoption check on
+// top.
+func (s *Server) Ready() (bool, map[string]string) {
+	reasons := map[string]string{}
+	if s.crashed.Load() {
+		reasons["crashed"] = "simulated power cut"
+	}
+	s.qmu.RLock()
+	draining := s.draining
+	s.qmu.RUnlock()
+	if draining {
+		reasons["draining"] = "shutting down"
+	}
+	if lvl := s.govLevel(); lvl >= govLevelThrottleSessions {
+		reasons["governor"] = fmt.Sprintf("shedding at level %d", lvl)
+	}
+	if s.wal != nil {
+		if err := s.wal.Writable(); err != nil {
+			reasons["wal"] = err.Error()
+		}
+	}
+	return len(reasons) == 0, reasons
+}
+
+// handleReadyz is the load-balancer readiness probe: 200 while Ready,
+// 503 with the failing checks otherwise.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, reasons := s.Ready()
+	if !ready {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reasons": reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// Tracer exposes the span tracer to the cluster layer, which records
+// proxy/redirect spans of its own and answers /cluster/trace fan-outs.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// FlightRecorder exposes the black box to the cluster layer and
+// cmd/cescd (the SIGQUIT dump path).
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
+
+// TraceSpans returns the retained spans of one correlation id, newest
+// last — the per-node slice /cluster/trace merges across the ring.
+func (s *Server) TraceSpans(traceID string, n int) []obs.Span {
+	return s.tracer.Snapshot(func(sp *obs.Span) bool { return sp.Trace == traceID }, n)
+}
+
+// handleFlightRec serves the flight recorder's live buffer — the same
+// document a trip dumps to disk, minus the reason.
+func (s *Server) handleFlightRec(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.flight.Snapshot(""))
 }
 
 // handleMetrics serves the daemon metrics. The default body is the
@@ -568,6 +653,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		// decorrelates the retry stampede; the cluster layer routes
 		// creations to cooler peers before this is ever reached.
 		s.metrics.shedSessions.Add(1)
+		s.logShed("sessions", r.Header.Get("X-Cesc-Trace"), "")
 		w.Header().Set("X-Cesc-Shed", "sessions")
 		w.Header().Set("Retry-After", strconv.Itoa(s.sessionThrottleRetryAfter()))
 		writeError(w, http.StatusTooManyRequests, "node overloaded; new sessions throttled")
@@ -773,8 +859,15 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	// The trace id correlates this batch's spans across pipeline stages.
 	// Clients propagate their own via X-Cesc-Trace; otherwise the server
 	// assigns one (only when tracing is on — the id is echoed back either
-	// way so the client can cite it).
+	// way so the client can cite it). X-Cesc-Parent carries the upstream
+	// hop's span token ("node@hlc"): observing its clock reading makes
+	// every local span order causally after the hop that forwarded the
+	// batch, even across machines with disagreeing wall clocks.
 	traceID := r.Header.Get("X-Cesc-Trace")
+	parent := r.Header.Get("X-Cesc-Parent")
+	if _, remoteHLC := obs.ParseParentToken(parent); remoteHLC != 0 {
+		obs.Clock.Observe(remoteHLC)
+	}
 	if s.tracer.Enabled() {
 		if traceID == "" {
 			traceID = newTraceID()
@@ -877,6 +970,7 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		// and processed — only the latency coupling is shed. The client
 		// gets 202 + X-Cesc-Shed: wait instead of blocking on the shard.
 		wait, shedWait = false, true
+		s.logShed("wait", traceID, sess.id)
 	}
 
 	sess.ingestMu.Lock()
@@ -977,10 +1071,14 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 	if traceID != "" && s.tracer.Enabled() {
 		resp["trace"] = traceID
 	}
+	ingestKind := ""
+	if r.Header.Get("X-Cesc-Forwarded") != "" {
+		ingestKind = "proxied"
+	}
 	if wait {
 		<-b.done
 		resp["processed"] = true
-		s.recordIngest(sess, traceID, ingestStart, nticks)
+		s.recordIngest(sess, traceID, parent, ingestKind, ingestStart, nticks)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -989,16 +1087,40 @@ func (s *Server) handleTicks(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Cesc-Shed", "wait")
 		resp["processed"] = false
 	}
-	s.recordIngest(sess, traceID, ingestStart, nticks)
+	s.recordIngest(sess, traceID, parent, ingestKind, ingestStart, nticks)
 	writeJSON(w, http.StatusAccepted, resp)
 }
 
 // recordIngest closes the whole-request span of one accepted tick batch.
-func (s *Server) recordIngest(sess *session, traceID string, start time.Time, ticks int) {
+// parent is the upstream hop's span token; kind is "proxied" when the
+// batch arrived through a cluster proxy forward ("" for a direct hit).
+func (s *Server) recordIngest(sess *session, traceID, parent, kind string, start time.Time, ticks int) {
 	s.tracer.Record(sess.shard, obs.Span{
 		Trace: traceID, Session: sess.id, Stage: obs.StageIngest,
+		Parent: parent, Kind: kind,
 		Start: start, Dur: time.Since(start), Ticks: ticks,
 	})
+}
+
+// logShed emits a rate-limited (1/s) governor shed-decision warning. The
+// trace id joins the log line to its cluster timeline; the flight
+// recorder keeps the decision even when the log line is rate-limited
+// away.
+func (s *Server) logShed(what, traceID, session string) {
+	lvl, score := s.GovernorState()
+	s.flight.Note("shed:"+what, traceID, fmt.Sprintf("level=%d score=%.2f session=%s", lvl, score, session))
+	now := time.Now().UnixNano()
+	last := s.lastShedLog.Load()
+	if now-last < int64(time.Second) || !s.lastShedLog.CompareAndSwap(last, now) {
+		return
+	}
+	slog.Warn("governor shed",
+		slog.String("what", what),
+		slog.String("trace", traceID),
+		slog.String("session", session),
+		slog.Int("level", lvl),
+		slog.Float64("score", score),
+	)
 }
 
 // newTraceID mints a server-assigned correlation id (same shape as

@@ -222,6 +222,8 @@ func (s *Server) process(sh *shard, b *batch) {
 	}
 	if quar > 0 {
 		s.metrics.monitorsQuarantined.Add(uint64(quar))
+		_, _ = s.flight.Trip("quarantine", b.trace,
+			fmt.Sprintf("session %s: %d monitors quarantined", sess.id, quar))
 	}
 	s.foldSpecDeltas(sess)
 	if b.jseq > 0 {
@@ -242,7 +244,10 @@ func (s *Server) process(sh *shard, b *batch) {
 		{Trace: b.trace, Session: sess.id, Stage: obs.StageStep,
 			Start: dequeued, Dur: stepDur, Ticks: n},
 	})
-	s.watchdog.Observe(stepDur, n, b.trace, sess.id, sh.idx)
+	if s.watchdog.Observe(stepDur, n, b.trace, sess.id, sh.idx) {
+		_, _ = s.flight.Trip("slow_tick", b.trace,
+			fmt.Sprintf("session %s shard %d: %d ticks in %s", sess.id, sh.idx, n, stepDur))
+	}
 	sess.touch()
 	s.metrics.batchesTotal.Add(1)
 	if b.done != nil {
@@ -327,8 +332,17 @@ func (s *Server) processLaneGroup(sh *shard, tab *monitor.Table, batches []*batc
 	}
 	if quar > 0 {
 		s.metrics.monitorsQuarantined.Add(quar)
+		_, _ = s.flight.Trip("quarantine", batches[0].trace,
+			fmt.Sprintf("lane group: %d monitors quarantined", quar))
 	}
 	stepDur := time.Since(dequeued)
+	// Lane-group attribution: every member's step span names the shared
+	// lane bank (the spec whose table the group stepped — all members
+	// share it by construction) and the member session count, so
+	// /debug/trace can explain why one session's tick latency covers the
+	// whole group's lockstep window.
+	laneNote := fmt.Sprintf("lane group: %d sessions, bank %s",
+		len(batches), batches[0].sess.mons[0].spec)
 	spans := make([]obs.Span, 0, 2*len(batches))
 	for _, b := range batches {
 		sess := b.sess
@@ -348,7 +362,7 @@ func (s *Server) processLaneGroup(sh *shard, tab *monitor.Table, batches []*batc
 				Start: b.enqueued, Dur: dequeued.Sub(b.enqueued), Ticks: n},
 			obs.Span{Trace: b.trace, Session: sess.id, Stage: obs.StageStep,
 				Start: dequeued, Dur: stepDur, Ticks: n,
-				Note: fmt.Sprintf("lane group of %d", len(batches))})
+				Kind: "lane", Note: laneNote})
 		sess.touch()
 		s.metrics.batchesTotal.Add(1)
 	}
@@ -356,7 +370,10 @@ func (s *Server) processLaneGroup(sh *shard, tab *monitor.Table, batches []*batc
 	s.gov.observeStep(stepDur, total)
 	s.metrics.observeStage(obs.StageStep, stepDur)
 	s.tracer.RecordBatch(sh.idx, spans)
-	s.watchdog.Observe(stepDur, total, batches[0].trace, batches[0].sess.id, sh.idx)
+	if s.watchdog.Observe(stepDur, total, batches[0].trace, batches[0].sess.id, sh.idx) {
+		_, _ = s.flight.Trip("slow_tick", batches[0].trace,
+			fmt.Sprintf("%s shard %d: %d ticks in %s", laneNote, sh.idx, total, stepDur))
+	}
 	for _, b := range batches {
 		if b.done != nil {
 			close(b.done)

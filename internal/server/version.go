@@ -1,0 +1,14 @@
+package server
+
+// Build identity, stamped by the linker:
+//
+//	go build -ldflags "-X repro/internal/server.BuildVersion=v1.2.3 \
+//	                   -X repro/internal/server.BuildCommit=abc1234"
+//
+// Exposed as the cescd_build_info metric so a federated /cluster/metrics
+// scrape shows at a glance which build every node in the fleet runs —
+// the first question of any mixed-fleet incident.
+var (
+	BuildVersion = "dev"
+	BuildCommit  = "unknown"
+)

@@ -176,6 +176,20 @@ func (m *Manager) Remove(id string) error {
 	return os.RemoveAll(filepath.Join(m.opts.Dir, id))
 }
 
+// Writable probes the journal root for writability by creating and
+// removing a probe file — the readiness check behind /readyz, where "the
+// disk went read-only" must pull the node out of rotation before appends
+// start failing. Cheap enough for a load balancer's probe cadence.
+func (m *Manager) Writable() error {
+	probe := filepath.Join(m.opts.Dir, ".writable-probe")
+	f, err := os.OpenFile(probe, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: journal dir not writable: %w", err)
+	}
+	f.Close()
+	return os.Remove(probe)
+}
+
 // DiskUsage walks every session journal under the root and returns the
 // total on-disk bytes plus the per-session breakdown. Journals racing a
 // concurrent Remove are tolerated (counted as zero), so callers can
